@@ -1,0 +1,74 @@
+//! Ablation: full-adder circuit choice on the in-DRAM substrate.
+//!
+//! The carry of a ripple adder can come from the functionally-complete
+//! gate set (3 extra gates after the shared XOR subterms; 9 ops/bit
+//! total) or from Ambit-style in-subarray majority (1 native MAJ;
+//! 7 ops/bit). This bench compares the two on the same simulated
+//! SK Hynix part: wall time per 4-bit add, native-op counts, modeled
+//! DDR4 cost, and the analytic lane-accuracy estimate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcdram_bench::config;
+use simdram::{reliability, AdderKind, CostModel, DramSubstrate, SimdVm};
+
+fn dram_vm() -> SimdVm<DramSubstrate> {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
+    let engine = fcdram::BulkEngine::with_budget(
+        fcdram::Fcdram::new(cfg),
+        dram_core::BankId(0),
+        dram_core::SubarrayId(0),
+        2_048,
+    )
+    .expect("engine");
+    SimdVm::new(DramSubstrate::new(engine)).expect("dram vm")
+}
+
+fn report(kind: AdderKind) {
+    let mut vm = dram_vm();
+    vm.set_adder(kind);
+    let speed = vm.substrate().engine().config().speed;
+    let lanes = vm.lanes();
+    let a = vm.alloc_uint(4).unwrap();
+    let b = vm.alloc_uint(4).unwrap();
+    vm.clear_trace();
+    let s = vm.add(&a, &b).unwrap();
+    vm.free_uint(s);
+    let ops = vm.trace().in_dram_ops();
+    let acc = reliability::expected_lane_accuracy(vm.trace());
+    let cost = CostModel::new(speed, lanes).trace_cost(vm.trace());
+    println!(
+        "adder {kind:?}: {ops} native ops, predicted lane accuracy {:.1}%, \
+         {:.0} ns, {:.0} pJ, {} commands",
+        acc * 100.0,
+        cost.latency_ns,
+        cost.energy_pj,
+        cost.commands
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    report(AdderKind::FcGates);
+    report(AdderKind::FusedMaj);
+
+    let mut group = c.benchmark_group("adder_ablation");
+    for kind in [AdderKind::FcGates, AdderKind::FusedMaj] {
+        group.bench_function(format!("{kind:?}_add_w4"), |b| {
+            let mut vm = dram_vm();
+            vm.set_adder(kind);
+            let x = vm.alloc_uint(4).unwrap();
+            let y = vm.alloc_uint(4).unwrap();
+            b.iter(|| {
+                let s = vm.add(&x, &y).unwrap();
+                vm.free_uint(criterion::black_box(s));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation: the analog charge-sharing model.
+//!
+//! Measures the cost of the per-column analog pipeline (charge share →
+//! differential → margin classification → success probability) and
+//! shows how the bitline-to-cell capacitance ratio `C_b/C_c` — a key
+//! modeling constant — shrinks sensing margins as input count grows.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::analog::classify_margin;
+use dram_core::{AnalogParams, CellRef, Chip, ChipId, LogicEvent, LogicOp, MarginClass};
+
+fn bench(c: &mut Criterion) {
+    let p = AnalogParams::ddr4_default();
+
+    c.bench_function("analog_charge_share_16_cells", |b| {
+        let cells: Vec<f64> = (0..16).map(|i| if i % 3 == 0 { 1.2 } else { 0.0 }).collect();
+        b.iter(|| black_box(p.bitline_after_share(&cells)));
+    });
+
+    c.bench_function("analog_margin_classification", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let diff = ((i % 800) as f64 - 400.0) / 100.0;
+            black_box(classify_margin(diff, if i % 2 == 0 { 0.9 } else { 0.1 }))
+        });
+    });
+
+    // C_b/C_c ablation: the margin in volts for the hardest AND
+    // pattern shrinks with both the ratio and the input count.
+    let mut group = c.benchmark_group("analog_cb_cc_ratio");
+    for ratio in [4.0f64, 6.0, 8.0] {
+        let params = AnalogParams { cb_over_cc: ratio, ..AnalogParams::ddr4_default() };
+        group.bench_function(&*format!("ratio_{ratio}"), |b| {
+            b.iter(|| {
+                let mut worst = f64::MAX;
+                for n in [2usize, 4, 8, 16] {
+                    let margin = 0.48 * params.cell_unit(n);
+                    worst = worst.min(margin);
+                }
+                assert!(worst > 0.0);
+                black_box(worst)
+            });
+        });
+    }
+    group.finish();
+
+    // End-to-end per-cell probability evaluation (the hot inner loop
+    // of every experiment).
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(16);
+    let chip = Chip::new(cfg, ChipId(0));
+    c.bench_function("reliability_logic_cell_prob", |b| {
+        let ev = LogicEvent {
+            op: LogicOp::And,
+            n: 8,
+            margin_class: MarginClass::Comfortable,
+            neighbor_mismatch: 1.0,
+            com_dist: 0.4,
+            ref_dist: 0.6,
+            temperature: dram_core::Temperature::BASELINE,
+        };
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let cell = CellRef {
+                bank: dram_core::BankId(0),
+                subarray: dram_core::SubarrayId(1),
+                row: dram_core::LocalRow(i % 512),
+                col: dram_core::Col(i % 16),
+                stripe: 1,
+            };
+            black_box(chip.reliability().logic_success_prob(&ev, cell))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: the hierarchical row-decoder glitch model.
+//!
+//! Measures (a) raw activation-query throughput, (b) the cost of a
+//! full Fig. 5-style coverage scan, and (c) how the merge-depth design
+//! parameter (`max_merge_groups`, the paper's §7 Limitation 2) changes
+//! both the cost and the reachable shapes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::{Chip, ChipId, GlobalRow, RowDecoder};
+
+fn bench(c: &mut Criterion) {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(16);
+    let chip = Chip::new(cfg.clone(), ChipId(0));
+    let geom = *chip.geometry();
+
+    c.bench_function("decoder_activation_query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 127) % (512 * 512);
+            let rf = GlobalRow(i / 512);
+            let rl = GlobalRow(512 + i % 512);
+            black_box(chip.decoder().activation(&geom, rf, rl))
+        });
+    });
+
+    c.bench_function("decoder_shape_scan_4096_pairs", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for i in 0..4096usize {
+                let rf = GlobalRow((i * 13) % 512);
+                let rl = GlobalRow(512 + (i * 29) % 512);
+                if chip.decoder().activation_shape(&geom, rf, rl)
+                    != dram_core::ActivationShape::None
+                {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        });
+    });
+
+    // Merge-depth ablation: a 3-group decoder (the 8Gb M-die part)
+    // reaches at most 8:16; the full 4-group decoder reaches 16:32.
+    let mut group = c.benchmark_group("decoder_merge_depth");
+    for depth in [2u8, 3, 4] {
+        let mut cfg_d = cfg.clone();
+        cfg_d.max_merge_groups = depth;
+        let dec = RowDecoder::new(&cfg_d, cfg_d.chip_seed(ChipId(0)));
+        group.bench_function(&*format!("groups_{depth}"), |b| {
+            b.iter(|| {
+                let mut max_rows = 0usize;
+                for i in 0..1024usize {
+                    let rf = GlobalRow((i * 7) % 512);
+                    let rl = GlobalRow(512 + (i * 31) % 512);
+                    if let dram_core::ActivationShape::Cross { n_rf, n_rl, .. } =
+                        dec.activation_shape(&geom, rf, rl)
+                    {
+                        max_rows = max_rows.max(n_rf as usize + n_rl as usize);
+                    }
+                }
+                assert!(max_rows <= 3 * (1 << depth));
+                black_box(max_rows)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: the bulk bitwise engine.
+//!
+//! Measures end-to-end in-DRAM operation latency through the full
+//! stack (library → command programs → device model) and the cost of
+//! the repetition-voting reliability knob.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::{BankId, SubarrayId};
+use fcdram::{BulkEngine, Fcdram};
+
+fn engine(cols: usize) -> BulkEngine {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(cols);
+    BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0)).expect("engine builds")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut e = engine(64);
+    let a = e.alloc().unwrap();
+    let bv = e.alloc().unwrap();
+    let out = e.alloc().unwrap();
+    let bits = e.capacity_bits();
+    let da: Vec<bool> = (0..bits).map(|i| i % 3 == 0).collect();
+    let db: Vec<bool> = (0..bits).map(|i| i % 5 != 0).collect();
+    e.write(&a, &da).unwrap();
+    e.write(&bv, &db).unwrap();
+
+    c.bench_function("engine_write_read_roundtrip", |b| {
+        b.iter(|| {
+            e.write(&a, &da).unwrap();
+            black_box(e.read(&a).unwrap())
+        });
+    });
+
+    c.bench_function("engine_not", |b| {
+        b.iter(|| black_box(e.not(&a, &out).unwrap()));
+    });
+
+    for n in [2usize, 4, 8] {
+        c.bench_function(&format!("engine_and_{n}_inputs"), |b| {
+            let ins: Vec<&fcdram::BitVecHandle> =
+                std::iter::repeat(&a).take(n - 1).chain([&bv]).collect();
+            b.iter(|| black_box(e.and(&ins, &out).unwrap()));
+        });
+    }
+
+    // Repetition ablation: k executions cost ≈ k× but raise accuracy.
+    let mut group = c.benchmark_group("engine_repetition");
+    for k in [1usize, 3, 9] {
+        group.bench_function(&*format!("vote_{k}"), |b| {
+            e.set_repetition(k);
+            b.iter(|| {
+                let stats = e.and(&[&a, &bv], &out).unwrap();
+                assert_eq!(stats.executions, k);
+                black_box(stats)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

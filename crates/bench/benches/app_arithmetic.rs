@@ -1,0 +1,93 @@
+//! Criterion benchmark: the `simdram` word-arithmetic extension.
+//!
+//! Measures (a) gate-synthesis throughput on the exact host substrate
+//! across widths, (b) the in-DRAM execution path (every native gate is
+//! a full simulated command sequence), and (c) the `arith` experiment
+//! pipeline end to end at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcdram_bench::{bench_fleet, bench_scale, config, run_and_check};
+use simdram::{DramSubstrate, HostSubstrate, SimdVm};
+
+fn host_vm(lanes: usize) -> SimdVm<HostSubstrate> {
+    SimdVm::new(HostSubstrate::new(lanes, 16_384)).expect("host vm")
+}
+
+fn dram_vm() -> SimdVm<DramSubstrate> {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
+    let engine = fcdram::BulkEngine::with_budget(
+        fcdram::Fcdram::new(cfg),
+        dram_core::BankId(0),
+        dram_core::SubarrayId(0),
+        2_048,
+    )
+    .expect("engine");
+    SimdVm::new(DramSubstrate::new(engine)).expect("dram vm")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_host");
+    for width in [8usize, 16, 32] {
+        group.bench_function(format!("add_w{width}"), |b| {
+            let mut vm = host_vm(64);
+            let x = vm.alloc_uint(width).unwrap();
+            let y = vm.alloc_uint(width).unwrap();
+            b.iter(|| {
+                let s = vm.add(&x, &y).unwrap();
+                vm.free_uint(criterion::black_box(s));
+            });
+        });
+    }
+    group.bench_function("mul_w8x8", |b| {
+        let mut vm = host_vm(64);
+        let x = vm.alloc_uint(8).unwrap();
+        let y = vm.alloc_uint(8).unwrap();
+        b.iter(|| {
+            let p = vm.mul(&x, &y).unwrap();
+            vm.free_uint(criterion::black_box(p));
+        });
+    });
+    group.bench_function("popcount_w16", |b| {
+        let mut vm = host_vm(64);
+        let x = vm.alloc_uint(16).unwrap();
+        b.iter(|| {
+            let p = vm.popcount(&x).unwrap();
+            vm.free_uint(criterion::black_box(p));
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("simd_dram");
+    group.bench_function("xor", |b| {
+        let mut vm = dram_vm();
+        let x = vm.alloc_row().unwrap();
+        let y = vm.alloc_row().unwrap();
+        b.iter(|| {
+            let r = vm.xor(x, y).unwrap();
+            vm.release(criterion::black_box(r));
+        });
+    });
+    group.bench_function("add_w4", |b| {
+        let mut vm = dram_vm();
+        let x = vm.alloc_uint(4).unwrap();
+        let y = vm.alloc_uint(4).unwrap();
+        b.iter(|| {
+            let s = vm.add(&x, &y).unwrap();
+            vm.free_uint(criterion::black_box(s));
+        });
+    });
+    group.finish();
+
+    let scale = bench_scale();
+    let mut fleet = bench_fleet(&scale);
+    c.bench_function("arith_experiment", |b| {
+        b.iter(|| run_and_check("arith", &mut fleet, &scale));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

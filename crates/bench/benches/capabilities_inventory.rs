@@ -1,0 +1,20 @@
+//! Criterion benchmark: regenerates the per-module capability
+//! inventory (extended-version artifact) end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcdram_bench::{bench_fleet, bench_scale, config, run_and_check};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut fleet = bench_fleet(&scale);
+    c.bench_function("capabilities_inventory", |b| {
+        b.iter(|| run_and_check("capabilities", &mut fleet, &scale));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

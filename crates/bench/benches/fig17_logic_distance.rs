@@ -1,0 +1,20 @@
+//! Criterion benchmark: regenerates the paper's `fig17` artifact end
+//! to end (fleet construction excluded; measured per experiment run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcdram_bench::{bench_scale, bench_fleet, config, run_and_check};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut fleet = bench_fleet(&scale);
+    c.bench_function("fig17_logic_distance", |b| {
+        b.iter(|| run_and_check("fig17", &mut fleet, &scale));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

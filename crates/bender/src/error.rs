@@ -1,0 +1,86 @@
+//! Error type for the testing infrastructure.
+
+use dram_core::DramError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors raised while building or executing command programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BenderError {
+    /// The underlying device model rejected a command.
+    Device(DramError),
+    /// A program command was issued in an order the infrastructure
+    /// cannot execute (e.g. `WR` with no open bank).
+    BadProgram {
+        /// Position of the offending command in the program.
+        index: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A chip index outside the module was addressed.
+    NoSuchChip {
+        /// Requested chip.
+        chip: usize,
+        /// Number of chips on the module.
+        chips: usize,
+    },
+}
+
+impl fmt::Display for BenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenderError::Device(e) => write!(f, "device error: {e}"),
+            BenderError::BadProgram { index, detail } => {
+                write!(f, "bad program at command {index}: {detail}")
+            }
+            BenderError::NoSuchChip { chip, chips } => {
+                write!(f, "chip {chip} out of range (module has {chips} chips)")
+            }
+        }
+    }
+}
+
+impl StdError for BenderError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            BenderError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for BenderError {
+    fn from(e: DramError) -> Self {
+        BenderError::Device(e)
+    }
+}
+
+/// Result alias for infrastructure operations.
+pub type Result<T> = std::result::Result<T, BenderError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = BenderError::BadProgram { index: 3, detail: "WR while precharged".into() };
+        assert!(e.to_string().contains("command 3"));
+        let e = BenderError::NoSuchChip { chip: 9, chips: 8 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn device_errors_convert() {
+        let d = DramError::IllegalCommand { detail: "x".into() };
+        let e: BenderError = d.clone().into();
+        assert_eq!(e, BenderError::Device(d));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BenderError>();
+    }
+}

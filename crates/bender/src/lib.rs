@@ -1,0 +1,38 @@
+//! # bender — testing-infrastructure simulator
+//!
+//! A software stand-in for [DRAM Bender], the FPGA-based DDR4 testing
+//! infrastructure the paper uses to issue command sequences with
+//! violated timing parameters. The programming model is the same:
+//!
+//! 1. build a cycle-timed command [`Program`] (the [`ProgramBuilder`]
+//!    offers the paper's canonical sequences);
+//! 2. [`Bender::execute`] it against a chip of the module under test;
+//! 3. inspect the captured reads and semantic [`dram_core::OpOutcome`]s.
+//!
+//! [DRAM Bender]: https://github.com/CMU-SAFARI/DRAM-Bender
+//!
+//! ## Example
+//!
+//! ```
+//! use bender::{Bender, ProgramBuilder};
+//! use dram_core::{BankId, Bit, ChipId, DramModule, GlobalRow};
+//!
+//! let cfg = dram_core::config::table1().remove(0).with_modeled_cols(16);
+//! let mut bender = Bender::new(DramModule::new(cfg));
+//! bender.write_row(ChipId(0), BankId(0), GlobalRow(4), vec![Bit::One; 16])?;
+//! let row = bender.read_row(ChipId(0), BankId(0), GlobalRow(4))?;
+//! assert_eq!(row, vec![Bit::One; 16]);
+//! # Ok::<(), bender::BenderError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+mod error;
+mod executor;
+mod program;
+
+pub use error::{BenderError, Result};
+pub use executor::{Bender, Execution, ReadRecord};
+pub use program::{DdrCommand, Program, ProgramBuilder, TimedCommand};

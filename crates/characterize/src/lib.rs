@@ -1,0 +1,43 @@
+//! # characterize — the FCDRAM experiment harness
+//!
+//! Regenerates every table and figure of *"Functionally-Complete
+//! Boolean Logic in Real DRAM Chips"* (HPCA 2024) against the
+//! simulated chip fleet:
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `table1` | Table 1 — module inventory |
+//! | `fig5`   | coverage of N_RF:N_RL activation types |
+//! | `fig7`–`fig12` | NOT characterization (dest rows, pattern family, distance, temperature, speed, die) |
+//! | `fig15`–`fig21` | AND/NAND/OR/NOR characterization (inputs, input weight, distance, data pattern, temperature, speed, die) |
+//! | `capabilities` | extended-version per-module capability inventory |
+//! | `arith` | extension: `simdram` word arithmetic on the characterized gates |
+//!
+//! Run `characterize all` for everything, or name individual
+//! experiments; `--quick` trades fidelity for speed and `--json PATH`
+//! dumps machine-readable results.
+//!
+//! ## Example
+//!
+//! ```
+//! use characterize::runner::{ModuleCtx, Scale};
+//!
+//! let scale = Scale::quick();
+//! let cfg = dram_core::config::table1().remove(0);
+//! let mut fleet = vec![ModuleCtx::build(&cfg, &scale)?];
+//! let table = characterize::experiments::run_experiment("fig7", &mut fleet, &scale).unwrap();
+//! assert!(table.render().contains("fig7"));
+//! # Ok::<(), fcdram::FcdramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod patterns;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use report::{Row, Table};
+pub use runner::{ModuleCtx, Scale};

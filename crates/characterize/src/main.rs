@@ -1,0 +1,80 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+
+use characterize::experiments::{run_experiment, ALL_IDS};
+use characterize::report::to_json;
+use characterize::runner::{build_fleet, Scale};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
+
+EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
+            fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
+            capabilities all
+            (default: all)
+--quick     reduced scale (fast; used by tests and benches)
+--json PATH additionally write results as JSON
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_IDS.iter().map(|s| s.to_string()));
+    }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment '{id}'\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let scale = if quick { Scale::quick() } else { Scale::standard() };
+    eprintln!(
+        "building fleet: 22 modules at {} columns/row, map budget {} pairs ...",
+        scale.cols, scale.map_budget
+    );
+    let mut fleet = build_fleet(&scale, false);
+    eprintln!("fleet ready ({} modules). running: {}", fleet.len(), ids.join(", "));
+
+    let mut tables = Vec::new();
+    for id in &ids {
+        eprintln!("running {id} ...");
+        match run_experiment(id, &mut fleet, &scale) {
+            Some(t) => {
+                println!("{}", t.render());
+                tables.push(t);
+            }
+            None => unreachable!("ids validated above"),
+        }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, to_json(&tables)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

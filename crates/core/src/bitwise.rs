@@ -1,0 +1,654 @@
+//! Bulk bitwise engine: a user-facing vector API over the in-DRAM
+//! operations.
+//!
+//! Vectors live on the *shared column half* of rows in the compute
+//! subarray of a discovered pair, so every operation is a genuine
+//! in-DRAM bulk operation over `cols/2` bits. An optional repetition
+//! mode majority-votes k executions per operation, trading bandwidth
+//! for reliability (the paper's future-work direction).
+
+use crate::error::{FcdramError, Result};
+use crate::mapping::{ActivationMap, InSubarrayEntry};
+use crate::ops::Fcdram;
+use dram_core::{BankId, Bit, GlobalRow, LocalRow, LogicOp, SubarrayId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Handle to an allocated in-DRAM bit vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVecHandle {
+    row: GlobalRow,
+    len: usize,
+}
+
+impl BitVecHandle {
+    /// Number of usable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing DRAM row.
+    pub fn row(&self) -> GlobalRow {
+        self.row
+    }
+}
+
+/// Statistics of one executed bulk operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Number of in-DRAM executions performed (>1 under repetition).
+    pub executions: usize,
+    /// Fraction of result bits that matched the ideal result.
+    pub accuracy: f64,
+    /// Mean per-cell success probability the model assigned.
+    pub predicted_success: f64,
+}
+
+/// The bulk bitwise engine.
+#[derive(Debug)]
+pub struct BulkEngine {
+    fc: Fcdram,
+    bank: BankId,
+    map: ActivationMap,
+    com_subarray: SubarrayId,
+    shared_cols: Vec<usize>,
+    free_rows: Vec<GlobalRow>,
+    repetition: usize,
+    maj_entry: Option<InSubarrayEntry>,
+}
+
+impl BulkEngine {
+    /// Builds an engine on `bank` of the chip, discovering the
+    /// activation map of subarray pair `(pair_upper, pair_upper+1)`.
+    ///
+    /// Only the rows of the pattern entries the engine actually
+    /// executes through (the first discovered entry of each needed
+    /// shape: the NOT destination pattern and the `N:N` entries for
+    /// N ∈ {2, 4, 8, 16}) are reserved as operation scratch; the rest
+    /// of the compute subarray is the allocation pool.
+    pub fn new(fc: Fcdram, bank: BankId, pair_upper: SubarrayId) -> Result<Self> {
+        BulkEngine::with_budget(fc, bank, pair_upper, 16_384)
+    }
+
+    /// As [`BulkEngine::new`] with an explicit discovery scan budget
+    /// (`(R_F, R_L)` address pairs probed while mapping the subarray
+    /// pair). Smaller budgets build faster but may miss the larger
+    /// activation shapes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when discovery finds no usable activation pattern on
+    /// this part (e.g., Micron behaviour).
+    pub fn with_budget(
+        mut fc: Fcdram,
+        bank: BankId,
+        pair_upper: SubarrayId,
+        scan_budget: usize,
+    ) -> Result<Self> {
+        let pair = (pair_upper, SubarrayId(pair_upper.index() + 1));
+        let map = fc.discover(bank, pair, scan_budget)?;
+        let geom = fc.config().geometry();
+        let shared_cols: Vec<usize> = (0..geom.cols())
+            .filter(|c| dram_core::is_shared_col(pair.0, dram_core::Col(*c)))
+            .collect();
+        // Reserve exactly the entries `not`/`logic` will select.
+        let mut reserved: BTreeSet<LocalRow> = BTreeSet::new();
+        for n_dst in [1usize, 2] {
+            if let Some(e) = map.find_dst(n_dst).first() {
+                reserved.extend(e.second_rows.iter().copied());
+            }
+        }
+        for n in [2usize, 4, 8, 16] {
+            if let Some(e) = map.find_nn(n) {
+                reserved.extend(e.second_rows.iter().copied());
+            }
+        }
+        let com_sub = pair.1;
+        // Ambit-style in-subarray majority: keep one four-row
+        // activation set in the compute subarray when the part has one
+        // (SK Hynix behaviour), reserving its rows as scratch.
+        let chip = fc.chip();
+        let maj_entry = crate::mapping::discover_in_subarray(
+            fc.bender_mut(),
+            chip,
+            bank,
+            com_sub,
+            scan_budget.min(4_096),
+            2,
+        )
+        .ok()
+        .and_then(|sets| sets.get(&4).and_then(|v| v.first().cloned()));
+        if let Some(e) = &maj_entry {
+            reserved.extend(e.rows.iter().copied());
+        }
+        let free_rows: Vec<GlobalRow> = (0..geom.rows_per_subarray())
+            .filter(|r| !reserved.contains(&LocalRow(*r)))
+            .map(|r| geom.join_row(com_sub, LocalRow(r)).expect("in range"))
+            .collect();
+        Ok(BulkEngine {
+            fc,
+            bank,
+            map,
+            com_subarray: com_sub,
+            shared_cols,
+            free_rows,
+            repetition: 1,
+            maj_entry,
+        })
+    }
+
+    /// Whether this part offers Ambit-style in-subarray majority (a
+    /// four-row simultaneous activation set was discovered in the
+    /// compute subarray).
+    pub fn has_native_maj(&self) -> bool {
+        self.maj_entry.is_some()
+    }
+
+    /// Bits per vector (the shared column half of a row).
+    pub fn capacity_bits(&self) -> usize {
+        self.shared_cols.len()
+    }
+
+    /// The discovered activation map (for inspection).
+    pub fn map(&self) -> &ActivationMap {
+        &self.map
+    }
+
+    /// The compute subarray vectors are allocated in.
+    pub fn compute_subarray(&self) -> SubarrayId {
+        self.com_subarray
+    }
+
+    /// Sets the chip temperature (operations degrade slightly when
+    /// hot; the paper's Figs. 10 and 19).
+    pub fn set_temperature(&mut self, t: dram_core::Temperature) {
+        self.fc.set_temperature(t);
+    }
+
+    /// Enables k-fold repetition with majority voting (k odd).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even or zero.
+    pub fn set_repetition(&mut self, k: usize) {
+        assert!(k >= 1 && k % 2 == 1, "repetition must be odd and >= 1");
+        self.repetition = k;
+    }
+
+    /// Allocates a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FcdramError::OutOfRows`] when the pool is exhausted.
+    pub fn alloc(&mut self) -> Result<BitVecHandle> {
+        let row = self.free_rows.pop().ok_or(FcdramError::OutOfRows)?;
+        Ok(BitVecHandle { row, len: self.shared_cols.len() })
+    }
+
+    /// Frees a vector, returning its row to the pool.
+    pub fn free(&mut self, v: BitVecHandle) {
+        self.free_rows.push(v.row);
+    }
+
+    /// Writes host bits into a vector.
+    pub fn write(&mut self, v: &BitVecHandle, bits: &[bool]) -> Result<()> {
+        if bits.len() != v.len {
+            return Err(FcdramError::WidthMismatch { expected: v.len, got: bits.len() });
+        }
+        let row = self.expand(bits);
+        self.fc.write_row(self.bank, v.row, row)
+    }
+
+    /// Reads a vector back to host bits.
+    pub fn read(&mut self, v: &BitVecHandle) -> Result<Vec<bool>> {
+        let row = self.fc.read_row(self.bank, v.row)?;
+        Ok(self.shared_cols.iter().map(|c| row[*c].as_bool()).collect())
+    }
+
+    /// In-DRAM NOT: `out ← ¬a`.
+    pub fn not(&mut self, a: &BitVecHandle, out: &BitVecHandle) -> Result<OpStats> {
+        let ideal: Vec<bool> = self.read(a)?.iter().map(|b| !b).collect();
+        let entry = self
+            .map
+            .find_dst(1)
+            .first()
+            .cloned()
+            .cloned()
+            .or_else(|| self.map.find_dst(2).first().cloned().cloned())
+            .ok_or(FcdramError::NoPattern { n_rf: 1, n_rl: 1 })?;
+        let src_full = {
+            let bits = self.read(a)?;
+            self.expand(&bits)
+        };
+        let mut votes = vec![0usize; self.shared_cols.len()];
+        let mut predicted = 0.0;
+        for _ in 0..self.repetition {
+            let report = self.fc.execute_not(self.bank, &entry, &src_full)?;
+            predicted += report.predicted_success;
+            let (_, data) = &report.dst_reads[0];
+            for (i, c) in self.shared_cols.iter().enumerate() {
+                if data[*c].as_bool() {
+                    votes[i] += 1;
+                }
+            }
+        }
+        self.finish(out, votes, ideal, predicted)
+    }
+
+    /// In-DRAM N-input logic: `out ← op(inputs...)`.
+    ///
+    /// Uses the smallest discovered `N:N` pattern with `N ≥
+    /// inputs.len()`, identity-padding unused rows.
+    pub fn logic(
+        &mut self,
+        op: LogicOp,
+        inputs: &[&BitVecHandle],
+        out: &BitVecHandle,
+    ) -> Result<OpStats> {
+        if inputs.len() < 2 {
+            return Err(FcdramError::BadInputCount { n: inputs.len(), max: 16 });
+        }
+        let n = [2usize, 4, 8, 16]
+            .into_iter()
+            .find(|n| *n >= inputs.len() && self.map.find_nn(*n).is_some())
+            .ok_or(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: self.fc.config().max_op_inputs(),
+            })?;
+        let entry = self.map.find_nn(n).expect("checked").clone();
+
+        let host_inputs: Vec<Vec<bool>> =
+            inputs.iter().map(|h| self.read(h)).collect::<Result<_>>()?;
+        let ideal: Vec<bool> = (0..self.shared_cols.len())
+            .map(|i| {
+                let agg = if op.is_and_family() {
+                    host_inputs.iter().all(|v| v[i])
+                } else {
+                    host_inputs.iter().any(|v| v[i])
+                };
+                if op.is_inverted_terminal() {
+                    !agg
+                } else {
+                    agg
+                }
+            })
+            .collect();
+        let rows: Vec<Vec<Bit>> = host_inputs.iter().map(|v| self.expand(v)).collect();
+
+        let mut votes = vec![0usize; self.shared_cols.len()];
+        let mut predicted = 0.0;
+        for _ in 0..self.repetition {
+            let report = self.fc.execute_logic(self.bank, &entry, op, &rows)?;
+            predicted += report.predicted_success;
+            for (i, bit) in report.result.iter().enumerate() {
+                if bit.as_bool() {
+                    votes[i] += 1;
+                }
+            }
+        }
+        self.finish(out, votes, ideal, predicted)
+    }
+
+    /// Convenience wrappers.
+    pub fn and(&mut self, ins: &[&BitVecHandle], out: &BitVecHandle) -> Result<OpStats> {
+        self.logic(LogicOp::And, ins, out)
+    }
+
+    /// In-DRAM OR.
+    pub fn or(&mut self, ins: &[&BitVecHandle], out: &BitVecHandle) -> Result<OpStats> {
+        self.logic(LogicOp::Or, ins, out)
+    }
+
+    /// In-DRAM NAND.
+    pub fn nand(&mut self, ins: &[&BitVecHandle], out: &BitVecHandle) -> Result<OpStats> {
+        self.logic(LogicOp::Nand, ins, out)
+    }
+
+    /// In-DRAM NOR.
+    pub fn nor(&mut self, ins: &[&BitVecHandle], out: &BitVecHandle) -> Result<OpStats> {
+        self.logic(LogicOp::Nor, ins, out)
+    }
+
+    /// In-DRAM three-input majority via Ambit-style simultaneous
+    /// four-row activation in the compute subarray:
+    /// `MAJ4(a, b, c, 1) = MAJ3(a, b, c)` (the all-1 fourth row turns
+    /// the ≥3-of-4 threshold into ≥2-of-3).
+    ///
+    /// This is the baseline operation lineage the paper builds on
+    /// (§2.2, §8.1); it computes the carry of a full adder in a single
+    /// command sequence where the functionally-complete gate set needs
+    /// four.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FcdramError::OpFailed`] when the part has no four-row
+    /// in-subarray activation set (check [`BulkEngine::has_native_maj`]).
+    pub fn maj3(
+        &mut self,
+        a: &BitVecHandle,
+        b: &BitVecHandle,
+        c: &BitVecHandle,
+        out: &BitVecHandle,
+    ) -> Result<OpStats> {
+        let entry = self.maj_entry.clone().ok_or_else(|| FcdramError::OpFailed {
+            detail: "no four-row in-subarray activation set discovered".to_string(),
+        })?;
+        let (da, db, dc) = (self.read(a)?, self.read(b)?, self.read(c)?);
+        let ideal: Vec<bool> = (0..self.shared_cols.len())
+            .map(|i| u8::from(da[i]) + u8::from(db[i]) + u8::from(dc[i]) >= 2)
+            .collect();
+        let cols = self.fc.config().modeled_cols;
+        let inputs = vec![
+            self.expand(&da),
+            self.expand(&db),
+            self.expand(&dc),
+            vec![Bit::One; cols],
+        ];
+        let mut votes = vec![0usize; self.shared_cols.len()];
+        let mut predicted = 0.0;
+        for _ in 0..self.repetition {
+            let report = self.fc.execute_maj(self.bank, &entry, &inputs)?;
+            predicted += report.predicted_success;
+            for (i, col) in self.shared_cols.iter().enumerate() {
+                if report.result.get(*col).is_some_and(|b| b.as_bool()) {
+                    votes[i] += 1;
+                }
+            }
+        }
+        self.finish(out, votes, ideal, predicted)
+    }
+
+    /// In-DRAM copy (`out ← a`) via in-subarray RowClone.
+    ///
+    /// Both vectors live in the compute subarray, so the copy is a
+    /// sub-`tRP` `ACT → PRE → ACT` pair that never moves data over the
+    /// channel. Row pairs that do not clone on this chip (the decoder
+    /// glitch predicate rejects them) fall back to a host read +
+    /// write; the fallback is reported with `executions: 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device addressing errors; the non-cloning-pair case
+    /// is handled internally by the fallback.
+    pub fn copy(&mut self, a: &BitVecHandle, out: &BitVecHandle) -> Result<OpStats> {
+        let ideal = self.read(a)?;
+        match self.fc.rowclone(self.bank, a.row, out.row) {
+            Ok(outcome) => {
+                let got = self.read(out)?;
+                let accuracy = got.iter().zip(&ideal).filter(|(x, y)| x == y).count() as f64
+                    / ideal.len().max(1) as f64;
+                let predicted =
+                    outcome.mean_success(dram_core::CellRole::CloneDst).unwrap_or(1.0);
+                Ok(OpStats { executions: 1, accuracy, predicted_success: predicted })
+            }
+            Err(_) => {
+                self.write(out, &ideal)?;
+                Ok(OpStats { executions: 0, accuracy: 1.0, predicted_success: 1.0 })
+            }
+        }
+    }
+
+    /// Fills a vector with a constant bit (a host row write; see
+    /// [`Fcdram::broadcast`] for the amortized in-DRAM bulk
+    /// initialization of many rows at once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device addressing errors.
+    pub fn fill(&mut self, v: &BitVecHandle, value: bool) -> Result<()> {
+        let bits = vec![value; v.len];
+        self.write(v, &bits)
+    }
+
+    /// The module configuration of the underlying chip.
+    pub fn config(&self) -> &dram_core::ModuleConfig {
+        self.fc.config()
+    }
+
+    fn expand(&self, bits: &[bool]) -> Vec<Bit> {
+        let cols = self.fc.config().modeled_cols;
+        let mut row = vec![Bit::Zero; cols];
+        for (i, c) in self.shared_cols.iter().enumerate() {
+            row[*c] = Bit::from(bits[i]);
+        }
+        row
+    }
+
+    fn finish(
+        &mut self,
+        out: &BitVecHandle,
+        votes: Vec<usize>,
+        ideal: Vec<bool>,
+        predicted_sum: f64,
+    ) -> Result<OpStats> {
+        let k = self.repetition;
+        let result: Vec<bool> = votes.iter().map(|v| 2 * v > k).collect();
+        let accuracy =
+            result.iter().zip(&ideal).filter(|(a, b)| a == b).count() as f64 / ideal.len() as f64;
+        self.write(out, &result)?;
+        Ok(OpStats {
+            executions: k,
+            accuracy,
+            predicted_success: predicted_sum / k as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::config::table1;
+
+    fn engine() -> BulkEngine {
+        let cfg = table1().into_iter().next().unwrap().with_modeled_cols(64);
+        BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0)).unwrap()
+    }
+
+    fn bits(seed: u64, n: usize) -> Vec<bool> {
+        (0..n)
+            .map(|c| dram_core::math::hash_to_unit(dram_core::math::mix2(seed, c as u64)) < 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut e = engine();
+        assert_eq!(e.capacity_bits(), 32);
+        let v = e.alloc().unwrap();
+        let data = bits(1, 32);
+        e.write(&v, &data).unwrap();
+        assert_eq!(e.read(&v).unwrap(), data);
+    }
+
+    #[test]
+    fn alloc_exhaustion_and_free() {
+        let mut e = engine();
+        let mut handles = Vec::new();
+        loop {
+            match e.alloc() {
+                Ok(h) => handles.push(h),
+                Err(FcdramError::OutOfRows) => break,
+                Err(other) => panic!("{other}"),
+            }
+        }
+        assert!(!handles.is_empty());
+        let h = handles.pop().unwrap();
+        e.free(h);
+        assert!(e.alloc().is_ok());
+    }
+
+    #[test]
+    fn bulk_not_inverts_mostly() {
+        let mut e = engine();
+        let a = e.alloc().unwrap();
+        let out = e.alloc().unwrap();
+        let data = bits(2, 32);
+        e.write(&a, &data).unwrap();
+        let stats = e.not(&a, &out).unwrap();
+        assert!(stats.accuracy > 0.9, "accuracy {}", stats.accuracy);
+        let got = e.read(&out).unwrap();
+        let expect: Vec<bool> = data.iter().map(|b| !b).collect();
+        let same = got.iter().zip(&expect).filter(|(x, y)| x == y).count();
+        assert!(same >= 29, "{same}/32");
+    }
+
+    #[test]
+    fn bulk_and_or() {
+        let mut e = engine();
+        let a = e.alloc().unwrap();
+        let b = e.alloc().unwrap();
+        let out = e.alloc().unwrap();
+        let da = bits(3, 32);
+        let db = bits(4, 32);
+        e.write(&a, &da).unwrap();
+        e.write(&b, &db).unwrap();
+        let s_and = e.and(&[&a, &b], &out).unwrap();
+        assert!(s_and.accuracy > 0.6, "AND accuracy {}", s_and.accuracy);
+        // Inputs must be intact afterwards (re-written each execution).
+        assert_eq!(e.read(&a).unwrap(), da);
+        let s_or = e.or(&[&a, &b], &out).unwrap();
+        assert!(s_or.accuracy > 0.7, "OR accuracy {}", s_or.accuracy);
+    }
+
+    #[test]
+    fn repetition_improves_accuracy() {
+        let mut e = engine();
+        let a = e.alloc().unwrap();
+        let b = e.alloc().unwrap();
+        let out = e.alloc().unwrap();
+        e.write(&a, &bits(5, 32)).unwrap();
+        e.write(&b, &bits(6, 32)).unwrap();
+        let single = e.and(&[&a, &b], &out).unwrap();
+        e.set_repetition(9);
+        let voted = e.and(&[&a, &b], &out).unwrap();
+        assert_eq!(voted.executions, 9);
+        assert!(
+            voted.accuracy >= single.accuracy - 0.05,
+            "voted {} vs single {}",
+            voted.accuracy,
+            single.accuracy
+        );
+    }
+
+    #[test]
+    fn three_input_or_uses_padding() {
+        let mut e = engine();
+        let a = e.alloc().unwrap();
+        let b = e.alloc().unwrap();
+        let c = e.alloc().unwrap();
+        let out = e.alloc().unwrap();
+        let (da, db, dc) = (bits(7, 32), bits(8, 32), bits(9, 32));
+        e.write(&a, &da).unwrap();
+        e.write(&b, &db).unwrap();
+        e.write(&c, &dc).unwrap();
+        let stats = e.or(&[&a, &b, &c], &out).unwrap();
+        assert!(stats.accuracy > 0.55, "{}", stats.accuracy);
+    }
+
+    #[test]
+    fn single_input_logic_rejected() {
+        let mut e = engine();
+        let a = e.alloc().unwrap();
+        let out = e.alloc().unwrap();
+        let err = e.and(&[&a], &out).unwrap_err();
+        assert!(matches!(err, FcdramError::BadInputCount { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition must be odd")]
+    fn even_repetition_panics() {
+        let mut e = engine();
+        e.set_repetition(2);
+    }
+
+    #[test]
+    fn copy_and_fill_round_trip() {
+        let mut e = engine();
+        let a = e.alloc().unwrap();
+        let b = e.alloc().unwrap();
+        let data = bits(10, 32);
+        e.write(&a, &data).unwrap();
+        let stats = e.copy(&a, &b).unwrap();
+        assert!(stats.accuracy > 0.9, "copy accuracy {}", stats.accuracy);
+        let got = e.read(&b).unwrap();
+        let same = got.iter().zip(&data).filter(|(x, y)| x == y).count();
+        assert!(same >= 29, "{same}/32 cells copied");
+        e.fill(&b, true).unwrap();
+        assert_eq!(e.read(&b).unwrap(), vec![true; 32]);
+        e.fill(&b, false).unwrap();
+        assert_eq!(e.read(&b).unwrap(), vec![false; 32]);
+    }
+
+    #[test]
+    fn ops_never_corrupt_unrelated_vectors() {
+        // The allocation pool must be disjoint from the reserved
+        // operation scratch rows: filling every allocatable vector
+        // with known data and then executing each operation kind must
+        // leave all uninvolved vectors bit-identical.
+        let mut e = engine();
+        let mut handles = Vec::new();
+        while let Ok(h) = e.alloc() {
+            handles.push(h);
+        }
+        assert!(handles.len() >= 8, "pool too small: {}", handles.len());
+        let snapshots: Vec<Vec<bool>> = handles
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let data = bits(1000 + i as u64, 32);
+                e.write(h, &data).unwrap();
+                data
+            })
+            .collect();
+
+        let (a, b, c, out) = (handles[0], handles[1], handles[2], handles[3]);
+        e.not(&a, &out).unwrap();
+        e.and(&[&a, &b], &out).unwrap();
+        e.nor(&[&a, &b, &c], &out).unwrap();
+        e.copy(&a, &out).unwrap();
+        if e.has_native_maj() {
+            e.maj3(&a, &b, &c, &out).unwrap();
+        }
+
+        for (i, h) in handles.iter().enumerate().skip(4) {
+            assert_eq!(
+                e.read(h).unwrap(),
+                snapshots[i],
+                "vector {i} was corrupted by an unrelated operation"
+            );
+        }
+        // The inputs themselves also survive (operands are staged).
+        for (i, h) in [a, b, c].iter().enumerate() {
+            assert_eq!(e.read(h).unwrap(), snapshots[i], "input {i} clobbered");
+        }
+    }
+
+    #[test]
+    fn native_maj3_computes_majority() {
+        let mut e = engine();
+        assert!(e.has_native_maj(), "SK Hynix parts discover a 4-row set");
+        let a = e.alloc().unwrap();
+        let b = e.alloc().unwrap();
+        let c = e.alloc().unwrap();
+        let out = e.alloc().unwrap();
+        let (da, db, dc) = (bits(11, 32), bits(12, 32), bits(13, 32));
+        e.write(&a, &da).unwrap();
+        e.write(&b, &db).unwrap();
+        e.write(&c, &dc).unwrap();
+        let stats = e.maj3(&a, &b, &c, &out).unwrap();
+        assert!(stats.accuracy > 0.5, "maj accuracy {}", stats.accuracy);
+        let got = e.read(&out).unwrap();
+        let ideal: Vec<bool> = (0..32)
+            .map(|i| u8::from(da[i]) + u8::from(db[i]) + u8::from(dc[i]) >= 2)
+            .collect();
+        let same = got.iter().zip(&ideal).filter(|(x, y)| x == y).count();
+        assert!(same >= 20, "{same}/32 majority cells correct");
+        // Inputs survive (operands are staged, never clobbered).
+        assert_eq!(e.read(&a).unwrap(), da);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for the fcdram library.
+
+use bender::BenderError;
+use dram_core::DramError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors raised by the fcdram library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FcdramError {
+    /// The testing infrastructure failed.
+    Bender(BenderError),
+    /// No activation pattern of the requested shape was discovered on
+    /// this chip (not every chip supports every N_RF:N_RL shape).
+    NoPattern {
+        /// Requested rows in the first subarray.
+        n_rf: usize,
+        /// Requested rows in the second subarray.
+        n_rl: usize,
+    },
+    /// The operation input count is not expressible (must be 2..=16 on
+    /// N:N-capable parts; this chip may support less).
+    BadInputCount {
+        /// Requested inputs.
+        n: usize,
+        /// Maximum this chip supports.
+        max: usize,
+    },
+    /// A data buffer did not match the expected width.
+    WidthMismatch {
+        /// Expected number of bits.
+        expected: usize,
+        /// Provided number of bits.
+        got: usize,
+    },
+    /// The engine ran out of free rows for allocation.
+    OutOfRows,
+    /// The operation produced no usable outcome (e.g. the chip ignored
+    /// the violating sequence — Micron behaviour).
+    OpFailed {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FcdramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FcdramError::Bender(e) => write!(f, "infrastructure error: {e}"),
+            FcdramError::NoPattern { n_rf, n_rl } => {
+                write!(f, "no {n_rf}:{n_rl} activation pattern discovered on this chip")
+            }
+            FcdramError::BadInputCount { n, max } => {
+                write!(f, "unsupported input count {n} (chip supports up to {max})")
+            }
+            FcdramError::WidthMismatch { expected, got } => {
+                write!(f, "data width mismatch: expected {expected} bits, got {got}")
+            }
+            FcdramError::OutOfRows => write!(f, "no free rows left for allocation"),
+            FcdramError::OpFailed { detail } => write!(f, "operation failed: {detail}"),
+        }
+    }
+}
+
+impl StdError for FcdramError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FcdramError::Bender(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BenderError> for FcdramError {
+    fn from(e: BenderError) -> Self {
+        FcdramError::Bender(e)
+    }
+}
+
+impl From<DramError> for FcdramError {
+    fn from(e: DramError) -> Self {
+        FcdramError::Bender(BenderError::Device(e))
+    }
+}
+
+/// Result alias for library operations.
+pub type Result<T> = std::result::Result<T, FcdramError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(FcdramError::NoPattern { n_rf: 8, n_rl: 16 }.to_string().contains("8:16"));
+        assert!(FcdramError::BadInputCount { n: 3, max: 16 }.to_string().contains('3'));
+        assert!(FcdramError::OutOfRows.to_string().contains("free rows"));
+    }
+
+    #[test]
+    fn conversions() {
+        let d = DramError::IllegalCommand { detail: "x".into() };
+        let e: FcdramError = d.into();
+        assert!(matches!(e, FcdramError::Bender(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FcdramError>();
+    }
+}

@@ -1,0 +1,60 @@
+//! # fcdram — functionally-complete Boolean logic in (simulated) DRAM
+//!
+//! A library reproduction of *"Functionally-Complete Boolean Logic in
+//! Real DRAM Chips: Experimental Characterization and Analysis"*
+//! (Yüksel et al., HPCA 2024). It implements, over a behavioral DDR4
+//! device model and a DRAM-Bender-style command interface:
+//!
+//! * **reverse engineering** — subarray boundaries via RowClone
+//!   probing, physical row order via RowHammer, and the
+//!   `N_RF:N_RL` activation-pattern map of every neighboring subarray
+//!   pair ([`mapping`], [`row_order`]);
+//! * **in-DRAM operations** — RowClone, `Frac` (VDD/2), NOT, and
+//!   N-input AND / OR / NAND / NOR for N up to 16 ([`ops`]);
+//! * **a bulk bitwise engine** — allocate bit vectors in DRAM and
+//!   combine them with in-DRAM gates, optionally with repetition
+//!   voting for reliability ([`bitwise`]);
+//! * **success-rate metrics** matching the paper's methodology
+//!   ([`success`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fcdram::{BulkEngine, Fcdram};
+//! use dram_core::{BankId, SubarrayId};
+//!
+//! // Chip 0 of the first Table-1 module, narrowed for the doctest.
+//! let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
+//! let mut engine = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0))?;
+//! let a = engine.alloc()?;
+//! let b = engine.alloc()?;
+//! let out = engine.alloc()?;
+//! engine.write(&a, &vec![true; engine.capacity_bits()])?;
+//! engine.write(&b, &vec![true; engine.capacity_bits()])?;
+//! let stats = engine.and(&[&a, &b], &out)?;
+//! assert!(stats.accuracy > 0.0);
+//! # Ok::<(), fcdram::FcdramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitwise;
+pub mod error;
+pub mod mapping;
+pub mod ops;
+pub mod row_order;
+pub mod success;
+
+pub use bitwise::{BitVecHandle, BulkEngine, OpStats};
+pub use error::{FcdramError, Result};
+pub use mapping::{ActivationMap, CoverageRow, InSubarrayEntry, PatternEntry};
+pub use ops::{Fcdram, LogicReport, MajReport, NotReport};
+pub use row_order::{discover_row_order, RowOrder};
+pub use success::{sample_trials, sampled_success_rate, SuccessStats};
+
+// Re-export the device-model vocabulary users need at the API surface.
+pub use dram_core::{
+    BankId, Bit, ChipId, GlobalRow, LocalRow, LogicOp, ModuleConfig, PatternKind, SubarrayId,
+    Temperature,
+};

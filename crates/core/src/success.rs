@@ -1,0 +1,167 @@
+//! Success-rate metrics: the paper's central reliability measure.
+//!
+//! The *success rate* of a cell is the fraction of trials in which it
+//! stores the correct operation result (§5.2 "Metric"). This module
+//! provides both the Monte-Carlo view (sampling trials from per-cell
+//! probabilities, as the hardware experiments do with 10,000 trials)
+//! and the analytic limit (using the probabilities directly).
+
+use dram_core::math::{mix2, mix3};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-cell success probabilities into summary statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuccessStats {
+    values: Vec<f64>,
+}
+
+impl SuccessStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one cell's success rate.
+    pub fn push(&mut self, p: f64) {
+        self.values.push(p.clamp(0.0, 1.0));
+    }
+
+    /// Adds many cells' success rates.
+    pub fn extend_from(&mut self, ps: impl IntoIterator<Item = f64>) {
+        for p in ps {
+            self.push(p);
+        }
+    }
+
+    /// Number of cells recorded.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean success rate (the paper's "average success rate").
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Minimum success rate.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum success rate.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NAN, f64::max)
+    }
+
+    /// Fraction of cells with success rate above `threshold` (the
+    /// paper preselects cells >90% for several experiments).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|p| **p > threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// The recorded values (unsorted).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Deterministically samples the number of successes in `trials`
+/// Bernoulli trials of probability `p`, keyed by `key` — the cheap way
+/// to reproduce the paper's 10,000-trial counts from one execution's
+/// per-cell probability.
+pub fn sample_trials(p: f64, trials: u32, key: u64) -> u32 {
+    let p = p.clamp(0.0, 1.0);
+    let mut successes = 0u32;
+    for t in 0..trials {
+        let u = dram_core::math::hash_to_unit(mix3(key, t as u64, 0x7124));
+        if u < p {
+            successes += 1;
+        }
+    }
+    successes
+}
+
+/// Measured success rate over sampled trials.
+pub fn sampled_success_rate(p: f64, trials: u32, key: u64) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    f64::from(sample_trials(p, trials, key)) / f64::from(trials)
+}
+
+/// Convenience: a stable key for a cell coordinate.
+pub fn cell_key(bank: usize, subarray: usize, row: usize, col: usize) -> u64 {
+    mix2(
+        ((bank as u64) << 48) | ((subarray as u64) << 32) | row as u64,
+        col as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let mut s = SuccessStats::new();
+        s.extend_from([0.5, 1.0, 0.75, 0.25]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 0.625).abs() < 1e-12);
+        assert_eq!(s.min(), 0.25);
+        assert_eq!(s.max(), 1.0);
+        assert!((s.fraction_above(0.4) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_clamp_out_of_range() {
+        let mut s = SuccessStats::new();
+        s.push(1.7);
+        s.push(-0.2);
+        assert_eq!(s.max(), 1.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SuccessStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.fraction_above(0.5), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn trials_converge_to_probability() {
+        for &p in &[0.1, 0.5, 0.9837] {
+            let rate = sampled_success_rate(p, 10_000, 42);
+            assert!((rate - p).abs() < 0.02, "p={p} rate={rate}");
+        }
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        assert_eq!(sample_trials(0.5, 1000, 7), sample_trials(0.5, 1000, 7));
+        assert_ne!(sample_trials(0.5, 10_000, 7), sample_trials(0.5, 10_000, 8));
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(sample_trials(0.0, 1000, 1), 0);
+        assert_eq!(sample_trials(1.0, 1000, 1), 1000);
+        assert_eq!(sampled_success_rate(0.5, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn cell_keys_are_distinct() {
+        let a = cell_key(0, 1, 2, 3);
+        let b = cell_key(0, 1, 2, 4);
+        let c = cell_key(0, 1, 3, 3);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,1261 @@
+//! One DRAM chip: banks, the row-decoder glitch model, the reliability
+//! model, and the analog semantics of every command sequence the paper
+//! exploits.
+//!
+//! The chip exposes *semantic* operations (`activate`, `precharge`,
+//! [`Chip::multi_act_copy`], [`Chip::multi_act_charge_share`],
+//! [`Chip::frac`], `write_open`, reads). The `bender` crate translates
+//! cycle-timed DDR4 command streams into these calls; the `fcdram`
+//! crate builds user-facing operations on top.
+//!
+//! Every mutating operation returns an [`OpOutcome`] describing, for
+//! each affected cell, the intended value, the success probability the
+//! reliability model assigned, and the actually sampled value. The
+//! *actual* values are what the cell array stores afterwards; the
+//! probabilities allow analytic (trials → ∞) success-rate analysis
+//! without re-executing.
+
+use crate::analog::classify_margin;
+use crate::bank::{Bank, OpenRows};
+use crate::config::ModuleConfig;
+use crate::error::{DramError, Result};
+use crate::geometry::Geometry;
+use crate::math::mix3;
+use crate::reliability::{CellRef, LogicEvent, LogicOp, MajEvent, NotEvent, ReliabilityModel};
+use crate::row_decoder::{MultiActivation, PatternKind, RowDecoder};
+use crate::thermal::Temperature;
+use crate::types::{is_shared_col, Bit, BankId, ChipId, Col, GlobalRow, LocalRow, SubarrayId};
+use serde::{Deserialize, Serialize};
+
+/// The role a cell played in an operation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellRole {
+    /// NOT destination: intended value is ¬src.
+    NotDst,
+    /// Extra row in the source subarray receiving a copy of src.
+    SrcCopy,
+    /// In-subarray RowClone destination.
+    CloneDst,
+    /// Compute-terminal result of a logic operation (AND/OR).
+    Compute,
+    /// Reference-terminal result of a logic operation (NAND/NOR).
+    Reference,
+    /// Majority result on the non-shared column half (extension).
+    OffMaj,
+    /// Cell written by a `Frac` operation (≈VDD/2).
+    Frac,
+}
+
+/// Per-cell record of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Subarray of the cell.
+    pub subarray: SubarrayId,
+    /// Row within the subarray.
+    pub row: LocalRow,
+    /// Column.
+    pub col: Col,
+    /// Role in the operation.
+    pub role: CellRole,
+    /// The value a perfectly reliable chip would have stored.
+    pub intended: Bit,
+    /// The value actually stored (sampled from the model).
+    pub actual: Bit,
+    /// Probability the model assigned to storing `intended`.
+    pub p_success: f64,
+}
+
+/// What kind of activation a violated sequence produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutcomeKind {
+    /// The violating command was ignored (Micron).
+    Ignored,
+    /// No simultaneous activation for this address pair.
+    NoGlitch,
+    /// Cross-subarray NOT/copy with the given shape.
+    Not {
+        /// Rows raised in the source subarray.
+        n_rf: usize,
+        /// Rows raised in the destination subarray.
+        n_rl: usize,
+        /// Activation family.
+        pattern: PatternKind,
+    },
+    /// Cross-subarray charge-sharing logic operation.
+    Logic {
+        /// Rows raised per side (N:N for well-formed operations).
+        n_ref: usize,
+        /// Rows raised on the compute side.
+        n_com: usize,
+        /// Whether the reference was AND-configured (bulk high).
+        and_family: bool,
+    },
+    /// Same-subarray multi-row activation (RowClone / in-subarray MAJ).
+    InSubarray {
+        /// Number of rows raised.
+        rows: usize,
+    },
+    /// Sequential-only chips cannot charge-share; nothing happened.
+    Unsupported,
+    /// A `Frac` fractional-value initialization.
+    Frac,
+}
+
+/// Result of a semantic operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpOutcome {
+    /// What happened.
+    pub kind: OutcomeKind,
+    /// Per-cell records (empty for `Ignored`/`NoGlitch`/`Unsupported`).
+    pub cells: Vec<CellOutcome>,
+}
+
+impl OpOutcome {
+    /// Mean success probability across cells with the given role.
+    pub fn mean_success(&self, role: CellRole) -> Option<f64> {
+        let sel: Vec<f64> =
+            self.cells.iter().filter(|c| c.role == role).map(|c| c.p_success).collect();
+        if sel.is_empty() {
+            None
+        } else {
+            Some(sel.iter().sum::<f64>() / sel.len() as f64)
+        }
+    }
+
+    /// Fraction of cells with the given role whose sampled value
+    /// matches the intent.
+    pub fn observed_accuracy(&self, role: CellRole) -> Option<f64> {
+        let sel: Vec<bool> = self
+            .cells
+            .iter()
+            .filter(|c| c.role == role)
+            .map(|c| c.intended == c.actual)
+            .collect();
+        if sel.is_empty() {
+            None
+        } else {
+            Some(sel.iter().filter(|b| **b).count() as f64 / sel.len() as f64)
+        }
+    }
+}
+
+/// One simulated DRAM chip.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    config: ModuleConfig,
+    id: ChipId,
+    geom: Geometry,
+    decoder: RowDecoder,
+    model: ReliabilityModel,
+    banks: Vec<Bank>,
+    temperature: Temperature,
+    op_counter: u64,
+}
+
+impl Chip {
+    /// Creates chip `id` of the module described by `config`.
+    pub fn new(config: ModuleConfig, id: ChipId) -> Self {
+        let geom = config.geometry();
+        let seed = config.chip_seed(id);
+        let decoder = RowDecoder::new(&config, seed);
+        let model = ReliabilityModel::new(&config, seed);
+        let banks = (0..geom.banks())
+            .map(|_| Bank::new(geom.subarrays_per_bank(), geom.rows_per_subarray(), geom.cols()))
+            .collect();
+        Chip {
+            config,
+            id,
+            geom,
+            decoder,
+            model,
+            banks,
+            temperature: Temperature::BASELINE,
+            op_counter: 0,
+        }
+    }
+
+    /// The module configuration this chip belongs to.
+    #[inline]
+    pub fn config(&self) -> &ModuleConfig {
+        &self.config
+    }
+
+    /// This chip's index within its module.
+    #[inline]
+    pub fn id(&self) -> ChipId {
+        self.id
+    }
+
+    /// The modeled geometry.
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The row-decoder model (for reverse-engineering flows).
+    #[inline]
+    pub fn decoder(&self) -> &RowDecoder {
+        &self.decoder
+    }
+
+    /// The reliability model (for analytic experiments).
+    #[inline]
+    pub fn reliability(&self) -> &ReliabilityModel {
+        &self.model
+    }
+
+    /// Current chip temperature.
+    #[inline]
+    pub fn temperature(&self) -> Temperature {
+        self.temperature
+    }
+
+    /// Sets the chip temperature (the heater-pad knob of the paper's
+    /// testing rig).
+    pub fn set_temperature(&mut self, t: Temperature) {
+        self.temperature = t;
+    }
+
+    fn bank_ref(&self, bank: BankId) -> Result<&Bank> {
+        self.geom.check_bank(bank)?;
+        Ok(&self.banks[bank.index()])
+    }
+
+    fn bank_mut_ref(&mut self, bank: BankId) -> Result<&mut Bank> {
+        self.geom.check_bank(bank)?;
+        Ok(&mut self.banks[bank.index()])
+    }
+
+    fn next_op(&mut self) -> u64 {
+        self.op_counter += 1;
+        self.op_counter
+    }
+
+    fn cell_key(op: u64, sub: SubarrayId, row: LocalRow, col: Col) -> u64 {
+        mix3(op, ((sub.index() as u64) << 32) | row.index() as u64, col.index() as u64)
+    }
+
+    // -----------------------------------------------------------------
+    // Plain DDR4 behaviour
+    // -----------------------------------------------------------------
+
+    /// Normal row activation (timings respected): opens exactly `row`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bank is already open or the address is invalid.
+    pub fn activate(&mut self, bank: BankId, row: GlobalRow) -> Result<()> {
+        self.geom.check_row(row)?;
+        let (sub, local) = self.geom.split_row(row)?;
+        let b = self.bank_mut_ref(bank)?;
+        if !b.is_precharged() {
+            return Err(DramError::IllegalCommand {
+                detail: format!("ACT {row} while bank {bank} is open"),
+            });
+        }
+        b.set_open(OpenRows { groups: vec![(sub, vec![local])], last_subarray: sub });
+        Ok(())
+    }
+
+    /// Normal precharge: closes the bank.
+    pub fn precharge(&mut self, bank: BankId) -> Result<()> {
+        self.bank_mut_ref(bank)?.close();
+        Ok(())
+    }
+
+    /// Reads the contents of `row` through a proper activate/read/
+    /// precharge sequence (bank must be precharged).
+    pub fn read_row(&mut self, bank: BankId, row: GlobalRow) -> Result<Vec<Bit>> {
+        self.activate(bank, row)?;
+        let (sub, local) = self.geom.split_row(row)?;
+        let vdd = self.model.analog().vdd;
+        let bits = {
+            let b = self.bank_mut_ref(bank)?;
+            b.subarray_mut(sub).read_bits(local, vdd)
+        };
+        self.precharge(bank)?;
+        Ok(bits)
+    }
+
+    /// Host-side direct row write (used to initialize experiments; the
+    /// command-accurate path is `activate` + `write_open` + `precharge`).
+    pub fn write_row_direct(&mut self, bank: BankId, row: GlobalRow, bits: &[Bit]) -> Result<()> {
+        if bits.len() != self.geom.cols() {
+            return Err(DramError::WidthMismatch { expected: self.geom.cols(), got: bits.len() });
+        }
+        let (sub, local) = self.geom.split_row(row)?;
+        let vdd = self.model.analog().vdd;
+        let b = self.bank_mut_ref(bank)?;
+        b.subarray_mut(sub).write_bits(local, bits, vdd);
+        Ok(())
+    }
+
+    /// Host-side direct row read (no state checks).
+    pub fn read_row_direct(&self, bank: BankId, row: GlobalRow) -> Result<Vec<Bit>> {
+        let (sub, local) = self.geom.split_row(row)?;
+        let vdd = self.model.analog().vdd;
+        let b = self.bank_ref(bank)?;
+        Ok(match b.subarray(sub) {
+            Some(s) => s.read_bits(local, vdd),
+            None => vec![Bit::Zero; self.geom.cols()],
+        })
+    }
+
+    /// `WR` overdrive to an *open* bank: every raised row in the
+    /// last-activated subarray stores `data` exactly; raised rows in a
+    /// neighboring subarray store `¬data` on the shared column half
+    /// (§4.2's subarray-mapping methodology relies on this).
+    pub fn write_open(&mut self, bank: BankId, data: &[Bit]) -> Result<()> {
+        if data.len() != self.geom.cols() {
+            return Err(DramError::WidthMismatch { expected: self.geom.cols(), got: data.len() });
+        }
+        let vdd = self.model.analog().vdd;
+        let open = match self.bank_ref(bank)?.open() {
+            Some(o) => o.clone(),
+            None => {
+                return Err(DramError::IllegalCommand {
+                    detail: "WR while bank precharged".into(),
+                })
+            }
+        };
+        let last = open.last_subarray;
+        let b = self.bank_mut_ref(bank)?;
+        for (sub, rows) in &open.groups {
+            let upper = SubarrayId(sub.index().min(last.index()));
+            for row in rows {
+                let sa = b.subarray_mut(*sub);
+                for c in 0..data.len() {
+                    let col = Col(c);
+                    if *sub == last {
+                        sa.set_voltage(*row, col, data[c].voltage(vdd));
+                    } else if is_shared_col(upper, col) {
+                        sa.set_voltage(*row, col, data[c].not().voltage(vdd));
+                    }
+                    // Non-shared columns of the other subarray keep
+                    // their sensed values: not driven by this WR.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Violated-timing operations
+    // -----------------------------------------------------------------
+
+    /// `Frac` (FracDRAM): interrupting restoration stores ≈VDD/2 in
+    /// every cell of `row`.
+    pub fn frac(&mut self, bank: BankId, row: GlobalRow) -> Result<OpOutcome> {
+        let (sub, local) = self.geom.split_row(row)?;
+        let vdd = self.model.analog().vdd;
+        let level = self.model.analog().frac_level;
+        let cols = self.geom.cols();
+        let mut cells = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let col = Col(c);
+            let f = self.model.variation().frac_level_factor(bank, sub, local, col);
+            let v = (level * f).clamp(0.0, 1.0) * vdd;
+            self.banks[bank.index()].subarray_mut(sub).set_voltage(local, col, v);
+            cells.push(CellOutcome {
+                subarray: sub,
+                row: local,
+                col,
+                role: CellRole::Frac,
+                intended: Bit::Zero, // VDD/2 reads as 0 by threshold
+                actual: Bit::from(v > vdd / 2.0),
+                p_success: 1.0,
+            });
+        }
+        self.banks[bank.index()].close();
+        Ok(OpOutcome { kind: OutcomeKind::Frac, cells })
+    }
+
+    /// The NOT / RowClone command sequence:
+    /// `ACT rf → (tRAS respected) → PRE → ACT rl` with violated tRP.
+    ///
+    /// The first activation fully restores `rf`, so the shared sense
+    /// amplifiers are latched and *drive* the rows raised by the second
+    /// activation: cross-subarray destinations receive `¬rf` on the
+    /// shared column half (bitline-bar coupling, §5.1); same-subarray
+    /// destinations receive a copy of `rf` (RowClone).
+    pub fn multi_act_copy(&mut self, bank: BankId, rf: GlobalRow, rl: GlobalRow) -> Result<OpOutcome> {
+        self.geom.check_row(rf)?;
+        self.geom.check_row(rl)?;
+        self.geom.check_bank(bank)?;
+        let activation = self.decoder.activation(&self.geom, rf, rl);
+        let (sub_f, loc_f) = self.geom.split_row(rf)?;
+        let (sub_l, _) = self.geom.split_row(rl)?;
+        let op = self.next_op();
+        let vdd = self.model.analog().vdd;
+        let cols = self.geom.cols();
+        let rows_per_sub = self.geom.rows_per_subarray();
+        let temp = self.temperature;
+
+        match activation {
+            MultiActivation::SecondIgnored => {
+                self.banks[bank.index()].set_open(OpenRows {
+                    groups: vec![(sub_f, vec![loc_f])],
+                    last_subarray: sub_f,
+                });
+                Ok(OpOutcome { kind: OutcomeKind::Ignored, cells: Vec::new() })
+            }
+            MultiActivation::SecondOnly => {
+                let (sub, loc) = self.geom.split_row(rl)?;
+                self.banks[bank.index()]
+                    .set_open(OpenRows { groups: vec![(sub, vec![loc])], last_subarray: sub });
+                Ok(OpOutcome { kind: OutcomeKind::NoGlitch, cells: Vec::new() })
+            }
+            MultiActivation::SameSubarray { rows } => {
+                // RowClone: every raised row except rf receives rf.
+                let src_bits = self.banks[bank.index()]
+                    .subarray_mut(sub_f)
+                    .read_bits(loc_f, vdd);
+                let mut cells = Vec::new();
+                for row in &rows {
+                    if *row == loc_f {
+                        continue;
+                    }
+                    for c in 0..cols {
+                        let col = Col(c);
+                        let cref = CellRef {
+                            bank,
+                            subarray: sub_f,
+                            row: *row,
+                            col,
+                            stripe: sub_f.index()
+                                + usize::from(crate::types::StripeSide::of(sub_f, col)
+                                    == crate::types::StripeSide::Below),
+                        };
+                        let p = self.model.rowclone_success_prob(cref);
+                        let key = Self::cell_key(op, sub_f, *row, col);
+                        let ok = self.model.sample(p, key, 0);
+                        let intended = src_bits[c];
+                        let old = self.banks[bank.index()]
+                            .subarray_mut(sub_f)
+                            .bit(*row, col, vdd);
+                        let actual = if ok { intended } else { old };
+                        self.banks[bank.index()]
+                            .subarray_mut(sub_f)
+                            .set_voltage(*row, col, actual.voltage(vdd));
+                        cells.push(CellOutcome {
+                            subarray: sub_f,
+                            row: *row,
+                            col,
+                            role: CellRole::CloneDst,
+                            intended,
+                            actual,
+                            p_success: p,
+                        });
+                    }
+                }
+                let n = rows.len();
+                self.banks[bank.index()]
+                    .set_open(OpenRows { groups: vec![(sub_f, rows)], last_subarray: sub_f });
+                Ok(OpOutcome { kind: OutcomeKind::InSubarray { rows: n }, cells })
+            }
+            MultiActivation::CrossSubarray { first_rows, second_rows, kind, .. } => {
+                let upper = SubarrayId(sub_f.index().min(sub_l.index()));
+                let stripe = upper.index() + 1;
+                let k_total = first_rows.len() + second_rows.len();
+                let src_bits =
+                    self.banks[bank.index()].subarray_mut(sub_f).read_bits(loc_f, vdd);
+                let src_dist = dist_to_stripe(loc_f, rows_per_sub, sub_f, upper);
+                let mut cells = Vec::new();
+
+                // Destination rows: shared columns get ¬src; off
+                // columns re-sense themselves (majority among the
+                // raised destination rows — identical values retained).
+                for row in &second_rows {
+                    let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_l, upper);
+                    for c in 0..cols {
+                        let col = Col(c);
+                        if is_shared_col(upper, col) {
+                            let ev = NotEvent {
+                                total_rows: k_total,
+                                src_dist,
+                                dst_dist,
+                                temperature: temp,
+                            };
+                            let cref = CellRef { bank, subarray: sub_l, row: *row, col, stripe };
+                            let p = self.model.not_success_prob(&ev, cref);
+                            let key = Self::cell_key(op, sub_l, *row, col);
+                            let ok = self.model.sample(p, key, 0);
+                            let intended = src_bits[c].not();
+                            let old =
+                                self.banks[bank.index()].subarray_mut(sub_l).bit(*row, col, vdd);
+                            let actual = if ok { intended } else { old };
+                            self.banks[bank.index()]
+                                .subarray_mut(sub_l)
+                                .set_voltage(*row, col, actual.voltage(vdd));
+                            cells.push(CellOutcome {
+                                subarray: sub_l,
+                                row: *row,
+                                col,
+                                role: CellRole::NotDst,
+                                intended,
+                                actual,
+                                p_success: p,
+                            });
+                        } else if second_rows.len() > 1 {
+                            // Off columns with several raised rows:
+                            // collective re-sense (majority).
+                            let votes: usize = second_rows
+                                .iter()
+                                .filter(|r| {
+                                    self.banks[bank.index()]
+                                        .subarray_mut(sub_l)
+                                        .bit(**r, col, vdd)
+                                        .as_bool()
+                                })
+                                .count();
+                            let n = second_rows.len();
+                            let maj = Bit::from(2 * votes > n);
+                            let margin = (votes as f64 - n as f64 / 2.0).abs();
+                            let ev = MajEvent { n, margin_cells: margin, temperature: temp };
+                            let cref = CellRef {
+                                bank,
+                                subarray: sub_l,
+                                row: *row,
+                                col,
+                                stripe: stripe_of(sub_l, col),
+                            };
+                            let p = self.model.maj_success_prob(&ev, cref);
+                            let key = Self::cell_key(op, sub_l, *row, col);
+                            let ok = self.model.sample(p, key, 0);
+                            let actual = if ok { maj } else { maj.not() };
+                            self.banks[bank.index()]
+                                .subarray_mut(sub_l)
+                                .set_voltage(*row, col, actual.voltage(vdd));
+                            cells.push(CellOutcome {
+                                subarray: sub_l,
+                                row: *row,
+                                col,
+                                role: CellRole::OffMaj,
+                                intended: maj,
+                                actual,
+                                p_success: p,
+                            });
+                        }
+                    }
+                }
+
+                // Extra source-side rows receive a copy of src on every
+                // column (all bitlines of the source subarray are
+                // latched at src's values).
+                for row in &first_rows {
+                    if *row == loc_f {
+                        continue;
+                    }
+                    let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_f, upper);
+                    for c in 0..cols {
+                        let col = Col(c);
+                        let ev = NotEvent {
+                            total_rows: k_total,
+                            src_dist,
+                            dst_dist,
+                            temperature: temp,
+                        };
+                        let cref = CellRef {
+                            bank,
+                            subarray: sub_f,
+                            row: *row,
+                            col,
+                            stripe: stripe_of(sub_f, col),
+                        };
+                        let p = self.model.not_success_prob(&ev, cref);
+                        let key = Self::cell_key(op, sub_f, *row, col);
+                        let ok = self.model.sample(p, key, 0);
+                        let intended = src_bits[c];
+                        let old = self.banks[bank.index()].subarray_mut(sub_f).bit(*row, col, vdd);
+                        let actual = if ok { intended } else { old };
+                        self.banks[bank.index()]
+                            .subarray_mut(sub_f)
+                            .set_voltage(*row, col, actual.voltage(vdd));
+                        cells.push(CellOutcome {
+                            subarray: sub_f,
+                            row: *row,
+                            col,
+                            role: CellRole::SrcCopy,
+                            intended,
+                            actual,
+                            p_success: p,
+                        });
+                    }
+                }
+
+                let shape = (first_rows.len(), second_rows.len());
+                self.banks[bank.index()].set_open(OpenRows {
+                    groups: vec![(sub_f, first_rows), (sub_l, second_rows)],
+                    last_subarray: sub_l,
+                });
+                Ok(OpOutcome {
+                    kind: OutcomeKind::Not { n_rf: shape.0, n_rl: shape.1, pattern: kind },
+                    cells,
+                })
+            }
+        }
+    }
+
+    /// The charge-sharing command sequence:
+    /// `ACT r_ref → PRE → ACT r_com`, *both* gaps violated, so the
+    /// sense amplifiers are still off when the raised rows merge. The
+    /// reference-side bitline level (set by N−1 all-1/all-0 rows plus a
+    /// `Frac` row) turns the comparator into an N-input AND/OR, with
+    /// NAND/NOR appearing on the reference terminal (§6.1).
+    pub fn multi_act_charge_share(
+        &mut self,
+        bank: BankId,
+        r_ref: GlobalRow,
+        r_com: GlobalRow,
+    ) -> Result<OpOutcome> {
+        self.geom.check_row(r_ref)?;
+        self.geom.check_row(r_com)?;
+        self.geom.check_bank(bank)?;
+        let activation = self.decoder.activation(&self.geom, r_ref, r_com);
+        let (sub_ref, _) = self.geom.split_row(r_ref)?;
+        let (sub_com, _) = self.geom.split_row(r_com)?;
+        let op = self.next_op();
+        let vdd = self.model.analog().vdd;
+        let cols = self.geom.cols();
+        let rows_per_sub = self.geom.rows_per_subarray();
+        let temp = self.temperature;
+
+        match activation {
+            MultiActivation::SecondIgnored => {
+                Ok(OpOutcome { kind: OutcomeKind::Ignored, cells: Vec::new() })
+            }
+            MultiActivation::SecondOnly => {
+                let (sub, loc) = self.geom.split_row(r_com)?;
+                self.banks[bank.index()]
+                    .set_open(OpenRows { groups: vec![(sub, vec![loc])], last_subarray: sub });
+                Ok(OpOutcome { kind: OutcomeKind::NoGlitch, cells: Vec::new() })
+            }
+            MultiActivation::SameSubarray { rows } => {
+                // In-subarray simultaneous activation: every column
+                // resolves the majority of the raised cells
+                // (Ambit/ComputeDRAM-style MAJ; the triple-row baseline).
+                let n = rows.len();
+                let mut cells = Vec::new();
+                if n >= 2 {
+                    for c in 0..cols {
+                        let col = Col(c);
+                        let votes: usize = rows
+                            .iter()
+                            .filter(|r| {
+                                self.banks[bank.index()]
+                                    .subarray_mut(sub_ref)
+                                    .bit(**r, col, vdd)
+                                    .as_bool()
+                            })
+                            .count();
+                        let maj = Bit::from(2 * votes > n);
+                        let margin = (votes as f64 - n as f64 / 2.0).abs();
+                        for row in &rows {
+                            let ev = MajEvent { n, margin_cells: margin, temperature: temp };
+                            let cref = CellRef {
+                                bank,
+                                subarray: sub_ref,
+                                row: *row,
+                                col,
+                                stripe: stripe_of(sub_ref, col),
+                            };
+                            let p = self.model.maj_success_prob(&ev, cref);
+                            let key = Self::cell_key(op, sub_ref, *row, col);
+                            let ok = self.model.sample(p, key, 0);
+                            let actual = if ok { maj } else { maj.not() };
+                            self.banks[bank.index()]
+                                .subarray_mut(sub_ref)
+                                .set_voltage(*row, col, actual.voltage(vdd));
+                            cells.push(CellOutcome {
+                                subarray: sub_ref,
+                                row: *row,
+                                col,
+                                role: CellRole::OffMaj,
+                                intended: maj,
+                                actual,
+                                p_success: p,
+                            });
+                        }
+                    }
+                }
+                let nrows = rows.len();
+                self.banks[bank.index()]
+                    .set_open(OpenRows { groups: vec![(sub_ref, rows)], last_subarray: sub_ref });
+                Ok(OpOutcome { kind: OutcomeKind::InSubarray { rows: nrows }, cells })
+            }
+            MultiActivation::CrossSubarray { simultaneous: false, .. } => {
+                // Sequential-only parts (Samsung) cannot charge-share.
+                Ok(OpOutcome { kind: OutcomeKind::Unsupported, cells: Vec::new() })
+            }
+            MultiActivation::CrossSubarray { first_rows, second_rows, simultaneous: true, .. } => {
+                let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
+                let stripe = upper.index() + 1;
+                let n_ref = first_rows.len();
+                let n_com = second_rows.len();
+                let analog = *self.model.analog();
+                let (_, loc_ref) = self.geom.split_row(r_ref)?;
+                let (_, loc_com) = self.geom.split_row(r_com)?;
+
+                // Gather per-column voltages and input vectors first.
+                let mut ref_v = vec![vec![0.0f64; n_ref]; cols];
+                let mut com_v = vec![vec![0.0f64; n_com]; cols];
+                for c in 0..cols {
+                    let col = Col(c);
+                    for (i, r) in first_rows.iter().enumerate() {
+                        ref_v[c][i] =
+                            self.banks[bank.index()].subarray_mut(sub_ref).voltage(*r, col);
+                    }
+                    for (i, r) in second_rows.iter().enumerate() {
+                        com_v[c][i] =
+                            self.banks[bank.index()].subarray_mut(sub_com).voltage(*r, col);
+                    }
+                }
+                // Input bit-vector per column (for coupling mismatch).
+                let input_bits: Vec<Vec<bool>> = (0..cols)
+                    .map(|c| com_v[c].iter().map(|v| *v > vdd / 2.0).collect())
+                    .collect();
+                let mismatch = |c: usize| -> f64 {
+                    let mut diff = 0.0;
+                    let mut cnt = 0.0;
+                    for nb in [c.wrapping_sub(2), c + 2] {
+                        if nb < cols {
+                            cnt += 1.0;
+                            if input_bits[nb] != input_bits[c] {
+                                diff += 1.0;
+                            }
+                        }
+                    }
+                    if cnt > 0.0 {
+                        diff / cnt
+                    } else {
+                        0.0
+                    }
+                };
+
+                // The addressed rows anchor the opposite-side distance
+                // terms (they gate the decoder's word-line timing); the
+                // result cell's own row supplies its side's term.
+                let com_dist = dist_to_stripe(loc_com, rows_per_sub, sub_com, upper);
+                let ref_dist = dist_to_stripe(loc_ref, rows_per_sub, sub_ref, upper);
+                let mut cells = Vec::new();
+                let mut and_family_any = false;
+
+                for c in 0..cols {
+                    let col = Col(c);
+                    if is_shared_col(upper, col) {
+                        let diff = analog.differential(&com_v[c], &ref_v[c]);
+                        let diff_cells = diff / analog.cell_unit(n_com.max(n_ref));
+                        let ref_mean =
+                            ref_v[c].iter().sum::<f64>() / (n_ref.max(1) as f64) / vdd;
+                        let class = classify_margin(diff_cells, ref_mean);
+                        let and_family = ref_mean > 0.5;
+                        and_family_any |= and_family;
+                        let com_result = Bit::from(diff > 0.0);
+                        let mm = mismatch(c);
+
+                        // Compute-terminal cells. The cell's own row
+                        // distance drives its restore quality; the
+                        // opposite side contributes its set mean.
+                        for row in &second_rows {
+                            let ev = LogicEvent {
+                                op: if and_family { LogicOp::And } else { LogicOp::Or },
+                                n: n_com,
+                                margin_class: class,
+                                neighbor_mismatch: mm,
+                                com_dist: dist_to_stripe(*row, rows_per_sub, sub_com, upper),
+                                ref_dist,
+                                temperature: temp,
+                            };
+                            let cref = CellRef { bank, subarray: sub_com, row: *row, col, stripe };
+                            let p = self.model.logic_success_prob(&ev, cref);
+                            let key = Self::cell_key(op, sub_com, *row, col);
+                            let ok = self.model.sample(p, key, 0);
+                            let actual = if ok { com_result } else { com_result.not() };
+                            self.banks[bank.index()]
+                                .subarray_mut(sub_com)
+                                .set_voltage(*row, col, actual.voltage(vdd));
+                            cells.push(CellOutcome {
+                                subarray: sub_com,
+                                row: *row,
+                                col,
+                                role: CellRole::Compute,
+                                intended: com_result,
+                                actual,
+                                p_success: p,
+                            });
+                        }
+                        // Reference-terminal cells (NAND/NOR).
+                        for row in &first_rows {
+                            let ev = LogicEvent {
+                                op: if and_family { LogicOp::Nand } else { LogicOp::Nor },
+                                n: n_ref,
+                                margin_class: class,
+                                neighbor_mismatch: mm,
+                                com_dist,
+                                ref_dist: dist_to_stripe(*row, rows_per_sub, sub_ref, upper),
+                                temperature: temp,
+                            };
+                            let cref = CellRef { bank, subarray: sub_ref, row: *row, col, stripe };
+                            let p = self.model.logic_success_prob(&ev, cref);
+                            let key = Self::cell_key(op, sub_ref, *row, col);
+                            let ok = self.model.sample(p, key, 0);
+                            let intended = com_result.not();
+                            let actual = if ok { intended } else { intended.not() };
+                            self.banks[bank.index()]
+                                .subarray_mut(sub_ref)
+                                .set_voltage(*row, col, actual.voltage(vdd));
+                            cells.push(CellOutcome {
+                                subarray: sub_ref,
+                                row: *row,
+                                col,
+                                role: CellRole::Reference,
+                                intended,
+                                actual,
+                                p_success: p,
+                            });
+                        }
+                    } else {
+                        // Non-shared half: each side majority-resolves
+                        // against its other (precharged) stripe.
+                        for (sub, rows, volts, n) in [
+                            (sub_com, &second_rows, &com_v[c], n_com),
+                            (sub_ref, &first_rows, &ref_v[c], n_ref),
+                        ] {
+                            if n < 2 {
+                                continue;
+                            }
+                            let votes =
+                                volts.iter().filter(|v| **v > vdd / 2.0).count();
+                            let maj = Bit::from(2 * votes > n);
+                            let sum_units: f64 = volts.iter().sum::<f64>() / vdd;
+                            let margin = (sum_units - n as f64 / 2.0).abs();
+                            for row in rows.iter() {
+                                let ev = MajEvent { n, margin_cells: margin, temperature: temp };
+                                let cref = CellRef {
+                                    bank,
+                                    subarray: sub,
+                                    row: *row,
+                                    col,
+                                    stripe: stripe_of(sub, col),
+                                };
+                                let p = self.model.maj_success_prob(&ev, cref);
+                                let key = Self::cell_key(op, sub, *row, col);
+                                let ok = self.model.sample(p, key, 0);
+                                let actual = if ok { maj } else { maj.not() };
+                                self.banks[bank.index()]
+                                    .subarray_mut(sub)
+                                    .set_voltage(*row, col, actual.voltage(vdd));
+                                cells.push(CellOutcome {
+                                    subarray: sub,
+                                    row: *row,
+                                    col,
+                                    role: CellRole::OffMaj,
+                                    intended: maj,
+                                    actual,
+                                    p_success: p,
+                                });
+                            }
+                        }
+                    }
+                }
+
+                self.banks[bank.index()].set_open(OpenRows {
+                    groups: vec![(sub_ref, first_rows), (sub_com, second_rows)],
+                    last_subarray: sub_com,
+                });
+                Ok(OpOutcome {
+                    kind: OutcomeKind::Logic { n_ref, n_com, and_family: and_family_any },
+                    cells,
+                })
+            }
+        }
+    }
+
+    /// Applies retention leakage for `dt_ns` nanoseconds at the current
+    /// temperature (τ ≈ 64 ms at 50 °C, halving every 10 °C).
+    pub fn advance_time(&mut self, dt_ns: f64) {
+        let tau_ns = 64e6 / self.temperature.leakage_acceleration();
+        for b in &mut self.banks {
+            b.leak(dt_ns / tau_ns);
+        }
+    }
+
+    /// Single-sided RowHammer: `activations` rapid activations of
+    /// `row` disturb the *physically adjacent* rows within the same
+    /// subarray. Rows at a subarray edge have only one neighbor — the
+    /// signal the paper's row-order reverse engineering exploits
+    /// (§5.2). Returns `(victim row, flipped bits)` per neighbor.
+    ///
+    /// Charged cells flip toward GND with probability growing past the
+    /// cell's hammer threshold; discharged cells flip far more rarely.
+    pub fn hammer(
+        &mut self,
+        bank: BankId,
+        row: GlobalRow,
+        activations: u64,
+    ) -> Result<Vec<(GlobalRow, usize)>> {
+        let (sub, local) = self.geom.split_row(row)?;
+        self.geom.check_bank(bank)?;
+        let vdd = self.model.analog().vdd;
+        let rows_per_sub = self.geom.rows_per_subarray();
+        let mut victims = Vec::new();
+        if local.index() > 0 {
+            victims.push(LocalRow(local.index() - 1));
+        }
+        if local.index() + 1 < rows_per_sub {
+            victims.push(LocalRow(local.index() + 1));
+        }
+        let op = self.next_op();
+        let mut out = Vec::new();
+        for victim in victims {
+            let mut flips = 0usize;
+            for c in 0..self.geom.cols() {
+                let col = Col(c);
+                let threshold =
+                    self.model.variation().hammer_threshold(bank, sub, victim, col);
+                let charged =
+                    self.banks[bank.index()].subarray_mut(sub).bit(victim, col, vdd).as_bool();
+                // Anti-cells (0 → 1 flips) are ~8× rarer.
+                let eff = if charged { threshold } else { threshold * 8.0 };
+                let p_flip = (activations as f64 / eff - 0.8).clamp(0.0, 0.95);
+                let key = Self::cell_key(op, sub, victim, col);
+                if p_flip > 0.0 && self.model.sample(p_flip, key, 0) {
+                    let old = self.banks[bank.index()].subarray_mut(sub).bit(victim, col, vdd);
+                    self.banks[bank.index()]
+                        .subarray_mut(sub)
+                        .set_voltage(victim, col, old.not().voltage(vdd));
+                    flips += 1;
+                }
+            }
+            out.push((self.geom.join_row(sub, victim)?, flips));
+        }
+        Ok(out)
+    }
+}
+
+/// Normalized distance of `row` (in subarray `sub`) to the stripe
+/// shared by the pair whose upper member is `upper`.
+fn dist_to_stripe(row: LocalRow, rows: usize, sub: SubarrayId, upper: SubarrayId) -> f64 {
+    use crate::types::StripeSide;
+    let side = if sub == upper { StripeSide::Below } else { StripeSide::Above };
+    crate::variation::row_distance(row, rows, side)
+}
+
+/// Stripe index serving column `col` of subarray `sub`.
+fn stripe_of(sub: SubarrayId, col: Col) -> usize {
+    use crate::types::StripeSide;
+    match StripeSide::of(sub, col) {
+        StripeSide::Above => sub.index(),
+        StripeSide::Below => sub.index() + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::table1;
+
+    fn hynix_chip() -> Chip {
+        let cfg = table1().into_iter().next().unwrap().with_modeled_cols(64);
+        Chip::new(cfg, ChipId(0))
+    }
+
+    fn pattern(seed: u64, cols: usize) -> Vec<Bit> {
+        (0..cols)
+            .map(|c| Bit::from(crate::math::hash_to_unit(crate::math::mix2(seed, c as u64)) < 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn activate_then_activate_is_illegal() {
+        let mut chip = hynix_chip();
+        chip.activate(BankId(0), GlobalRow(3)).unwrap();
+        assert!(chip.activate(BankId(0), GlobalRow(4)).is_err());
+        chip.precharge(BankId(0)).unwrap();
+        assert!(chip.activate(BankId(0), GlobalRow(4)).is_ok());
+    }
+
+    #[test]
+    fn direct_write_read_round_trip() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        let bits = pattern(7, cols);
+        chip.write_row_direct(BankId(1), GlobalRow(100), &bits).unwrap();
+        assert_eq!(chip.read_row_direct(BankId(1), GlobalRow(100)).unwrap(), bits);
+        assert_eq!(chip.read_row(BankId(1), GlobalRow(100)).unwrap(), bits);
+    }
+
+    #[test]
+    fn frac_stores_half_vdd() {
+        let mut chip = hynix_chip();
+        let out = chip.frac(BankId(0), GlobalRow(5)).unwrap();
+        assert_eq!(out.kind, OutcomeKind::Frac);
+        let (sub, local) = chip.geometry().split_row(GlobalRow(5)).unwrap();
+        let bank = &chip.banks[0];
+        let v = bank.subarray(sub).unwrap().voltage(local, Col(0));
+        assert!(v > 0.45 && v < 0.70, "frac voltage {v}");
+        let _ = local;
+    }
+
+    #[test]
+    fn not_writes_inverse_on_shared_columns() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        let bank = BankId(0);
+        // Find a 1:1-or-better pair between subarrays 0 and 1.
+        let mut found = None;
+        'outer: for f in 0..512usize {
+            for l in 0..512usize {
+                let rf = GlobalRow(f);
+                let rl = GlobalRow(512 + l);
+                if let MultiActivation::CrossSubarray { .. } =
+                    chip.decoder().activation(chip.geometry(), rf, rl)
+                {
+                    found = Some((rf, rl));
+                    break 'outer;
+                }
+            }
+        }
+        let (rf, rl) = found.expect("some pair must glitch");
+        let src = pattern(42, cols);
+        chip.write_row_direct(bank, rf, &src).unwrap();
+        let out = chip.multi_act_copy(bank, rf, rl).unwrap();
+        assert!(matches!(out.kind, OutcomeKind::Not { .. }));
+        // Destination cells on shared columns should mostly be ¬src.
+        let acc = out.observed_accuracy(CellRole::NotDst).unwrap();
+        assert!(acc > 0.85, "NOT accuracy {acc}");
+        for cell in out.cells.iter().filter(|c| c.role == CellRole::NotDst).take(8) {
+            assert_eq!(cell.intended, src[cell.col.index()].not());
+        }
+    }
+
+    #[test]
+    fn rowclone_same_subarray_copies() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        let bank = BankId(0);
+        // Same-subarray pair with identical predecode groups except the
+        // addressed rows; pick rows differing only in the section bit
+        // so the raised set is exactly {rf, rl}.
+        let mut found = None;
+        for base in 0..256usize {
+            let rf = GlobalRow(base);
+            let rl = GlobalRow(base + 256); // same low bits, other section
+            if let MultiActivation::SameSubarray { rows } =
+                chip.decoder().activation(chip.geometry(), rf, rl)
+            {
+                if rows.len() == 2 {
+                    found = Some((rf, rl));
+                    break;
+                }
+            }
+        }
+        let (rf, rl) = found.expect("a clean two-row clone pair");
+        let src = pattern(9, cols);
+        chip.write_row_direct(bank, rf, &src).unwrap();
+        let out = chip.multi_act_copy(bank, rf, rl).unwrap();
+        assert!(matches!(out.kind, OutcomeKind::InSubarray { rows: 2 }));
+        let acc = out.observed_accuracy(CellRole::CloneDst).unwrap();
+        assert!(acc > 0.95, "clone accuracy {acc}");
+        let read = chip.read_row_direct(bank, rl).unwrap();
+        let matches = read.iter().zip(&src).filter(|(a, b)| a == b).count();
+        assert!(matches as f64 / cols as f64 > 0.95);
+    }
+
+    #[test]
+    fn charge_share_produces_and_or_results() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        let bank = BankId(0);
+        // Find an N:N pair with N=2 between subarrays 0 and 1.
+        let mut found = None;
+        'outer: for f in 0..512usize {
+            for l in 0..512usize {
+                let rf = GlobalRow(f);
+                let rl = GlobalRow(512 + l);
+                if let MultiActivation::CrossSubarray {
+                    first_rows, second_rows, simultaneous: true, ..
+                } = chip.decoder().activation(chip.geometry(), rf, rl)
+                {
+                    if first_rows.len() == 2 && second_rows.len() == 2 {
+                        found = Some((rf, rl, first_rows, second_rows));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (rf, rl, ref_rows, com_rows) = found.expect("a 2:2 pair");
+        let geom = *chip.geometry();
+        let (sub_ref, _) = geom.split_row(rf).unwrap();
+        let (sub_com, _) = geom.split_row(rl).unwrap();
+        // AND configuration: one all-1s row + one frac row on the
+        // reference side; random inputs on the compute side.
+        let ones = vec![Bit::One; cols];
+        chip.write_row_direct(bank, geom.join_row(sub_ref, ref_rows[0]).unwrap(), &ones).unwrap();
+        chip.frac(bank, geom.join_row(sub_ref, ref_rows[1]).unwrap()).unwrap();
+        let in_a = pattern(1, cols);
+        let in_b = pattern(2, cols);
+        chip.write_row_direct(bank, geom.join_row(sub_com, com_rows[0]).unwrap(), &in_a).unwrap();
+        chip.write_row_direct(bank, geom.join_row(sub_com, com_rows[1]).unwrap(), &in_b).unwrap();
+
+        let out = chip.multi_act_charge_share(bank, rf, rl).unwrap();
+        match out.kind {
+            OutcomeKind::Logic { n_ref: 2, n_com: 2, and_family: true } => {}
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // Intended compute results must equal bitwise AND of inputs.
+        let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
+        for cell in out.cells.iter().filter(|c| c.role == CellRole::Compute) {
+            assert!(is_shared_col(upper, cell.col));
+            let expect =
+                Bit::from(in_a[cell.col.index()].as_bool() && in_b[cell.col.index()].as_bool());
+            assert_eq!(cell.intended, expect, "col {}", cell.col);
+        }
+        // Reference terminal carries NAND.
+        for cell in out.cells.iter().filter(|c| c.role == CellRole::Reference) {
+            let expect =
+                Bit::from(!(in_a[cell.col.index()].as_bool() && in_b[cell.col.index()].as_bool()));
+            assert_eq!(cell.intended, expect);
+        }
+        let acc = out.observed_accuracy(CellRole::Compute).unwrap();
+        assert!(acc > 0.6, "AND accuracy {acc}");
+    }
+
+    #[test]
+    fn write_open_overdrives_both_subarrays() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        let bank = BankId(0);
+        let mut found = None;
+        'outer: for f in 0..512usize {
+            for l in 0..512usize {
+                let rf = GlobalRow(f);
+                let rl = GlobalRow(512 + l);
+                if let MultiActivation::CrossSubarray { .. } =
+                    chip.decoder().activation(chip.geometry(), rf, rl)
+                {
+                    found = Some((rf, rl));
+                    break 'outer;
+                }
+            }
+        }
+        let (rf, rl) = found.unwrap();
+        chip.multi_act_copy(bank, rf, rl).unwrap();
+        let data = pattern(77, cols);
+        chip.write_open(bank, &data).unwrap();
+        chip.precharge(bank).unwrap();
+        // Last-activated subarray rows hold the exact data.
+        let read_l = chip.read_row_direct(bank, rl).unwrap();
+        assert_eq!(read_l, data);
+        // The first subarray's raised rows hold ¬data on shared columns.
+        let read_f = chip.read_row_direct(bank, rf).unwrap();
+        let (sub_f, _) = chip.geometry().split_row(rf).unwrap();
+        let upper = SubarrayId(sub_f.index().min(1));
+        for c in 0..cols {
+            if is_shared_col(upper, Col(c)) {
+                assert_eq!(read_f[c], data[c].not(), "col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn micron_chip_ignores_violating_sequences() {
+        let cfg = crate::config::micron_modules().into_iter().next().unwrap().with_modeled_cols(32);
+        let mut chip = Chip::new(cfg, ChipId(0));
+        let out = chip.multi_act_copy(BankId(0), GlobalRow(1), GlobalRow(600)).unwrap();
+        assert_eq!(out.kind, OutcomeKind::Ignored);
+        let out = chip.multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(600)).unwrap();
+        assert_eq!(out.kind, OutcomeKind::Ignored);
+    }
+
+    #[test]
+    fn samsung_chip_cannot_charge_share() {
+        let cfg = table1()
+            .into_iter()
+            .find(|m| m.manufacturer == crate::config::Manufacturer::Samsung)
+            .unwrap()
+            .with_modeled_cols(32);
+        let mut chip = Chip::new(cfg, ChipId(0));
+        let out = chip.multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(700)).unwrap();
+        assert_eq!(out.kind, OutcomeKind::Unsupported);
+        // But sequential NOT (1:1) works.
+        let src = vec![Bit::One; 32];
+        chip.write_row_direct(BankId(0), GlobalRow(1), &src).unwrap();
+        let out = chip.multi_act_copy(BankId(0), GlobalRow(1), GlobalRow(700)).unwrap();
+        assert!(matches!(out.kind, OutcomeKind::Not { n_rf: 1, n_rl: 1, .. }));
+    }
+
+    #[test]
+    fn outcome_mean_success_reports_probabilities() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        let src = pattern(3, cols);
+        chip.write_row_direct(BankId(0), GlobalRow(0), &src).unwrap();
+        let mut any = false;
+        for l in 0..64usize {
+            let out = chip.multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(512 + l)).unwrap();
+            chip.precharge(BankId(0)).unwrap();
+            if let Some(p) = out.mean_success(CellRole::NotDst) {
+                assert!(p > 0.5 && p <= 1.0, "{p}");
+                any = true;
+                break;
+            }
+        }
+        assert!(any, "no NOT outcome found");
+    }
+
+    #[test]
+    fn hammer_flips_bits_in_adjacent_rows_only() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        let bank = BankId(0);
+        // Charge the neighborhood.
+        for r in 95..=105usize {
+            chip.write_row_direct(bank, GlobalRow(r), &vec![Bit::One; cols]).unwrap();
+        }
+        let flips = chip.hammer(bank, GlobalRow(100), 500_000).unwrap();
+        assert_eq!(flips.len(), 2, "interior row has two victims");
+        let total: usize = flips.iter().map(|(_, f)| *f).sum();
+        assert!(total > 0, "500k activations must flip something");
+        for (victim, _) in &flips {
+            assert!(victim.index() == 99 || victim.index() == 101);
+        }
+        // Untouched row two away keeps its data.
+        assert_eq!(chip.read_row_direct(bank, GlobalRow(103)).unwrap(), vec![Bit::One; cols]);
+    }
+
+    #[test]
+    fn hammer_edge_row_has_single_victim() {
+        let mut chip = hynix_chip();
+        let flips = chip.hammer(BankId(0), GlobalRow(0), 200_000).unwrap();
+        assert_eq!(flips.len(), 1, "subarray-edge row has one neighbor");
+        assert_eq!(flips[0].0, GlobalRow(1));
+        // Last row of subarray 0 likewise.
+        let flips = chip.hammer(BankId(0), GlobalRow(511), 200_000).unwrap();
+        assert_eq!(flips.len(), 1);
+        assert_eq!(flips[0].0, GlobalRow(510));
+    }
+
+    #[test]
+    fn hammer_low_activation_count_is_harmless() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        chip.write_row_direct(BankId(0), GlobalRow(9), &vec![Bit::One; cols]).unwrap();
+        let flips = chip.hammer(BankId(0), GlobalRow(10), 1_000).unwrap();
+        let total: usize = flips.iter().map(|(_, f)| *f).sum();
+        assert_eq!(total, 0, "1k activations are far below threshold");
+    }
+
+    #[test]
+    fn advance_time_leaks_toward_gnd() {
+        let mut chip = hynix_chip();
+        let cols = chip.geometry().cols();
+        chip.write_row_direct(BankId(0), GlobalRow(9), &vec![Bit::One; cols]).unwrap();
+        chip.set_temperature(Temperature::celsius(95.0));
+        chip.advance_time(1e6); // 1 ms hot
+        let (sub, local) = chip.geometry().split_row(GlobalRow(9)).unwrap();
+        let v = chip.banks[0].subarray(sub).unwrap().voltage(local, Col(0));
+        assert!(v < 1.2, "leaked voltage {v}");
+        assert!(v > 0.3, "too much leak {v}");
+    }
+}

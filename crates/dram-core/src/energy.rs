@@ -1,0 +1,268 @@
+//! Command-level latency and energy accounting.
+//!
+//! Processing-using-DRAM exists to avoid the energy and latency of
+//! moving bulk data over the memory channel (§1 of the paper). This
+//! module prices DDR4 commands and channel transfers with
+//! literature-typical constants so the library can report what an
+//! operation *costs* and how it compares against a host-side loop that
+//! reads both operands and writes the result back.
+//!
+//! The constants follow the DRAM power literature (Ghose et al.,
+//! SIGMETRICS'18 ranges for DDR4): they are representative, not
+//! device-measured; comparisons (in-DRAM vs. channel movement) are the
+//! claim, not the absolute joules.
+
+use crate::timing::{SpeedBin, TimingParams};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Energy prices for DDR4 operations, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// One ACT/PRE pair (row open + close).
+    pub act_pre_pj: f64,
+    /// One column read burst (per 64 bytes on the bus).
+    pub rd_burst_pj: f64,
+    /// One column write burst (per 64 bytes).
+    pub wr_burst_pj: f64,
+    /// Channel transfer per byte (I/O + termination).
+    pub channel_per_byte_pj: f64,
+    /// Host-side per-byte cost of a bitwise loop (cache + ALU + LLC
+    /// traffic), for baseline comparisons.
+    pub host_per_byte_pj: f64,
+}
+
+impl EnergyParams {
+    /// Literature-typical DDR4 values.
+    pub const fn ddr4_default() -> Self {
+        EnergyParams {
+            act_pre_pj: 1_500.0,
+            rd_burst_pj: 1_000.0,
+            wr_burst_pj: 1_100.0,
+            channel_per_byte_pj: 15.0,
+            host_per_byte_pj: 25.0,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::ddr4_default()
+    }
+}
+
+/// Accumulated cost of an operation or program.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Wall-clock latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy in picojoules.
+    pub energy_pj: f64,
+    /// DDR4 commands issued.
+    pub commands: usize,
+    /// Bytes moved over the memory channel.
+    pub channel_bytes: usize,
+}
+
+impl OpCost {
+    /// Cost of one `ACT → (tRAS) → PRE → (tRP)` row cycle.
+    pub fn row_cycle(t: &TimingParams, e: &EnergyParams) -> OpCost {
+        OpCost {
+            latency_ns: t.t_ras_ns + t.t_rp_ns,
+            energy_pj: e.act_pre_pj,
+            commands: 2,
+            channel_bytes: 0,
+        }
+    }
+
+    /// Cost of a violated-timing double activation
+    /// (`ACT → PRE → ACT → (tRAS) → PRE`), the PuD primitive.
+    pub fn violated_double_act(
+        t: &TimingParams,
+        e: &EnergyParams,
+        speed: SpeedBin,
+        rows_driven: usize,
+    ) -> OpCost {
+        // Gaps: ~1 cycle each for the violated pair, full restore after.
+        let gap = 2.0 * speed.tck_ns();
+        OpCost {
+            latency_ns: gap + t.t_ras_ns + t.t_rp_ns,
+            // Restoring k rows costs roughly k× the single-row array
+            // energy share (≈60% of ACT/PRE is the array itself).
+            energy_pj: e.act_pre_pj * (1.0 + 0.6 * rows_driven.saturating_sub(1) as f64),
+            commands: 4,
+            channel_bytes: 0,
+        }
+    }
+
+    /// Cost of streaming one full row over the channel (read or write).
+    pub fn row_transfer(
+        t: &TimingParams,
+        e: &EnergyParams,
+        speed: SpeedBin,
+        row_bytes: usize,
+        write: bool,
+    ) -> OpCost {
+        let bursts = row_bytes.div_ceil(64);
+        // Each 64-byte burst occupies 4 clock edges... approximated as
+        // bursts × 8 transfers at the bin's transfer rate.
+        let burst_ns = (bursts * 8) as f64 * (speed.tck_ns() / 2.0);
+        OpCost {
+            latency_ns: t.t_rcd_ns + burst_ns + t.t_ras_ns + t.t_rp_ns,
+            energy_pj: e.act_pre_pj
+                + bursts as f64 * if write { e.wr_burst_pj } else { e.rd_burst_pj }
+                + row_bytes as f64 * e.channel_per_byte_pj,
+            commands: 3,
+            channel_bytes: row_bytes,
+        }
+    }
+
+    /// Cost of the host computing an N-input bitwise op over
+    /// `row_bytes`-sized operands: read N rows, compute, write one.
+    pub fn host_bitwise(
+        t: &TimingParams,
+        e: &EnergyParams,
+        speed: SpeedBin,
+        row_bytes: usize,
+        n_inputs: usize,
+    ) -> OpCost {
+        let mut total = OpCost::default();
+        for _ in 0..n_inputs {
+            total += OpCost::row_transfer(t, e, speed, row_bytes, false);
+        }
+        total += OpCost::row_transfer(t, e, speed, row_bytes, true);
+        total.energy_pj += (n_inputs + 1) as f64 * row_bytes as f64 * e.host_per_byte_pj;
+        // Host ALU time is hidden under the channel transfers.
+        total
+    }
+
+    /// Cost of the in-DRAM N-input operation on the same operands:
+    /// write N operand rows + one frac + reference initialization,
+    /// execute the violated sequence, read one result row.
+    pub fn in_dram_bitwise(
+        t: &TimingParams,
+        e: &EnergyParams,
+        speed: SpeedBin,
+        row_bytes: usize,
+        n_inputs: usize,
+    ) -> OpCost {
+        let mut total = OpCost::default();
+        // Operand + reference initialization (N operands, N−1 constant
+        // rows, 1 frac row). In steady pipelines operands already live
+        // in DRAM; this is the conservative cold-start accounting.
+        for _ in 0..n_inputs {
+            total += OpCost::row_transfer(t, e, speed, row_bytes, true);
+        }
+        for _ in 0..n_inputs.saturating_sub(1) {
+            total += OpCost::row_cycle(t, e); // constant rows via RowClone-style fill
+        }
+        total += OpCost::row_cycle(t, e); // frac
+        total += OpCost::violated_double_act(t, e, speed, 2 * n_inputs);
+        total += OpCost::row_transfer(t, e, speed, row_bytes, false); // result
+        total
+    }
+
+    /// Energy per result bit in picojoules.
+    pub fn energy_per_bit_pj(&self, result_bits: usize) -> f64 {
+        self.energy_pj / result_bits.max(1) as f64
+    }
+}
+
+impl Add for OpCost {
+    type Output = OpCost;
+    fn add(self, rhs: OpCost) -> OpCost {
+        OpCost {
+            latency_ns: self.latency_ns + rhs.latency_ns,
+            energy_pj: self.energy_pj + rhs.energy_pj,
+            commands: self.commands + rhs.commands,
+            channel_bytes: self.channel_bytes + rhs.channel_bytes,
+        }
+    }
+}
+
+impl AddAssign for OpCost {
+    fn add_assign(&mut self, rhs: OpCost) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TimingParams = TimingParams::ddr4_default();
+    const E: EnergyParams = EnergyParams::ddr4_default();
+
+    #[test]
+    fn row_cycle_cost() {
+        let c = OpCost::row_cycle(&T, &E);
+        assert_eq!(c.commands, 2);
+        assert!((c.latency_ns - 45.5).abs() < 1e-9);
+        assert_eq!(c.channel_bytes, 0);
+    }
+
+    #[test]
+    fn violated_sequence_is_one_row_cycle_ish() {
+        let c = OpCost::violated_double_act(&T, &E, SpeedBin::Mt2666, 4);
+        assert!(c.latency_ns < 2.0 * (T.t_ras_ns + T.t_rp_ns));
+        assert!(c.energy_pj > E.act_pre_pj, "driving 4 rows costs more than 1");
+        assert_eq!(c.commands, 4);
+    }
+
+    #[test]
+    fn transfers_move_bytes() {
+        let c = OpCost::row_transfer(&T, &E, SpeedBin::Mt2666, 1024, false);
+        assert_eq!(c.channel_bytes, 1024);
+        assert!(c.energy_pj > 1024.0 * E.channel_per_byte_pj);
+    }
+
+    #[test]
+    fn in_dram_beats_host_on_channel_traffic() {
+        for n in [2usize, 4, 8, 16] {
+            let host = OpCost::host_bitwise(&T, &E, SpeedBin::Mt2666, 8192, n);
+            let dram = OpCost::in_dram_bitwise(&T, &E, SpeedBin::Mt2666, 8192, n);
+            assert!(
+                dram.channel_bytes <= host.channel_bytes,
+                "n={n}: dram {} vs host {}",
+                dram.channel_bytes,
+                host.channel_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn in_dram_energy_advantage_grows_with_inputs_in_steady_state() {
+        // Steady state: operands already resident (subtract their
+        // write-in from both sides).
+        let n = 16usize;
+        let bytes = 8192usize;
+        let resident: OpCost = (0..n)
+            .map(|_| OpCost::row_transfer(&T, &E, SpeedBin::Mt2666, bytes, true))
+            .fold(OpCost::default(), |a, b| a + b);
+        let host = OpCost::host_bitwise(&T, &E, SpeedBin::Mt2666, bytes, n);
+        let dram = OpCost::in_dram_bitwise(&T, &E, SpeedBin::Mt2666, bytes, n);
+        let host_steady = host.energy_pj; // host must still read all N
+        let dram_steady = dram.energy_pj - resident.energy_pj;
+        assert!(
+            dram_steady < host_steady / 2.0,
+            "steady-state in-DRAM {dram_steady} vs host {host_steady}"
+        );
+    }
+
+    #[test]
+    fn cost_addition() {
+        let a = OpCost::row_cycle(&T, &E);
+        let mut b = a;
+        b += a;
+        assert_eq!(b.commands, 4);
+        assert!((b.latency_ns - 2.0 * a.latency_ns).abs() < 1e-9);
+        assert_eq!((a + a), b);
+    }
+
+    #[test]
+    fn energy_per_bit() {
+        let c = OpCost { energy_pj: 1000.0, ..OpCost::default() };
+        assert!((c.energy_per_bit_pj(500) - 2.0).abs() < 1e-12);
+        assert_eq!(c.energy_per_bit_pj(0), 1000.0);
+    }
+}

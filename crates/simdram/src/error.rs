@@ -1,0 +1,132 @@
+//! Error type for the bit-serial SIMD layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimdramError>;
+
+/// Errors raised by the SIMD arithmetic layer.
+///
+/// # Examples
+///
+/// ```
+/// use simdram::SimdramError;
+///
+/// let err = SimdramError::WidthMismatch { expected: 8, got: 4 };
+/// assert!(err.to_string().contains("expected 8"));
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimdramError {
+    /// The underlying substrate (in-DRAM engine or host model) failed.
+    Substrate(fcdram::FcdramError),
+    /// Two vectors that must have equal bit widths did not.
+    WidthMismatch {
+        /// Width the operation required.
+        expected: usize,
+        /// Width it received.
+        got: usize,
+    },
+    /// Host data with the wrong number of lanes was supplied.
+    LaneMismatch {
+        /// Lane count of the substrate.
+        expected: usize,
+        /// Lane count of the supplied data.
+        got: usize,
+    },
+    /// A requested integer width exceeds what the layer supports.
+    WidthUnsupported {
+        /// The requested width.
+        width: usize,
+        /// The largest supported width.
+        max: usize,
+    },
+    /// A host value does not fit in the vector's bit width.
+    ValueOverflow {
+        /// The offending value.
+        value: u64,
+        /// The vector width it must fit in.
+        width: usize,
+    },
+    /// An operation that needs at least one element received none.
+    Empty,
+    /// A freed or otherwise invalid row handle was used.
+    BadHandle {
+        /// The handle's raw id.
+        id: usize,
+    },
+}
+
+impl fmt::Display for SimdramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdramError::Substrate(e) => write!(f, "substrate operation failed: {e}"),
+            SimdramError::WidthMismatch { expected, got } => {
+                write!(f, "vector width mismatch: expected {expected}, got {got}")
+            }
+            SimdramError::LaneMismatch { expected, got } => {
+                write!(f, "lane count mismatch: substrate has {expected}, data has {got}")
+            }
+            SimdramError::WidthUnsupported { width, max } => {
+                write!(f, "width {width} unsupported (maximum {max})")
+            }
+            SimdramError::ValueOverflow { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+            SimdramError::Empty => write!(f, "operation requires at least one element"),
+            SimdramError::BadHandle { id } => write!(f, "invalid or freed row handle {id}"),
+        }
+    }
+}
+
+impl Error for SimdramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimdramError::Substrate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fcdram::FcdramError> for SimdramError {
+    fn from(e: fcdram::FcdramError) -> Self {
+        SimdramError::Substrate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        let cases: Vec<SimdramError> = vec![
+            SimdramError::WidthMismatch { expected: 8, got: 4 },
+            SimdramError::LaneMismatch { expected: 32, got: 31 },
+            SimdramError::WidthUnsupported { width: 99, max: 64 },
+            SimdramError::ValueOverflow { value: 300, width: 8 },
+            SimdramError::Empty,
+            SimdramError::BadHandle { id: 7 },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+        }
+    }
+
+    #[test]
+    fn substrate_error_has_source() {
+        let inner = fcdram::FcdramError::OutOfRows;
+        let err = SimdramError::from(inner);
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("substrate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimdramError>();
+    }
+}

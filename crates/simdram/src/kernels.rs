@@ -1,0 +1,242 @@
+//! Workload kernels composed from the ALU: the per-lane building
+//! blocks of the bulk-bitwise applications that motivate PuD
+//! (database scans, bitmap indices, similarity search).
+//!
+//! Everything here is a composition of documented primitives, so
+//! costs and error propagation follow from the trace as usual.
+//!
+//! # Examples
+//!
+//! ```
+//! use simdram::{HostSubstrate, SimdVm};
+//!
+//! let mut vm = SimdVm::new(HostSubstrate::new(2, 512))?;
+//! let a = vm.alloc_uint(8)?;
+//! let b = vm.alloc_uint(8)?;
+//! vm.write_u64(&a, &[0b1111_0000, 9])?;
+//! vm.write_u64(&b, &[0b0000_1111, 5])?;
+//! let h = vm.hamming(&a, &b)?;
+//! assert_eq!(vm.read_u64(&h)?, vec![8, 2]);
+//! let d = vm.abs_diff(&a, &b)?;
+//! assert_eq!(vm.read_u64(&d)?, vec![225, 4]);
+//! # Ok::<(), simdram::SimdramError>(())
+//! ```
+
+use crate::error::Result;
+use crate::layout::UintVec;
+use crate::substrate::Substrate;
+use crate::vm::SimdVm;
+
+impl<S: Substrate> SimdVm<S> {
+    /// Per-lane Hamming distance: `popcount(a ^ b)` — the inner loop
+    /// of in-memory similarity search over binary signatures.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch, row exhaustion or device failure.
+    pub fn hamming(&mut self, a: &UintVec, b: &UintVec) -> Result<UintVec> {
+        let x = self.wxor(a, b)?;
+        let d = self.popcount(&x);
+        self.free_uint(x);
+        d
+    }
+
+    /// Per-lane unsigned minimum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch, row exhaustion or device failure.
+    pub fn min(&mut self, a: &UintVec, b: &UintVec) -> Result<UintVec> {
+        let lt = self.lt(a, b)?;
+        let out = self.select(lt, a, b)?;
+        self.release(lt);
+        Ok(out)
+    }
+
+    /// Per-lane unsigned maximum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch, row exhaustion or device failure.
+    pub fn max(&mut self, a: &UintVec, b: &UintVec) -> Result<UintVec> {
+        let lt = self.lt(a, b)?;
+        let out = self.select(lt, b, a)?;
+        self.release(lt);
+        Ok(out)
+    }
+
+    /// Per-lane absolute difference `|a − b|` (select the
+    /// non-borrowing subtraction).
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch, row exhaustion or device failure.
+    pub fn abs_diff(&mut self, a: &UintVec, b: &UintVec) -> Result<UintVec> {
+        let (d_ab, borrow) = self.sub_full(a, b)?;
+        let d_ba = self.sub(b, a)?;
+        let out = self.select(borrow, &d_ba, &d_ab)?;
+        self.release(borrow);
+        self.free_uint(d_ab);
+        self.free_uint(d_ba);
+        Ok(out)
+    }
+
+    /// Per-lane saturating addition: `min(a + b, 2^W − 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatch, row exhaustion or device failure.
+    pub fn add_saturating(&mut self, a: &UintVec, b: &UintVec) -> Result<UintVec> {
+        let (sum, carry) = self.add_full(a, b)?;
+        let maxv = self.const_uint(a.width(), if a.width() == 64 { u64::MAX } else { (1 << a.width()) - 1 })?;
+        let out = self.select(carry, &maxv, &sum)?;
+        self.release(carry);
+        self.free_uint(sum);
+        self.free_uint(maxv);
+        Ok(out)
+    }
+
+    /// Fused multiply-add: `a × b + c` at full `Wa + Wb + 1` width
+    /// (never wraps; `Wc` must not exceed `Wa + Wb`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `Wc > Wa + Wb`, on width overflow past 64 bits, on
+    /// row exhaustion, or on device failure.
+    pub fn fma(&mut self, a: &UintVec, b: &UintVec, c: &UintVec) -> Result<UintVec> {
+        let wp = a.width() + b.width();
+        if c.width() > wp {
+            return Err(crate::error::SimdramError::WidthMismatch {
+                expected: wp,
+                got: c.width(),
+            });
+        }
+        crate::layout::check_width(wp + 1)?;
+        let prod = self.mul(a, b)?;
+        // Zero-extend c to the product width as a shared-row view.
+        let mut c_bits = c.bits().to_vec();
+        c_bits.resize(wp, self.zero_row());
+        let c_view = UintVec::from_bits(c_bits);
+        let (sum, carry) = self.add_full(&prod, &c_view)?;
+        self.free_uint(prod);
+        let mut bits = sum.into_bits();
+        bits.push(carry);
+        Ok(UintVec::from_bits(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::HostSubstrate;
+
+    const LANES: usize = 8;
+
+    fn vm() -> SimdVm<HostSubstrate> {
+        SimdVm::new(HostSubstrate::new(LANES, 8192)).unwrap()
+    }
+
+    fn load(vm: &mut SimdVm<HostSubstrate>, width: usize, values: &[u64]) -> UintVec {
+        let v = vm.alloc_uint(width).unwrap();
+        vm.write_u64(&v, values).unwrap();
+        v
+    }
+
+    const A: [u64; LANES] = [0, 1, 2, 100, 200, 254, 255, 77];
+    const B: [u64; LANES] = [0, 255, 3, 50, 200, 1, 255, 78];
+
+    #[test]
+    fn hamming_matches() {
+        let mut vm = vm();
+        let a = load(&mut vm, 8, &A);
+        let b = load(&mut vm, 8, &B);
+        let h = vm.hamming(&a, &b).unwrap();
+        let got = vm.read_u64(&h).unwrap();
+        for i in 0..LANES {
+            assert_eq!(got[i], u64::from((A[i] ^ B[i]).count_ones()), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn min_max_match() {
+        let mut vm = vm();
+        let a = load(&mut vm, 8, &A);
+        let b = load(&mut vm, 8, &B);
+        let mn = vm.min(&a, &b).unwrap();
+        let mx = vm.max(&a, &b).unwrap();
+        let mnv = vm.read_u64(&mn).unwrap();
+        let mxv = vm.read_u64(&mx).unwrap();
+        for i in 0..LANES {
+            assert_eq!(mnv[i], A[i].min(B[i]), "min lane {i}");
+            assert_eq!(mxv[i], A[i].max(B[i]), "max lane {i}");
+        }
+    }
+
+    #[test]
+    fn abs_diff_matches() {
+        let mut vm = vm();
+        let a = load(&mut vm, 8, &A);
+        let b = load(&mut vm, 8, &B);
+        let d = vm.abs_diff(&a, &b).unwrap();
+        let got = vm.read_u64(&d).unwrap();
+        for i in 0..LANES {
+            assert_eq!(got[i], A[i].abs_diff(B[i]), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let mut vm = vm();
+        let a = load(&mut vm, 8, &A);
+        let b = load(&mut vm, 8, &B);
+        let s = vm.add_saturating(&a, &b).unwrap();
+        let got = vm.read_u64(&s).unwrap();
+        for i in 0..LANES {
+            assert_eq!(got[i], (A[i] + B[i]).min(255), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn fma_never_wraps() {
+        let mut vm = vm();
+        let av = [15u64, 15, 0, 7, 9, 3, 15, 1];
+        let bv = [15u64, 15, 9, 7, 9, 3, 1, 0];
+        let cv = [255u64, 0, 200, 77, 13, 255, 255, 255];
+        let a = load(&mut vm, 4, &av);
+        let b = load(&mut vm, 4, &bv);
+        let c = load(&mut vm, 8, &cv);
+        let f = vm.fma(&a, &b, &c).unwrap();
+        assert_eq!(f.width(), 9);
+        let got = vm.read_u64(&f).unwrap();
+        for i in 0..LANES {
+            assert_eq!(got[i], av[i] * bv[i] + cv[i], "lane {i}");
+        }
+    }
+
+    #[test]
+    fn fma_rejects_oversized_addend() {
+        let mut vm = vm();
+        let a = vm.alloc_uint(3).unwrap();
+        let b = vm.alloc_uint(3).unwrap();
+        let c = vm.alloc_uint(7).unwrap();
+        assert!(vm.fma(&a, &b, &c).is_err());
+    }
+
+    #[test]
+    fn kernels_leak_no_rows() {
+        let mut vm = vm();
+        let a = load(&mut vm, 8, &A);
+        let b = load(&mut vm, 8, &B);
+        let live = vm.substrate().live_rows();
+        let h = vm.hamming(&a, &b).unwrap();
+        let mn = vm.min(&a, &b).unwrap();
+        let d = vm.abs_diff(&a, &b).unwrap();
+        let s = vm.add_saturating(&a, &b).unwrap();
+        let total = h.width() + mn.width() + d.width() + s.width();
+        assert_eq!(vm.substrate().live_rows(), live + total);
+        for v in [h, mn, d, s] {
+            vm.free_uint(v);
+        }
+        assert_eq!(vm.substrate().live_rows(), live);
+    }
+}

@@ -1,0 +1,67 @@
+//! # simdram — bit-serial SIMD arithmetic on the FCDRAM gate set
+//!
+//! The FCDRAM paper (Yüksel et al., HPCA 2024) demonstrates that COTS
+//! DRAM chips natively execute a *functionally complete* operation
+//! set: NOT plus N-input AND/OR/NAND/NOR. Functional completeness
+//! means arbitrary computation; this crate is that claim made
+//! runnable. It synthesizes XOR, multiplexers, adders, comparators,
+//! multipliers and population counts from the native gates and
+//! executes them bit-serially over thousands of SIMD lanes — the
+//! SIMDRAM execution model, rebuilt on the paper's substrate.
+//!
+//! ## Layers
+//!
+//! * [`substrate`] — where rows live: [`DramSubstrate`] drives the
+//!   simulated chip through [`fcdram::BulkEngine`] (gates inherit the
+//!   characterized success rates); [`HostSubstrate`] is the exact
+//!   golden model and CPU baseline.
+//! * [`layout`] — vertical (bit-transposed) integer vectors.
+//! * [`gates`] / [`alu`] / [`mul`] — gate synthesis and word-level
+//!   arithmetic on [`SimdVm`].
+//! * [`cost`] — DDR4 command/latency/energy accounting vs. a
+//!   processor-centric baseline (the paper's §1 motivation).
+//! * [`reliability`] — analytic error propagation: per-gate success
+//!   rates → expected lane accuracy, and how much repetition voting
+//!   buys back.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simdram::{HostSubstrate, SimdVm};
+//!
+//! // The same code runs on DramSubstrate for in-DRAM execution.
+//! let mut vm = SimdVm::new(HostSubstrate::new(4, 256))?;
+//! let a = vm.alloc_uint(8)?;
+//! let b = vm.alloc_uint(8)?;
+//! vm.write_u64(&a, &[10, 20, 30, 40])?;
+//! vm.write_u64(&b, &[5, 6, 7, 8])?;
+//! let sum = vm.add(&a, &b)?;
+//! assert_eq!(vm.read_u64(&sum)?, vec![15, 26, 37, 48]);
+//! # Ok::<(), simdram::SimdramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alu;
+pub mod cost;
+pub mod div;
+pub mod error;
+pub mod gates;
+pub mod kernels;
+pub mod layout;
+pub mod mul;
+pub mod reliability;
+pub mod substrate;
+pub mod trace;
+pub mod vm;
+
+pub use cost::{CostModel, CostSummary};
+pub use error::{Result, SimdramError};
+pub use layout::UintVec;
+pub use substrate::{BitRow, DramSubstrate, HostSubstrate, Substrate, MAX_FAN_IN};
+pub use trace::{NativeOp, OpTrace, TraceEntry};
+pub use vm::{AdderKind, SimdVm};
+
+// Re-export the vocabulary types users need at the API surface.
+pub use dram_core::LogicOp;

@@ -1,0 +1,174 @@
+//! Analytic error propagation through synthesized circuits.
+//!
+//! Every in-DRAM gate succeeds per lane with the probability the
+//! device model predicts (the paper's *success rate*). A synthesized
+//! circuit applies many gates to each lane; under the independence
+//! assumption — and conservatively ignoring error masking (an AND
+//! with a 0 masks an error on its other input) — a lane is correct
+//! when every gate on it is, so the expected lane accuracy is the
+//! product of per-gate (vote-adjusted) success probabilities.
+//!
+//! The measured accuracy sits at or above this estimate; integration
+//! tests (`tests/simd_arithmetic.rs`) check both directions within
+//! tolerance.
+
+use crate::trace::OpTrace;
+
+/// Probability that a k-fold repetition vote is correct when each
+/// execution independently succeeds with probability `p` (k odd).
+///
+/// # Examples
+///
+/// ```
+/// let p = simdram::reliability::voted_success(0.9, 3);
+/// assert!(p > 0.97 && p < 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is zero or even, or `p` is outside `[0, 1]`.
+pub fn voted_success(p: f64, k: usize) -> f64 {
+    assert!(k >= 1 && k % 2 == 1, "vote count must be odd and >= 1");
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if k == 1 {
+        return p;
+    }
+    // Σ_{j > k/2} C(k,j) p^j (1-p)^(k-j), accumulated with an
+    // incrementally updated binomial coefficient (k ≤ ~99 in practice,
+    // well inside f64 exactness for C(k,j)).
+    let q = 1.0 - p;
+    let mut coeff = 1.0f64; // C(k, 0)
+    let mut total = 0.0;
+    for j in 0..=k {
+        if j > k / 2 {
+            total += coeff * p.powi(j as i32) * q.powi((k - j) as i32);
+        }
+        coeff = coeff * (k - j) as f64 / (j + 1) as f64;
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// Expected fraction of correct lanes after executing `trace`:
+/// the product over in-DRAM entries of their vote-adjusted success.
+/// Host transfers (exact) contribute 1.
+pub fn expected_lane_accuracy(trace: &OpTrace) -> f64 {
+    trace
+        .entries()
+        .iter()
+        .filter(|e| e.op.is_in_dram() && e.executions > 0)
+        .map(|e| {
+            if e.executions > 1 && e.executions % 2 == 1 {
+                voted_success(e.predicted_success.clamp(0.0, 1.0), e.executions)
+            } else {
+                e.predicted_success.clamp(0.0, 1.0)
+            }
+        })
+        .product()
+}
+
+/// Smallest odd repetition count `k` such that a circuit of `gates`
+/// gates, each with per-execution success `p`, reaches `target`
+/// expected lane accuracy — or `None` if no `k ≤ 99` suffices (e.g.,
+/// when `p ≤ 0.5`, where voting cannot help).
+pub fn repetitions_for_target(p: f64, gates: usize, target: f64) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    assert!((0.0..=1.0).contains(&target), "target out of range: {target}");
+    let mut k = 1;
+    while k <= 99 {
+        let per_gate = voted_success(p, k);
+        if per_gate.powi(gates as i32) >= target {
+            return Some(k);
+        }
+        k += 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{NativeOp, TraceEntry};
+    use dram_core::LogicOp;
+
+    #[test]
+    fn vote_of_one_is_identity() {
+        for p in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            assert!((voted_success(p, 1) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vote_extremes_are_fixed_points() {
+        for k in [1, 3, 5, 9, 33] {
+            assert!((voted_success(1.0, k) - 1.0).abs() < 1e-12);
+            assert!(voted_success(0.0, k).abs() < 1e-12);
+            assert!((voted_success(0.5, k) - 0.5).abs() < 1e-9, "0.5 is the voting fixed point");
+        }
+    }
+
+    #[test]
+    fn vote_amplifies_above_half_and_attenuates_below() {
+        assert!(voted_success(0.9, 3) > 0.9);
+        assert!(voted_success(0.9, 9) > voted_success(0.9, 3));
+        assert!(voted_success(0.3, 3) < 0.3, "voting makes a bad gate worse");
+    }
+
+    #[test]
+    fn vote_closed_form_k3() {
+        // P = p³ + 3p²(1−p)
+        for p in [0.6f64, 0.75, 0.9, 0.99] {
+            let expect = p.powi(3) + 3.0 * p.powi(2) * (1.0 - p);
+            assert!((voted_success(p, 3) - expect).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_vote_panics() {
+        voted_success(0.9, 2);
+    }
+
+    fn logic_entry(p: f64, executions: usize) -> TraceEntry {
+        TraceEntry {
+            op: NativeOp::Logic(LogicOp::And, 2),
+            executions,
+            predicted_success: p,
+        }
+    }
+
+    #[test]
+    fn lane_accuracy_is_a_product() {
+        let mut t = OpTrace::new();
+        t.record(logic_entry(0.9, 1));
+        t.record(logic_entry(0.8, 1));
+        t.record(TraceEntry { op: NativeOp::HostRead, executions: 0, predicted_success: 1.0 });
+        assert!((expected_lane_accuracy(&t) - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_accuracy_accounts_for_votes() {
+        let mut unvoted = OpTrace::new();
+        unvoted.record(logic_entry(0.9, 1));
+        let mut voted = OpTrace::new();
+        voted.record(logic_entry(0.9, 5));
+        assert!(expected_lane_accuracy(&voted) > expected_lane_accuracy(&unvoted));
+    }
+
+    #[test]
+    fn empty_trace_is_perfect() {
+        assert!((expected_lane_accuracy(&OpTrace::new()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repetition_targets() {
+        // A 72-gate 8-bit adder at 95% per-gate success needs voting.
+        let k = repetitions_for_target(0.95, 72, 0.9).expect("reachable");
+        assert!(k > 1 && k % 2 == 1);
+        let per_gate = voted_success(0.95, k);
+        assert!(per_gate.powi(72) >= 0.9);
+        // One gate at 99.9% needs no repetition for a 99% target.
+        assert_eq!(repetitions_for_target(0.999, 1, 0.99), Some(1));
+        // Below the voting fixed point no k helps.
+        assert_eq!(repetitions_for_target(0.4, 10, 0.9), None);
+    }
+}

@@ -1,0 +1,719 @@
+//! The substrate abstraction: where bit rows live and how gates run.
+//!
+//! Arithmetic circuits in this crate are written once against the
+//! [`Substrate`] trait and execute on either backend:
+//!
+//! * [`DramSubstrate`] — rows are DRAM rows of an
+//!   [`fcdram::BulkEngine`]; gates are the paper's in-DRAM NOT and
+//!   N-input AND/OR/NAND/NOR, with their measured unreliability.
+//! * [`HostSubstrate`] — rows are host bit vectors and gates are exact.
+//!   It is the golden model for circuit-synthesis tests and the CPU
+//!   baseline for cost comparisons.
+//!
+//! The trait deliberately mirrors what COTS DRAM offers (§5–§6 of the
+//! paper): wide rows, one-output gates with up to 16 inputs, copies,
+//! and constant fills. Everything richer (XOR, adders, multipliers) is
+//! *synthesized* in [`crate::gates`] and [`crate::alu`] — which is the
+//! point of demonstrating functional completeness.
+
+use crate::error::{Result, SimdramError};
+use crate::trace::{NativeOp, OpTrace, TraceEntry};
+use dram_core::LogicOp;
+use fcdram::{BitVecHandle, BulkEngine};
+use serde::{Deserialize, Serialize};
+
+/// The largest fan-in any FCDRAM-style substrate can offer (the paper
+/// demonstrates up to 16-input operations; §7 Limitation 2).
+pub const MAX_FAN_IN: usize = 16;
+
+/// Handle to one substrate-resident row of bits (one bit position of
+/// every SIMD lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitRow(usize);
+
+impl BitRow {
+    /// The raw slot id (stable for the lifetime of the allocation).
+    pub fn id(self) -> usize {
+        self.0
+    }
+}
+
+/// A backend that stores bit rows and executes native gates on them.
+///
+/// Implementations must guarantee that gate inputs are *not* clobbered
+/// (the in-DRAM engine stages operands into reserved scratch rows), so
+/// a row may appear several times in one `logic` call and may be
+/// shared read-only between vectors.
+pub trait Substrate {
+    /// Number of SIMD lanes (bits per row).
+    fn lanes(&self) -> usize;
+
+    /// Largest native fan-in `logic` accepts on this backend.
+    fn max_fan_in(&self) -> usize;
+
+    /// Allocates a fresh row (contents unspecified).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row pool is exhausted.
+    fn alloc(&mut self) -> Result<BitRow>;
+
+    /// Returns a row to the pool. Freeing an already-freed handle is a
+    /// no-op on the host backend and must not corrupt the pool.
+    fn free(&mut self, r: BitRow);
+
+    /// Writes host bits into a row (one bit per lane).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `bits.len() != lanes()` or the handle is invalid.
+    fn write(&mut self, r: BitRow, bits: &[bool]) -> Result<()>;
+
+    /// Reads a row back to host bits.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is invalid.
+    fn read(&mut self, r: BitRow) -> Result<Vec<bool>>;
+
+    /// Fills a row with a constant.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is invalid.
+    fn fill(&mut self, r: BitRow, value: bool) -> Result<()>;
+
+    /// Copies `src` into `dst` (RowClone on DRAM).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a handle is invalid.
+    fn copy(&mut self, src: BitRow, dst: BitRow) -> Result<()>;
+
+    /// `out ← ¬a` (the paper's NOT, §5).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a handle is invalid or the device cannot execute.
+    fn not(&mut self, a: BitRow, out: BitRow) -> Result<()>;
+
+    /// `out ← op(ins...)` for 2..=[`Substrate::max_fan_in`] inputs
+    /// (the paper's N-input AND/OR/NAND/NOR, §6).
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad input counts or invalid handles.
+    fn logic(&mut self, op: LogicOp, ins: &[BitRow], out: BitRow) -> Result<()>;
+
+    /// `out ← MAJ3(a, b, c)`.
+    ///
+    /// The default synthesizes `OR₃(AND(a,b), AND(a,c), AND(b,c))`
+    /// from the functionally-complete set (4 native ops); backends
+    /// with Ambit-style in-subarray multi-row activation override it
+    /// with the native single-operation form (§2.2 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid handles or row exhaustion.
+    fn maj3(&mut self, a: BitRow, b: BitRow, c: BitRow, out: BitRow) -> Result<()> {
+        derived_maj3(self, a, b, c, out)
+    }
+
+    /// Whether [`Substrate::maj3`] executes as one native operation
+    /// (as opposed to the 4-gate derived circuit).
+    fn has_native_maj(&self) -> bool {
+        false
+    }
+
+    /// The accumulated operation trace.
+    fn trace(&self) -> &OpTrace;
+
+    /// Mutable access to the trace (for clearing between sections).
+    fn trace_mut(&mut self) -> &mut OpTrace;
+}
+
+/// The derived MAJ3 circuit used by [`Substrate::maj3`]'s default
+/// implementation and by the [`DramSubstrate`] fallback on parts
+/// without a four-row activation set.
+fn derived_maj3<S: Substrate + ?Sized>(
+    s: &mut S,
+    a: BitRow,
+    b: BitRow,
+    c: BitRow,
+    out: BitRow,
+) -> Result<()> {
+    let ab = s.alloc()?;
+    let ac = s.alloc()?;
+    let bc = s.alloc()?;
+    s.logic(LogicOp::And, &[a, b], ab)?;
+    s.logic(LogicOp::And, &[a, c], ac)?;
+    s.logic(LogicOp::And, &[b, c], bc)?;
+    s.logic(LogicOp::Or, &[ab, ac, bc], out)?;
+    s.free(ab);
+    s.free(ac);
+    s.free(bc);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Host golden model
+// ---------------------------------------------------------------------------
+
+/// Exact host-side substrate: the golden model and CPU baseline.
+///
+/// # Examples
+///
+/// ```
+/// use simdram::{HostSubstrate, Substrate};
+/// use dram_core::LogicOp;
+///
+/// let mut s = HostSubstrate::new(4, 64);
+/// let a = s.alloc()?;
+/// let b = s.alloc()?;
+/// let out = s.alloc()?;
+/// s.write(a, &[true, true, false, false])?;
+/// s.write(b, &[true, false, true, false])?;
+/// s.logic(LogicOp::And, &[a, b], out)?;
+/// assert_eq!(s.read(out)?, vec![true, false, false, false]);
+/// # Ok::<(), simdram::SimdramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostSubstrate {
+    lanes: usize,
+    rows: Vec<Option<Vec<bool>>>,
+    free: Vec<usize>,
+    capacity: usize,
+    trace: OpTrace,
+}
+
+impl HostSubstrate {
+    /// Creates a host substrate with `lanes` bits per row and room for
+    /// `capacity` live rows (mirroring a subarray's row budget).
+    pub fn new(lanes: usize, capacity: usize) -> Self {
+        HostSubstrate { lanes, rows: Vec::new(), free: Vec::new(), capacity, trace: OpTrace::new() }
+    }
+
+    fn slot(&self, r: BitRow) -> Result<&Vec<bool>> {
+        self.rows
+            .get(r.0)
+            .and_then(|s| s.as_ref())
+            .ok_or(SimdramError::BadHandle { id: r.0 })
+    }
+
+    fn record(&mut self, op: NativeOp) {
+        self.trace.record(TraceEntry { op, executions: 1, predicted_success: 1.0 });
+    }
+
+    /// Number of currently live rows (for leak tests).
+    pub fn live_rows(&self) -> usize {
+        self.rows.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl Substrate for HostSubstrate {
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn max_fan_in(&self) -> usize {
+        MAX_FAN_IN
+    }
+
+    fn alloc(&mut self) -> Result<BitRow> {
+        if let Some(id) = self.free.pop() {
+            self.rows[id] = Some(vec![false; self.lanes]);
+            return Ok(BitRow(id));
+        }
+        if self.live_rows() >= self.capacity {
+            return Err(SimdramError::Substrate(fcdram::FcdramError::OutOfRows));
+        }
+        self.rows.push(Some(vec![false; self.lanes]));
+        Ok(BitRow(self.rows.len() - 1))
+    }
+
+    fn free(&mut self, r: BitRow) {
+        if let Some(slot) = self.rows.get_mut(r.0) {
+            if slot.take().is_some() {
+                self.free.push(r.0);
+            }
+        }
+    }
+
+    fn write(&mut self, r: BitRow, bits: &[bool]) -> Result<()> {
+        if bits.len() != self.lanes {
+            return Err(SimdramError::LaneMismatch { expected: self.lanes, got: bits.len() });
+        }
+        self.slot(r)?;
+        self.rows[r.0] = Some(bits.to_vec());
+        self.record(NativeOp::HostWrite);
+        Ok(())
+    }
+
+    fn read(&mut self, r: BitRow) -> Result<Vec<bool>> {
+        let data = self.slot(r)?.clone();
+        self.record(NativeOp::HostRead);
+        Ok(data)
+    }
+
+    fn fill(&mut self, r: BitRow, value: bool) -> Result<()> {
+        self.slot(r)?;
+        self.rows[r.0] = Some(vec![value; self.lanes]);
+        self.record(NativeOp::Fill);
+        Ok(())
+    }
+
+    fn copy(&mut self, src: BitRow, dst: BitRow) -> Result<()> {
+        let data = self.slot(src)?.clone();
+        self.slot(dst)?;
+        self.rows[dst.0] = Some(data);
+        self.trace.record(TraceEntry { op: NativeOp::Copy, executions: 1, predicted_success: 1.0 });
+        Ok(())
+    }
+
+    fn not(&mut self, a: BitRow, out: BitRow) -> Result<()> {
+        let data: Vec<bool> = self.slot(a)?.iter().map(|b| !b).collect();
+        self.slot(out)?;
+        self.rows[out.0] = Some(data);
+        self.trace.record(TraceEntry { op: NativeOp::Not, executions: 1, predicted_success: 1.0 });
+        Ok(())
+    }
+
+    fn logic(&mut self, op: LogicOp, ins: &[BitRow], out: BitRow) -> Result<()> {
+        if ins.len() < 2 || ins.len() > self.max_fan_in() {
+            return Err(SimdramError::Substrate(fcdram::FcdramError::BadInputCount {
+                n: ins.len(),
+                max: self.max_fan_in(),
+            }));
+        }
+        let mut acc = vec![op.is_and_family(); self.lanes];
+        for r in ins {
+            let row = self.slot(*r)?;
+            for (a, b) in acc.iter_mut().zip(row) {
+                if op.is_and_family() {
+                    *a &= *b;
+                } else {
+                    *a |= *b;
+                }
+            }
+        }
+        if op.is_inverted_terminal() {
+            for a in &mut acc {
+                *a = !*a;
+            }
+        }
+        self.slot(out)?;
+        self.rows[out.0] = Some(acc);
+        self.trace.record(TraceEntry {
+            op: NativeOp::Logic(op, ins.len() as u8),
+            executions: 1,
+            predicted_success: 1.0,
+        });
+        Ok(())
+    }
+
+    fn trace(&self) -> &OpTrace {
+        &self.trace
+    }
+
+    fn trace_mut(&mut self) -> &mut OpTrace {
+        &mut self.trace
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-DRAM substrate
+// ---------------------------------------------------------------------------
+
+/// Substrate backed by a real (simulated) DRAM chip through
+/// [`fcdram::BulkEngine`]: gates execute as violated-timing command
+/// sequences and inherit the device model's per-cell success rates.
+///
+/// # Examples
+///
+/// ```
+/// use simdram::{DramSubstrate, Substrate};
+/// use fcdram::{BulkEngine, Fcdram};
+/// use dram_core::{BankId, SubarrayId};
+///
+/// let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
+/// let engine = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0))?;
+/// let mut s = DramSubstrate::new(engine);
+/// let a = s.alloc()?;
+/// s.fill(a, true)?;
+/// assert!(s.read(a)?.iter().all(|b| *b));
+/// # Ok::<(), simdram::SimdramError>(())
+/// ```
+#[derive(Debug)]
+pub struct DramSubstrate {
+    engine: BulkEngine,
+    handles: Vec<Option<BitVecHandle>>,
+    free: Vec<usize>,
+    trace: OpTrace,
+    max_fan_in: usize,
+}
+
+impl DramSubstrate {
+    /// Wraps a bulk engine. The native fan-in limit is the largest
+    /// `N:N` activation pattern the engine discovered on this chip.
+    pub fn new(engine: BulkEngine) -> Self {
+        let max_fan_in = [16usize, 8, 4, 2]
+            .into_iter()
+            .find(|n| engine.map().find_nn(*n).is_some())
+            .unwrap_or(2);
+        DramSubstrate {
+            engine,
+            handles: Vec::new(),
+            free: Vec::new(),
+            trace: OpTrace::new(),
+            max_fan_in,
+        }
+    }
+
+    /// Enables k-fold repetition voting on every gate (k odd); see
+    /// [`BulkEngine::set_repetition`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even or zero.
+    pub fn set_repetition(&mut self, k: usize) {
+        self.engine.set_repetition(k);
+    }
+
+    /// Sets the chip temperature for subsequent gates.
+    pub fn set_temperature(&mut self, t: dram_core::Temperature) {
+        self.engine.set_temperature(t);
+    }
+
+    /// The wrapped engine (for inspection).
+    pub fn engine(&self) -> &BulkEngine {
+        &self.engine
+    }
+
+    /// Consumes the substrate, returning the engine.
+    pub fn into_engine(self) -> BulkEngine {
+        self.engine
+    }
+
+    fn handle(&self, r: BitRow) -> Result<BitVecHandle> {
+        self.handles
+            .get(r.0)
+            .and_then(|h| *h)
+            .ok_or(SimdramError::BadHandle { id: r.0 })
+    }
+}
+
+impl Substrate for DramSubstrate {
+    fn lanes(&self) -> usize {
+        self.engine.capacity_bits()
+    }
+
+    fn max_fan_in(&self) -> usize {
+        self.max_fan_in
+    }
+
+    fn alloc(&mut self) -> Result<BitRow> {
+        let handle = self.engine.alloc()?;
+        if let Some(id) = self.free.pop() {
+            self.handles[id] = Some(handle);
+            return Ok(BitRow(id));
+        }
+        self.handles.push(Some(handle));
+        Ok(BitRow(self.handles.len() - 1))
+    }
+
+    fn free(&mut self, r: BitRow) {
+        if let Some(slot) = self.handles.get_mut(r.0) {
+            if let Some(h) = slot.take() {
+                self.engine.free(h);
+                self.free.push(r.0);
+            }
+        }
+    }
+
+    fn write(&mut self, r: BitRow, bits: &[bool]) -> Result<()> {
+        let h = self.handle(r)?;
+        self.engine.write(&h, bits)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::HostWrite,
+            executions: 0,
+            predicted_success: 1.0,
+        });
+        Ok(())
+    }
+
+    fn read(&mut self, r: BitRow) -> Result<Vec<bool>> {
+        let h = self.handle(r)?;
+        let bits = self.engine.read(&h)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::HostRead,
+            executions: 0,
+            predicted_success: 1.0,
+        });
+        Ok(bits)
+    }
+
+    fn fill(&mut self, r: BitRow, value: bool) -> Result<()> {
+        let h = self.handle(r)?;
+        self.engine.fill(&h, value)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Fill,
+            executions: 0,
+            predicted_success: 1.0,
+        });
+        Ok(())
+    }
+
+    fn copy(&mut self, src: BitRow, dst: BitRow) -> Result<()> {
+        let hs = self.handle(src)?;
+        let hd = self.handle(dst)?;
+        let stats = self.engine.copy(&hs, &hd)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Copy,
+            executions: stats.executions,
+            predicted_success: stats.predicted_success,
+        });
+        Ok(())
+    }
+
+    fn not(&mut self, a: BitRow, out: BitRow) -> Result<()> {
+        let ha = self.handle(a)?;
+        let ho = self.handle(out)?;
+        let stats = self.engine.not(&ha, &ho)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Not,
+            executions: stats.executions,
+            predicted_success: stats.predicted_success,
+        });
+        Ok(())
+    }
+
+    fn logic(&mut self, op: LogicOp, ins: &[BitRow], out: BitRow) -> Result<()> {
+        let handles: Vec<BitVecHandle> =
+            ins.iter().map(|r| self.handle(*r)).collect::<Result<_>>()?;
+        let refs: Vec<&BitVecHandle> = handles.iter().collect();
+        let ho = self.handle(out)?;
+        let stats = self.engine.logic(op, &refs, &ho)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Logic(op, ins.len() as u8),
+            executions: stats.executions,
+            predicted_success: stats.predicted_success,
+        });
+        Ok(())
+    }
+
+    fn maj3(&mut self, a: BitRow, b: BitRow, c: BitRow, out: BitRow) -> Result<()> {
+        if !self.engine.has_native_maj() {
+            return derived_maj3(self, a, b, c, out);
+        }
+        let ha = self.handle(a)?;
+        let hb = self.handle(b)?;
+        let hc = self.handle(c)?;
+        let ho = self.handle(out)?;
+        let stats = self.engine.maj3(&ha, &hb, &hc, &ho)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Maj,
+            executions: stats.executions,
+            predicted_success: stats.predicted_success,
+        });
+        Ok(())
+    }
+
+    fn has_native_maj(&self) -> bool {
+        self.engine.has_native_maj()
+    }
+
+    fn trace(&self) -> &OpTrace {
+        &self.trace
+    }
+
+    fn trace_mut(&mut self) -> &mut OpTrace {
+        &mut self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> HostSubstrate {
+        HostSubstrate::new(8, 64)
+    }
+
+    #[test]
+    fn host_alloc_free_reuses_slots() {
+        let mut s = host();
+        let a = s.alloc().unwrap();
+        let id = a.id();
+        s.free(a);
+        let b = s.alloc().unwrap();
+        assert_eq!(b.id(), id, "freed slot is reused");
+        // Double free must not corrupt the pool.
+        s.free(b);
+        s.free(b);
+        let c = s.alloc().unwrap();
+        let d = s.alloc().unwrap();
+        assert_ne!(c.id(), d.id());
+    }
+
+    #[test]
+    fn host_capacity_is_enforced() {
+        let mut s = HostSubstrate::new(4, 2);
+        let _a = s.alloc().unwrap();
+        let _b = s.alloc().unwrap();
+        assert!(s.alloc().is_err());
+    }
+
+    #[test]
+    fn host_gates_are_exact() {
+        let mut s = host();
+        let a = s.alloc().unwrap();
+        let b = s.alloc().unwrap();
+        let out = s.alloc().unwrap();
+        let da = [true, true, false, false, true, false, true, false];
+        let db = [true, false, true, false, true, true, false, false];
+        s.write(a, &da).unwrap();
+        s.write(b, &db).unwrap();
+
+        s.logic(LogicOp::Nand, &[a, b], out).unwrap();
+        let got = s.read(out).unwrap();
+        for i in 0..8 {
+            assert_eq!(got[i], !(da[i] && db[i]), "lane {i}");
+        }
+
+        s.not(a, out).unwrap();
+        let got = s.read(out).unwrap();
+        for i in 0..8 {
+            assert_eq!(got[i], !da[i]);
+        }
+    }
+
+    #[test]
+    fn host_rejects_bad_fan_in() {
+        let mut s = host();
+        let a = s.alloc().unwrap();
+        let out = s.alloc().unwrap();
+        assert!(s.logic(LogicOp::And, &[a], out).is_err());
+        let many: Vec<BitRow> = (0..17).map(|_| s.alloc().unwrap()).collect();
+        assert!(s.logic(LogicOp::And, &many, out).is_err());
+    }
+
+    #[test]
+    fn host_freed_handle_is_rejected() {
+        let mut s = host();
+        let a = s.alloc().unwrap();
+        s.free(a);
+        assert!(matches!(s.read(a), Err(SimdramError::BadHandle { .. })));
+    }
+
+    #[test]
+    fn host_trace_records_everything() {
+        let mut s = host();
+        let a = s.alloc().unwrap();
+        let b = s.alloc().unwrap();
+        s.fill(a, true).unwrap();
+        s.copy(a, b).unwrap();
+        s.not(a, b).unwrap();
+        assert_eq!(s.trace().len(), 3);
+        assert_eq!(s.trace().in_dram_ops(), 2); // copy + not
+        s.trace_mut().clear();
+        assert!(s.trace().is_empty());
+    }
+
+    fn dram() -> DramSubstrate {
+        let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
+        let engine = BulkEngine::new(
+            fcdram::Fcdram::new(cfg),
+            dram_core::BankId(0),
+            dram_core::SubarrayId(0),
+        )
+        .unwrap();
+        DramSubstrate::new(engine)
+    }
+
+    #[test]
+    fn dram_round_trip_and_fan_in() {
+        let mut s = dram();
+        assert!(s.max_fan_in() >= 2);
+        assert!(s.lanes() > 0);
+        let a = s.alloc().unwrap();
+        let bits: Vec<bool> = (0..s.lanes()).map(|i| i % 3 == 0).collect();
+        s.write(a, &bits).unwrap();
+        assert_eq!(s.read(a).unwrap(), bits);
+    }
+
+    #[test]
+    fn dram_gates_trace_predictions() {
+        let mut s = dram();
+        let a = s.alloc().unwrap();
+        let b = s.alloc().unwrap();
+        let out = s.alloc().unwrap();
+        s.fill(a, true).unwrap();
+        s.fill(b, false).unwrap();
+        s.logic(LogicOp::Or, &[a, b], out).unwrap();
+        let entry = *s.trace().entries().last().unwrap();
+        assert!(matches!(entry.op, NativeOp::Logic(LogicOp::Or, 2)));
+        assert!(entry.predicted_success > 0.5 && entry.predicted_success <= 1.0);
+    }
+
+    #[test]
+    fn host_maj3_is_exact_majority() {
+        let mut s = host();
+        let rows: Vec<BitRow> = (0..4).map(|_| s.alloc().unwrap()).collect();
+        let (a, b, c, out) = (rows[0], rows[1], rows[2], rows[3]);
+        s.write(a, &[false, false, true, true, false, false, true, true]).unwrap();
+        s.write(b, &[false, true, false, true, false, true, false, true]).unwrap();
+        s.write(c, &[false, false, false, false, true, true, true, true]).unwrap();
+        s.maj3(a, b, c, out).unwrap();
+        assert_eq!(
+            s.read(out).unwrap(),
+            vec![false, false, false, true, false, true, true, true]
+        );
+        assert!(!s.has_native_maj(), "host uses the derived circuit");
+    }
+
+    #[test]
+    fn dram_native_maj3_executes_one_op() {
+        let mut s = dram();
+        assert!(s.has_native_maj(), "SK Hynix parts discover a 4-row set");
+        let a = s.alloc().unwrap();
+        let b = s.alloc().unwrap();
+        let c = s.alloc().unwrap();
+        let out = s.alloc().unwrap();
+        s.fill(a, true).unwrap();
+        s.fill(b, true).unwrap();
+        s.fill(c, false).unwrap();
+        s.trace_mut().clear();
+        s.maj3(a, b, c, out).unwrap();
+        let in_dram: Vec<_> =
+            s.trace().entries().iter().filter(|e| e.op.is_in_dram()).collect();
+        assert_eq!(in_dram.len(), 1, "native MAJ is a single operation");
+        assert!(matches!(in_dram[0].op, NativeOp::Maj));
+        // MAJ(1,1,0) = 1 on most lanes.
+        let got = s.read(out).unwrap();
+        let ones = got.iter().filter(|x| **x).count();
+        assert!(ones * 2 > got.len(), "{ones}/{} lanes correct", got.len());
+    }
+
+    #[test]
+    fn dram_free_returns_rows_to_engine() {
+        let mut s = dram();
+        let before = {
+            let mut n = 0;
+            let mut handles = Vec::new();
+            while let Ok(h) = s.alloc() {
+                handles.push(h);
+                n += 1;
+            }
+            for h in handles {
+                s.free(h);
+            }
+            n
+        };
+        // After freeing everything, the same number of rows allocates.
+        let mut again = 0;
+        while s.alloc().is_ok() {
+            again += 1;
+        }
+        assert_eq!(before, again);
+    }
+}

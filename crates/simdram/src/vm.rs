@@ -1,0 +1,328 @@
+//! The SIMD virtual machine: vector lifecycle and host I/O.
+//!
+//! [`SimdVm`] owns a [`Substrate`] plus two shared constant rows
+//! (all-0 and all-1). Gate synthesis lives in [`crate::gates`], word
+//! arithmetic in [`crate::alu`] and [`crate::mul`]; this module is the
+//! allocation and transport layer they build on.
+
+use crate::error::{Result, SimdramError};
+use crate::layout::{check_width, transpose_from_rows, transpose_to_rows, UintVec};
+use crate::substrate::{BitRow, Substrate};
+use crate::trace::OpTrace;
+use serde::{Deserialize, Serialize};
+
+/// Which full-adder circuit word arithmetic ripples through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdderKind {
+    /// Carry from the functionally-complete gate set (9 native ops per
+    /// bit; works on every part).
+    #[default]
+    FcGates,
+    /// Carry from [`Substrate::maj3`] (7 native ops per bit on parts
+    /// with Ambit-style in-subarray majority; the §2.2 baseline
+    /// lineage).
+    FusedMaj,
+}
+
+/// A bit-serial SIMD machine over an FCDRAM-style substrate.
+///
+/// # Examples
+///
+/// ```
+/// use simdram::{HostSubstrate, SimdVm};
+///
+/// let mut vm = SimdVm::new(HostSubstrate::new(4, 64))?;
+/// let a = vm.alloc_uint(8)?;
+/// vm.write_u64(&a, &[1, 2, 3, 4])?;
+/// assert_eq!(vm.read_u64(&a)?, vec![1, 2, 3, 4]);
+/// # Ok::<(), simdram::SimdramError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimdVm<S: Substrate> {
+    sub: S,
+    zero: BitRow,
+    one: BitRow,
+    adder: AdderKind,
+}
+
+impl<S: Substrate> SimdVm<S> {
+    /// Wraps a substrate, allocating the shared constant rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the substrate cannot allocate two rows.
+    pub fn new(mut sub: S) -> Result<Self> {
+        let zero = sub.alloc()?;
+        sub.fill(zero, false)?;
+        let one = sub.alloc()?;
+        sub.fill(one, true)?;
+        Ok(SimdVm { sub, zero, one, adder: AdderKind::default() })
+    }
+
+    /// Selects the full-adder circuit used by word arithmetic
+    /// ([`crate::alu`] addition/subtraction, [`crate::mul`]).
+    pub fn set_adder(&mut self, kind: AdderKind) {
+        self.adder = kind;
+    }
+
+    /// The currently selected adder circuit.
+    pub fn adder(&self) -> AdderKind {
+        self.adder
+    }
+
+    /// Number of SIMD lanes.
+    pub fn lanes(&self) -> usize {
+        self.sub.lanes()
+    }
+
+    /// The shared all-0 constant row. Never freed by [`Self::release`].
+    pub fn zero_row(&self) -> BitRow {
+        self.zero
+    }
+
+    /// The shared all-1 constant row. Never freed by [`Self::release`].
+    pub fn one_row(&self) -> BitRow {
+        self.one
+    }
+
+    /// Whether `r` is one of the shared constant rows.
+    pub fn is_const_row(&self, r: BitRow) -> bool {
+        r == self.zero || r == self.one
+    }
+
+    /// Borrow the substrate (e.g., to inspect the engine).
+    pub fn substrate(&self) -> &S {
+        &self.sub
+    }
+
+    /// Mutable access to the substrate (e.g., to set repetition or
+    /// temperature on [`crate::DramSubstrate`]).
+    pub fn substrate_mut(&mut self) -> &mut S {
+        &mut self.sub
+    }
+
+    /// Consumes the VM, returning the substrate.
+    pub fn into_substrate(self) -> S {
+        self.sub
+    }
+
+    /// The accumulated native-operation trace.
+    pub fn trace(&self) -> &OpTrace {
+        self.sub.trace()
+    }
+
+    /// Clears the trace (convenience for measured sections).
+    pub fn clear_trace(&mut self) {
+        self.sub.trace_mut().clear();
+    }
+
+    // ---------------------------------------------------------------
+    // Row lifecycle
+    // ---------------------------------------------------------------
+
+    /// Allocates one raw row (a 1-bit-per-lane mask).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the substrate's row pool is exhausted.
+    pub fn alloc_row(&mut self) -> Result<BitRow> {
+        self.sub.alloc()
+    }
+
+    /// Releases a row; the shared constant rows are silently kept.
+    pub fn release(&mut self, r: BitRow) {
+        if !self.is_const_row(r) {
+            self.sub.free(r);
+        }
+    }
+
+    /// Writes one bit per lane into a mask row.
+    ///
+    /// # Errors
+    ///
+    /// Fails on lane-count mismatch or an invalid handle.
+    pub fn write_mask(&mut self, r: BitRow, bits: &[bool]) -> Result<()> {
+        self.sub.write(r, bits)
+    }
+
+    /// Reads a mask row back.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid handle.
+    pub fn read_mask(&mut self, r: BitRow) -> Result<Vec<bool>> {
+        self.sub.read(r)
+    }
+
+    // ---------------------------------------------------------------
+    // Integer-vector lifecycle
+    // ---------------------------------------------------------------
+
+    /// Allocates a `width`-bit vector, initialized to zero.
+    ///
+    /// # Errors
+    ///
+    /// Fails for widths outside `1..=64` or when rows run out.
+    pub fn alloc_uint(&mut self, width: usize) -> Result<UintVec> {
+        check_width(width)?;
+        let mut bits = Vec::with_capacity(width);
+        for _ in 0..width {
+            let r = self.sub.alloc()?;
+            self.sub.fill(r, false)?;
+            bits.push(r);
+        }
+        Ok(UintVec::from_bits(bits))
+    }
+
+    /// A `width`-bit vector whose every lane holds `value`, built
+    /// entirely from the shared constant rows — it costs no storage
+    /// and must *not* be written to (use [`Self::alloc_uint`] +
+    /// [`Self::write_u64`] for data).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `value` does not fit in `width` bits.
+    pub fn const_uint(&mut self, width: usize, value: u64) -> Result<UintVec> {
+        check_width(width)?;
+        if width < 64 && value >> width != 0 {
+            return Err(SimdramError::ValueOverflow { value, width });
+        }
+        let bits = (0..width)
+            .map(|i| if (value >> i) & 1 == 1 { self.one } else { self.zero })
+            .collect();
+        Ok(UintVec::from_bits(bits))
+    }
+
+    /// Frees a vector's rows (shared constant rows are kept).
+    pub fn free_uint(&mut self, v: UintVec) {
+        for r in v.into_bits() {
+            self.release(r);
+        }
+    }
+
+    /// Writes one `u64` per lane (bit-transposing on the way in).
+    ///
+    /// # Errors
+    ///
+    /// Fails on lane-count mismatch or value overflow.
+    pub fn write_u64(&mut self, v: &UintVec, values: &[u64]) -> Result<()> {
+        if values.len() != self.lanes() {
+            return Err(SimdramError::LaneMismatch { expected: self.lanes(), got: values.len() });
+        }
+        let rows = transpose_to_rows(values, v.width())?;
+        for (i, row) in rows.iter().enumerate() {
+            self.sub.write(v.bit(i), row)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the vector back as one `u64` per lane.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid handles.
+    pub fn read_u64(&mut self, v: &UintVec) -> Result<Vec<u64>> {
+        let rows: Vec<Vec<bool>> =
+            v.bits().iter().map(|r| self.sub.read(*r)).collect::<Result<_>>()?;
+        Ok(transpose_from_rows(&rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::HostSubstrate;
+
+    fn vm() -> SimdVm<HostSubstrate> {
+        SimdVm::new(HostSubstrate::new(4, 256)).unwrap()
+    }
+
+    #[test]
+    fn const_rows_hold_their_values() {
+        let mut vm = vm();
+        let z = vm.zero_row();
+        let o = vm.one_row();
+        assert_eq!(vm.read_mask(z).unwrap(), vec![false; 4]);
+        assert_eq!(vm.read_mask(o).unwrap(), vec![true; 4]);
+        assert!(vm.is_const_row(z) && vm.is_const_row(o));
+    }
+
+    #[test]
+    fn release_keeps_const_rows() {
+        let mut vm = vm();
+        let z = vm.zero_row();
+        vm.release(z);
+        assert_eq!(vm.read_mask(z).unwrap(), vec![false; 4], "still readable");
+    }
+
+    #[test]
+    fn uint_round_trip() {
+        let mut vm = vm();
+        let v = vm.alloc_uint(8).unwrap();
+        vm.write_u64(&v, &[0, 1, 200, 255]).unwrap();
+        assert_eq!(vm.read_u64(&v).unwrap(), vec![0, 1, 200, 255]);
+        vm.free_uint(v);
+    }
+
+    #[test]
+    fn alloc_uint_is_zeroed() {
+        let mut vm = vm();
+        let v = vm.alloc_uint(5).unwrap();
+        assert_eq!(vm.read_u64(&v).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn const_uint_uses_shared_rows_only() {
+        let mut vm = vm();
+        let c = vm.const_uint(6, 0b101001).unwrap();
+        for (i, r) in c.bits().iter().enumerate() {
+            assert!(vm.is_const_row(*r), "bit {i} must be a shared const row");
+        }
+        assert_eq!(vm.read_u64(&c).unwrap(), vec![0b101001; 4]);
+        // Freeing a const vector must not free the shared rows.
+        let live_before = vm.substrate().live_rows();
+        vm.free_uint(c);
+        assert_eq!(vm.substrate().live_rows(), live_before);
+    }
+
+    #[test]
+    fn const_uint_overflow_rejected() {
+        let mut vm = vm();
+        assert!(matches!(
+            vm.const_uint(3, 8),
+            Err(SimdramError::ValueOverflow { value: 8, width: 3 })
+        ));
+    }
+
+    #[test]
+    fn write_u64_checks_lanes_and_overflow() {
+        let mut vm = vm();
+        let v = vm.alloc_uint(4).unwrap();
+        assert!(matches!(
+            vm.write_u64(&v, &[1, 2, 3]),
+            Err(SimdramError::LaneMismatch { expected: 4, got: 3 })
+        ));
+        assert!(matches!(
+            vm.write_u64(&v, &[1, 2, 3, 16]),
+            Err(SimdramError::ValueOverflow { value: 16, width: 4 })
+        ));
+    }
+
+    #[test]
+    fn free_uint_returns_rows() {
+        let mut vm = vm();
+        let live0 = vm.substrate().live_rows();
+        let v = vm.alloc_uint(8).unwrap();
+        assert_eq!(vm.substrate().live_rows(), live0 + 8);
+        vm.free_uint(v);
+        assert_eq!(vm.substrate().live_rows(), live0);
+    }
+
+    #[test]
+    fn width_validation() {
+        let mut vm = vm();
+        assert!(vm.alloc_uint(0).is_err());
+        assert!(vm.alloc_uint(65).is_err());
+        assert!(vm.alloc_uint(64).is_ok());
+    }
+}

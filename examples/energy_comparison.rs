@@ -1,0 +1,68 @@
+//! Why processing-using-DRAM: the data-movement cost model.
+//!
+//! The paper's motivation (§1) is that moving bulk data over the
+//! memory channel dominates energy. This example prices an N-input
+//! bulk AND two ways with the library's command-level cost model:
+//!
+//! * **host**: read N operand rows over the channel, compute on the
+//!   CPU, write the result row back;
+//! * **in-DRAM**: initialize the reference subarray, run one
+//!   violated-timing double activation, read one result row.
+//!
+//! Run with: `cargo run --release --example energy_comparison`
+
+use dram_core::{EnergyParams, OpCost, SpeedBin, TimingParams};
+
+fn main() {
+    let t = TimingParams::ddr4_default();
+    let e = EnergyParams::ddr4_default();
+    let speed = SpeedBin::Mt2666;
+    let row_bytes = 8192; // one x8 chip row
+
+    println!("bulk bitwise AND over {row_bytes}-byte rows @ {speed}\n");
+    println!(
+        "{:>7}  {:>12} {:>12}  {:>12} {:>12}  {:>9} {:>9}",
+        "inputs", "host nJ", "dram nJ", "host ns", "dram ns", "host B", "dram B"
+    );
+    for n in [2usize, 4, 8, 16] {
+        let host = OpCost::host_bitwise(&t, &e, speed, row_bytes, n);
+        let dram = OpCost::in_dram_bitwise(&t, &e, speed, row_bytes, n);
+        println!(
+            "{:>7}  {:>12.1} {:>12.1}  {:>12.1} {:>12.1}  {:>9} {:>9}",
+            n,
+            host.energy_pj / 1000.0,
+            dram.energy_pj / 1000.0,
+            host.latency_ns,
+            dram.latency_ns,
+            host.channel_bytes,
+            dram.channel_bytes,
+        );
+    }
+
+    // Steady state: operands already resident in DRAM (the realistic
+    // pipeline case) — subtract the operand write-in from the in-DRAM
+    // side; the host still has to read every operand.
+    println!("\nsteady state (operands already resident in DRAM):");
+    println!("{:>7}  {:>12} {:>12}  {:>10}", "inputs", "host nJ", "dram nJ", "ratio");
+    for n in [2usize, 4, 8, 16] {
+        let host = OpCost::host_bitwise(&t, &e, speed, row_bytes, n);
+        let mut dram = OpCost::in_dram_bitwise(&t, &e, speed, row_bytes, n);
+        for _ in 0..n {
+            let w = OpCost::row_transfer(&t, &e, speed, row_bytes, true);
+            dram.energy_pj -= w.energy_pj;
+            dram.latency_ns -= w.latency_ns;
+        }
+        println!(
+            "{:>7}  {:>12.1} {:>12.1}  {:>9.1}x",
+            n,
+            host.energy_pj / 1000.0,
+            dram.energy_pj / 1000.0,
+            host.energy_pj / dram.energy_pj
+        );
+    }
+    println!(
+        "\nper result bit (16-input, steady state): host {:.2} pJ/bit",
+        OpCost::host_bitwise(&t, &e, speed, row_bytes, 16).energy_per_bit_pj(row_bytes * 8)
+    );
+    println!("(constants are literature-typical; the *ratios* are the claim)");
+}

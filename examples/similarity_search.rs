@@ -1,0 +1,142 @@
+//! In-DRAM similarity search over binary signatures.
+//!
+//! A classic bulk-bitwise workload (and a core PuD motivation): every
+//! lane holds a 16-bit binary signature (a hashed feature sketch);
+//! the query is broadcast and each lane computes its Hamming distance
+//! to the query *inside the DRAM array* — XOR synthesized from the
+//! functionally-complete gate set, then a popcount adder tree, then a
+//! threshold compare. Only the one-bit match mask crosses the memory
+//! channel.
+//!
+//! The demo runs the same circuit three ways: the exact host golden
+//! model, the in-DRAM substrate unprotected, and the in-DRAM
+//! substrate with 7-fold repetition voting — and prices the circuit
+//! against a host baseline that must stream all signatures out.
+//!
+//! Run with: `cargo run --release -p simdram --example similarity_search`
+
+use simdram::{
+    reliability, CostModel, CostSummary, DramSubstrate, HostSubstrate, SimdVm, Substrate, UintVec,
+};
+
+const WIDTH: usize = 16;
+const THRESHOLD: u64 = 4; // match: Hamming distance ≤ 4
+
+/// Deterministic pseudo-random signatures, one per lane.
+fn signatures(lanes: usize, salt: u64) -> Vec<u64> {
+    (0..lanes as u64)
+        .map(|i| dram_core::math::mix2(salt, i) & ((1 << WIDTH) - 1))
+        .collect()
+}
+
+/// Golden result: which lanes match the query on the host.
+fn golden_matches(sigs: &[u64], query: u64) -> Vec<bool> {
+    sigs.iter().map(|s| u64::from((s ^ query).count_ones()) <= THRESHOLD).collect()
+}
+
+/// Runs the search circuit on any substrate; returns the match mask.
+fn search<S: Substrate>(
+    vm: &mut SimdVm<S>,
+    sigs: &UintVec,
+    query: u64,
+) -> simdram::Result<Vec<bool>> {
+    // The query is a constant, so its vector costs no storage.
+    let q = vm.const_uint(WIDTH, query)?;
+    let dist = vm.hamming(sigs, &q)?;
+    let thr = vm.const_uint(dist.width(), THRESHOLD)?;
+    let mask = vm.le(&dist, &thr)?;
+    let result = vm.read_mask(mask)?;
+    vm.free_uint(dist);
+    vm.release(mask);
+    Ok(result)
+}
+
+fn accuracy(got: &[bool], golden: &[bool]) -> f64 {
+    let same = got.iter().zip(golden).filter(|(a, b)| a == b).count();
+    same as f64 / golden.len().max(1) as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(64);
+    let label = cfg.label();
+    let speed = cfg.speed;
+    let engine = fcdram::BulkEngine::new(
+        fcdram::Fcdram::new(cfg),
+        dram_core::BankId(0),
+        dram_core::SubarrayId(0),
+    )?;
+    let mut vm = SimdVm::new(DramSubstrate::new(engine))?;
+    let lanes = vm.lanes();
+    let sigs_host = signatures(lanes, 0xFEED);
+    let query = 0b1010_1100_0011_0101 & ((1 << WIDTH) - 1);
+    let golden = golden_matches(&sigs_host, query);
+    let expected_hits = golden.iter().filter(|m| **m).count();
+
+    println!("module     : {label}");
+    println!("signatures : {lanes} lanes × {WIDTH} bits, threshold ≤ {THRESHOLD}");
+    println!("golden     : {expected_hits}/{lanes} matches\n");
+
+    // 1. Exact host golden model.
+    let mut gold_vm = SimdVm::new(HostSubstrate::new(lanes, 8192))?;
+    let gsigs = gold_vm.alloc_uint(WIDTH)?;
+    gold_vm.write_u64(&gsigs, &sigs_host)?;
+    let gmask = search(&mut gold_vm, &gsigs, query)?;
+    assert_eq!(gmask, golden, "host golden must be exact");
+    println!("host golden        : exact ✓");
+
+    // 2. In-DRAM, unprotected.
+    let sigs = vm.alloc_uint(WIDTH)?;
+    vm.write_u64(&sigs, &sigs_host)?;
+    vm.clear_trace();
+    let mask1 = search(&mut vm, &sigs, query)?;
+    let pred1 = reliability::expected_lane_accuracy(vm.trace());
+    let gates = vm.trace().in_dram_ops();
+    println!(
+        "in-DRAM  (k=1)     : mask accuracy {:6.2}%  (predicted {:6.2}%, {gates} native gates)",
+        accuracy(&mask1, &golden) * 100.0,
+        pred1 * 100.0
+    );
+
+    // Price the circuit: in-DRAM vs streaming all signatures out.
+    let model = CostModel::new(speed, lanes);
+    let s = CostSummary::new(&model, vm.trace(), lanes, WIDTH, 1);
+    println!(
+        "  cost             : {:.1} µs / {:.1} nJ in-DRAM vs {:.1} µs / {:.1} nJ host-stream",
+        s.in_dram.latency_ns / 1e3,
+        s.in_dram.energy_pj / 1e3,
+        s.host.latency_ns / 1e3,
+        s.host.energy_pj / 1e3,
+    );
+    let full_row = CostSummary::new(&CostModel::new(speed, 65_536), vm.trace(), 65_536, WIDTH, 1);
+    println!(
+        "  at 65,536 lanes  : energy ratio (host/in-DRAM) {:.2}x",
+        full_row.energy_ratio()
+    );
+
+    // 3. In-DRAM with 7-fold repetition voting.
+    vm.substrate_mut().set_repetition(7);
+    vm.clear_trace();
+    let mask7 = search(&mut vm, &sigs, query)?;
+    let pred7 = reliability::expected_lane_accuracy(vm.trace());
+    println!(
+        "in-DRAM  (k=7)     : mask accuracy {:6.2}%  (predicted {:6.2}%, 7x energy)",
+        accuracy(&mask7, &golden) * 100.0,
+        pred7 * 100.0
+    );
+
+    // How much voting would a 99%-reliable mask need?
+    let per_gate = pred1.powf(1.0 / gates.max(1) as f64);
+    match reliability::repetitions_for_target(per_gate, gates, 0.99) {
+        Some(k) => println!("\n→ 99% mask accuracy needs k = {k} at p̄ = {per_gate:.4}"),
+        None => println!("\n→ 99% unreachable by voting at p̄ = {per_gate:.4}"),
+    }
+    println!(
+        "\nTakeaway: the gate set is complete and the search runs entirely\n\
+         in the array, but COTS-chip gate reliability makes protection\n\
+         (voting here; ECC/stronger repetition in general) part of the\n\
+         design space — exactly the paper's call for explicit DRAM\n\
+         support (§7, §9)."
+    );
+
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Quantitative checks of the paper's 19 observations and 5 takeaways
+//! against the simulated fleet, at the levels the model reproduces
+//! (tolerances documented in EXPERIMENTS.md).
+
+use characterize::experiments::{not_records, run_experiment};
+use characterize::runner::{build_fleet, ModuleCtx, Scale};
+use characterize::stats::mean;
+use dram_core::{LogicOp, Manufacturer, PatternKind};
+
+fn scale() -> Scale {
+    Scale::quick()
+}
+
+fn mini_fleet() -> Vec<ModuleCtx> {
+    let all = dram_core::config::table1();
+    [0usize, 9, 14, 18]
+        .iter()
+        .map(|i| ModuleCtx::build(&all[*i], &scale()).unwrap())
+        .collect()
+}
+
+/// Observations 1–2 and Takeaway 1: simultaneous multi-row activation
+/// in neighboring subarrays, N:N and N:2N families, up to 48 rows.
+#[test]
+fn obs1_obs2_simultaneous_activation_families() {
+    let mut fleet = mini_fleet();
+    let hynix = fleet
+        .iter_mut()
+        .find(|c| c.cfg.manufacturer == Manufacturer::SkHynix)
+        .expect("hynix in fleet");
+    let shapes = hynix.map.shapes();
+    assert!(!shapes.is_empty(), "Observation 1");
+    let mut max_total = 0usize;
+    for (f, l) in shapes {
+        assert!(l == f || l == 2 * f, "families are N:N or N:2N, got {f}:{l}");
+        max_total = max_total.max(f + l);
+    }
+    assert!(max_total >= 24, "Takeaway 1: tens of rows, saw {max_total}");
+}
+
+/// Observation 3: some destination cells approach a 100% success rate.
+#[test]
+fn obs3_perfect_cells_exist_at_low_load() {
+    let mut fleet = mini_fleet();
+    let recs = not_records(&mut fleet, &scale(), &[1, 2]);
+    let best = recs.iter().map(|r| r.p).fold(0.0f64, f64::max);
+    assert!(best > 0.9999, "best cell {best}");
+}
+
+/// Observation 4 + headline: NOT success declines with destination
+/// rows, from ≈98.4% (1 row) toward single digits (32 rows).
+#[test]
+fn obs4_not_success_declines() {
+    let mut fleet = mini_fleet();
+    let recs = not_records(&mut fleet, &scale(), &[1, 8, 32]);
+    let m = |d: usize| {
+        let v: Vec<f64> = recs.iter().filter(|r| r.dest_rows == d).map(|r| r.p).collect();
+        mean(&v)
+    };
+    let (d1, d8, d32) = (m(1), m(8), m(32));
+    assert!((d1 - 0.9837).abs() < 0.03, "d=1 {d1}");
+    assert!(d8 < d1 && d32 < d8, "decline: {d1} {d8} {d32}");
+    assert!(d32 < 0.30, "d=32 {d32}");
+}
+
+/// Observation 5 / Takeaway 2: the N:2N family beats N:N *at matching
+/// destination-row counts* (it drives fewer total rows).
+#[test]
+fn obs5_n2n_beats_nn() {
+    let mut fleet = mini_fleet();
+    let recs = not_records(&mut fleet, &scale(), &[2, 4, 8, 16]);
+    let family = |k: PatternKind, d: usize| {
+        let v: Vec<f64> =
+            recs.iter().filter(|r| r.kind == k && r.dest_rows == d).map(|r| r.p).collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(mean(&v))
+        }
+    };
+    let mut gaps = Vec::new();
+    for d in [2usize, 4, 8, 16] {
+        if let (Some(n2n), Some(nn)) = (family(PatternKind::N2N, d), family(PatternKind::NN, d))
+        {
+            gaps.push(n2n - nn);
+        }
+    }
+    assert!(!gaps.is_empty(), "need paired destination counts");
+    let gap = mean(&gaps);
+    assert!(gap > 0.02, "N:2N − N:N (paired) = {gap}");
+}
+
+/// Observation 6: success varies with distance to the sense amps;
+/// Far-Close is the worst corner.
+#[test]
+fn obs6_distance_dependence() {
+    let mut fleet = mini_fleet();
+    let t = run_experiment("fig9", &mut fleet, &scale()).unwrap();
+    let cell = |s: usize, d: usize| t.rows[s].values[d].unwrap();
+    let far_close = cell(2, 0);
+    let middle_far = cell(1, 2);
+    assert!(middle_far - far_close > 10.0, "MF {middle_far} FC {far_close}");
+}
+
+/// Observation 7 / Takeaway 2: NOT is highly temperature-resilient.
+#[test]
+fn obs7_not_temperature_resilient() {
+    let mut fleet = mini_fleet();
+    let t = run_experiment("fig10", &mut fleet, &scale()).unwrap();
+    let d1: Vec<f64> = t.rows[0].values.iter().flatten().copied().collect();
+    let drift =
+        d1.iter().cloned().fold(f64::MIN, f64::max) - d1.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(drift < 1.5, "drift {drift}");
+}
+
+/// Observations 8–9 / Takeaway 3: speed bin and die revision matter
+/// for NOT.
+#[test]
+fn obs8_obs9_speed_and_die_effects() {
+    let mut fleet = build_fleet(&scale(), false);
+    let t11 = run_experiment("fig11", &mut fleet, &scale()).unwrap();
+    let d4 = &t11.rows[2];
+    assert!(
+        d4.values[0].unwrap() > d4.values[1].unwrap(),
+        "2133 must beat 2400 at 4 dest rows"
+    );
+    let t12 = run_experiment("fig12", &mut fleet, &scale()).unwrap();
+    let get = |l: &str| t12.rows.iter().find(|r| r.label == l).unwrap().values[0].unwrap();
+    assert!(get("Hynix 8Gb M") > get("Hynix 8Gb A"));
+    assert!(get("Samsung 8Gb A") > get("Samsung 8Gb D"));
+}
+
+/// Observations 10–13 / Takeaway 4: many-input ops work at high
+/// success rates; monotone in N; OR-family beats AND-family at few
+/// inputs; AND≈NAND and OR≈NOR.
+#[test]
+fn obs10_to_13_logic_families() {
+    let mut fleet = mini_fleet();
+    let t = run_experiment("fig15", &mut fleet, &scale()).unwrap();
+    let get = |op: &str, col: usize| -> f64 {
+        t.rows.iter().find(|r| r.label == op).unwrap().values[col].unwrap()
+    };
+    // Obs 10: 16-input ops at high success.
+    for op in ["AND", "NAND", "OR", "NOR"] {
+        assert!(get(op, 3) > 88.0, "{op}-16: {}", get(op, 3));
+    }
+    // Obs 11: AND monotone-ish increasing (allow 1.5pt noise).
+    let ands: Vec<f64> = (0..4).map(|i| get("AND", i)).collect();
+    assert!(ands[3] > ands[0] + 5.0, "{ands:?}");
+    // Obs 12: OR beats AND at 2 inputs by several points.
+    assert!(get("OR", 0) - get("AND", 0) > 4.0);
+    // Obs 13: AND≈NAND, OR≈NOR.
+    assert!((get("AND", 0) - get("NAND", 0)).abs() < 2.5);
+    assert!((get("OR", 0) - get("NOR", 0)).abs() < 2.5);
+}
+
+/// Observation 14: input weight drives worst cases (all-1s for AND,
+/// all/near-all-0s for OR).
+#[test]
+fn obs14_input_weight() {
+    let mut fleet = mini_fleet();
+    let t = run_experiment("fig16", &mut fleet, &scale()).unwrap();
+    let and4: Vec<f64> = t.rows[0].values[..5].iter().map(|v| v.unwrap()).collect();
+    assert!(and4[0] - and4[4] > 30.0, "AND-4 worst-case drop: {and4:?}");
+    let or4: Vec<f64> = t.rows[2].values[..5].iter().map(|v| v.unwrap()).collect();
+    assert!(or4[4] - or4[0] > 10.0, "OR-4 worst-case drop: {or4:?}");
+}
+
+/// Observation 15: distance dependence of logic ops, stronger for the
+/// AND family.
+#[test]
+fn obs15_logic_distance() {
+    let mut fleet = mini_fleet();
+    let t = run_experiment("fig17", &mut fleet, &scale()).unwrap();
+    let spread = |col: usize| {
+        let v: Vec<f64> = t.rows.iter().filter_map(|r| r.values[col]).collect();
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    assert!(spread(0) > spread(2), "AND {} vs OR {}", spread(0), spread(2));
+}
+
+/// Observation 16: data-pattern dependence is small.
+#[test]
+fn obs16_data_pattern_small() {
+    let mut fleet = mini_fleet();
+    let t = run_experiment("fig18", &mut fleet, &scale()).unwrap();
+    for row in &t.rows {
+        if let Some(Some(pen)) = row.values.last() {
+            assert!(pen.abs() < 8.0, "{}: penalty {pen}", row.label);
+        }
+    }
+}
+
+/// Observation 17 / Takeaway 4: logic ops are temperature-resilient.
+#[test]
+fn obs17_logic_temperature() {
+    let mut fleet = mini_fleet();
+    let t = run_experiment("fig19", &mut fleet, &scale()).unwrap();
+    for row in &t.rows {
+        let v: Vec<f64> = row.values.iter().flatten().copied().collect();
+        if v.len() >= 2 {
+            let drift = v.iter().cloned().fold(f64::MIN, f64::max)
+                - v.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(drift < 4.0, "{}: {drift}", row.label);
+        }
+    }
+}
+
+/// Observations 18–19 / Takeaway 5: speed and die effects on logic.
+#[test]
+fn obs18_obs19_logic_speed_and_die() {
+    let mut fleet = build_fleet(&scale(), true);
+    let t20 = run_experiment("fig20", &mut fleet, &scale()).unwrap();
+    let nand4 = t20.rows.iter().find(|r| r.label == "NAND-4").unwrap();
+    assert!(nand4.values[0].unwrap() - nand4.values[1].unwrap() > 8.0, "speed dip");
+    let t21 = run_experiment("fig21", &mut fleet, &scale()).unwrap();
+    let and2 = t21.rows.iter().find(|r| r.label == "AND-2").unwrap();
+    assert!(and2.values[0].unwrap() > and2.values[1].unwrap(), "4Gb A > 4Gb M");
+}
+
+/// Limitation 1 (§7): Samsung sequential-only, Micron no operations.
+#[test]
+fn limitation1_manufacturer_capabilities() {
+    let s = scale();
+    let samsung = dram_core::config::table1()
+        .into_iter()
+        .find(|m| m.manufacturer == Manufacturer::Samsung)
+        .unwrap();
+    let ctx = ModuleCtx::build(&samsung, &s).unwrap();
+    assert!(ctx.map.shapes().is_empty());
+    let micron = dram_core::config::micron_modules().remove(0);
+    let ctx = ModuleCtx::build(&micron, &s).unwrap();
+    assert!(ctx.map.shapes().is_empty());
+}
+
+/// Limitation 2 (§7): tested parts top out at 16-input operations.
+#[test]
+fn limitation2_sixteen_input_cap() {
+    let mut fleet = mini_fleet();
+    for ctx in fleet.iter_mut() {
+        for (f, l) in ctx.map.shapes() {
+            assert!(f <= 16 && l <= 32, "{f}:{l}");
+        }
+        // And no 32:32 entry can be requested.
+        assert!(ctx.map.find_nn(32).is_none());
+        let r = characterize::runner::run_logic_random(ctx, LogicOp::And, 32, 1, 1);
+        assert!(r.is_err());
+    }
+}

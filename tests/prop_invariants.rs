@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the device model and library.
+
+use dram_core::{
+    is_shared_col, BankId, Bit, Chip, ChipId, Col, GlobalRow, LocalRow, MultiActivation,
+    PatternKind, StripeSide, SubarrayId,
+};
+use proptest::prelude::*;
+
+fn hynix_chip(cols: usize) -> Chip {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(cols);
+    Chip::new(cfg, ChipId(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row address split/join round-trips for all valid rows.
+    #[test]
+    fn geometry_split_join_roundtrip(row in 0usize..(64 * 512)) {
+        let geom = dram_core::Geometry::new(16, 64, 512, 64).unwrap();
+        let (sub, local) = geom.split_row(GlobalRow(row)).unwrap();
+        prop_assert_eq!(geom.join_row(sub, local).unwrap(), GlobalRow(row));
+        prop_assert!(local.index() < 512);
+    }
+
+    /// Decoder activations always contain the addressed rows, have
+    /// power-of-two sizes, and respect the N:N / N:2N families.
+    #[test]
+    fn decoder_families_hold(f in 0usize..512, l in 0usize..512) {
+        let chip = hynix_chip(16);
+        let geom = *chip.geometry();
+        let rf = GlobalRow(f);
+        let rl = GlobalRow(512 + l);
+        match chip.decoder().activation(&geom, rf, rl) {
+            MultiActivation::CrossSubarray { first_rows, second_rows, kind, .. } => {
+                prop_assert!(first_rows.contains(&LocalRow(f)));
+                prop_assert!(second_rows.contains(&LocalRow(l)));
+                prop_assert!(first_rows.len().is_power_of_two());
+                prop_assert!(second_rows.len().is_power_of_two());
+                match kind {
+                    PatternKind::NN => prop_assert_eq!(first_rows.len(), second_rows.len()),
+                    PatternKind::N2N => {
+                        prop_assert_eq!(2 * first_rows.len(), second_rows.len())
+                    }
+                }
+                prop_assert!(first_rows.len() + second_rows.len() <= 48);
+            }
+            MultiActivation::SecondOnly | MultiActivation::SecondIgnored => {}
+            MultiActivation::SameSubarray { .. } => prop_assert!(false, "different subarrays"),
+        }
+    }
+
+    /// The decoder is a pure function of (chip, rf, rl).
+    #[test]
+    fn decoder_is_deterministic(f in 0usize..512, l in 0usize..512) {
+        let chip = hynix_chip(16);
+        let geom = *chip.geometry();
+        let rf = GlobalRow(f);
+        let rl = GlobalRow(512 + l);
+        prop_assert_eq!(
+            chip.decoder().activation(&geom, rf, rl),
+            chip.decoder().activation(&geom, rf, rl)
+        );
+    }
+
+    /// Write/read round-trips for arbitrary data on arbitrary rows.
+    #[test]
+    fn chip_write_read_roundtrip(
+        row in 0usize..(64 * 512),
+        bank in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut chip = hynix_chip(32);
+        let bits: Vec<Bit> = (0..32)
+            .map(|c| Bit::from(dram_core::math::hash_to_unit(
+                dram_core::math::mix2(seed, c as u64)) < 0.5))
+            .collect();
+        chip.write_row_direct(BankId(bank), GlobalRow(row), &bits).unwrap();
+        prop_assert_eq!(chip.read_row_direct(BankId(bank), GlobalRow(row)).unwrap(), bits);
+    }
+
+    /// Charge sharing always lands between the min and max of the
+    /// participating voltages and the precharge level.
+    #[test]
+    fn charge_share_bounded(voltages in prop::collection::vec(0.0f64..1.2, 1..16)) {
+        let p = dram_core::AnalogParams::ddr4_default();
+        let v = p.bitline_after_share(&voltages);
+        let lo = voltages.iter().cloned().fold(p.v_pre(), f64::min);
+        let hi = voltages.iter().cloned().fold(p.v_pre(), f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} not in [{lo}, {hi}]");
+    }
+
+    /// Margin classification is symmetric under swapping families.
+    #[test]
+    fn margin_class_symmetry(diff in -4.0f64..4.0) {
+        use dram_core::analog::classify_margin;
+        let and_like = classify_margin(diff, 0.9);
+        let or_like = classify_margin(-diff, 0.1);
+        prop_assert_eq!(and_like, or_like);
+    }
+
+    /// Success probabilities are valid probabilities for any event.
+    #[test]
+    fn not_probability_in_unit_interval(
+        k in 2usize..=48,
+        src in 0.0f64..1.0,
+        dst in 0.0f64..1.0,
+        t in 0.0f64..120.0,
+        row in 0usize..512,
+        col in 0usize..64,
+    ) {
+        let chip = hynix_chip(16);
+        let ev = dram_core::NotEvent {
+            total_rows: k,
+            src_dist: src,
+            dst_dist: dst,
+            temperature: dram_core::Temperature::celsius(t),
+        };
+        let cell = dram_core::CellRef {
+            bank: BankId(0),
+            subarray: SubarrayId(1),
+            row: LocalRow(row),
+            col: Col(col),
+            stripe: 1,
+        };
+        let p = chip.reliability().not_success_prob(&ev, cell);
+        prop_assert!((0.0..=1.0).contains(&p), "{p}");
+    }
+
+    /// Stripe wiring: a column is shared between (s, s+1) iff it is
+    /// Below-wired in s and Above-wired in s+1; exactly half of all
+    /// columns are shared for any pair.
+    #[test]
+    fn stripe_wiring_consistency(s in 0usize..63, cols in 2usize..128) {
+        let cols = cols & !1;
+        let shared = (0..cols)
+            .filter(|c| is_shared_col(SubarrayId(s), Col(*c)))
+            .count();
+        prop_assert_eq!(shared, cols / 2);
+        for c in 0..cols {
+            let is_shared = is_shared_col(SubarrayId(s), Col(c));
+            prop_assert_eq!(
+                is_shared,
+                StripeSide::of(SubarrayId(s), Col(c)) == StripeSide::Below
+            );
+            prop_assert_eq!(
+                is_shared,
+                StripeSide::of(SubarrayId(s + 1), Col(c)) == StripeSide::Above
+            );
+        }
+    }
+
+    /// Box statistics are order statistics: min ≤ q1 ≤ median ≤ q3 ≤ max,
+    /// and the mean lies within [min, max].
+    #[test]
+    fn box_stats_ordering(values in prop::collection::vec(0.0f64..100.0, 1..200)) {
+        let s = characterize::stats::BoxStats::from_values(&values).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+        prop_assert!(s.mean >= s.min - 1e-12 && s.mean <= s.max + 1e-12);
+        prop_assert_eq!(s.count, values.len());
+    }
+
+    /// Sampled trial counts stay within the binomial support and are
+    /// deterministic per key.
+    #[test]
+    fn sampled_trials_in_support(p in 0.0f64..1.0, trials in 1u32..2000, key in any::<u64>()) {
+        let s = fcdram::sample_trials(p, trials, key);
+        prop_assert!(s <= trials);
+        prop_assert_eq!(s, fcdram::sample_trials(p, trials, key));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary programs survive the assembly round-trip exactly.
+    #[test]
+    fn asm_round_trips_arbitrary_programs(
+        ops in prop::collection::vec((0u8..5, 0usize..16, 0usize..2048, 0u64..64), 1..24),
+        speed_idx in 0usize..4,
+    ) {
+        use bender::{DdrCommand, ProgramBuilder};
+        let speed = dram_core::SpeedBin::ALL[speed_idx];
+        let mut b = ProgramBuilder::new(speed);
+        for (kind, bank, row, wait) in ops {
+            match kind {
+                0 => { b.act(BankId(bank), GlobalRow(row)); }
+                1 => { b.pre(BankId(bank)); }
+                2 => { b.rd(BankId(bank), GlobalRow(row)); }
+                3 => {
+                    let data: Vec<Bit> =
+                        (0..16).map(|i| Bit::from((row + i) % 3 == 0)).collect();
+                    b.wr(BankId(bank), data);
+                }
+                _ => { b.push(DdrCommand::Ref); }
+            }
+            b.wait_cycles(wait);
+        }
+        let p = b.build();
+        let text = bender::asm::format(&p);
+        let back = bender::asm::parse(&text, speed).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Hex bit codec round-trips for any bit vector whose length is a
+    /// multiple of four.
+    #[test]
+    fn asm_hex_codec_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..256)) {
+        let bits: Vec<Bit> = bits.into_iter().map(Bit::from).collect();
+        let padded: Vec<Bit> = {
+            let mut v = bits.clone();
+            while v.len() % 4 != 0 {
+                v.push(Bit::Zero);
+            }
+            v
+        };
+        let hex = bender::asm::bits_to_hex(&padded);
+        prop_assert_eq!(bender::asm::hex_to_bits(&hex).unwrap(), padded);
+    }
+
+    /// RowHammer only ever disturbs the physically adjacent rows, and
+    /// edge aggressors have exactly one victim.
+    #[test]
+    fn hammer_victims_are_adjacent(row in 0usize..512, activations in 0u64..1_000_000) {
+        let mut chip = hynix_chip(8);
+        let victims = chip.hammer(BankId(0), GlobalRow(row), activations).unwrap();
+        let expected = usize::from(row > 0) + usize::from(row < 511);
+        prop_assert_eq!(victims.len(), expected);
+        for (v, _) in victims {
+            prop_assert_eq!(v.index().abs_diff(row), 1);
+        }
+    }
+
+    /// Energy costs are monotone in input count and never negative.
+    #[test]
+    fn energy_costs_monotone(n in 2usize..=16, bytes in 64usize..16384) {
+        use dram_core::{EnergyParams, OpCost, SpeedBin, TimingParams};
+        let t = TimingParams::default();
+        let e = EnergyParams::default();
+        let smaller = OpCost::in_dram_bitwise(&t, &e, SpeedBin::Mt2666, bytes, n);
+        let larger = OpCost::in_dram_bitwise(&t, &e, SpeedBin::Mt2666, bytes, n + 1);
+        prop_assert!(smaller.energy_pj > 0.0);
+        prop_assert!(larger.energy_pj > smaller.energy_pj);
+        prop_assert!(larger.latency_ns > smaller.latency_ns);
+        let host = OpCost::host_bitwise(&t, &e, SpeedBin::Mt2666, bytes, n);
+        prop_assert!(host.channel_bytes >= (n + 1) * bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full NOT pipeline preserves the invariant: destination
+    /// cells on shared columns hold either ¬src (success) or their
+    /// previous value (failure) — never anything else.
+    #[test]
+    fn not_outcome_cells_are_well_formed(seed in any::<u64>(), l in 0usize..128) {
+        let mut chip = hynix_chip(16);
+        let cols = 16;
+        let src: Vec<Bit> = (0..cols)
+            .map(|c| Bit::from(dram_core::math::hash_to_unit(
+                dram_core::math::mix2(seed, c as u64)) < 0.5))
+            .collect();
+        chip.write_row_direct(BankId(0), GlobalRow(0), &src).unwrap();
+        let out = chip.multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(512 + l)).unwrap();
+        for cell in &out.cells {
+            prop_assert!((0.0..=1.0).contains(&cell.p_success));
+            if cell.role == dram_core::CellRole::NotDst {
+                prop_assert_eq!(cell.intended, src[cell.col.index()].not());
+            }
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! Integration tests for the `simdram` arithmetic layer.
+//!
+//! Two angles:
+//!
+//! 1. **Circuit synthesis is correct** — property tests run every word
+//!    operation on the exact [`HostSubstrate`] against `u64` golden
+//!    arithmetic, for random widths and values.
+//! 2. **The in-DRAM path behaves like the characterization says** —
+//!    the same circuits on [`DramSubstrate`] produce accuracies
+//!    consistent with the analytic error propagation, and repetition
+//!    voting buys accuracy back at the predicted rate.
+
+use proptest::prelude::*;
+use simdram::{
+    reliability, CostModel, CostSummary, DramSubstrate, HostSubstrate, SimdVm, Substrate, UintVec,
+};
+
+const LANES: usize = 8;
+
+fn host_vm() -> SimdVm<HostSubstrate> {
+    SimdVm::new(HostSubstrate::new(LANES, 16_384)).expect("host vm")
+}
+
+fn load(vm: &mut SimdVm<HostSubstrate>, width: usize, values: &[u64]) -> UintVec {
+    let v = vm.alloc_uint(width).expect("alloc");
+    vm.write_u64(&v, values).expect("write");
+    v
+}
+
+fn lane_values(width: usize) -> impl Strategy<Value = Vec<u64>> {
+    let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    proptest::collection::vec(0..=max, LANES)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_add_sub_match_u64((width, av, bv) in (1usize..=12)
+        .prop_flat_map(|w| (Just(w), lane_values(w), lane_values(w))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let b = load(&mut vm, width, &bv);
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+
+        let sum = vm.add(&a, &b).unwrap();
+        let got = vm.read_u64(&sum).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(got[i], av[i].wrapping_add(bv[i]) & mask);
+        }
+
+        let (diff, borrow) = vm.sub_full(&a, &b).unwrap();
+        let got = vm.read_u64(&diff).unwrap();
+        let bo = vm.read_mask(borrow).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(got[i], av[i].wrapping_sub(bv[i]) & mask);
+            prop_assert_eq!(bo[i], av[i] < bv[i]);
+        }
+    }
+
+    #[test]
+    fn prop_mul_matches_u64((wa, wb, av, bv) in (1usize..=6, 1usize..=6)
+        .prop_flat_map(|(wa, wb)| (Just(wa), Just(wb), lane_values(wa), lane_values(wb))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, wa, &av);
+        let b = load(&mut vm, wb, &bv);
+        let p = vm.mul(&a, &b).unwrap();
+        prop_assert_eq!(p.width(), wa + wb);
+        let got = vm.read_u64(&p).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(got[i], av[i] * bv[i]);
+        }
+    }
+
+    #[test]
+    fn prop_comparisons_match_u64((width, av, bv) in (1usize..=10)
+        .prop_flat_map(|w| (Just(w), lane_values(w), lane_values(w))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let b = load(&mut vm, width, &bv);
+        let eq = vm.eq(&a, &b).unwrap();
+        let lt = vm.lt(&a, &b).unwrap();
+        let eqv = vm.read_mask(eq).unwrap();
+        let ltv = vm.read_mask(lt).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(eqv[i], av[i] == bv[i]);
+            prop_assert_eq!(ltv[i], av[i] < bv[i]);
+        }
+    }
+
+    #[test]
+    fn prop_popcount_matches_u64((width, av) in (1usize..=16)
+        .prop_flat_map(|w| (Just(w), lane_values(w))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let p = vm.popcount(&a).unwrap();
+        let got = vm.read_u64(&p).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(got[i], u64::from(av[i].count_ones()));
+        }
+    }
+
+    #[test]
+    fn prop_select_and_shifts_match((width, av, bv, k) in (1usize..=10)
+        .prop_flat_map(|w| (Just(w), lane_values(w), lane_values(w), 0usize..=12)))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let b = load(&mut vm, width, &bv);
+        let mask = (1u64 << width) - 1;
+
+        let ge = vm.ge(&a, &b).unwrap();
+        let m = vm.select(ge, &a, &b).unwrap(); // per-lane max
+        let got = vm.read_u64(&m).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(got[i], av[i].max(bv[i]));
+        }
+
+        let l = vm.shl(&a, k).unwrap();
+        let got = vm.read_u64(&l).unwrap();
+        for i in 0..LANES {
+            let expect = if k >= width { 0 } else { (av[i] << k) & mask };
+            prop_assert_eq!(got[i], expect);
+        }
+    }
+
+    #[test]
+    fn prop_div_rem_match_u64((width, av, bv) in (1usize..=7)
+        .prop_flat_map(|w| (Just(w), lane_values(w), lane_values(w))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let b = load(&mut vm, width, &bv);
+        let (q, r) = vm.div_rem(&a, &b).unwrap();
+        let qv = vm.read_u64(&q).unwrap();
+        let rv = vm.read_u64(&r).unwrap();
+        let max = (1u64 << width) - 1;
+        for i in 0..LANES {
+            match av[i].checked_div(bv[i]) {
+                None => {
+                    prop_assert_eq!(qv[i], max, "div-by-zero convention");
+                    prop_assert_eq!(rv[i], av[i]);
+                }
+                Some(quot) => {
+                    prop_assert_eq!(qv[i], quot);
+                    prop_assert_eq!(rv[i], av[i] - quot * bv[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_kernels_match_u64((width, av, bv) in (1usize..=8)
+        .prop_flat_map(|w| (Just(w), lane_values(w), lane_values(w))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let b = load(&mut vm, width, &bv);
+        let h = vm.hamming(&a, &b).unwrap();
+        let mn = vm.min(&a, &b).unwrap();
+        let mx = vm.max(&a, &b).unwrap();
+        let d = vm.abs_diff(&a, &b).unwrap();
+        let s = vm.add_saturating(&a, &b).unwrap();
+        let max = (1u64 << width) - 1;
+        let (hv, mnv) = (vm.read_u64(&h).unwrap(), vm.read_u64(&mn).unwrap());
+        let (mxv, dv) = (vm.read_u64(&mx).unwrap(), vm.read_u64(&d).unwrap());
+        let sv = vm.read_u64(&s).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(hv[i], u64::from((av[i] ^ bv[i]).count_ones()));
+            prop_assert_eq!(mnv[i], av[i].min(bv[i]));
+            prop_assert_eq!(mxv[i], av[i].max(bv[i]));
+            prop_assert_eq!(dv[i], av[i].abs_diff(bv[i]));
+            prop_assert_eq!(sv[i], (av[i] + bv[i]).min(max));
+        }
+    }
+
+    #[test]
+    fn prop_fma_matches_u64((wa, wb, av, bv, cv) in (1usize..=5, 1usize..=5)
+        .prop_flat_map(|(wa, wb)| {
+            let wc = wa + wb;
+            (Just(wa), Just(wb), lane_values(wa), lane_values(wb), lane_values(wc))
+        }))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, wa, &av);
+        let b = load(&mut vm, wb, &bv);
+        let c = load(&mut vm, wa + wb, &cv);
+        let f = vm.fma(&a, &b, &c).unwrap();
+        let got = vm.read_u64(&f).unwrap();
+        for i in 0..LANES {
+            prop_assert_eq!(got[i], av[i] * bv[i] + cv[i]);
+        }
+    }
+
+    #[test]
+    fn prop_fused_adder_matches_fc_gates((width, av, bv) in (1usize..=10)
+        .prop_flat_map(|w| (Just(w), lane_values(w), lane_values(w))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let b = load(&mut vm, width, &bv);
+        let s_fc = vm.add(&a, &b).unwrap();
+        vm.set_adder(simdram::AdderKind::FusedMaj);
+        let s_maj = vm.add(&a, &b).unwrap();
+        prop_assert_eq!(vm.read_u64(&s_fc).unwrap(), vm.read_u64(&s_maj).unwrap());
+    }
+
+    #[test]
+    fn prop_no_row_leaks((width, av, bv) in (1usize..=8)
+        .prop_flat_map(|w| (Just(w), lane_values(w), lane_values(w))))
+    {
+        let mut vm = host_vm();
+        let a = load(&mut vm, width, &av);
+        let b = load(&mut vm, width, &bv);
+        let live = vm.substrate().live_rows();
+        let s = vm.add(&a, &b).unwrap();
+        let p = vm.mul(&a, &b).unwrap();
+        let c = vm.popcount(&a).unwrap();
+        let expected = s.width() + p.width() + c.width();
+        prop_assert_eq!(vm.substrate().live_rows(), live + expected);
+        vm.free_uint(s);
+        vm.free_uint(p);
+        vm.free_uint(c);
+        prop_assert_eq!(vm.substrate().live_rows(), live);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Boolean-algebra laws of the synthesized gates (host golden model)
+// ---------------------------------------------------------------------------
+
+fn mask() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), LANES)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_de_morgan_holds((ma, mb) in (mask(), mask())) {
+        let mut vm = host_vm();
+        let a = vm.alloc_row().unwrap();
+        let b = vm.alloc_row().unwrap();
+        vm.write_mask(a, &ma).unwrap();
+        vm.write_mask(b, &mb).unwrap();
+        // ¬(a ∧ b) = ¬a ∨ ¬b
+        let nand = vm.bit_nand(&[a, b]).unwrap();
+        let na = vm.bit_not(a).unwrap();
+        let nb = vm.bit_not(b).unwrap();
+        let or = vm.bit_or(&[na, nb]).unwrap();
+        prop_assert_eq!(vm.read_mask(nand).unwrap(), vm.read_mask(or).unwrap());
+        // ¬(a ∨ b) = ¬a ∧ ¬b
+        let nor = vm.bit_nor(&[a, b]).unwrap();
+        let and = vm.bit_and(&[na, nb]).unwrap();
+        prop_assert_eq!(vm.read_mask(nor).unwrap(), vm.read_mask(and).unwrap());
+    }
+
+    #[test]
+    fn prop_xor_group_laws((ma, mb, mc) in (mask(), mask(), mask())) {
+        let mut vm = host_vm();
+        let a = vm.alloc_row().unwrap();
+        let b = vm.alloc_row().unwrap();
+        let c = vm.alloc_row().unwrap();
+        vm.write_mask(a, &ma).unwrap();
+        vm.write_mask(b, &mb).unwrap();
+        vm.write_mask(c, &mc).unwrap();
+        // Commutativity.
+        let ab = vm.xor(a, b).unwrap();
+        let ba = vm.xor(b, a).unwrap();
+        prop_assert_eq!(vm.read_mask(ab).unwrap(), vm.read_mask(ba).unwrap());
+        // Associativity.
+        let ab_c = vm.xor(ab, c).unwrap();
+        let bc = vm.xor(b, c).unwrap();
+        let a_bc = vm.xor(a, bc).unwrap();
+        prop_assert_eq!(vm.read_mask(ab_c).unwrap(), vm.read_mask(a_bc).unwrap());
+        // Self-inverse: a ⊕ a = 0.
+        let aa = vm.xor(a, a).unwrap();
+        prop_assert_eq!(vm.read_mask(aa).unwrap(), vec![false; LANES]);
+        // Identity: a ⊕ 0 = a.
+        let z = vm.zero_row();
+        let a0 = vm.xor(a, z).unwrap();
+        prop_assert_eq!(vm.read_mask(a0).unwrap(), ma);
+    }
+
+    #[test]
+    fn prop_maj_is_symmetric_and_bounded((ma, mb, mc) in (mask(), mask(), mask())) {
+        let mut vm = host_vm();
+        let a = vm.alloc_row().unwrap();
+        let b = vm.alloc_row().unwrap();
+        let c = vm.alloc_row().unwrap();
+        vm.write_mask(a, &ma).unwrap();
+        vm.write_mask(b, &mb).unwrap();
+        vm.write_mask(c, &mc).unwrap();
+        let abc = vm.maj(a, b, c).unwrap();
+        let cab = vm.maj(c, a, b).unwrap();
+        let bca = vm.maj(b, c, a).unwrap();
+        let r = vm.read_mask(abc).unwrap();
+        prop_assert_eq!(&r, &vm.read_mask(cab).unwrap());
+        prop_assert_eq!(&r, &vm.read_mask(bca).unwrap());
+        // MAJ is bounded by AND and OR.
+        let and = vm.bit_and(&[a, b, c]).unwrap();
+        let or = vm.bit_or(&[a, b, c]).unwrap();
+        let andv = vm.read_mask(and).unwrap();
+        let orv = vm.read_mask(or).unwrap();
+        for i in 0..LANES {
+            prop_assert!(!andv[i] | r[i], "AND ≤ MAJ at lane {i}");
+            prop_assert!(!r[i] | orv[i], "MAJ ≤ OR at lane {i}");
+        }
+        // Dominance: MAJ(a, a, c) = a.
+        let aac = vm.maj(a, a, c).unwrap();
+        prop_assert_eq!(vm.read_mask(aac).unwrap(), ma);
+    }
+
+    #[test]
+    fn prop_mux_laws((ma, mb, ms) in (mask(), mask(), mask())) {
+        let mut vm = host_vm();
+        let a = vm.alloc_row().unwrap();
+        let b = vm.alloc_row().unwrap();
+        let s = vm.alloc_row().unwrap();
+        vm.write_mask(a, &ma).unwrap();
+        vm.write_mask(b, &mb).unwrap();
+        vm.write_mask(s, &ms).unwrap();
+        // mux(1, a, b) = a; mux(0, a, b) = b.
+        let one = vm.one_row();
+        let zero = vm.zero_row();
+        let m1 = vm.mux(one, a, b).unwrap();
+        let m0 = vm.mux(zero, a, b).unwrap();
+        prop_assert_eq!(vm.read_mask(m1).unwrap(), ma.clone());
+        prop_assert_eq!(vm.read_mask(m0).unwrap(), mb);
+        // mux(s, a, a) = a.
+        let maa = vm.mux(s, a, a).unwrap();
+        prop_assert_eq!(vm.read_mask(maa).unwrap(), ma);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability and cost model properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_voting_is_monotone(p in 0.5f64..1.0, q in 0.5f64..1.0, k in 0usize..6) {
+        let k1 = 2 * k + 1;
+        let k2 = k1 + 2;
+        // Monotone in k for p > 1/2.
+        prop_assert!(
+            reliability::voted_success(p, k2) >= reliability::voted_success(p, k1) - 1e-12
+        );
+        // Monotone in p at fixed k.
+        let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
+        prop_assert!(
+            reliability::voted_success(hi, k1) >= reliability::voted_success(lo, k1) - 1e-12
+        );
+        // Always a probability.
+        let v = reliability::voted_success(p, k1);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn prop_lane_accuracy_decreases_with_depth(
+        probs in proptest::collection::vec(0.5f64..1.0, 1..40),
+    ) {
+        let mut trace = simdram::OpTrace::new();
+        let mut prev = 1.0f64;
+        for p in probs {
+            trace.record(simdram::TraceEntry {
+                op: simdram::NativeOp::Logic(simdram::LogicOp::And, 2),
+                executions: 1,
+                predicted_success: p,
+            });
+            let now = reliability::expected_lane_accuracy(&trace);
+            prop_assert!(now <= prev + 1e-12, "accuracy must not rise as gates append");
+            prop_assert!((0.0..=1.0).contains(&now));
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn prop_repetition_target_is_sound(
+        p in 0.75f64..0.999,
+        gates in 1usize..60,
+        target in 0.5f64..0.95,
+    ) {
+        if let Some(k) = reliability::repetitions_for_target(p, gates, target) {
+            prop_assert!(k % 2 == 1);
+            let per_gate = reliability::voted_success(p, k);
+            prop_assert!(per_gate.powi(gates as i32) >= target, "k={k} misses target");
+            // Minimality: k−2 must miss (when k > 1).
+            if k > 2 {
+                let weaker = reliability::voted_success(p, k - 2);
+                prop_assert!(weaker.powi(gates as i32) < target, "k={k} not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_trace_cost_is_additive_and_positive(
+        fan_ins in proptest::collection::vec(2u8..=16, 1..30),
+    ) {
+        let model = CostModel::new(dram_core::SpeedBin::Mt2666, 128);
+        let mut trace = simdram::OpTrace::new();
+        let mut sum = 0.0f64;
+        for f in fan_ins {
+            let e = simdram::TraceEntry {
+                op: simdram::NativeOp::Logic(simdram::LogicOp::Or, f),
+                executions: 1,
+                predicted_success: 0.9,
+            };
+            sum += model.entry_cost(&e).energy_pj;
+            trace.record(e);
+        }
+        let total = model.trace_cost(&trace);
+        prop_assert!((total.energy_pj - sum).abs() < 1e-6);
+        prop_assert!(total.latency_ns > 0.0);
+        prop_assert!(total.commands > 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-DRAM execution
+// ---------------------------------------------------------------------------
+
+fn dram_vm() -> SimdVm<DramSubstrate> {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
+    let engine = fcdram::BulkEngine::new(
+        fcdram::Fcdram::new(cfg),
+        dram_core::BankId(0),
+        dram_core::SubarrayId(0),
+    )
+    .expect("engine");
+    SimdVm::new(DramSubstrate::new(engine)).expect("dram vm")
+}
+
+fn lane_accuracy(got: &[u64], expect: &[u64]) -> f64 {
+    let same = got.iter().zip(expect).filter(|(a, b)| a == b).count();
+    same as f64 / expect.len() as f64
+}
+
+#[test]
+fn dram_add_accuracy_tracks_prediction() {
+    let mut vm = dram_vm();
+    let lanes = vm.lanes();
+    let av: Vec<u64> = (0..lanes as u64).map(|i| (i * 37) & 0xFF).collect();
+    let bv: Vec<u64> = (0..lanes as u64).map(|i| (i * 91 + 13) & 0xFF).collect();
+    let a = vm.alloc_uint(8).unwrap();
+    let b = vm.alloc_uint(8).unwrap();
+    vm.write_u64(&a, &av).unwrap();
+    vm.write_u64(&b, &bv).unwrap();
+
+    vm.clear_trace();
+    let sum = vm.add(&a, &b).unwrap();
+    let predicted = reliability::expected_lane_accuracy(vm.trace());
+    let got = vm.read_u64(&sum).unwrap();
+    let expect: Vec<u64> = av.iter().zip(&bv).map(|(x, y)| (x + y) & 0xFF).collect();
+    let measured = lane_accuracy(&got, &expect);
+
+    // The analytic estimate ignores masking, so it lower-bounds the
+    // measurement (up to sampling noise on few lanes).
+    assert!(
+        measured + 0.35 >= predicted,
+        "measured {measured:.3} should not sit far below predicted {predicted:.3}"
+    );
+    assert!((0.0..=1.0).contains(&predicted));
+    // An unprotected 72-gate ripple adder on gates at the paper's
+    // success rates cannot be near-perfect — the honest headline.
+    assert!(
+        predicted < 0.9,
+        "72 unprotected gates at characterized rates must not look reliable ({predicted:.3})"
+    );
+}
+
+#[test]
+fn dram_repetition_buys_accuracy_back() {
+    let mut vm = dram_vm();
+    let lanes = vm.lanes();
+    let av: Vec<u64> = (0..lanes as u64).map(|i| (i * 53) & 0xF).collect();
+    let bv: Vec<u64> = (0..lanes as u64).map(|i| (i * 29 + 7) & 0xF).collect();
+    let a = vm.alloc_uint(4).unwrap();
+    let b = vm.alloc_uint(4).unwrap();
+    vm.write_u64(&a, &av).unwrap();
+    vm.write_u64(&b, &bv).unwrap();
+    let expect: Vec<u64> = av.iter().zip(&bv).map(|(x, y)| (x + y) & 0xF).collect();
+
+    vm.clear_trace();
+    let s1 = vm.add(&a, &b).unwrap();
+    let pred1 = reliability::expected_lane_accuracy(vm.trace());
+    let acc1 = lane_accuracy(&vm.read_u64(&s1).unwrap(), &expect);
+    vm.free_uint(s1);
+
+    vm.substrate_mut().set_repetition(9);
+    vm.clear_trace();
+    let s9 = vm.add(&a, &b).unwrap();
+    let pred9 = reliability::expected_lane_accuracy(vm.trace());
+    let acc9 = lane_accuracy(&vm.read_u64(&s9).unwrap(), &expect);
+
+    assert!(pred9 > pred1, "voting must raise the analytic estimate ({pred1:.3} → {pred9:.3})");
+    assert!(
+        acc9 + 0.25 >= acc1,
+        "voting should not materially hurt measured accuracy ({acc1:.3} → {acc9:.3})"
+    );
+}
+
+#[test]
+fn dram_xor_better_protected_than_adder_chain() {
+    // Shorter circuits retain more accuracy: XOR (3 gates) must have a
+    // higher analytic estimate than a full 8-bit adder (72 gates).
+    let mut vm = dram_vm();
+    let a = vm.alloc_row().unwrap();
+    let b = vm.alloc_row().unwrap();
+    vm.substrate_mut().fill(a, true).unwrap();
+    vm.substrate_mut().fill(b, false).unwrap();
+
+    vm.clear_trace();
+    let _x = vm.xor(a, b).unwrap();
+    let p_xor = reliability::expected_lane_accuracy(vm.trace());
+
+    let va = vm.alloc_uint(8).unwrap();
+    let vb = vm.alloc_uint(8).unwrap();
+    vm.clear_trace();
+    let _s = vm.add(&va, &vb).unwrap();
+    let p_add = reliability::expected_lane_accuracy(vm.trace());
+
+    assert!(p_xor > p_add, "3 gates ({p_xor:.3}) vs 72 gates ({p_add:.3})");
+}
+
+#[test]
+fn dram_nary_and_uses_native_sixteen_input_ops() {
+    // The paper's headline capability surfacing at the word level:
+    // an elementwise AND across 16 vectors costs one native gate per
+    // bit, each executed as a single 16:16 activation.
+    let mut vm = dram_vm();
+    assert_eq!(vm.substrate().max_fan_in(), 16, "SK Hynix part reaches 16-input ops");
+    let vecs: Vec<simdram::UintVec> =
+        (0..16).map(|_| vm.alloc_uint(4).unwrap()).collect();
+    let refs: Vec<&simdram::UintVec> = vecs.iter().collect();
+    vm.clear_trace();
+    let out = vm.wand_n(&refs).unwrap();
+    let gates: Vec<_> = vm
+        .trace()
+        .entries()
+        .iter()
+        .filter(|e| e.op.is_in_dram())
+        .collect();
+    assert_eq!(gates.len(), 4, "one native op per bit");
+    for g in gates {
+        assert!(
+            matches!(g.op, simdram::NativeOp::Logic(simdram::LogicOp::And, 16)),
+            "expected a 16-input AND, got {:?}",
+            g.op
+        );
+    }
+    vm.free_uint(out);
+}
+
+#[test]
+fn dram_fused_adder_uses_fewer_native_ops() {
+    let mut vm = dram_vm();
+    assert!(vm.substrate().has_native_maj(), "SK Hynix part has 4-row activation");
+    let a = vm.alloc_uint(4).unwrap();
+    let b = vm.alloc_uint(4).unwrap();
+
+    vm.clear_trace();
+    let s = vm.add(&a, &b).unwrap();
+    let fc_ops = vm.trace().in_dram_ops();
+    vm.free_uint(s);
+
+    vm.set_adder(simdram::AdderKind::FusedMaj);
+    vm.clear_trace();
+    let s = vm.add(&a, &b).unwrap();
+    let maj_ops = vm.trace().in_dram_ops();
+    vm.free_uint(s);
+
+    assert_eq!(fc_ops, 36, "9 gates/bit on the FC-gate adder");
+    assert_eq!(maj_ops, 28, "7 ops/bit with the native-MAJ carry");
+}
+
+#[test]
+fn dram_cost_summary_quantifies_motivation() {
+    let mut vm = dram_vm();
+    let cfg_speed = vm.substrate().engine().config().speed;
+    let lanes = vm.lanes();
+    let a = vm.alloc_uint(8).unwrap();
+    let b = vm.alloc_uint(8).unwrap();
+
+    vm.clear_trace();
+    let _sum = vm.add(&a, &b).unwrap();
+    let model = CostModel::new(cfg_speed, lanes);
+    let summary = CostSummary::new(&model, vm.trace(), lanes, 16, 9);
+
+    assert_eq!(summary.native_ops, 72, "8-bit ripple adder is 9 gates/bit");
+    assert!(summary.in_dram.energy_pj > 0.0);
+    assert!(summary.host.channel_bytes > 0);
+    assert_eq!(summary.in_dram.channel_bytes, 0, "in-DRAM adder never touches the channel");
+}
+
+#[test]
+fn dram_and_host_agree_when_gates_are_clean() {
+    // On lanes where every gate happened to succeed, the DRAM result
+    // must equal the host result — synthesis is substrate-independent.
+    let mut hvm = host_vm();
+    let av = [3u64, 5, 250, 17, 99, 0, 255, 128];
+    let bv = [200u64, 5, 6, 90, 99, 0, 255, 127];
+    let ha = load(&mut hvm, 8, &av);
+    let hb = load(&mut hvm, 8, &bv);
+    let hsum = hvm.add(&ha, &hb).unwrap();
+    let golden = hvm.read_u64(&hsum).unwrap();
+    for i in 0..LANES {
+        assert_eq!(golden[i], (av[i] + bv[i]) & 0xFF);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: §7 Limitation 1 at the arithmetic layer
+// ---------------------------------------------------------------------------
+
+fn vm_for_manufacturer(m: dram_core::Manufacturer) -> Option<SimdVm<DramSubstrate>> {
+    let cfg = dram_core::config::full_fleet()
+        .into_iter()
+        .find(|c| c.manufacturer == m)?
+        .with_modeled_cols(32);
+    let engine = fcdram::BulkEngine::with_budget(
+        fcdram::Fcdram::new(cfg),
+        dram_core::BankId(0),
+        dram_core::SubarrayId(0),
+        2_048,
+    )
+    .ok()?;
+    SimdVm::new(DramSubstrate::new(engine)).ok()
+}
+
+#[test]
+fn samsung_parts_cannot_power_arithmetic() {
+    // Samsung parts only activate rows *sequentially* across the pair:
+    // NOT works, but no N:N logic patterns exist — so the synthesized
+    // gate set (and with it all arithmetic) must fail cleanly rather
+    // than compute garbage.
+    let Some(mut vm) = vm_for_manufacturer(dram_core::Manufacturer::Samsung) else {
+        return; // construction itself refusing is also a clean failure
+    };
+    let a = vm.alloc_row().unwrap();
+    let b = vm.alloc_row().unwrap();
+    vm.substrate_mut().fill(a, true).unwrap();
+    vm.substrate_mut().fill(b, false).unwrap();
+    assert!(vm.xor(a, b).is_err(), "XOR needs N:N logic patterns");
+    let va = vm.alloc_uint(4).unwrap();
+    let vb = vm.alloc_uint(4).unwrap();
+    assert!(vm.add(&va, &vb).is_err(), "addition must fail cleanly");
+}
+
+#[test]
+fn micron_parts_cannot_power_any_gate() {
+    // Micron parts ignore grossly-violated command sequences entirely:
+    // neither NOT nor logic is available.
+    let Some(mut vm) = vm_for_manufacturer(dram_core::Manufacturer::Micron) else {
+        return;
+    };
+    let a = vm.alloc_row().unwrap();
+    vm.substrate_mut().fill(a, true).unwrap();
+    assert!(vm.bit_not(a).is_err(), "NOT must fail on Micron behaviour");
+    let b = vm.alloc_row().unwrap();
+    assert!(vm.xor(a, b).is_err());
+    assert!(!vm.substrate().has_native_maj());
+    // Plain storage still works: the part is a normal DRAM.
+    let bits: Vec<bool> = (0..vm.lanes()).map(|i| i % 2 == 0).collect();
+    vm.write_mask(a, &bits).unwrap();
+    assert_eq!(vm.read_mask(a).unwrap(), bits);
+}
+
+#[test]
+fn repetition_targets_are_consistent_with_gate_counts() {
+    // The planning helper must agree with the trace-based estimate:
+    // picking k = repetitions_for_target(p, gates, target) and applying
+    // it to a synthetic trace of `gates` entries reaches the target.
+    let p = 0.97;
+    let gates = 72;
+    let target = 0.9;
+    let k = reliability::repetitions_for_target(p, gates, target).expect("reachable");
+    let mut trace = simdram::OpTrace::new();
+    for _ in 0..gates {
+        trace.record(simdram::TraceEntry {
+            op: simdram::NativeOp::Logic(simdram::LogicOp::And, 2),
+            executions: k,
+            predicted_success: p,
+        });
+    }
+    assert!(reliability::expected_lane_accuracy(&trace) >= target);
+}
