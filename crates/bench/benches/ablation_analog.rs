@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     let p = AnalogParams::ddr4_default();
 
     c.bench_function("analog_charge_share_16_cells", |b| {
-        let cells: Vec<f64> = (0..16).map(|i| if i % 3 == 0 { 1.2 } else { 0.0 }).collect();
+        let cells: Vec<f64> = (0..16)
+            .map(|i| if i % 3 == 0 { 1.2 } else { 0.0 })
+            .collect();
         b.iter(|| black_box(p.bitline_after_share(&cells)));
     });
 
@@ -22,7 +24,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let diff = ((i % 800) as f64 - 400.0) / 100.0;
-            black_box(classify_margin(diff, if i % 2 == 0 { 0.9 } else { 0.1 }))
+            black_box(classify_margin(
+                diff,
+                if i.is_multiple_of(2) { 0.9 } else { 0.1 },
+            ))
         });
     });
 
@@ -30,8 +35,11 @@ fn bench(c: &mut Criterion) {
     // pattern shrinks with both the ratio and the input count.
     let mut group = c.benchmark_group("analog_cb_cc_ratio");
     for ratio in [4.0f64, 6.0, 8.0] {
-        let params = AnalogParams { cb_over_cc: ratio, ..AnalogParams::ddr4_default() };
-        group.bench_function(&*format!("ratio_{ratio}"), |b| {
+        let params = AnalogParams {
+            cb_over_cc: ratio,
+            ..AnalogParams::ddr4_default()
+        };
+        group.bench_function(format!("ratio_{ratio}"), |b| {
             b.iter(|| {
                 let mut worst = f64::MAX;
                 for n in [2usize, 4, 8, 16] {

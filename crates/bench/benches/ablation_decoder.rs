@@ -46,7 +46,7 @@ fn bench(c: &mut Criterion) {
         let mut cfg_d = cfg.clone();
         cfg_d.max_merge_groups = depth;
         let dec = RowDecoder::new(&cfg_d, cfg_d.chip_seed(ChipId(0)));
-        group.bench_function(&*format!("groups_{depth}"), |b| {
+        group.bench_function(format!("groups_{depth}"), |b| {
             b.iter(|| {
                 let mut max_rows = 0usize;
                 for i in 0..1024usize {

@@ -2,7 +2,7 @@
 //! to end (fleet construction excluded; measured per experiment run).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fcdram_bench::{bench_scale, bench_fleet, config, run_and_check};
+use fcdram_bench::{bench_fleet, bench_scale, config, run_and_check};
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();

@@ -25,7 +25,11 @@ pub fn bench_scale() -> Scale {
 /// representative of the experiment populations.
 pub fn bench_fleet(scale: &Scale) -> Vec<ModuleCtx> {
     let all = dram_core::config::table1();
-    let picks = ["hynix-4Gb-M-2666-#0", "hynix-4Gb-A-2133-#0", "samsung-8Gb-D-2133-#0"];
+    let picks = [
+        "hynix-4Gb-M-2666-#0",
+        "hynix-4Gb-A-2133-#0",
+        "samsung-8Gb-D-2133-#0",
+    ];
     picks
         .iter()
         .map(|name| {

@@ -73,7 +73,10 @@ pub fn parse(text: &str, speed: SpeedBin) -> Result<Program> {
         }
         let mut parts = line.split_whitespace();
         let op = parts.next().expect("non-empty line").to_ascii_uppercase();
-        let bad = |detail: String| BenderError::BadProgram { index: lineno, detail };
+        let bad = |detail: String| BenderError::BadProgram {
+            index: lineno,
+            detail,
+        };
         match op.as_str() {
             "ACT" => {
                 let bank = parse_usize(parts.next(), "bank", lineno)?;
@@ -94,15 +97,16 @@ pub fn parse(text: &str, speed: SpeedBin) -> Result<Program> {
                 let hex = parts
                     .next()
                     .ok_or_else(|| bad("WR needs hex data".into()))?;
-                let data = hex_to_bits(hex)
-                    .map_err(|e| bad(format!("bad WR data: {e}")))?;
+                let data = hex_to_bits(hex).map_err(|e| bad(format!("bad WR data: {e}")))?;
                 b.wr(BankId(bank), data);
             }
             "REF" => {
                 b.push(DdrCommand::Ref);
             }
             "WAIT" => {
-                let arg = parts.next().ok_or_else(|| bad("WAIT needs an argument".into()))?;
+                let arg = parts
+                    .next()
+                    .ok_or_else(|| bad("WAIT needs an argument".into()))?;
                 if let Some(ns) = arg.strip_suffix("ns") {
                     let ns: f64 = ns
                         .parse()
@@ -130,7 +134,10 @@ fn parse_usize(tok: Option<&str>, what: &str, lineno: usize) -> Result<usize> {
         detail: format!("missing {what}"),
     })?
     .parse()
-    .map_err(|_| BenderError::BadProgram { index: lineno, detail: format!("bad {what}") })
+    .map_err(|_| BenderError::BadProgram {
+        index: lineno,
+        detail: format!("bad {what}"),
+    })
 }
 
 /// Encodes a bit row as hex, 4 bits per digit, column 0 first
@@ -153,7 +160,9 @@ pub fn bits_to_hex(bits: &[Bit]) -> String {
 pub fn hex_to_bits(hex: &str) -> std::result::Result<Vec<Bit>, String> {
     let mut bits = Vec::with_capacity(hex.len() * 4);
     for c in hex.chars() {
-        let v = c.to_digit(16).ok_or_else(|| format!("invalid hex digit '{c}'"))?;
+        let v = c
+            .to_digit(16)
+            .ok_or_else(|| format!("invalid hex digit '{c}'"))?;
         for i in 0..4 {
             bits.push(Bit::from((v >> i) & 1 == 1));
         }

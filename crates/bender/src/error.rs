@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = BenderError::BadProgram { index: 3, detail: "WR while precharged".into() };
+        let e = BenderError::BadProgram {
+            index: 3,
+            detail: "WR while precharged".into(),
+        };
         assert!(e.to_string().contains("command 3"));
         let e = BenderError::NoSuchChip { chip: 9, chips: 8 };
         assert!(e.to_string().contains('9'));

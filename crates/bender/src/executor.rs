@@ -210,10 +210,7 @@ impl Bender {
                     }
                     if let Some((ca, row)) = t.last_act {
                         let gap = speed.cycles_to_ns(cycle.saturating_sub(ca));
-                        let single_open = dev
-                            .geometry()
-                            .check_bank(*bank)
-                            .is_ok();
+                        let single_open = dev.geometry().check_bank(*bank).is_ok();
                         if self.windows.in_frac_window(gap) && single_open {
                             // Interrupted restore: fractional store.
                             let outcome = dev.frac(*bank, row)?;
@@ -253,7 +250,11 @@ impl Bender {
                         });
                     }
                     let data = dev.read_row_direct(*bank, *row)?;
-                    exec.reads.push(ReadRecord { bank: *bank, row: *row, data });
+                    exec.reads.push(ReadRecord {
+                        bank: *bank,
+                        row: *row,
+                        data,
+                    });
                 }
                 DdrCommand::Ref => {
                     // Refresh: modeled as a brief time passage.
@@ -296,10 +297,39 @@ impl Bender {
         b.seq_read_row(bank, row);
         let p = b.build();
         let exec = self.execute(chip, &p)?;
-        exec.reads.into_iter().next().map(|r| r.data).ok_or_else(|| BenderError::BadProgram {
-            index: 0,
-            detail: "read produced no data".into(),
-        })
+        exec.reads
+            .into_iter()
+            .next()
+            .map(|r| r.data)
+            .ok_or_else(|| BenderError::BadProgram {
+                index: 0,
+                detail: "read produced no data".into(),
+            })
+    }
+
+    /// Reads every `step`-th column of a row starting at `start`,
+    /// packed 64 lanes per `u64` word — the fast-path read used by the
+    /// bulk engine (see [`dram_core::Chip::read_row_packed`]).
+    ///
+    /// The command sequence is the same timing-respecting
+    /// activate/read/precharge as [`Bender::read_row`]; only the
+    /// host-side representation differs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or an open bank.
+    pub fn read_row_packed(
+        &mut self,
+        chip: ChipId,
+        bank: BankId,
+        row: GlobalRow,
+        start: usize,
+        step: usize,
+    ) -> Result<Vec<u64>> {
+        Ok(self
+            .module_mut()
+            .chip_mut(chip)
+            .read_row_packed(bank, row, start, step)?)
     }
 
     /// Runs the NOT / RowClone sequence and returns its outcome.
@@ -318,7 +348,10 @@ impl Bender {
             .into_iter()
             .map(|(_, o)| o)
             .next()
-            .ok_or_else(|| BenderError::BadProgram { index: 0, detail: "no outcome".into() })
+            .ok_or_else(|| BenderError::BadProgram {
+                index: 0,
+                detail: "no outcome".into(),
+            })
     }
 
     /// Runs the charge-sharing sequence and returns its outcome.
@@ -337,7 +370,10 @@ impl Bender {
             .into_iter()
             .map(|(_, o)| o)
             .next()
-            .ok_or_else(|| BenderError::BadProgram { index: 0, detail: "no outcome".into() })
+            .ok_or_else(|| BenderError::BadProgram {
+                index: 0,
+                detail: "no outcome".into(),
+            })
     }
 
     /// Runs the `Frac` sequence (stores ≈VDD/2 into `row`).
@@ -350,7 +386,10 @@ impl Bender {
             .into_iter()
             .map(|(_, o)| o)
             .next()
-            .ok_or_else(|| BenderError::BadProgram { index: 0, detail: "no outcome".into() })
+            .ok_or_else(|| BenderError::BadProgram {
+                index: 0,
+                detail: "no outcome".into(),
+            })
     }
 }
 
@@ -368,7 +407,9 @@ mod tests {
     fn bits(seed: u64, n: usize) -> Vec<Bit> {
         (0..n)
             .map(|c| {
-                Bit::from(dram_core::math::hash_to_unit(dram_core::math::mix2(seed, c as u64)) < 0.5)
+                Bit::from(
+                    dram_core::math::hash_to_unit(dram_core::math::mix2(seed, c as u64)) < 0.5,
+                )
             })
             .collect()
     }
@@ -377,7 +418,8 @@ mod tests {
     fn write_then_read_round_trips() {
         let mut b = bender();
         let data = bits(1, 32);
-        b.write_row(ChipId(0), BankId(0), GlobalRow(10), data.clone()).unwrap();
+        b.write_row(ChipId(0), BankId(0), GlobalRow(10), data.clone())
+            .unwrap();
         let got = b.read_row(ChipId(0), BankId(0), GlobalRow(10)).unwrap();
         assert_eq!(got, data);
     }
@@ -386,11 +428,14 @@ mod tests {
     fn copy_invert_produces_not_outcome() {
         let mut b = bender();
         let data = bits(2, 32);
-        b.write_row(ChipId(0), BankId(0), GlobalRow(0), data).unwrap();
+        b.write_row(ChipId(0), BankId(0), GlobalRow(0), data)
+            .unwrap();
         // Scan for a glitching pair into subarray 1.
         let mut kinds = Vec::new();
         for l in 0..40usize {
-            let out = b.copy_invert(ChipId(0), BankId(0), GlobalRow(0), GlobalRow(512 + l)).unwrap();
+            let out = b
+                .copy_invert(ChipId(0), BankId(0), GlobalRow(0), GlobalRow(512 + l))
+                .unwrap();
             kinds.push(out.kind.clone());
             if matches!(out.kind, OutcomeKind::Not { .. }) {
                 assert!(out.mean_success(CellRole::NotDst).unwrap() > 0.4);
@@ -411,8 +456,9 @@ mod tests {
     fn charge_share_sequence_recognized() {
         let mut b = bender();
         for l in 0..40usize {
-            let out =
-                b.charge_share(ChipId(0), BankId(0), GlobalRow(7), GlobalRow(512 + l)).unwrap();
+            let out = b
+                .charge_share(ChipId(0), BankId(0), GlobalRow(7), GlobalRow(512 + l))
+                .unwrap();
             if matches!(out.kind, OutcomeKind::Logic { .. }) {
                 return;
             }
@@ -501,7 +547,8 @@ mod tests {
         let exec = b.execute(ChipId(0), &p).unwrap();
         assert!(exec.outcomes.is_empty());
         // Bank must end precharged: a fresh activate succeeds.
-        b.write_row(ChipId(0), BankId(0), GlobalRow(1), bits(1, 32)).unwrap();
+        b.write_row(ChipId(0), BankId(0), GlobalRow(1), bits(1, 32))
+            .unwrap();
     }
 
     #[test]
@@ -523,10 +570,14 @@ mod tests {
         let mut b = bender();
         let d0 = bits(10, 32);
         let d1 = bits(11, 32);
-        b.write_row(ChipId(0), BankId(0), GlobalRow(5), d0.clone()).unwrap();
-        b.write_row(ChipId(0), BankId(1), GlobalRow(5), d1.clone()).unwrap();
+        b.write_row(ChipId(0), BankId(0), GlobalRow(5), d0.clone())
+            .unwrap();
+        b.write_row(ChipId(0), BankId(1), GlobalRow(5), d1.clone())
+            .unwrap();
         // A violating sequence in bank 0 must not disturb bank 1.
-        let _ = b.copy_invert(ChipId(0), BankId(0), GlobalRow(5), GlobalRow(517)).unwrap();
+        let _ = b
+            .copy_invert(ChipId(0), BankId(0), GlobalRow(5), GlobalRow(517))
+            .unwrap();
         assert_eq!(b.read_row(ChipId(0), BankId(1), GlobalRow(5)).unwrap(), d1);
         assert_eq!(b.read_row(ChipId(0), BankId(0), GlobalRow(5)).unwrap(), d0);
     }
@@ -535,7 +586,9 @@ mod tests {
     fn ref_command_is_accepted() {
         let mut b = bender();
         let mut pb = b.builder();
-        pb.push(crate::DdrCommand::Ref).wait_cycles(10).push(crate::DdrCommand::Ref);
+        pb.push(crate::DdrCommand::Ref)
+            .wait_cycles(10)
+            .push(crate::DdrCommand::Ref);
         let p = pb.build();
         let exec = b.execute(ChipId(0), &p).unwrap();
         assert!(exec.outcomes.is_empty());

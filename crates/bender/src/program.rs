@@ -100,7 +100,10 @@ impl ProgramBuilder {
 
     /// Emits a command at the cursor and advances one cycle.
     pub fn push(&mut self, command: DdrCommand) -> &mut Self {
-        self.cmds.push(TimedCommand { cycle: self.cursor, command });
+        self.cmds.push(TimedCommand {
+            cycle: self.cursor,
+            command,
+        });
         self.cursor += 1;
         self
     }
@@ -143,8 +146,11 @@ impl ProgramBuilder {
 
     /// Timing-respecting row write: `ACT → WR → (tRAS) → PRE → (tRP)`.
     pub fn seq_write_row(&mut self, bank: BankId, row: GlobalRow, data: Vec<Bit>) -> &mut Self {
-        let (t_rcd, t_ras, t_rp) =
-            (self.timing.t_rcd_ns, self.timing.t_ras_ns, self.timing.t_rp_ns);
+        let (t_rcd, t_ras, t_rp) = (
+            self.timing.t_rcd_ns,
+            self.timing.t_ras_ns,
+            self.timing.t_rp_ns,
+        );
         self.act(bank, row)
             .wait_ns(t_rcd)
             .wr(bank, data)
@@ -155,8 +161,11 @@ impl ProgramBuilder {
 
     /// Timing-respecting row read: `ACT → RD → (tRAS) → PRE → (tRP)`.
     pub fn seq_read_row(&mut self, bank: BankId, row: GlobalRow) -> &mut Self {
-        let (t_rcd, t_ras, t_rp) =
-            (self.timing.t_rcd_ns, self.timing.t_ras_ns, self.timing.t_rp_ns);
+        let (t_rcd, t_ras, t_rp) = (
+            self.timing.t_rcd_ns,
+            self.timing.t_ras_ns,
+            self.timing.t_rp_ns,
+        );
         self.act(bank, row)
             .wait_ns(t_rcd)
             .rd(bank, row)
@@ -213,7 +222,9 @@ impl ProgramBuilder {
 
     /// Finishes the program.
     pub fn build(&self) -> Program {
-        Program { cmds: self.cmds.clone() }
+        Program {
+            cmds: self.cmds.clone(),
+        }
     }
 }
 
@@ -287,7 +298,9 @@ mod tests {
     fn duration_reports_last_cycle() {
         let mut b = ProgramBuilder::new(SpeedBin::Mt2666);
         assert_eq!(b.build().duration_cycles(), 0);
-        b.act(BankId(0), GlobalRow(0)).wait_cycles(100).pre(BankId(0));
+        b.act(BankId(0), GlobalRow(0))
+            .wait_cycles(100)
+            .pre(BankId(0));
         assert_eq!(b.build().duration_cycles(), 101);
     }
 }

@@ -100,8 +100,14 @@ fn run_module(
         / lanes.max(1) as f64;
 
     Some((
-        CircuitResult { predicted: xor_pred * 100.0, measured: xor_meas * 100.0 },
-        CircuitResult { predicted: add_pred * 100.0, measured: add_meas * 100.0 },
+        CircuitResult {
+            predicted: xor_pred * 100.0,
+            measured: xor_meas * 100.0,
+        },
+        CircuitResult {
+            predicted: add_pred * 100.0,
+            measured: add_meas * 100.0,
+        },
     ))
 }
 

@@ -30,7 +30,12 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
     );
     for (mi, ctx) in fleet.iter_mut().enumerate() {
         let shapes = ctx.map.shapes();
-        let max_nn = shapes.iter().filter(|(f, l)| f == l).map(|(_, l)| *l).max().unwrap_or(0);
+        let max_nn = shapes
+            .iter()
+            .filter(|(f, l)| f == l)
+            .map(|(_, l)| *l)
+            .max()
+            .unwrap_or(0);
         let max_dst = shapes.iter().map(|(_, l)| *l).max().unwrap_or(0);
         let has_n2n = shapes.iter().any(|(f, l)| *l == 2 * *f);
         let coverage = ctx.map.total_coverage() * 100.0;
@@ -59,7 +64,11 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 Some(max_dst as f64),
                 Some(if has_n2n { 1.0 } else { 0.0 }),
                 Some(coverage),
-                if vals.is_empty() { None } else { Some(mean(&vals)) },
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(mean(&vals))
+                },
             ],
         });
     }
@@ -86,7 +95,11 @@ mod tests {
         assert_eq!(hynix.values[2], Some(1.0), "has N:2N");
         assert!(hynix.values[4].unwrap() > 90.0, "NOT works");
         // Samsung: no shapes, but sequential NOT works.
-        let samsung = t.rows.iter().find(|r| r.label.starts_with("samsung")).unwrap();
+        let samsung = t
+            .rows
+            .iter()
+            .find(|r| r.label.starts_with("samsung"))
+            .unwrap();
         assert_eq!(samsung.values[0], Some(0.0));
         assert!(samsung.values[4].unwrap() > 80.0, "sequential NOT");
     }
@@ -95,7 +108,10 @@ mod tests {
     fn merge_limited_module_reports_8() {
         let scale = Scale::quick();
         let all = dram_core::config::table1();
-        let cfg = all.iter().find(|m| m.name == "hynix-8Gb-M-2666-#0").unwrap();
+        let cfg = all
+            .iter()
+            .find(|m| m.name == "hynix-8Gb-M-2666-#0")
+            .unwrap();
         let mut fleet = vec![ModuleCtx::build(cfg, &scale).unwrap()];
         let t = run(&mut fleet, &scale);
         assert_eq!(t.rows[0].values[0], Some(8.0), "8Gb M caps at 8:8");

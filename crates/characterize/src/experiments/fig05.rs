@@ -38,11 +38,17 @@ pub fn run(fleet: &mut [ModuleCtx], _scale: &Scale) -> Table {
             "paper mean".into(),
         ],
     );
-    let hynix: Vec<&ModuleCtx> =
-        fleet.iter().filter(|c| c.cfg.manufacturer == Manufacturer::SkHynix).collect();
+    let hynix: Vec<&ModuleCtx> = fleet
+        .iter()
+        .filter(|c| c.cfg.manufacturer == Manufacturer::SkHynix)
+        .collect();
     let mut totals = Vec::new();
     for ((n_rf, n_rl), paper) in PAPER_COVERAGE {
-        let kind = if n_rl == 2 * n_rf { PatternKind::N2N } else { PatternKind::NN };
+        let kind = if n_rl == 2 * n_rf {
+            PatternKind::N2N
+        } else {
+            PatternKind::NN
+        };
         let per_module: Vec<f64> = hynix
             .iter()
             .map(|ctx| {
@@ -95,7 +101,11 @@ mod tests {
         for row in &t.rows {
             let mean = row.values[0].unwrap();
             let paper = row.values[6].unwrap();
-            assert!((mean - paper).abs() < 6.0, "{}: {mean} vs paper {paper}", row.label);
+            assert!(
+                (mean - paper).abs() < 6.0,
+                "{}: {mean} vs paper {paper}",
+                row.label
+            );
         }
     }
 }

@@ -25,15 +25,21 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
         ],
     );
     for d in DEST_ROWS {
-        let vals: Vec<f64> =
-            recs.iter().filter(|r| r.dest_rows == d).map(|r| r.p * 100.0).collect();
+        let vals: Vec<f64> = recs
+            .iter()
+            .filter(|r| r.dest_rows == d)
+            .map(|r| r.p * 100.0)
+            .collect();
         if let Some(s) = BoxStats::from_values(&vals) {
             t.push_row(Row::new(
                 d.to_string(),
                 vec![s.mean, s.min, s.q1, s.median, s.q3, s.max],
             ));
         } else {
-            t.push_row(Row { label: d.to_string(), values: vec![None; 6] });
+            t.push_row(Row {
+                label: d.to_string(),
+                values: vec![None; 6],
+            });
         }
     }
     t.note("paper: 98.37% average at 1 destination row; 7.95% at 32 (Observation 4)");
@@ -55,7 +61,11 @@ mod tests {
         assert!(means.len() >= 5, "most dest counts measured: {means:?}");
         // First (d=1) high, last measured low, overall decline.
         assert!(means[0] > 93.0, "d=1 mean {}", means[0]);
-        assert!(*means.last().unwrap() < 40.0, "high-d mean {}", means.last().unwrap());
+        assert!(
+            *means.last().unwrap() < 40.0,
+            "high-d mean {}",
+            means.last().unwrap()
+        );
         assert!(means.windows(2).filter(|w| w[1] <= w[0] + 1.5).count() >= means.len() - 2);
     }
 

@@ -31,18 +31,28 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
     let mut nn_means = Vec::new();
     let mut n2n_means = Vec::new();
     for (n_rf, n_rl) in shapes {
-        let kind = if n_rl == 2 * n_rf { PatternKind::N2N } else { PatternKind::NN };
+        let kind = if n_rl == 2 * n_rf {
+            PatternKind::N2N
+        } else {
+            PatternKind::NN
+        };
         let vals: Vec<f64> = recs
             .iter()
             .filter(|r| r.total_rows == n_rf + n_rl && r.dest_rows == n_rl && r.kind == kind)
             .map(|r| r.p * 100.0)
             .collect();
         if vals.is_empty() {
-            t.push_row(Row { label: format!("{n_rf}:{n_rl}"), values: vec![None, Some(0.0)] });
+            t.push_row(Row {
+                label: format!("{n_rf}:{n_rl}"),
+                values: vec![None, Some(0.0)],
+            });
             continue;
         }
         let m = mean(&vals);
-        t.push_row(Row::new(format!("{n_rf}:{n_rl}"), vec![m, vals.len() as f64]));
+        t.push_row(Row::new(
+            format!("{n_rf}:{n_rl}"),
+            vec![m, vals.len() as f64],
+        ));
         // Pair up at matching destination counts d ∈ {2,4,8,16}.
         if (2..=16).contains(&n_rl) {
             if kind == PatternKind::N2N {
@@ -73,7 +83,10 @@ mod tests {
         let mut fleet = mini_fleet(&scale);
         let t = run(&mut fleet, &scale);
         let get = |label: &str| -> Option<f64> {
-            t.rows.iter().find(|r| r.label == label).and_then(|r| r.values[0])
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .and_then(|r| r.values[0])
         };
         // At 16 destination rows: 8:16 (24 driven) vs 16:16 (32 driven).
         if let (Some(n2n), Some(nn)) = (get("8:16"), get("16:16")) {

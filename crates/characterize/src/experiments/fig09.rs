@@ -17,8 +17,7 @@ fn region_records(fleet: &mut [ModuleCtx], per_shape: usize) -> Vec<NotCellRecor
             continue; // single-destination parts carry no load signal
         }
         for (f, l) in ctx.map.shapes() {
-            let entries: Vec<_> =
-                ctx.map.find(f, l).iter().take(per_shape).cloned().collect();
+            let entries: Vec<_> = ctx.map.find(f, l).iter().take(per_shape).cloned().collect();
             for (ei, entry) in entries.iter().enumerate() {
                 let seed = dram_core::math::mix3(0xF09, mi as u64, (f * 64 + l + ei) as u64);
                 if let Ok(r) = run_not(ctx, entry, DataPattern::Random(seed)) {
@@ -51,9 +50,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
             for k in loads {
                 let vals: Vec<f64> = recs
                     .iter()
-                    .filter(|r| {
-                        r.src_region == src && r.dst_region == dst && r.total_rows == k
-                    })
+                    .filter(|r| r.src_region == src && r.dst_region == dst && r.total_rows == k)
                     .map(|r| r.p * 100.0)
                     .collect();
                 if !vals.is_empty() {
@@ -65,9 +62,16 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     }
                 }
             }
-            values.push(if strata.is_empty() { None } else { Some(mean(&strata)) });
+            values.push(if strata.is_empty() {
+                None
+            } else {
+                Some(mean(&strata))
+            });
         }
-        t.push_row(Row { label: src.to_string(), values });
+        t.push_row(Row {
+            label: src.to_string(),
+            values,
+        });
     }
     t.note("paper: Middle-Far 85.02% (best), Far-Close 44.16% (worst); Observation 6");
     t.note("consistency note: the exact paper extremes are not jointly reachable with Fig. 7's 98.37% headline under a per-cell model; ranking and direction reproduce (see EXPERIMENTS.md)");
@@ -89,12 +93,21 @@ mod tests {
         };
         let far_close = cell(2, 0);
         let middle_far = cell(1, 2);
-        assert!(middle_far > far_close + 10.0, "MF {middle_far} vs FC {far_close}");
+        assert!(
+            middle_far > far_close + 10.0,
+            "MF {middle_far} vs FC {far_close}"
+        );
         // Far-Close sits in the bottom of the grid; Middle-Far at the
         // top. (Bucket compositions mix load levels, so only the
         // paper's quoted extremes are asserted tightly.)
         let grid_mean: f64 = (0..9).map(|i| cell(i / 3, i % 3)).sum::<f64>() / 9.0;
-        assert!(far_close < grid_mean, "FC {far_close} vs grid mean {grid_mean}");
-        assert!(middle_far > grid_mean, "MF {middle_far} vs grid mean {grid_mean}");
+        assert!(
+            far_close < grid_mean,
+            "FC {far_close} vs grid mean {grid_mean}"
+        );
+        assert!(
+            middle_far > grid_mean,
+            "MF {middle_far} vs grid mean {grid_mean}"
+        );
     }
 }

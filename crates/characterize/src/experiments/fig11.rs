@@ -21,9 +21,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
     for (si, speed) in speeds.iter().enumerate() {
         let mut group: Vec<&mut ModuleCtx> = fleet
             .iter_mut()
-            .filter(|c| {
-                c.cfg.manufacturer == Manufacturer::SkHynix && c.cfg.speed == *speed
-            })
+            .filter(|c| c.cfg.manufacturer == Manufacturer::SkHynix && c.cfg.speed == *speed)
             .collect();
         // Borrow dance: run the shared collector over the sub-slice.
         let recs = crate::experiments::not_records_for(&mut group, scale, &DEST_ROWS);
@@ -33,8 +31,11 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
         let values: Vec<Option<f64>> = per_speed
             .iter()
             .map(|recs| {
-                let vals: Vec<f64> =
-                    recs.iter().filter(|(dd, _)| *dd == d).map(|(_, p)| *p).collect();
+                let vals: Vec<f64> = recs
+                    .iter()
+                    .filter(|(dd, _)| *dd == d)
+                    .map(|(_, p)| *p)
+                    .collect();
                 if vals.is_empty() {
                     None
                 } else {
@@ -42,7 +43,10 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 }
             })
             .collect();
-        t.push_row(Row { label: d.to_string(), values });
+        t.push_row(Row {
+            label: d.to_string(),
+            values,
+        });
     }
     t.note("paper: 4-dest NOT drops 20.06 points from 2133→2400 MT/s and recovers +19.76 at 2666 (Observation 8)");
     t.note("speed is confounded with die revision in the fleet, exactly as in the paper's Table 1");
@@ -62,8 +66,11 @@ mod tests {
         let t = run(&mut fleet, &scale);
         // At 4 destination rows (row index 2): 2133 > 2400, 2666 > 2400.
         let row = &t.rows[2];
-        let (s2133, s2400, s2666) =
-            (row.values[0].unwrap(), row.values[1].unwrap(), row.values[2].unwrap());
+        let (s2133, s2400, s2666) = (
+            row.values[0].unwrap(),
+            row.values[1].unwrap(),
+            row.values[2].unwrap(),
+        );
         assert!(s2133 > s2400 + 3.0, "2133 {s2133} vs 2400 {s2400}");
         assert!(s2666 > s2400 + 3.0, "2666 {s2666} vs 2400 {s2400}");
     }

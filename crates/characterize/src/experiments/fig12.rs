@@ -9,13 +9,48 @@ use dram_core::{Density, DieRevision, Manufacturer};
 
 /// The density/die groups the paper plots.
 pub const GROUPS: [(&str, Manufacturer, Density, DieRevision); 7] = [
-    ("Hynix 4Gb A", Manufacturer::SkHynix, Density::Gb4, DieRevision::A),
-    ("Hynix 4Gb M", Manufacturer::SkHynix, Density::Gb4, DieRevision::M),
-    ("Hynix 8Gb A", Manufacturer::SkHynix, Density::Gb8, DieRevision::A),
-    ("Hynix 8Gb M", Manufacturer::SkHynix, Density::Gb8, DieRevision::M),
-    ("Samsung 4Gb F", Manufacturer::Samsung, Density::Gb4, DieRevision::F),
-    ("Samsung 8Gb A", Manufacturer::Samsung, Density::Gb8, DieRevision::A),
-    ("Samsung 8Gb D", Manufacturer::Samsung, Density::Gb8, DieRevision::D),
+    (
+        "Hynix 4Gb A",
+        Manufacturer::SkHynix,
+        Density::Gb4,
+        DieRevision::A,
+    ),
+    (
+        "Hynix 4Gb M",
+        Manufacturer::SkHynix,
+        Density::Gb4,
+        DieRevision::M,
+    ),
+    (
+        "Hynix 8Gb A",
+        Manufacturer::SkHynix,
+        Density::Gb8,
+        DieRevision::A,
+    ),
+    (
+        "Hynix 8Gb M",
+        Manufacturer::SkHynix,
+        Density::Gb8,
+        DieRevision::M,
+    ),
+    (
+        "Samsung 4Gb F",
+        Manufacturer::Samsung,
+        Density::Gb4,
+        DieRevision::F,
+    ),
+    (
+        "Samsung 8Gb A",
+        Manufacturer::Samsung,
+        Density::Gb8,
+        DieRevision::A,
+    ),
+    (
+        "Samsung 8Gb D",
+        Manufacturer::Samsung,
+        Density::Gb8,
+        DieRevision::D,
+    ),
 ];
 
 /// Regenerates Fig. 12 (one destination row).
@@ -29,23 +64,29 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
     for (label, mfr, density, die) in GROUPS {
         let mut group: Vec<&mut ModuleCtx> = fleet
             .iter_mut()
-            .filter(|c| {
-                c.cfg.manufacturer == mfr && c.cfg.density == density && c.cfg.die == die
-            })
+            .filter(|c| c.cfg.manufacturer == mfr && c.cfg.density == density && c.cfg.die == die)
             .collect();
         if group.is_empty() {
-            t.push_row(Row { label: label.into(), values: vec![None, Some(0.0)] });
+            t.push_row(Row {
+                label: label.into(),
+                values: vec![None, Some(0.0)],
+            });
             continue;
         }
         let recs = not_records_for(&mut group, scale, &[1]);
         let vals: Vec<f64> = recs.iter().map(|r| r.p * 100.0).collect();
         if vals.is_empty() {
-            t.push_row(Row { label: label.into(), values: vec![None, Some(0.0)] });
+            t.push_row(Row {
+                label: label.into(),
+                values: vec![None, Some(0.0)],
+            });
         } else {
             t.push_row(Row::new(label, vec![mean(&vals), vals.len() as f64]));
         }
     }
-    t.note("paper: Hynix 8Gb M → 8Gb A drops 8.05 points; Samsung A → D drops 11.02 (Observation 9)");
+    t.note(
+        "paper: Hynix 8Gb M → 8Gb A drops 8.05 points; Samsung A → D drops 11.02 (Observation 9)",
+    );
     t.note("near the 1-destination ceiling the model compresses die gaps; ranking is preserved (see EXPERIMENTS.md)");
     t
 }
@@ -61,7 +102,10 @@ mod tests {
         let mut fleet = build_fleet(&scale, false);
         let t = run(&mut fleet, &scale);
         let get = |label: &str| -> Option<f64> {
-            t.rows.iter().find(|r| r.label == label).and_then(|r| r.values[0])
+            t.rows
+                .iter()
+                .find(|r| r.label == label)
+                .and_then(|r| r.values[0])
         };
         let m8 = get("Hynix 8Gb M").unwrap();
         let a8 = get("Hynix 8Gb A").unwrap();

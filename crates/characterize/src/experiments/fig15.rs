@@ -26,12 +26,7 @@ pub const PAPER_MEANS: [(LogicOp, usize, f64); 8] = [
 /// Module means are weighted by the module's chip count: the paper
 /// averages over *cells across all chips*, and modules carry 8, 16, or
 /// 32 chips (Table 1).
-pub fn op_mean(
-    fleet: &mut [ModuleCtx],
-    scale: &Scale,
-    op: LogicOp,
-    n: usize,
-) -> Option<f64> {
+pub fn op_mean(fleet: &mut [ModuleCtx], scale: &Scale, op: LogicOp, n: usize) -> Option<f64> {
     let mut num = 0.0;
     let mut den = 0.0;
     for (mi, ctx) in fleet.iter_mut().enumerate() {
@@ -44,8 +39,7 @@ pub fn op_mean(
         let seed = dram_core::math::mix3(mi as u64, n as u64, family);
         if let Ok(recs) = run_logic_random(ctx, op, n, scale.input_draws, seed) {
             if !recs.is_empty() {
-                let m: f64 =
-                    recs.iter().map(|r| r.p * 100.0).sum::<f64>() / recs.len() as f64;
+                let m: f64 = recs.iter().map(|r| r.p * 100.0).sum::<f64>() / recs.len() as f64;
                 num += m * ctx.cfg.chips as f64;
                 den += ctx.cfg.chips as f64;
             }
@@ -67,9 +61,14 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
         INPUT_COUNTS.iter().map(|n| format!("{n}-input")).collect(),
     );
     for op in LogicOp::ALL {
-        let values: Vec<Option<f64>> =
-            INPUT_COUNTS.iter().map(|n| op_mean(fleet, scale, op, *n)).collect();
-        t.push_row(Row { label: op.name().to_uppercase(), values });
+        let values: Vec<Option<f64>> = INPUT_COUNTS
+            .iter()
+            .map(|n| op_mean(fleet, scale, op, *n))
+            .collect();
+        t.push_row(Row {
+            label: op.name().to_uppercase(),
+            values,
+        });
     }
     t.note("paper: 16-input AND/NAND/OR/NOR at 94.94/94.94/95.85/95.87% (Observation 10)");
     t.note("paper: success increases with inputs (Obs. 11); OR-family beats AND-family, by 10.4 points at 2 inputs (Obs. 12); AND≈NAND, OR≈NOR (Obs. 13)");

@@ -21,7 +21,9 @@ pub fn weighted_mean(
         if ctx.cfg.manufacturer != Manufacturer::SkHynix || ctx.cfg.max_op_inputs() < n {
             continue;
         }
-        let Some(entry) = ctx.map.find_nn(n).cloned() else { continue };
+        let Some(entry) = ctx.map.find_nn(n).cloned() else {
+            continue;
+        };
         let inputs = weighted_input_set(n, m, ctx.cfg.geometry().cols());
         if let Ok(recs) = run_logic(ctx, &entry, op, &inputs) {
             vals.extend(recs.iter().map(|r| r.p * 100.0));
@@ -37,7 +39,12 @@ pub fn weighted_mean(
 /// Regenerates Fig. 16: rows are (op, N) pairs, columns the number of
 /// logic-1s (0..=16; `-` where m > N).
 pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
-    let configs = [(LogicOp::And, 4), (LogicOp::And, 16), (LogicOp::Or, 4), (LogicOp::Or, 16)];
+    let configs = [
+        (LogicOp::And, 4),
+        (LogicOp::And, 16),
+        (LogicOp::Or, 4),
+        (LogicOp::Or, 16),
+    ];
     let max_m = 16usize;
     let mut t = Table::new(
         "fig16",
@@ -47,9 +54,18 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
     );
     for (op, n) in configs {
         let values: Vec<Option<f64>> = (0..=max_m)
-            .map(|m| if m <= n { weighted_mean(fleet, scale, op, n, m) } else { None })
+            .map(|m| {
+                if m <= n {
+                    weighted_mean(fleet, scale, op, n, m)
+                } else {
+                    None
+                }
+            })
             .collect();
-        t.push_row(Row { label: format!("{}-{n}", op.name().to_uppercase()), values });
+        t.push_row(Row {
+            label: format!("{}-{n}", op.name().to_uppercase()),
+            values,
+        });
     }
     t.note("paper: 16-input AND drops 52.43 points from m=0 to m=15; 4-input AND drops 45.43 from m=0 to m=4 (Observation 14)");
     t.note("paper: 16-input OR drops 53.66 points from m=16 to m=1; 4-input OR drops 21.46 from m=4 to m=0");
@@ -69,7 +85,12 @@ mod tests {
         let and4: Vec<f64> = t.rows[0].values[..5].iter().map(|v| v.unwrap()).collect();
         // m=0 is comfortable, m=4 (all ones) collapses.
         assert!(and4[0] > 85.0, "AND-4 m=0: {}", and4[0]);
-        assert!(and4[0] - and4[4] > 30.0, "AND-4 drop {} → {}", and4[0], and4[4]);
+        assert!(
+            and4[0] - and4[4] > 30.0,
+            "AND-4 drop {} → {}",
+            and4[0],
+            and4[4]
+        );
         // m=3 (one zero) is also clearly degraded vs m=0.
         assert!(and4[0] - and4[3] > 3.0, "AND-4 m=3 {}", and4[3]);
         // Interior m is comfortable.

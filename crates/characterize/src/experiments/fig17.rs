@@ -15,7 +15,10 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
         "fig17",
         "Logic success rate by distance of activated rows to shared sense amps (%)",
         "com-ref regions",
-        LogicOp::ALL.iter().map(|o| o.name().to_uppercase()).collect(),
+        LogicOp::ALL
+            .iter()
+            .map(|o| o.name().to_uppercase())
+            .collect(),
     );
     // Collect per-op records across N ∈ {2,4,8} (16 merges whole
     // sections and blurs the row-region signal). Multiple entries per
@@ -65,9 +68,16 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     })
                     .map(|r| r.p * 100.0)
                     .collect();
-                values.push(if vals.is_empty() { None } else { Some(mean(&vals)) });
+                values.push(if vals.is_empty() {
+                    None
+                } else {
+                    Some(mean(&vals))
+                });
             }
-            t.push_row(Row { label: format!("{com}-{refr}"), values });
+            t.push_row(Row {
+                label: format!("{com}-{refr}"),
+                values,
+            });
         }
     }
     for oi in 0..4 {

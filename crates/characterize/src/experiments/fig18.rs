@@ -23,7 +23,9 @@ fn uniform_mean(fleet: &mut [ModuleCtx], op: LogicOp, n: usize) -> Option<f64> {
         if ctx.cfg.manufacturer != Manufacturer::SkHynix || ctx.cfg.max_op_inputs() < n {
             continue;
         }
-        let Some(entry) = ctx.map.find_nn(n).cloned() else { continue };
+        let Some(entry) = ctx.map.find_nn(n).cloned() else {
+            continue;
+        };
         let cols = ctx.cfg.geometry().cols();
         // Enumerate all 2^n uniform combinations for small n; for
         // larger n draw combinations uniformly (hash-based) so extreme
@@ -32,9 +34,7 @@ fn uniform_mean(fleet: &mut [ModuleCtx], op: LogicOp, n: usize) -> Option<f64> {
             (0..(1usize << n)).collect()
         } else {
             (0..16u64)
-                .map(|i| {
-                    (dram_core::math::mix3(0x18C0, i, n as u64) % (1u64 << n)) as usize
-                })
+                .map(|i| (dram_core::math::mix3(0x18C0, i, n as u64) % (1u64 << n)) as usize)
                 .collect()
         };
         for index in combos {
@@ -103,8 +103,15 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
             values.push(u);
             values.push(r);
         }
-        values.push(if penalties.is_empty() { None } else { Some(mean(&penalties)) });
-        t.push_row(Row { label: op.name().to_uppercase(), values });
+        values.push(if penalties.is_empty() {
+            None
+        } else {
+            Some(mean(&penalties))
+        });
+        t.push_row(Row {
+            label: op.name().to_uppercase(),
+            values,
+        });
     }
     t.note("paper penalties (random vs all-1s/0s): AND 1.43, NAND 1.39, OR 1.98, NOR 1.97 points (Observation 16)");
     t.note("note: the uniform family includes the worst-case all-1s/all-0s patterns, so its mean also reflects Fig. 16's extremes");
@@ -134,6 +141,9 @@ mod tests {
         let mut fleet = mini_fleet(&scale);
         let t = run(&mut fleet, &scale);
         assert_eq!(t.rows.len(), 4);
-        assert!(t.rows.iter().all(|r| r.values.iter().flatten().count() >= 4));
+        assert!(t
+            .rows
+            .iter()
+            .all(|r| r.values.iter().flatten().count() >= 4));
     }
 }

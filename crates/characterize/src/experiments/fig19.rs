@@ -22,8 +22,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
             for temp in &temps {
                 let mut vals = Vec::new();
                 for (mi, ctx) in fleet.iter_mut().enumerate() {
-                    if ctx.cfg.manufacturer != Manufacturer::SkHynix
-                        || ctx.cfg.max_op_inputs() < n
+                    if ctx.cfg.manufacturer != Manufacturer::SkHynix || ctx.cfg.max_op_inputs() < n
                     {
                         continue;
                     }
@@ -34,7 +33,11 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     }
                     ctx.fc.set_temperature(Temperature::BASELINE);
                 }
-                values.push(if vals.is_empty() { None } else { Some(mean(&vals)) });
+                values.push(if vals.is_empty() {
+                    None
+                } else {
+                    Some(mean(&vals))
+                });
             }
             let present: Vec<f64> = values.iter().flatten().copied().collect();
             if present.len() >= 2 {
@@ -42,7 +45,10 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     - present.iter().cloned().fold(f64::MAX, f64::min);
                 max_drift = max_drift.max(drift);
             }
-            t.push_row(Row { label: format!("{}-{n}", op.name().to_uppercase()), values });
+            t.push_row(Row {
+                label: format!("{}-{n}", op.name().to_uppercase()),
+                values,
+            });
         }
     }
     t.note(format!(

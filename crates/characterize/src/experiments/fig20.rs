@@ -32,9 +32,16 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                         vals.extend(recs.iter().map(|r| r.p * 100.0));
                     }
                 }
-                values.push(if vals.is_empty() { None } else { Some(mean(&vals)) });
+                values.push(if vals.is_empty() {
+                    None
+                } else {
+                    Some(mean(&vals))
+                });
             }
-            t.push_row(Row { label: format!("{}-{n}", op.name().to_uppercase()), values });
+            t.push_row(Row {
+                label: format!("{}-{n}", op.name().to_uppercase()),
+                values,
+            });
         }
     }
     t.note("paper: 4-input NAND drops 29.89 points from 2133→2400 MT/s (Observation 18); the fleet-mean constraint of Fig. 15 caps the expressible dip at ≈15–25 points (see EXPERIMENTS.md)");

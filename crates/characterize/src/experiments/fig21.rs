@@ -44,9 +44,16 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                         vals.extend(recs.iter().map(|r| r.p * 100.0));
                     }
                 }
-                values.push(if vals.is_empty() { None } else { Some(mean(&vals)) });
+                values.push(if vals.is_empty() {
+                    None
+                } else {
+                    Some(mean(&vals))
+                });
             }
-            t.push_row(Row { label: format!("{}-{n}", op.name().to_uppercase()), values });
+            t.push_row(Row {
+                label: format!("{}-{n}", op.name().to_uppercase()),
+                values,
+            });
         }
     }
     t.note("paper: 2-input AND drops 27.47 points from 4Gb A to 4Gb M; 8Gb M beats 8Gb A by 2.11 (Observation 19)");

@@ -29,8 +29,23 @@ pub mod table1;
 /// per-module capability inventory and the `simdram` word-arithmetic
 /// extension).
 pub const ALL_IDS: [&str; 17] = [
-    "table1", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "fig21", "capabilities", "arith",
+    "table1",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "capabilities",
+    "arith",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for unknown ids.
@@ -64,11 +79,7 @@ pub const DEST_ROWS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 /// given destination-row counts. Samsung parts contribute only to
 /// `dest = 1` (sequential activation); Micron parts never appear in
 /// fleets (the paper analyzes them separately).
-pub fn not_records(
-    fleet: &mut [ModuleCtx],
-    scale: &Scale,
-    dests: &[usize],
-) -> Vec<NotCellRecord> {
+pub fn not_records(fleet: &mut [ModuleCtx], scale: &Scale, dests: &[usize]) -> Vec<NotCellRecord> {
     let mut refs: Vec<&mut ModuleCtx> = fleet.iter_mut().collect();
     not_records_for(&mut refs, scale, dests)
 }
@@ -86,7 +97,11 @@ pub fn not_records_for(
                 continue;
             }
             let entries = ctx.not_entries(*d, scale);
-            for (ei, entry) in entries.iter().take(scale.execs_per_condition * 2).enumerate() {
+            for (ei, entry) in entries
+                .iter()
+                .take(scale.execs_per_condition * 2)
+                .enumerate()
+            {
                 let seed = dram_core::math::mix3(mi as u64, (di * 64 + ei) as u64, 0xF07);
                 if let Ok(recs) = run_not(ctx, entry, DataPattern::Random(seed)) {
                     out.extend(recs);
@@ -106,11 +121,20 @@ pub(crate) mod test_support {
     pub fn mini_fleet(scale: &Scale) -> Vec<ModuleCtx> {
         let all = dram_core::config::table1();
         let picks = [
-            all.iter().position(|m| m.name == "hynix-4Gb-M-2666-#0").unwrap(),
-            all.iter().position(|m| m.name == "hynix-4Gb-A-2133-#0").unwrap(),
-            all.iter().position(|m| m.name == "samsung-8Gb-D-2133-#0").unwrap(),
+            all.iter()
+                .position(|m| m.name == "hynix-4Gb-M-2666-#0")
+                .unwrap(),
+            all.iter()
+                .position(|m| m.name == "hynix-4Gb-A-2133-#0")
+                .unwrap(),
+            all.iter()
+                .position(|m| m.name == "samsung-8Gb-D-2133-#0")
+                .unwrap(),
         ];
-        picks.iter().map(|i| ModuleCtx::build(&all[*i], scale).unwrap()).collect()
+        picks
+            .iter()
+            .map(|i| ModuleCtx::build(&all[*i], scale).unwrap())
+            .collect()
     }
 
     #[test]

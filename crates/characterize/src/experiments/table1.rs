@@ -10,7 +10,10 @@ pub fn run(fleet: &mut [ModuleCtx], _scale: &Scale) -> Table {
     let mut groups: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
     for ctx in fleet.iter() {
         let c = &ctx.cfg;
-        let key = format!("{} {} {}-die {} {}", c.manufacturer, c.density, c.die, c.org, c.speed);
+        let key = format!(
+            "{} {} {}-die {} {}",
+            c.manufacturer, c.density, c.die, c.org, c.speed
+        );
         let e = groups.entry(key).or_insert((0, 0, c.max_op_inputs()));
         e.0 += 1;
         e.1 += c.chips;

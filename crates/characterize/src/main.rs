@@ -50,13 +50,21 @@ fn main() -> ExitCode {
         }
     }
 
-    let scale = if quick { Scale::quick() } else { Scale::standard() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::standard()
+    };
     eprintln!(
         "building fleet: 22 modules at {} columns/row, map budget {} pairs ...",
         scale.cols, scale.map_budget
     );
     let mut fleet = build_fleet(&scale, false);
-    eprintln!("fleet ready ({} modules). running: {}", fleet.len(), ids.join(", "));
+    eprintln!(
+        "fleet ready ({} modules). running: {}",
+        fleet.len(),
+        ids.join(", ")
+    );
 
     let mut tables = Vec::new();
     for id in &ids {

@@ -26,9 +26,7 @@ impl DataPattern {
             DataPattern::Random(seed) => (0..cols)
                 .map(|c| Bit::from(hash_to_unit(mix3(*seed, c as u64, 0xDA7A)) < 0.5))
                 .collect(),
-            DataPattern::Checker => {
-                (0..cols).map(|c| Bit::from(c % 2 == 1)).collect()
-            }
+            DataPattern::Checker => (0..cols).map(|c| Bit::from(c % 2 == 1)).collect(),
         }
     }
 
@@ -56,7 +54,9 @@ pub fn uniform_input_set(n: usize, index: usize, cols: usize) -> Vec<Vec<Bit>> {
 /// N rows of independent random data (the paper's "random data
 /// pattern"), keyed by `seed`.
 pub fn random_input_set(n: usize, seed: u64, cols: usize) -> Vec<Vec<Bit>> {
-    (0..n).map(|i| DataPattern::Random(mix3(seed, i as u64, 0x1217)).row(cols)).collect()
+    (0..n)
+        .map(|i| DataPattern::Random(mix3(seed, i as u64, 0x1217)).row(cols))
+        .collect()
 }
 
 /// An input set with exactly `m` all-1 rows and `n − m` all-0 rows
@@ -83,7 +83,10 @@ mod tests {
     fn fixed_patterns() {
         assert!(DataPattern::AllOnes.row(4).iter().all(|b| *b == Bit::One));
         assert!(DataPattern::AllZeros.row(4).iter().all(|b| *b == Bit::Zero));
-        assert_eq!(DataPattern::Checker.row(4), vec![Bit::Zero, Bit::One, Bit::Zero, Bit::One]);
+        assert_eq!(
+            DataPattern::Checker.row(4),
+            vec![Bit::Zero, Bit::One, Bit::Zero, Bit::One]
+        );
     }
 
     #[test]

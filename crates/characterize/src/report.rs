@@ -16,7 +16,10 @@ pub struct Row {
 impl Row {
     /// Builds a row from present values.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Row {
-        Row { label: label.into(), values: values.into_iter().map(Some).collect() }
+        Row {
+            label: label.into(),
+            values: values.into_iter().map(Some).collect(),
+        }
     }
 }
 
@@ -78,13 +81,23 @@ impl Table {
             .max()
             .unwrap_or(8)
             .max(4);
-        let col_w = self.value_headers.iter().map(|h| h.len()).max().unwrap_or(8).max(8);
+        let col_w = self
+            .value_headers
+            .iter()
+            .map(|h| h.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
         let _ = write!(out, "{:<label_w$}", self.label_header);
         for h in &self.value_headers {
             let _ = write!(out, "  {h:>col_w$}");
         }
         out.push('\n');
-        let _ = writeln!(out, "{}", "-".repeat(label_w + (col_w + 2) * self.value_headers.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(label_w + (col_w + 2) * self.value_headers.len())
+        );
         for row in &self.rows {
             let _ = write!(out, "{:<label_w$}", row.label);
             for v in &row.values {
@@ -123,7 +136,10 @@ mod tests {
             vec!["mean %".into(), "min %".into()],
         );
         t.push_row(Row::new("1", vec![98.37, 42.0]));
-        t.push_row(Row { label: "32".into(), values: vec![Some(7.95), None] });
+        t.push_row(Row {
+            label: "32".into(),
+            values: vec![Some(7.95), None],
+        });
         t.note("paper: 98.37% at 1 destination row");
         t
     }
@@ -136,7 +152,10 @@ mod tests {
         assert!(s.contains('-'), "missing placeholder for None");
         assert!(s.contains("paper: 98.37"));
         // All data lines have the same width.
-        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('1') || l.starts_with('3')).collect();
+        let lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.starts_with('1') || l.starts_with('3'))
+            .collect();
         assert_eq!(lines[0].len(), lines[1].len());
     }
 

@@ -80,10 +80,8 @@ impl ModuleCtx {
     /// Builds the context for one module at the given scale.
     pub fn build(cfg: &ModuleConfig, scale: &Scale) -> Result<ModuleCtx> {
         let cfg = cfg.clone().with_modeled_cols(scale.cols);
-        let mut fc = Fcdram::with_chip(
-            bender::Bender::new(DramModule::new(cfg.clone())),
-            ChipId(0),
-        );
+        let mut fc =
+            Fcdram::with_chip(bender::Bender::new(DramModule::new(cfg.clone())), ChipId(0));
         let map = ActivationMap::discover(
             fc.bender_mut(),
             ChipId(0),
@@ -114,13 +112,20 @@ impl ModuleCtx {
     /// activation families when available, capped by the scale.
     pub fn not_entries(&self, dest_rows: usize, scale: &Scale) -> Vec<PatternEntry> {
         if self.cfg.manufacturer == Manufacturer::Samsung && dest_rows == 1 {
-            return (0..scale.execs_per_condition).map(|i| self.sequential_entry(i)).collect();
+            return (0..scale.execs_per_condition)
+                .map(|i| self.sequential_entry(i))
+                .collect();
         }
         let per_family = scale.execs_per_condition.max(1);
         let all = self.map.find_dst(dest_rows);
         let mut out: Vec<PatternEntry> = Vec::new();
         for kind in [PatternKind::N2N, PatternKind::NN] {
-            out.extend(all.iter().filter(|e| e.kind == kind).take(per_family).map(|e| (*e).clone()));
+            out.extend(
+                all.iter()
+                    .filter(|e| e.kind == kind)
+                    .take(per_family)
+                    .map(|e| (*e).clone()),
+            );
         }
         out
     }
@@ -165,7 +170,11 @@ pub fn run_not(
     let src = pattern.row(geom.cols());
     let report = ctx.fc.execute_not(BANK, entry, &src)?;
     let (sub_f, loc_f) = geom.split_row(entry.rf)?;
-    let src_side = if sub_f == PAIR.0 { StripeSide::Below } else { StripeSide::Above };
+    let src_side = if sub_f == PAIR.0 {
+        StripeSide::Below
+    } else {
+        StripeSide::Above
+    };
     let src_region = row_region(loc_f, rows, src_side);
     let kind = entry.kind;
     let (n_rf, n_rl) = report.shape;
@@ -175,8 +184,11 @@ pub fn run_not(
         .iter()
         .filter(|c| c.role == CellRole::NotDst)
         .map(|c| {
-            let dst_side =
-                if c.subarray == PAIR.0 { StripeSide::Below } else { StripeSide::Above };
+            let dst_side = if c.subarray == PAIR.0 {
+                StripeSide::Below
+            } else {
+                StripeSide::Above
+            };
             NotCellRecord {
                 p: c.p_success,
                 dest_rows: n_rl,
@@ -213,7 +225,11 @@ pub fn run_logic(
     let geom = ctx.cfg.geometry();
     let rows = geom.rows_per_subarray();
     let report = ctx.fc.execute_logic(BANK, entry, op, inputs)?;
-    let role = if op.is_inverted_terminal() { CellRole::Reference } else { CellRole::Compute };
+    let role = if op.is_inverted_terminal() {
+        CellRole::Reference
+    } else {
+        CellRole::Compute
+    };
     let n = report.n;
     // The *addressed* rows anchor the opposite-side distance term
     // (matching the device model's event construction). Reference rows
@@ -229,12 +245,20 @@ pub fn run_logic(
         .iter()
         .filter(|c| c.role == role)
         .map(|c| {
-            let own_side = if c.subarray == PAIR.0 { StripeSide::Below } else { StripeSide::Above };
+            let own_side = if c.subarray == PAIR.0 {
+                StripeSide::Below
+            } else {
+                StripeSide::Above
+            };
             LogicCellRecord {
                 p: c.p_success,
                 n,
                 own_region: row_region(c.row, rows, own_side),
-                other_region: if op.is_inverted_terminal() { com_region } else { ref_region },
+                other_region: if op.is_inverted_terminal() {
+                    com_region
+                } else {
+                    ref_region
+                },
             }
         })
         .collect())
@@ -314,7 +338,10 @@ mod tests {
             .find(|m| m.manufacturer == Manufacturer::Samsung)
             .unwrap();
         let mut ctx = ModuleCtx::build(&cfg, &Scale::quick()).unwrap();
-        assert!(ctx.map.shapes().is_empty(), "no simultaneous shapes on Samsung");
+        assert!(
+            ctx.map.shapes().is_empty(),
+            "no simultaneous shapes on Samsung"
+        );
         let entries = ctx.not_entries(1, &Scale::quick());
         assert!(!entries.is_empty());
         let recs = run_not(&mut ctx, &entries[0], DataPattern::Random(1)).unwrap();
@@ -328,6 +355,8 @@ mod tests {
         let scale = Scale::quick();
         let hynix = build_fleet(&scale, true);
         assert_eq!(hynix.len(), 18);
-        assert!(hynix.iter().all(|c| c.cfg.manufacturer == Manufacturer::SkHynix));
+        assert!(hynix
+            .iter()
+            .all(|c| c.cfg.manufacturer == Manufacturer::SkHynix));
     }
 }

@@ -56,7 +56,10 @@ impl BoxStats {
 /// Panics if `v` is empty or `q` is outside `[0, 1]`.
 pub fn quantile_sorted(v: &[f64], q: f64) -> f64 {
     assert!(!v.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction {q} out of range");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction {q} out of range"
+    );
     if v.len() == 1 {
         return v[0];
     }

@@ -10,7 +10,8 @@
 use crate::error::{FcdramError, Result};
 use crate::mapping::{ActivationMap, InSubarrayEntry};
 use crate::ops::Fcdram;
-use dram_core::{BankId, Bit, GlobalRow, LocalRow, LogicOp, SubarrayId};
+use crate::packed::PackedBits;
+use dram_core::{BankId, Bit, GlobalRow, LocalRow, LogicOp, SimFidelity, SubarrayId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -50,6 +51,10 @@ pub struct OpStats {
 }
 
 /// The bulk bitwise engine.
+///
+/// Runs the chip in the fast fidelity mode ([`SimFidelity::fast`]):
+/// aggregate statistics only, packed host I/O, threaded column kernels
+/// on wide rows. Stored bits are identical to full-telemetry runs.
 #[derive(Debug)]
 pub struct BulkEngine {
     fc: Fcdram,
@@ -57,6 +62,7 @@ pub struct BulkEngine {
     map: ActivationMap,
     com_subarray: SubarrayId,
     shared_cols: Vec<usize>,
+    shared_start: usize,
     free_rows: Vec<GlobalRow>,
     repetition: usize,
     maj_entry: Option<InSubarrayEntry>,
@@ -130,16 +136,27 @@ impl BulkEngine {
             .filter(|r| !reserved.contains(&LocalRow(*r)))
             .map(|r| geom.join_row(com_sub, LocalRow(r)).expect("in range"))
             .collect();
+        // Bulk workloads never inspect per-cell records: run the chip
+        // in the fast fidelity mode (identical stored bits and
+        // aggregate statistics, no per-cell vectors).
+        fc.set_fidelity(SimFidelity::fast());
         Ok(BulkEngine {
             fc,
             bank,
             map,
             com_subarray: com_sub,
             shared_cols,
+            shared_start: (pair.0.index() + 1) % 2,
             free_rows,
             repetition: 1,
             maj_entry,
         })
+    }
+
+    /// Overrides the chip's fidelity configuration (the engine defaults
+    /// to [`SimFidelity::fast`]).
+    pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
+        self.fc.set_fidelity(fidelity);
     }
 
     /// Whether this part offers Ambit-style in-subarray majority (a
@@ -187,7 +204,10 @@ impl BulkEngine {
     /// Returns [`FcdramError::OutOfRows`] when the pool is exhausted.
     pub fn alloc(&mut self) -> Result<BitVecHandle> {
         let row = self.free_rows.pop().ok_or(FcdramError::OutOfRows)?;
-        Ok(BitVecHandle { row, len: self.shared_cols.len() })
+        Ok(BitVecHandle {
+            row,
+            len: self.shared_cols.len(),
+        })
     }
 
     /// Frees a vector, returning its row to the pool.
@@ -198,21 +218,47 @@ impl BulkEngine {
     /// Writes host bits into a vector.
     pub fn write(&mut self, v: &BitVecHandle, bits: &[bool]) -> Result<()> {
         if bits.len() != v.len {
-            return Err(FcdramError::WidthMismatch { expected: v.len, got: bits.len() });
+            return Err(FcdramError::WidthMismatch {
+                expected: v.len,
+                got: bits.len(),
+            });
         }
-        let row = self.expand(bits);
+        self.write_packed(v, &PackedBits::from_bools(bits))
+    }
+
+    /// Writes a packed vector (64 lanes per word, no per-bit `Vec`).
+    pub fn write_packed(&mut self, v: &BitVecHandle, bits: &PackedBits) -> Result<()> {
+        if bits.len() != v.len {
+            return Err(FcdramError::WidthMismatch {
+                expected: v.len,
+                got: bits.len(),
+            });
+        }
+        let row = self.expand_packed(bits);
         self.fc.write_row(self.bank, v.row, row)
     }
 
     /// Reads a vector back to host bits.
     pub fn read(&mut self, v: &BitVecHandle) -> Result<Vec<bool>> {
-        let row = self.fc.read_row(self.bank, v.row)?;
-        Ok(self.shared_cols.iter().map(|c| row[*c].as_bool()).collect())
+        Ok(self.read_packed(v)?.to_bools())
+    }
+
+    /// Reads a vector back packed: the device thresholds only the
+    /// shared column half directly into `u64` words.
+    pub fn read_packed(&mut self, v: &BitVecHandle) -> Result<PackedBits> {
+        let chip = self.fc.chip();
+        let words =
+            self.fc
+                .bender_mut()
+                .read_row_packed(chip, self.bank, v.row, self.shared_start, 2)?;
+        Ok(PackedBits::from_words(words, self.shared_cols.len()))
     }
 
     /// In-DRAM NOT: `out ← ¬a`.
     pub fn not(&mut self, a: &BitVecHandle, out: &BitVecHandle) -> Result<OpStats> {
-        let ideal: Vec<bool> = self.read(a)?.iter().map(|b| !b).collect();
+        let src = self.read_packed(a)?;
+        let mut ideal = src.clone();
+        ideal.not_in_place();
         let entry = self
             .map
             .find_dst(1)
@@ -221,23 +267,20 @@ impl BulkEngine {
             .cloned()
             .or_else(|| self.map.find_dst(2).first().cloned().cloned())
             .ok_or(FcdramError::NoPattern { n_rf: 1, n_rl: 1 })?;
-        let src_full = {
-            let bits = self.read(a)?;
-            self.expand(&bits)
-        };
-        let mut votes = vec![0usize; self.shared_cols.len()];
+        let src_full = self.expand_packed(&src);
+        if self.repetition == 1 {
+            let rep = self.fc.execute_not_packed(self.bank, &entry, &src_full)?;
+            return self.finish_packed(out, rep.result, &ideal, rep.predicted_success);
+        }
+        let mut votes = vec![0u32; self.shared_cols.len()];
         let mut predicted = 0.0;
         for _ in 0..self.repetition {
-            let report = self.fc.execute_not(self.bank, &entry, &src_full)?;
-            predicted += report.predicted_success;
-            let (_, data) = &report.dst_reads[0];
-            for (i, c) in self.shared_cols.iter().enumerate() {
-                if data[*c].as_bool() {
-                    votes[i] += 1;
-                }
-            }
+            let rep = self.fc.execute_not_packed(self.bank, &entry, &src_full)?;
+            predicted += rep.predicted_success;
+            tally(&mut votes, &rep.result);
         }
-        self.finish(out, votes, ideal, predicted)
+        let result = majority(&votes, self.repetition);
+        self.finish_packed(out, result, &ideal, predicted)
     }
 
     /// In-DRAM N-input logic: `out ← op(inputs...)`.
@@ -251,7 +294,10 @@ impl BulkEngine {
         out: &BitVecHandle,
     ) -> Result<OpStats> {
         if inputs.len() < 2 {
-            return Err(FcdramError::BadInputCount { n: inputs.len(), max: 16 });
+            return Err(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: 16,
+            });
         }
         let n = [2usize, 4, 8, 16]
             .into_iter()
@@ -262,36 +308,35 @@ impl BulkEngine {
             })?;
         let entry = self.map.find_nn(n).expect("checked").clone();
 
-        let host_inputs: Vec<Vec<bool>> =
-            inputs.iter().map(|h| self.read(h)).collect::<Result<_>>()?;
-        let ideal: Vec<bool> = (0..self.shared_cols.len())
-            .map(|i| {
-                let agg = if op.is_and_family() {
-                    host_inputs.iter().all(|v| v[i])
-                } else {
-                    host_inputs.iter().any(|v| v[i])
-                };
-                if op.is_inverted_terminal() {
-                    !agg
-                } else {
-                    agg
-                }
-            })
-            .collect();
-        let rows: Vec<Vec<Bit>> = host_inputs.iter().map(|v| self.expand(v)).collect();
-
-        let mut votes = vec![0usize; self.shared_cols.len()];
-        let mut predicted = 0.0;
-        for _ in 0..self.repetition {
-            let report = self.fc.execute_logic(self.bank, &entry, op, &rows)?;
-            predicted += report.predicted_success;
-            for (i, bit) in report.result.iter().enumerate() {
-                if bit.as_bool() {
-                    votes[i] += 1;
-                }
-            }
+        let packed_inputs: Vec<PackedBits> = inputs
+            .iter()
+            .map(|h| self.read_packed(h))
+            .collect::<Result<_>>()?;
+        if self.repetition == 1 {
+            let rep = self
+                .fc
+                .execute_logic_packed(self.bank, &entry, op, &packed_inputs)?;
+            let ideal = rep.expected;
+            return self.finish_packed(out, rep.result, &ideal, rep.predicted_success);
         }
-        self.finish(out, votes, ideal, predicted)
+        let mut votes = vec![0u32; self.shared_cols.len()];
+        let mut predicted = 0.0;
+        let mut ideal = None;
+        for _ in 0..self.repetition {
+            let rep = self
+                .fc
+                .execute_logic_packed(self.bank, &entry, op, &packed_inputs)?;
+            predicted += rep.predicted_success;
+            tally(&mut votes, &rep.result);
+            ideal.get_or_insert(rep.expected);
+        }
+        let result = majority(&votes, self.repetition);
+        self.finish_packed(
+            out,
+            result,
+            &ideal.expect("at least one execution"),
+            predicted,
+        )
     }
 
     /// Convenience wrappers.
@@ -335,32 +380,50 @@ impl BulkEngine {
         c: &BitVecHandle,
         out: &BitVecHandle,
     ) -> Result<OpStats> {
-        let entry = self.maj_entry.clone().ok_or_else(|| FcdramError::OpFailed {
-            detail: "no four-row in-subarray activation set discovered".to_string(),
-        })?;
-        let (da, db, dc) = (self.read(a)?, self.read(b)?, self.read(c)?);
-        let ideal: Vec<bool> = (0..self.shared_cols.len())
-            .map(|i| u8::from(da[i]) + u8::from(db[i]) + u8::from(dc[i]) >= 2)
-            .collect();
+        let entry = self
+            .maj_entry
+            .clone()
+            .ok_or_else(|| FcdramError::OpFailed {
+                detail: "no four-row in-subarray activation set discovered".to_string(),
+            })?;
+        let (da, db, dc) = (
+            self.read_packed(a)?,
+            self.read_packed(b)?,
+            self.read_packed(c)?,
+        );
+        // MAJ3 = (a∧b) ∨ (a∧c) ∨ (b∧c), word-wise.
+        let mut ideal = da.clone();
+        ideal.and_assign(&db);
+        let mut ac = da.clone();
+        ac.and_assign(&dc);
+        let mut bc = db.clone();
+        bc.and_assign(&dc);
+        ideal.or_assign(&ac);
+        ideal.or_assign(&bc);
         let cols = self.fc.config().modeled_cols;
         let inputs = vec![
-            self.expand(&da),
-            self.expand(&db),
-            self.expand(&dc),
+            self.expand_packed(&da),
+            self.expand_packed(&db),
+            self.expand_packed(&dc),
             vec![Bit::One; cols],
         ];
-        let mut votes = vec![0usize; self.shared_cols.len()];
+        if self.repetition == 1 {
+            let rep = self
+                .fc
+                .execute_maj_packed(self.bank, &entry, &inputs, self.shared_start)?;
+            return self.finish_packed(out, rep.result, &ideal, rep.predicted_success);
+        }
+        let mut votes = vec![0u32; self.shared_cols.len()];
         let mut predicted = 0.0;
         for _ in 0..self.repetition {
-            let report = self.fc.execute_maj(self.bank, &entry, &inputs)?;
-            predicted += report.predicted_success;
-            for (i, col) in self.shared_cols.iter().enumerate() {
-                if report.result.get(*col).is_some_and(|b| b.as_bool()) {
-                    votes[i] += 1;
-                }
-            }
+            let rep = self
+                .fc
+                .execute_maj_packed(self.bank, &entry, &inputs, self.shared_start)?;
+            predicted += rep.predicted_success;
+            tally(&mut votes, &rep.result);
         }
-        self.finish(out, votes, ideal, predicted)
+        let result = majority(&votes, self.repetition);
+        self.finish_packed(out, result, &ideal, predicted)
     }
 
     /// In-DRAM copy (`out ← a`) via in-subarray RowClone.
@@ -376,19 +439,27 @@ impl BulkEngine {
     /// Propagates device addressing errors; the non-cloning-pair case
     /// is handled internally by the fallback.
     pub fn copy(&mut self, a: &BitVecHandle, out: &BitVecHandle) -> Result<OpStats> {
-        let ideal = self.read(a)?;
+        let ideal = self.read_packed(a)?;
         match self.fc.rowclone(self.bank, a.row, out.row) {
             Ok(outcome) => {
-                let got = self.read(out)?;
-                let accuracy = got.iter().zip(&ideal).filter(|(x, y)| x == y).count() as f64
-                    / ideal.len().max(1) as f64;
-                let predicted =
-                    outcome.mean_success(dram_core::CellRole::CloneDst).unwrap_or(1.0);
-                Ok(OpStats { executions: 1, accuracy, predicted_success: predicted })
+                let got = self.read_packed(out)?;
+                let accuracy = got.accuracy_against(&ideal);
+                let predicted = outcome
+                    .mean_success(dram_core::CellRole::CloneDst)
+                    .unwrap_or(1.0);
+                Ok(OpStats {
+                    executions: 1,
+                    accuracy,
+                    predicted_success: predicted,
+                })
             }
             Err(_) => {
-                self.write(out, &ideal)?;
-                Ok(OpStats { executions: 0, accuracy: 1.0, predicted_success: 1.0 })
+                self.write_packed(out, &ideal)?;
+                Ok(OpStats {
+                    executions: 0,
+                    accuracy: 1.0,
+                    predicted_success: 1.0,
+                })
             }
         }
     }
@@ -401,8 +472,7 @@ impl BulkEngine {
     ///
     /// Propagates device addressing errors.
     pub fn fill(&mut self, v: &BitVecHandle, value: bool) -> Result<()> {
-        let bits = vec![value; v.len];
-        self.write(v, &bits)
+        self.write_packed(v, &PackedBits::splat(value, v.len))
     }
 
     /// The module configuration of the underlying chip.
@@ -410,33 +480,47 @@ impl BulkEngine {
         self.fc.config()
     }
 
-    fn expand(&self, bits: &[bool]) -> Vec<Bit> {
-        let cols = self.fc.config().modeled_cols;
-        let mut row = vec![Bit::Zero; cols];
-        for (i, c) in self.shared_cols.iter().enumerate() {
-            row[*c] = Bit::from(bits[i]);
-        }
-        row
+    /// Expands shared-column lanes into a full-width row (zeros on the
+    /// off half). The shared columns are exactly every other column
+    /// starting at `shared_start`, so this is a strided expansion.
+    fn expand_packed(&self, bits: &PackedBits) -> Vec<Bit> {
+        bits.expand_strided(self.fc.config().modeled_cols, self.shared_start, 2)
     }
 
-    fn finish(
+    fn finish_packed(
         &mut self,
         out: &BitVecHandle,
-        votes: Vec<usize>,
-        ideal: Vec<bool>,
+        result: PackedBits,
+        ideal: &PackedBits,
         predicted_sum: f64,
     ) -> Result<OpStats> {
         let k = self.repetition;
-        let result: Vec<bool> = votes.iter().map(|v| 2 * v > k).collect();
-        let accuracy =
-            result.iter().zip(&ideal).filter(|(a, b)| a == b).count() as f64 / ideal.len() as f64;
-        self.write(out, &result)?;
+        let accuracy = result.accuracy_against(ideal);
+        self.write_packed(out, &result)?;
         Ok(OpStats {
             executions: k,
             accuracy,
             predicted_success: predicted_sum / k as f64,
         })
     }
+}
+
+/// Adds one packed execution's set lanes into per-lane vote counters.
+fn tally(votes: &mut [u32], result: &PackedBits) {
+    for (i, v) in votes.iter_mut().enumerate() {
+        *v += u32::from(result.get(i));
+    }
+}
+
+/// Majority-of-`k` over per-lane vote counters.
+fn majority(votes: &[u32], k: usize) -> PackedBits {
+    let mut out = PackedBits::zeros(votes.len());
+    for (i, v) in votes.iter().enumerate() {
+        if 2 * (*v as usize) > k {
+            out.set(i, true);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

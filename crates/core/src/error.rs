@@ -49,13 +49,19 @@ impl fmt::Display for FcdramError {
         match self {
             FcdramError::Bender(e) => write!(f, "infrastructure error: {e}"),
             FcdramError::NoPattern { n_rf, n_rl } => {
-                write!(f, "no {n_rf}:{n_rl} activation pattern discovered on this chip")
+                write!(
+                    f,
+                    "no {n_rf}:{n_rl} activation pattern discovered on this chip"
+                )
             }
             FcdramError::BadInputCount { n, max } => {
                 write!(f, "unsupported input count {n} (chip supports up to {max})")
             }
             FcdramError::WidthMismatch { expected, got } => {
-                write!(f, "data width mismatch: expected {expected} bits, got {got}")
+                write!(
+                    f,
+                    "data width mismatch: expected {expected} bits, got {got}"
+                )
             }
             FcdramError::OutOfRows => write!(f, "no free rows left for allocation"),
             FcdramError::OpFailed { detail } => write!(f, "operation failed: {detail}"),
@@ -93,8 +99,12 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(FcdramError::NoPattern { n_rf: 8, n_rl: 16 }.to_string().contains("8:16"));
-        assert!(FcdramError::BadInputCount { n: 3, max: 16 }.to_string().contains('3'));
+        assert!(FcdramError::NoPattern { n_rf: 8, n_rl: 16 }
+            .to_string()
+            .contains("8:16"));
+        assert!(FcdramError::BadInputCount { n: 3, max: 16 }
+            .to_string()
+            .contains('3'));
         assert!(FcdramError::OutOfRows.to_string().contains("free rows"));
     }
 

@@ -43,13 +43,17 @@ pub mod bitwise;
 pub mod error;
 pub mod mapping;
 pub mod ops;
+pub mod packed;
 pub mod row_order;
 pub mod success;
 
 pub use bitwise::{BitVecHandle, BulkEngine, OpStats};
 pub use error::{FcdramError, Result};
 pub use mapping::{ActivationMap, CoverageRow, InSubarrayEntry, PatternEntry};
-pub use ops::{Fcdram, LogicReport, MajReport, NotReport};
+pub use ops::{
+    FastLogicResult, FastMajResult, FastNotResult, Fcdram, LogicReport, MajReport, NotReport,
+};
+pub use packed::PackedBits;
 pub use row_order::{discover_row_order, RowOrder};
 pub use success::{sample_trials, sampled_success_rate, SuccessStats};
 

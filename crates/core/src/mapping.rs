@@ -80,27 +80,27 @@ pub struct ActivationMap {
 /// `(key, value)` pairs, so they survive formats (like JSON) that only
 /// allow string object keys.
 mod tuple_keyed_map {
-    use serde::de::DeserializeOwned;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Content, Deserialize, Error, Serialize};
     use std::collections::BTreeMap;
 
-    pub fn serialize<S, K, V>(map: &BTreeMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    pub fn serialize<K, V>(map: &BTreeMap<K, V>) -> Content
     where
-        S: Serializer,
         K: Serialize + Ord,
         V: Serialize,
     {
-        let pairs: Vec<(&K, &V)> = map.iter().collect();
-        pairs.serialize(s)
+        Content::Array(
+            map.iter()
+                .map(|(k, v)| Content::Array(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, D, K, V>(d: D) -> Result<BTreeMap<K, V>, D::Error>
+    pub fn deserialize<K, V>(c: &Content) -> Result<BTreeMap<K, V>, Error>
     where
-        D: Deserializer<'de>,
-        K: DeserializeOwned + Ord,
-        V: DeserializeOwned,
+        K: Deserialize + Ord,
+        V: Deserialize,
     {
-        let pairs: Vec<(K, V)> = Vec::deserialize(d)?;
+        let pairs: Vec<(K, V)> = Vec::from_content(c)?;
         Ok(pairs.into_iter().collect())
     }
 }
@@ -142,8 +142,8 @@ impl ActivationMap {
         // entries feed the distance-dependence experiments, which need
         // sources and destinations across the whole subarray).
         while scanned < budget {
-            let idx = (dram_core::math::mix3(0x5CA9, scanned as u64, rows as u64)
-                % total as u64) as usize;
+            let idx = (dram_core::math::mix3(0x5CA9, scanned as u64, rows as u64) % total as u64)
+                as usize;
             let f = idx / rows;
             let l = idx % rows;
             let rf = geom.join_row(pair.0, LocalRow(f))?;
@@ -156,16 +156,29 @@ impl ActivationMap {
             } = dev.decoder().activation(&geom, rf, rl)
             {
                 let shape = (first_rows.len(), second_rows.len());
-                *shape_counts.entry((shape.0, shape.1, kind == PatternKind::N2N)).or_insert(0) +=
-                    1;
+                *shape_counts
+                    .entry((shape.0, shape.1, kind == PatternKind::N2N))
+                    .or_insert(0) += 1;
                 let list = entries.entry(shape).or_default();
                 if list.len() < cap_per_shape {
-                    list.push(PatternEntry { rf, rl, first_rows, second_rows, kind });
+                    list.push(PatternEntry {
+                        rf,
+                        rl,
+                        first_rows,
+                        second_rows,
+                        kind,
+                    });
                 }
             }
             scanned += 1;
         }
-        Ok(ActivationMap { bank, pair, entries, shape_counts, scanned })
+        Ok(ActivationMap {
+            bank,
+            pair,
+            entries,
+            shape_counts,
+            scanned,
+        })
     }
 
     /// Number of address pairs scanned.
@@ -175,7 +188,10 @@ impl ActivationMap {
 
     /// Usable entries for an exact `(N_RF, N_RL)` shape.
     pub fn find(&self, n_rf: usize, n_rl: usize) -> &[PatternEntry] {
-        self.entries.get(&(n_rf, n_rl)).map(Vec::as_slice).unwrap_or(&[])
+        self.entries
+            .get(&(n_rf, n_rl))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// First entry of the `N:N` shape for `n`, if discovered.
@@ -208,7 +224,11 @@ impl ActivationMap {
             .map(|((n_rf, n_rl, n2n), count)| CoverageRow {
                 n_rf: *n_rf,
                 n_rl: *n_rl,
-                kind: if *n2n { PatternKind::N2N } else { PatternKind::NN },
+                kind: if *n2n {
+                    PatternKind::N2N
+                } else {
+                    PatternKind::NN
+                },
                 coverage: *count as f64 / self.scanned.max(1) as f64,
             })
             .collect()
@@ -268,7 +288,11 @@ pub fn discover_in_subarray(
         {
             let list = out.entry(raised.len()).or_default();
             if list.len() < cap {
-                list.push(InSubarrayEntry { rf, rl, rows: raised });
+                list.push(InSubarrayEntry {
+                    rf,
+                    rl,
+                    rows: raised,
+                });
             }
         }
     }
@@ -324,7 +348,9 @@ pub fn discover_subarray_rows(
         }
         candidate *= 2;
     }
-    Err(FcdramError::OpFailed { detail: "no subarray boundary found".into() })
+    Err(FcdramError::OpFailed {
+        detail: "no subarray boundary found".into(),
+    })
 }
 
 /// Command-level validation of a pattern entry using the §4.2
@@ -400,8 +426,11 @@ fn merge_candidates(a: LocalRow, b: LocalRow) -> Vec<LocalRow> {
             groups.push(g);
         }
     }
-    let sections: Vec<usize> =
-        if a >> 8 == b >> 8 { vec![a >> 8] } else { vec![0, 1] };
+    let sections: Vec<usize> = if a >> 8 == b >> 8 {
+        vec![a >> 8]
+    } else {
+        vec![0, 1]
+    };
     let mut out = Vec::new();
     for mask in 0..(1usize << groups.len()) {
         for base in [a, b] {
@@ -450,9 +479,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(map.scanned(), 4096);
-        assert!(map.total_coverage() > 0.7, "coverage {}", map.total_coverage());
+        assert!(
+            map.total_coverage() > 0.7,
+            "coverage {}",
+            map.total_coverage()
+        );
         // The dominant shapes of Fig. 5 must appear.
-        assert!(!map.find(8, 8).is_empty(), "8:8 missing: {:?}", map.shapes());
+        assert!(
+            !map.find(8, 8).is_empty(),
+            "8:8 missing: {:?}",
+            map.shapes()
+        );
         assert!(!map.find(16, 16).is_empty(), "16:16 missing");
         assert!(map.find_nn(4).is_some());
     }
@@ -502,8 +539,10 @@ mod tests {
         .unwrap();
         let v = map.find_dst(16);
         if v.len() >= 2 {
-            let loads: Vec<usize> =
-                v.iter().map(|e| e.first_rows.len() + e.second_rows.len()).collect();
+            let loads: Vec<usize> = v
+                .iter()
+                .map(|e| e.first_rows.len() + e.second_rows.len())
+                .collect();
             assert!(loads.windows(2).all(|w| w[0] <= w[1]), "{loads:?}");
         }
     }

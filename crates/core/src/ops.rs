@@ -4,12 +4,58 @@
 
 use crate::error::{FcdramError, Result};
 use crate::mapping::{ActivationMap, InSubarrayEntry, PatternEntry};
+use crate::packed::PackedBits;
 use bender::Bender;
 use dram_core::{
     is_shared_col, BankId, Bit, CellRole, ChipId, Col, DramModule, GlobalRow, LogicOp,
     ModuleConfig, OpOutcome, OutcomeKind, SubarrayId, Temperature,
 };
 use serde::{Deserialize, Serialize};
+
+/// Result of a fast-path NOT execution: packed, shared columns only,
+/// no per-cell records and no full-width row reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastNotResult {
+    /// Shape actually activated (`N_RF`, `N_RL`).
+    pub shape: (usize, usize),
+    /// First destination row's shared columns (packed).
+    pub result: PackedBits,
+    /// Fraction of destination cells on shared columns holding ¬src
+    /// (over *all* destination rows, like [`NotReport`]).
+    pub observed_success: f64,
+    /// Mean model-assigned success probability of destination cells.
+    pub predicted_success: f64,
+}
+
+/// Result of a fast-path logic execution (packed, shared columns only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastLogicResult {
+    /// The operation.
+    pub op: LogicOp,
+    /// Input count (the `N` of the `N:N` entry).
+    pub n: usize,
+    /// Ideal result on shared columns (packed).
+    pub expected: PackedBits,
+    /// First result row's shared columns (packed).
+    pub result: PackedBits,
+    /// Fraction of result cells (all result rows × shared columns)
+    /// holding the correct value.
+    pub observed_success: f64,
+    /// Mean model success probability of result cells.
+    pub predicted_success: f64,
+}
+
+/// Result of a fast-path in-subarray majority execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastMajResult {
+    /// Number of rows that charge-shared.
+    pub n: usize,
+    /// First raised row's shared columns (packed; the engine's vectors
+    /// live on the shared half).
+    pub result: PackedBits,
+    /// Mean model success probability of the raised cells.
+    pub predicted_success: f64,
+}
 
 /// Result of an executed NOT operation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,7 +127,10 @@ impl Fcdram {
     /// Builds the full stack (module + infrastructure) for chip 0 of a
     /// module configuration.
     pub fn new(config: ModuleConfig) -> Self {
-        Fcdram { bender: Bender::new(DramModule::new(config)), chip: ChipId(0) }
+        Fcdram {
+            bender: Bender::new(DramModule::new(config)),
+            chip: ChipId(0),
+        }
     }
 
     /// Wraps an existing infrastructure, targeting `chip`.
@@ -112,6 +161,13 @@ impl Fcdram {
     /// Sets the chip temperature.
     pub fn set_temperature(&mut self, t: Temperature) {
         self.bender.set_temperature(t);
+    }
+
+    /// Sets the simulation fidelity (telemetry mode + threading) of the
+    /// whole module under test. Stored bits and aggregate statistics
+    /// are identical across fidelity modes.
+    pub fn set_fidelity(&mut self, fidelity: dram_core::SimFidelity) {
+        self.bender.module_mut().set_fidelity(fidelity);
     }
 
     /// Discovers the activation map of a neighboring subarray pair.
@@ -150,7 +206,9 @@ impl Fcdram {
         let out = self.bender.copy_invert(self.chip, bank, src, dst)?;
         match out.kind {
             OutcomeKind::InSubarray { .. } => Ok(out),
-            ref k => Err(FcdramError::OpFailed { detail: format!("rowclone produced {k:?}") }),
+            ref k => Err(FcdramError::OpFailed {
+                detail: format!("rowclone produced {k:?}"),
+            }),
         }
     }
 
@@ -180,17 +238,23 @@ impl Fcdram {
         let (sub_l, _) = geom.split_row(entry.rl)?;
         let upper = SubarrayId(sub_f.index().min(sub_l.index()));
 
-        self.bender.write_row(self.chip, bank, entry.rf, src_data.to_vec())?;
-        let outcome = self.bender.copy_invert(self.chip, bank, entry.rf, entry.rl)?;
+        self.bender
+            .write_row(self.chip, bank, entry.rf, src_data.to_vec())?;
+        let outcome = self
+            .bender
+            .copy_invert(self.chip, bank, entry.rf, entry.rl)?;
         let shape = match outcome.kind {
             OutcomeKind::Not { n_rf, n_rl, .. } => (n_rf, n_rl),
             ref k => {
-                return Err(FcdramError::OpFailed { detail: format!("NOT produced {k:?}") })
+                return Err(FcdramError::OpFailed {
+                    detail: format!("NOT produced {k:?}"),
+                })
             }
         };
 
-        let shared_cols: Vec<usize> =
-            (0..geom.cols()).filter(|c| is_shared_col(upper, Col(*c))).collect();
+        let shared_cols: Vec<usize> = (0..geom.cols())
+            .filter(|c| is_shared_col(upper, Col(*c)))
+            .collect();
         let mut dst_reads = Vec::new();
         let mut correct = 0usize;
         let mut total = 0usize;
@@ -240,7 +304,10 @@ impl Fcdram {
         }
         let n = n_com;
         if inputs.is_empty() || inputs.len() > n {
-            return Err(FcdramError::BadInputCount { n: inputs.len(), max: n });
+            return Err(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: n,
+            });
         }
         for input in inputs {
             if input.len() != geom.cols() {
@@ -255,14 +322,19 @@ impl Fcdram {
         let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
 
         // Reference subarray: N−1 constant rows + one Frac row.
-        let const_bit = if op.is_and_family() { Bit::One } else { Bit::Zero };
+        let const_bit = if op.is_and_family() {
+            Bit::One
+        } else {
+            Bit::Zero
+        };
         let const_row = vec![const_bit; geom.cols()];
         for (i, row) in entry.first_rows.iter().enumerate() {
             let g = geom.join_row(sub_ref, *row)?;
             if i + 1 == entry.first_rows.len() {
                 self.bender.frac(self.chip, bank, g)?;
             } else {
-                self.bender.write_row(self.chip, bank, g, const_row.clone())?;
+                self.bender
+                    .write_row(self.chip, bank, g, const_row.clone())?;
             }
         }
         // Compute subarray: the operands, identity-padded to N rows.
@@ -273,24 +345,27 @@ impl Fcdram {
             self.bender.write_row(self.chip, bank, g, data)?;
         }
 
-        let outcome = self.bender.charge_share(self.chip, bank, entry.rf, entry.rl)?;
+        let outcome = self
+            .bender
+            .charge_share(self.chip, bank, entry.rf, entry.rl)?;
         if !matches!(outcome.kind, OutcomeKind::Logic { .. }) {
             return Err(FcdramError::OpFailed {
                 detail: format!("charge share produced {:?}", outcome.kind),
             });
         }
 
-        let shared_cols: Vec<usize> =
-            (0..geom.cols()).filter(|c| is_shared_col(upper, Col(*c))).collect();
+        let shared_cols: Vec<usize> = (0..geom.cols())
+            .filter(|c| is_shared_col(upper, Col(*c)))
+            .collect();
         // Ideal result per shared column.
         let expected: Vec<Bit> = shared_cols
             .iter()
             .map(|c| {
-                let all = inputs.iter().map(|r| r[*c].as_bool());
+                let mut all = inputs.iter().map(|r| r[*c].as_bool());
                 let agg = if op.is_and_family() {
-                    all.fold(true, |acc, b| acc && b)
+                    all.all(|b| b)
                 } else {
-                    all.fold(false, |acc, b| acc || b)
+                    all.any(|b| b)
                 };
                 Bit::from(if op.is_inverted_terminal() { !agg } else { agg })
             })
@@ -318,7 +393,11 @@ impl Fcdram {
                 first_read = Some(shared_cols.iter().map(|c| data[*c]).collect());
             }
         }
-        let role = if op.is_inverted_terminal() { CellRole::Reference } else { CellRole::Compute };
+        let role = if op.is_inverted_terminal() {
+            CellRole::Reference
+        } else {
+            CellRole::Compute
+        };
         let predicted = outcome.mean_success(role).unwrap_or(0.0);
         Ok(LogicReport {
             op,
@@ -329,6 +408,260 @@ impl Fcdram {
             observed_success: correct as f64 / total.max(1) as f64,
             predicted_success: predicted,
             outcome,
+        })
+    }
+
+    /// Fast-path NOT: same command sequence as [`Fcdram::execute_not`],
+    /// but destination rows are read back packed and shared-columns
+    /// only, and no full-width `dst_reads` are materialized.
+    ///
+    /// `observed_success`/`predicted_success` are identical to the
+    /// values [`Fcdram::execute_not`] reports for the same state.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fcdram::execute_not`].
+    pub fn execute_not_packed(
+        &mut self,
+        bank: BankId,
+        entry: &PatternEntry,
+        src_data: &[Bit],
+    ) -> Result<FastNotResult> {
+        let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
+        if src_data.len() != geom.cols() {
+            return Err(FcdramError::WidthMismatch {
+                expected: geom.cols(),
+                got: src_data.len(),
+            });
+        }
+        let (sub_f, _) = geom.split_row(entry.rf)?;
+        let (sub_l, _) = geom.split_row(entry.rl)?;
+        let upper = SubarrayId(sub_f.index().min(sub_l.index()));
+        let shared_start = (upper.index() + 1) % 2;
+        let lanes = (geom.cols() - shared_start).div_ceil(2);
+
+        self.bender
+            .write_row(self.chip, bank, entry.rf, src_data.to_vec())?;
+        let outcome = self
+            .bender
+            .copy_invert(self.chip, bank, entry.rf, entry.rl)?;
+        let shape = match outcome.kind {
+            OutcomeKind::Not { n_rf, n_rl, .. } => (n_rf, n_rl),
+            ref k => {
+                return Err(FcdramError::OpFailed {
+                    detail: format!("NOT produced {k:?}"),
+                })
+            }
+        };
+
+        // Ideal: ¬src on the shared half.
+        let mut expected = PackedBits::zeros(lanes);
+        for (i, c) in (shared_start..geom.cols()).step_by(2).enumerate() {
+            expected.set(i, !src_data[c].as_bool());
+        }
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        let mut first: Option<PackedBits> = None;
+        for row in &entry.second_rows {
+            let g = geom.join_row(sub_l, *row)?;
+            let words = self
+                .bender
+                .read_row_packed(self.chip, bank, g, shared_start, 2)?;
+            let read = PackedBits::from_words(words, lanes);
+            correct += read.count_matches(&expected);
+            total += lanes;
+            if first.is_none() {
+                first = Some(read);
+            }
+        }
+        Ok(FastNotResult {
+            shape,
+            result: first.unwrap_or_else(|| PackedBits::zeros(lanes)),
+            observed_success: correct as f64 / total.max(1) as f64,
+            predicted_success: outcome.mean_success(CellRole::NotDst).unwrap_or(0.0),
+        })
+    }
+
+    /// Fast-path N-input logic: same command sequence and write
+    /// pattern as [`Fcdram::execute_logic`], with packed shared-column
+    /// inputs and read-back. Inputs carry one lane per shared column.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fcdram::execute_logic`].
+    pub fn execute_logic_packed(
+        &mut self,
+        bank: BankId,
+        entry: &PatternEntry,
+        op: LogicOp,
+        inputs: &[PackedBits],
+    ) -> Result<FastLogicResult> {
+        let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
+        let (n_ref, n_com) = entry.shape();
+        if n_ref != n_com {
+            return Err(FcdramError::OpFailed {
+                detail: format!("logic needs an N:N entry, got {n_ref}:{n_com}"),
+            });
+        }
+        let n = n_com;
+        if inputs.is_empty() || inputs.len() > n {
+            return Err(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: n,
+            });
+        }
+        let (sub_ref, _) = geom.split_row(entry.rf)?;
+        let (sub_com, _) = geom.split_row(entry.rl)?;
+        let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
+        let shared_start = (upper.index() + 1) % 2;
+        let lanes = (geom.cols() - shared_start).div_ceil(2);
+        for input in inputs {
+            if input.len() != lanes {
+                return Err(FcdramError::WidthMismatch {
+                    expected: lanes,
+                    got: input.len(),
+                });
+            }
+        }
+
+        // Reference subarray: N−1 constant rows + one Frac row.
+        let const_bit = if op.is_and_family() {
+            Bit::One
+        } else {
+            Bit::Zero
+        };
+        let const_row = vec![const_bit; geom.cols()];
+        for (i, row) in entry.first_rows.iter().enumerate() {
+            let g = geom.join_row(sub_ref, *row)?;
+            if i + 1 == entry.first_rows.len() {
+                self.bender.frac(self.chip, bank, g)?;
+            } else {
+                self.bender
+                    .write_row(self.chip, bank, g, const_row.clone())?;
+            }
+        }
+        // Compute subarray: the operands (shared half, zeros on the off
+        // half — matching the engine's legacy expansion), identity-
+        // padded to N rows with full-width constant rows.
+        for (i, row) in entry.second_rows.iter().enumerate() {
+            let g = geom.join_row(sub_com, *row)?;
+            let data = match inputs.get(i) {
+                Some(p) => p.expand_strided(geom.cols(), shared_start, 2),
+                None => const_row.clone(),
+            };
+            self.bender.write_row(self.chip, bank, g, data)?;
+        }
+
+        let outcome = self
+            .bender
+            .charge_share(self.chip, bank, entry.rf, entry.rl)?;
+        if !matches!(outcome.kind, OutcomeKind::Logic { .. }) {
+            return Err(FcdramError::OpFailed {
+                detail: format!("charge share produced {:?}", outcome.kind),
+            });
+        }
+
+        // Ideal result, computed word-wise.
+        let mut expected = PackedBits::splat(op.is_and_family(), lanes);
+        for input in inputs {
+            if op.is_and_family() {
+                expected.and_assign(input);
+            } else {
+                expected.or_assign(input);
+            }
+        }
+        if op.is_inverted_terminal() {
+            expected.not_in_place();
+        }
+
+        // Result rows: compute side for AND/OR, reference for NAND/NOR.
+        let (result_sub, result_rows) = if op.is_inverted_terminal() {
+            (sub_ref, &entry.first_rows)
+        } else {
+            (sub_com, &entry.second_rows)
+        };
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        let mut first: Option<PackedBits> = None;
+        for row in result_rows {
+            let g = geom.join_row(result_sub, *row)?;
+            let words = self
+                .bender
+                .read_row_packed(self.chip, bank, g, shared_start, 2)?;
+            let read = PackedBits::from_words(words, lanes);
+            correct += read.count_matches(&expected);
+            total += lanes;
+            if first.is_none() {
+                first = Some(read);
+            }
+        }
+        let role = if op.is_inverted_terminal() {
+            CellRole::Reference
+        } else {
+            CellRole::Compute
+        };
+        Ok(FastLogicResult {
+            op,
+            n,
+            expected,
+            result: first.unwrap_or_else(|| PackedBits::zeros(lanes)),
+            observed_success: correct as f64 / total.max(1) as f64,
+            predicted_success: outcome.mean_success(role).unwrap_or(0.0),
+        })
+    }
+
+    /// Fast-path in-subarray majority: same command sequence as
+    /// [`Fcdram::execute_maj`], reading back only the first raised
+    /// row's shared columns (packed).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fcdram::execute_maj`].
+    pub fn execute_maj_packed(
+        &mut self,
+        bank: BankId,
+        entry: &InSubarrayEntry,
+        inputs: &[Vec<Bit>],
+        shared_start: usize,
+    ) -> Result<FastMajResult> {
+        let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
+        let n = entry.rows.len();
+        if inputs.len() != n {
+            return Err(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: n,
+            });
+        }
+        for input in inputs {
+            if input.len() != geom.cols() {
+                return Err(FcdramError::WidthMismatch {
+                    expected: geom.cols(),
+                    got: input.len(),
+                });
+            }
+        }
+        let (sub, _) = geom.split_row(entry.rf)?;
+        for (row, data) in entry.rows.iter().zip(inputs) {
+            self.bender
+                .write_row(self.chip, bank, geom.join_row(sub, *row)?, data.clone())?;
+        }
+        let outcome = self
+            .bender
+            .charge_share(self.chip, bank, entry.rf, entry.rl)?;
+        if !matches!(outcome.kind, OutcomeKind::InSubarray { .. }) {
+            return Err(FcdramError::OpFailed {
+                detail: format!("in-subarray activation produced {:?}", outcome.kind),
+            });
+        }
+        let lanes = (geom.cols() - shared_start.min(geom.cols())).div_ceil(2);
+        let g = geom.join_row(sub, entry.rows[0])?;
+        let words = self
+            .bender
+            .read_row_packed(self.chip, bank, g, shared_start, 2)?;
+        Ok(FastMajResult {
+            n,
+            result: PackedBits::from_words(words, lanes),
+            predicted_success: outcome.mean_success(CellRole::OffMaj).unwrap_or(0.0),
         })
     }
 
@@ -347,11 +680,17 @@ impl Fcdram {
     ) -> Result<f64> {
         let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
         if data.len() != geom.cols() {
-            return Err(FcdramError::WidthMismatch { expected: geom.cols(), got: data.len() });
+            return Err(FcdramError::WidthMismatch {
+                expected: geom.cols(),
+                got: data.len(),
+            });
         }
         let (sub, loc_f) = geom.split_row(entry.rf)?;
-        self.bender.write_row(self.chip, bank, entry.rf, data.to_vec())?;
-        let outcome = self.bender.copy_invert(self.chip, bank, entry.rf, entry.rl)?;
+        self.bender
+            .write_row(self.chip, bank, entry.rf, data.to_vec())?;
+        let outcome = self
+            .bender
+            .copy_invert(self.chip, bank, entry.rf, entry.rl)?;
         if !matches!(outcome.kind, OutcomeKind::InSubarray { .. }) {
             return Err(FcdramError::OpFailed {
                 detail: format!("broadcast produced {:?}", outcome.kind),
@@ -360,7 +699,9 @@ impl Fcdram {
         let mut correct = 0usize;
         let mut total = 0usize;
         for row in entry.rows.iter().filter(|r| **r != loc_f) {
-            let got = self.bender.read_row(self.chip, bank, geom.join_row(sub, *row)?)?;
+            let got = self
+                .bender
+                .read_row(self.chip, bank, geom.join_row(sub, *row)?)?;
             for c in 0..geom.cols() {
                 total += 1;
                 if got[c] == data[c] {
@@ -389,7 +730,10 @@ impl Fcdram {
         let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
         let n = entry.rows.len();
         if inputs.len() != n {
-            return Err(FcdramError::BadInputCount { n: inputs.len(), max: n });
+            return Err(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: n,
+            });
         }
         for input in inputs {
             if input.len() != geom.cols() {
@@ -401,9 +745,12 @@ impl Fcdram {
         }
         let (sub, _) = geom.split_row(entry.rf)?;
         for (row, data) in entry.rows.iter().zip(inputs) {
-            self.bender.write_row(self.chip, bank, geom.join_row(sub, *row)?, data.clone())?;
+            self.bender
+                .write_row(self.chip, bank, geom.join_row(sub, *row)?, data.clone())?;
         }
-        let outcome = self.bender.charge_share(self.chip, bank, entry.rf, entry.rl)?;
+        let outcome = self
+            .bender
+            .charge_share(self.chip, bank, entry.rf, entry.rl)?;
         if !matches!(outcome.kind, OutcomeKind::InSubarray { .. }) {
             return Err(FcdramError::OpFailed {
                 detail: format!("in-subarray activation produced {:?}", outcome.kind),
@@ -419,7 +766,9 @@ impl Fcdram {
         let mut total = 0usize;
         let mut first_read: Option<Vec<Bit>> = None;
         for row in &entry.rows {
-            let data = self.bender.read_row(self.chip, bank, geom.join_row(sub, *row)?)?;
+            let data = self
+                .bender
+                .read_row(self.chip, bank, geom.join_row(sub, *row)?)?;
             for c in 0..geom.cols() {
                 total += 1;
                 if data[c] == expected[c] {
@@ -455,26 +804,41 @@ mod tests {
     fn pattern(seed: u64, n: usize) -> Vec<Bit> {
         (0..n)
             .map(|c| {
-                Bit::from(dram_core::math::hash_to_unit(dram_core::math::mix2(seed, c as u64)) < 0.5)
+                Bit::from(
+                    dram_core::math::hash_to_unit(dram_core::math::mix2(seed, c as u64)) < 0.5,
+                )
             })
             .collect()
     }
 
     fn map_for(fc: &mut Fcdram) -> ActivationMap {
-        fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192).unwrap()
+        fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192)
+            .unwrap()
     }
 
     #[test]
     fn not_through_map_negates() {
         let mut fc = fc();
         let map = map_for(&mut fc);
-        let entry = map.find_dst(1).first().cloned().cloned()
+        let entry = map
+            .find_dst(1)
+            .first()
+            .cloned()
+            .cloned()
             .or_else(|| map.find_dst(2).first().cloned().cloned())
             .expect("a small NOT pattern");
         let src = pattern(11, fc.cols());
         let report = fc.execute_not(BankId(0), &entry, &src).unwrap();
-        assert!(report.observed_success > 0.9, "observed {}", report.observed_success);
-        assert!(report.predicted_success > 0.9, "predicted {}", report.predicted_success);
+        assert!(
+            report.observed_success > 0.9,
+            "observed {}",
+            report.observed_success
+        );
+        assert!(
+            report.predicted_success > 0.9,
+            "predicted {}",
+            report.predicted_success
+        );
         assert_eq!(report.shared_cols.len(), fc.cols() / 2);
     }
 
@@ -485,8 +849,9 @@ mod tests {
         let entry = map.find_nn(2).expect("2:2 entry").clone();
         let a = pattern(1, fc.cols());
         let b = pattern(2, fc.cols());
-        let report =
-            fc.execute_logic(BankId(0), &entry, LogicOp::And, &[a.clone(), b.clone()]).unwrap();
+        let report = fc
+            .execute_logic(BankId(0), &entry, LogicOp::And, &[a.clone(), b.clone()])
+            .unwrap();
         assert_eq!(report.n, 2);
         // Expected vector is the bitwise AND on shared columns.
         for (i, c) in report.shared_cols.iter().enumerate() {
@@ -495,7 +860,11 @@ mod tests {
                 Bit::from(a[*c].as_bool() && b[*c].as_bool())
             );
         }
-        assert!(report.observed_success > 0.55, "observed {}", report.observed_success);
+        assert!(
+            report.observed_success > 0.55,
+            "observed {}",
+            report.observed_success
+        );
     }
 
     #[test]
@@ -505,8 +874,12 @@ mod tests {
         let entry = map.find_nn(2).expect("2:2 entry").clone();
         let a = pattern(3, fc.cols());
         let b = pattern(4, fc.cols());
-        let and = fc.execute_logic(BankId(0), &entry, LogicOp::And, &[a.clone(), b.clone()]).unwrap();
-        let nand = fc.execute_logic(BankId(0), &entry, LogicOp::Nand, &[a, b]).unwrap();
+        let and = fc
+            .execute_logic(BankId(0), &entry, LogicOp::And, &[a.clone(), b.clone()])
+            .unwrap();
+        let nand = fc
+            .execute_logic(BankId(0), &entry, LogicOp::Nand, &[a, b])
+            .unwrap();
         for (x, y) in and.expected.iter().zip(&nand.expected) {
             assert_eq!(x.not(), *y);
         }
@@ -518,8 +891,14 @@ mod tests {
         let map = map_for(&mut fc);
         let entry = map.find_nn(4).expect("4:4 entry").clone();
         // Three inputs into a 4:4 pattern: padded with all-0 for OR.
-        let ins = vec![pattern(5, fc.cols()), pattern(6, fc.cols()), pattern(7, fc.cols())];
-        let report = fc.execute_logic(BankId(0), &entry, LogicOp::Or, &ins).unwrap();
+        let ins = vec![
+            pattern(5, fc.cols()),
+            pattern(6, fc.cols()),
+            pattern(7, fc.cols()),
+        ];
+        let report = fc
+            .execute_logic(BankId(0), &entry, LogicOp::Or, &ins)
+            .unwrap();
         for (i, c) in report.shared_cols.iter().enumerate() {
             let expect = ins.iter().any(|r| r[*c].as_bool());
             assert_eq!(report.expected[i], Bit::from(expect));
@@ -539,7 +918,9 @@ mod tests {
             .and_then(|(f, l)| map.find(f, l).first().cloned())
         {
             let ins = vec![pattern(1, fc.cols()); 2];
-            let err = fc.execute_logic(BankId(0), &entry, LogicOp::And, &ins).unwrap_err();
+            let err = fc
+                .execute_logic(BankId(0), &entry, LogicOp::And, &ins)
+                .unwrap_err();
             assert!(matches!(err, FcdramError::OpFailed { .. }));
         }
     }
@@ -550,7 +931,9 @@ mod tests {
         let map = map_for(&mut fc);
         let entry = map.find_nn(2).expect("2:2 entry").clone();
         let ins = vec![pattern(1, fc.cols()); 3];
-        let err = fc.execute_logic(BankId(0), &entry, LogicOp::And, &ins).unwrap_err();
+        let err = fc
+            .execute_logic(BankId(0), &entry, LogicOp::And, &ins)
+            .unwrap_err();
         assert!(matches!(err, FcdramError::BadInputCount { .. }));
     }
 
@@ -559,7 +942,9 @@ mod tests {
         let mut fc = fc();
         let map = map_for(&mut fc);
         let entry = map.find_nn(2).expect("2:2 entry").clone();
-        let err = fc.execute_not(BankId(0), &entry, &[Bit::One; 3]).unwrap_err();
+        let err = fc
+            .execute_not(BankId(0), &entry, &[Bit::One; 3])
+            .unwrap_err();
         assert!(matches!(err, FcdramError::WidthMismatch { .. }));
     }
 
@@ -567,7 +952,8 @@ mod tests {
     fn rowclone_copies_within_subarray() {
         let mut fc = fc();
         let src_data = pattern(21, fc.cols());
-        fc.write_row(BankId(0), GlobalRow(5), src_data.clone()).unwrap();
+        fc.write_row(BankId(0), GlobalRow(5), src_data.clone())
+            .unwrap();
         // Scan for a working clone destination in the same subarray.
         for dst in [261usize, 266, 271, 280, 300, 320, 350] {
             if let Ok(out) = fc.rowclone(BankId(0), GlobalRow(5), GlobalRow(dst)) {
@@ -639,7 +1025,11 @@ mod tests {
             assert_eq!(report.expected[c], expect, "col {c}");
         }
         assert!(report.observed_success > 0.6, "{}", report.observed_success);
-        assert!(report.predicted_success > 0.6, "{}", report.predicted_success);
+        assert!(
+            report.predicted_success > 0.6,
+            "{}",
+            report.predicted_success
+        );
     }
 
     #[test]
@@ -680,7 +1070,9 @@ mod tests {
             kind: dram_core::PatternKind::NN,
         };
         let ins = vec![vec![Bit::One; 32]];
-        let err = fc.execute_logic(BankId(0), &entry, LogicOp::And, &ins).unwrap_err();
+        let err = fc
+            .execute_logic(BankId(0), &entry, LogicOp::And, &ins)
+            .unwrap_err();
         assert!(matches!(err, FcdramError::OpFailed { .. }));
     }
 }

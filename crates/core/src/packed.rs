@@ -1,0 +1,287 @@
+//! Bit-packed host-side vectors: `u64` words instead of `Vec<bool>`.
+//!
+//! The bulk engine moves whole DRAM rows (8K+ bits) between host and
+//! device on every operation. Packing 64 lanes per word turns the
+//! host-side bookkeeping — expected-value computation, accuracy
+//! counting, majority voting — into a handful of word operations per
+//! cache line instead of a branch per bit.
+
+use dram_core::Bit;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bit vector packed 64 lanes per `u64` word.
+///
+/// Bit `i` lives in word `i / 64` at bit position `i % 64`. Unused
+/// high bits of the last word are always zero (maintained by every
+/// constructor and mutation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// An all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        PackedBits {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-one vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut p = PackedBits {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        p.mask_tail();
+        p
+    }
+
+    /// A vector filled with `value`.
+    pub fn splat(value: bool, len: usize) -> Self {
+        if value {
+            Self::ones(len)
+        } else {
+            Self::zeros(len)
+        }
+    }
+
+    /// Wraps LSB-first packed words (the device read layout) into a
+    /// vector of `len` lanes. Extra words are dropped and tail bits
+    /// cleared.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(len.div_ceil(64), 0);
+        let mut p = PackedBits { words, len };
+        p.mask_tail();
+        p
+    }
+
+    /// Packs a `bool` slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut p = Self::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                p.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        p
+    }
+
+    /// Packs a [`Bit`] slice.
+    pub fn from_bits(bits: &[Bit]) -> Self {
+        let mut p = Self::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if b.as_bool() {
+                p.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        p
+    }
+
+    /// Unpacks to a `bool` vector.
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Unpacks to a [`Bit`] vector.
+    pub fn to_bits(&self) -> Vec<Bit> {
+        (0..self.len).map(|i| Bit::from(self.get(i))).collect()
+    }
+
+    /// Expands the lanes into a `cols`-wide row at every `step`-th
+    /// column starting from `start`, zeros elsewhere — the staging
+    /// convention for writing shared-column vectors into full DRAM
+    /// rows.
+    pub fn expand_strided(&self, cols: usize, start: usize, step: usize) -> Vec<Bit> {
+        let mut row = vec![Bit::Zero; cols];
+        for (i, c) in (start..cols).step_by(step).enumerate().take(self.len) {
+            row[c] = Bit::from(self.get(i));
+        }
+        row
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero lanes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words (unused tail bits are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Lane `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets lane `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of set lanes.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of lanes equal between `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn count_matches(&self, other: &PackedBits) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut same = 0usize;
+        for (i, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut eq = !(a ^ b);
+            if (i + 1) * 64 > self.len {
+                eq &= Self::tail_mask(self.len);
+            }
+            same += eq.count_ones() as usize;
+        }
+        same
+    }
+
+    /// Lane-wise AND with `other`.
+    pub fn and_assign(&mut self, other: &PackedBits) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Lane-wise OR with `other`.
+    pub fn or_assign(&mut self, other: &PackedBits) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Lane-wise XOR with `other`.
+    pub fn xor_assign(&mut self, other: &PackedBits) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Lane-wise complement.
+    pub fn not_in_place(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Fraction of lanes equal between `self` and `other` (1.0 for
+    /// empty vectors).
+    pub fn accuracy_against(&self, other: &PackedBits) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        self.count_matches(other) as f64 / self.len as f64
+    }
+
+    #[inline]
+    fn tail_mask(len: usize) -> u64 {
+        match len % 64 {
+            0 => u64::MAX,
+            r => (1u64 << r) - 1,
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        if let Some(last) = self.words.last_mut() {
+            *last &= Self::tail_mask(self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_tail_masking() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let bits: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let p = PackedBits::from_bools(&bits);
+            assert_eq!(p.to_bools(), bits);
+            assert_eq!(p.len(), len);
+            let mut inv = p.clone();
+            inv.not_in_place();
+            let expect: Vec<bool> = bits.iter().map(|b| !b).collect();
+            assert_eq!(inv.to_bools(), expect, "len {len}");
+            // Tail bits stay zero after NOT.
+            if len % 64 != 0 && !inv.words().is_empty() {
+                assert_eq!(inv.words().last().unwrap() >> (len % 64), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn logic_ops_match_boolwise() {
+        let a: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let (pa, pb) = (PackedBits::from_bools(&a), PackedBits::from_bools(&b));
+        let mut and = pa.clone();
+        and.and_assign(&pb);
+        let mut or = pa.clone();
+        or.or_assign(&pb);
+        for i in 0..100 {
+            assert_eq!(and.get(i), a[i] && b[i]);
+            assert_eq!(or.get(i), a[i] || b[i]);
+        }
+    }
+
+    #[test]
+    fn matches_and_accuracy() {
+        let a: Vec<bool> = (0..70).map(|i| i % 2 == 0).collect();
+        let mut b = a.clone();
+        b[3] = !b[3];
+        b[69] = !b[69];
+        let (pa, pb) = (PackedBits::from_bools(&a), PackedBits::from_bools(&b));
+        assert_eq!(pa.count_matches(&pb), 68);
+        assert!((pa.accuracy_against(&pb) - 68.0 / 70.0).abs() < 1e-12);
+        assert_eq!(pa.count_matches(&pa), 70);
+    }
+
+    #[test]
+    fn bit_slice_round_trip() {
+        let bits: Vec<Bit> = (0..67).map(|i| Bit::from(i % 5 == 0)).collect();
+        let p = PackedBits::from_bits(&bits);
+        assert_eq!(p.to_bits(), bits);
+        assert_eq!(p.count_ones(), bits.iter().filter(|b| b.as_bool()).count());
+    }
+
+    #[test]
+    fn splat_and_set() {
+        let mut p = PackedBits::splat(true, 65);
+        assert_eq!(p.count_ones(), 65);
+        p.set(64, false);
+        assert_eq!(p.count_ones(), 64);
+        assert!(!p.get(64));
+        let z = PackedBits::splat(false, 65);
+        assert_eq!(z.count_ones(), 0);
+    }
+}

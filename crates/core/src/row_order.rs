@@ -81,15 +81,24 @@ pub fn discover_row_order(
         // Charge the aggressor's potential victims so flips are visible.
         for v in [aggr.wrapping_sub(1), aggr + 1] {
             if v < rows {
-                bender.write_row(chip, bank, geom.join_row(subarray, LocalRow(v))?, ones.clone())?;
+                bender.write_row(
+                    chip,
+                    bank,
+                    geom.join_row(subarray, LocalRow(v))?,
+                    ones.clone(),
+                )?;
             }
         }
-        let flips = bender
-            .module_mut()
-            .chip_mut(chip)
-            .hammer(bank, geom.join_row(subarray, LocalRow(aggr))?, HAMMER_COUNT)?;
-        let victims: Vec<GlobalRow> =
-            flips.iter().filter(|(_, n)| *n > 0).map(|(r, _)| *r).collect();
+        let flips = bender.module_mut().chip_mut(chip).hammer(
+            bank,
+            geom.join_row(subarray, LocalRow(aggr))?,
+            HAMMER_COUNT,
+        )?;
+        let victims: Vec<GlobalRow> = flips
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, _)| *r)
+            .collect();
         if victims.len() == 1 {
             let (_, vloc) = geom.split_row(victims[0])?;
             single_victims.push((LocalRow(aggr), vloc));
@@ -112,7 +121,12 @@ pub fn discover_row_order(
         .ok_or_else(|| crate::error::FcdramError::OpFailed {
             detail: "no bottom edge row discovered".into(),
         })?;
-    Ok(RowOrder { subarray, top_edge: top, bottom_edge: bottom, rows })
+    Ok(RowOrder {
+        subarray,
+        top_edge: top,
+        bottom_edge: bottom,
+        rows,
+    })
 }
 
 #[cfg(test)]
@@ -129,8 +143,7 @@ mod tests {
     #[test]
     fn discovers_edges() {
         let mut b = bender();
-        let order =
-            discover_row_order(&mut b, ChipId(0), BankId(0), SubarrayId(1), 4).unwrap();
+        let order = discover_row_order(&mut b, ChipId(0), BankId(0), SubarrayId(1), 4).unwrap();
         assert_eq!(order.top_edge, LocalRow(0));
         assert_eq!(order.bottom_edge, LocalRow(511));
         assert_eq!(order.rows, 512);
@@ -147,8 +160,17 @@ mod tests {
         assert_eq!(order.distance(LocalRow(0), StripeSide::Above), 0.0);
         assert_eq!(order.distance(LocalRow(511), StripeSide::Below), 0.0);
         assert!((order.distance(LocalRow(511), StripeSide::Above) - 1.0).abs() < 1e-12);
-        assert_eq!(order.region(LocalRow(0), StripeSide::Above), DistanceRegion::Close);
-        assert_eq!(order.region(LocalRow(255), StripeSide::Above), DistanceRegion::Middle);
-        assert_eq!(order.region(LocalRow(500), StripeSide::Above), DistanceRegion::Far);
+        assert_eq!(
+            order.region(LocalRow(0), StripeSide::Above),
+            DistanceRegion::Close
+        );
+        assert_eq!(
+            order.region(LocalRow(255), StripeSide::Above),
+            DistanceRegion::Middle
+        );
+        assert_eq!(
+            order.region(LocalRow(500), StripeSide::Above),
+            DistanceRegion::Far
+        );
     }
 }

@@ -33,7 +33,11 @@ pub struct AnalogParams {
 impl AnalogParams {
     /// DDR4 defaults used throughout the experiments.
     pub const fn ddr4_default() -> Self {
-        AnalogParams { vdd: 1.2, cb_over_cc: 6.0, frac_level: 0.48 }
+        AnalogParams {
+            vdd: 1.2,
+            cb_over_cc: 6.0,
+            frac_level: 0.48,
+        }
     }
 
     /// Bitline precharge voltage (VDD/2).
@@ -47,9 +51,16 @@ impl AnalogParams {
     ///
     /// With no cells this is just the precharge level.
     pub fn bitline_after_share(&self, cell_voltages: &[f64]) -> f64 {
-        let n = cell_voltages.len() as f64;
-        let num = self.cb_over_cc * self.v_pre() + cell_voltages.iter().sum::<f64>();
-        num / (self.cb_over_cc + n)
+        self.bitline_from_sum(cell_voltages.iter().sum::<f64>(), cell_voltages.len())
+    }
+
+    /// [`Self::bitline_after_share`] from a precomputed voltage sum of
+    /// `n` cells — the columnar fast path keeps per-column running sums
+    /// instead of materializing per-column voltage vectors.
+    #[inline]
+    pub fn bitline_from_sum(&self, voltage_sum: f64, n: usize) -> f64 {
+        let num = self.cb_over_cc * self.v_pre() + voltage_sum;
+        num / (self.cb_over_cc + n as f64)
     }
 
     /// The *cell-unit* scale of one stored value on an N-cell shared
@@ -76,18 +87,18 @@ impl AnalogParams {
         self.differential(com, refs) / self.cell_unit(com.len())
     }
 
-    /// Ideal reference-bitline voltage for an N-input AND.
+    /// Ideal reference-bitline voltage for an N-input AND: N−1 all-1
+    /// cells plus one `Frac` cell, in closed form (no per-call vector).
     pub fn v_and_ideal(&self, n: usize) -> f64 {
-        let cells: Vec<f64> =
-            std::iter::repeat(self.vdd).take(n - 1).chain([self.frac_level * self.vdd]).collect();
-        self.bitline_after_share(&cells)
+        debug_assert!(n >= 1);
+        self.bitline_from_sum((n - 1) as f64 * self.vdd + self.frac_level * self.vdd, n)
     }
 
-    /// Ideal reference-bitline voltage for an N-input OR.
+    /// Ideal reference-bitline voltage for an N-input OR: N−1 all-0
+    /// cells plus one `Frac` cell, in closed form.
     pub fn v_or_ideal(&self, n: usize) -> f64 {
-        let cells: Vec<f64> =
-            std::iter::repeat(0.0).take(n - 1).chain([self.frac_level * self.vdd]).collect();
-        self.bitline_after_share(&cells)
+        debug_assert!(n >= 1);
+        self.bitline_from_sum(self.frac_level * self.vdd, n)
     }
 }
 
@@ -177,8 +188,14 @@ mod tests {
             one_zero[0] = 0.0;
             let v_all = P.bitline_after_share(&all_ones);
             let v_miss = P.bitline_after_share(&one_zero);
-            assert!(v_and < v_all, "n={n}: AND ref must sit below the all-1s level");
-            assert!(v_and > v_miss, "n={n}: AND ref must sit above the one-0 level");
+            assert!(
+                v_and < v_all,
+                "n={n}: AND ref must sit below the all-1s level"
+            );
+            assert!(
+                v_and > v_miss,
+                "n={n}: AND ref must sit above the one-0 level"
+            );
         }
     }
 
@@ -200,10 +217,9 @@ mod tests {
         // (m − (N−1+f)) cell units.
         let n = 4;
         let f = P.frac_level;
-        let refs: Vec<f64> = std::iter::repeat(1.2).take(n - 1).chain([f * 1.2]).collect();
+        let refs: Vec<f64> = std::iter::repeat_n(1.2, n - 1).chain([f * 1.2]).collect();
         for m in 0..=n {
-            let com: Vec<f64> =
-                (0..n).map(|i| if i < m { 1.2 } else { 0.0 }).collect();
+            let com: Vec<f64> = (0..n).map(|i| if i < m { 1.2 } else { 0.0 }).collect();
             let d = P.differential_cells(&com, &refs);
             let expect = m as f64 - (n as f64 - 1.0 + f);
             assert!((d - expect).abs() < 1e-9, "m={m}: {d} vs {expect}");
@@ -231,8 +247,44 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn frac_level_is_below_half() {
         assert!(P.frac_level < 0.5);
         assert!(P.frac_level > 0.4);
+    }
+
+    #[test]
+    fn closed_form_reference_voltages_match_materialized_path() {
+        // Pin the closed forms to the original Vec-materializing
+        // computation they replaced.
+        for n in 1usize..=32 {
+            let and_cells: Vec<f64> = std::iter::repeat_n(P.vdd, n - 1)
+                .chain([P.frac_level * P.vdd])
+                .collect();
+            let or_cells: Vec<f64> = std::iter::repeat_n(0.0, n - 1)
+                .chain([P.frac_level * P.vdd])
+                .collect();
+            let and_legacy = P.bitline_after_share(&and_cells);
+            let or_legacy = P.bitline_after_share(&or_cells);
+            assert!(
+                (P.v_and_ideal(n) - and_legacy).abs() < 1e-12,
+                "n={n}: {} vs {and_legacy}",
+                P.v_and_ideal(n)
+            );
+            assert!(
+                (P.v_or_ideal(n) - or_legacy).abs() < 1e-12,
+                "n={n}: {} vs {or_legacy}",
+                P.v_or_ideal(n)
+            );
+        }
+    }
+
+    #[test]
+    fn bitline_from_sum_matches_share() {
+        let volts = [1.2, 0.0, 0.58, 1.1];
+        assert_eq!(
+            P.bitline_after_share(&volts),
+            P.bitline_from_sum(volts.iter().sum(), volts.len())
+        );
     }
 }

@@ -22,7 +22,10 @@ impl OpenRows {
 
     /// Rows raised in `sub`, if any.
     pub fn rows_in(&self, sub: SubarrayId) -> Option<&[LocalRow]> {
-        self.groups.iter().find(|(s, _)| *s == sub).map(|(_, r)| r.as_slice())
+        self.groups
+            .iter()
+            .find(|(s, _)| *s == sub)
+            .map(|(_, r)| r.as_slice())
     }
 }
 
@@ -38,7 +41,12 @@ pub struct Bank {
 impl Bank {
     /// Creates a bank with all subarrays unallocated.
     pub fn new(subarrays: usize, rows_per_subarray: usize, cols: usize) -> Self {
-        Bank { subarrays: vec![None; subarrays], rows_per_subarray, cols, open: None }
+        Bank {
+            subarrays: vec![None; subarrays],
+            rows_per_subarray,
+            cols,
+            open: None,
+        }
     }
 
     /// Immutable view of a subarray, if it has been touched.
@@ -94,7 +102,8 @@ mod tests {
     #[test]
     fn subarray_mut_allocates() {
         let mut b = Bank::new(8, 512, 64);
-        b.subarray_mut(SubarrayId(3)).set_voltage(LocalRow(1), crate::types::Col(2), 1.2);
+        b.subarray_mut(SubarrayId(3))
+            .set_voltage(LocalRow(1), crate::types::Col(2), 1.2);
         assert!(b.subarray(SubarrayId(3)).is_some());
         assert!(b.subarray(SubarrayId(2)).is_none());
     }

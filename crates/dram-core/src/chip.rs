@@ -15,16 +15,21 @@
 //! probabilities allow analytic (trials → ∞) success-rate analysis
 //! without re-executing.
 
-use crate::analog::classify_margin;
+use crate::analog::{classify_margin, MarginClass};
 use crate::bank::{Bank, OpenRows};
 use crate::config::ModuleConfig;
 use crate::error::{DramError, Result};
+use crate::fidelity::{SimFidelity, Telemetry};
 use crate::geometry::Geometry;
-use crate::math::mix3;
-use crate::reliability::{CellRef, LogicEvent, LogicOp, MajEvent, NotEvent, ReliabilityModel};
+use crate::math::{mix3, normal_cdf};
+use crate::reliability::{
+    LogicOp, NotEvent, ReliabilityModel, SIGMA_CELL_LOGIC, SIGMA_CELL_NOT, SIGMA_SA_LOGIC,
+    SIGMA_SA_NOT, Z_ROWCLONE,
+};
 use crate::row_decoder::{MultiActivation, PatternKind, RowDecoder};
 use crate::thermal::Temperature;
-use crate::types::{is_shared_col, Bit, BankId, ChipId, Col, GlobalRow, LocalRow, SubarrayId};
+use crate::types::{BankId, Bit, ChipId, Col, GlobalRow, LocalRow, SubarrayId};
+use crate::variation::VariationCache;
 use serde::{Deserialize, Serialize};
 
 /// The role a cell played in an operation outcome.
@@ -44,6 +49,67 @@ pub enum CellRole {
     OffMaj,
     /// Cell written by a `Frac` operation (≈VDD/2).
     Frac,
+}
+
+impl CellRole {
+    /// Every role, in stats-array order.
+    pub const ALL: [CellRole; 7] = [
+        CellRole::NotDst,
+        CellRole::SrcCopy,
+        CellRole::CloneDst,
+        CellRole::Compute,
+        CellRole::Reference,
+        CellRole::OffMaj,
+        CellRole::Frac,
+    ];
+
+    /// Index of this role into [`OutcomeStats`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Aggregate statistics for cells of one role in one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RoleStats {
+    /// Number of cells recorded.
+    pub count: usize,
+    /// Sum of model-assigned success probabilities.
+    pub sum_p: f64,
+    /// Number of cells whose sampled value matched the intent.
+    pub matches: usize,
+}
+
+/// Per-role aggregates of an operation, maintained in both telemetry
+/// modes (so [`OpOutcome::mean_success`] works without per-cell
+/// records).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OutcomeStats {
+    /// Aggregates indexed by [`CellRole::index`].
+    pub roles: [RoleStats; 7],
+}
+
+impl OutcomeStats {
+    /// Records one cell.
+    #[inline]
+    pub fn record(&mut self, role: CellRole, p: f64, matched: bool) {
+        let s = &mut self.roles[role.index()];
+        s.count += 1;
+        s.sum_p += p;
+        s.matches += usize::from(matched);
+    }
+
+    /// Aggregates for one role.
+    #[inline]
+    pub fn role(&self, role: CellRole) -> &RoleStats {
+        &self.roles[role.index()]
+    }
+
+    /// Total cells recorded across all roles.
+    pub fn total_cells(&self) -> usize {
+        self.roles.iter().map(|r| r.count).sum()
+    }
 }
 
 /// Per-cell record of an operation.
@@ -102,41 +168,129 @@ pub enum OutcomeKind {
 }
 
 /// Result of a semantic operation.
+///
+/// Aggregate statistics (`stats`) are always present; per-cell records
+/// (`cells`) are kept only under [`Telemetry::Full`]. Stored values and
+/// statistics are identical in both modes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpOutcome {
     /// What happened.
     pub kind: OutcomeKind,
-    /// Per-cell records (empty for `Ignored`/`NoGlitch`/`Unsupported`).
+    /// Per-cell records (empty for `Ignored`/`NoGlitch`/`Unsupported`,
+    /// and under [`Telemetry::Fast`]).
     pub cells: Vec<CellOutcome>,
+    /// Per-role aggregates (always populated).
+    pub stats: OutcomeStats,
 }
 
 impl OpOutcome {
+    /// An outcome with no affected cells.
+    pub fn empty(kind: OutcomeKind) -> Self {
+        OpOutcome {
+            kind,
+            cells: Vec::new(),
+            stats: OutcomeStats::default(),
+        }
+    }
+
     /// Mean success probability across cells with the given role.
     pub fn mean_success(&self, role: CellRole) -> Option<f64> {
-        let sel: Vec<f64> =
-            self.cells.iter().filter(|c| c.role == role).map(|c| c.p_success).collect();
-        if sel.is_empty() {
+        let s = self.stats.role(role);
+        if s.count == 0 {
             None
         } else {
-            Some(sel.iter().sum::<f64>() / sel.len() as f64)
+            Some(s.sum_p / s.count as f64)
         }
     }
 
     /// Fraction of cells with the given role whose sampled value
     /// matches the intent.
     pub fn observed_accuracy(&self, role: CellRole) -> Option<f64> {
-        let sel: Vec<bool> = self
-            .cells
-            .iter()
-            .filter(|c| c.role == role)
-            .map(|c| c.intended == c.actual)
-            .collect();
-        if sel.is_empty() {
+        let s = self.stats.role(role);
+        if s.count == 0 {
             None
         } else {
-            Some(sel.iter().filter(|b| **b).count() as f64 / sel.len() as f64)
+            Some(s.matches as f64 / s.count as f64)
         }
     }
+}
+
+/// Builds an [`OpOutcome`] while an operation runs: always aggregates,
+/// materializes per-cell records only under full telemetry.
+#[derive(Debug)]
+struct Recorder {
+    cells: Option<Vec<CellOutcome>>,
+    stats: OutcomeStats,
+}
+
+impl Recorder {
+    fn new(telemetry: Telemetry) -> Self {
+        Recorder {
+            cells: telemetry.per_cell().then(Vec::new),
+            stats: OutcomeStats::default(),
+        }
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        subarray: SubarrayId,
+        row: LocalRow,
+        col: Col,
+        role: CellRole,
+        intended: Bit,
+        actual: Bit,
+        p_success: f64,
+    ) {
+        self.stats.record(role, p_success, intended == actual);
+        if let Some(cells) = &mut self.cells {
+            cells.push(CellOutcome {
+                subarray,
+                row,
+                col,
+                role,
+                intended,
+                actual,
+                p_success,
+            });
+        }
+    }
+
+    fn finish(self, kind: OutcomeKind) -> OpOutcome {
+        OpOutcome {
+            kind,
+            cells: self.cells.unwrap_or_default(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// Column-chunk width of the threaded kernel path.
+const COL_CHUNK: usize = 2048;
+
+/// Runs `kernel(start_col, p_chunk, ok_chunk)` over the whole row,
+/// either serially or fanned out over scoped threads. Chunks are
+/// independent, so both modes produce identical arrays.
+fn run_cols<K>(cols: usize, parallel: bool, p: &mut [f64], ok: &mut [bool], kernel: K)
+where
+    K: Fn(usize, &mut [f64], &mut [bool]) + Sync,
+{
+    if !parallel || cols <= COL_CHUNK {
+        kernel(0, p, ok);
+        return;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 16);
+    let chunk = cols.div_ceil(threads).max(COL_CHUNK / 2);
+    std::thread::scope(|s| {
+        for (i, (pc, oc)) in p.chunks_mut(chunk).zip(ok.chunks_mut(chunk)).enumerate() {
+            let k = &kernel;
+            s.spawn(move || k(i * chunk, pc, oc));
+        }
+    });
 }
 
 /// One simulated DRAM chip.
@@ -150,6 +304,8 @@ pub struct Chip {
     banks: Vec<Bank>,
     temperature: Temperature,
     op_counter: u64,
+    fidelity: SimFidelity,
+    cache: VariationCache,
 }
 
 impl Chip {
@@ -160,7 +316,13 @@ impl Chip {
         let decoder = RowDecoder::new(&config, seed);
         let model = ReliabilityModel::new(&config, seed);
         let banks = (0..geom.banks())
-            .map(|_| Bank::new(geom.subarrays_per_bank(), geom.rows_per_subarray(), geom.cols()))
+            .map(|_| {
+                Bank::new(
+                    geom.subarrays_per_bank(),
+                    geom.rows_per_subarray(),
+                    geom.cols(),
+                )
+            })
             .collect();
         Chip {
             config,
@@ -171,7 +333,29 @@ impl Chip {
             banks,
             temperature: Temperature::BASELINE,
             op_counter: 0,
+            fidelity: SimFidelity::default(),
+            cache: VariationCache::new(),
         }
+    }
+
+    /// Current simulation-fidelity configuration.
+    #[inline]
+    pub fn fidelity(&self) -> SimFidelity {
+        self.fidelity
+    }
+
+    /// Sets the simulation fidelity (telemetry mode + threading).
+    ///
+    /// Stored bits and aggregate statistics are identical across
+    /// modes; only the presence of per-cell [`CellOutcome`] records
+    /// changes.
+    pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
+        self.fidelity = fidelity;
+    }
+
+    /// Sets only the telemetry mode.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.fidelity.telemetry = telemetry;
     }
 
     /// The module configuration this chip belongs to.
@@ -232,7 +416,11 @@ impl Chip {
     }
 
     fn cell_key(op: u64, sub: SubarrayId, row: LocalRow, col: Col) -> u64 {
-        mix3(op, ((sub.index() as u64) << 32) | row.index() as u64, col.index() as u64)
+        mix3(
+            op,
+            ((sub.index() as u64) << 32) | row.index() as u64,
+            col.index() as u64,
+        )
     }
 
     // -----------------------------------------------------------------
@@ -253,7 +441,10 @@ impl Chip {
                 detail: format!("ACT {row} while bank {bank} is open"),
             });
         }
-        b.set_open(OpenRows { groups: vec![(sub, vec![local])], last_subarray: sub });
+        b.set_open(OpenRows {
+            groups: vec![(sub, vec![local])],
+            last_subarray: sub,
+        });
         Ok(())
     }
 
@@ -281,13 +472,59 @@ impl Chip {
     /// command-accurate path is `activate` + `write_open` + `precharge`).
     pub fn write_row_direct(&mut self, bank: BankId, row: GlobalRow, bits: &[Bit]) -> Result<()> {
         if bits.len() != self.geom.cols() {
-            return Err(DramError::WidthMismatch { expected: self.geom.cols(), got: bits.len() });
+            return Err(DramError::WidthMismatch {
+                expected: self.geom.cols(),
+                got: bits.len(),
+            });
         }
         let (sub, local) = self.geom.split_row(row)?;
         let vdd = self.model.analog().vdd;
         let b = self.bank_mut_ref(bank)?;
         b.subarray_mut(sub).write_bits(local, bits, vdd);
         Ok(())
+    }
+
+    /// Reads every `step`-th column of `row` starting at `start`,
+    /// packed 64 lanes per `u64` word (LSB first), through a proper
+    /// activate/read/precharge sequence.
+    ///
+    /// This is the fast-path read: no per-cell `Vec<Bit>` is
+    /// materialized, and callers that only need the shared column half
+    /// touch half the cells.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bank is open or the address is invalid.
+    pub fn read_row_packed(
+        &mut self,
+        bank: BankId,
+        row: GlobalRow,
+        start: usize,
+        step: usize,
+    ) -> Result<Vec<u64>> {
+        debug_assert!(step >= 1);
+        self.activate(bank, row)?;
+        let (sub, local) = self.geom.split_row(row)?;
+        let vdd = self.model.analog().vdd;
+        let cols = self.geom.cols();
+        let lanes = if start < cols {
+            (cols - start).div_ceil(step)
+        } else {
+            0
+        };
+        let mut words = vec![0u64; lanes.div_ceil(64)];
+        {
+            let b = self.bank_ref(bank)?;
+            if let Some(slice) = b.subarray(sub).and_then(|s| s.row(local)) {
+                for (i, c) in (start..cols).step_by(step).enumerate() {
+                    if f64::from(slice[c]) > vdd / 2.0 {
+                        words[i / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+        }
+        self.precharge(bank)?;
+        Ok(words)
     }
 
     /// Host-side direct row read (no state checks).
@@ -307,7 +544,10 @@ impl Chip {
     /// (§4.2's subarray-mapping methodology relies on this).
     pub fn write_open(&mut self, bank: BankId, data: &[Bit]) -> Result<()> {
         if data.len() != self.geom.cols() {
-            return Err(DramError::WidthMismatch { expected: self.geom.cols(), got: data.len() });
+            return Err(DramError::WidthMismatch {
+                expected: self.geom.cols(),
+                got: data.len(),
+            });
         }
         let vdd = self.model.analog().vdd;
         let open = match self.bank_ref(bank)?.open() {
@@ -322,17 +562,20 @@ impl Chip {
         let b = self.bank_mut_ref(bank)?;
         for (sub, rows) in &open.groups {
             let upper = SubarrayId(sub.index().min(last.index()));
+            // Shared columns of the pair have parity `upper + 1`; the
+            // non-shared half of the other subarray keeps its sensed
+            // values (not driven by this WR).
+            let shared_start = (upper.index() + 1) % 2;
             for row in rows {
-                let sa = b.subarray_mut(*sub);
-                for c in 0..data.len() {
-                    let col = Col(c);
-                    if *sub == last {
-                        sa.set_voltage(*row, col, data[c].voltage(vdd));
-                    } else if is_shared_col(upper, col) {
-                        sa.set_voltage(*row, col, data[c].not().voltage(vdd));
+                let slice = b.subarray_mut(*sub).row_mut(*row);
+                if *sub == last {
+                    for (cell, bit) in slice.iter_mut().zip(data) {
+                        *cell = bit.voltage(vdd) as f32;
                     }
-                    // Non-shared columns of the other subarray keep
-                    // their sensed values: not driven by this WR.
+                } else {
+                    for c in (shared_start..data.len()).step_by(2) {
+                        slice[c] = data[c].not().voltage(vdd) as f32;
+                    }
                 }
             }
         }
@@ -350,24 +593,27 @@ impl Chip {
         let vdd = self.model.analog().vdd;
         let level = self.model.analog().frac_level;
         let cols = self.geom.cols();
-        let mut cells = Vec::with_capacity(cols);
-        for c in 0..cols {
-            let col = Col(c);
-            let f = self.model.variation().frac_level_factor(bank, sub, local, col);
+        let factors = self
+            .cache
+            .frac_factor(self.model.variation(), bank, sub, local, cols);
+        let mut rec = Recorder::new(self.fidelity.telemetry);
+        let slice = self.banks[bank.index()].subarray_mut(sub).row_mut(local);
+        for (c, f) in factors.iter().enumerate() {
             let v = (level * f).clamp(0.0, 1.0) * vdd;
-            self.banks[bank.index()].subarray_mut(sub).set_voltage(local, col, v);
-            cells.push(CellOutcome {
-                subarray: sub,
-                row: local,
-                col,
-                role: CellRole::Frac,
-                intended: Bit::Zero, // VDD/2 reads as 0 by threshold
-                actual: Bit::from(v > vdd / 2.0),
-                p_success: 1.0,
-            });
+            slice[c] = v as f32;
+            // VDD/2 reads as 0 by threshold, so intended is Zero.
+            rec.push(
+                sub,
+                local,
+                Col(c),
+                CellRole::Frac,
+                Bit::Zero,
+                Bit::from(v > vdd / 2.0),
+                1.0,
+            );
         }
         self.banks[bank.index()].close();
-        Ok(OpOutcome { kind: OutcomeKind::Frac, cells })
+        Ok(rec.finish(OutcomeKind::Frac))
     }
 
     /// The NOT / RowClone command sequence:
@@ -378,7 +624,12 @@ impl Chip {
     /// activation: cross-subarray destinations receive `¬rf` on the
     /// shared column half (bitline-bar coupling, §5.1); same-subarray
     /// destinations receive a copy of `rf` (RowClone).
-    pub fn multi_act_copy(&mut self, bank: BankId, rf: GlobalRow, rl: GlobalRow) -> Result<OpOutcome> {
+    pub fn multi_act_copy(
+        &mut self,
+        bank: BankId,
+        rf: GlobalRow,
+        rl: GlobalRow,
+    ) -> Result<OpOutcome> {
         self.geom.check_row(rf)?;
         self.geom.check_row(rl)?;
         self.geom.check_bank(bank)?;
@@ -391,195 +642,236 @@ impl Chip {
         let rows_per_sub = self.geom.rows_per_subarray();
         let temp = self.temperature;
 
+        let telemetry = self.fidelity.telemetry;
+        let parallel = self.fidelity.parallel_at(cols);
+
         match activation {
             MultiActivation::SecondIgnored => {
                 self.banks[bank.index()].set_open(OpenRows {
                     groups: vec![(sub_f, vec![loc_f])],
                     last_subarray: sub_f,
                 });
-                Ok(OpOutcome { kind: OutcomeKind::Ignored, cells: Vec::new() })
+                Ok(OpOutcome::empty(OutcomeKind::Ignored))
             }
             MultiActivation::SecondOnly => {
                 let (sub, loc) = self.geom.split_row(rl)?;
-                self.banks[bank.index()]
-                    .set_open(OpenRows { groups: vec![(sub, vec![loc])], last_subarray: sub });
-                Ok(OpOutcome { kind: OutcomeKind::NoGlitch, cells: Vec::new() })
+                self.banks[bank.index()].set_open(OpenRows {
+                    groups: vec![(sub, vec![loc])],
+                    last_subarray: sub,
+                });
+                Ok(OpOutcome::empty(OutcomeKind::NoGlitch))
             }
             MultiActivation::SameSubarray { rows } => {
                 // RowClone: every raised row except rf receives rf.
                 let src_bits = self.banks[bank.index()]
                     .subarray_mut(sub_f)
                     .read_bits(loc_f, vdd);
-                let mut cells = Vec::new();
+                let mut rec = Recorder::new(telemetry);
+                let mut p_buf = vec![0.0f64; cols];
+                let mut ok_buf = vec![false; cols];
                 for row in &rows {
                     if *row == loc_f {
                         continue;
                     }
+                    let nz = self
+                        .cache
+                        .not_z(self.model.variation(), bank, sub_f, *row, cols);
+                    let model = &self.model;
+                    let sub_row_key = ((sub_f.index() as u64) << 32) | row.index() as u64;
+                    run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
+                        for i in 0..pc.len() {
+                            let c = start + i;
+                            let p = normal_cdf(Z_ROWCLONE + SIGMA_CELL_NOT * nz[c]);
+                            pc[i] = p;
+                            oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
+                        }
+                    });
+                    let slice = self.banks[bank.index()].subarray_mut(sub_f).row_mut(*row);
                     for c in 0..cols {
-                        let col = Col(c);
-                        let cref = CellRef {
-                            bank,
-                            subarray: sub_f,
-                            row: *row,
-                            col,
-                            stripe: sub_f.index()
-                                + usize::from(crate::types::StripeSide::of(sub_f, col)
-                                    == crate::types::StripeSide::Below),
-                        };
-                        let p = self.model.rowclone_success_prob(cref);
-                        let key = Self::cell_key(op, sub_f, *row, col);
-                        let ok = self.model.sample(p, key, 0);
                         let intended = src_bits[c];
-                        let old = self.banks[bank.index()]
-                            .subarray_mut(sub_f)
-                            .bit(*row, col, vdd);
-                        let actual = if ok { intended } else { old };
-                        self.banks[bank.index()]
-                            .subarray_mut(sub_f)
-                            .set_voltage(*row, col, actual.voltage(vdd));
-                        cells.push(CellOutcome {
-                            subarray: sub_f,
-                            row: *row,
-                            col,
-                            role: CellRole::CloneDst,
+                        let old = Bit::from(f64::from(slice[c]) > vdd / 2.0);
+                        let actual = if ok_buf[c] { intended } else { old };
+                        slice[c] = actual.voltage(vdd) as f32;
+                        rec.push(
+                            sub_f,
+                            *row,
+                            Col(c),
+                            CellRole::CloneDst,
                             intended,
                             actual,
-                            p_success: p,
-                        });
+                            p_buf[c],
+                        );
                     }
                 }
                 let n = rows.len();
-                self.banks[bank.index()]
-                    .set_open(OpenRows { groups: vec![(sub_f, rows)], last_subarray: sub_f });
-                Ok(OpOutcome { kind: OutcomeKind::InSubarray { rows: n }, cells })
+                self.banks[bank.index()].set_open(OpenRows {
+                    groups: vec![(sub_f, rows)],
+                    last_subarray: sub_f,
+                });
+                Ok(rec.finish(OutcomeKind::InSubarray { rows: n }))
             }
-            MultiActivation::CrossSubarray { first_rows, second_rows, kind, .. } => {
+            MultiActivation::CrossSubarray {
+                first_rows,
+                second_rows,
+                kind,
+                ..
+            } => {
                 let upper = SubarrayId(sub_f.index().min(sub_l.index()));
                 let stripe = upper.index() + 1;
                 let k_total = first_rows.len() + second_rows.len();
-                let src_bits =
-                    self.banks[bank.index()].subarray_mut(sub_f).read_bits(loc_f, vdd);
+                let src_bits = self.banks[bank.index()]
+                    .subarray_mut(sub_f)
+                    .read_bits(loc_f, vdd);
                 let src_dist = dist_to_stripe(loc_f, rows_per_sub, sub_f, upper);
-                let mut cells = Vec::new();
+                let shared_start = (upper.index() + 1) % 2;
+                let mut rec = Recorder::new(telemetry);
+                let mut p_buf = vec![0.0f64; cols];
+                let mut ok_buf = vec![false; cols];
+                let sa_shared = self.cache.sa_z(self.model.variation(), bank, stripe, cols);
 
                 // Destination rows: shared columns get ¬src; off
                 // columns re-sense themselves (majority among the
                 // raised destination rows — identical values retained).
+                let n_dst = second_rows.len();
+                let maj_base = 2.6 - ReliabilityModel::logic_temp_term(temp);
                 for row in &second_rows {
                     let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_l, upper);
-                    for c in 0..cols {
-                        let col = Col(c);
-                        if is_shared_col(upper, col) {
-                            let ev = NotEvent {
-                                total_rows: k_total,
-                                src_dist,
-                                dst_dist,
-                                temperature: temp,
+                    let ev = NotEvent {
+                        total_rows: k_total,
+                        src_dist,
+                        dst_dist,
+                        temperature: temp,
+                    };
+                    let base = self.model.not_z_base(&ev);
+                    let nz = self
+                        .cache
+                        .not_z(self.model.variation(), bank, sub_l, *row, cols);
+                    let sub_row_key = ((sub_l.index() as u64) << 32) | row.index() as u64;
+                    // Off-column majority votes read the rows' *current*
+                    // bits (earlier destination rows may already have
+                    // re-sensed), so snapshot per destination row.
+                    let (off_maj, off_margin) = if n_dst > 1 {
+                        self.off_col_majority(bank, sub_l, &second_rows, shared_start, vdd)
+                    } else {
+                        (Vec::new(), Vec::new())
+                    };
+                    let lz = if n_dst > 1 {
+                        Some(
+                            self.cache
+                                .logic_z(self.model.variation(), bank, sub_l, *row, cols),
+                        )
+                    } else {
+                        None
+                    };
+                    let model = &self.model;
+                    let sa = &sa_shared;
+                    let nz_ref = &nz;
+                    let off_margin_ref = &off_margin;
+                    run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
+                        for i in 0..pc.len() {
+                            let c = start + i;
+                            let p = if c % 2 == shared_start {
+                                normal_cdf(base + SIGMA_CELL_NOT * nz_ref[c] + SIGMA_SA_NOT * sa[c])
+                                    .clamp(0.0, 1.0)
+                            } else if let Some(lz) = &lz {
+                                let margin = off_margin_ref[c / 2];
+                                let mult = ReliabilityModel::maj_multiplier(margin);
+                                (mult * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz[c]))
+                                    .clamp(0.0, 1.0)
+                            } else {
+                                pc[i] = 0.0;
+                                oc[i] = false;
+                                continue;
                             };
-                            let cref = CellRef { bank, subarray: sub_l, row: *row, col, stripe };
-                            let p = self.model.not_success_prob(&ev, cref);
-                            let key = Self::cell_key(op, sub_l, *row, col);
-                            let ok = self.model.sample(p, key, 0);
+                            pc[i] = p;
+                            oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
+                        }
+                    });
+                    let slice = self.banks[bank.index()].subarray_mut(sub_l).row_mut(*row);
+                    for c in 0..cols {
+                        if c % 2 == shared_start {
                             let intended = src_bits[c].not();
-                            let old =
-                                self.banks[bank.index()].subarray_mut(sub_l).bit(*row, col, vdd);
-                            let actual = if ok { intended } else { old };
-                            self.banks[bank.index()]
-                                .subarray_mut(sub_l)
-                                .set_voltage(*row, col, actual.voltage(vdd));
-                            cells.push(CellOutcome {
-                                subarray: sub_l,
-                                row: *row,
-                                col,
-                                role: CellRole::NotDst,
+                            let old = Bit::from(f64::from(slice[c]) > vdd / 2.0);
+                            let actual = if ok_buf[c] { intended } else { old };
+                            slice[c] = actual.voltage(vdd) as f32;
+                            rec.push(
+                                sub_l,
+                                *row,
+                                Col(c),
+                                CellRole::NotDst,
                                 intended,
                                 actual,
-                                p_success: p,
-                            });
-                        } else if second_rows.len() > 1 {
-                            // Off columns with several raised rows:
-                            // collective re-sense (majority).
-                            let votes: usize = second_rows
-                                .iter()
-                                .filter(|r| {
-                                    self.banks[bank.index()]
-                                        .subarray_mut(sub_l)
-                                        .bit(**r, col, vdd)
-                                        .as_bool()
-                                })
-                                .count();
-                            let n = second_rows.len();
-                            let maj = Bit::from(2 * votes > n);
-                            let margin = (votes as f64 - n as f64 / 2.0).abs();
-                            let ev = MajEvent { n, margin_cells: margin, temperature: temp };
-                            let cref = CellRef {
-                                bank,
-                                subarray: sub_l,
-                                row: *row,
-                                col,
-                                stripe: stripe_of(sub_l, col),
-                            };
-                            let p = self.model.maj_success_prob(&ev, cref);
-                            let key = Self::cell_key(op, sub_l, *row, col);
-                            let ok = self.model.sample(p, key, 0);
-                            let actual = if ok { maj } else { maj.not() };
-                            self.banks[bank.index()]
-                                .subarray_mut(sub_l)
-                                .set_voltage(*row, col, actual.voltage(vdd));
-                            cells.push(CellOutcome {
-                                subarray: sub_l,
-                                row: *row,
-                                col,
-                                role: CellRole::OffMaj,
-                                intended: maj,
-                                actual,
-                                p_success: p,
-                            });
+                                p_buf[c],
+                            );
+                        } else if n_dst > 1 {
+                            let maj = off_maj[c / 2];
+                            let actual = if ok_buf[c] { maj } else { maj.not() };
+                            slice[c] = actual.voltage(vdd) as f32;
+                            rec.push(sub_l, *row, Col(c), CellRole::OffMaj, maj, actual, p_buf[c]);
                         }
                     }
                 }
 
                 // Extra source-side rows receive a copy of src on every
                 // column (all bitlines of the source subarray are
-                // latched at src's values).
+                // latched at src's values). The sense amp serving a
+                // source cell alternates stripes with column parity.
+                let sa_above = self
+                    .cache
+                    .sa_z(self.model.variation(), bank, sub_f.index(), cols);
+                let sa_below =
+                    self.cache
+                        .sa_z(self.model.variation(), bank, sub_f.index() + 1, cols);
                 for row in &first_rows {
                     if *row == loc_f {
                         continue;
                     }
                     let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_f, upper);
+                    let ev = NotEvent {
+                        total_rows: k_total,
+                        src_dist,
+                        dst_dist,
+                        temperature: temp,
+                    };
+                    let base = self.model.not_z_base(&ev);
+                    let nz = self
+                        .cache
+                        .not_z(self.model.variation(), bank, sub_f, *row, cols);
+                    let sub_row_key = ((sub_f.index() as u64) << 32) | row.index() as u64;
+                    let model = &self.model;
+                    let parity = sub_f.index() % 2;
+                    let (sa_a, sa_b) = (&sa_above, &sa_below);
+                    let nz_ref = &nz;
+                    run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
+                        for i in 0..pc.len() {
+                            let c = start + i;
+                            let sz = if (c + parity) % 2 == 0 {
+                                sa_a[c]
+                            } else {
+                                sa_b[c]
+                            };
+                            let p =
+                                normal_cdf(base + SIGMA_CELL_NOT * nz_ref[c] + SIGMA_SA_NOT * sz)
+                                    .clamp(0.0, 1.0);
+                            pc[i] = p;
+                            oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
+                        }
+                    });
+                    let slice = self.banks[bank.index()].subarray_mut(sub_f).row_mut(*row);
                     for c in 0..cols {
-                        let col = Col(c);
-                        let ev = NotEvent {
-                            total_rows: k_total,
-                            src_dist,
-                            dst_dist,
-                            temperature: temp,
-                        };
-                        let cref = CellRef {
-                            bank,
-                            subarray: sub_f,
-                            row: *row,
-                            col,
-                            stripe: stripe_of(sub_f, col),
-                        };
-                        let p = self.model.not_success_prob(&ev, cref);
-                        let key = Self::cell_key(op, sub_f, *row, col);
-                        let ok = self.model.sample(p, key, 0);
                         let intended = src_bits[c];
-                        let old = self.banks[bank.index()].subarray_mut(sub_f).bit(*row, col, vdd);
-                        let actual = if ok { intended } else { old };
-                        self.banks[bank.index()]
-                            .subarray_mut(sub_f)
-                            .set_voltage(*row, col, actual.voltage(vdd));
-                        cells.push(CellOutcome {
-                            subarray: sub_f,
-                            row: *row,
-                            col,
-                            role: CellRole::SrcCopy,
+                        let old = Bit::from(f64::from(slice[c]) > vdd / 2.0);
+                        let actual = if ok_buf[c] { intended } else { old };
+                        slice[c] = actual.voltage(vdd) as f32;
+                        rec.push(
+                            sub_f,
+                            *row,
+                            Col(c),
+                            CellRole::SrcCopy,
                             intended,
                             actual,
-                            p_success: p,
-                        });
+                            p_buf[c],
+                        );
                     }
                 }
 
@@ -588,12 +880,51 @@ impl Chip {
                     groups: vec![(sub_f, first_rows), (sub_l, second_rows)],
                     last_subarray: sub_l,
                 });
-                Ok(OpOutcome {
-                    kind: OutcomeKind::Not { n_rf: shape.0, n_rl: shape.1, pattern: kind },
-                    cells,
-                })
+                Ok(rec.finish(OutcomeKind::Not {
+                    n_rf: shape.0,
+                    n_rl: shape.1,
+                    pattern: kind,
+                }))
             }
         }
+    }
+
+    /// Majority value and margin (in cells) of every *off* (non-shared)
+    /// column across `rows`, read from the rows' current contents.
+    /// Entry `i` corresponds to the `i`-th off column (`col / 2`).
+    fn off_col_majority(
+        &self,
+        bank: BankId,
+        sub: SubarrayId,
+        rows: &[LocalRow],
+        shared_start: usize,
+        vdd: f64,
+    ) -> (Vec<Bit>, Vec<f64>) {
+        let cols = self.geom.cols();
+        let off_count = cols / 2 + usize::from(cols % 2 == 1 && shared_start == 1);
+        let mut votes = vec![0usize; off_count];
+        let sa = self.banks[bank.index()].subarray(sub);
+        for r in rows {
+            let Some(slice) = sa.and_then(|s| s.row(*r)) else {
+                continue;
+            };
+            let mut i = 0usize;
+            for (c, v) in slice.iter().enumerate() {
+                if c % 2 != shared_start {
+                    if f64::from(*v) > vdd / 2.0 {
+                        votes[i] += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        let n = rows.len();
+        let maj: Vec<Bit> = votes.iter().map(|v| Bit::from(2 * v > n)).collect();
+        let margin: Vec<f64> = votes
+            .iter()
+            .map(|v| (*v as f64 - n as f64 / 2.0).abs())
+            .collect();
+        (maj, margin)
     }
 
     /// The charge-sharing command sequence:
@@ -620,74 +951,105 @@ impl Chip {
         let rows_per_sub = self.geom.rows_per_subarray();
         let temp = self.temperature;
 
+        let telemetry = self.fidelity.telemetry;
+        let parallel = self.fidelity.parallel_at(cols);
+
         match activation {
-            MultiActivation::SecondIgnored => {
-                Ok(OpOutcome { kind: OutcomeKind::Ignored, cells: Vec::new() })
-            }
+            MultiActivation::SecondIgnored => Ok(OpOutcome::empty(OutcomeKind::Ignored)),
             MultiActivation::SecondOnly => {
                 let (sub, loc) = self.geom.split_row(r_com)?;
-                self.banks[bank.index()]
-                    .set_open(OpenRows { groups: vec![(sub, vec![loc])], last_subarray: sub });
-                Ok(OpOutcome { kind: OutcomeKind::NoGlitch, cells: Vec::new() })
+                self.banks[bank.index()].set_open(OpenRows {
+                    groups: vec![(sub, vec![loc])],
+                    last_subarray: sub,
+                });
+                Ok(OpOutcome::empty(OutcomeKind::NoGlitch))
             }
             MultiActivation::SameSubarray { rows } => {
                 // In-subarray simultaneous activation: every column
                 // resolves the majority of the raised cells
                 // (Ambit/ComputeDRAM-style MAJ; the triple-row baseline).
+                // Votes are taken per column before any cell re-senses,
+                // and writes at one column never feed back into another,
+                // so a single upfront snapshot is exact.
                 let n = rows.len();
-                let mut cells = Vec::new();
+                let mut rec = Recorder::new(telemetry);
                 if n >= 2 {
-                    for c in 0..cols {
-                        let col = Col(c);
-                        let votes: usize = rows
-                            .iter()
-                            .filter(|r| {
-                                self.banks[bank.index()]
-                                    .subarray_mut(sub_ref)
-                                    .bit(**r, col, vdd)
-                                    .as_bool()
-                            })
-                            .count();
-                        let maj = Bit::from(2 * votes > n);
-                        let margin = (votes as f64 - n as f64 / 2.0).abs();
-                        for row in &rows {
-                            let ev = MajEvent { n, margin_cells: margin, temperature: temp };
-                            let cref = CellRef {
-                                bank,
-                                subarray: sub_ref,
-                                row: *row,
-                                col,
-                                stripe: stripe_of(sub_ref, col),
-                            };
-                            let p = self.model.maj_success_prob(&ev, cref);
-                            let key = Self::cell_key(op, sub_ref, *row, col);
-                            let ok = self.model.sample(p, key, 0);
-                            let actual = if ok { maj } else { maj.not() };
-                            self.banks[bank.index()]
-                                .subarray_mut(sub_ref)
-                                .set_voltage(*row, col, actual.voltage(vdd));
-                            cells.push(CellOutcome {
-                                subarray: sub_ref,
-                                row: *row,
-                                col,
-                                role: CellRole::OffMaj,
-                                intended: maj,
+                    let mut votes = vec![0usize; cols];
+                    {
+                        let sa = self.banks[bank.index()].subarray(sub_ref);
+                        for r in &rows {
+                            if let Some(slice) = sa.and_then(|s| s.row(*r)) {
+                                for (c, v) in slice.iter().enumerate() {
+                                    if f64::from(*v) > vdd / 2.0 {
+                                        votes[c] += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let maj: Vec<Bit> = votes.iter().map(|v| Bit::from(2 * v > n)).collect();
+                    let mult: Vec<f64> = votes
+                        .iter()
+                        .map(|v| {
+                            ReliabilityModel::maj_multiplier((*v as f64 - n as f64 / 2.0).abs())
+                        })
+                        .collect();
+                    let maj_base = 2.6 - ReliabilityModel::logic_temp_term(temp);
+                    let mut p_buf = vec![0.0f64; cols];
+                    let mut ok_buf = vec![false; cols];
+                    for row in &rows {
+                        let lz =
+                            self.cache
+                                .logic_z(self.model.variation(), bank, sub_ref, *row, cols);
+                        let model = &self.model;
+                        let sub_row_key = ((sub_ref.index() as u64) << 32) | row.index() as u64;
+                        let (lz_ref, mult_ref) = (&lz, &mult);
+                        run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
+                            for i in 0..pc.len() {
+                                let c = start + i;
+                                let p = (mult_ref[c]
+                                    * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz_ref[c]))
+                                .clamp(0.0, 1.0);
+                                pc[i] = p;
+                                oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
+                            }
+                        });
+                        let slice = self.banks[bank.index()].subarray_mut(sub_ref).row_mut(*row);
+                        for c in 0..cols {
+                            let actual = if ok_buf[c] { maj[c] } else { maj[c].not() };
+                            slice[c] = actual.voltage(vdd) as f32;
+                            rec.push(
+                                sub_ref,
+                                *row,
+                                Col(c),
+                                CellRole::OffMaj,
+                                maj[c],
                                 actual,
-                                p_success: p,
-                            });
+                                p_buf[c],
+                            );
                         }
                     }
                 }
                 let nrows = rows.len();
-                self.banks[bank.index()]
-                    .set_open(OpenRows { groups: vec![(sub_ref, rows)], last_subarray: sub_ref });
-                Ok(OpOutcome { kind: OutcomeKind::InSubarray { rows: nrows }, cells })
+                self.banks[bank.index()].set_open(OpenRows {
+                    groups: vec![(sub_ref, rows)],
+                    last_subarray: sub_ref,
+                });
+                Ok(rec.finish(OutcomeKind::InSubarray { rows: nrows }))
             }
-            MultiActivation::CrossSubarray { simultaneous: false, .. } => {
+            MultiActivation::CrossSubarray {
+                simultaneous: false,
+                ..
+            } => {
                 // Sequential-only parts (Samsung) cannot charge-share.
-                Ok(OpOutcome { kind: OutcomeKind::Unsupported, cells: Vec::new() })
+                Ok(OpOutcome::empty(OutcomeKind::Unsupported))
             }
-            MultiActivation::CrossSubarray { first_rows, second_rows, simultaneous: true, .. } => {
+            MultiActivation::CrossSubarray {
+                first_rows,
+                second_rows,
+                simultaneous: true,
+                ..
+            } => {
                 let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
                 let stripe = upper.index() + 1;
                 let n_ref = first_rows.len();
@@ -695,166 +1057,244 @@ impl Chip {
                 let analog = *self.model.analog();
                 let (_, loc_ref) = self.geom.split_row(r_ref)?;
                 let (_, loc_com) = self.geom.split_row(r_com)?;
+                let shared_start = (upper.index() + 1) % 2;
 
-                // Gather per-column voltages and input vectors first.
-                let mut ref_v = vec![vec![0.0f64; n_ref]; cols];
-                let mut com_v = vec![vec![0.0f64; n_com]; cols];
-                for c in 0..cols {
-                    let col = Col(c);
+                // --- Gather (SoA): per-column voltage sums and packed
+                // per-row bits, one pass per raised row. Everything
+                // downstream is computed from these flat arrays; the
+                // old path materialized a Vec<f64> per column per side.
+                let mut sum_ref = vec![0.0f64; cols];
+                let mut sum_com = vec![0.0f64; cols];
+                let mut packed_ref = vec![0u64; cols];
+                let mut packed_com = vec![0u64; cols];
+                {
+                    let b = &self.banks[bank.index()];
                     for (i, r) in first_rows.iter().enumerate() {
-                        ref_v[c][i] =
-                            self.banks[bank.index()].subarray_mut(sub_ref).voltage(*r, col);
+                        if let Some(slice) = b.subarray(sub_ref).and_then(|s| s.row(*r)) {
+                            for c in 0..cols {
+                                let v = f64::from(slice[c]);
+                                sum_ref[c] += v;
+                                if v > vdd / 2.0 {
+                                    packed_ref[c] |= 1 << i;
+                                }
+                            }
+                        }
                     }
                     for (i, r) in second_rows.iter().enumerate() {
-                        com_v[c][i] =
-                            self.banks[bank.index()].subarray_mut(sub_com).voltage(*r, col);
+                        if let Some(slice) = b.subarray(sub_com).and_then(|s| s.row(*r)) {
+                            for c in 0..cols {
+                                let v = f64::from(slice[c]);
+                                sum_com[c] += v;
+                                if v > vdd / 2.0 {
+                                    packed_com[c] |= 1 << i;
+                                }
+                            }
+                        }
                     }
                 }
-                // Input bit-vector per column (for coupling mismatch).
-                let input_bits: Vec<Vec<bool>> = (0..cols)
-                    .map(|c| com_v[c].iter().map(|v| *v > vdd / 2.0).collect())
-                    .collect();
-                let mismatch = |c: usize| -> f64 {
-                    let mut diff = 0.0;
+
+                // --- Per-column sensing outcome on the shared half:
+                // differential, margin class, family, and coupling
+                // mismatch (packed-word compares instead of Vec<bool>).
+                let mut class = vec![MarginClass::Comfortable; cols];
+                let mut fam_and = vec![false; cols];
+                let mut com_res = vec![Bit::Zero; cols];
+                let mut mm = vec![0.0f64; cols];
+                let mut and_family_any = false;
+                for c in (shared_start..cols).step_by(2) {
+                    let diff = analog.bitline_from_sum(sum_com[c], n_com)
+                        - analog.bitline_from_sum(sum_ref[c], n_ref);
+                    let diff_cells = diff / analog.cell_unit(n_com.max(n_ref));
+                    let ref_mean = sum_ref[c] / (n_ref.max(1) as f64) / vdd;
+                    class[c] = classify_margin(diff_cells, ref_mean);
+                    fam_and[c] = ref_mean > 0.5;
+                    and_family_any |= fam_and[c];
+                    com_res[c] = Bit::from(diff > 0.0);
+                    let mut d = 0.0;
                     let mut cnt = 0.0;
                     for nb in [c.wrapping_sub(2), c + 2] {
                         if nb < cols {
                             cnt += 1.0;
-                            if input_bits[nb] != input_bits[c] {
-                                diff += 1.0;
+                            if packed_com[nb] != packed_com[c] {
+                                d += 1.0;
                             }
                         }
                     }
                     if cnt > 0.0 {
-                        diff / cnt
-                    } else {
-                        0.0
+                        mm[c] = d / cnt;
                     }
-                };
+                }
 
                 // The addressed rows anchor the opposite-side distance
                 // terms (they gate the decoder's word-line timing); the
                 // result cell's own row supplies its side's term.
-                let com_dist = dist_to_stripe(loc_com, rows_per_sub, sub_com, upper);
-                let ref_dist = dist_to_stripe(loc_ref, rows_per_sub, sub_ref, upper);
-                let mut cells = Vec::new();
-                let mut and_family_any = false;
+                let com_dist_addr = dist_to_stripe(loc_com, rows_per_sub, sub_com, upper);
+                let ref_dist_addr = dist_to_stripe(loc_ref, rows_per_sub, sub_ref, upper);
+                let tterm = ReliabilityModel::logic_temp_term(temp);
+                let sa_shared = self.cache.sa_z(self.model.variation(), bank, stripe, cols);
+                let mut rec = Recorder::new(telemetry);
+                let mut p_buf = vec![0.0f64; cols];
+                let mut ok_buf = vec![false; cols];
 
-                for c in 0..cols {
-                    let col = Col(c);
-                    if is_shared_col(upper, col) {
-                        let diff = analog.differential(&com_v[c], &ref_v[c]);
-                        let diff_cells = diff / analog.cell_unit(n_com.max(n_ref));
-                        let ref_mean =
-                            ref_v[c].iter().sum::<f64>() / (n_ref.max(1) as f64) / vdd;
-                        let class = classify_margin(diff_cells, ref_mean);
-                        let and_family = ref_mean > 0.5;
-                        and_family_any |= and_family;
-                        let com_result = Bit::from(diff > 0.0);
-                        let mm = mismatch(c);
+                // Result rows on both terminals share one kernel shape:
+                // z = prefix − cpl·mm + dist − temp + σ_cell·z + σ_sa·z.
+                let terminal_pass = |chip: &mut Self,
+                                     rec: &mut Recorder,
+                                     p_buf: &mut Vec<f64>,
+                                     ok_buf: &mut Vec<bool>,
+                                     sub: SubarrayId,
+                                     rows: &[LocalRow],
+                                     ops: (LogicOp, LogicOp),
+                                     n_side: usize,
+                                     invert: bool,
+                                     role: CellRole| {
+                    let pre_and = chip.model.logic_z_prefix(ops.0, n_side);
+                    let pre_or = chip.model.logic_z_prefix(ops.1, n_side);
+                    let cpl_and = ReliabilityModel::coupling(ops.0);
+                    let cpl_or = ReliabilityModel::coupling(ops.1);
+                    for row in rows {
+                        let own_dist = dist_to_stripe(*row, rows_per_sub, sub, upper);
+                        // Compute terminal: own row is the com side;
+                        // reference terminal: own row is the ref side.
+                        let (dist_and, dist_or) = if invert {
+                            (
+                                ReliabilityModel::logic_dist_term(ops.0, com_dist_addr, own_dist),
+                                ReliabilityModel::logic_dist_term(ops.1, com_dist_addr, own_dist),
+                            )
+                        } else {
+                            (
+                                ReliabilityModel::logic_dist_term(ops.0, own_dist, ref_dist_addr),
+                                ReliabilityModel::logic_dist_term(ops.1, own_dist, ref_dist_addr),
+                            )
+                        };
+                        let lz = chip
+                            .cache
+                            .logic_z(chip.model.variation(), bank, sub, *row, cols);
+                        let model = &chip.model;
+                        let sub_row_key = ((sub.index() as u64) << 32) | row.index() as u64;
+                        let (lz_ref, sa, mm_ref, class_ref, fam_ref) =
+                            (&lz, &sa_shared, &mm, &class, &fam_and);
+                        run_cols(cols, parallel, p_buf, ok_buf, |start, pc, oc| {
+                            for i in 0..pc.len() {
+                                let c = start + i;
+                                if c % 2 != shared_start {
+                                    continue;
+                                }
+                                let (pre, cpl, dist, op_sel) = if fam_ref[c] {
+                                    (pre_and, cpl_and, dist_and, ops.0)
+                                } else {
+                                    (pre_or, cpl_or, dist_or, ops.1)
+                                };
+                                let p = match pre {
+                                    Some(pre) => {
+                                        let z = pre - cpl * mm_ref[c].clamp(0.0, 1.0) + dist
+                                            - tterm
+                                            + SIGMA_CELL_LOGIC * lz_ref[c]
+                                            + SIGMA_SA_LOGIC * sa[c];
+                                        (ReliabilityModel::margin_multiplier(
+                                            op_sel,
+                                            n_side,
+                                            class_ref[c],
+                                        ) * normal_cdf(z))
+                                        .clamp(0.0, 1.0)
+                                    }
+                                    None => 0.0,
+                                };
+                                pc[i] = p;
+                                oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
+                            }
+                        });
+                        let slice = chip.banks[bank.index()].subarray_mut(sub).row_mut(*row);
+                        for c in (shared_start..cols).step_by(2) {
+                            let intended = if invert { com_res[c].not() } else { com_res[c] };
+                            let actual = if ok_buf[c] { intended } else { intended.not() };
+                            slice[c] = actual.voltage(vdd) as f32;
+                            rec.push(sub, *row, Col(c), role, intended, actual, p_buf[c]);
+                        }
+                    }
+                };
+                terminal_pass(
+                    self,
+                    &mut rec,
+                    &mut p_buf,
+                    &mut ok_buf,
+                    sub_com,
+                    &second_rows,
+                    (LogicOp::And, LogicOp::Or),
+                    n_com,
+                    false,
+                    CellRole::Compute,
+                );
+                terminal_pass(
+                    self,
+                    &mut rec,
+                    &mut p_buf,
+                    &mut ok_buf,
+                    sub_ref,
+                    &first_rows,
+                    (LogicOp::Nand, LogicOp::Nor),
+                    n_ref,
+                    true,
+                    CellRole::Reference,
+                );
 
-                        // Compute-terminal cells. The cell's own row
-                        // distance drives its restore quality; the
-                        // opposite side contributes its set mean.
-                        for row in &second_rows {
-                            let ev = LogicEvent {
-                                op: if and_family { LogicOp::And } else { LogicOp::Or },
-                                n: n_com,
-                                margin_class: class,
-                                neighbor_mismatch: mm,
-                                com_dist: dist_to_stripe(*row, rows_per_sub, sub_com, upper),
-                                ref_dist,
-                                temperature: temp,
-                            };
-                            let cref = CellRef { bank, subarray: sub_com, row: *row, col, stripe };
-                            let p = self.model.logic_success_prob(&ev, cref);
-                            let key = Self::cell_key(op, sub_com, *row, col);
-                            let ok = self.model.sample(p, key, 0);
-                            let actual = if ok { com_result } else { com_result.not() };
-                            self.banks[bank.index()]
-                                .subarray_mut(sub_com)
-                                .set_voltage(*row, col, actual.voltage(vdd));
-                            cells.push(CellOutcome {
-                                subarray: sub_com,
-                                row: *row,
-                                col,
-                                role: CellRole::Compute,
-                                intended: com_result,
-                                actual,
-                                p_success: p,
-                            });
-                        }
-                        // Reference-terminal cells (NAND/NOR).
-                        for row in &first_rows {
-                            let ev = LogicEvent {
-                                op: if and_family { LogicOp::Nand } else { LogicOp::Nor },
-                                n: n_ref,
-                                margin_class: class,
-                                neighbor_mismatch: mm,
-                                com_dist,
-                                ref_dist: dist_to_stripe(*row, rows_per_sub, sub_ref, upper),
-                                temperature: temp,
-                            };
-                            let cref = CellRef { bank, subarray: sub_ref, row: *row, col, stripe };
-                            let p = self.model.logic_success_prob(&ev, cref);
-                            let key = Self::cell_key(op, sub_ref, *row, col);
-                            let ok = self.model.sample(p, key, 0);
-                            let intended = com_result.not();
-                            let actual = if ok { intended } else { intended.not() };
-                            self.banks[bank.index()]
-                                .subarray_mut(sub_ref)
-                                .set_voltage(*row, col, actual.voltage(vdd));
-                            cells.push(CellOutcome {
-                                subarray: sub_ref,
-                                row: *row,
-                                col,
-                                role: CellRole::Reference,
-                                intended,
-                                actual,
-                                p_success: p,
-                            });
-                        }
-                    } else {
-                        // Non-shared half: each side majority-resolves
-                        // against its other (precharged) stripe.
-                        for (sub, rows, volts, n) in [
-                            (sub_com, &second_rows, &com_v[c], n_com),
-                            (sub_ref, &first_rows, &ref_v[c], n_ref),
-                        ] {
-                            if n < 2 {
+                // Non-shared half: each side majority-resolves against
+                // its other (precharged) stripe, from the pre-operation
+                // snapshot gathered above.
+                let maj_base = 2.6 - tterm;
+                for (sub, rows, n_side, packed, sums) in [
+                    (sub_com, &second_rows, n_com, &packed_com, &sum_com),
+                    (sub_ref, &first_rows, n_ref, &packed_ref, &sum_ref),
+                ] {
+                    if n_side < 2 {
+                        continue;
+                    }
+                    let maj: Vec<Bit> = packed
+                        .iter()
+                        .map(|p| Bit::from(2 * p.count_ones() as usize > n_side))
+                        .collect();
+                    let mult: Vec<f64> = sums
+                        .iter()
+                        .map(|s| {
+                            ReliabilityModel::maj_multiplier((s / vdd - n_side as f64 / 2.0).abs())
+                        })
+                        .collect();
+                    for row in rows.iter() {
+                        let lz = self
+                            .cache
+                            .logic_z(self.model.variation(), bank, sub, *row, cols);
+                        let model = &self.model;
+                        let sub_row_key = ((sub.index() as u64) << 32) | row.index() as u64;
+                        let (lz_ref, mult_ref) = (&lz, &mult);
+                        run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
+                            for i in 0..pc.len() {
+                                let c = start + i;
+                                if c % 2 == shared_start {
+                                    continue;
+                                }
+                                let p = (mult_ref[c]
+                                    * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz_ref[c]))
+                                .clamp(0.0, 1.0);
+                                pc[i] = p;
+                                oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
+                            }
+                        });
+                        let slice = self.banks[bank.index()].subarray_mut(sub).row_mut(*row);
+                        for c in 0..cols {
+                            if c % 2 == shared_start {
                                 continue;
                             }
-                            let votes =
-                                volts.iter().filter(|v| **v > vdd / 2.0).count();
-                            let maj = Bit::from(2 * votes > n);
-                            let sum_units: f64 = volts.iter().sum::<f64>() / vdd;
-                            let margin = (sum_units - n as f64 / 2.0).abs();
-                            for row in rows.iter() {
-                                let ev = MajEvent { n, margin_cells: margin, temperature: temp };
-                                let cref = CellRef {
-                                    bank,
-                                    subarray: sub,
-                                    row: *row,
-                                    col,
-                                    stripe: stripe_of(sub, col),
-                                };
-                                let p = self.model.maj_success_prob(&ev, cref);
-                                let key = Self::cell_key(op, sub, *row, col);
-                                let ok = self.model.sample(p, key, 0);
-                                let actual = if ok { maj } else { maj.not() };
-                                self.banks[bank.index()]
-                                    .subarray_mut(sub)
-                                    .set_voltage(*row, col, actual.voltage(vdd));
-                                cells.push(CellOutcome {
-                                    subarray: sub,
-                                    row: *row,
-                                    col,
-                                    role: CellRole::OffMaj,
-                                    intended: maj,
-                                    actual,
-                                    p_success: p,
-                                });
-                            }
+                            let actual = if ok_buf[c] { maj[c] } else { maj[c].not() };
+                            slice[c] = actual.voltage(vdd) as f32;
+                            rec.push(
+                                sub,
+                                *row,
+                                Col(c),
+                                CellRole::OffMaj,
+                                maj[c],
+                                actual,
+                                p_buf[c],
+                            );
                         }
                     }
                 }
@@ -863,10 +1303,11 @@ impl Chip {
                     groups: vec![(sub_ref, first_rows), (sub_com, second_rows)],
                     last_subarray: sub_com,
                 });
-                Ok(OpOutcome {
-                    kind: OutcomeKind::Logic { n_ref, n_com, and_family: and_family_any },
-                    cells,
-                })
+                Ok(rec.finish(OutcomeKind::Logic {
+                    n_ref,
+                    n_com,
+                    and_family: and_family_any,
+                }))
             }
         }
     }
@@ -911,19 +1352,27 @@ impl Chip {
             let mut flips = 0usize;
             for c in 0..self.geom.cols() {
                 let col = Col(c);
-                let threshold =
-                    self.model.variation().hammer_threshold(bank, sub, victim, col);
-                let charged =
-                    self.banks[bank.index()].subarray_mut(sub).bit(victim, col, vdd).as_bool();
+                let threshold = self
+                    .model
+                    .variation()
+                    .hammer_threshold(bank, sub, victim, col);
+                let charged = self.banks[bank.index()]
+                    .subarray_mut(sub)
+                    .bit(victim, col, vdd)
+                    .as_bool();
                 // Anti-cells (0 → 1 flips) are ~8× rarer.
                 let eff = if charged { threshold } else { threshold * 8.0 };
                 let p_flip = (activations as f64 / eff - 0.8).clamp(0.0, 0.95);
                 let key = Self::cell_key(op, sub, victim, col);
                 if p_flip > 0.0 && self.model.sample(p_flip, key, 0) {
-                    let old = self.banks[bank.index()].subarray_mut(sub).bit(victim, col, vdd);
-                    self.banks[bank.index()]
+                    let old = self.banks[bank.index()]
                         .subarray_mut(sub)
-                        .set_voltage(victim, col, old.not().voltage(vdd));
+                        .bit(victim, col, vdd);
+                    self.banks[bank.index()].subarray_mut(sub).set_voltage(
+                        victim,
+                        col,
+                        old.not().voltage(vdd),
+                    );
                     flips += 1;
                 }
             }
@@ -937,23 +1386,19 @@ impl Chip {
 /// shared by the pair whose upper member is `upper`.
 fn dist_to_stripe(row: LocalRow, rows: usize, sub: SubarrayId, upper: SubarrayId) -> f64 {
     use crate::types::StripeSide;
-    let side = if sub == upper { StripeSide::Below } else { StripeSide::Above };
+    let side = if sub == upper {
+        StripeSide::Below
+    } else {
+        StripeSide::Above
+    };
     crate::variation::row_distance(row, rows, side)
-}
-
-/// Stripe index serving column `col` of subarray `sub`.
-fn stripe_of(sub: SubarrayId, col: Col) -> usize {
-    use crate::types::StripeSide;
-    match StripeSide::of(sub, col) {
-        StripeSide::Above => sub.index(),
-        StripeSide::Below => sub.index() + 1,
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::table1;
+    use crate::types::is_shared_col;
 
     fn hynix_chip() -> Chip {
         let cfg = table1().into_iter().next().unwrap().with_modeled_cols(64);
@@ -980,8 +1425,12 @@ mod tests {
         let mut chip = hynix_chip();
         let cols = chip.geometry().cols();
         let bits = pattern(7, cols);
-        chip.write_row_direct(BankId(1), GlobalRow(100), &bits).unwrap();
-        assert_eq!(chip.read_row_direct(BankId(1), GlobalRow(100)).unwrap(), bits);
+        chip.write_row_direct(BankId(1), GlobalRow(100), &bits)
+            .unwrap();
+        assert_eq!(
+            chip.read_row_direct(BankId(1), GlobalRow(100)).unwrap(),
+            bits
+        );
         assert_eq!(chip.read_row(BankId(1), GlobalRow(100)).unwrap(), bits);
     }
 
@@ -1024,7 +1473,12 @@ mod tests {
         // Destination cells on shared columns should mostly be ¬src.
         let acc = out.observed_accuracy(CellRole::NotDst).unwrap();
         assert!(acc > 0.85, "NOT accuracy {acc}");
-        for cell in out.cells.iter().filter(|c| c.role == CellRole::NotDst).take(8) {
+        for cell in out
+            .cells
+            .iter()
+            .filter(|c| c.role == CellRole::NotDst)
+            .take(8)
+        {
             assert_eq!(cell.intended, src[cell.col.index()].not());
         }
     }
@@ -1074,7 +1528,10 @@ mod tests {
                 let rf = GlobalRow(f);
                 let rl = GlobalRow(512 + l);
                 if let MultiActivation::CrossSubarray {
-                    first_rows, second_rows, simultaneous: true, ..
+                    first_rows,
+                    second_rows,
+                    simultaneous: true,
+                    ..
                 } = chip.decoder().activation(chip.geometry(), rf, rl)
                 {
                     if first_rows.len() == 2 && second_rows.len() == 2 {
@@ -1091,16 +1548,24 @@ mod tests {
         // AND configuration: one all-1s row + one frac row on the
         // reference side; random inputs on the compute side.
         let ones = vec![Bit::One; cols];
-        chip.write_row_direct(bank, geom.join_row(sub_ref, ref_rows[0]).unwrap(), &ones).unwrap();
-        chip.frac(bank, geom.join_row(sub_ref, ref_rows[1]).unwrap()).unwrap();
+        chip.write_row_direct(bank, geom.join_row(sub_ref, ref_rows[0]).unwrap(), &ones)
+            .unwrap();
+        chip.frac(bank, geom.join_row(sub_ref, ref_rows[1]).unwrap())
+            .unwrap();
         let in_a = pattern(1, cols);
         let in_b = pattern(2, cols);
-        chip.write_row_direct(bank, geom.join_row(sub_com, com_rows[0]).unwrap(), &in_a).unwrap();
-        chip.write_row_direct(bank, geom.join_row(sub_com, com_rows[1]).unwrap(), &in_b).unwrap();
+        chip.write_row_direct(bank, geom.join_row(sub_com, com_rows[0]).unwrap(), &in_a)
+            .unwrap();
+        chip.write_row_direct(bank, geom.join_row(sub_com, com_rows[1]).unwrap(), &in_b)
+            .unwrap();
 
         let out = chip.multi_act_charge_share(bank, rf, rl).unwrap();
         match out.kind {
-            OutcomeKind::Logic { n_ref: 2, n_com: 2, and_family: true } => {}
+            OutcomeKind::Logic {
+                n_ref: 2,
+                n_com: 2,
+                and_family: true,
+            } => {}
             other => panic!("unexpected kind {other:?}"),
         }
         // Intended compute results must equal bitwise AND of inputs.
@@ -1160,11 +1625,19 @@ mod tests {
 
     #[test]
     fn micron_chip_ignores_violating_sequences() {
-        let cfg = crate::config::micron_modules().into_iter().next().unwrap().with_modeled_cols(32);
+        let cfg = crate::config::micron_modules()
+            .into_iter()
+            .next()
+            .unwrap()
+            .with_modeled_cols(32);
         let mut chip = Chip::new(cfg, ChipId(0));
-        let out = chip.multi_act_copy(BankId(0), GlobalRow(1), GlobalRow(600)).unwrap();
+        let out = chip
+            .multi_act_copy(BankId(0), GlobalRow(1), GlobalRow(600))
+            .unwrap();
         assert_eq!(out.kind, OutcomeKind::Ignored);
-        let out = chip.multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(600)).unwrap();
+        let out = chip
+            .multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(600))
+            .unwrap();
         assert_eq!(out.kind, OutcomeKind::Ignored);
     }
 
@@ -1176,13 +1649,25 @@ mod tests {
             .unwrap()
             .with_modeled_cols(32);
         let mut chip = Chip::new(cfg, ChipId(0));
-        let out = chip.multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(700)).unwrap();
+        let out = chip
+            .multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(700))
+            .unwrap();
         assert_eq!(out.kind, OutcomeKind::Unsupported);
         // But sequential NOT (1:1) works.
         let src = vec![Bit::One; 32];
-        chip.write_row_direct(BankId(0), GlobalRow(1), &src).unwrap();
-        let out = chip.multi_act_copy(BankId(0), GlobalRow(1), GlobalRow(700)).unwrap();
-        assert!(matches!(out.kind, OutcomeKind::Not { n_rf: 1, n_rl: 1, .. }));
+        chip.write_row_direct(BankId(0), GlobalRow(1), &src)
+            .unwrap();
+        let out = chip
+            .multi_act_copy(BankId(0), GlobalRow(1), GlobalRow(700))
+            .unwrap();
+        assert!(matches!(
+            out.kind,
+            OutcomeKind::Not {
+                n_rf: 1,
+                n_rl: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1190,10 +1675,13 @@ mod tests {
         let mut chip = hynix_chip();
         let cols = chip.geometry().cols();
         let src = pattern(3, cols);
-        chip.write_row_direct(BankId(0), GlobalRow(0), &src).unwrap();
+        chip.write_row_direct(BankId(0), GlobalRow(0), &src)
+            .unwrap();
         let mut any = false;
         for l in 0..64usize {
-            let out = chip.multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(512 + l)).unwrap();
+            let out = chip
+                .multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(512 + l))
+                .unwrap();
             chip.precharge(BankId(0)).unwrap();
             if let Some(p) = out.mean_success(CellRole::NotDst) {
                 assert!(p > 0.5 && p <= 1.0, "{p}");
@@ -1211,7 +1699,8 @@ mod tests {
         let bank = BankId(0);
         // Charge the neighborhood.
         for r in 95..=105usize {
-            chip.write_row_direct(bank, GlobalRow(r), &vec![Bit::One; cols]).unwrap();
+            chip.write_row_direct(bank, GlobalRow(r), &vec![Bit::One; cols])
+                .unwrap();
         }
         let flips = chip.hammer(bank, GlobalRow(100), 500_000).unwrap();
         assert_eq!(flips.len(), 2, "interior row has two victims");
@@ -1221,7 +1710,10 @@ mod tests {
             assert!(victim.index() == 99 || victim.index() == 101);
         }
         // Untouched row two away keeps its data.
-        assert_eq!(chip.read_row_direct(bank, GlobalRow(103)).unwrap(), vec![Bit::One; cols]);
+        assert_eq!(
+            chip.read_row_direct(bank, GlobalRow(103)).unwrap(),
+            vec![Bit::One; cols]
+        );
     }
 
     #[test]
@@ -1240,7 +1732,8 @@ mod tests {
     fn hammer_low_activation_count_is_harmless() {
         let mut chip = hynix_chip();
         let cols = chip.geometry().cols();
-        chip.write_row_direct(BankId(0), GlobalRow(9), &vec![Bit::One; cols]).unwrap();
+        chip.write_row_direct(BankId(0), GlobalRow(9), &vec![Bit::One; cols])
+            .unwrap();
         let flips = chip.hammer(BankId(0), GlobalRow(10), 1_000).unwrap();
         let total: usize = flips.iter().map(|(_, f)| *f).sum();
         assert_eq!(total, 0, "1k activations are far below threshold");
@@ -1250,7 +1743,8 @@ mod tests {
     fn advance_time_leaks_toward_gnd() {
         let mut chip = hynix_chip();
         let cols = chip.geometry().cols();
-        chip.write_row_direct(BankId(0), GlobalRow(9), &vec![Bit::One; cols]).unwrap();
+        chip.write_row_direct(BankId(0), GlobalRow(9), &vec![Bit::One; cols])
+            .unwrap();
         chip.set_temperature(Temperature::celsius(95.0));
         chip.advance_time(1e6); // 1 ms hot
         let (sub, local) = chip.geometry().split_row(GlobalRow(9)).unwrap();

@@ -205,7 +205,10 @@ mod tests {
     fn violated_sequence_is_one_row_cycle_ish() {
         let c = OpCost::violated_double_act(&T, &E, SpeedBin::Mt2666, 4);
         assert!(c.latency_ns < 2.0 * (T.t_ras_ns + T.t_rp_ns));
-        assert!(c.energy_pj > E.act_pre_pj, "driving 4 rows costs more than 1");
+        assert!(
+            c.energy_pj > E.act_pre_pj,
+            "driving 4 rows costs more than 1"
+        );
         assert_eq!(c.commands, 4);
     }
 
@@ -261,7 +264,10 @@ mod tests {
 
     #[test]
     fn energy_per_bit() {
-        let c = OpCost { energy_pj: 1000.0, ..OpCost::default() };
+        let c = OpCost {
+            energy_pj: 1000.0,
+            ..OpCost::default()
+        };
         assert!((c.energy_per_bit_pj(500) - 2.0).abs() < 1e-12);
         assert_eq!(c.energy_per_bit_pj(0), 1000.0);
     }

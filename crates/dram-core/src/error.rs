@@ -66,8 +66,14 @@ impl fmt::Display for DramError {
             DramError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range (bank has {rows} rows)")
             }
-            DramError::SubarrayOutOfRange { subarray, subarrays } => {
-                write!(f, "subarray {subarray} out of range (bank has {subarrays} subarrays)")
+            DramError::SubarrayOutOfRange {
+                subarray,
+                subarrays,
+            } => {
+                write!(
+                    f,
+                    "subarray {subarray} out of range (bank has {subarrays} subarrays)"
+                )
             }
             DramError::ColOutOfRange { col, cols } => {
                 write!(f, "column {col} out of range (row has {cols} columns)")
@@ -79,7 +85,10 @@ impl fmt::Display for DramError {
                 write!(f, "invalid geometry: {detail}")
             }
             DramError::WidthMismatch { expected, got } => {
-                write!(f, "data width mismatch: expected {expected} bits, got {got}")
+                write!(
+                    f,
+                    "data width mismatch: expected {expected} bits, got {got}"
+                )
             }
         }
     }
@@ -96,7 +105,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = DramError::BankOutOfRange { bank: BankId(17), banks: 16 };
+        let e = DramError::BankOutOfRange {
+            bank: BankId(17),
+            banks: 16,
+        };
         let s = e.to_string();
         assert!(s.contains("17"));
         assert!(s.contains("16"));
@@ -112,13 +124,32 @@ mod tests {
     #[test]
     fn all_variants_display() {
         let errs = [
-            DramError::BankOutOfRange { bank: BankId(1), banks: 1 },
-            DramError::RowOutOfRange { row: GlobalRow(9), rows: 8 },
-            DramError::SubarrayOutOfRange { subarray: SubarrayId(4), subarrays: 2 },
-            DramError::ColOutOfRange { col: Col(1024), cols: 512 },
-            DramError::IllegalCommand { detail: "rd while precharged".into() },
-            DramError::InvalidGeometry { detail: "zero columns".into() },
-            DramError::WidthMismatch { expected: 8, got: 4 },
+            DramError::BankOutOfRange {
+                bank: BankId(1),
+                banks: 1,
+            },
+            DramError::RowOutOfRange {
+                row: GlobalRow(9),
+                rows: 8,
+            },
+            DramError::SubarrayOutOfRange {
+                subarray: SubarrayId(4),
+                subarrays: 2,
+            },
+            DramError::ColOutOfRange {
+                col: Col(1024),
+                cols: 512,
+            },
+            DramError::IllegalCommand {
+                detail: "rd while precharged".into(),
+            },
+            DramError::InvalidGeometry {
+                detail: "zero columns".into(),
+            },
+            DramError::WidthMismatch {
+                expected: 8,
+                got: 4,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

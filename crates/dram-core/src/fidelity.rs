@@ -1,0 +1,78 @@
+//! Simulation-fidelity knobs: per-cell telemetry vs. the columnar
+//! fast path, and optional column-chunk threading.
+//!
+//! Characterization experiments need per-cell [`crate::CellOutcome`]
+//! records (which cell failed, at what probability); bulk workloads
+//! only need the stored bits plus aggregate success statistics. The
+//! fast path skips materializing the per-cell vectors — the *stored
+//! values and aggregate statistics are bit-identical* in both modes,
+//! because both run the same columnar compute kernels and differ only
+//! in what they record.
+
+use serde::{Deserialize, Serialize};
+
+/// How much per-operation detail the device model records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Telemetry {
+    /// Record a [`crate::CellOutcome`] for every affected cell
+    /// (required by the characterization experiments).
+    #[default]
+    Full,
+    /// Record only aggregate per-role statistics
+    /// ([`crate::chip::OutcomeStats`]); `OpOutcome::cells` stays empty.
+    Fast,
+}
+
+impl Telemetry {
+    /// Whether per-cell records are kept.
+    #[inline]
+    pub fn per_cell(self) -> bool {
+        matches!(self, Telemetry::Full)
+    }
+}
+
+/// Fidelity configuration of a simulated chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimFidelity {
+    /// Telemetry mode for every subsequent operation.
+    pub telemetry: Telemetry,
+    /// Row width (in columns) at and above which the columnar kernels
+    /// fan out over `std::thread` column chunks. `None` disables
+    /// threading. Results are bit-identical either way (each chunk is
+    /// computed independently; aggregation order is fixed).
+    pub parallel_threshold: Option<usize>,
+}
+
+impl Default for SimFidelity {
+    fn default() -> Self {
+        SimFidelity {
+            telemetry: Telemetry::Full,
+            parallel_threshold: None,
+        }
+    }
+}
+
+impl SimFidelity {
+    /// The throughput configuration used by bulk engines: aggregate
+    /// statistics only. Column threading stays opt-in — per-row kernel
+    /// launches only amortize thread spawn cost for much heavier
+    /// per-column models than the default (see `parallel_threshold`).
+    pub fn fast() -> Self {
+        SimFidelity {
+            telemetry: Telemetry::Fast,
+            parallel_threshold: None,
+        }
+    }
+
+    /// Full per-cell telemetry (the default; what characterization
+    /// experiments require).
+    pub fn full() -> Self {
+        SimFidelity::default()
+    }
+
+    /// Whether the columnar kernels should thread at `cols` columns.
+    #[inline]
+    pub fn parallel_at(&self, cols: usize) -> bool {
+        self.parallel_threshold.is_some_and(|t| cols >= t)
+    }
+}

@@ -34,19 +34,26 @@ impl Geometry {
         cols: usize,
     ) -> Result<Self> {
         if banks == 0 || subarrays_per_bank == 0 || rows_per_subarray == 0 || cols == 0 {
-            return Err(DramError::InvalidGeometry { detail: "zero-sized dimension".into() });
+            return Err(DramError::InvalidGeometry {
+                detail: "zero-sized dimension".into(),
+            });
         }
         if !rows_per_subarray.is_power_of_two() {
             return Err(DramError::InvalidGeometry {
                 detail: format!("rows_per_subarray ({rows_per_subarray}) must be a power of two"),
             });
         }
-        if cols % 2 != 0 {
+        if !cols.is_multiple_of(2) {
             return Err(DramError::InvalidGeometry {
                 detail: format!("cols ({cols}) must be even for the open-bitline split"),
             });
         }
-        Ok(Geometry { banks, subarrays_per_bank, rows_per_subarray, cols })
+        Ok(Geometry {
+            banks,
+            subarrays_per_bank,
+            rows_per_subarray,
+            cols,
+        })
     }
 
     /// A small geometry for unit tests and examples (2 banks,
@@ -96,7 +103,10 @@ impl Geometry {
         if bank.index() < self.banks {
             Ok(())
         } else {
-            Err(DramError::BankOutOfRange { bank, banks: self.banks })
+            Err(DramError::BankOutOfRange {
+                bank,
+                banks: self.banks,
+            })
         }
     }
 
@@ -105,7 +115,10 @@ impl Geometry {
         if row.index() < self.rows_per_bank() {
             Ok(())
         } else {
-            Err(DramError::RowOutOfRange { row, rows: self.rows_per_bank() })
+            Err(DramError::RowOutOfRange {
+                row,
+                rows: self.rows_per_bank(),
+            })
         }
     }
 
@@ -114,7 +127,10 @@ impl Geometry {
         if subarray.index() < self.subarrays_per_bank {
             Ok(())
         } else {
-            Err(DramError::SubarrayOutOfRange { subarray, subarrays: self.subarrays_per_bank })
+            Err(DramError::SubarrayOutOfRange {
+                subarray,
+                subarrays: self.subarrays_per_bank,
+            })
         }
     }
 
@@ -123,7 +139,10 @@ impl Geometry {
         if col.index() < self.cols {
             Ok(())
         } else {
-            Err(DramError::ColOutOfRange { col, cols: self.cols })
+            Err(DramError::ColOutOfRange {
+                col,
+                cols: self.cols,
+            })
         }
     }
 
@@ -153,7 +172,9 @@ impl Geometry {
                 rows: self.rows_per_subarray,
             });
         }
-        Ok(GlobalRow(subarray.index() * self.rows_per_subarray + local.index()))
+        Ok(GlobalRow(
+            subarray.index() * self.rows_per_subarray + local.index(),
+        ))
     }
 
     /// Whether two subarrays are physically adjacent (share a
@@ -165,8 +186,7 @@ impl Geometry {
 
     /// Iterator over all neighboring subarray pairs `(s, s+1)` in a bank.
     pub fn neighbor_pairs(&self) -> impl Iterator<Item = (SubarrayId, SubarrayId)> + '_ {
-        (0..self.subarrays_per_bank.saturating_sub(1))
-            .map(|s| (SubarrayId(s), SubarrayId(s + 1)))
+        (0..self.subarrays_per_bank.saturating_sub(1)).map(|s| (SubarrayId(s), SubarrayId(s + 1)))
     }
 }
 

@@ -43,6 +43,7 @@ pub mod chip;
 pub mod config;
 pub mod energy;
 pub mod error;
+pub mod fidelity;
 pub mod geometry;
 pub mod math;
 pub mod module;
@@ -56,12 +57,11 @@ pub mod variation;
 
 pub use analog::{AnalogParams, MarginClass};
 pub use bank::{Bank, OpenRows};
-pub use chip::{CellOutcome, CellRole, Chip, OpOutcome, OutcomeKind};
-pub use config::{
-    ActivationCapability, ChipOrg, Density, DieRevision, Manufacturer, ModuleConfig,
-};
+pub use chip::{CellOutcome, CellRole, Chip, OpOutcome, OutcomeKind, OutcomeStats, RoleStats};
+pub use config::{ActivationCapability, ChipOrg, Density, DieRevision, Manufacturer, ModuleConfig};
 pub use energy::{EnergyParams, OpCost};
 pub use error::{DramError, Result};
+pub use fidelity::{SimFidelity, Telemetry};
 pub use geometry::Geometry;
 pub use module::DramModule;
 pub use reliability::{CellRef, LogicEvent, LogicOp, NotEvent, ReliabilityModel};
@@ -72,4 +72,4 @@ pub use timing::{SpeedBin, TimingParams, ViolationWindows};
 pub use types::{
     is_shared_col, BankId, Bit, ChipId, Col, GlobalRow, LocalRow, RowLoc, StripeSide, SubarrayId,
 };
-pub use variation::{DistanceRegion, ProcessVariation};
+pub use variation::{DistanceRegion, ProcessVariation, VariationCache};

@@ -8,6 +8,7 @@
 
 use crate::chip::Chip;
 use crate::config::ModuleConfig;
+use crate::fidelity::SimFidelity;
 use crate::types::ChipId;
 
 /// A DRAM module (lazily instantiated chips).
@@ -15,19 +16,39 @@ use crate::types::ChipId;
 pub struct DramModule {
     config: ModuleConfig,
     chips: Vec<Option<Chip>>,
+    fidelity: SimFidelity,
 }
 
 impl DramModule {
     /// Creates a module with no chips instantiated yet.
     pub fn new(config: ModuleConfig) -> Self {
         let n = config.chips;
-        DramModule { config, chips: (0..n).map(|_| None).collect() }
+        DramModule {
+            config,
+            chips: (0..n).map(|_| None).collect(),
+            fidelity: SimFidelity::default(),
+        }
     }
 
     /// The module configuration.
     #[inline]
     pub fn config(&self) -> &ModuleConfig {
         &self.config
+    }
+
+    /// The fidelity configuration applied to every chip.
+    #[inline]
+    pub fn fidelity(&self) -> SimFidelity {
+        self.fidelity
+    }
+
+    /// Sets the fidelity configuration on all chips (instantiated and
+    /// future).
+    pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
+        self.fidelity = fidelity;
+        for chip in self.chips.iter_mut().flatten() {
+            chip.set_fidelity(fidelity);
+        }
     }
 
     /// Number of chips on the module.
@@ -44,7 +65,12 @@ impl DramModule {
     pub fn chip_mut(&mut self, id: ChipId) -> &mut Chip {
         assert!(id.index() < self.chips.len(), "chip {id} out of range");
         let cfg = self.config.clone();
-        self.chips[id.index()].get_or_insert_with(|| Chip::new(cfg, id))
+        let fidelity = self.fidelity;
+        self.chips[id.index()].get_or_insert_with(|| {
+            let mut chip = Chip::new(cfg, id);
+            chip.set_fidelity(fidelity);
+            chip
+        })
     }
 
     /// Immutable access to chip `id` if it has been instantiated.

@@ -274,7 +274,11 @@ fn solve_fleet_z(target: f64, deltas_weights: &[(f64, f64)], s: f64) -> f64 {
     debug_assert!(!deltas_weights.is_empty());
     let total_w: f64 = deltas_weights.iter().map(|(_, w)| *w).sum();
     let mean = |z: f64| -> f64 {
-        deltas_weights.iter().map(|(d, w)| w * normal_cdf((z + d) / s)).sum::<f64>() / total_w
+        deltas_weights
+            .iter()
+            .map(|(d, w)| w * normal_cdf((z + d) / s))
+            .sum::<f64>()
+            / total_w
     };
     let (mut lo, mut hi) = (-10.0f64, 12.0f64);
     for _ in 0..80 {
@@ -387,8 +391,10 @@ impl ReliabilityModel {
         let s_not = (1.0 + SIGMA_CELL_NOT.powi(2) + SIGMA_SA_NOT.powi(2)).sqrt();
         // NOT base: all 256 chips participate in the 1-destination-row
         // average (Samsung performs sequential 1:1 NOT).
-        let not_dw: Vec<(f64, f64)> =
-            fleet.iter().map(|m| (die_speed_shift_not(m), m.chips as f64)).collect();
+        let not_dw: Vec<(f64, f64)> = fleet
+            .iter()
+            .map(|m| (die_speed_shift_not(m), m.chips as f64))
+            .collect();
         let z0_not = solve_fleet_z(0.9837, &not_dw, s_not);
 
         let mut z_logic = [[0.0f64; 4]; 4];
@@ -397,9 +403,8 @@ impl ReliabilityModel {
             // distance terms contribute Var[w·D·(0.5−U)] = w²D²/12 of
             // z-variance; fold it into the mean-preserving width so
             // fleet means stay on target.
-            let dist_var = w_distance(*op).powi(2)
-                * (DIST_COM_LOGIC.powi(2) + DIST_REF_LOGIC.powi(2))
-                / 12.0;
+            let dist_var =
+                w_distance(*op).powi(2) * (DIST_COM_LOGIC.powi(2) + DIST_REF_LOGIC.powi(2)) / 12.0;
             let s_logic =
                 (1.0 + SIGMA_CELL_LOGIC.powi(2) + SIGMA_SA_LOGIC.powi(2) + dist_var).sqrt();
             for ni in 0..4 {
@@ -410,7 +415,11 @@ impl ReliabilityModel {
                     .iter()
                     .filter(|m| m.max_op_inputs() >= n)
                     .map(|m| {
-                        let cpl = if op.is_and_family() { COUPLING_AND } else { COUPLING_OR };
+                        let cpl = if op.is_and_family() {
+                            COUPLING_AND
+                        } else {
+                            COUPLING_OR
+                        };
                         let d = w_die(*op, ni) * die_shift_logic(m)
                             + w_speed(*op, ni) * speed_shift_logic(m)
                             - cpl;
@@ -453,16 +462,17 @@ impl ReliabilityModel {
     pub fn not_success_prob(&self, ev: &NotEvent, cell: CellRef) -> f64 {
         use crate::variation::DistanceRegion;
         let lf = load_fraction(ev.total_rows);
-        let src_z = SRC_REGION_Z_NOT
-            [DistanceRegion::from_normalized(ev.src_dist.clamp(0.0, 1.0)) as usize];
-        let dst_z = DST_REGION_Z_NOT
-            [DistanceRegion::from_normalized(ev.dst_dist.clamp(0.0, 1.0)) as usize];
-        let z = self.z0_not + self.delta_not
-            - ALPHA_LOAD_NOT * (ev.total_rows.max(2) - 2) as f64
+        let src_z =
+            SRC_REGION_Z_NOT[DistanceRegion::from_normalized(ev.src_dist.clamp(0.0, 1.0)) as usize];
+        let dst_z =
+            DST_REGION_Z_NOT[DistanceRegion::from_normalized(ev.dst_dist.clamp(0.0, 1.0)) as usize];
+        let z = self.z0_not + self.delta_not - ALPHA_LOAD_NOT * (ev.total_rows.max(2) - 2) as f64
             + lf * (src_z + dst_z)
             - BETA_TEMP_NOT * ev.temperature.above_baseline()
             + SIGMA_CELL_NOT
-                * self.variation.cell_not_z(cell.bank, cell.subarray, cell.row, cell.col)
+                * self
+                    .variation
+                    .cell_not_z(cell.bank, cell.subarray, cell.row, cell.col)
             + SIGMA_SA_NOT * self.variation.sense_amp_z(cell.bank, cell.stripe, cell.col);
         normal_cdf(z).clamp(0.0, 1.0)
     }
@@ -486,7 +496,11 @@ impl ReliabilityModel {
             MarginClass::Near => C_NEAR,
             MarginClass::Comfortable => 1.0,
         };
-        let cpl = if ev.op.is_and_family() { COUPLING_AND } else { COUPLING_OR };
+        let cpl = if ev.op.is_and_family() {
+            COUPLING_AND
+        } else {
+            COUPLING_OR
+        };
         let dist = w_distance(ev.op)
             * (DIST_COM_LOGIC * (0.5 - ev.com_dist.clamp(0.0, 1.0))
                 + DIST_REF_LOGIC * (0.5 - ev.ref_dist.clamp(0.0, 1.0)));
@@ -497,7 +511,9 @@ impl ReliabilityModel {
             + dist
             - BETA_TEMP_LOGIC * ev.temperature.above_baseline()
             + SIGMA_CELL_LOGIC
-                * self.variation.cell_logic_z(cell.bank, cell.subarray, cell.row, cell.col)
+                * self
+                    .variation
+                    .cell_logic_z(cell.bank, cell.subarray, cell.row, cell.col)
             + SIGMA_SA_LOGIC * self.variation.sense_amp_z(cell.bank, cell.stripe, cell.col);
         (c * normal_cdf(z)).clamp(0.0, 1.0)
     }
@@ -506,7 +522,9 @@ impl ReliabilityModel {
     pub fn rowclone_success_prob(&self, cell: CellRef) -> f64 {
         let z = Z_ROWCLONE
             + SIGMA_CELL_NOT
-                * self.variation.cell_not_z(cell.bank, cell.subarray, cell.row, cell.col);
+                * self
+                    .variation
+                    .cell_not_z(cell.bank, cell.subarray, cell.row, cell.col);
         normal_cdf(z)
     }
 
@@ -524,7 +542,9 @@ impl ReliabilityModel {
         };
         let z = 2.6 - BETA_TEMP_LOGIC * ev.temperature.above_baseline()
             + SIGMA_CELL_LOGIC
-                * self.variation.cell_logic_z(cell.bank, cell.subarray, cell.row, cell.col);
+                * self
+                    .variation
+                    .cell_logic_z(cell.bank, cell.subarray, cell.row, cell.col);
         (c * normal_cdf(z)).clamp(0.0, 1.0)
     }
 
@@ -532,6 +552,100 @@ impl ReliabilityModel {
     /// probability `p` succeeds on trial `trial` of event `event_key`.
     pub fn sample(&self, p: f64, event_key: u64, trial: u64) -> bool {
         self.variation.trial_unit(event_key, trial) < p
+    }
+
+    // -----------------------------------------------------------------
+    // Row-batch decomposition (the columnar fast path)
+    // -----------------------------------------------------------------
+    //
+    // Each per-cell probability is `f(row-invariant base, per-cell
+    // variation terms)`. The helpers below expose the row-invariant
+    // parts with the *same floating-point evaluation order* as the
+    // scalar entry points, so `base + σ_cell·z_cell + σ_sa·z_sa`
+    // reproduces `not_success_prob`/`logic_success_prob` bit-for-bit.
+
+    /// Column-invariant part of the NOT z-score (everything in
+    /// [`Self::not_success_prob`] except the per-cell and per-SA
+    /// variation terms).
+    pub fn not_z_base(&self, ev: &NotEvent) -> f64 {
+        use crate::variation::DistanceRegion;
+        let lf = load_fraction(ev.total_rows);
+        let src_z =
+            SRC_REGION_Z_NOT[DistanceRegion::from_normalized(ev.src_dist.clamp(0.0, 1.0)) as usize];
+        let dst_z =
+            DST_REGION_Z_NOT[DistanceRegion::from_normalized(ev.dst_dist.clamp(0.0, 1.0)) as usize];
+        self.z0_not + self.delta_not - ALPHA_LOAD_NOT * (ev.total_rows.max(2) - 2) as f64
+            + lf * (src_z + dst_z)
+            - BETA_TEMP_NOT * ev.temperature.above_baseline()
+    }
+
+    /// Column-invariant prefix of the logic z-score: the solved base z
+    /// plus this chip's die and speed shifts. `None` for unsupported
+    /// input counts (the scalar path scores those 0).
+    pub fn logic_z_prefix(&self, op: LogicOp, n: usize) -> Option<f64> {
+        let ni = n_index(n)?;
+        let oi = match op {
+            LogicOp::And => 0,
+            LogicOp::Nand => 1,
+            LogicOp::Or => 2,
+            LogicOp::Nor => 3,
+        };
+        Some(
+            self.z_logic[oi][ni]
+                + w_die(op, ni) * self.delta_die_logic
+                + w_speed(op, ni) * self.delta_speed_logic,
+        )
+    }
+
+    /// Bitline-coupling penalty coefficient for `op`'s family.
+    #[inline]
+    pub fn coupling(op: LogicOp) -> f64 {
+        if op.is_and_family() {
+            COUPLING_AND
+        } else {
+            COUPLING_OR
+        }
+    }
+
+    /// Design-induced distance term of the logic z-score for one
+    /// result row.
+    #[inline]
+    pub fn logic_dist_term(op: LogicOp, com_dist: f64, ref_dist: f64) -> f64 {
+        w_distance(op)
+            * (DIST_COM_LOGIC * (0.5 - com_dist.clamp(0.0, 1.0))
+                + DIST_REF_LOGIC * (0.5 - ref_dist.clamp(0.0, 1.0)))
+    }
+
+    /// Margin-class success multiplier for `op` at `n` inputs.
+    pub fn margin_multiplier(op: LogicOp, n: usize, class: MarginClass) -> f64 {
+        let Some(ni) = n_index(n) else { return 0.0 };
+        let fam = if op.is_and_family() { 0 } else { 1 };
+        match class {
+            MarginClass::Critical => C_CRIT[fam][ni],
+            MarginClass::Marginal => C_MOD[fam][ni],
+            MarginClass::Near => C_NEAR,
+            MarginClass::Comfortable => 1.0,
+        }
+    }
+
+    /// Temperature term of the logic/majority z-score.
+    #[inline]
+    pub fn logic_temp_term(temperature: Temperature) -> f64 {
+        BETA_TEMP_LOGIC * temperature.above_baseline()
+    }
+
+    /// Margin multiplier of [`Self::maj_success_prob`].
+    #[inline]
+    pub fn maj_multiplier(margin_cells: f64) -> f64 {
+        if margin_cells < 0.75 {
+            0.55
+        } else if margin_cells < 1.5 {
+            0.93
+        } else if margin_cells < 2.5 {
+            0.99
+        } else {
+            1.0
+        }
     }
 }
 
@@ -607,8 +721,10 @@ mod tests {
                 dst_dist: 0.5,
                 temperature: Temperature::BASELINE,
             };
-            let mean: f64 =
-                (0..400).map(|i| m.not_success_prob(&ev, cell(i))).sum::<f64>() / 400.0;
+            let mean: f64 = (0..400)
+                .map(|i| m.not_success_prob(&ev, cell(i)))
+                .sum::<f64>()
+                / 400.0;
             assert!(mean < last, "k={k}: {mean} !< {last}");
             last = mean;
         }
@@ -621,7 +737,10 @@ mod tests {
         let fleet = table1();
         let mut num = 0.0;
         let mut den = 0.0;
-        for cfg in fleet.iter().filter(|c| c.supports_n2n && c.max_merge_groups >= 4) {
+        for cfg in fleet
+            .iter()
+            .filter(|c| c.supports_n2n && c.max_merge_groups >= 4)
+        {
             let m = ReliabilityModel::new(cfg, cfg.chip_seed(ChipId(0)));
             let mean: f64 = (0..600)
                 .map(|i| {
@@ -651,10 +770,14 @@ mod tests {
             dst_dist: 0.5,
             temperature: Temperature::celsius(t),
         };
-        let p50: f64 =
-            (0..400).map(|i| m.not_success_prob(&mk(50.0), cell(i))).sum::<f64>() / 400.0;
-        let p95: f64 =
-            (0..400).map(|i| m.not_success_prob(&mk(95.0), cell(i))).sum::<f64>() / 400.0;
+        let p50: f64 = (0..400)
+            .map(|i| m.not_success_prob(&mk(50.0), cell(i)))
+            .sum::<f64>()
+            / 400.0;
+        let p95: f64 = (0..400)
+            .map(|i| m.not_success_prob(&mk(95.0), cell(i)))
+            .sum::<f64>()
+            / 400.0;
         assert!(p50 >= p95, "hotter must not help");
         assert!(p50 - p95 < 0.01, "NOT temp drift too large: {}", p50 - p95);
     }
@@ -669,10 +792,14 @@ mod tests {
             dst_dist: 0.5,
             temperature: Temperature::BASELINE,
         };
-        let middle: f64 =
-            (0..400).map(|i| m.not_success_prob(&mk(0.5), cell(i))).sum::<f64>() / 400.0;
-        let far: f64 =
-            (0..400).map(|i| m.not_success_prob(&mk(0.95), cell(i))).sum::<f64>() / 400.0;
+        let middle: f64 = (0..400)
+            .map(|i| m.not_success_prob(&mk(0.5), cell(i)))
+            .sum::<f64>()
+            / 400.0;
+        let far: f64 = (0..400)
+            .map(|i| m.not_success_prob(&mk(0.95), cell(i)))
+            .sum::<f64>()
+            / 400.0;
         assert!(middle > far + 0.03, "middle={middle} far={far}");
     }
 
@@ -685,10 +812,14 @@ mod tests {
             dst_dist: dst,
             temperature: Temperature::BASELINE,
         };
-        let close: f64 =
-            (0..400).map(|i| m.not_success_prob(&mk(0.1), cell(i))).sum::<f64>() / 400.0;
-        let far: f64 =
-            (0..400).map(|i| m.not_success_prob(&mk(0.9), cell(i))).sum::<f64>() / 400.0;
+        let close: f64 = (0..400)
+            .map(|i| m.not_success_prob(&mk(0.1), cell(i)))
+            .sum::<f64>()
+            / 400.0;
+        let far: f64 = (0..400)
+            .map(|i| m.not_success_prob(&mk(0.9), cell(i)))
+            .sum::<f64>()
+            / 400.0;
         assert!(far > close, "far={far} close={close}");
     }
 
@@ -812,12 +943,23 @@ mod tests {
                 ref_dist: 0.5,
                 temperature: Temperature::BASELINE,
             };
-            let rand_p: f64 =
-                (0..400).map(|i| m.logic_success_prob(&mk(1.0), cell(i))).sum::<f64>() / 400.0;
-            let unif_p: f64 =
-                (0..400).map(|i| m.logic_success_prob(&mk(0.0), cell(i))).sum::<f64>() / 400.0;
-            assert!(unif_p > rand_p, "{op:?}: uniform {unif_p} !> random {rand_p}");
-            assert!(unif_p - rand_p < 0.06, "{op:?}: gap too large {}", unif_p - rand_p);
+            let rand_p: f64 = (0..400)
+                .map(|i| m.logic_success_prob(&mk(1.0), cell(i)))
+                .sum::<f64>()
+                / 400.0;
+            let unif_p: f64 = (0..400)
+                .map(|i| m.logic_success_prob(&mk(0.0), cell(i)))
+                .sum::<f64>()
+                / 400.0;
+            assert!(
+                unif_p > rand_p,
+                "{op:?}: uniform {unif_p} !> random {rand_p}"
+            );
+            assert!(
+                unif_p - rand_p < 0.06,
+                "{op:?}: gap too large {}",
+                unif_p - rand_p
+            );
         }
     }
 
@@ -833,10 +975,14 @@ mod tests {
             ref_dist: 0.5,
             temperature: Temperature::celsius(t),
         };
-        let p50: f64 =
-            (0..400).map(|i| m.logic_success_prob(&mk(50.0), cell(i))).sum::<f64>() / 400.0;
-        let p95: f64 =
-            (0..400).map(|i| m.logic_success_prob(&mk(95.0), cell(i))).sum::<f64>() / 400.0;
+        let p50: f64 = (0..400)
+            .map(|i| m.logic_success_prob(&mk(50.0), cell(i)))
+            .sum::<f64>()
+            / 400.0;
+        let p95: f64 = (0..400)
+            .map(|i| m.logic_success_prob(&mk(95.0), cell(i)))
+            .sum::<f64>()
+            / 400.0;
         assert!(p50 > p95);
         assert!(p50 - p95 < 0.035, "drift {}", p50 - p95);
     }
@@ -864,8 +1010,14 @@ mod tests {
         };
         let m1 = ReliabilityModel::new(c2133, c2133.chip_seed(ChipId(0)));
         let m2 = ReliabilityModel::new(c2400, c2400.chip_seed(ChipId(0)));
-        let p1: f64 = (0..400).map(|i| m1.logic_success_prob(&mk(i), cell(i))).sum::<f64>() / 400.0;
-        let p2: f64 = (0..400).map(|i| m2.logic_success_prob(&mk(i), cell(i))).sum::<f64>() / 400.0;
+        let p1: f64 = (0..400)
+            .map(|i| m1.logic_success_prob(&mk(i), cell(i)))
+            .sum::<f64>()
+            / 400.0;
+        let p2: f64 = (0..400)
+            .map(|i| m2.logic_success_prob(&mk(i), cell(i)))
+            .sum::<f64>()
+            / 400.0;
         // The paper quotes −29.89% for the speed group; this compares
         // only the die-advantaged 4Gb A x4 module. Under the fleet-mean
         // constraint of Fig. 15 the per-module dip is ≈−10%; the group
@@ -876,7 +1028,10 @@ mod tests {
     #[test]
     fn rowclone_is_very_reliable() {
         let (_, m) = model_for(0);
-        let mean: f64 = (0..400).map(|i| m.rowclone_success_prob(cell(i))).sum::<f64>() / 400.0;
+        let mean: f64 = (0..400)
+            .map(|i| m.rowclone_success_prob(cell(i)))
+            .sum::<f64>()
+            / 400.0;
         assert!(mean > 0.99, "{mean}");
     }
 
@@ -887,6 +1042,62 @@ mod tests {
         let hits = (0..20_000).filter(|t| m.sample(p, 0xE7, *t)).count();
         let rate = hits as f64 / 20_000.0;
         assert!((rate - p).abs() < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn row_batch_decomposition_matches_scalar_bitwise() {
+        use crate::math::normal_cdf;
+        let (_, m) = model_for(0);
+        let v = m.variation();
+        for i in 0..200 {
+            let cellref = cell(i);
+            let t = Temperature::celsius(50.0 + (i % 46) as f64);
+            let ev = NotEvent {
+                total_rows: 2 + i % 30,
+                src_dist: unit(i, 1),
+                dst_dist: unit(i, 2),
+                temperature: t,
+            };
+            let cz = v.cell_not_z(cellref.bank, cellref.subarray, cellref.row, cellref.col);
+            let sz = v.sense_amp_z(cellref.bank, cellref.stripe, cellref.col);
+            let batch = normal_cdf(m.not_z_base(&ev) + SIGMA_CELL_NOT * cz + SIGMA_SA_NOT * sz)
+                .clamp(0.0, 1.0);
+            assert_eq!(batch, m.not_success_prob(&ev, cellref), "NOT case {i}");
+
+            for op in LogicOp::ALL {
+                let class = [
+                    MarginClass::Critical,
+                    MarginClass::Marginal,
+                    MarginClass::Near,
+                    MarginClass::Comfortable,
+                ][i % 4];
+                let n = [2usize, 4, 8, 16][i % 4];
+                let mm = unit(i, 3);
+                let lev = LogicEvent {
+                    op,
+                    n,
+                    margin_class: class,
+                    neighbor_mismatch: mm,
+                    com_dist: unit(i, 4),
+                    ref_dist: unit(i, 5),
+                    temperature: t,
+                };
+                let lz = v.cell_logic_z(cellref.bank, cellref.subarray, cellref.row, cellref.col);
+                let z = m.logic_z_prefix(op, n).unwrap()
+                    - ReliabilityModel::coupling(op) * mm.clamp(0.0, 1.0)
+                    + ReliabilityModel::logic_dist_term(op, lev.com_dist, lev.ref_dist)
+                    - ReliabilityModel::logic_temp_term(t)
+                    + SIGMA_CELL_LOGIC * lz
+                    + SIGMA_SA_LOGIC * sz;
+                let c = ReliabilityModel::margin_multiplier(op, n, class);
+                let batch = (c * normal_cdf(z)).clamp(0.0, 1.0);
+                assert_eq!(
+                    batch,
+                    m.logic_success_prob(&lev, cellref),
+                    "{op:?} case {i}"
+                );
+            }
+        }
     }
 
     #[test]

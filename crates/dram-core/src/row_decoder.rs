@@ -78,9 +78,11 @@ impl MultiActivation {
     /// `(N_RF, N_RL)` for cross-subarray outcomes, `None` otherwise.
     pub fn cross_shape(&self) -> Option<(usize, usize)> {
         match self {
-            MultiActivation::CrossSubarray { first_rows, second_rows, .. } => {
-                Some((first_rows.len(), second_rows.len()))
-            }
+            MultiActivation::CrossSubarray {
+                first_rows,
+                second_rows,
+                ..
+            } => Some((first_rows.len(), second_rows.len())),
             _ => None,
         }
     }
@@ -232,8 +234,11 @@ impl RowDecoder {
             let merged = self.merged_groups(loc_f, loc_l);
             let b8_f = loc_f.index() >> 8;
             let b8_l = loc_l.index() >> 8;
-            let sections: Vec<usize> =
-                if b8_f == b8_l { vec![b8_f] } else { vec![b8_f.min(b8_l), b8_f.max(b8_l)] };
+            let sections: Vec<usize> = if b8_f == b8_l {
+                vec![b8_f]
+            } else {
+                vec![b8_f.min(b8_l), b8_f.max(b8_l)]
+            };
             let mut rows = self.expand(loc_l, loc_f, &merged, &sections);
             // The addressed rows are always part of the raised set.
             if !rows.contains(&loc_f) {
@@ -267,9 +272,8 @@ impl RowDecoder {
         let s = merged.len().min(4);
         let b8_f = loc_f.index() >> 8;
         let b8_l = loc_l.index() >> 8;
-        let section_merges = self.supports_n2n
-            && b8_f != b8_l
-            && self.pair_unit(rf, rl, 0x5EC) < self.q_section[s];
+        let section_merges =
+            self.supports_n2n && b8_f != b8_l && self.pair_unit(rf, rl, 0x5EC) < self.q_section[s];
 
         let first_rows = self.expand(loc_f, loc_l, &merged, &[b8_f]);
         let second_sections: Vec<usize> = if section_merges {
@@ -278,21 +282,38 @@ impl RowDecoder {
             vec![b8_l]
         };
         let second_rows = self.expand(loc_l, loc_f, &merged, &second_sections);
-        let kind = if section_merges { PatternKind::N2N } else { PatternKind::NN };
-        MultiActivation::CrossSubarray { first_rows, second_rows, kind, simultaneous: true }
+        let kind = if section_merges {
+            PatternKind::N2N
+        } else {
+            PatternKind::NN
+        };
+        MultiActivation::CrossSubarray {
+            first_rows,
+            second_rows,
+            kind,
+            simultaneous: true,
+        }
     }
 
     /// Fast shape-only variant of [`RowDecoder::activation`] for
     /// coverage scans (no row-set allocation).
-    pub fn activation_shape(&self, geom: &Geometry, rf: GlobalRow, rl: GlobalRow) -> ActivationShape {
+    pub fn activation_shape(
+        &self,
+        geom: &Geometry,
+        rf: GlobalRow,
+        rl: GlobalRow,
+    ) -> ActivationShape {
         match self.activation(geom, rf, rl) {
-            MultiActivation::CrossSubarray { first_rows, second_rows, kind, simultaneous: true } => {
-                ActivationShape::Cross {
-                    n_rf: first_rows.len() as u8,
-                    n_rl: second_rows.len() as u8,
-                    kind,
-                }
-            }
+            MultiActivation::CrossSubarray {
+                first_rows,
+                second_rows,
+                kind,
+                simultaneous: true,
+            } => ActivationShape::Cross {
+                n_rf: first_rows.len() as u8,
+                n_rl: second_rows.len() as u8,
+                kind,
+            },
             _ => ActivationShape::None,
         }
     }
@@ -339,8 +360,12 @@ mod tests {
         for i in 0..2000usize {
             let rf = GlobalRow(i % 512);
             let rl = GlobalRow(512 + (i * 7) % 512);
-            if let MultiActivation::CrossSubarray { first_rows, second_rows, kind, .. } =
-                dec.activation(&geom, rf, rl)
+            if let MultiActivation::CrossSubarray {
+                first_rows,
+                second_rows,
+                kind,
+                ..
+            } = dec.activation(&geom, rf, rl)
             {
                 seen_cross += 1;
                 let (nf, nl) = (first_rows.len(), second_rows.len());
@@ -371,7 +396,11 @@ mod tests {
             }
         }
         let rate = hits as f64 / total as f64;
-        assert!((rate - dec.p_glitch()).abs() < 0.02, "rate={rate} p={}", dec.p_glitch());
+        assert!(
+            (rate - dec.p_glitch()).abs() < 0.02,
+            "rate={rate} p={}",
+            dec.p_glitch()
+        );
     }
 
     #[test]
@@ -386,7 +415,12 @@ mod tests {
             let rf = GlobalRow(i);
             let rl = GlobalRow(512 + (i * 3) % 512);
             match dec.activation(&geom, rf, rl) {
-                MultiActivation::CrossSubarray { first_rows, second_rows, simultaneous, .. } => {
+                MultiActivation::CrossSubarray {
+                    first_rows,
+                    second_rows,
+                    simultaneous,
+                    ..
+                } => {
                     assert_eq!(first_rows.len(), 1);
                     assert_eq!(second_rows.len(), 1);
                     assert!(!simultaneous);
@@ -418,7 +452,10 @@ mod tests {
 
     #[test]
     fn n2n_only_when_supported() {
-        let cfg = table1().into_iter().find(|m| !m.supports_n2n).expect("an N:N-only module");
+        let cfg = table1()
+            .into_iter()
+            .find(|m| !m.supports_n2n)
+            .expect("an N:N-only module");
         let geom = cfg.geometry();
         let dec = RowDecoder::new(&cfg, cfg.chip_seed(ChipId(0)));
         for i in 0..5000usize {
@@ -432,7 +469,10 @@ mod tests {
 
     #[test]
     fn merge_group_limit_caps_row_count() {
-        let cfg = table1().into_iter().find(|m| m.max_merge_groups == 3).unwrap();
+        let cfg = table1()
+            .into_iter()
+            .find(|m| m.max_merge_groups == 3)
+            .unwrap();
         let geom = cfg.geometry();
         let dec = RowDecoder::new(&cfg, cfg.chip_seed(ChipId(0)));
         for i in 0..5000usize {
@@ -458,7 +498,10 @@ mod tests {
                 found = true;
             }
         }
-        assert!(found, "expected at least one glitching identical-low-bits pair");
+        assert!(
+            found,
+            "expected at least one glitching identical-low-bits pair"
+        );
     }
 
     #[test]
@@ -467,7 +510,8 @@ mod tests {
         for i in 0..3000usize {
             let rf = GlobalRow((i * 7) % 512);
             let rl = GlobalRow(512 + (i * 31) % 512);
-            if let MultiActivation::CrossSubarray { second_rows, .. } = dec.activation(&geom, rf, rl)
+            if let MultiActivation::CrossSubarray { second_rows, .. } =
+                dec.activation(&geom, rf, rl)
             {
                 let loc_l = rl.index() % 512;
                 for r in &second_rows {

@@ -17,7 +17,10 @@ pub struct Subarray {
 impl Subarray {
     /// Creates an empty (all rows unallocated ⇒ logic-0) subarray.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Subarray { rows: vec![None; rows], cols }
+        Subarray {
+            rows: vec![None; rows],
+            cols,
+        }
     }
 
     /// Number of rows.
@@ -83,7 +86,10 @@ impl Subarray {
     /// Reads a full row of bits.
     pub fn read_bits(&self, row: LocalRow, vdd: f64) -> Vec<Bit> {
         match self.row(row) {
-            Some(r) => r.iter().map(|v| Bit::from(f64::from(*v) > vdd / 2.0)).collect(),
+            Some(r) => r
+                .iter()
+                .map(|v| Bit::from(f64::from(*v) > vdd / 2.0))
+                .collect(),
             None => vec![Bit::Zero; self.cols],
         }
     }

@@ -25,8 +25,12 @@ pub enum SpeedBin {
 
 impl SpeedBin {
     /// All speed bins in ascending transfer-rate order.
-    pub const ALL: [SpeedBin; 4] =
-        [SpeedBin::Mt2133, SpeedBin::Mt2400, SpeedBin::Mt2666, SpeedBin::Mt3200];
+    pub const ALL: [SpeedBin; 4] = [
+        SpeedBin::Mt2133,
+        SpeedBin::Mt2400,
+        SpeedBin::Mt2666,
+        SpeedBin::Mt3200,
+    ];
 
     /// Transfer rate in mega-transfers per second.
     #[inline]
@@ -88,7 +92,12 @@ pub struct TimingParams {
 impl TimingParams {
     /// JEDEC-flavored defaults for the modeled DDR4 chips.
     pub const fn ddr4_default() -> Self {
-        TimingParams { t_ras_ns: 32.0, t_rp_ns: 13.5, t_rcd_ns: 13.5, t_refi_ns: 7_800.0 }
+        TimingParams {
+            t_ras_ns: 32.0,
+            t_rp_ns: 13.5,
+            t_rcd_ns: 13.5,
+            t_refi_ns: 7_800.0,
+        }
     }
 
     /// Whether an ACT→PRE gap of `gap_ns` respects tRAS.
@@ -168,7 +177,11 @@ mod tests {
         for bin in SpeedBin::ALL {
             // tCK = 2000 / MT/s (DDR transfers twice per clock).
             let expect = 2000.0 / bin.mts() as f64;
-            assert!((bin.tck_ns() - expect).abs() < 2e-3, "{bin}: {} vs {expect}", bin.tck_ns());
+            assert!(
+                (bin.tck_ns() - expect).abs() < 2e-3,
+                "{bin}: {} vs {expect}",
+                bin.tck_ns()
+            );
         }
     }
 

@@ -31,6 +31,7 @@ impl Bit {
     /// ```
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Bit {
         match self {
             Bit::Zero => Bit::One,
@@ -175,7 +176,7 @@ impl StripeSide {
     /// `(c + s)` is even, `Below` otherwise.
     #[inline]
     pub fn of(sub: SubarrayId, col: Col) -> StripeSide {
-        if (col.0 + sub.0) % 2 == 0 {
+        if (col.0 + sub.0).is_multiple_of(2) {
             StripeSide::Above
         } else {
             StripeSide::Below
@@ -238,7 +239,11 @@ mod tests {
 
     #[test]
     fn rowloc_display() {
-        let loc = RowLoc { bank: BankId(1), subarray: SubarrayId(2), row: LocalRow(37) };
+        let loc = RowLoc {
+            bank: BankId(1),
+            subarray: SubarrayId(2),
+            row: LocalRow(37),
+        };
         assert_eq!(loc.to_string(), "b1/s2/r37");
     }
 
@@ -269,7 +274,9 @@ mod tests {
     #[test]
     fn half_the_columns_are_shared() {
         let n = 64usize;
-        let shared = (0..n).filter(|c| is_shared_col(SubarrayId(2), Col(*c))).count();
+        let shared = (0..n)
+            .filter(|c| is_shared_col(SubarrayId(2), Col(*c)))
+            .count();
         assert_eq!(shared, n / 2);
     }
 

@@ -13,10 +13,12 @@
 //!   access characteristics. We expose the normalized distance of a row
 //!   to a given stripe and the paper's Close/Middle/Far tertiles.
 
-use crate::math::{hash_to_normal, mix4};
+use crate::math::{hash_to_normal, mix3, mix4, splitmix64};
 use crate::types::{BankId, Col, LocalRow, StripeSide, SubarrayId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Distance tertile of a row relative to a sense-amplifier stripe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -31,8 +33,11 @@ pub enum DistanceRegion {
 
 impl DistanceRegion {
     /// All regions in increasing distance order.
-    pub const ALL: [DistanceRegion; 3] =
-        [DistanceRegion::Close, DistanceRegion::Middle, DistanceRegion::Far];
+    pub const ALL: [DistanceRegion; 3] = [
+        DistanceRegion::Close,
+        DistanceRegion::Middle,
+        DistanceRegion::Far,
+    ];
 
     /// Buckets a normalized distance (0 = adjacent to the stripe,
     /// 1 = farthest row) into a tertile.
@@ -105,7 +110,9 @@ pub const NOT_LOGIC_CORRELATION: f64 = 0.35;
 impl ProcessVariation {
     /// Creates the variation oracle for a chip.
     pub fn new(chip_seed: u64) -> Self {
-        ProcessVariation { seed: crate::math::mix2(chip_seed, 0xFAB5) }
+        ProcessVariation {
+            seed: crate::math::mix2(chip_seed, 0xFAB5),
+        }
     }
 
     /// Standard-normal deviation of a cell's NOT/restore behaviour.
@@ -142,7 +149,12 @@ impl ProcessVariation {
     /// Stripe `i` is the SA row between subarrays `i-1` and `i`; stripe
     /// indices run 0..=subarrays (edges included).
     pub fn sense_amp_z(&self, bank: BankId, stripe: usize, col: Col) -> f64 {
-        let h = mix4(self.seed ^ 0x5A5A, bank.index() as u64, stripe as u64, col.index() as u64);
+        let h = mix4(
+            self.seed ^ 0x5A5A,
+            bank.index() as u64,
+            stripe as u64,
+            col.index() as u64,
+        );
         hash_to_normal(h)
     }
 
@@ -177,6 +189,213 @@ impl ProcessVariation {
         );
         60_000.0 * (0.55 * hash_to_normal(h)).exp()
     }
+
+    // -----------------------------------------------------------------
+    // Row-batch variants (the columnar fast path)
+    // -----------------------------------------------------------------
+    //
+    // `mix4(a, b, c, col)` is `splitmix64(mix3(a, b, c) ^ rotl(col, 7))`,
+    // so the first three mix stages are column-invariant and can be
+    // hoisted out of the column loop. Every fill below is bit-identical
+    // to calling the scalar accessor per column.
+
+    #[inline]
+    fn row_prefix(&self, tag: u64, bank: BankId, sub: SubarrayId, row: LocalRow) -> u64 {
+        mix3(
+            self.seed ^ tag,
+            bank.index() as u64,
+            ((sub.index() as u64) << 32) | row.index() as u64,
+        )
+    }
+
+    /// Fills `out[c]` with [`Self::cell_not_z`] for every column.
+    pub fn fill_cell_not_z(&self, bank: BankId, sub: SubarrayId, row: LocalRow, out: &mut [f64]) {
+        let pre = self.row_prefix(0x0717, bank, sub, row);
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = hash_to_normal(splitmix64(pre ^ (c as u64).rotate_left(7)));
+        }
+    }
+
+    /// Fills `out[c]` with [`Self::cell_logic_z`] for every column.
+    pub fn fill_cell_logic_z(&self, bank: BankId, sub: SubarrayId, row: LocalRow, out: &mut [f64]) {
+        let rho = NOT_LOGIC_CORRELATION;
+        let w = (1.0 - rho * rho).sqrt();
+        let pre_logic = self.row_prefix(0x106C, bank, sub, row);
+        let pre_not = self.row_prefix(0x0717, bank, sub, row);
+        for (c, slot) in out.iter_mut().enumerate() {
+            let key = (c as u64).rotate_left(7);
+            let indep = hash_to_normal(splitmix64(pre_logic ^ key));
+            let not_z = hash_to_normal(splitmix64(pre_not ^ key));
+            *slot = rho * not_z + w * indep;
+        }
+    }
+
+    /// Fills `out[c]` with [`Self::sense_amp_z`] for every column of a
+    /// stripe.
+    pub fn fill_sense_amp_z(&self, bank: BankId, stripe: usize, out: &mut [f64]) {
+        let pre = mix3(self.seed ^ 0x5A5A, bank.index() as u64, stripe as u64);
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = hash_to_normal(splitmix64(pre ^ (c as u64).rotate_left(7)));
+        }
+    }
+
+    /// Fills `out[c]` with [`Self::frac_level_factor`] for every column.
+    pub fn fill_frac_level_factor(
+        &self,
+        bank: BankId,
+        sub: SubarrayId,
+        row: LocalRow,
+        out: &mut [f64],
+    ) {
+        let pre = self.row_prefix(0xF2AC, bank, sub, row);
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = 1.0 + 0.04 * hash_to_normal(splitmix64(pre ^ (c as u64).rotate_left(7)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cached per-row variation arrays
+// ---------------------------------------------------------------------
+
+/// Memoized per-row static-variation arrays.
+///
+/// The scalar accessors on [`ProcessVariation`] re-derive every cell's
+/// z-score from the chip seed on each call — three 64-bit mixes plus an
+/// inverse-normal per cell per operation. Operations touch the same
+/// scratch rows over and over, so the chip keeps these arrays cached:
+/// first touch fills a row (`O(cols)`), every later operation is an
+/// `Arc` clone. Shared `Arc<[f64]>` slices also let the threaded column
+/// kernels borrow rows without copying.
+#[derive(Debug, Clone, Default)]
+pub struct VariationCache {
+    not_z: HashMap<(u32, u32, u32), Arc<[f64]>>,
+    logic_z: HashMap<(u32, u32, u32), Arc<[f64]>>,
+    sa_z: HashMap<(u32, u32), Arc<[f64]>>,
+    frac: HashMap<(u32, u32, u32), Arc<[f64]>>,
+}
+
+/// Fetches a cached row, refilling when absent or when the requested
+/// width differs from the cached one (callers normally always pass the
+/// chip's fixed column count; the check closes the trap if they don't).
+fn cached_row<F>(
+    map: &mut HashMap<(u32, u32, u32), Arc<[f64]>>,
+    key: (u32, u32, u32),
+    cols: usize,
+    fill: F,
+) -> Arc<[f64]>
+where
+    F: Fn(&mut [f64]),
+{
+    if map.len() >= CACHE_ROW_CAP {
+        map.clear();
+    }
+    let entry = map.entry(key).or_insert_with(|| {
+        let mut buf = vec![0.0; cols];
+        fill(&mut buf);
+        buf.into()
+    });
+    if entry.len() != cols {
+        let mut buf = vec![0.0; cols];
+        fill(&mut buf);
+        *entry = buf.into();
+    }
+    entry.clone()
+}
+
+/// Soft cap on cached rows per kind; beyond this the map is cleared
+/// (operations cycle through a small set of scratch rows, so the cap
+/// only guards pathological access patterns).
+const CACHE_ROW_CAP: usize = 8192;
+
+impl VariationCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        VariationCache::default()
+    }
+
+    /// Number of cached rows across all kinds (for tests/diagnostics).
+    pub fn cached_rows(&self) -> usize {
+        self.not_z.len() + self.logic_z.len() + self.sa_z.len() + self.frac.len()
+    }
+
+    /// Cached [`ProcessVariation::cell_not_z`] row.
+    pub fn not_z(
+        &mut self,
+        v: &ProcessVariation,
+        bank: BankId,
+        sub: SubarrayId,
+        row: LocalRow,
+        cols: usize,
+    ) -> Arc<[f64]> {
+        cached_row(
+            &mut self.not_z,
+            (bank.index() as u32, sub.index() as u32, row.index() as u32),
+            cols,
+            |buf| v.fill_cell_not_z(bank, sub, row, buf),
+        )
+    }
+
+    /// Cached [`ProcessVariation::cell_logic_z`] row.
+    pub fn logic_z(
+        &mut self,
+        v: &ProcessVariation,
+        bank: BankId,
+        sub: SubarrayId,
+        row: LocalRow,
+        cols: usize,
+    ) -> Arc<[f64]> {
+        cached_row(
+            &mut self.logic_z,
+            (bank.index() as u32, sub.index() as u32, row.index() as u32),
+            cols,
+            |buf| v.fill_cell_logic_z(bank, sub, row, buf),
+        )
+    }
+
+    /// Cached [`ProcessVariation::sense_amp_z`] stripe row.
+    pub fn sa_z(
+        &mut self,
+        v: &ProcessVariation,
+        bank: BankId,
+        stripe: usize,
+        cols: usize,
+    ) -> Arc<[f64]> {
+        if self.sa_z.len() >= CACHE_ROW_CAP {
+            self.sa_z.clear();
+        }
+        let entry = self
+            .sa_z
+            .entry((bank.index() as u32, stripe as u32))
+            .or_insert_with(|| {
+                let mut buf = vec![0.0; cols];
+                v.fill_sense_amp_z(bank, stripe, &mut buf);
+                buf.into()
+            });
+        if entry.len() != cols {
+            let mut buf = vec![0.0; cols];
+            v.fill_sense_amp_z(bank, stripe, &mut buf);
+            *entry = buf.into();
+        }
+        entry.clone()
+    }
+
+    /// Cached [`ProcessVariation::frac_level_factor`] row.
+    pub fn frac_factor(
+        &mut self,
+        v: &ProcessVariation,
+        bank: BankId,
+        sub: SubarrayId,
+        row: LocalRow,
+        cols: usize,
+    ) -> Arc<[f64]> {
+        cached_row(
+            &mut self.frac,
+            (bank.index() as u32, sub.index() as u32, row.index() as u32),
+            cols,
+            |buf| v.fill_frac_level_factor(bank, sub, row, buf),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +405,10 @@ mod tests {
     #[test]
     fn regions_partition_unit_interval() {
         assert_eq!(DistanceRegion::from_normalized(0.0), DistanceRegion::Close);
-        assert_eq!(DistanceRegion::from_normalized(0.34), DistanceRegion::Middle);
+        assert_eq!(
+            DistanceRegion::from_normalized(0.34),
+            DistanceRegion::Middle
+        );
         assert_eq!(DistanceRegion::from_normalized(0.99), DistanceRegion::Far);
         assert_eq!(DistanceRegion::from_normalized(1.0), DistanceRegion::Far);
     }
@@ -211,9 +433,18 @@ mod tests {
     #[test]
     fn row_region_tertiles() {
         let rows = 512;
-        assert_eq!(row_region(LocalRow(0), rows, StripeSide::Above), DistanceRegion::Close);
-        assert_eq!(row_region(LocalRow(256), rows, StripeSide::Above), DistanceRegion::Middle);
-        assert_eq!(row_region(LocalRow(511), rows, StripeSide::Above), DistanceRegion::Far);
+        assert_eq!(
+            row_region(LocalRow(0), rows, StripeSide::Above),
+            DistanceRegion::Close
+        );
+        assert_eq!(
+            row_region(LocalRow(256), rows, StripeSide::Above),
+            DistanceRegion::Middle
+        );
+        assert_eq!(
+            row_region(LocalRow(511), rows, StripeSide::Above),
+            DistanceRegion::Far
+        );
     }
 
     #[test]
@@ -247,8 +478,12 @@ mod tests {
         let mut sx2 = 0.0;
         let mut sy2 = 0.0;
         for i in 0..n {
-            let (b, s, r, c) =
-                (BankId(i % 2), SubarrayId(i % 8), LocalRow((i / 16) % 512), Col(i % 64));
+            let (b, s, r, c) = (
+                BankId(i % 2),
+                SubarrayId(i % 8),
+                LocalRow((i / 16) % 512),
+                Col(i % 64),
+            );
             let x = v.cell_not_z(b, s, r, c);
             let y = v.cell_logic_z(b, s, r, c);
             sxy += x * y;
@@ -274,5 +509,63 @@ mod tests {
     fn region_mean_distances() {
         assert!((DistanceRegion::Close.mean_normalized() - 1.0 / 6.0).abs() < 1e-12);
         assert!((DistanceRegion::Far.mean_normalized() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_fills_match_scalar_accessors_bitwise() {
+        let v = ProcessVariation::new(0xFEED);
+        let cols = 96;
+        let (bank, sub, row) = (BankId(2), SubarrayId(5), LocalRow(301));
+        let mut not_z = vec![0.0; cols];
+        let mut logic_z = vec![0.0; cols];
+        let mut sa_z = vec![0.0; cols];
+        let mut frac = vec![0.0; cols];
+        v.fill_cell_not_z(bank, sub, row, &mut not_z);
+        v.fill_cell_logic_z(bank, sub, row, &mut logic_z);
+        v.fill_sense_amp_z(bank, 3, &mut sa_z);
+        v.fill_frac_level_factor(bank, sub, row, &mut frac);
+        for c in 0..cols {
+            let col = Col(c);
+            assert_eq!(not_z[c], v.cell_not_z(bank, sub, row, col), "not_z col {c}");
+            assert_eq!(
+                logic_z[c],
+                v.cell_logic_z(bank, sub, row, col),
+                "logic_z col {c}"
+            );
+            assert_eq!(sa_z[c], v.sense_amp_z(bank, 3, col), "sa_z col {c}");
+            assert_eq!(
+                frac[c],
+                v.frac_level_factor(bank, sub, row, col),
+                "frac col {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_returns_identical_rows_and_memoizes() {
+        let v = ProcessVariation::new(7);
+        let mut cache = VariationCache::new();
+        let a = cache.not_z(&v, BankId(0), SubarrayId(1), LocalRow(9), 32);
+        let b = cache.not_z(&v, BankId(0), SubarrayId(1), LocalRow(9), 32);
+        assert!(Arc::ptr_eq(&a, &b), "second access must hit the cache");
+        assert_eq!(cache.cached_rows(), 1);
+        assert_eq!(
+            a[5],
+            v.cell_not_z(BankId(0), SubarrayId(1), LocalRow(9), Col(5))
+        );
+    }
+
+    #[test]
+    fn cache_refills_on_width_mismatch() {
+        let v = ProcessVariation::new(7);
+        let mut cache = VariationCache::new();
+        let short = cache.not_z(&v, BankId(0), SubarrayId(1), LocalRow(9), 16);
+        assert_eq!(short.len(), 16);
+        let wide = cache.not_z(&v, BankId(0), SubarrayId(1), LocalRow(9), 128);
+        assert_eq!(wide.len(), 128, "wider request must refill, not truncate");
+        assert_eq!(
+            wide[90],
+            v.cell_not_z(BankId(0), SubarrayId(1), LocalRow(9), Col(90))
+        );
     }
 }

@@ -1,0 +1,100 @@
+//! The content tree all serialization flows through.
+
+/// A self-describing value tree (the shim's serde data model).
+///
+/// `serde_json` maps this 1:1 onto JSON: `UInt`/`Int`/`Float` all
+/// render as JSON numbers, `Object` preserves insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (used for `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Content>),
+    /// Ordered key/value map.
+    Object(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The object body, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The array body, if this is an array.
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (accepts all three number variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::UInt(u) => Some(*u as f64),
+            Content::Int(i) => Some(*i as f64),
+            Content::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::UInt(u) => Some(*u),
+            Content::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::UInt(u) => i64::try_from(*u).ok(),
+            Content::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::UInt(_) | Content::Int(_) => "integer",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Array(_) => "array",
+            Content::Object(_) => "object",
+        }
+    }
+}

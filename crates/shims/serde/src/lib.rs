@@ -1,0 +1,89 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the real `serde` cannot be vendored. This shim keeps the same names
+//! (`Serialize`, `Deserialize`, derive macros, `serde::de`) but uses a
+//! much simpler data model: values serialize to a [`Content`] tree
+//! (`serde_json` renders that tree as JSON text and parses it back).
+//!
+//! Supported surface:
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs and
+//!   enums (unit / newtype / tuple / struct variants);
+//! * `#[serde(with = "module")]` on named struct fields, where the
+//!   module provides `fn serialize(&T) -> Content` and
+//!   `fn deserialize(&Content) -> Result<T, Error>`;
+//! * impls for primitives, `String`, `Option`, tuples, `Vec`, arrays,
+//!   and `BTreeMap`/`HashMap` with stringifiable keys.
+
+mod content;
+mod impls;
+
+pub use content::Content;
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Creates a "expected X while deserializing Y" error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error {
+            msg: format!("expected {what} while deserializing {context}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the content tree.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+/// Compatibility aliases mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Content, Deserialize, Error};
+
+    /// Owned deserialization (alias of [`Deserialize`] in this shim).
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+
+    /// Looks up a required key in an object body.
+    pub fn req<'a>(obj: &'a [(String, Content)], key: &str) -> Result<&'a Content, Error> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+
+    /// Deserializes a required field from an object body.
+    pub fn field<T: Deserialize>(obj: &[(String, Content)], key: &str) -> Result<T, Error> {
+        T::from_content(req(obj, key)?)
+    }
+}
+
+/// Compatibility aliases mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::{Content, Error, Serialize};
+}

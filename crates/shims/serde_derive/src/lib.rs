@@ -1,0 +1,449 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! No `syn`/`quote` are available offline, so this parses the item
+//! token stream directly. Supported inputs: non-generic `struct`s
+//! (named / tuple / unit) and `enum`s (unit / tuple / struct
+//! variants), plus `#[serde(with = "module")]` on named struct fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (on `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Skips leading attributes and a visibility qualifier, returning the
+/// `serde(with = "...")` path if one of the attributes carries it.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut with = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if let Some(w) = extract_serde_with(g.stream()) {
+                        with = Some(w);
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return with,
+        }
+    }
+}
+
+/// Pulls the path out of `serde(with = "path")` attribute contents.
+fn extract_serde_with(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let TokenTree::Group(inner) = tokens.get(1)? else {
+        return None;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    match (inner.first(), inner.get(1), inner.get(2)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+            if id.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Splits a field/variant list on top-level commas, tracking both
+/// delimiter groups (automatic) and angle-bracket depth (manual, since
+/// `<...>` are plain punctuation in token streams).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0usize;
+            let with = skip_attrs_and_vis(&tokens, &mut i);
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            };
+            Field { name, with }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0usize;
+            skip_attrs_and_vis(&tokens, &mut i);
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| match &f.with {
+                    Some(path) => format!(
+                        "(::std::string::String::from(\"{n}\"), {path}::serialize(&self.{n}))",
+                        n = f.name
+                    ),
+                    None => format!(
+                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content(&self.{n}))",
+                        n = f.name
+                    ),
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Content::Object(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_content(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Content::Array(vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Content::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content({n}))",
+                                    n = f.name
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Object(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| match &f.with {
+                    Some(path) => format!(
+                        "{n}: {path}::deserialize(::serde::de::req(__obj, \"{n}\")?)?",
+                        n = f.name
+                    ),
+                    None => format!("{n}: ::serde::de::field(__obj, \"{n}\")?", n = f.name),
+                })
+                .collect();
+            let body = format!(
+                "let __obj = __c.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&__a[{i}])?"))
+                .collect();
+            let body = format!(
+                "let __a = __c.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if __a.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&__a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __a = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                                     if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                                     return ::std::result::Result::Ok({name}::{vn}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{n}: ::serde::de::field(__o, \"{n}\")?", n = f.name))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __o = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                                     return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let mut body = String::new();
+            if !unit_arms.is_empty() {
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __c.as_str() {{\n\
+                         match __s {{ {} _ => {{}} }}\n\
+                     }}\n",
+                    unit_arms.join(" ")
+                ));
+            }
+            if !data_arms.is_empty() {
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(__obj) = __c.as_object() {{\n\
+                         if __obj.len() == 1 {{\n\
+                             let (__k, __v) = &__obj[0];\n\
+                             match __k.as_str() {{ {} _ => {{}} }}\n\
+                         }}\n\
+                     }}\n",
+                    data_arms.join(" ")
+                ));
+            }
+            body.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::expected(\"enum {name}\", __c.kind()))"
+            ));
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

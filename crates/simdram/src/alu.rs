@@ -44,7 +44,10 @@ use dram_core::LogicOp;
 impl<S: Substrate> SimdVm<S> {
     fn check_same_width(a: &UintVec, b: &UintVec) -> Result<()> {
         if a.width() != b.width() {
-            return Err(SimdramError::WidthMismatch { expected: a.width(), got: b.width() });
+            return Err(SimdramError::WidthMismatch {
+                expected: a.width(),
+                got: b.width(),
+            });
         }
         Ok(())
     }
@@ -78,8 +81,12 @@ impl<S: Substrate> SimdVm<S> {
 
     fn w_zip(&mut self, op: LogicOp, a: &UintVec, b: &UintVec) -> Result<UintVec> {
         Self::check_same_width(a, b)?;
-        let pairs: Vec<(BitRow, BitRow)> =
-            a.bits().iter().copied().zip(b.bits().iter().copied()).collect();
+        let pairs: Vec<(BitRow, BitRow)> = a
+            .bits()
+            .iter()
+            .copied()
+            .zip(b.bits().iter().copied())
+            .collect();
         let mut out = Vec::with_capacity(pairs.len());
         for (x, y) in pairs {
             let r = self.alloc_row()?;
@@ -112,13 +119,20 @@ impl<S: Substrate> SimdVm<S> {
         let w = first.width();
         for v in vs {
             if v.width() != w {
-                return Err(SimdramError::WidthMismatch { expected: w, got: v.width() });
+                return Err(SimdramError::WidthMismatch {
+                    expected: w,
+                    got: v.width(),
+                });
             }
         }
         let mut out = Vec::with_capacity(w);
         for i in 0..w {
             let rows: Vec<BitRow> = vs.iter().map(|v| v.bit(i)).collect();
-            out.push(if and_family { self.bit_and(&rows)? } else { self.bit_or(&rows)? });
+            out.push(if and_family {
+                self.bit_and(&rows)?
+            } else {
+                self.bit_or(&rows)?
+            });
         }
         Ok(UintVec::from_bits(out))
     }
@@ -153,8 +167,12 @@ impl<S: Substrate> SimdVm<S> {
     /// Fails on width mismatch, row exhaustion or device failure.
     pub fn wxor(&mut self, a: &UintVec, b: &UintVec) -> Result<UintVec> {
         Self::check_same_width(a, b)?;
-        let pairs: Vec<(BitRow, BitRow)> =
-            a.bits().iter().copied().zip(b.bits().iter().copied()).collect();
+        let pairs: Vec<(BitRow, BitRow)> = a
+            .bits()
+            .iter()
+            .copied()
+            .zip(b.bits().iter().copied())
+            .collect();
         let mut out = Vec::with_capacity(pairs.len());
         for (x, y) in pairs {
             out.push(self.xor(x, y)?);
@@ -257,8 +275,12 @@ impl<S: Substrate> SimdVm<S> {
     /// Fails on width mismatch, row exhaustion or device failure.
     pub fn eq(&mut self, a: &UintVec, b: &UintVec) -> Result<BitRow> {
         Self::check_same_width(a, b)?;
-        let pairs: Vec<(BitRow, BitRow)> =
-            a.bits().iter().copied().zip(b.bits().iter().copied()).collect();
+        let pairs: Vec<(BitRow, BitRow)> = a
+            .bits()
+            .iter()
+            .copied()
+            .zip(b.bits().iter().copied())
+            .collect();
         let mut xnors = Vec::with_capacity(pairs.len());
         for (x, y) in pairs {
             xnors.push(self.xnor(x, y)?);
@@ -377,8 +399,12 @@ impl<S: Substrate> SimdVm<S> {
     pub fn select(&mut self, sel: BitRow, a: &UintVec, b: &UintVec) -> Result<UintVec> {
         Self::check_same_width(a, b)?;
         let nsel = self.bit_not(sel)?;
-        let pairs: Vec<(BitRow, BitRow)> =
-            a.bits().iter().copied().zip(b.bits().iter().copied()).collect();
+        let pairs: Vec<(BitRow, BitRow)> = a
+            .bits()
+            .iter()
+            .copied()
+            .zip(b.bits().iter().copied())
+            .collect();
         let mut out = Vec::with_capacity(pairs.len());
         for (x, y) in pairs {
             let ta = self.alloc_row()?;
@@ -526,7 +552,10 @@ mod tests {
             vm.read_u64(&n).unwrap(),
             A.iter().zip(&B).map(|(a, b)| a & b).collect::<Vec<_>>()
         );
-        assert_eq!(vm.read_u64(&c).unwrap(), A.iter().map(|a| !a & 0xFF).collect::<Vec<_>>());
+        assert_eq!(
+            vm.read_u64(&c).unwrap(),
+            A.iter().map(|a| !a & 0xFF).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -570,7 +599,10 @@ mod tests {
         let b = vm.alloc_uint(4).unwrap();
         assert!(matches!(
             vm.wor_n(&[&a, &b]),
-            Err(SimdramError::WidthMismatch { expected: 8, got: 4 })
+            Err(SimdramError::WidthMismatch {
+                expected: 8,
+                got: 4
+            })
         ));
         // A single vector reduces to a copy of itself.
         vm.write_u64(&a, &A).unwrap();
@@ -646,7 +678,10 @@ mod tests {
         for i in 0..LANES {
             assert_eq!(got[i], u64::from(A[i].count_ones()), "lane {i}");
         }
-        assert!(p.width() >= 4, "8-bit popcount needs at least 4 result bits");
+        assert!(
+            p.width() >= 4,
+            "8-bit popcount needs at least 4 result bits"
+        );
     }
 
     #[test]
@@ -665,7 +700,10 @@ mod tests {
         let b = vm.alloc_uint(4).unwrap();
         assert!(matches!(
             vm.add(&a, &b),
-            Err(SimdramError::WidthMismatch { expected: 8, got: 4 })
+            Err(SimdramError::WidthMismatch {
+                expected: 8,
+                got: 4
+            })
         ));
         assert!(vm.eq(&a, &b).is_err());
         assert!(vm.select(vm.zero_row(), &a, &b).is_err());
@@ -678,15 +716,27 @@ mod tests {
         let b = load(&mut vm, 8, &B);
         let live = vm.substrate().live_rows();
         let s = vm.add(&a, &b).unwrap();
-        assert_eq!(vm.substrate().live_rows(), live + 8, "add leaves only the sum");
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live + 8,
+            "add leaves only the sum"
+        );
         vm.free_uint(s);
         let (d, borrow) = vm.sub_full(&a, &b).unwrap();
-        assert_eq!(vm.substrate().live_rows(), live + 9, "sub leaves diff + borrow");
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live + 9,
+            "sub leaves diff + borrow"
+        );
         vm.free_uint(d);
         vm.release(borrow);
         let p = vm.popcount(&a).unwrap();
         let pw = p.width();
-        assert_eq!(vm.substrate().live_rows(), live + pw, "popcount leaves its result");
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live + pw,
+            "popcount leaves its result"
+        );
         vm.free_uint(p);
         assert_eq!(vm.substrate().live_rows(), live);
     }

@@ -216,7 +216,11 @@ mod tests {
     }
 
     fn entry(op: NativeOp, executions: usize) -> TraceEntry {
-        TraceEntry { op, executions, predicted_success: 0.99 }
+        TraceEntry {
+            op,
+            executions,
+            predicted_success: 0.99,
+        }
     }
 
     #[test]

@@ -144,8 +144,16 @@ mod tests {
         let a = load(&mut vm, 8, &av);
         let b = load(&mut vm, 8, &bv);
         let (q, r) = vm.div_rem(&a, &b).unwrap();
-        assert_eq!(vm.read_u64(&q).unwrap(), vec![255; LANES], "quotient all-1s");
-        assert_eq!(vm.read_u64(&r).unwrap(), av.to_vec(), "remainder = dividend");
+        assert_eq!(
+            vm.read_u64(&q).unwrap(),
+            vec![255; LANES],
+            "quotient all-1s"
+        );
+        assert_eq!(
+            vm.read_u64(&r).unwrap(),
+            av.to_vec(),
+            "remainder = dividend"
+        );
     }
 
     #[test]
@@ -179,7 +187,11 @@ mod tests {
         let b = load(&mut vm, 6, &[3, 5, 4, 7, 1, 2, 9, 11]);
         let live = vm.substrate().live_rows();
         let (q, r) = vm.div_rem(&a, &b).unwrap();
-        assert_eq!(vm.substrate().live_rows(), live + 12, "quot + rem rows only");
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live + 12,
+            "quot + rem rows only"
+        );
         vm.free_uint(q);
         vm.free_uint(r);
         assert_eq!(vm.substrate().live_rows(), live);

@@ -66,7 +66,10 @@ impl fmt::Display for SimdramError {
                 write!(f, "vector width mismatch: expected {expected}, got {got}")
             }
             SimdramError::LaneMismatch { expected, got } => {
-                write!(f, "lane count mismatch: substrate has {expected}, data has {got}")
+                write!(
+                    f,
+                    "lane count mismatch: substrate has {expected}, data has {got}"
+                )
             }
             SimdramError::WidthUnsupported { width, max } => {
                 write!(f, "width {width} unsupported (maximum {max})")
@@ -102,10 +105,19 @@ mod tests {
     #[test]
     fn displays_are_lowercase_and_informative() {
         let cases: Vec<SimdramError> = vec![
-            SimdramError::WidthMismatch { expected: 8, got: 4 },
-            SimdramError::LaneMismatch { expected: 32, got: 31 },
+            SimdramError::WidthMismatch {
+                expected: 8,
+                got: 4,
+            },
+            SimdramError::LaneMismatch {
+                expected: 32,
+                got: 31,
+            },
             SimdramError::WidthUnsupported { width: 99, max: 64 },
-            SimdramError::ValueOverflow { value: 300, width: 8 },
+            SimdramError::ValueOverflow {
+                value: 300,
+                width: 8,
+            },
             SimdramError::Empty,
             SimdramError::BadHandle { id: 7 },
         ];

@@ -247,7 +247,10 @@ impl<S: Substrate> SimdVm<S> {
             self.substrate_mut().copy(ins[0], out)?;
             return Ok(out);
         }
-        let fan_in = self.substrate().max_fan_in().min(crate::substrate::MAX_FAN_IN);
+        let fan_in = self
+            .substrate()
+            .max_fan_in()
+            .min(crate::substrate::MAX_FAN_IN);
         let mut level: Vec<BitRow> = ins.to_vec();
         let mut owned: Vec<BitRow> = Vec::new(); // intermediates we must free
         while level.len() > 1 {
@@ -286,7 +289,10 @@ impl<S: Substrate> SimdVm<S> {
         if ins.len() == 1 {
             return self.bit_not(ins[0]);
         }
-        let fan_in = self.substrate().max_fan_in().min(crate::substrate::MAX_FAN_IN);
+        let fan_in = self
+            .substrate()
+            .max_fan_in()
+            .min(crate::substrate::MAX_FAN_IN);
         if ins.len() <= fan_in {
             return self.native(inverted, ins);
         }
@@ -329,8 +335,10 @@ mod tests {
     fn ab(vm: &mut SimdVm<HostSubstrate>) -> (BitRow, BitRow) {
         let a = vm.alloc_row().unwrap();
         let b = vm.alloc_row().unwrap();
-        vm.write_mask(a, &[false, false, true, true, false, false, true, true]).unwrap();
-        vm.write_mask(b, &[false, true, false, true, false, true, false, true]).unwrap();
+        vm.write_mask(a, &[false, false, true, true, false, false, true, true])
+            .unwrap();
+        vm.write_mask(b, &[false, true, false, true, false, true, false, true])
+            .unwrap();
         (a, b)
     }
 
@@ -359,7 +367,8 @@ mod tests {
         let mut vm = vm();
         let (a, b) = ab(&mut vm);
         let c = vm.alloc_row().unwrap();
-        vm.write_mask(c, &[false, false, false, false, true, true, true, true]).unwrap();
+        vm.write_mask(c, &[false, false, false, false, true, true, true, true])
+            .unwrap();
         let m = vm.maj(a, b, c).unwrap();
         // maj(a,b,c) over the 8 (a,b,c) combinations 000..111.
         assert_eq!(
@@ -373,7 +382,8 @@ mod tests {
         let mut vm = vm();
         let (a, b) = ab(&mut vm);
         let s = vm.alloc_row().unwrap();
-        vm.write_mask(s, &[true, true, true, true, false, false, false, false]).unwrap();
+        vm.write_mask(s, &[true, true, true, true, false, false, false, false])
+            .unwrap();
         let m = vm.mux(s, a, b).unwrap();
         let got = vm.read_mask(m).unwrap();
         let da = vm.read_mask(a).unwrap();
@@ -388,7 +398,8 @@ mod tests {
         let mut vm = vm();
         let (a, b) = ab(&mut vm);
         let c = vm.alloc_row().unwrap();
-        vm.write_mask(c, &[false, true, false, true, true, false, true, false]).unwrap();
+        vm.write_mask(c, &[false, true, false, true, true, false, true, false])
+            .unwrap();
         let derived = vm.maj(a, b, c).unwrap();
         let fused = vm.maj_fused(a, b, c).unwrap();
         assert_eq!(vm.read_mask(fused).unwrap(), vm.read_mask(derived).unwrap());
@@ -399,7 +410,8 @@ mod tests {
         let mut vm = vm();
         let (a, b) = ab(&mut vm);
         let c = vm.alloc_row().unwrap();
-        vm.write_mask(c, &[false, false, false, false, true, true, true, true]).unwrap();
+        vm.write_mask(c, &[false, false, false, false, true, true, true, true])
+            .unwrap();
         let (s1, c1) = vm.full_adder(a, b, c).unwrap();
         let (s2, c2) = vm.full_adder_fused(a, b, c).unwrap();
         assert_eq!(vm.read_mask(s2).unwrap(), vm.read_mask(s1).unwrap());
@@ -424,7 +436,8 @@ mod tests {
         let mut vm = vm();
         let (a, b) = ab(&mut vm);
         let c = vm.alloc_row().unwrap();
-        vm.write_mask(c, &[false, false, false, false, true, true, true, true]).unwrap();
+        vm.write_mask(c, &[false, false, false, false, true, true, true, true])
+            .unwrap();
 
         let (hs, hc) = vm.half_adder(a, b).unwrap();
         let (fs, fc) = vm.full_adder(a, b, c).unwrap();
@@ -459,7 +472,11 @@ mod tests {
         vm.clear_trace();
         let x = vm.xor(a, b).unwrap();
         assert_eq!(vm.trace().in_dram_ops(), 3);
-        assert_eq!(vm.substrate().live_rows(), live + 1, "only the result row survives");
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live + 1,
+            "only the result row survives"
+        );
         vm.release(x);
         assert_eq!(vm.substrate().live_rows(), live);
     }
@@ -518,7 +535,8 @@ mod tests {
     fn single_input_reductions() {
         let mut vm = vm();
         let a = vm.alloc_row().unwrap();
-        vm.write_mask(a, &[true, false, true, false, true, false, true, false]).unwrap();
+        vm.write_mask(a, &[true, false, true, false, true, false, true, false])
+            .unwrap();
         let and1 = vm.bit_and(&[a]).unwrap();
         assert_eq!(vm.read_mask(and1).unwrap(), vm.read_mask(a).unwrap());
         let nand1 = vm.bit_nand(&[a]).unwrap();

@@ -88,7 +88,14 @@ impl<S: Substrate> SimdVm<S> {
     /// Fails on width mismatch, row exhaustion or device failure.
     pub fn add_saturating(&mut self, a: &UintVec, b: &UintVec) -> Result<UintVec> {
         let (sum, carry) = self.add_full(a, b)?;
-        let maxv = self.const_uint(a.width(), if a.width() == 64 { u64::MAX } else { (1 << a.width()) - 1 })?;
+        let maxv = self.const_uint(
+            a.width(),
+            if a.width() == 64 {
+                u64::MAX
+            } else {
+                (1 << a.width()) - 1
+            },
+        )?;
         let out = self.select(carry, &maxv, &sum)?;
         self.release(carry);
         self.free_uint(sum);

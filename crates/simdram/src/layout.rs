@@ -9,6 +9,7 @@
 
 use crate::error::{Result, SimdramError};
 use crate::substrate::BitRow;
+use fcdram::PackedBits;
 use serde::{Deserialize, Serialize};
 
 /// Largest integer width the layer supports (host values are `u64`).
@@ -61,7 +62,10 @@ pub(crate) fn check_width(width: usize) -> Result<()> {
         return Err(SimdramError::Empty);
     }
     if width > MAX_WIDTH {
-        return Err(SimdramError::WidthUnsupported { width, max: MAX_WIDTH });
+        return Err(SimdramError::WidthUnsupported {
+            width,
+            max: MAX_WIDTH,
+        });
     }
     Ok(())
 }
@@ -117,6 +121,51 @@ pub fn transpose_from_rows(rows: &[Vec<bool>]) -> Vec<u64> {
         .collect()
 }
 
+/// Bit-packed variant of [`transpose_to_rows`]: one [`PackedBits`]
+/// per bit position, no intermediate `Vec<bool>`.
+///
+/// # Errors
+///
+/// Fails on a bad width or a lane value exceeding it.
+pub fn transpose_to_packed(values: &[u64], width: usize) -> Result<Vec<PackedBits>> {
+    check_width(width)?;
+    for &v in values {
+        if width < 64 && v >> width != 0 {
+            return Err(SimdramError::ValueOverflow { value: v, width });
+        }
+    }
+    Ok((0..width)
+        .map(|i| {
+            let mut row = PackedBits::zeros(values.len());
+            for (lane, v) in values.iter().enumerate() {
+                if (v >> i) & 1 == 1 {
+                    row.set(lane, true);
+                }
+            }
+            row
+        })
+        .collect())
+}
+
+/// Bit-packed variant of [`transpose_from_rows`].
+///
+/// # Panics
+///
+/// Panics if rows have unequal lane counts.
+pub fn transpose_from_packed(rows: &[PackedBits]) -> Vec<u64> {
+    let lanes = rows.first().map_or(0, PackedBits::len);
+    for r in rows {
+        assert_eq!(r.len(), lanes, "rows must have equal lane counts");
+    }
+    let mut out = vec![0u64; lanes];
+    for (i, row) in rows.iter().take(64).enumerate() {
+        for (lane, v) in out.iter_mut().enumerate() {
+            *v |= u64::from(row.get(lane)) << i;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,9 +179,28 @@ mod tests {
     }
 
     #[test]
+    fn packed_transpose_matches_boolwise() {
+        let values = [0u64, 1, 5, 254, 255, 170, 93];
+        let bools = transpose_to_rows(&values, 8).unwrap();
+        let packed = transpose_to_packed(&values, 8).unwrap();
+        assert_eq!(packed.len(), 8);
+        for (b, p) in bools.iter().zip(&packed) {
+            assert_eq!(&p.to_bools(), b);
+        }
+        assert_eq!(transpose_from_packed(&packed), values);
+        assert!(transpose_to_packed(&[256], 8).is_err());
+    }
+
+    #[test]
     fn transpose_rejects_overflow() {
         let err = transpose_to_rows(&[256], 8).unwrap_err();
-        assert!(matches!(err, SimdramError::ValueOverflow { value: 256, width: 8 }));
+        assert!(matches!(
+            err,
+            SimdramError::ValueOverflow {
+                value: 256,
+                width: 8
+            }
+        ));
     }
 
     #[test]
@@ -147,7 +215,10 @@ mod tests {
         assert!(matches!(check_width(0), Err(SimdramError::Empty)));
         assert!(check_width(1).is_ok());
         assert!(check_width(64).is_ok());
-        assert!(matches!(check_width(65), Err(SimdramError::WidthUnsupported { .. })));
+        assert!(matches!(
+            check_width(65),
+            Err(SimdramError::WidthUnsupported { .. })
+        ));
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl<S: Substrate> SimdVm<S> {
         let (wa, wb) = (a.width(), b.width());
         let w = wa + wb;
         if w > crate::layout::MAX_WIDTH {
-            return Err(SimdramError::WidthUnsupported { width: w, max: crate::layout::MAX_WIDTH });
+            return Err(SimdramError::WidthUnsupported {
+                width: w,
+                max: crate::layout::MAX_WIDTH,
+            });
         }
         // acc starts as the zero-valued product.
         let mut acc = self.alloc_uint(w)?;
@@ -40,7 +43,8 @@ impl<S: Substrate> SimdVm<S> {
             let mut owned = Vec::with_capacity(wa);
             for i in 0..wa {
                 let r = self.alloc_row()?;
-                self.substrate_mut().logic(LogicOp::And, &[a.bit(i), bj], r)?;
+                self.substrate_mut()
+                    .logic(LogicOp::And, &[a.bit(i), bj], r)?;
                 owned.push(r);
                 pbits.push(r);
             }
@@ -166,7 +170,10 @@ mod tests {
         let mut vm = vm();
         let a = vm.alloc_uint(40).unwrap();
         let b = vm.alloc_uint(30).unwrap();
-        assert!(matches!(vm.mul(&a, &b), Err(SimdramError::WidthUnsupported { width: 70, .. })));
+        assert!(matches!(
+            vm.mul(&a, &b),
+            Err(SimdramError::WidthUnsupported { width: 70, .. })
+        ));
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub fn expected_lane_accuracy(trace: &OpTrace) -> f64 {
 /// when `p ≤ 0.5`, where voting cannot help).
 pub fn repetitions_for_target(p: f64, gates: usize, target: f64) -> Option<usize> {
     assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-    assert!((0.0..=1.0).contains(&target), "target out of range: {target}");
+    assert!(
+        (0.0..=1.0).contains(&target),
+        "target out of range: {target}"
+    );
     let mut k = 1;
     while k <= 99 {
         let per_gate = voted_success(p, k);
@@ -102,7 +105,10 @@ mod tests {
         for k in [1, 3, 5, 9, 33] {
             assert!((voted_success(1.0, k) - 1.0).abs() < 1e-12);
             assert!(voted_success(0.0, k).abs() < 1e-12);
-            assert!((voted_success(0.5, k) - 0.5).abs() < 1e-9, "0.5 is the voting fixed point");
+            assert!(
+                (voted_success(0.5, k) - 0.5).abs() < 1e-9,
+                "0.5 is the voting fixed point"
+            );
         }
     }
 
@@ -141,7 +147,11 @@ mod tests {
         let mut t = OpTrace::new();
         t.record(logic_entry(0.9, 1));
         t.record(logic_entry(0.8, 1));
-        t.record(TraceEntry { op: NativeOp::HostRead, executions: 0, predicted_success: 1.0 });
+        t.record(TraceEntry {
+            op: NativeOp::HostRead,
+            executions: 0,
+            predicted_success: 1.0,
+        });
         assert!((expected_lane_accuracy(&t) - 0.72).abs() < 1e-12);
     }
 

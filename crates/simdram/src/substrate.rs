@@ -19,7 +19,7 @@
 use crate::error::{Result, SimdramError};
 use crate::trace::{NativeOp, OpTrace, TraceEntry};
 use dram_core::LogicOp;
-use fcdram::{BitVecHandle, BulkEngine};
+use fcdram::{BitVecHandle, BulkEngine, PackedBits};
 use serde::{Deserialize, Serialize};
 
 /// The largest fan-in any FCDRAM-style substrate can offer (the paper
@@ -75,6 +75,26 @@ pub trait Substrate {
     ///
     /// Fails when the handle is invalid.
     fn read(&mut self, r: BitRow) -> Result<Vec<bool>>;
+
+    /// Writes a bit-packed row (64 lanes per `u64` word). Backends
+    /// with a native packed path (DRAM) override this to avoid the
+    /// per-bit `Vec<bool>` round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `bits.len() != lanes()` or the handle is invalid.
+    fn write_packed(&mut self, r: BitRow, bits: &PackedBits) -> Result<()> {
+        self.write(r, &bits.to_bools())
+    }
+
+    /// Reads a row back bit-packed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is invalid.
+    fn read_packed(&mut self, r: BitRow) -> Result<PackedBits> {
+        Ok(PackedBits::from_bools(&self.read(r)?))
+    }
 
     /// Fills a row with a constant.
     ///
@@ -190,7 +210,13 @@ impl HostSubstrate {
     /// Creates a host substrate with `lanes` bits per row and room for
     /// `capacity` live rows (mirroring a subarray's row budget).
     pub fn new(lanes: usize, capacity: usize) -> Self {
-        HostSubstrate { lanes, rows: Vec::new(), free: Vec::new(), capacity, trace: OpTrace::new() }
+        HostSubstrate {
+            lanes,
+            rows: Vec::new(),
+            free: Vec::new(),
+            capacity,
+            trace: OpTrace::new(),
+        }
     }
 
     fn slot(&self, r: BitRow) -> Result<&Vec<bool>> {
@@ -201,7 +227,11 @@ impl HostSubstrate {
     }
 
     fn record(&mut self, op: NativeOp) {
-        self.trace.record(TraceEntry { op, executions: 1, predicted_success: 1.0 });
+        self.trace.record(TraceEntry {
+            op,
+            executions: 1,
+            predicted_success: 1.0,
+        });
     }
 
     /// Number of currently live rows (for leak tests).
@@ -241,7 +271,10 @@ impl Substrate for HostSubstrate {
 
     fn write(&mut self, r: BitRow, bits: &[bool]) -> Result<()> {
         if bits.len() != self.lanes {
-            return Err(SimdramError::LaneMismatch { expected: self.lanes, got: bits.len() });
+            return Err(SimdramError::LaneMismatch {
+                expected: self.lanes,
+                got: bits.len(),
+            });
         }
         self.slot(r)?;
         self.rows[r.0] = Some(bits.to_vec());
@@ -266,7 +299,11 @@ impl Substrate for HostSubstrate {
         let data = self.slot(src)?.clone();
         self.slot(dst)?;
         self.rows[dst.0] = Some(data);
-        self.trace.record(TraceEntry { op: NativeOp::Copy, executions: 1, predicted_success: 1.0 });
+        self.trace.record(TraceEntry {
+            op: NativeOp::Copy,
+            executions: 1,
+            predicted_success: 1.0,
+        });
         Ok(())
     }
 
@@ -274,16 +311,22 @@ impl Substrate for HostSubstrate {
         let data: Vec<bool> = self.slot(a)?.iter().map(|b| !b).collect();
         self.slot(out)?;
         self.rows[out.0] = Some(data);
-        self.trace.record(TraceEntry { op: NativeOp::Not, executions: 1, predicted_success: 1.0 });
+        self.trace.record(TraceEntry {
+            op: NativeOp::Not,
+            executions: 1,
+            predicted_success: 1.0,
+        });
         Ok(())
     }
 
     fn logic(&mut self, op: LogicOp, ins: &[BitRow], out: BitRow) -> Result<()> {
         if ins.len() < 2 || ins.len() > self.max_fan_in() {
-            return Err(SimdramError::Substrate(fcdram::FcdramError::BadInputCount {
-                n: ins.len(),
-                max: self.max_fan_in(),
-            }));
+            return Err(SimdramError::Substrate(
+                fcdram::FcdramError::BadInputCount {
+                    n: ins.len(),
+                    max: self.max_fan_in(),
+                },
+            ));
         }
         let mut acc = vec![op.is_and_family(); self.lanes];
         for r in ins {
@@ -450,6 +493,28 @@ impl Substrate for DramSubstrate {
             predicted_success: 1.0,
         });
         Ok(bits)
+    }
+
+    fn write_packed(&mut self, r: BitRow, bits: &PackedBits) -> Result<()> {
+        let h = self.handle(r)?;
+        self.engine.write_packed(&h, bits)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::HostWrite,
+            executions: 0,
+            predicted_success: 1.0,
+        });
+        Ok(())
+    }
+
+    fn read_packed(&mut self, r: BitRow) -> Result<PackedBits> {
+        let h = self.handle(r)?;
+        let words = self.engine.read_packed(&h)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::HostRead,
+            executions: 0,
+            predicted_success: 1.0,
+        });
+        Ok(words)
     }
 
     fn fill(&mut self, r: BitRow, value: bool) -> Result<()> {
@@ -660,9 +725,12 @@ mod tests {
         let mut s = host();
         let rows: Vec<BitRow> = (0..4).map(|_| s.alloc().unwrap()).collect();
         let (a, b, c, out) = (rows[0], rows[1], rows[2], rows[3]);
-        s.write(a, &[false, false, true, true, false, false, true, true]).unwrap();
-        s.write(b, &[false, true, false, true, false, true, false, true]).unwrap();
-        s.write(c, &[false, false, false, false, true, true, true, true]).unwrap();
+        s.write(a, &[false, false, true, true, false, false, true, true])
+            .unwrap();
+        s.write(b, &[false, true, false, true, false, true, false, true])
+            .unwrap();
+        s.write(c, &[false, false, false, false, true, true, true, true])
+            .unwrap();
         s.maj3(a, b, c, out).unwrap();
         assert_eq!(
             s.read(out).unwrap(),
@@ -684,8 +752,12 @@ mod tests {
         s.fill(c, false).unwrap();
         s.trace_mut().clear();
         s.maj3(a, b, c, out).unwrap();
-        let in_dram: Vec<_> =
-            s.trace().entries().iter().filter(|e| e.op.is_in_dram()).collect();
+        let in_dram: Vec<_> = s
+            .trace()
+            .entries()
+            .iter()
+            .filter(|e| e.op.is_in_dram())
+            .collect();
         assert_eq!(in_dram.len(), 1, "native MAJ is a single operation");
         assert!(matches!(in_dram[0].op, NativeOp::Maj));
         // MAJ(1,1,0) = 1 on most lanes.

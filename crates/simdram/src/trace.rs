@@ -40,7 +40,10 @@ impl NativeOp {
     /// Whether the operation executes inside the DRAM array (as
     /// opposed to moving data over the channel).
     pub fn is_in_dram(self) -> bool {
-        matches!(self, NativeOp::Not | NativeOp::Logic(..) | NativeOp::Maj | NativeOp::Copy)
+        matches!(
+            self,
+            NativeOp::Not | NativeOp::Logic(..) | NativeOp::Maj | NativeOp::Copy
+        )
     }
 
     /// Short mnemonic for reports.
@@ -123,7 +126,9 @@ impl OpTrace {
     /// Splits off everything recorded after `mark` (a value previously
     /// obtained from [`OpTrace::len`]), leaving the prefix in place.
     pub fn split_off(&mut self, mark: usize) -> OpTrace {
-        OpTrace { entries: self.entries.split_off(mark.min(self.entries.len())) }
+        OpTrace {
+            entries: self.entries.split_off(mark.min(self.entries.len())),
+        }
     }
 
     /// Number of in-DRAM operations (NOT / logic / copy), counting
@@ -142,8 +147,10 @@ impl OpTrace {
         self.entries
             .iter()
             .filter(|e| {
-                matches!(e.op, NativeOp::HostWrite | NativeOp::HostRead | NativeOp::Fill)
-                    || (e.op == NativeOp::Copy && e.executions == 0)
+                matches!(
+                    e.op,
+                    NativeOp::HostWrite | NativeOp::HostRead | NativeOp::Fill
+                ) || (e.op == NativeOp::Copy && e.executions == 0)
             })
             .count()
     }
@@ -167,7 +174,11 @@ mod tests {
     use super::*;
 
     fn e(op: NativeOp, executions: usize, p: f64) -> TraceEntry {
-        TraceEntry { op, executions, predicted_success: p }
+        TraceEntry {
+            op,
+            executions,
+            predicted_success: p,
+        }
     }
 
     #[test]

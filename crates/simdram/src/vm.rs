@@ -6,7 +6,7 @@
 //! allocation and transport layer they build on.
 
 use crate::error::{Result, SimdramError};
-use crate::layout::{check_width, transpose_from_rows, transpose_to_rows, UintVec};
+use crate::layout::{check_width, UintVec};
 use crate::substrate::{BitRow, Substrate};
 use crate::trace::OpTrace;
 use serde::{Deserialize, Serialize};
@@ -56,7 +56,12 @@ impl<S: Substrate> SimdVm<S> {
         sub.fill(zero, false)?;
         let one = sub.alloc()?;
         sub.fill(one, true)?;
-        Ok(SimdVm { sub, zero, one, adder: AdderKind::default() })
+        Ok(SimdVm {
+            sub,
+            zero,
+            one,
+            adder: AdderKind::default(),
+        })
     }
 
     /// Selects the full-adder circuit used by word arithmetic
@@ -188,7 +193,13 @@ impl<S: Substrate> SimdVm<S> {
             return Err(SimdramError::ValueOverflow { value, width });
         }
         let bits = (0..width)
-            .map(|i| if (value >> i) & 1 == 1 { self.one } else { self.zero })
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    self.one
+                } else {
+                    self.zero
+                }
+            })
             .collect();
         Ok(UintVec::from_bits(bits))
     }
@@ -207,11 +218,14 @@ impl<S: Substrate> SimdVm<S> {
     /// Fails on lane-count mismatch or value overflow.
     pub fn write_u64(&mut self, v: &UintVec, values: &[u64]) -> Result<()> {
         if values.len() != self.lanes() {
-            return Err(SimdramError::LaneMismatch { expected: self.lanes(), got: values.len() });
+            return Err(SimdramError::LaneMismatch {
+                expected: self.lanes(),
+                got: values.len(),
+            });
         }
-        let rows = transpose_to_rows(values, v.width())?;
+        let rows = crate::layout::transpose_to_packed(values, v.width())?;
         for (i, row) in rows.iter().enumerate() {
-            self.sub.write(v.bit(i), row)?;
+            self.sub.write_packed(v.bit(i), row)?;
         }
         Ok(())
     }
@@ -222,9 +236,12 @@ impl<S: Substrate> SimdVm<S> {
     ///
     /// Fails on invalid handles.
     pub fn read_u64(&mut self, v: &UintVec) -> Result<Vec<u64>> {
-        let rows: Vec<Vec<bool>> =
-            v.bits().iter().map(|r| self.sub.read(*r)).collect::<Result<_>>()?;
-        Ok(transpose_from_rows(&rows))
+        let rows: Vec<fcdram::PackedBits> = v
+            .bits()
+            .iter()
+            .map(|r| self.sub.read_packed(*r))
+            .collect::<Result<_>>()?;
+        Ok(crate::layout::transpose_from_packed(&rows))
     }
 }
 
@@ -300,11 +317,17 @@ mod tests {
         let v = vm.alloc_uint(4).unwrap();
         assert!(matches!(
             vm.write_u64(&v, &[1, 2, 3]),
-            Err(SimdramError::LaneMismatch { expected: 4, got: 3 })
+            Err(SimdramError::LaneMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
         assert!(matches!(
             vm.write_u64(&v, &[1, 2, 3, 16]),
-            Err(SimdramError::ValueOverflow { value: 16, width: 4 })
+            Err(SimdramError::ValueOverflow {
+                value: 16,
+                width: 4
+            })
         ));
     }
 

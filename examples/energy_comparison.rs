@@ -43,7 +43,10 @@ fn main() {
     // pipeline case) — subtract the operand write-in from the in-DRAM
     // side; the host still has to read every operand.
     println!("\nsteady state (operands already resident in DRAM):");
-    println!("{:>7}  {:>12} {:>12}  {:>10}", "inputs", "host nJ", "dram nJ", "ratio");
+    println!(
+        "{:>7}  {:>12} {:>12}  {:>10}",
+        "inputs", "host nJ", "dram nJ", "ratio"
+    );
     for n in [2usize, 4, 8, 16] {
         let host = OpCost::host_bitwise(&t, &e, speed, row_bytes, n);
         let mut dram = OpCost::in_dram_bitwise(&t, &e, speed, row_bytes, n);

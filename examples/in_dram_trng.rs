@@ -53,7 +53,10 @@ fn main() -> Result<(), FcdramError> {
             agree += 1;
         }
     }
-    println!("raw serial    : {:.2}% adjacent agreement (50% ideal)", agree as f64 / (n - 1) as f64 * 100.0);
+    println!(
+        "raw serial    : {:.2}% adjacent agreement (50% ideal)",
+        agree as f64 / (n - 1) as f64 * 100.0
+    );
 
     // Von Neumann extraction removes residual bias (as DRAM TRNG
     // papers do): 01 → 0, 10 → 1, 00/11 → discard.
@@ -65,9 +68,16 @@ fn main() -> Result<(), FcdramError> {
     }
     let ex_ones = extracted.iter().filter(|b| **b).count() as f64;
     println!("\nafter von Neumann extraction:");
-    println!("bits          : {} ({:.0}% yield)", extracted.len(), extracted.len() as f64 / n as f64 * 100.0);
+    println!(
+        "bits          : {} ({:.0}% yield)",
+        extracted.len(),
+        extracted.len() as f64 / n as f64 * 100.0
+    );
     if !extracted.is_empty() {
-        println!("bias          : {:.2}% ones", ex_ones / extracted.len() as f64 * 100.0);
+        println!(
+            "bias          : {:.2}% ones",
+            ex_ones / extracted.len() as f64 * 100.0
+        );
     }
 
     // Pack the first bytes for display.
@@ -75,7 +85,11 @@ fn main() -> Result<(), FcdramError> {
         .chunks(8)
         .filter(|c| c.len() == 8)
         .take(16)
-        .map(|c| c.iter().enumerate().fold(0u8, |acc, (i, b)| acc | (u8::from(*b) << i)))
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .fold(0u8, |acc, (i, b)| acc | (u8::from(*b) << i))
+        })
         .collect();
     print!("sample bytes  : ");
     for b in &bytes {

@@ -39,8 +39,11 @@ fn main() -> Result<(), FcdramError> {
 
     // In-DRAM NOT (bitline-bar coupling across the shared stripe).
     let stats = engine.not(&a, &out)?;
-    println!("NOT  : accuracy {:>6.2}%  (model predicted {:>6.2}%)",
-        stats.accuracy * 100.0, stats.predicted_success * 100.0);
+    println!(
+        "NOT  : accuracy {:>6.2}%  (model predicted {:>6.2}%)",
+        stats.accuracy * 100.0,
+        stats.predicted_success * 100.0
+    );
 
     // In-DRAM 2-input gates (charge sharing against a Frac reference).
     for (name, result) in [

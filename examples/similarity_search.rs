@@ -31,7 +31,9 @@ fn signatures(lanes: usize, salt: u64) -> Vec<u64> {
 
 /// Golden result: which lanes match the query on the host.
 fn golden_matches(sigs: &[u64], query: u64) -> Vec<bool> {
-    sigs.iter().map(|s| u64::from((s ^ query).count_ones()) <= THRESHOLD).collect()
+    sigs.iter()
+        .map(|s| u64::from((s ^ query).count_ones()) <= THRESHOLD)
+        .collect()
 }
 
 /// Runs the search circuit on any substrate; returns the match mask.

@@ -58,21 +58,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("8-bit add, no protection (72 native gates/lane):");
     println!("  gate histogram: {:?}", vm.trace().histogram());
-    println!("  predicted lane accuracy: {predicted:6.2}%", predicted = predicted * 100.0);
-    println!("  measured  lane accuracy: {measured:6.2}%\n", measured = measured * 100.0);
+    println!(
+        "  predicted lane accuracy: {predicted:6.2}%",
+        predicted = predicted * 100.0
+    );
+    println!(
+        "  measured  lane accuracy: {measured:6.2}%\n",
+        measured = measured * 100.0
+    );
 
     // Cost vs. the processor-centric baseline (16 operand rows in, 9
     // result rows out over the channel).
     let model = CostModel::new(speed, lanes);
     let s = CostSummary::new(&model, vm.trace(), lanes, 16, 9);
-    println!("  in-DRAM : {:9.0} ns, {:10.0} pJ, {} DDR4 commands, 0 channel bytes",
-        s.in_dram.latency_ns, s.in_dram.energy_pj, s.in_dram.commands);
-    println!("  host    : {:9.0} ns, {:10.0} pJ, {} channel bytes",
-        s.host.latency_ns, s.host.energy_pj, s.host.channel_bytes);
-    println!("  energy ratio (host/in-DRAM): {:.2}x at {lanes} lanes", s.energy_ratio());
+    println!(
+        "  in-DRAM : {:9.0} ns, {:10.0} pJ, {} DDR4 commands, 0 channel bytes",
+        s.in_dram.latency_ns, s.in_dram.energy_pj, s.in_dram.commands
+    );
+    println!(
+        "  host    : {:9.0} ns, {:10.0} pJ, {} channel bytes",
+        s.host.latency_ns, s.host.energy_pj, s.host.channel_bytes
+    );
+    println!(
+        "  energy ratio (host/in-DRAM): {:.2}x at {lanes} lanes",
+        s.energy_ratio()
+    );
     let wide = CostModel::new(speed, 65_536);
     let sw = CostSummary::new(&wide, vm.trace(), 65_536, 16, 9);
-    println!("  energy ratio at a full 8 KiB row (65,536 lanes): {:.2}x\n", sw.energy_ratio());
+    println!(
+        "  energy ratio at a full 8 KiB row (65,536 lanes): {:.2}x\n",
+        sw.energy_ratio()
+    );
 
     // ---------------------------------------------------------------
     // 2. Repetition voting: the reliability knob.
@@ -105,7 +121,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|e| e.op.is_in_dram())
             .map(|e| e.predicted_success)
             .collect();
-        if probs.is_empty() { 0.95 } else { probs.iter().sum::<f64>() / probs.len() as f64 }
+        if probs.is_empty() {
+            0.95
+        } else {
+            probs.iter().sum::<f64>() / probs.len() as f64
+        }
     };
     match reliability::repetitions_for_target(mean_gate, 72, 0.99) {
         Some(k) => println!("\n  → 99% lane accuracy needs k = {k} at p̄ = {mean_gate:.3}"),

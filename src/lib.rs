@@ -1,0 +1,11 @@
+//! Umbrella crate for the FCDRAM reproduction workspace.
+//!
+//! The real functionality lives in the member crates; this package
+//! exists to host the workspace-level integration tests (`tests/`) and
+//! examples (`examples/`). See the root `README.md` for the crate
+//! graph.
+
+pub use characterize;
+pub use dram_core;
+pub use fcdram;
+pub use simdram;

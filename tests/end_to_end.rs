@@ -39,7 +39,12 @@ fn full_stack_functionally_complete_pipeline() {
     e.nand(&[&a, &a], &t1).unwrap();
     let got_not = e.read(&t1).unwrap();
     let want_not: Vec<bool> = da.iter().map(|x| !x).collect();
-    let acc = got_not.iter().zip(&want_not).filter(|(x, y)| x == y).count() as f64 / bits as f64;
+    let acc = got_not
+        .iter()
+        .zip(&want_not)
+        .filter(|(x, y)| x == y)
+        .count() as f64
+        / bits as f64;
     assert!(acc > 0.78, "NAND-built NOT accuracy {acc}");
 
     // AND(a, b) = NOT(NAND(a, b)).
@@ -47,7 +52,12 @@ fn full_stack_functionally_complete_pipeline() {
     e.nand(&[&t1, &t1], &t2).unwrap();
     let got_and = e.read(&t2).unwrap();
     let want_and: Vec<bool> = da.iter().zip(&db).map(|(x, y)| *x && *y).collect();
-    let acc = got_and.iter().zip(&want_and).filter(|(x, y)| x == y).count() as f64 / bits as f64;
+    let acc = got_and
+        .iter()
+        .zip(&want_and)
+        .filter(|(x, y)| x == y)
+        .count() as f64
+        / bits as f64;
     assert!(acc > 0.65, "NAND-built AND accuracy {acc}");
 }
 
@@ -56,7 +66,9 @@ fn sixteen_input_operations_work_on_capable_parts() {
     let cfg = hynix_cfg();
     assert_eq!(cfg.max_op_inputs(), 16);
     let mut fc = Fcdram::new(cfg);
-    let map = fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 16_384).unwrap();
+    let map = fc
+        .discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 16_384)
+        .unwrap();
     let entry = map.find_nn(16).expect("a 16:16 pattern").clone();
     let cols = fc.cols();
     let inputs: Vec<Vec<fcdram::Bit>> = (0..16)
@@ -87,11 +99,19 @@ fn sixteen_input_operations_work_on_capable_parts() {
 
 #[test]
 fn micron_parts_produce_no_operations() {
-    let cfg = dram_core::config::micron_modules().remove(0).with_modeled_cols(32);
+    let cfg = dram_core::config::micron_modules()
+        .remove(0)
+        .with_modeled_cols(32);
     let mut fc = Fcdram::new(cfg);
     // Discovery finds no simultaneous shapes.
-    let map = fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 2_048).unwrap();
-    assert!(map.shapes().is_empty(), "Micron must not glitch: {:?}", map.shapes());
+    let map = fc
+        .discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 2_048)
+        .unwrap();
+    assert!(
+        map.shapes().is_empty(),
+        "Micron must not glitch: {:?}",
+        map.shapes()
+    );
 }
 
 #[test]
@@ -108,10 +128,17 @@ fn samsung_not_works_but_logic_does_not() {
     let entry = ctx.sequential_entry(0);
     let src = characterize::patterns::DataPattern::Random(5).row(32);
     let report = ctx.fc.execute_not(BankId(0), &entry, &src).unwrap();
-    assert!(report.predicted_success > 0.7, "{}", report.predicted_success);
+    assert!(
+        report.predicted_success > 0.7,
+        "{}",
+        report.predicted_success
+    );
     // Logic fails.
     let inputs = vec![src.clone(), src];
-    assert!(ctx.fc.execute_logic(BankId(0), &entry, LogicOp::And, &inputs).is_err());
+    assert!(ctx
+        .fc
+        .execute_logic(BankId(0), &entry, LogicOp::And, &inputs)
+        .is_err());
 }
 
 #[test]

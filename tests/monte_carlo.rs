@@ -16,8 +16,15 @@ fn fc() -> Fcdram {
 #[test]
 fn not_observed_rate_matches_predicted_over_trials() {
     let mut fc = fc();
-    let map = fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192).unwrap();
-    let entry = map.find_dst(8).first().cloned().cloned().expect("8-dest pattern");
+    let map = fc
+        .discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192)
+        .unwrap();
+    let entry = map
+        .find_dst(8)
+        .first()
+        .cloned()
+        .cloned()
+        .expect("8-dest pattern");
     let src = DataPattern::Random(3).row(fc.cols());
 
     let trials = 60usize;
@@ -51,7 +58,11 @@ fn maj_observed_rate_matches_predicted_over_trials() {
         2,
     )
     .unwrap();
-    let entry = sets.get(&4).and_then(|v| v.first()).expect("4-row set").clone();
+    let entry = sets
+        .get(&4)
+        .and_then(|v| v.first())
+        .expect("4-row set")
+        .clone();
     let cols = fc.cols();
     let inputs: Vec<Vec<Bit>> = vec![
         DataPattern::Random(41).row(cols),
@@ -102,7 +113,10 @@ fn engine_copy_accuracy_matches_prediction() {
         let got = e.read(&b).unwrap();
         let same = got.iter().zip(&data).filter(|(x, y)| x == y).count();
         let check = same as f64 / data.len() as f64;
-        assert!((check - stats.accuracy).abs() < 1e-12, "bookkeeping mismatch");
+        assert!(
+            (check - stats.accuracy).abs() < 1e-12,
+            "bookkeeping mismatch"
+        );
     }
     predicted /= trials as f64;
     observed /= trials as f64;
@@ -118,16 +132,21 @@ fn engine_copy_accuracy_matches_prediction() {
 #[test]
 fn logic_observed_rate_matches_predicted_over_trials() {
     let mut fc = fc();
-    let map = fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192).unwrap();
+    let map = fc
+        .discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192)
+        .unwrap();
     let entry = map.find_nn(4).expect("4:4 pattern").clone();
-    let inputs: Vec<Vec<Bit>> =
-        (0..4).map(|i| DataPattern::Random(100 + i).row(fc.cols())).collect();
+    let inputs: Vec<Vec<Bit>> = (0..4)
+        .map(|i| DataPattern::Random(100 + i).row(fc.cols()))
+        .collect();
 
     let trials = 60usize;
     let mut predicted = 0.0;
     let mut observed = 0.0;
     for _ in 0..trials {
-        let report = fc.execute_logic(BankId(0), &entry, LogicOp::And, &inputs).unwrap();
+        let report = fc
+            .execute_logic(BankId(0), &entry, LogicOp::And, &inputs)
+            .unwrap();
         predicted += report.predicted_success;
         observed += report.observed_success;
     }
@@ -145,8 +164,15 @@ fn logic_observed_rate_matches_predicted_over_trials() {
 #[test]
 fn ten_thousand_trial_methodology() {
     let mut fc = fc();
-    let map = fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192).unwrap();
-    let entry = map.find_dst(4).first().cloned().cloned().expect("4-dest pattern");
+    let map = fc
+        .discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192)
+        .unwrap();
+    let entry = map
+        .find_dst(4)
+        .first()
+        .cloned()
+        .cloned()
+        .expect("4-dest pattern");
     let src = DataPattern::Random(9).row(fc.cols());
     let report = fc.execute_not(BankId(0), &entry, &src).unwrap();
     for (i, cell) in report
@@ -176,8 +202,15 @@ fn ten_thousand_trial_methodology() {
 fn sampling_is_fresh_within_a_session_and_reproducible_across() {
     let run_twice = || {
         let mut fc = fc();
-        let map = fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 4096).unwrap();
-        let entry = map.find_dst(16).first().cloned().cloned().expect("16-dest pattern");
+        let map = fc
+            .discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 4096)
+            .unwrap();
+        let entry = map
+            .find_dst(16)
+            .first()
+            .cloned()
+            .cloned()
+            .expect("16-dest pattern");
         let src = DataPattern::Random(5).row(fc.cols());
         let a = fc.execute_not(BankId(0), &entry, &src).unwrap();
         let b = fc.execute_not(BankId(0), &entry, &src).unwrap();
@@ -187,8 +220,16 @@ fn sampling_is_fresh_within_a_session_and_reproducible_across() {
     let (a2, b2) = run_twice();
     // Heavy-load NOT has enough noise that two in-session runs differ.
     assert_ne!(
-        a1.outcome.cells.iter().map(|c| c.actual).collect::<Vec<_>>(),
-        b1.outcome.cells.iter().map(|c| c.actual).collect::<Vec<_>>(),
+        a1.outcome
+            .cells
+            .iter()
+            .map(|c| c.actual)
+            .collect::<Vec<_>>(),
+        b1.outcome
+            .cells
+            .iter()
+            .map(|c| c.actual)
+            .collect::<Vec<_>>(),
         "two executions should sample different outcomes"
     );
     // But the session replay is bit-identical.
@@ -203,8 +244,15 @@ fn sampling_is_fresh_within_a_session_and_reproducible_across() {
 #[test]
 fn memory_state_is_consistent_with_outcomes() {
     let mut fc = fc();
-    let map = fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192).unwrap();
-    let entry = map.find_dst(32).first().cloned().cloned().expect("32-dest pattern");
+    let map = fc
+        .discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 8192)
+        .unwrap();
+    let entry = map
+        .find_dst(32)
+        .first()
+        .cloned()
+        .cloned()
+        .expect("32-dest pattern");
     let src = DataPattern::Random(11).row(fc.cols());
     let report = fc.execute_not(BankId(0), &entry, &src).unwrap();
     // At 48 driven rows most destination cells fail.
@@ -232,10 +280,13 @@ fn memory_state_is_consistent_with_outcomes() {
 /// failure and the memory is untouched.
 #[test]
 fn micron_not_leaves_memory_untouched() {
-    let cfg = dram_core::config::micron_modules().remove(0).with_modeled_cols(32);
+    let cfg = dram_core::config::micron_modules()
+        .remove(0)
+        .with_modeled_cols(32);
     let mut fc = Fcdram::new(cfg);
     let before = DataPattern::Checker.row(32);
-    fc.write_row(BankId(0), GlobalRow(512), before.clone()).unwrap();
+    fc.write_row(BankId(0), GlobalRow(512), before.clone())
+        .unwrap();
     let entry = fcdram::PatternEntry {
         rf: GlobalRow(0),
         rl: GlobalRow(512),

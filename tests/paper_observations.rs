@@ -32,7 +32,10 @@ fn obs1_obs2_simultaneous_activation_families() {
     assert!(!shapes.is_empty(), "Observation 1");
     let mut max_total = 0usize;
     for (f, l) in shapes {
-        assert!(l == f || l == 2 * f, "families are N:N or N:2N, got {f}:{l}");
+        assert!(
+            l == f || l == 2 * f,
+            "families are N:N or N:2N, got {f}:{l}"
+        );
         max_total = max_total.max(f + l);
     }
     assert!(max_total >= 24, "Takeaway 1: tens of rows, saw {max_total}");
@@ -54,7 +57,11 @@ fn obs4_not_success_declines() {
     let mut fleet = mini_fleet();
     let recs = not_records(&mut fleet, &scale(), &[1, 8, 32]);
     let m = |d: usize| {
-        let v: Vec<f64> = recs.iter().filter(|r| r.dest_rows == d).map(|r| r.p).collect();
+        let v: Vec<f64> = recs
+            .iter()
+            .filter(|r| r.dest_rows == d)
+            .map(|r| r.p)
+            .collect();
         mean(&v)
     };
     let (d1, d8, d32) = (m(1), m(8), m(32));
@@ -70,8 +77,11 @@ fn obs5_n2n_beats_nn() {
     let mut fleet = mini_fleet();
     let recs = not_records(&mut fleet, &scale(), &[2, 4, 8, 16]);
     let family = |k: PatternKind, d: usize| {
-        let v: Vec<f64> =
-            recs.iter().filter(|r| r.kind == k && r.dest_rows == d).map(|r| r.p).collect();
+        let v: Vec<f64> = recs
+            .iter()
+            .filter(|r| r.kind == k && r.dest_rows == d)
+            .map(|r| r.p)
+            .collect();
         if v.is_empty() {
             None
         } else {
@@ -80,8 +90,7 @@ fn obs5_n2n_beats_nn() {
     };
     let mut gaps = Vec::new();
     for d in [2usize, 4, 8, 16] {
-        if let (Some(n2n), Some(nn)) = (family(PatternKind::N2N, d), family(PatternKind::NN, d))
-        {
+        if let (Some(n2n), Some(nn)) = (family(PatternKind::N2N, d), family(PatternKind::NN, d)) {
             gaps.push(n2n - nn);
         }
     }
@@ -99,7 +108,10 @@ fn obs6_distance_dependence() {
     let cell = |s: usize, d: usize| t.rows[s].values[d].unwrap();
     let far_close = cell(2, 0);
     let middle_far = cell(1, 2);
-    assert!(middle_far - far_close > 10.0, "MF {middle_far} FC {far_close}");
+    assert!(
+        middle_far - far_close > 10.0,
+        "MF {middle_far} FC {far_close}"
+    );
 }
 
 /// Observation 7 / Takeaway 2: NOT is highly temperature-resilient.
@@ -176,7 +188,12 @@ fn obs15_logic_distance() {
         let v: Vec<f64> = t.rows.iter().filter_map(|r| r.values[col]).collect();
         v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
     };
-    assert!(spread(0) > spread(2), "AND {} vs OR {}", spread(0), spread(2));
+    assert!(
+        spread(0) > spread(2),
+        "AND {} vs OR {}",
+        spread(0),
+        spread(2)
+    );
 }
 
 /// Observation 16: data-pattern dependence is small.
@@ -212,10 +229,16 @@ fn obs18_obs19_logic_speed_and_die() {
     let mut fleet = build_fleet(&scale(), true);
     let t20 = run_experiment("fig20", &mut fleet, &scale()).unwrap();
     let nand4 = t20.rows.iter().find(|r| r.label == "NAND-4").unwrap();
-    assert!(nand4.values[0].unwrap() - nand4.values[1].unwrap() > 8.0, "speed dip");
+    assert!(
+        nand4.values[0].unwrap() - nand4.values[1].unwrap() > 8.0,
+        "speed dip"
+    );
     let t21 = run_experiment("fig21", &mut fleet, &scale()).unwrap();
     let and2 = t21.rows.iter().find(|r| r.label == "AND-2").unwrap();
-    assert!(and2.values[0].unwrap() > and2.values[1].unwrap(), "4Gb A > 4Gb M");
+    assert!(
+        and2.values[0].unwrap() > and2.values[1].unwrap(),
+        "4Gb A > 4Gb M"
+    );
 }
 
 /// Limitation 1 (§7): Samsung sequential-only, Micron no operations.

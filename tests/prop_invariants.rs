@@ -8,7 +8,9 @@ use dram_core::{
 use proptest::prelude::*;
 
 fn hynix_chip(cols: usize) -> Chip {
-    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(cols);
+    let cfg = dram_core::config::table1()
+        .remove(0)
+        .with_modeled_cols(cols);
     Chip::new(cfg, ChipId(0))
 }
 
@@ -213,7 +215,7 @@ proptest! {
         let bits: Vec<Bit> = bits.into_iter().map(Bit::from).collect();
         let padded: Vec<Bit> = {
             let mut v = bits.clone();
-            while v.len() % 4 != 0 {
+            while !v.len().is_multiple_of(4) {
                 v.push(Bit::Zero);
             }
             v

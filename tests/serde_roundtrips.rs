@@ -10,7 +10,8 @@ use fcdram::{ActivationMap, Fcdram};
 fn discover_map() -> ActivationMap {
     let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
     let mut fc = Fcdram::new(cfg);
-    fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 4096).unwrap()
+    fc.discover(BankId(0), (SubarrayId(0), SubarrayId(1)), 4096)
+        .unwrap()
 }
 
 #[test]
@@ -39,9 +40,12 @@ fn module_config_round_trips_through_json() {
 fn op_outcome_round_trips_through_json() {
     let cfg = dram_core::config::table1().remove(0).with_modeled_cols(16);
     let mut chip = dram_core::Chip::new(cfg, dram_core::ChipId(0));
-    chip.write_row_direct(BankId(0), GlobalRow(0), &[Bit::One; 16]).unwrap();
+    chip.write_row_direct(BankId(0), GlobalRow(0), &[Bit::One; 16])
+        .unwrap();
     for l in 0..64usize {
-        let out = chip.multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(512 + l)).unwrap();
+        let out = chip
+            .multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(512 + l))
+            .unwrap();
         chip.precharge(BankId(0)).unwrap();
         if !out.cells.is_empty() {
             let json = serde_json::to_string(&out).unwrap();
@@ -51,7 +55,10 @@ fn op_outcome_round_trips_through_json() {
             assert_eq!(back.kind, out.kind);
             assert_eq!(back.cells.len(), out.cells.len());
             for (a, b) in back.cells.iter().zip(&out.cells) {
-                assert_eq!((a.subarray, a.row, a.col, a.role), (b.subarray, b.row, b.col, b.role));
+                assert_eq!(
+                    (a.subarray, a.row, a.col, a.role),
+                    (b.subarray, b.row, b.col, b.role)
+                );
                 assert_eq!((a.intended, a.actual), (b.intended, b.actual));
                 assert!((a.p_success - b.p_success).abs() < 1e-12);
             }
@@ -65,7 +72,10 @@ fn op_outcome_round_trips_through_json() {
 fn experiment_tables_round_trip_through_json() {
     let mut t = Table::new("x", "title", "label", vec!["a".into(), "b".into()]);
     t.push_row(Row::new("r1", vec![1.0, 2.0]));
-    t.push_row(Row { label: "r2".into(), values: vec![None, Some(3.5)] });
+    t.push_row(Row {
+        label: "r2".into(),
+        values: vec![None, Some(3.5)],
+    });
     t.note("note with unicode — ≤1.66%");
     let json = to_json(std::slice::from_ref(&t));
     let back: Vec<Table> = serde_json::from_str(&json).unwrap();

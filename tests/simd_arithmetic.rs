@@ -28,7 +28,11 @@ fn load(vm: &mut SimdVm<HostSubstrate>, width: usize, values: &[u64]) -> UintVec
 }
 
 fn lane_values(width: usize) -> impl Strategy<Value = Vec<u64>> {
-    let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let max = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     proptest::collection::vec(0..=max, LANES)
 }
 
@@ -499,7 +503,10 @@ fn dram_repetition_buys_accuracy_back() {
     let pred9 = reliability::expected_lane_accuracy(vm.trace());
     let acc9 = lane_accuracy(&vm.read_u64(&s9).unwrap(), &expect);
 
-    assert!(pred9 > pred1, "voting must raise the analytic estimate ({pred1:.3} → {pred9:.3})");
+    assert!(
+        pred9 > pred1,
+        "voting must raise the analytic estimate ({pred1:.3} → {pred9:.3})"
+    );
     assert!(
         acc9 + 0.25 >= acc1,
         "voting should not materially hurt measured accuracy ({acc1:.3} → {acc9:.3})"
@@ -526,7 +533,10 @@ fn dram_xor_better_protected_than_adder_chain() {
     let _s = vm.add(&va, &vb).unwrap();
     let p_add = reliability::expected_lane_accuracy(vm.trace());
 
-    assert!(p_xor > p_add, "3 gates ({p_xor:.3}) vs 72 gates ({p_add:.3})");
+    assert!(
+        p_xor > p_add,
+        "3 gates ({p_xor:.3}) vs 72 gates ({p_add:.3})"
+    );
 }
 
 #[test]
@@ -535,9 +545,12 @@ fn dram_nary_and_uses_native_sixteen_input_ops() {
     // an elementwise AND across 16 vectors costs one native gate per
     // bit, each executed as a single 16:16 activation.
     let mut vm = dram_vm();
-    assert_eq!(vm.substrate().max_fan_in(), 16, "SK Hynix part reaches 16-input ops");
-    let vecs: Vec<simdram::UintVec> =
-        (0..16).map(|_| vm.alloc_uint(4).unwrap()).collect();
+    assert_eq!(
+        vm.substrate().max_fan_in(),
+        16,
+        "SK Hynix part reaches 16-input ops"
+    );
+    let vecs: Vec<simdram::UintVec> = (0..16).map(|_| vm.alloc_uint(4).unwrap()).collect();
     let refs: Vec<&simdram::UintVec> = vecs.iter().collect();
     vm.clear_trace();
     let out = vm.wand_n(&refs).unwrap();
@@ -561,7 +574,10 @@ fn dram_nary_and_uses_native_sixteen_input_ops() {
 #[test]
 fn dram_fused_adder_uses_fewer_native_ops() {
     let mut vm = dram_vm();
-    assert!(vm.substrate().has_native_maj(), "SK Hynix part has 4-row activation");
+    assert!(
+        vm.substrate().has_native_maj(),
+        "SK Hynix part has 4-row activation"
+    );
     let a = vm.alloc_uint(4).unwrap();
     let b = vm.alloc_uint(4).unwrap();
 
@@ -596,7 +612,10 @@ fn dram_cost_summary_quantifies_motivation() {
     assert_eq!(summary.native_ops, 72, "8-bit ripple adder is 9 gates/bit");
     assert!(summary.in_dram.energy_pj > 0.0);
     assert!(summary.host.channel_bytes > 0);
-    assert_eq!(summary.in_dram.channel_bytes, 0, "in-DRAM adder never touches the channel");
+    assert_eq!(
+        summary.in_dram.channel_bytes, 0,
+        "in-DRAM adder never touches the channel"
+    );
 }
 
 #[test]
