@@ -57,20 +57,23 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 vals.extend(recs.iter().map(|r| r.p * 100.0));
             }
         }
-        t.push_row(Row {
-            label: ctx.cfg.name.clone(),
-            values: vec![
-                Some(max_nn as f64),
-                Some(max_dst as f64),
-                Some(if has_n2n { 1.0 } else { 0.0 }),
-                Some(coverage),
-                if vals.is_empty() {
-                    None
-                } else {
-                    Some(mean(&vals))
-                },
-            ],
-        });
+        t.push_row(
+            Row::opt(
+                ctx.cfg.name.clone(),
+                vec![
+                    Some(max_nn as f64),
+                    Some(max_dst as f64),
+                    Some(if has_n2n { 1.0 } else { 0.0 }),
+                    Some(coverage),
+                    if vals.is_empty() {
+                        None
+                    } else {
+                        Some(mean(&vals))
+                    },
+                ],
+            )
+            .with_origin(ctx.origin()),
+        );
     }
     t.note("paper (extended version): per-module capability varies — the 8Gb M-die Hynix module reaches only 8-input ops; Samsung parts do NOT only; Micron parts none");
     t.note("'N:2N' column: 1 = the module exhibits the doubled-destination family (Observation 2)");

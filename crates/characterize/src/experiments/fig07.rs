@@ -36,10 +36,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 vec![s.mean, s.min, s.q1, s.median, s.q3, s.max],
             ));
         } else {
-            t.push_row(Row {
-                label: d.to_string(),
-                values: vec![None; 6],
-            });
+            t.push_row(Row::opt(d.to_string(), vec![None; 6]));
         }
     }
     t.note("paper: 98.37% average at 1 destination row; 7.95% at 32 (Observation 4)");

@@ -42,10 +42,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
             .map(|r| r.p * 100.0)
             .collect();
         if vals.is_empty() {
-            t.push_row(Row {
-                label: format!("{n_rf}:{n_rl}"),
-                values: vec![None, Some(0.0)],
-            });
+            t.push_row(Row::opt(format!("{n_rf}:{n_rl}"), vec![None, Some(0.0)]));
             continue;
         }
         let m = mean(&vals);

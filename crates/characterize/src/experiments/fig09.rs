@@ -68,10 +68,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 Some(mean(&strata))
             });
         }
-        t.push_row(Row {
-            label: src.to_string(),
-            values,
-        });
+        t.push_row(Row::opt(src.to_string(), values));
     }
     t.note("paper: Middle-Far 85.02% (best), Far-Close 44.16% (worst); Observation 6");
     t.note("consistency note: the exact paper extremes are not jointly reachable with Fig. 7's 98.37% headline under a per-cell model; ranking and direction reproduce (see EXPERIMENTS.md)");

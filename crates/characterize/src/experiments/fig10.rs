@@ -64,10 +64,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 - present.iter().cloned().fold(f64::MAX, f64::min);
             max_drift = max_drift.max(drift);
         }
-        t.push_row(Row {
-            label: d.to_string(),
-            values: means,
-        });
+        t.push_row(Row::opt(d.to_string(), means));
     }
     t.note(format!(
         "max drift across temperatures: {max_drift:.2} points (paper: ≤0.20% for 32 dest rows; Observation 7)"

@@ -43,10 +43,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 }
             })
             .collect();
-        t.push_row(Row {
-            label: d.to_string(),
-            values,
-        });
+        t.push_row(Row::opt(d.to_string(), values));
     }
     t.note("paper: 4-dest NOT drops 20.06 points from 2133→2400 MT/s and recovers +19.76 at 2666 (Observation 8)");
     t.note("speed is confounded with die revision in the fleet, exactly as in the paper's Table 1");

@@ -67,19 +67,13 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
             .filter(|c| c.cfg.manufacturer == mfr && c.cfg.density == density && c.cfg.die == die)
             .collect();
         if group.is_empty() {
-            t.push_row(Row {
-                label: label.into(),
-                values: vec![None, Some(0.0)],
-            });
+            t.push_row(Row::opt(label, vec![None, Some(0.0)]));
             continue;
         }
         let recs = not_records_for(&mut group, scale, &[1]);
         let vals: Vec<f64> = recs.iter().map(|r| r.p * 100.0).collect();
         if vals.is_empty() {
-            t.push_row(Row {
-                label: label.into(),
-                values: vec![None, Some(0.0)],
-            });
+            t.push_row(Row::opt(label, vec![None, Some(0.0)]));
         } else {
             t.push_row(Row::new(label, vec![mean(&vals), vals.len() as f64]));
         }

@@ -65,10 +65,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
             .iter()
             .map(|n| op_mean(fleet, scale, op, *n))
             .collect();
-        t.push_row(Row {
-            label: op.name().to_uppercase(),
-            values,
-        });
+        t.push_row(Row::opt(op.name().to_uppercase(), values));
     }
     t.note("paper: 16-input AND/NAND/OR/NOR at 94.94/94.94/95.85/95.87% (Observation 10)");
     t.note("paper: success increases with inputs (Obs. 11); OR-family beats AND-family, by 10.4 points at 2 inputs (Obs. 12); AND≈NAND, OR≈NOR (Obs. 13)");

@@ -62,10 +62,10 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                 }
             })
             .collect();
-        t.push_row(Row {
-            label: format!("{}-{n}", op.name().to_uppercase()),
+        t.push_row(Row::opt(
+            format!("{}-{n}", op.name().to_uppercase()),
             values,
-        });
+        ));
     }
     t.note("paper: 16-input AND drops 52.43 points from m=0 to m=15; 4-input AND drops 45.43 from m=0 to m=4 (Observation 14)");
     t.note("paper: 16-input OR drops 53.66 points from m=16 to m=1; 4-input OR drops 21.46 from m=4 to m=0");

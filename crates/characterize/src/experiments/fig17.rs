@@ -74,10 +74,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     Some(mean(&vals))
                 });
             }
-            t.push_row(Row {
-                label: format!("{com}-{refr}"),
-                values,
-            });
+            t.push_row(Row::opt(format!("{com}-{refr}"), values));
         }
     }
     for oi in 0..4 {

@@ -108,10 +108,7 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
         } else {
             Some(mean(&penalties))
         });
-        t.push_row(Row {
-            label: op.name().to_uppercase(),
-            values,
-        });
+        t.push_row(Row::opt(op.name().to_uppercase(), values));
     }
     t.note("paper penalties (random vs all-1s/0s): AND 1.43, NAND 1.39, OR 1.98, NOR 1.97 points (Observation 16)");
     t.note("note: the uniform family includes the worst-case all-1s/all-0s patterns, so its mean also reflects Fig. 16's extremes");

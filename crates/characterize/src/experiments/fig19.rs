@@ -45,10 +45,10 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     - present.iter().cloned().fold(f64::MAX, f64::min);
                 max_drift = max_drift.max(drift);
             }
-            t.push_row(Row {
-                label: format!("{}-{n}", op.name().to_uppercase()),
+            t.push_row(Row::opt(
+                format!("{}-{n}", op.name().to_uppercase()),
                 values,
-            });
+            ));
         }
     }
     t.note(format!(

@@ -38,10 +38,10 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     Some(mean(&vals))
                 });
             }
-            t.push_row(Row {
-                label: format!("{}-{n}", op.name().to_uppercase()),
+            t.push_row(Row::opt(
+                format!("{}-{n}", op.name().to_uppercase()),
                 values,
-            });
+            ));
         }
     }
     t.note("paper: 4-input NAND drops 29.89 points from 2133→2400 MT/s (Observation 18); the fleet-mean constraint of Fig. 15 caps the expressible dip at ≈15–25 points (see EXPERIMENTS.md)");

@@ -50,10 +50,10 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     Some(mean(&vals))
                 });
             }
-            t.push_row(Row {
-                label: format!("{}-{n}", op.name().to_uppercase()),
+            t.push_row(Row::opt(
+                format!("{}-{n}", op.name().to_uppercase()),
                 values,
-            });
+            ));
         }
     }
     t.note("paper: 2-input AND drops 27.47 points from 4Gb A to 4Gb M; 8Gb M beats 8Gb A by 2.11 (Observation 19)");

@@ -17,6 +17,11 @@
 //! experiments; `--quick` trades fidelity for speed and `--json PATH`
 //! dumps machine-readable results.
 //!
+//! `characterize fleet --chips N` sweeps a seeded population of
+//! simulated chips ([`sweep`]) sharded over worker threads and
+//! reports population success-rate distributions with per-chip
+//! attribution — see the README's *Fleet mode* section.
+//!
 //! ## Example
 //!
 //! ```
@@ -38,6 +43,8 @@ pub mod patterns;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 
-pub use report::{Row, Table};
+pub use report::{Row, RowOrigin, Table};
 pub use runner::{ModuleCtx, Scale};
+pub use sweep::{run_fleet_sweep, ChipResult, FleetReport, SweepConfig};

@@ -3,10 +3,14 @@
 use characterize::experiments::{run_experiment, ALL_IDS};
 use characterize::report::to_json;
 use characterize::runner::{build_fleet, Scale};
+use characterize::sweep::{run_fleet_sweep, SweepConfig};
+use dram_core::FleetConfig;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
+       characterize fleet [--chips N] [--shards K] [--seed S]
+                          [--module NAME] [--quick] [--json PATH]
 
 EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
@@ -14,10 +18,135 @@ EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             (default: all)
 --quick     reduced scale (fast; used by tests and benches)
 --json PATH additionally write results as JSON
+
+fleet mode sweeps a seeded population of simulated chips (drawn
+round-robin from Table 1, or from one --module) over the experiment
+grid, sharded across worker threads, and reports population
+success-rate distributions with per-chip attribution:
+--chips N   fleet size (default 16)
+--shards K  worker threads (default: one per CPU)
+--seed S    reseed the whole population (default 0 = Table-1 chips)
+--module M  draw every chip from module M (e.g. hynix-4Gb-M-2666-#0)
 ";
 
+/// Takes the next argument as a string, printing a diagnostic when it
+/// is missing.
+fn str_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Option<String> {
+    let v = it.next();
+    if v.is_none() {
+        eprintln!("{flag} requires a value\n{USAGE}");
+    }
+    v
+}
+
+/// Parses the next argument as a number, printing a diagnostic when it
+/// is missing or malformed.
+fn num_arg<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> Option<T> {
+    let Some(v) = it.next() else {
+        eprintln!("{flag} requires a value\n{USAGE}");
+        return None;
+    };
+    match v.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("{flag}: invalid value '{v}'\n{USAGE}");
+            None
+        }
+    }
+}
+
+fn run_fleet_cli(args: Vec<String>) -> ExitCode {
+    let mut chips = 16usize;
+    let mut shards = 0usize;
+    let mut seed = 0u64;
+    let mut module: Option<String> = None;
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--chips" => match num_arg(&mut it, "--chips") {
+                Some(n) => chips = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--shards" => match num_arg(&mut it, "--shards") {
+                Some(n) => shards = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match num_arg(&mut it, "--seed") {
+                Some(n) => seed = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--module" => match str_arg(&mut it, "--module") {
+                Some(m) => module = Some(m),
+                None => return ExitCode::FAILURE,
+            },
+            "--json" => match str_arg(&mut it, "--json") {
+                Some(p) => json_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown fleet option '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if chips == 0 {
+        eprintln!("--chips must be at least 1\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let fleet = match module {
+        Some(name) => {
+            let all = dram_core::config::full_fleet();
+            match all.into_iter().find(|m| m.name == name) {
+                Some(cfg) => FleetConfig::single(cfg, chips),
+                None => {
+                    eprintln!("unknown module '{name}' (see `characterize table1`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => FleetConfig::table1(chips),
+    }
+    .with_seed(seed);
+    let sweep = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::standard()
+    }
+    .with_shards(shards);
+    eprintln!(
+        "sweeping {} chips over {} worker thread(s) ...",
+        fleet.len(),
+        sweep.effective_workers(fleet.len())
+    );
+    let start = std::time::Instant::now();
+    let report = run_fleet_sweep(&fleet, &sweep);
+    eprintln!("fleet sweep done in {:.1}s", start.elapsed().as_secs_f64());
+    let tables = report.tables();
+    for t in &tables {
+        println!("{}", t.render());
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, to_json(&tables)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fleet") {
+        return run_fleet_cli(args.split_off(1));
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;
     let mut json_path: Option<String> = None;

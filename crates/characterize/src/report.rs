@@ -4,6 +4,36 @@
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+/// Which physical chip a row's measurements came from. Fleet-mode
+/// reports attach one to every per-chip row so population outliers are
+/// attributable to a specific module + chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowOrigin {
+    /// Module name, e.g. `"hynix-4Gb-M-2666-#0"`.
+    pub module: String,
+    /// Chip index within the module.
+    pub chip: usize,
+    /// Manufacturer display name.
+    pub manufacturer: String,
+}
+
+impl RowOrigin {
+    /// Builds an origin from a module config and chip id.
+    pub fn of(cfg: &dram_core::ModuleConfig, chip: dram_core::ChipId) -> RowOrigin {
+        RowOrigin {
+            module: cfg.name.clone(),
+            chip: chip.index(),
+            manufacturer: cfg.manufacturer.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for RowOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/c{} ({})", self.module, self.chip, self.manufacturer)
+    }
+}
+
 /// One labeled row of values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Row {
@@ -11,6 +41,9 @@ pub struct Row {
     pub label: String,
     /// Values, one per value header; `None` renders as `-`.
     pub values: Vec<Option<f64>>,
+    /// The chip this row is attributable to, when it measures a single
+    /// chip (fleet per-chip rows). `None` for aggregate rows.
+    pub origin: Option<RowOrigin>,
 }
 
 impl Row {
@@ -19,7 +52,24 @@ impl Row {
         Row {
             label: label.into(),
             values: values.into_iter().map(Some).collect(),
+            origin: None,
         }
+    }
+
+    /// Builds a row from optional values (`None` renders as `-`).
+    pub fn opt(label: impl Into<String>, values: Vec<Option<f64>>) -> Row {
+        Row {
+            label: label.into(),
+            values,
+            origin: None,
+        }
+    }
+
+    /// Attaches the originating chip.
+    #[must_use]
+    pub fn with_origin(mut self, origin: RowOrigin) -> Row {
+        self.origin = Some(origin);
+        self
     }
 }
 
@@ -110,6 +160,9 @@ impl Table {
                     }
                 }
             }
+            if let Some(origin) = &row.origin {
+                let _ = write!(out, "  @ {origin}");
+            }
             out.push('\n');
         }
         for n in &self.notes {
@@ -136,10 +189,7 @@ mod tests {
             vec!["mean %".into(), "min %".into()],
         );
         t.push_row(Row::new("1", vec![98.37, 42.0]));
-        t.push_row(Row {
-            label: "32".into(),
-            values: vec![Some(7.95), None],
-        });
+        t.push_row(Row::opt("32", vec![Some(7.95), None]));
         t.note("paper: 98.37% at 1 destination row");
         t
     }
@@ -157,6 +207,22 @@ mod tests {
             .filter(|l| l.starts_with('1') || l.starts_with('3'))
             .collect();
         assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn origin_renders_and_round_trips() {
+        let cfg = dram_core::config::table1().remove(0);
+        let mut t = sample();
+        t.push_row(
+            Row::new("c3", vec![97.5, 41.0]).with_origin(RowOrigin::of(&cfg, dram_core::ChipId(3))),
+        );
+        let s = t.render();
+        assert!(
+            s.contains("@ hynix-4Gb-M-2666-#0/c3 (SK Hynix)"),
+            "origin suffix missing:\n{s}"
+        );
+        let back: Vec<Table> = serde_json::from_str(&to_json(&[t.clone()])).unwrap();
+        assert_eq!(back[0], t);
     }
 
     #[test]

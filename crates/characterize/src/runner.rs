@@ -63,7 +63,9 @@ impl Scale {
 pub struct ModuleCtx {
     /// Module configuration.
     pub cfg: ModuleConfig,
-    /// Library facade on chip 0.
+    /// The chip under test within the module.
+    pub chip: ChipId,
+    /// Library facade on the chip under test.
     pub fc: Fcdram,
     /// Activation map of subarray pair (0, 1) in bank 0, when the part
     /// supports simultaneous activation (empty shapes otherwise).
@@ -77,20 +79,32 @@ pub const BANK: BankId = BankId(0);
 pub const PAIR: (SubarrayId, SubarrayId) = (SubarrayId(0), SubarrayId(1));
 
 impl ModuleCtx {
-    /// Builds the context for one module at the given scale.
+    /// Builds the context for chip 0 of one module at the given scale
+    /// (the historical single-chip path).
     pub fn build(cfg: &ModuleConfig, scale: &Scale) -> Result<ModuleCtx> {
+        ModuleCtx::build_chip(cfg, ChipId(0), scale)
+    }
+
+    /// Builds the context for an arbitrary chip of a module (fleet
+    /// mode). `build(cfg, scale)` is exactly `build_chip(cfg,
+    /// ChipId(0), scale)`.
+    pub fn build_chip(cfg: &ModuleConfig, chip: ChipId, scale: &Scale) -> Result<ModuleCtx> {
         let cfg = cfg.clone().with_modeled_cols(scale.cols);
-        let mut fc =
-            Fcdram::with_chip(bender::Bender::new(DramModule::new(cfg.clone())), ChipId(0));
+        let mut fc = Fcdram::with_chip(bender::Bender::new(DramModule::new(cfg.clone())), chip);
         let map = ActivationMap::discover(
             fc.bender_mut(),
-            ChipId(0),
+            chip,
             BANK,
             PAIR,
             scale.map_budget,
             scale.entries_per_shape,
         )?;
-        Ok(ModuleCtx { cfg, fc, map })
+        Ok(ModuleCtx { cfg, chip, fc, map })
+    }
+
+    /// The report origin of rows measured on this context's chip.
+    pub fn origin(&self) -> crate::report::RowOrigin {
+        crate::report::RowOrigin::of(&self.cfg, self.chip)
     }
 
     /// A synthetic 1:1 entry for sequential-activation parts
@@ -348,6 +362,22 @@ mod tests {
         assert!(!recs.is_empty());
         let mean: f64 = recs.iter().map(|r| r.p).sum::<f64>() / recs.len() as f64;
         assert!(mean > 0.7, "Samsung 1:1 NOT should work: {mean}");
+    }
+
+    #[test]
+    fn build_chip_targets_the_requested_chip() {
+        let cfg = dram_core::config::table1().remove(0);
+        let ctx = ModuleCtx::build_chip(&cfg, ChipId(3), &Scale::quick()).unwrap();
+        assert_eq!(ctx.chip, ChipId(3));
+        assert_eq!(ctx.fc.chip(), ChipId(3));
+        let origin = ctx.origin();
+        assert_eq!(origin.chip, 3);
+        assert_eq!(origin.module, cfg.name);
+        assert_eq!(origin.manufacturer, "SK Hynix");
+        // The historical entry point is exactly chip 0.
+        let ctx0 = ModuleCtx::build(&cfg, &Scale::quick()).unwrap();
+        assert_eq!(ctx0.chip, ChipId(0));
+        assert!(ctx.map.total_coverage() > 0.0, "chip 3 still discovers");
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Sharded fleet characterization sweeps.
+//!
+//! The paper's population-level figures (die-to-die variation,
+//! per-manufacturer success-rate distributions) come from
+//! characterizing 256 chips. This module fans an experiment grid —
+//! data pattern × temperature × destination-row count (the NOT timing
+//! axis) × logic (op, N) × chip — out over scoped worker threads, one
+//! *shard* of the fleet per thread, and streams per-chip results into
+//! mergeable [`SuccessAccumulator`]s. Per-chip results depend only on
+//! the chip's spec and the sweep configuration (all seeds derive from
+//! the chip seed), so the report is **bit-identical for every shard
+//! count** — threading is purely a wall-clock optimization.
+//!
+//! A fleet of size 1 over an untouched module config reproduces the
+//! direct single-chip path exactly (`tests/fleet_equivalence.rs`).
+
+use crate::patterns::DataPattern;
+use crate::report::{Row, Table};
+use crate::runner::{run_logic_random, run_not, ModuleCtx, Scale};
+use dram_core::fleet::{ChipSpec, FleetConfig};
+use dram_core::{LogicOp, Manufacturer, Temperature};
+use fcdram::SuccessAccumulator;
+use serde::{Deserialize, Serialize};
+
+/// The experiment grid swept on every fleet chip, plus the shard
+/// (thread) count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Per-chip experiment scale; `scale.temps` is the temperature
+    /// axis of the grid.
+    pub scale: Scale,
+    /// Destination-row counts for the NOT conditions (the violated
+    /// timing stress axis: more simultaneous rows, weaker drive).
+    pub dest_rows: Vec<usize>,
+    /// Data patterns driven through the NOT conditions.
+    pub patterns: Vec<DataPattern>,
+    /// Logic operations measured per input count.
+    pub logic_ops: Vec<LogicOp>,
+    /// Input counts N for the logic conditions.
+    pub logic_inputs: Vec<usize>,
+    /// Worker threads the fleet is sharded over. `0` = one per
+    /// available CPU (capped at the fleet size); `1` = serial.
+    pub shards: usize,
+}
+
+impl SweepConfig {
+    /// Reduced grid for tests, benches, and `--quick`.
+    pub fn quick() -> SweepConfig {
+        SweepConfig {
+            scale: Scale::quick(),
+            dest_rows: vec![1, 4],
+            patterns: vec![DataPattern::Random(0xF1EE7)],
+            logic_ops: vec![LogicOp::And, LogicOp::Nand],
+            logic_inputs: vec![2, 8],
+            shards: 0,
+        }
+    }
+
+    /// Standard grid for the CLI (minutes for tens of chips).
+    pub fn standard() -> SweepConfig {
+        SweepConfig {
+            scale: Scale::standard(),
+            dest_rows: vec![1, 4, 16],
+            patterns: vec![DataPattern::Random(0xF1EE7), DataPattern::Checker],
+            logic_ops: LogicOp::ALL.to_vec(),
+            logic_inputs: vec![2, 4, 8, 16],
+            shards: 0,
+        }
+    }
+
+    /// Minimal grid for throughput benchmarking: one condition per
+    /// family so the measured cost is dominated by per-chip model
+    /// work, not grid breadth.
+    pub fn bench() -> SweepConfig {
+        SweepConfig {
+            scale: Scale {
+                cols: 16,
+                map_budget: 512,
+                entries_per_shape: 2,
+                execs_per_condition: 1,
+                input_draws: 1,
+                temps: vec![Temperature::BASELINE],
+            },
+            dest_rows: vec![1, 2],
+            patterns: vec![DataPattern::Random(1)],
+            logic_ops: vec![LogicOp::And],
+            logic_inputs: vec![2],
+            shards: 0,
+        }
+    }
+
+    /// Overrides the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> SweepConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// The worker-thread count actually used for `chips` fleet
+    /// members: the configured count, or one per available CPU when 0,
+    /// never more than the fleet size and never less than 1.
+    pub fn effective_shards(&self, chips: usize) -> usize {
+        let requested = if self.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.shards
+        };
+        requested.min(chips).max(1)
+    }
+
+    /// The worker threads [`run_fleet_sweep`] actually spawns for
+    /// `chips` fleet members. Ceil-division chunking can need fewer
+    /// workers than [`effective_shards`](Self::effective_shards)
+    /// (e.g. 5 chips over 4 shards → 3 chunks of 2); this is the
+    /// count recorded in [`FleetReport::shards`].
+    pub fn effective_workers(&self, chips: usize) -> usize {
+        let shards = self.effective_shards(chips);
+        if shards <= 1 || chips == 0 {
+            1
+        } else {
+            chips.div_ceil(chips.div_ceil(shards))
+        }
+    }
+}
+
+/// Everything measured on one fleet chip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipResult {
+    /// Fleet display label (`module/cN`).
+    pub label: String,
+    /// Module name.
+    pub module: String,
+    /// Chip index within the module.
+    pub chip: usize,
+    /// Manufacturer display name (population grouping key).
+    pub manufacturer: String,
+    /// Success probabilities of every NOT destination cell measured.
+    pub not: SuccessAccumulator,
+    /// Success probabilities of every logic result cell measured.
+    pub logic: SuccessAccumulator,
+    /// Grid conditions attempted on this chip.
+    pub conditions: usize,
+    /// Conditions that produced no measurement (unsupported op,
+    /// missing pattern, or — for `Ignored`-capability parts — a failed
+    /// context build).
+    pub failures: usize,
+}
+
+impl ChipResult {
+    fn empty_for(spec: &ChipSpec) -> ChipResult {
+        ChipResult {
+            label: spec.label(),
+            module: spec.cfg.name.clone(),
+            chip: spec.chip.index(),
+            manufacturer: spec.cfg.manufacturer.to_string(),
+            not: SuccessAccumulator::new(),
+            logic: SuccessAccumulator::new(),
+            conditions: 0,
+            failures: 0,
+        }
+    }
+}
+
+/// Runs the full grid on one already-built chip context, streaming
+/// cell success probabilities into the two accumulators of `out`.
+///
+/// This is the exact per-chip work [`run_fleet_sweep`] performs; it is
+/// public so the fleet-of-1 bit-identity test can drive the historical
+/// single-chip path through the identical code.
+pub fn chip_sweep(ctx: &mut ModuleCtx, cfg: &SweepConfig, out: &mut ChipResult) {
+    let chip_seed = ctx.cfg.chip_seed(ctx.chip);
+    for temp in &cfg.scale.temps {
+        ctx.fc.set_temperature(*temp);
+        // NOT conditions: pattern × destination-row count.
+        for pattern in &cfg.patterns {
+            for d in &cfg.dest_rows {
+                if ctx.cfg.manufacturer == Manufacturer::Samsung && *d != 1 {
+                    continue;
+                }
+                let entries = ctx.not_entries(*d, &cfg.scale);
+                if entries.is_empty() {
+                    // The chip's activation map has no such shape — a
+                    // capability gap, not a measurement failure.
+                    continue;
+                }
+                out.conditions += 1;
+                let mut measured = false;
+                for entry in entries.iter().take(cfg.scale.execs_per_condition) {
+                    if let Ok(recs) = run_not(ctx, entry, *pattern) {
+                        out.not.extend_from(recs.iter().map(|r| r.p));
+                        measured = true;
+                    }
+                }
+                if !measured {
+                    out.failures += 1;
+                }
+            }
+        }
+        // Logic conditions: op × input count, random input draws.
+        for (ni, n) in cfg.logic_inputs.iter().enumerate() {
+            if ctx.cfg.max_op_inputs() < *n {
+                continue;
+            }
+            for (oi, op) in cfg.logic_ops.iter().enumerate() {
+                let seed = dram_core::math::mix3(chip_seed, (ni * 64 + oi) as u64, 0x51EE9);
+                match run_logic_random(ctx, *op, *n, cfg.scale.input_draws, seed) {
+                    Ok(recs) if !recs.is_empty() => {
+                        out.conditions += 1;
+                        out.logic.extend_from(recs.iter().map(|r| r.p));
+                    }
+                    // No N:N pattern discovered at this budget — a
+                    // capability gap, not a measurement failure.
+                    Err(fcdram::FcdramError::NoPattern { .. }) => {}
+                    _ => {
+                        out.conditions += 1;
+                        out.failures += 1;
+                    }
+                }
+            }
+        }
+    }
+    ctx.fc.set_temperature(Temperature::BASELINE);
+}
+
+/// Builds and sweeps one fleet member. Pure function of `(spec, cfg)`
+/// — independent of shard assignment.
+fn run_chip(spec: &ChipSpec, cfg: &SweepConfig) -> ChipResult {
+    let mut out = ChipResult::empty_for(spec);
+    match ModuleCtx::build_chip(&spec.cfg, spec.chip, &cfg.scale) {
+        Ok(mut ctx) => chip_sweep(&mut ctx, cfg, &mut out),
+        Err(_) => {
+            out.conditions = 1;
+            out.failures = 1;
+        }
+    }
+    out
+}
+
+/// The merged outcome of a fleet sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Worker threads actually used.
+    pub shards: usize,
+    /// Per-chip results, in fleet order (independent of sharding).
+    pub chips: Vec<ChipResult>,
+}
+
+impl FleetReport {
+    /// Population accumulators (NOT, logic), merged in fleet order so
+    /// the means are bit-stable across shard counts.
+    pub fn population(&self) -> (SuccessAccumulator, SuccessAccumulator) {
+        let mut not = SuccessAccumulator::new();
+        let mut logic = SuccessAccumulator::new();
+        for c in &self.chips {
+            not.merge(&c.not);
+            logic.merge(&c.logic);
+        }
+        (not, logic)
+    }
+
+    /// Manufacturer display names present, in fleet order.
+    pub fn manufacturers(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.chips {
+            if !out.contains(&c.manufacturer) {
+                out.push(c.manufacturer.clone());
+            }
+        }
+        out
+    }
+
+    /// Merged accumulators `(not, logic, chips)` for one manufacturer.
+    pub fn per_manufacturer(&self, mfr: &str) -> (SuccessAccumulator, SuccessAccumulator, usize) {
+        let mut not = SuccessAccumulator::new();
+        let mut logic = SuccessAccumulator::new();
+        let mut chips = 0usize;
+        for c in self.chips.iter().filter(|c| c.manufacturer == mfr) {
+            not.merge(&c.not);
+            logic.merge(&c.logic);
+            chips += 1;
+        }
+        (not, logic, chips)
+    }
+
+    /// Renders the population distribution tables (`fleet-not`,
+    /// `fleet-logic`) and the per-chip attribution table
+    /// (`fleet-chips`), in the same [`Table`] JSON shape every other
+    /// experiment report uses.
+    pub fn tables(&self) -> Vec<Table> {
+        let dist_headers: Vec<String> = [
+            "chips", "cells", "mean %", "p1 %", "p25 %", "p50 %", "p75 %", "p99 %", "min %",
+            "max %",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let dist_row = |label: &str, chips: usize, acc: &SuccessAccumulator| -> Row {
+            Row::new(
+                label,
+                vec![
+                    chips as f64,
+                    acc.count() as f64,
+                    acc.mean() * 100.0,
+                    acc.quantile(0.01) * 100.0,
+                    acc.quantile(0.25) * 100.0,
+                    acc.quantile(0.50) * 100.0,
+                    acc.quantile(0.75) * 100.0,
+                    acc.quantile(0.99) * 100.0,
+                    acc.min() * 100.0,
+                    acc.max() * 100.0,
+                ],
+            )
+        };
+
+        let (pop_not, pop_logic) = self.population();
+        let mut not_t = Table::new(
+            "fleet-not",
+            "Fleet population: NOT destination-cell success distribution",
+            "population",
+            dist_headers.clone(),
+        );
+        let mut logic_t = Table::new(
+            "fleet-logic",
+            "Fleet population: logic result-cell success distribution",
+            "population",
+            dist_headers,
+        );
+        not_t.push_row(dist_row("all", self.chips.len(), &pop_not));
+        logic_t.push_row(dist_row("all", self.chips.len(), &pop_logic));
+        for mfr in self.manufacturers() {
+            let (not, logic, chips) = self.per_manufacturer(&mfr);
+            not_t.push_row(dist_row(&mfr, chips, &not));
+            logic_t.push_row(dist_row(&mfr, chips, &logic));
+        }
+        let note = format!(
+            "{} chips swept over {} shard(s); per-chip results are shard-count invariant",
+            self.chips.len(),
+            self.shards
+        );
+        not_t.note(note.clone());
+        logic_t.note(note);
+
+        let mut chips_t = Table::new(
+            "fleet-chips",
+            "Per-chip sweep results (attributable population members)",
+            "chip",
+            vec![
+                "NOT mean %".into(),
+                "logic mean %".into(),
+                "cells".into(),
+                "conditions".into(),
+                "failures".into(),
+            ],
+        );
+        for c in &self.chips {
+            let origin = crate::report::RowOrigin {
+                module: c.module.clone(),
+                chip: c.chip,
+                manufacturer: c.manufacturer.clone(),
+            };
+            chips_t.push_row(
+                Row::opt(
+                    c.label.clone(),
+                    vec![
+                        if c.not.is_empty() {
+                            None
+                        } else {
+                            Some(c.not.mean() * 100.0)
+                        },
+                        if c.logic.is_empty() {
+                            None
+                        } else {
+                            Some(c.logic.mean() * 100.0)
+                        },
+                        Some((c.not.count() + c.logic.count()) as f64),
+                        Some(c.conditions as f64),
+                        Some(c.failures as f64),
+                    ],
+                )
+                .with_origin(origin),
+            );
+        }
+        vec![not_t, logic_t, chips_t]
+    }
+}
+
+/// Sweeps every chip of `fleet` through the grid of `cfg`, sharding
+/// the fleet over scoped worker threads.
+///
+/// Shard `s` of `K` processes the contiguous member range
+/// `[s·⌈N/K⌉, (s+1)·⌈N/K⌉)`; each worker builds its chips, runs
+/// [`chip_sweep`], and the results are reassembled in fleet order, so
+/// the returned report is identical for every shard count.
+pub fn run_fleet_sweep(fleet: &FleetConfig, cfg: &SweepConfig) -> FleetReport {
+    let specs = fleet.specs();
+    let shards = cfg.effective_shards(specs.len());
+    let workers = cfg.effective_workers(specs.len());
+    let mut results: Vec<Option<ChipResult>> = (0..specs.len()).map(|_| None).collect();
+    if workers <= 1 {
+        for (i, spec) in specs.iter().enumerate() {
+            results[i] = Some(run_chip(spec, cfg));
+        }
+    } else {
+        let chunk = specs.len().div_ceil(shards);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = specs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(si, chunk_specs)| {
+                    s.spawn(move || {
+                        chunk_specs
+                            .iter()
+                            .enumerate()
+                            .map(|(j, spec)| (si * chunk + j, run_chip(spec, cfg)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("sweep shard panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+    }
+    FleetReport {
+        shards: workers,
+        chips: results
+            .into_iter()
+            .map(|r| r.expect("every fleet member swept"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig::bench().with_shards(1)
+    }
+
+    #[test]
+    fn sweep_measures_every_chip() {
+        let fleet = FleetConfig::table1(3);
+        let report = run_fleet_sweep(&fleet, &tiny_cfg());
+        assert_eq!(report.chips.len(), 3);
+        for c in &report.chips {
+            assert!(c.conditions > 0, "{}: no conditions", c.label);
+            assert!(!c.not.is_empty(), "{}: no NOT cells", c.label);
+            assert!(c.not.mean() > 0.5, "{}: NOT mean {}", c.label, c.not.mean());
+        }
+        assert_eq!(report.shards, 1);
+    }
+
+    #[test]
+    fn sharded_report_is_bit_identical_to_serial() {
+        let fleet = FleetConfig::table1(4);
+        let serial = run_fleet_sweep(&fleet, &tiny_cfg());
+        let sharded = run_fleet_sweep(&fleet, &SweepConfig::bench().with_shards(4));
+        assert_eq!(
+            serial.chips, sharded.chips,
+            "sharding must not change results"
+        );
+        let (a, _) = serial.population();
+        let (b, _) = sharded.population();
+        assert_eq!(a, b, "population merge must be shard-invariant");
+    }
+
+    #[test]
+    fn samsung_contributes_not_but_skips_many_input_logic() {
+        let cfg = dram_core::config::table1()
+            .into_iter()
+            .find(|m| m.manufacturer == dram_core::Manufacturer::Samsung)
+            .unwrap();
+        let fleet = FleetConfig::single(cfg, 1);
+        let report = run_fleet_sweep(&fleet, &tiny_cfg());
+        let c = &report.chips[0];
+        assert!(!c.not.is_empty(), "sequential NOT still measures");
+        assert!(c.logic.is_empty(), "no simultaneous logic on Samsung");
+    }
+
+    #[test]
+    fn tables_carry_population_and_attribution() {
+        let fleet = FleetConfig::table1(2);
+        let report = run_fleet_sweep(&fleet, &tiny_cfg());
+        let tables = report.tables();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].id, "fleet-not");
+        assert_eq!(tables[0].rows[0].label, "all");
+        // Population mean is a percentage in (0, 100].
+        let mean = tables[0].rows[0].values[2].unwrap();
+        assert!(mean > 50.0 && mean <= 100.0, "mean {mean}");
+        // Quantiles are monotone: p1 ≤ p50 ≤ p99.
+        let (p1, p50, p99) = (
+            tables[0].rows[0].values[3].unwrap(),
+            tables[0].rows[0].values[5].unwrap(),
+            tables[0].rows[0].values[7].unwrap(),
+        );
+        assert!(p1 <= p50 && p50 <= p99, "{p1} {p50} {p99}");
+        let chips_table = &tables[2];
+        assert_eq!(chips_table.rows.len(), 2);
+        for row in &chips_table.rows {
+            let origin = row.origin.as_ref().expect("per-chip rows are attributed");
+            assert!(!origin.module.is_empty());
+        }
+    }
+
+    #[test]
+    fn report_records_workers_actually_spawned() {
+        // 5 chips over 4 requested shards → chunks of 2 → 3 workers.
+        let fleet = FleetConfig::table1(5);
+        let cfg = SweepConfig::bench().with_shards(4);
+        assert_eq!(cfg.effective_workers(5), 3, "5 chips / 4 shards → 3 chunks");
+        let report = run_fleet_sweep(&fleet, &cfg);
+        assert_eq!(report.shards, 3, "report records workers actually spawned");
+        assert_eq!(report.chips.len(), 5);
+    }
+
+    #[test]
+    fn effective_shards_clamps() {
+        let cfg = SweepConfig::bench();
+        assert_eq!(cfg.clone().with_shards(8).effective_shards(3), 3);
+        assert_eq!(cfg.clone().with_shards(2).effective_shards(64), 2);
+        assert!(cfg.clone().with_shards(0).effective_shards(64) >= 1);
+        assert_eq!(cfg.with_shards(5).effective_shards(0), 1);
+    }
+}

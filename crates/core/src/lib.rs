@@ -55,7 +55,7 @@ pub use ops::{
 };
 pub use packed::PackedBits;
 pub use row_order::{discover_row_order, RowOrder};
-pub use success::{sample_trials, sampled_success_rate, SuccessStats};
+pub use success::{sample_trials, sampled_success_rate, SuccessAccumulator, SuccessStats};
 
 // Re-export the device-model vocabulary users need at the API surface.
 pub use dram_core::{

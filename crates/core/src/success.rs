@@ -69,6 +69,177 @@ impl SuccessStats {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
+
+    /// Absorbs another accumulator's values (exact merge: the result is
+    /// identical to having pushed both value streams into one
+    /// accumulator, in `self`-then-`other` order).
+    pub fn merge(&mut self, other: &SuccessStats) {
+        self.values.extend_from_slice(&other.values);
+    }
+}
+
+/// Number of histogram bins in a [`SuccessAccumulator`].
+///
+/// 1024 bins over `[0, 1]` resolve success-rate quantiles to better
+/// than 0.1 percentage points — finer than any figure in the paper.
+pub const ACCUMULATOR_BINS: usize = 1024;
+
+/// Constant-memory, *mergeable* success-rate accumulator.
+///
+/// [`SuccessStats`] stores every value, which is exact but unbounded: a
+/// 256-chip sweep at full row width records billions of cells. This
+/// accumulator keeps O(1) state — count, sum, exact min/max, and a
+/// fixed 1024-bin histogram — and supports an order-insensitive
+/// [`merge`](Self::merge) so per-chip shards can be combined into
+/// population statistics. Two accumulators built from the same
+/// multiset of values are bit-identical in every field except `sum`
+/// (floating-point addition order), which the fleet runner pins by
+/// always merging in fleet order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuccessAccumulator {
+    count: u64,
+    sum: f64,
+    /// Exact minimum; `1.0` when empty (identity for `min`).
+    min: f64,
+    /// Exact maximum; `0.0` when empty (identity for `max`).
+    max: f64,
+    bins: Vec<u64>,
+}
+
+impl Default for SuccessAccumulator {
+    fn default() -> Self {
+        SuccessAccumulator {
+            count: 0,
+            sum: 0.0,
+            min: 1.0,
+            max: 0.0,
+            bins: vec![0; ACCUMULATOR_BINS],
+        }
+    }
+}
+
+impl SuccessAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one success rate (clamped to `[0, 1]`).
+    pub fn push(&mut self, p: f64) {
+        let p = p.clamp(0.0, 1.0);
+        self.count += 1;
+        self.sum += p;
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+        let bin = ((p * ACCUMULATOR_BINS as f64) as usize).min(ACCUMULATOR_BINS - 1);
+        self.bins[bin] += 1;
+    }
+
+    /// Records many success rates.
+    pub fn extend_from(&mut self, ps: impl IntoIterator<Item = f64>) {
+        for p in ps {
+            self.push(p);
+        }
+    }
+
+    /// Absorbs another accumulator. Histogram, count, min, and max are
+    /// order-insensitive; `sum` (and hence `mean`) follows the merge
+    /// order, so callers wanting bit-stable means must merge in a
+    /// fixed order.
+    pub fn merge(&mut self, other: &SuccessAccumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += *o;
+        }
+    }
+
+    /// Number of values recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether anything has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean success rate (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]` of the recorded distribution, linearly
+    /// interpolated within the containing histogram bin and clamped to
+    /// the exact `[min, max]` envelope. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile fraction {q} out of range"
+        );
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q * (self.count - 1) as f64;
+        let mut below = 0u64;
+        for (i, n) in self.bins.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let upto = below + n;
+            if rank < upto as f64 {
+                // Interpolate the rank's position inside this bin.
+                let within = (rank - below as f64 + 0.5) / *n as f64;
+                let width = 1.0 / ACCUMULATOR_BINS as f64;
+                let v = (i as f64 + within.clamp(0.0, 1.0)) * width;
+                return v.clamp(self.min, self.max);
+            }
+            below = upto;
+        }
+        self.max
+    }
+
+    /// Fraction of recorded values in bins strictly above `threshold`'s
+    /// bin (histogram resolution: 1/1024).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let t = threshold.clamp(0.0, 1.0);
+        let cut = ((t * ACCUMULATOR_BINS as f64) as usize).min(ACCUMULATOR_BINS - 1);
+        let above: u64 = self.bins[cut + 1..].iter().sum();
+        above as f64 / self.count as f64
+    }
 }
 
 /// Deterministically samples the number of successes in `trials`
@@ -154,6 +325,92 @@ mod tests {
         assert_eq!(sample_trials(0.0, 1000, 1), 0);
         assert_eq!(sample_trials(1.0, 1000, 1), 1000);
         assert_eq!(sampled_success_rate(0.5, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_exact_stats() {
+        let values: Vec<f64> = (0..5000)
+            .map(|i| dram_core::math::hash_to_unit(mix2(0xACC, i as u64)))
+            .collect();
+        let mut acc = SuccessAccumulator::new();
+        acc.extend_from(values.iter().copied());
+        let mut exact = SuccessStats::new();
+        exact.extend_from(values.iter().copied());
+        assert_eq!(acc.count(), 5000);
+        assert!((acc.mean() - exact.mean()).abs() < 1e-12, "mean is exact");
+        assert_eq!(acc.min(), exact.min(), "min is exact");
+        assert_eq!(acc.max(), exact.max(), "max is exact");
+        // Quantiles resolve to histogram-bin precision.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let approx = acc.quantile(q);
+            let truth = sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
+            assert!(
+                (approx - truth).abs() < 2.0 / ACCUMULATOR_BINS as f64 + 1e-9,
+                "q={q}: {approx} vs {truth}"
+            );
+        }
+        assert!((acc.fraction_above(0.5) - exact.fraction_above(0.5)).abs() < 0.005);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_stream() {
+        let vals: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 / 96.0).collect();
+        let mut whole = SuccessAccumulator::new();
+        whole.extend_from(vals.iter().copied());
+        let mut left = SuccessAccumulator::new();
+        let mut right = SuccessAccumulator::new();
+        left.extend_from(vals[..400].iter().copied());
+        right.extend_from(vals[400..].iter().copied());
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        assert_eq!(left.quantile(0.5), whole.quantile(0.5));
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_empty_is_safe() {
+        let acc = SuccessAccumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), 0.0);
+        assert_eq!(acc.max(), 0.0);
+        assert_eq!(acc.quantile(0.5), 0.0);
+        assert_eq!(acc.fraction_above(0.9), 0.0);
+    }
+
+    #[test]
+    fn accumulator_single_value() {
+        let mut acc = SuccessAccumulator::new();
+        acc.push(0.9837);
+        assert_eq!(acc.quantile(0.0), 0.9837, "clamped to exact min");
+        assert_eq!(acc.quantile(1.0), 0.9837, "clamped to exact max");
+        assert_eq!(acc.mean(), 0.9837);
+    }
+
+    #[test]
+    fn accumulator_clamps_and_round_trips() {
+        let mut acc = SuccessAccumulator::new();
+        acc.push(1.5);
+        acc.push(-0.5);
+        assert_eq!(acc.max(), 1.0);
+        assert_eq!(acc.min(), 0.0);
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: SuccessAccumulator = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, acc);
+    }
+
+    #[test]
+    fn stats_merge_concatenates() {
+        let mut a = SuccessStats::new();
+        a.extend_from([0.1, 0.2]);
+        let mut b = SuccessStats::new();
+        b.extend_from([0.3]);
+        a.merge(&b);
+        assert_eq!(a.values(), &[0.1, 0.2, 0.3]);
     }
 
     #[test]

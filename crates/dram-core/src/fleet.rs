@@ -1,0 +1,281 @@
+//! Deterministic chip fleets: seeded populations of simulated chips.
+//!
+//! The paper's conclusions are *distributional* — success rates across
+//! 256 chips, grouped by manufacturer, die revision, and speed bin.
+//! This module turns the Table-1 inventory into an enumerable fleet of
+//! [`ChipSpec`]s: each spec names one `(ModuleConfig, ChipId)` pair and
+//! builds a [`Chip`] whose process variation derives deterministically
+//! from the module seed and chip index (layered through
+//! [`crate::variation::ProcessVariation`] and the per-chip
+//! [`crate::variation::VariationCache`]). Per-die and per-manufacturer
+//! behaviour comes from the [`ModuleConfig`] itself (reliability
+//! calibration, activation capability), so a fleet reproduces both the
+//! systematic (die/manufacturer) and random (chip-to-chip) layers of
+//! variation.
+//!
+//! ## Fidelity invariant
+//!
+//! A fleet of size 1 over a single module with the default fleet seed
+//! is *bit-identical* to constructing `Chip::new(cfg, ChipId(0))`
+//! directly: the spec carries the untouched `ModuleConfig` and
+//! `ChipId(0)` (pinned by `tests/fleet_equivalence.rs`).
+
+use crate::chip::Chip;
+use crate::config::{Manufacturer, ModuleConfig};
+use crate::math::mix3;
+use crate::types::ChipId;
+use serde::{Deserialize, Serialize};
+
+/// One member of a simulated fleet: a chip of a (possibly reseeded)
+/// module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipSpec {
+    /// The module configuration this chip belongs to.
+    pub cfg: ModuleConfig,
+    /// The chip within the module.
+    pub chip: ChipId,
+}
+
+impl ChipSpec {
+    /// Instantiates the simulated chip.
+    pub fn build(&self) -> Chip {
+        Chip::new(self.cfg.clone(), self.chip)
+    }
+
+    /// The chip's deterministic seed (all process variation derives
+    /// from it).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.cfg.chip_seed(self.chip)
+    }
+
+    /// Stable display label, e.g. `"hynix-4Gb-M-2666-#0/c3"`.
+    pub fn label(&self) -> String {
+        format!("{}/c{}", self.cfg.name, self.chip.index())
+    }
+}
+
+/// A deterministic, seeded population of N simulated chips.
+///
+/// Chips are assigned round-robin across the member modules, so small
+/// fleets still sample every module family; once a module's physical
+/// chips are exhausted, further draws come from *replica* modules — the
+/// same part with a remixed seed, modeling another purchased module of
+/// the same Table-1 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Modules chips are drawn from (round-robin).
+    pub modules: Vec<ModuleConfig>,
+    /// Total number of chips in the fleet.
+    pub chips: usize,
+    /// Extra fleet-level entropy mixed into every *replica* module
+    /// seed. `0` (the default) leaves first-replica modules untouched,
+    /// which preserves bit-identity with the direct single-chip path.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A fleet of `chips` chips all drawn from one module.
+    pub fn single(cfg: ModuleConfig, chips: usize) -> FleetConfig {
+        FleetConfig {
+            modules: vec![cfg],
+            chips,
+            seed: 0,
+        }
+    }
+
+    /// A fleet of `chips` chips drawn round-robin from the paper's
+    /// Table-1 inventory (22 modules, both manufacturers).
+    pub fn table1(chips: usize) -> FleetConfig {
+        FleetConfig {
+            modules: crate::config::table1(),
+            chips,
+            seed: 0,
+        }
+    }
+
+    /// A fleet drawn from an explicit module list.
+    pub fn custom(modules: Vec<ModuleConfig>, chips: usize) -> FleetConfig {
+        assert!(!modules.is_empty(), "fleet needs at least one module");
+        FleetConfig {
+            modules,
+            chips,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the fleet-level seed. A non-zero seed reseeds *every*
+    /// module (including the first replica), producing an independent
+    /// population of the same inventory shape.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> FleetConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of chips in the fleet.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.chips
+    }
+
+    /// Whether the fleet is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.chips == 0
+    }
+
+    /// The spec of fleet member `index` (0-based).
+    ///
+    /// Member `k` is chip `k / M` of module `k % M` (M = module count);
+    /// chip indices beyond a module's physical chip count roll over
+    /// into replica modules with remixed seeds.
+    pub fn spec(&self, index: usize) -> ChipSpec {
+        assert!(!self.modules.is_empty(), "fleet needs at least one module");
+        assert!(index < self.chips, "fleet member {index} out of range");
+        let m = self.modules.len();
+        let module = &self.modules[index % m];
+        let draw = index / m;
+        let phys = module.chips.max(1);
+        let replica = draw / phys;
+        let chip = ChipId(draw % phys);
+        let mut cfg = module.clone();
+        if replica > 0 || self.seed != 0 {
+            cfg.seed = mix3(cfg.seed, replica as u64, self.seed ^ 0xF1EE7);
+        }
+        if replica > 0 {
+            cfg.name = format!("{}-r{replica}", cfg.name);
+        }
+        ChipSpec { cfg, chip }
+    }
+
+    /// Every member spec, in fleet order.
+    pub fn specs(&self) -> Vec<ChipSpec> {
+        (0..self.chips).map(|i| self.spec(i)).collect()
+    }
+
+    /// Chip counts per manufacturer, in `Manufacturer` declaration
+    /// order (SK Hynix, Samsung, Micron).
+    pub fn manufacturer_counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        if self.chips > 0 {
+            assert!(!self.modules.is_empty(), "fleet needs at least one module");
+        }
+        for i in 0..self.chips {
+            let m = &self.modules[i % self.modules.len()];
+            let slot = match m.manufacturer {
+                Manufacturer::SkHynix => 0,
+                Manufacturer::Samsung => 1,
+                Manufacturer::Micron => 2,
+            };
+            counts[slot] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::table1;
+
+    #[test]
+    fn single_fleet_member_zero_is_the_direct_path() {
+        let cfg = table1().remove(0).with_modeled_cols(16);
+        let fleet = FleetConfig::single(cfg.clone(), 1);
+        let spec = fleet.spec(0);
+        assert_eq!(spec.cfg, cfg, "member 0 must carry the untouched cfg");
+        assert_eq!(spec.chip, ChipId(0));
+        assert_eq!(spec.seed(), cfg.chip_seed(ChipId(0)));
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let fleet = FleetConfig::table1(64);
+        assert_eq!(fleet.specs(), fleet.specs());
+        assert_eq!(fleet.specs().len(), 64);
+    }
+
+    #[test]
+    fn member_seeds_are_unique() {
+        let fleet = FleetConfig::table1(256);
+        let mut seeds: Vec<u64> = fleet.specs().iter().map(|s| s.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 256, "all 256 fleet chips vary independently");
+    }
+
+    #[test]
+    fn round_robin_samples_both_manufacturers() {
+        let fleet = FleetConfig::table1(22);
+        let [hynix, samsung, micron] = fleet.manufacturer_counts();
+        assert_eq!(hynix, 18);
+        assert_eq!(samsung, 4);
+        assert_eq!(micron, 0);
+    }
+
+    #[test]
+    fn replicas_roll_over_with_fresh_seeds() {
+        let cfg = table1().remove(0); // 8 physical chips
+        let fleet = FleetConfig::single(cfg.clone(), 20);
+        let first = fleet.spec(0);
+        let rolled = fleet.spec(8); // chip 0 of replica 1
+        assert_eq!(rolled.chip, ChipId(0));
+        assert_ne!(rolled.cfg.seed, first.cfg.seed);
+        assert!(rolled.cfg.name.ends_with("-r1"), "{}", rolled.cfg.name);
+        assert_ne!(rolled.seed(), first.seed());
+    }
+
+    #[test]
+    fn fleet_seed_reseeds_population() {
+        let cfg = table1().remove(0);
+        let base = FleetConfig::single(cfg.clone(), 4);
+        let reseeded = FleetConfig::single(cfg, 4).with_seed(99);
+        for i in 0..4 {
+            assert_ne!(base.spec(i).seed(), reseeded.spec(i).seed());
+        }
+        assert_eq!(reseeded.specs(), reseeded.specs(), "still deterministic");
+    }
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let fleet = FleetConfig::table1(44);
+        let mut labels: Vec<String> = fleet.specs().iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn spec_bounds_checked() {
+        let _ = FleetConfig::table1(2).spec(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one module")]
+    fn empty_module_list_is_rejected_clearly() {
+        // A deserialized / literal-built config can bypass custom()'s
+        // assert; spec() must still fail with the clear message, not a
+        // modulo-by-zero panic.
+        let fleet = FleetConfig {
+            modules: Vec::new(),
+            chips: 4,
+            seed: 0,
+        };
+        let _ = fleet.spec(0);
+    }
+
+    #[test]
+    fn built_chips_differ_between_members() {
+        let cfg = table1().remove(0).with_modeled_cols(16);
+        let fleet = FleetConfig::single(cfg, 2);
+        let a = fleet.spec(0).build();
+        let b = fleet.spec(1).build();
+        assert_ne!(
+            a.decoder().p_glitch(),
+            b.decoder().p_glitch(),
+            "per-chip variation must differ"
+        );
+    }
+}

@@ -44,6 +44,7 @@ pub mod config;
 pub mod energy;
 pub mod error;
 pub mod fidelity;
+pub mod fleet;
 pub mod geometry;
 pub mod math;
 pub mod module;
@@ -62,6 +63,7 @@ pub use config::{ActivationCapability, ChipOrg, Density, DieRevision, Manufactur
 pub use energy::{EnergyParams, OpCost};
 pub use error::{DramError, Result};
 pub use fidelity::{SimFidelity, Telemetry};
+pub use fleet::{ChipSpec, FleetConfig};
 pub use geometry::Geometry;
 pub use module::DramModule;
 pub use reliability::{CellRef, LogicEvent, LogicOp, NotEvent, ReliabilityModel};

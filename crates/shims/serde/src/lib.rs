@@ -77,9 +77,18 @@ pub mod de {
             .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
     }
 
-    /// Deserializes a required field from an object body.
+    /// Deserializes a field from an object body.
+    ///
+    /// A *missing* key falls back to deserializing [`Content::Null`],
+    /// matching real serde's treatment of `Option` fields (absent →
+    /// `None`); types that reject `Null` keep the clearer "missing
+    /// field" error.
     pub fn field<T: Deserialize>(obj: &[(String, Content)], key: &str) -> Result<T, Error> {
-        T::from_content(req(obj, key)?)
+        match obj.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_content(v),
+            None => T::from_content(&Content::Null)
+                .map_err(|_| Error::custom(format!("missing field `{key}`"))),
+        }
     }
 }
 

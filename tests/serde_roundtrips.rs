@@ -72,14 +72,29 @@ fn op_outcome_round_trips_through_json() {
 fn experiment_tables_round_trip_through_json() {
     let mut t = Table::new("x", "title", "label", vec!["a".into(), "b".into()]);
     t.push_row(Row::new("r1", vec![1.0, 2.0]));
-    t.push_row(Row {
-        label: "r2".into(),
-        values: vec![None, Some(3.5)],
-    });
+    t.push_row(Row::opt("r2", vec![None, Some(3.5)]));
+    t.push_row(
+        Row::new("r3", vec![4.0, 5.0]).with_origin(characterize::RowOrigin {
+            module: "hynix-4Gb-M-2666-#0".into(),
+            chip: 3,
+            manufacturer: "SK Hynix".into(),
+        }),
+    );
     t.note("note with unicode — ≤1.66%");
     let json = to_json(std::slice::from_ref(&t));
     let back: Vec<Table> = serde_json::from_str(&json).unwrap();
     assert_eq!(back, vec![t]);
+}
+
+#[test]
+fn rows_without_origin_field_still_deserialize() {
+    // JSON written before chip attribution existed has no `origin`
+    // key; archived `--json` output must keep loading (absent Option
+    // fields deserialize as None, as in real serde).
+    let legacy = r#"{"label": "r1", "values": [1.0, null]}"#;
+    let row: Row = serde_json::from_str(legacy).unwrap();
+    assert_eq!(row, Row::opt("r1", vec![Some(1.0), None]));
+    assert!(row.origin.is_none());
 }
 
 #[test]

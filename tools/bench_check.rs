@@ -1,0 +1,157 @@
+//! Bench-regression gate: fails when a tracked benchmark regresses
+//! more than the allowed fraction against the committed baseline.
+//!
+//! This compares the *committed* `BENCH_engine.json` artifact (the
+//! workflow regenerates nothing): it catches a regressed artifact
+//! being committed, and keeps the baseline honest whenever the bench
+//! is re-run — regenerate the artifact alongside perf-relevant
+//! changes (`cargo bench -p fcdram-bench --bench ablation_engine`) so
+//! the gate sees fresh numbers.
+//!
+//! Compiled standalone by `ci.sh` (`rustc -O tools/bench_check.rs`);
+//! deliberately dependency-free, with a minimal scanner for the flat
+//! `[{"id": ..., "mean_ns": ...}, ...]` shape `BENCH_engine.json` and
+//! `BENCH_fleet.json` use.
+//!
+//! ```text
+//! bench_check [--current BENCH_engine.json]
+//!             [--baseline tools/bench_baseline.json]
+//!             [--id logic_model_columnar_cached/1024cols]
+//!             [--max-regress 0.20]
+//! ```
+//!
+//! Exit status: 0 when every checked id is within tolerance, 1 on a
+//! regression, 2 on usage/parse errors.
+
+use std::process::ExitCode;
+
+/// One `"id" → mean_ns` measurement extracted from a summary file.
+#[derive(Debug)]
+struct Entry {
+    id: String,
+    mean_ns: f64,
+}
+
+/// Extracts `(id, mean_ns)` pairs from the flat JSON array the bench
+/// summaries use. Tolerant of pretty-printing and key order within an
+/// object; not a general JSON parser.
+fn parse_entries(src: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    // Objects are `{ ... }` blocks; split on '}' and scan each block
+    // for the two keys.
+    for block in src.split('}') {
+        let id = extract_string(block, "\"id\"");
+        let mean = extract_number(block, "\"mean_ns\"");
+        if let (Some(id), Some(mean_ns)) = (id, mean) {
+            out.push(Entry { id, mean_ns });
+        }
+    }
+    out
+}
+
+fn extract_string(block: &str, key: &str) -> Option<String> {
+    let at = block.find(key)? + key.len();
+    let rest = &block[at..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_number(block: &str, key: &str) -> Option<f64> {
+    let at = block.find(key)? + key.len();
+    let rest = &block[at..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let entries = parse_entries(&src);
+    if entries.is_empty() {
+        return Err(format!("{path}: no benchmark entries found"));
+    }
+    Ok(entries)
+}
+
+fn mean_of(entries: &[Entry], id: &str) -> Option<f64> {
+    entries.iter().find(|e| e.id == id).map(|e| e.mean_ns)
+}
+
+fn main() -> ExitCode {
+    let mut current = "BENCH_engine.json".to_string();
+    let mut baseline = "tools/bench_baseline.json".to_string();
+    let mut ids = Vec::new();
+    let mut max_regress = 0.20f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match a.as_str() {
+                "--current" => current = val("--current")?,
+                "--baseline" => baseline = val("--baseline")?,
+                "--id" => ids.push(val("--id")?),
+                "--max-regress" => {
+                    max_regress = val("--max-regress")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-regress: {e}"))?
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if ids.is_empty() {
+        // The model-evaluation hot path the columnar rewrite bought.
+        ids.push("logic_model_columnar_cached/1024cols".to_string());
+    }
+
+    let (cur, base) = match (load(&current), load(&baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench_check: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    for id in &ids {
+        let (Some(now), Some(then)) = (mean_of(&cur, id), mean_of(&base, id)) else {
+            eprintln!("bench_check: id '{id}' missing from {current} or {baseline}");
+            failed = true;
+            continue;
+        };
+        let ratio = now / then;
+        let verdict = if ratio > 1.0 + max_regress {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_check: {id}: {now:.1} ns vs baseline {then:.1} ns ({ratio:.3}x, limit {:.3}x) {verdict}",
+            1.0 + max_regress
+        );
+    }
+    if failed {
+        eprintln!("bench_check: FAILED (>{:.0}% regression)", max_regress * 100.0);
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: all {} id(s) within tolerance", ids.len());
+    ExitCode::SUCCESS
+}
