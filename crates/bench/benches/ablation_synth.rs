@@ -1,0 +1,101 @@
+//! Ablation: logic-synthesis compile throughput and mapping quality.
+//!
+//! Compiles three representative workloads — a small expression
+//! (3-input majority), a medium one (8-bit parity XOR chain), and a
+//! large truth table (8-input parity, 128 minterms of 8-input ANDs) —
+//! through the full `fcsynth` pipeline (parse → DAG optimize →
+//! reliability-aware map) and writes a `BENCH_synth.json` summary at
+//! the repository root in the same shape as `BENCH_engine.json`.
+//!
+//! Besides the `synth_compile/<size>` wall-clock entries, derived
+//! `synth_mapped_ops/<size>` entries record the **deterministic**
+//! mapped native-op count in `mean_ns` (and the naive 2-input-tree op
+//! count in `iterations`); `tools/bench_check.rs` gates on those, so
+//! an optimizer or mapper regression that inflates emitted programs
+//! fails CI even though compile times vary by machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fcsynth::{compile_expr, CostModel, Expr, Mapper};
+
+/// The three compile workloads: (label, expression producer).
+fn workloads() -> Vec<(&'static str, Expr)> {
+    let majority = Expr::parse("(a & b) | (a & c) | (b & c)").expect("parses");
+    let parity8 = Expr::parse("b0 ^ b1 ^ b2 ^ b3 ^ b4 ^ b5 ^ b6 ^ b7").expect("parses");
+    let bits: Vec<bool> = (0..256u32).map(|m| (m.count_ones() % 2) == 1).collect();
+    let table8 = Expr::from_truth_table(8, &bits).expect("valid table");
+    vec![("small", majority), ("medium", parity8), ("large", table8)]
+}
+
+fn bench(c: &mut Criterion) {
+    let cost = CostModel::table1_defaults();
+    for (label, expr) in workloads() {
+        c.bench_function(format!("synth_compile/{label}"), |b| {
+            b.iter(|| {
+                let compiled = compile_expr(black_box(expr.clone()), &cost, 16);
+                black_box(compiled.mapping.native_ops)
+            });
+        });
+    }
+    write_summary(&cost);
+}
+
+/// Writes the compile-time measurements plus derived deterministic
+/// op-count entries to `BENCH_synth.json`.
+fn write_summary(cost: &CostModel) {
+    let mut entries: Vec<serde_json::Value> = criterion::results()
+        .iter()
+        .map(|r| {
+            serde_json::Value::Object(vec![
+                ("id".to_string(), serde_json::Value::Str(r.id.clone())),
+                ("mean_ns".to_string(), serde_json::Value::Float(r.mean_ns)),
+                (
+                    "median_ns".to_string(),
+                    serde_json::Value::Float(r.median_ns),
+                ),
+                (
+                    "iterations".to_string(),
+                    serde_json::Value::UInt(r.iterations),
+                ),
+            ])
+        })
+        .collect();
+    for (label, expr) in workloads() {
+        let compiled = compile_expr(expr, cost, 16);
+        let naive = Mapper::naive(cost).map(&compiled.circuit);
+        println!(
+            "synth_mapped_ops/{label}: {} native ops (naive {}), expected success {:.2}%",
+            compiled.mapping.native_ops,
+            naive.native_ops,
+            compiled.mapping.expected_success * 100.0
+        );
+        entries.push(serde_json::Value::Object(vec![
+            (
+                "id".to_string(),
+                serde_json::Value::Str(format!("synth_mapped_ops/{label}")),
+            ),
+            (
+                "mean_ns".to_string(),
+                serde_json::Value::Float(compiled.mapping.native_ops as f64),
+            ),
+            (
+                "median_ns".to_string(),
+                serde_json::Value::Float(compiled.mapping.native_ops as f64),
+            ),
+            (
+                "iterations".to_string(),
+                serde_json::Value::UInt(naive.native_ops as u64),
+            ),
+        ]));
+    }
+    let json = serde_json::to_string_pretty(&entries).expect("summary serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
+    std::fs::write(path, json).expect("summary written");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

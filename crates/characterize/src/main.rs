@@ -11,6 +11,10 @@ const USAGE: &str = "\
 usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
        characterize fleet [--chips N] [--shards K] [--seed S]
                           [--module NAME] [--quick] [--json PATH]
+                          [--export-costs PATH]
+       characterize synth (--expr EXPR | --table BITS) [--costs PATH]
+                          [--fan-in N] [--execute] [--lanes N]
+                          [--asm PATH]
 
 EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
@@ -27,6 +31,20 @@ success-rate distributions with per-chip attribution:
 --shards K  worker threads (default: one per CPU)
 --seed S    reseed the whole population (default 0 = Table-1 chips)
 --module M  draw every chip from module M (e.g. hynix-4Gb-M-2666-#0)
+--export-costs PATH  write measured per-(op, N) success/latency/energy
+            as a synthesis cost model (the JSON fcsynth loads)
+
+synth mode compiles a boolean expression (or LSB-first truth table)
+into an FCDRAM program with the reliability-aware mapper and reports
+the chosen mapping, expected success, and energy/latency:
+--expr EXPR   expression over !, &, |, ^, parens, named inputs
+--table BITS  truth table, e.g. 0110 (2^n digits, LSB-first)
+--costs PATH  cost model from a fleet --export-costs run
+              (default: built-in Table-1 population means)
+--fan-in N    widest native gate of the target part (default 16)
+--execute     run on the host-substrate SimdVm and verify bit-exact
+--lanes N     SIMD lanes for --execute (default 256)
+--asm PATH    also emit the program as bender assembly
 ";
 
 /// Takes the next argument as a string, printing a diagnostic when it
@@ -62,10 +80,15 @@ fn run_fleet_cli(args: Vec<String>) -> ExitCode {
     let mut module: Option<String> = None;
     let mut quick = false;
     let mut json_path: Option<String> = None;
+    let mut costs_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--export-costs" => match str_arg(&mut it, "--export-costs") {
+                Some(p) => costs_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
             "--chips" => match num_arg(&mut it, "--chips") {
                 Some(n) => chips = n,
                 None => return ExitCode::FAILURE,
@@ -139,6 +162,208 @@ fn run_fleet_cli(args: Vec<String>) -> ExitCode {
         }
         eprintln!("wrote {path}");
     }
+    if let Some(path) = costs_path {
+        let data = report.cost_export(65_536);
+        if data.entries.is_empty() {
+            eprintln!("no measured operations to export (nothing written)");
+            return ExitCode::FAILURE;
+        }
+        let json = serde_json::to_string_pretty(&data).expect("cost model serializes");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {path} ({} operation entries; load with `characterize synth --costs`)",
+            data.entries.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `synth` subcommand: compile an expression or truth table with
+/// the reliability-aware mapper and report (optionally execute) it.
+fn run_synth_cli(args: Vec<String>) -> ExitCode {
+    let mut expr_text: Option<String> = None;
+    let mut table_text: Option<String> = None;
+    let mut costs_path: Option<String> = None;
+    let mut asm_path: Option<String> = None;
+    let mut fan_in = 16usize;
+    let mut lanes = 256usize;
+    let mut execute = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--expr" => match str_arg(&mut it, "--expr") {
+                Some(e) => expr_text = Some(e),
+                None => return ExitCode::FAILURE,
+            },
+            "--table" => match str_arg(&mut it, "--table") {
+                Some(t) => table_text = Some(t),
+                None => return ExitCode::FAILURE,
+            },
+            "--costs" => match str_arg(&mut it, "--costs") {
+                Some(p) => costs_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--asm" => match str_arg(&mut it, "--asm") {
+                Some(p) => asm_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--fan-in" => match num_arg(&mut it, "--fan-in") {
+                Some(n) => fan_in = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--lanes" => match num_arg(&mut it, "--lanes") {
+                Some(n) => lanes = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--execute" => execute = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown synth option '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let expr = match (expr_text, table_text) {
+        (Some(e), None) => fcsynth::Expr::parse(&e),
+        (None, Some(t)) => fcsynth::Expr::parse_truth_table(&t),
+        _ => {
+            eprintln!("synth needs exactly one of --expr or --table\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let expr = match expr {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cost = match &costs_path {
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fcsynth::CostModel::from_json(&json) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => fcsynth::CostModel::table1_defaults(),
+    };
+    let compiled = fcsynth::compile_expr(expr, &cost, fan_in);
+    let naive = fcsynth::Mapper::naive(&cost).map(&compiled.circuit);
+    let m = &compiled.mapping;
+    println!(
+        "inputs: {} ({})",
+        compiled.circuit.inputs().len(),
+        compiled.circuit.inputs().join(", ")
+    );
+    println!(
+        "cost model: {} ({} entries)",
+        cost.data().source,
+        cost.data().entries.len()
+    );
+    println!(
+        "optimized DAG: {} logic node(s)",
+        compiled.circuit.live_ops()
+    );
+    println!("chosen mapping (fan-in limit {fan_in}):");
+    for (op, width, count) in m.gate_summary() {
+        println!("  {count:>4} x {op}{width}");
+    }
+    println!(
+        "native ops:        {:>10}  (naive 2-input tree: {})",
+        m.native_ops, naive.native_ops
+    );
+    println!(
+        "expected success:  {:>9.4}%  (naive 2-input tree: {:.4}%)",
+        m.expected_success * 100.0,
+        naive.expected_success * 100.0
+    );
+    println!("latency:           {:>8.1} ns", m.latency_ns);
+    println!("energy:            {:>8.1} pJ", m.energy_pj);
+    if let Some(path) = asm_path {
+        let emitter = fcsynth::BenderEmitter::default();
+        match emitter.emit_asm(&m.program) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "wrote {path} ({} lines of bender asm)",
+                    text.lines().count()
+                );
+            }
+            Err(e) => {
+                eprintln!("asm emission failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if execute {
+        use simdram::{HostSubstrate, SimdVm};
+        let n = compiled.circuit.inputs().len();
+        let capacity = (m.program.n_regs + n + 8).max(64);
+        let mut vm = match SimdVm::new(HostSubstrate::new(lanes, capacity)) {
+            Ok(vm) => vm,
+            Err(e) => {
+                eprintln!("vm setup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let operands: Vec<fcdram::PackedBits> = (0..n)
+            .map(|i| {
+                let mut p = fcdram::PackedBits::zeros(lanes);
+                for l in 0..lanes {
+                    p.set(
+                        l,
+                        dram_core::math::mix3(0x5E17, i as u64, l as u64) & 1 == 1,
+                    );
+                }
+                p
+            })
+            .collect();
+        // A constant expression has no operands; the reference is the
+        // folded constant splatted across the lanes.
+        let expect = if n == 0 {
+            fcdram::PackedBits::splat(compiled.expr.eval(&[]), lanes)
+        } else {
+            compiled.circuit.eval_packed(&operands)
+        };
+        match fcsynth::execute_packed(&mut vm, &m.program, &operands) {
+            Ok(got) if got == expect => {
+                println!(
+                    "executed on SimdVm<HostSubstrate>: {lanes} lanes, bit-exact vs reference"
+                );
+            }
+            Ok(got) => {
+                eprintln!(
+                    "MISMATCH vs reference evaluator: {}/{} lanes agree",
+                    got.count_matches(&expect),
+                    lanes
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -146,6 +371,9 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("fleet") {
         return run_fleet_cli(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("synth") {
+        return run_synth_cli(args.split_off(1));
     }
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;

@@ -123,6 +123,19 @@ impl SweepConfig {
     }
 }
 
+/// Per-(op, input-count) logic accumulator of one chip — the
+/// granularity [`fcsynth::CostModel`] consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicShapeResult {
+    /// The operation.
+    pub op: LogicOp,
+    /// Input count N.
+    pub inputs: usize,
+    /// Success probabilities of every result cell measured under this
+    /// shape (across temperatures and input draws).
+    pub acc: SuccessAccumulator,
+}
+
 /// Everything measured on one fleet chip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChipResult {
@@ -138,6 +151,11 @@ pub struct ChipResult {
     pub not: SuccessAccumulator,
     /// Success probabilities of every logic result cell measured.
     pub logic: SuccessAccumulator,
+    /// The same logic cells, broken down per (op, N) — the shape the
+    /// synthesis cost export needs. Keyed in first-measurement order;
+    /// identical for every shard count (per-chip work is
+    /// deterministic).
+    pub logic_shapes: Vec<LogicShapeResult>,
     /// Grid conditions attempted on this chip.
     pub conditions: usize,
     /// Conditions that produced no measurement (unsupported op,
@@ -155,9 +173,27 @@ impl ChipResult {
             manufacturer: spec.cfg.manufacturer.to_string(),
             not: SuccessAccumulator::new(),
             logic: SuccessAccumulator::new(),
+            logic_shapes: Vec::new(),
             conditions: 0,
             failures: 0,
         }
+    }
+
+    /// The per-(op, N) accumulator, created on first use.
+    fn shape_mut(&mut self, op: LogicOp, inputs: usize) -> &mut SuccessAccumulator {
+        if let Some(i) = self
+            .logic_shapes
+            .iter()
+            .position(|s| s.op == op && s.inputs == inputs)
+        {
+            return &mut self.logic_shapes[i].acc;
+        }
+        self.logic_shapes.push(LogicShapeResult {
+            op,
+            inputs,
+            acc: SuccessAccumulator::new(),
+        });
+        &mut self.logic_shapes.last_mut().expect("just pushed").acc
     }
 }
 
@@ -207,6 +243,7 @@ pub fn chip_sweep(ctx: &mut ModuleCtx, cfg: &SweepConfig, out: &mut ChipResult) 
                     Ok(recs) if !recs.is_empty() => {
                         out.conditions += 1;
                         out.logic.extend_from(recs.iter().map(|r| r.p));
+                        out.shape_mut(*op, *n).extend_from(recs.iter().map(|r| r.p));
                     }
                     // No N:N pattern discovered at this budget — a
                     // capability gap, not a measurement failure.
@@ -256,6 +293,80 @@ impl FleetReport {
             logic.merge(&c.logic);
         }
         (not, logic)
+    }
+
+    /// Population per-(op, N) accumulators, merged across chips in
+    /// fleet order and sorted by (input count, op order in
+    /// [`LogicOp::ALL`]) for stable reporting.
+    pub fn logic_shapes(&self) -> Vec<LogicShapeResult> {
+        let mut merged: Vec<LogicShapeResult> = Vec::new();
+        for c in &self.chips {
+            for s in &c.logic_shapes {
+                match merged
+                    .iter_mut()
+                    .find(|m| m.op == s.op && m.inputs == s.inputs)
+                {
+                    Some(m) => m.acc.merge(&s.acc),
+                    None => merged.push(s.clone()),
+                }
+            }
+        }
+        let op_rank = |op: LogicOp| LogicOp::ALL.iter().position(|o| *o == op).unwrap_or(4);
+        merged.sort_by_key(|s| (s.inputs, op_rank(s.op)));
+        merged
+    }
+
+    /// Builds the synthesis cost-model document ([`fcsynth`]'s
+    /// `CostModelData` schema, the exact JSON `fcsynth::CostModel`
+    /// loads) from this report's measured success rates, priced with
+    /// [`simdram::cost`]'s steady-state DDR4 accounting at `lanes`
+    /// SIMD lanes.
+    pub fn cost_export(&self, lanes: usize) -> fcsynth::CostModelData {
+        use simdram::trace::{NativeOp, TraceEntry};
+        let pricer = simdram::CostModel::new(dram_core::timing::SpeedBin::Mt2666, lanes);
+        let priced = |op: NativeOp| {
+            pricer.entry_cost(&TraceEntry {
+                op,
+                executions: 1,
+                predicted_success: 1.0,
+            })
+        };
+        let mut entries = Vec::new();
+        let (not, _) = self.population();
+        if !not.is_empty() {
+            let c = priced(NativeOp::Not);
+            entries.push(fcsynth::GateCost {
+                op: "not".into(),
+                inputs: 1,
+                success: not.mean(),
+                latency_ns: c.latency_ns,
+                energy_pj: c.energy_pj,
+                cells: not.count(),
+            });
+        }
+        for s in self.logic_shapes() {
+            if s.acc.is_empty() {
+                continue;
+            }
+            let c = priced(NativeOp::Logic(s.op, s.inputs as u8));
+            entries.push(fcsynth::GateCost {
+                op: s.op.name().into(),
+                inputs: s.inputs,
+                success: s.acc.mean(),
+                latency_ns: c.latency_ns,
+                energy_pj: c.energy_pj,
+                cells: s.acc.count(),
+            });
+        }
+        fcsynth::CostModelData {
+            source: format!(
+                "characterize fleet sweep: {} chip(s), {} shard(s)",
+                self.chips.len(),
+                self.shards
+            ),
+            lanes,
+            entries,
+        }
     }
 
     /// Manufacturer display names present, in fleet order.
@@ -515,6 +626,42 @@ mod tests {
         let report = run_fleet_sweep(&fleet, &cfg);
         assert_eq!(report.shards, 3, "report records workers actually spawned");
         assert_eq!(report.chips.len(), 5);
+    }
+
+    #[test]
+    fn logic_shapes_partition_the_logic_population() {
+        let fleet = FleetConfig::table1(2);
+        let cfg = SweepConfig::quick().with_shards(1);
+        let report = run_fleet_sweep(&fleet, &cfg);
+        for c in &report.chips {
+            let by_shape: u64 = c.logic_shapes.iter().map(|s| s.acc.count()).sum();
+            assert_eq!(by_shape, c.logic.count(), "{}: shapes partition", c.label);
+        }
+        let shapes = report.logic_shapes();
+        assert!(!shapes.is_empty());
+        // Sorted by (inputs, op order) and covering the quick grid.
+        for w in shapes.windows(2) {
+            assert!(w[0].inputs <= w[1].inputs);
+        }
+        let total: u64 = shapes.iter().map(|s| s.acc.count()).sum();
+        let (_, logic) = report.population();
+        assert_eq!(total, logic.count());
+    }
+
+    #[test]
+    fn cost_export_loads_as_a_synth_cost_model() {
+        let fleet = FleetConfig::table1(2);
+        let report = run_fleet_sweep(&fleet, &SweepConfig::quick().with_shards(1));
+        let data = report.cost_export(65_536);
+        assert!(data.entries.iter().any(|e| e.op == "not"));
+        assert!(data.entries.iter().all(|e| e.cells > 0));
+        let json = serde_json::to_string_pretty(&data).unwrap();
+        let model = fcsynth::CostModel::from_json(&json).expect("schema matches");
+        // The measured model drives the mapper end to end.
+        let cost = model;
+        let compiled = fcsynth::compile("(a & b) | (c & d)", &cost, 16).unwrap();
+        assert!(compiled.mapping.expected_success > 0.0);
+        assert!(compiled.mapping.latency_ns > 0.0);
     }
 
     #[test]

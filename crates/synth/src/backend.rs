@@ -1,0 +1,406 @@
+//! Execution backends for mapped programs.
+//!
+//! Two targets, verified against [`crate::dag::Circuit::eval_packed`]:
+//!
+//! * **[`SimdVm`]** — each [`Step`](crate::mapper::Step) executes as
+//!   exactly one native operation on the VM's substrate (the mapper
+//!   already chunked every gate to the substrate fan-in), so the
+//!   executed trace matches the mapping's predictions one-to-one. On
+//!   [`simdram::HostSubstrate`] the result is bit-exact; on
+//!   [`simdram::DramSubstrate`] it inherits the characterized
+//!   per-cell success rates.
+//! * **[`bender`] assembly** — the program as a cycle-timed DDR4
+//!   command schedule in the textual format of [`bender::asm`], for
+//!   command-level replay. The emission mirrors [`simdram::cost`]'s
+//!   steady-state accounting: per gate, N operand stagings, N−1
+//!   constant reference rows, one `Frac`, the violated double
+//!   activation, and one result copy-out; per NOT, a cross-subarray
+//!   copy-invert pair (invert into staging, restore-polarity back to
+//!   the destination's home row).
+
+use crate::error::{Result, SynthError};
+use crate::mapper::{Output, SynthProgram};
+use bender::{Program, ProgramBuilder};
+use dram_core::timing::SpeedBin;
+use dram_core::{BankId, Bit, GlobalRow, LogicOp};
+use fcdram::PackedBits;
+use simdram::{BitRow, SimdVm, Substrate};
+
+/// Executes a mapped program on a [`SimdVm`], one native operation per
+/// step.
+///
+/// `inputs` are the operand rows in register order; they are read but
+/// never freed or clobbered. The returned row is owned by the caller
+/// (for constant or passthrough outputs it is a fresh copy).
+///
+/// # Errors
+///
+/// Fails on an operand-count mismatch or when the substrate runs out
+/// of rows.
+pub fn execute_on_vm<S: Substrate>(
+    vm: &mut SimdVm<S>,
+    prog: &SynthProgram,
+    inputs: &[BitRow],
+) -> Result<BitRow> {
+    if inputs.len() != prog.inputs.len() {
+        return Err(SynthError::InputMismatch {
+            expected: prog.inputs.len(),
+            got: inputs.len(),
+        });
+    }
+    let n_in = inputs.len();
+    let last_use = prog.last_use();
+    let mut regs: Vec<Option<BitRow>> = vec![None; prog.n_regs];
+    for (r, row) in inputs.iter().enumerate() {
+        regs[r] = Some(*row);
+    }
+    for (i, step) in prog.steps.iter().enumerate() {
+        let args: Vec<BitRow> = step
+            .args
+            .iter()
+            .map(|r| regs[*r].expect("mapper emits defs before uses"))
+            .collect();
+        let out = match step.op {
+            None => vm.bit_not(args[0])?,
+            Some(LogicOp::And) => vm.bit_and(&args)?,
+            Some(LogicOp::Or) => vm.bit_or(&args)?,
+            Some(LogicOp::Nand) => vm.bit_nand(&args)?,
+            Some(LogicOp::Nor) => vm.bit_nor(&args)?,
+        };
+        regs[step.out] = Some(out);
+        // Free temporaries at their last use to keep row pressure at
+        // the live-range width instead of the program length.
+        for r in &step.args {
+            if *r >= n_in && last_use[*r] <= i {
+                if let Some(row) = regs[*r].take() {
+                    vm.release(row);
+                }
+            }
+        }
+    }
+    match prog.output {
+        Output::Const(b) => {
+            let out = vm.alloc_row()?;
+            let src = if b { vm.one_row() } else { vm.zero_row() };
+            vm.substrate_mut().copy(src, out)?;
+            Ok(out)
+        }
+        Output::Reg(r) if r < n_in => {
+            let out = vm.alloc_row()?;
+            vm.substrate_mut().copy(inputs[r], out)?;
+            Ok(out)
+        }
+        Output::Reg(r) => Ok(regs[r].take().expect("output register defined")),
+    }
+}
+
+/// Convenience wrapper: stages packed operand columns into fresh rows,
+/// executes, reads the packed result back, and frees every staged row.
+///
+/// # Errors
+///
+/// Fails on operand mismatch, ragged lane counts, or row exhaustion.
+pub fn execute_packed<S: Substrate>(
+    vm: &mut SimdVm<S>,
+    prog: &SynthProgram,
+    operands: &[PackedBits],
+) -> Result<PackedBits> {
+    if operands.len() != prog.inputs.len() {
+        return Err(SynthError::InputMismatch {
+            expected: prog.inputs.len(),
+            got: operands.len(),
+        });
+    }
+    let mut rows = Vec::with_capacity(operands.len());
+    for o in operands {
+        let r = vm.alloc_row()?;
+        vm.substrate_mut().write_packed(r, o)?;
+        rows.push(r);
+    }
+    let result = execute_on_vm(vm, prog, &rows);
+    let out = match result {
+        Ok(out) => {
+            let packed = vm.substrate_mut().read_packed(out)?;
+            vm.release(out);
+            Ok(packed)
+        }
+        Err(e) => Err(e),
+    };
+    for r in rows {
+        vm.release(r);
+    }
+    out
+}
+
+/// Emits mapped programs as [`bender`] command schedules.
+///
+/// Register `r` lives in home row `r` of the first subarray, whose
+/// *top* rows hold the reference/frac row and the constant rows of
+/// each gate; the paired subarray holds the operand staging rows, so
+/// every staging, charge-share, and copy-out activation pairs a
+/// home-subarray row with a paired-subarray row. The schedule is
+/// *replay-accurate* (every violated-timing sequence of the paper, in
+/// execution order, with legal addresses for the target geometry); it
+/// does not functionally simulate the charge sharing — that is the
+/// device model's job when the program is executed.
+#[derive(Debug, Clone)]
+pub struct BenderEmitter {
+    /// Target bank.
+    pub bank: BankId,
+    /// Rows per subarray of the target geometry (the default 512
+    /// matches every Table-1 part).
+    pub rows_per_subarray: usize,
+    /// Columns written into constant reference rows. Must be a
+    /// multiple of 4 so `WR` hex data round-trips exactly.
+    pub cols: usize,
+    /// Speed bin the cycle schedule targets.
+    pub speed: SpeedBin,
+}
+
+impl Default for BenderEmitter {
+    fn default() -> Self {
+        BenderEmitter {
+            bank: BankId(0),
+            rows_per_subarray: 512,
+            cols: 32,
+            speed: SpeedBin::Mt2666,
+        }
+    }
+}
+
+/// Reference-side scratch at the *top* of the home subarray: the
+/// frac/reference row plus 15 constant rows (so every staging,
+/// charge-share, and copy-out activation pairs a home-subarray row
+/// with a paired-subarray row, as the paper's sequences require).
+const REF_SCRATCH: usize = simdram::MAX_FAN_IN;
+
+impl BenderEmitter {
+    /// Emits the command program.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the register file exceeds the home subarray, the
+    /// scratch layout exceeds the paired subarray, or `cols` is not a
+    /// multiple of 4.
+    pub fn emit(&self, prog: &SynthProgram) -> Result<Program> {
+        if self.cols == 0 || !self.cols.is_multiple_of(4) {
+            return Err(SynthError::Backend(format!(
+                "cols {} must be a positive multiple of 4",
+                self.cols
+            )));
+        }
+        if prog.n_regs.max(1) + REF_SCRATCH > self.rows_per_subarray {
+            return Err(SynthError::OutOfRows {
+                need: prog.n_regs.max(1) + REF_SCRATCH,
+                have: self.rows_per_subarray,
+            });
+        }
+        let rps = self.rows_per_subarray;
+        // Home rows (registers) fill the first subarray bottom-up;
+        // reference scratch occupies its top; operand staging rows
+        // live in the paired subarray.
+        let home = |r: usize| GlobalRow(r);
+        let ref_row = GlobalRow(rps - 1);
+        let const_row = |j: usize| GlobalRow(rps - 2 - j);
+        let stage = |i: usize| GlobalRow(rps + i);
+        let mut b = ProgramBuilder::new(self.speed);
+        for step in &prog.steps {
+            match step.op {
+                None => {
+                    // NOT: one cross-subarray copy-invert into the
+                    // staging row, one copy-invert back to the home
+                    // row (restoring polarity, RowClone-style).
+                    b.seq_copy_invert(self.bank, home(step.args[0]), stage(0));
+                    b.seq_copy_invert(self.bank, stage(0), home(step.out));
+                }
+                Some(op) => {
+                    let n = step.args.len();
+                    // Stage the N operands into the compute side.
+                    for (i, arg) in step.args.iter().enumerate() {
+                        b.seq_copy_invert(self.bank, home(*arg), stage(i));
+                    }
+                    // N−1 constant reference rows: all-1 for the AND
+                    // family, all-0 for the OR family (§6.1).
+                    let fill = Bit::from(op.is_and_family());
+                    for j in 0..n.saturating_sub(1) {
+                        b.seq_write_row(self.bank, const_row(j), vec![fill; self.cols]);
+                    }
+                    // Frac the reference row to VDD/2, then the
+                    // double-violated charge-sharing activation pairing
+                    // the reference side with the staged compute side.
+                    b.seq_frac(self.bank, ref_row);
+                    b.seq_charge_share(self.bank, ref_row, stage(0));
+                    // Result copy-out to the destination home row.
+                    b.seq_copy_invert(self.bank, stage(0), home(step.out));
+                }
+            }
+        }
+        match prog.output {
+            Output::Const(v) => {
+                b.seq_write_row(self.bank, home(0), vec![Bit::from(v); self.cols]);
+            }
+            Output::Reg(_) => {}
+        }
+        Ok(b.build())
+    }
+
+    /// Emits the program as assembly text ([`bender::asm::format`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BenderEmitter::emit`].
+    pub fn emit_asm(&self, prog: &SynthProgram) -> Result<String> {
+        Ok(bender::asm::format(&self.emit(prog)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::dag::Circuit;
+    use crate::expr::Expr;
+    use crate::mapper::Mapper;
+    use simdram::HostSubstrate;
+
+    fn mapped(text: &str) -> crate::mapper::Mapping {
+        let cost = CostModel::table1_defaults();
+        Mapper::new(&cost, 16).map(&Circuit::from_expr(&Expr::parse(text).unwrap()))
+    }
+
+    fn random_operands(n: usize, lanes: usize, seed: u64) -> Vec<PackedBits> {
+        (0..n)
+            .map(|i| {
+                let mut p = PackedBits::zeros(lanes);
+                for l in 0..lanes {
+                    let h = dram_core::math::mix3(seed, i as u64, l as u64);
+                    p.set(l, h & 1 == 1);
+                }
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn host_execution_is_bit_exact() {
+        for text in [
+            "a ^ b ^ c ^ d",
+            "(a & b) | (a & c) | (b & c)",
+            "!(a | b | c) & (d ^ e)",
+            "a",
+            "!a",
+            "a & !a",
+            "a | 1",
+        ] {
+            let expr = Expr::parse(text).unwrap();
+            let circuit = Circuit::from_expr(&expr);
+            let m = mapped(text);
+            let lanes = 130;
+            let ops = random_operands(circuit.inputs().len(), lanes, 0xBEEF);
+            let expect = circuit.eval_packed(&ops);
+            let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+            let got = execute_packed(&mut vm, &m.program, &ops).unwrap();
+            assert_eq!(got, expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn execution_frees_every_temporary() {
+        let m = mapped("(a & b & c & d) ^ (e | f | g | h)");
+        let lanes = 64;
+        let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+        let live0 = vm.substrate().live_rows();
+        let ops = random_operands(8, lanes, 7);
+        let out = execute_packed(&mut vm, &m.program, &ops).unwrap();
+        assert_eq!(out.len(), lanes);
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live0,
+            "all staged and temporary rows returned"
+        );
+    }
+
+    #[test]
+    fn operand_mismatch_is_rejected() {
+        let m = mapped("a & b");
+        let mut vm = SimdVm::new(HostSubstrate::new(8, 64)).unwrap();
+        let err = execute_packed(&mut vm, &m.program, &random_operands(1, 8, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            SynthError::InputMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn vm_trace_matches_mapping() {
+        let m = mapped("(a ^ b) & (c | d | e)");
+        let lanes = 32;
+        let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+        let ops = random_operands(5, lanes, 3);
+        vm.clear_trace();
+        let _ = execute_packed(&mut vm, &m.program, &ops).unwrap();
+        // Staging writes/reads are host transfers; the in-DRAM op
+        // count must equal the mapping exactly.
+        assert_eq!(vm.trace().in_dram_ops(), m.native_ops);
+    }
+
+    #[test]
+    fn bender_emission_round_trips_and_scales() {
+        let m = mapped("(a & b & c) | !(d & e)");
+        let em = BenderEmitter::default();
+        let p = em.emit(&m.program).unwrap();
+        assert!(!p.is_empty());
+        let text = em.emit_asm(&m.program).unwrap();
+        let back = bender::asm::parse(&text, em.speed).unwrap();
+        assert_eq!(back, p, "asm round-trip");
+        // More gates, more commands.
+        let small = em.emit(&mapped("a & b").program).unwrap();
+        assert!(p.len() > small.len());
+    }
+
+    #[test]
+    fn bender_emission_validates_shape() {
+        let m = mapped("a & b");
+        let bad_cols = BenderEmitter {
+            cols: 30,
+            ..BenderEmitter::default()
+        };
+        assert!(bad_cols.emit(&m.program).is_err());
+        let tiny = BenderEmitter {
+            rows_per_subarray: 16,
+            ..BenderEmitter::default()
+        };
+        assert!(matches!(
+            tiny.emit(&m.program),
+            Err(SynthError::OutOfRows { .. })
+        ));
+    }
+
+    #[test]
+    fn emitted_program_executes_on_a_module() {
+        use dram_core::{ChipId, DramModule};
+        let m = mapped("(a & b) | c");
+        let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
+        let em = BenderEmitter {
+            cols: 32,
+            ..BenderEmitter::default()
+        };
+        let p = em.emit(&m.program).unwrap();
+        let mut bender = bender::Bender::new(DramModule::new(cfg));
+        let exec = bender.execute(ChipId(0), &p).expect("legal command stream");
+        assert!(exec.reads.is_empty(), "emission issues no RD commands");
+    }
+
+    #[test]
+    fn constant_output_emits_a_write() {
+        let m = mapped("a & !a");
+        let p = BenderEmitter::default().emit(&m.program).unwrap();
+        assert!(p
+            .commands()
+            .iter()
+            .any(|c| matches!(c.command, bender::DdrCommand::Wr(_, _))));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the synthesis pipeline.
+
+use std::fmt;
+
+/// Everything that can go wrong between an expression string and an
+/// executable FCDRAM program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// The expression text failed to parse.
+    Parse {
+        /// Byte offset of the offending token.
+        at: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A truth table had an invalid shape or digit.
+    BadTruthTable {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The circuit references more inputs than the caller provided.
+    InputMismatch {
+        /// Inputs the program expects.
+        expected: usize,
+        /// Inputs provided.
+        got: usize,
+    },
+    /// A cost-model JSON document was malformed.
+    BadCostModel {
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The mapped program needs more rows than the backend offers.
+    OutOfRows {
+        /// Rows required.
+        need: usize,
+        /// Rows available.
+        have: usize,
+    },
+    /// An execution backend reported a failure.
+    Backend(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Parse { at, detail } => {
+                write!(f, "parse error at byte {at}: {detail}")
+            }
+            SynthError::BadTruthTable { detail } => write!(f, "bad truth table: {detail}"),
+            SynthError::InputMismatch { expected, got } => {
+                write!(f, "program expects {expected} inputs, got {got}")
+            }
+            SynthError::BadCostModel { detail } => write!(f, "bad cost model: {detail}"),
+            SynthError::OutOfRows { need, have } => {
+                write!(f, "program needs {need} rows, backend offers {have}")
+            }
+            SynthError::Backend(detail) => write!(f, "backend failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<simdram::SimdramError> for SynthError {
+    fn from(e: simdram::SimdramError) -> Self {
+        SynthError::Backend(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SynthError>;

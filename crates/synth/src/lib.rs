@@ -1,0 +1,116 @@
+//! # fcsynth — reliability-aware logic synthesis for FCDRAM
+//!
+//! The paper's headline result is *functional completeness*: NOT plus
+//! N-input AND/OR/NAND/NOR in commodity DRAM computes any boolean
+//! function. This crate is the compiler that makes the claim
+//! operational end to end:
+//!
+//! 1. **frontend** ([`expr`]) — boolean expressions
+//!    (`!`, `&`, `|`, `^`, parentheses, named inputs) or raw truth
+//!    tables;
+//! 2. **IR** ([`dag`]) — a structurally-hashed gate DAG with
+//!    constant folding, common-subexpression sharing, De Morgan
+//!    rewrites, and associative flattening into wide N-input gates;
+//! 3. **mapping** ([`mapper`]) — a technology mapper that chunks wide
+//!    gates into native-gate trees using a reliability [`CostModel`]
+//!    (measured per-(op, N) success rates from a characterization
+//!    sweep, or built-in Table-1 defaults), maximizing expected
+//!    whole-circuit success with op count and latency as tiebreakers;
+//! 4. **backends** ([`backend`]) — execution on a [`simdram::SimdVm`]
+//!    (bit-exact on the host substrate, characterized reliability on
+//!    DRAM) and emission as [`bender`] assembly for command-level
+//!    replay.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fcsynth::{compile, CostModel};
+//!
+//! let cost = CostModel::table1_defaults();
+//! let c = compile("(a & b) | (a & c) | (b & c)", &cost, 16)?;
+//! assert_eq!(c.circuit.inputs(), ["a", "b", "c"]);
+//! assert!(c.mapping.expected_success > 0.9);
+//! assert!(c.mapping.native_ops >= c.circuit.live_ops());
+//!
+//! // Execute on the exact host substrate and check one lane.
+//! use simdram::{HostSubstrate, SimdVm};
+//! let mut vm = SimdVm::new(HostSubstrate::new(4, 64))?;
+//! let rows: Vec<_> = (0..3)
+//!     .map(|_| vm.alloc_row().expect("row"))
+//!     .collect();
+//! vm.write_mask(rows[0], &[true, true, false, false])?;
+//! vm.write_mask(rows[1], &[true, false, true, false])?;
+//! vm.write_mask(rows[2], &[false, true, true, false])?;
+//! let out = fcsynth::backend::execute_on_vm(&mut vm, &c.mapping.program, &rows)?;
+//! assert_eq!(vm.read_mask(out)?, vec![true, true, true, false]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod cost;
+pub mod dag;
+pub mod error;
+pub mod expr;
+pub mod mapper;
+
+pub use backend::{execute_on_vm, execute_packed, BenderEmitter};
+pub use cost::{CostModel, CostModelData, GateCost};
+pub use dag::{Circuit, Node, NodeId};
+pub use error::{Result, SynthError};
+pub use expr::{Expr, ExprNode, ExprOp};
+pub use mapper::{Mapper, Mapping, Output, Step, SynthProgram};
+
+/// A fully compiled expression: parsed form, optimized DAG, and the
+/// reliability-aware mapping.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The parsed expression (input-name table included).
+    pub expr: Expr,
+    /// The optimized gate DAG.
+    pub circuit: Circuit,
+    /// The reliability-aware mapping.
+    pub mapping: Mapping,
+}
+
+/// Parses, optimizes, and maps an expression in one call.
+///
+/// `max_fan_in` is the widest native gate the target substrate
+/// executes (16 for the paper's SK Hynix parts).
+///
+/// # Errors
+///
+/// Fails on a parse error.
+pub fn compile(text: &str, cost: &CostModel, max_fan_in: usize) -> Result<Compiled> {
+    let expr = Expr::parse(text)?;
+    Ok(compile_expr(expr, cost, max_fan_in))
+}
+
+/// Optimizes and maps an already-parsed expression.
+pub fn compile_expr(expr: Expr, cost: &CostModel, max_fan_in: usize) -> Compiled {
+    let circuit = Circuit::from_expr(&expr);
+    let mapping = Mapper::new(cost, max_fan_in).map(&circuit);
+    Compiled {
+        expr,
+        circuit,
+        mapping,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_pipeline_end_to_end() {
+        let cost = CostModel::table1_defaults();
+        let c = compile("a ^ b ^ c ^ d", &cost, 16).unwrap();
+        assert_eq!(c.circuit.inputs().len(), 4);
+        // 3 XORs at 3 gates each.
+        assert_eq!(c.mapping.native_ops, 9);
+        assert!(c.mapping.expected_success > 0.8);
+        assert!(compile("a &", &cost, 16).is_err());
+    }
+}

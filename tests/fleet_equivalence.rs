@@ -97,6 +97,7 @@ fn fleet_of_one_sweep_is_bit_identical_to_direct_sweep() {
         manufacturer: base.manufacturer.to_string(),
         not: SuccessAccumulator::new(),
         logic: SuccessAccumulator::new(),
+        logic_shapes: Vec::new(),
         conditions: 0,
         failures: 0,
     };

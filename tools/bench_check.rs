@@ -17,8 +17,16 @@
 //! bench_check [--current BENCH_engine.json]
 //!             [--baseline tools/bench_baseline.json]
 //!             [--id logic_model_columnar_cached/1024cols]
+//!             [--check FILE:ID]
 //!             [--max-regress 0.20]
 //! ```
+//!
+//! `--id` checks an id inside the `--current` artifact; `--check`
+//! pairs an id with its own artifact file, so one invocation gates
+//! ids across several summaries (`BENCH_engine.json`,
+//! `BENCH_synth.json`, ...). With neither flag, the default set
+//! covers the engine hot path plus the three deterministic
+//! `synth_mapped_ops/*` counts from the `ablation_synth` bench.
 //!
 //! Exit status: 0 when every checked id is within tolerance, 1 on a
 //! regression, 2 on usage/parse errors.
@@ -86,7 +94,8 @@ fn mean_of(entries: &[Entry], id: &str) -> Option<f64> {
 fn main() -> ExitCode {
     let mut current = "BENCH_engine.json".to_string();
     let mut baseline = "tools/bench_baseline.json".to_string();
-    let mut ids = Vec::new();
+    // (artifact file, id) pairs to gate.
+    let mut checks: Vec<(Option<String>, String)> = Vec::new();
     let mut max_regress = 0.20f64;
 
     let mut args = std::env::args().skip(1);
@@ -99,7 +108,14 @@ fn main() -> ExitCode {
             match a.as_str() {
                 "--current" => current = val("--current")?,
                 "--baseline" => baseline = val("--baseline")?,
-                "--id" => ids.push(val("--id")?),
+                "--id" => checks.push((None, val("--id")?)),
+                "--check" => {
+                    let pair = val("--check")?;
+                    let (file, id) = pair
+                        .split_once(':')
+                        .ok_or_else(|| format!("--check wants FILE:ID, got '{pair}'"))?;
+                    checks.push((Some(file.to_string()), id.to_string()));
+                }
                 "--max-regress" => {
                     max_regress = val("--max-regress")?
                         .parse()
@@ -114,25 +130,47 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    if ids.is_empty() {
-        // The model-evaluation hot path the columnar rewrite bought.
-        ids.push("logic_model_columnar_cached/1024cols".to_string());
+    if checks.is_empty() {
+        // The model-evaluation hot path the columnar rewrite bought,
+        // plus the deterministic mapped-op counts of the synthesis
+        // pipeline (an optimizer regression inflates these).
+        checks.push((None, "logic_model_columnar_cached/1024cols".to_string()));
+        for size in ["small", "medium", "large"] {
+            checks.push((
+                Some("BENCH_synth.json".to_string()),
+                format!("synth_mapped_ops/{size}"),
+            ));
+        }
     }
 
-    let (cur, base) = match (load(&current), load(&baseline)) {
-        (Ok(c), Ok(b)) => (c, b),
-        (c, b) => {
-            for err in [c.err(), b.err()].into_iter().flatten() {
-                eprintln!("bench_check: {err}");
-            }
+    let base = match load(&baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
             return ExitCode::from(2);
         }
     };
-
+    // Artifact files, loaded once each in check order.
+    let mut artifacts: Vec<(String, Vec<Entry>)> = Vec::new();
     let mut failed = false;
-    for id in &ids {
-        let (Some(now), Some(then)) = (mean_of(&cur, id), mean_of(&base, id)) else {
-            eprintln!("bench_check: id '{id}' missing from {current} or {baseline}");
+    for (file, id) in &checks {
+        let file = file.as_deref().unwrap_or(&current).to_string();
+        if !artifacts.iter().any(|(f, _)| *f == file) {
+            match load(&file) {
+                Ok(entries) => artifacts.push((file.clone(), entries)),
+                Err(e) => {
+                    eprintln!("bench_check: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let cur = &artifacts
+            .iter()
+            .find(|(f, _)| *f == file)
+            .expect("loaded above")
+            .1;
+        let (Some(now), Some(then)) = (mean_of(cur, id), mean_of(&base, id)) else {
+            eprintln!("bench_check: id '{id}' missing from {file} or {baseline}");
             failed = true;
             continue;
         };
@@ -152,6 +190,6 @@ fn main() -> ExitCode {
         eprintln!("bench_check: FAILED (>{:.0}% regression)", max_regress * 100.0);
         return ExitCode::FAILURE;
     }
-    println!("bench_check: all {} id(s) within tolerance", ids.len());
+    println!("bench_check: all {} id(s) within tolerance", checks.len());
     ExitCode::SUCCESS
 }
