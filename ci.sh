@@ -1,29 +1,64 @@
 #!/usr/bin/env bash
-# Staged CI gate. Runs every stage even when an earlier one fails,
-# times each, and prints a pass/fail summary table at the end.
+# Staged CI gate. Runs the selected stages even when an earlier one
+# fails, times each, and prints a pass/fail/skipped summary table at
+# the end (also written to target/tools/ci_summary.txt for CI
+# artifact upload).
 #
-#   ./ci.sh            full gate: build, test, synth, clippy, fmt, bench-check
-#   ./ci.sh --quick    build + test only
+#   ./ci.sh                 full gate: build, test, synth, clippy,
+#                           fmt, bench-check, determinism
+#   ./ci.sh --quick         build + test only (other stages are
+#                           reported as skipped)
+#   ./ci.sh --stage NAME    run one stage (repeatable); NAME is one
+#                           of: build test synth clippy fmt
+#                           bench-check determinism
 #
 # Exit status is 0 iff every executed stage passed. Offline-safe: all
 # dependencies are in-tree (crates/shims), no registry access needed.
 set -uo pipefail
 cd "$(dirname "$0")" || exit 1
 
+ALL_STAGES=(build test synth clippy fmt bench-check determinism)
+SELECTED=()
 QUICK=0
-for arg in "$@"; do
-  case "$arg" in
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --quick) QUICK=1 ;;
+    --stage)
+      shift
+      if [[ $# -eq 0 ]]; then
+        echo "--stage requires a name (one of: ${ALL_STAGES[*]})" >&2
+        exit 2
+      fi
+      ok=0
+      for s in "${ALL_STAGES[@]}"; do
+        [[ "$s" == "$1" ]] && ok=1
+      done
+      if [[ $ok -eq 0 ]]; then
+        echo "unknown stage: $1 (one of: ${ALL_STAGES[*]})" >&2
+        exit 2
+      fi
+      SELECTED+=("$1")
+      ;;
     -h|--help)
-      sed -n '2,9p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
-      echo "unknown option: $arg (try --help)" >&2
+      echo "unknown option: $1 (try --help)" >&2
       exit 2
       ;;
   esac
+  shift
 done
+if [[ $QUICK -eq 1 && ${#SELECTED[@]} -gt 0 ]]; then
+  echo "--quick and --stage are mutually exclusive" >&2
+  exit 2
+fi
+if [[ $QUICK -eq 1 ]]; then
+  SELECTED=(build test)
+elif [[ ${#SELECTED[@]} -eq 0 ]]; then
+  SELECTED=("${ALL_STAGES[@]}")
+fi
 
 STAGE_NAMES=()
 STAGE_STATUS=()
@@ -46,11 +81,19 @@ run_stage() {
   STAGE_SECS+=($((SECONDS - start)))
 }
 
-# Guards the *committed* bench artifact: fails when BENCH_engine.json
-# (regenerated by `cargo bench -p fcdram-bench --bench ablation_engine`
-# and committed alongside perf-relevant changes) regresses >20% against
-# tools/bench_baseline.json. It does not re-run the benchmark itself —
-# a fresh regression is caught when the artifact is next regenerated.
+skip_stage() {
+  STAGE_NAMES+=("$1")
+  STAGE_STATUS+=("skipped")
+  STAGE_SECS+=(0)
+}
+
+# Guards the *committed* bench artifacts: fails when any gated entry
+# of BENCH_engine.json / BENCH_synth.json / BENCH_sched.json regresses
+# >20% against tools/bench_baseline.json (all problems are listed, not
+# just the first). It does not re-run the benchmarks — a fresh
+# regression is caught when the artifacts are next regenerated
+# (`cargo bench -p fcdram-bench --bench ablation_engine` /
+# `ablation_synth` / `ablation_sched`).
 bench_check() {
   mkdir -p target/tools
   rustc -O --edition 2021 tools/bench_check.rs -o target/tools/bench_check \
@@ -60,32 +103,77 @@ bench_check() {
 # End-to-end synthesis smoke: compile an expression with the
 # reliability-aware mapper, execute it on the host-substrate SimdVm
 # (verified bit-exact against the reference evaluator), and emit
-# bender assembly. Uses the release binary the build stage produced.
+# bender assembly.
 synth_smoke() {
   mkdir -p target/tools
-  target/release/characterize synth \
-    --expr '(a & b & c & d) ^ !(e | f | g)' \
-    --execute --asm target/tools/ci_synth.asm
+  cargo build --release -p characterize \
+    && target/release/characterize synth \
+         --expr '(a & b & c & d) ^ !(e | f | g)' \
+         --execute --asm target/tools/ci_synth.asm
 }
 
-run_stage build cargo build --release
-run_stage test cargo test -q
-if [[ $QUICK -eq 0 ]]; then
-  run_stage synth synth_smoke
-  run_stage clippy cargo clippy --workspace --all-targets -- -D warnings
-  run_stage fmt cargo fmt --all --check
-  run_stage bench-check bench_check
-fi
+# Determinism gate: the fidelity invariant enforced byte-for-byte.
+#   1. the scheduler equivalence property suite;
+#   2. a quick fleet sweep run twice with the same parameters — the
+#      two JSON reports must be byte-identical (run-to-run
+#      determinism);
+#   3. a serve batch run twice with *different shard counts* — the
+#      two JSON reports must be byte-identical (shard invariance).
+determinism() {
+  mkdir -p target/tools
+  cargo build --release -p characterize || return 1
+  cargo test -q --test sched_equivalence || return 1
+  local bin=target/release/characterize
+  "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_a.json >/dev/null \
+    && "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_b.json >/dev/null \
+    && cmp target/tools/det_fleet_a.json target/tools/det_fleet_b.json \
+    || { echo "determinism: fleet sweep reports differ between runs" >&2; return 1; }
+  "$bin" serve --jobs 24 --chips 3 --shards 1 --seed 7 --lanes 64 \
+      --json target/tools/det_serve_a.json >/dev/null \
+    && "$bin" serve --jobs 24 --chips 3 --shards 5 --seed 7 --lanes 64 \
+         --json target/tools/det_serve_b.json >/dev/null \
+    && cmp target/tools/det_serve_a.json target/tools/det_serve_b.json \
+    || { echo "determinism: serve reports differ across shard counts" >&2; return 1; }
+  echo "determinism: fleet and serve reports byte-identical"
+}
 
-echo
-echo "== CI summary =="
-printf '%-12s %-6s %s\n' stage status seconds
-printf '%-12s %-6s %s\n' ----- ------ -------
-for i in "${!STAGE_NAMES[@]}"; do
-  printf '%-12s %-6s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_STATUS[$i]}" "${STAGE_SECS[$i]}"
+wants() {
+  local s
+  for s in "${SELECTED[@]}"; do
+    [[ "$s" == "$1" ]] && return 0
+  done
+  return 1
+}
+
+for stage in "${ALL_STAGES[@]}"; do
+  if ! wants "$stage"; then
+    skip_stage "$stage"
+    continue
+  fi
+  case "$stage" in
+    build)       run_stage build cargo build --release ;;
+    test)        run_stage test cargo test -q ;;
+    synth)       run_stage synth synth_smoke ;;
+    clippy)      run_stage clippy cargo clippy --workspace --all-targets -- -D warnings ;;
+    fmt)         run_stage fmt cargo fmt --all --check ;;
+    bench-check) run_stage bench-check bench_check ;;
+    determinism) run_stage determinism determinism ;;
+  esac
 done
+
+mkdir -p target/tools
+SUMMARY=target/tools/ci_summary.txt
+{
+  echo "== CI summary =="
+  printf '%-12s %-8s %s\n' stage status seconds
+  printf '%-12s %-8s %s\n' ----- ------ -------
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '%-12s %-8s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_STATUS[$i]}" "${STAGE_SECS[$i]}"
+  done
+} | tee "$SUMMARY"
+echo
 if [[ $FAILED -ne 0 ]]; then
-  echo "CI FAILED"
+  echo "CI FAILED" | tee -a "$SUMMARY"
   exit 1
 fi
-echo "CI OK"
+echo "CI OK (skipped stages listed above, if any)" | tee -a "$SUMMARY"

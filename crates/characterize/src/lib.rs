@@ -42,6 +42,7 @@ pub mod experiments;
 pub mod patterns;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod stats;
 pub mod sweep;
 

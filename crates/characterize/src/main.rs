@@ -15,6 +15,11 @@ usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
        characterize synth (--expr EXPR | --table BITS) [--costs PATH]
                           [--fan-in N] [--execute] [--lanes N]
                           [--asm PATH]
+       characterize serve [--jobs N] [--exprs FILE] [--chips N]
+                          [--shards K] [--seed S] [--lanes N]
+                          [--retries R] [--min-success X] [--no-remap]
+                          [--costs PATH] [--module NAME] [--fan-in N]
+                          [--json PATH]
 
 EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
@@ -45,6 +50,28 @@ the chosen mapping, expected success, and energy/latency:
 --execute     run on the host-substrate SimdVm and verify bit-exact
 --lanes N     SIMD lanes for --execute (default 256)
 --asm PATH    also emit the program as bender assembly
+
+serve mode schedules a batch of compiled programs onto a simulated
+chip fleet (fcsched): least-loaded placement with (subarray, row-range)
+slot leases, per-chip reliability-aware admission (re-map to narrower
+gates or flag), deterministic retry accounting, and a report with
+throughput, percentile latency, and per-chip utilization. Results and
+the --json report are bit-identical for every --shards value; only the
+wall-clock throughput on stderr varies:
+--jobs N        batch size (default 32)
+--exprs FILE    expressions to serve, one per line, '#' comments
+                (default: a built-in heterogeneous 6-tenant mix)
+--chips N       fleet size (default 4)
+--shards K      worker threads (default: one per CPU)
+--seed S        batch seed for operands and retry draws (default 0)
+--lanes N       SIMD lanes per job (default 256)
+--retries R     per-job retry budget (default 3)
+--min-success X admission threshold (default 0.85)
+--no-remap      flag below-threshold jobs instead of narrowing them
+--costs PATH    cost model from a fleet --export-costs run
+--module M      draw every chip from one module
+--fan-in N      widest native gate when compiling (default 16)
+--json PATH     additionally write the tables as JSON
 ";
 
 /// Takes the next argument as a string, printing a diagnostic when it
@@ -177,6 +204,193 @@ fn run_fleet_cli(args: Vec<String>) -> ExitCode {
             "wrote {path} ({} operation entries; load with `characterize synth --costs`)",
             data.entries.len()
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `serve` subcommand: schedule a batch of compiled programs onto
+/// a fleet and report throughput, latency percentiles, and per-chip
+/// utilization.
+fn run_serve_cli(args: Vec<String>) -> ExitCode {
+    let mut jobs = 32usize;
+    let mut chips = 4usize;
+    let mut shards = 0usize;
+    let mut seed = 0u64;
+    let mut lanes = 256usize;
+    let mut retries = 3u32;
+    let mut min_success = 0.85f64;
+    let mut allow_remap = true;
+    let mut fan_in = 16usize;
+    let mut exprs_path: Option<String> = None;
+    let mut costs_path: Option<String> = None;
+    let mut module: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => match num_arg(&mut it, "--jobs") {
+                Some(n) => jobs = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--chips" => match num_arg(&mut it, "--chips") {
+                Some(n) => chips = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--shards" => match num_arg(&mut it, "--shards") {
+                Some(n) => shards = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match num_arg(&mut it, "--seed") {
+                Some(n) => seed = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--lanes" => match num_arg(&mut it, "--lanes") {
+                Some(n) => lanes = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--retries" => match num_arg(&mut it, "--retries") {
+                Some(n) => retries = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--min-success" => match num_arg(&mut it, "--min-success") {
+                Some(n) => min_success = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--fan-in" => match num_arg(&mut it, "--fan-in") {
+                Some(n) => fan_in = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--no-remap" => allow_remap = false,
+            "--exprs" => match str_arg(&mut it, "--exprs") {
+                Some(p) => exprs_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--costs" => match str_arg(&mut it, "--costs") {
+                Some(p) => costs_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--module" => match str_arg(&mut it, "--module") {
+                Some(m) => module = Some(m),
+                None => return ExitCode::FAILURE,
+            },
+            "--json" => match str_arg(&mut it, "--json") {
+                Some(p) => json_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown serve option '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if jobs == 0 || chips == 0 || lanes == 0 {
+        eprintln!("--jobs, --chips, and --lanes must be at least 1\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let cost = match &costs_path {
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fcsynth::CostModel::from_json(&json) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => fcsynth::CostModel::table1_defaults(),
+    };
+    let exprs: Vec<String> = match &exprs_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let parsed = characterize::serve::load_exprs(&text);
+                if parsed.is_empty() {
+                    eprintln!("{path}: no expressions found");
+                    return ExitCode::FAILURE;
+                }
+                parsed
+            }
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => characterize::serve::DEMO_MIX
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    };
+    let fleet = match module {
+        Some(name) => {
+            let all = dram_core::config::full_fleet();
+            match all.into_iter().find(|m| m.name == name) {
+                Some(cfg) => FleetConfig::single(cfg, chips),
+                None => {
+                    eprintln!("unknown module '{name}' (see `characterize table1`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => FleetConfig::table1(chips),
+    };
+    let batch = match characterize::serve::build_batch(&exprs, jobs, lanes, seed, &cost, fan_in) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = fcsched::SchedPolicy {
+        min_success,
+        retry_budget: retries,
+        allow_remap,
+        shards,
+        ..fcsched::SchedPolicy::default()
+    };
+    eprintln!(
+        "serving {} job(s) ({} native ops) on {} chip(s) over {} worker thread(s) ...",
+        batch.len(),
+        batch.native_ops(),
+        fleet.len(),
+        policy.effective_workers(batch.len())
+    );
+    let start = std::time::Instant::now();
+    let report = match fcsched::serve_batch(&fleet, &cost, &policy, &batch) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scheduling failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+    // Wall-clock throughput is machine-dependent: stderr only, never
+    // in the deterministic tables/JSON.
+    eprintln!(
+        "batch done in {:.3}s wall ({:.0} jobs/s, {:.0} native ops/s)",
+        wall,
+        report.jobs() as f64 / wall.max(1e-9),
+        report.native_ops() as f64 / wall.max(1e-9),
+    );
+    let tables = characterize::serve::tables(&report, &fleet, &fcsched::ideal_cost(&batch, &cost));
+    for t in &tables {
+        println!("{}", t.render());
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, to_json(&tables)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
 }
@@ -374,6 +588,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("synth") {
         return run_synth_cli(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve_cli(args.split_off(1));
     }
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;

@@ -174,6 +174,186 @@ impl FleetConfig {
     }
 }
 
+/// A leased row range on one fleet member: the physical placement a
+/// scheduler hands a job.
+///
+/// Slots live in one subarray (FCDRAM operand staging, charge sharing,
+/// and copy-out all pair a home-subarray row with its neighbor, so a
+/// program's register file must not straddle a subarray boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSlot {
+    /// Fleet member index (see [`FleetConfig::spec`]).
+    pub member: usize,
+    /// Subarray within the member's modeled bank.
+    pub subarray: usize,
+    /// First leased row within the subarray.
+    pub row_start: usize,
+    /// Number of leased rows.
+    pub rows: usize,
+}
+
+/// An outstanding lease returned by [`FleetSlots::lease_on`].
+///
+/// Deliberately not `Copy`: a lease is returned to the pool exactly
+/// once, through [`FleetSlots::release`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct SlotLease {
+    /// The leased placement.
+    pub slot: FleetSlot,
+}
+
+/// Per-subarray free-row ranges of one fleet member.
+#[derive(Debug, Clone)]
+struct MemberSlots {
+    /// Rows a lease may occupy per subarray (geometry rows minus the
+    /// reserved scratch at the top).
+    usable: usize,
+    /// Sorted, coalesced `(start, len)` free ranges per subarray.
+    free: Vec<Vec<(usize, usize)>>,
+}
+
+impl MemberSlots {
+    fn new(subarrays: usize, usable: usize) -> MemberSlots {
+        MemberSlots {
+            usable,
+            free: vec![vec![(0, usable)]; subarrays],
+        }
+    }
+
+    fn reset(&mut self) {
+        for ranges in &mut self.free {
+            ranges.clear();
+            ranges.push((0, self.usable));
+        }
+    }
+
+    fn free_rows(&self) -> usize {
+        self.free
+            .iter()
+            .flat_map(|r| r.iter().map(|(_, len)| len))
+            .sum()
+    }
+}
+
+/// Deterministic (chip, subarray, row-range) slot allocator over a
+/// fleet: the placement layer a job scheduler leases execution slots
+/// from.
+///
+/// Every member's modeled bank is divided into its subarrays; each
+/// subarray offers `rows_per_subarray - reserved_top` leasable rows
+/// (the top rows stay reserved for the reference/constant scratch the
+/// command sequences need, mirroring `fcsynth`'s bender layout).
+/// Allocation is first-fit in (subarray, row) order and therefore a
+/// pure function of the lease/release history — schedulers replaying
+/// the same request sequence get byte-identical placements.
+#[derive(Debug, Clone)]
+pub struct FleetSlots {
+    members: Vec<MemberSlots>,
+}
+
+impl FleetSlots {
+    /// Builds the allocator for `fleet`, reserving the top
+    /// `reserved_top` rows of every subarray for reference scratch.
+    pub fn new(fleet: &FleetConfig, reserved_top: usize) -> FleetSlots {
+        let members = (0..fleet.len())
+            .map(|i| {
+                let g = fleet.spec(i).cfg.geometry();
+                let usable = g.rows_per_subarray().saturating_sub(reserved_top);
+                MemberSlots::new(g.subarrays_per_bank(), usable)
+            })
+            .collect();
+        FleetSlots { members }
+    }
+
+    /// Number of fleet members tracked.
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Leases `rows` contiguous rows on `member` (first fit across its
+    /// subarrays). Returns `None` when no subarray has a large enough
+    /// free range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows` is zero or `member` is out of range.
+    pub fn lease_on(&mut self, member: usize, rows: usize) -> Option<SlotLease> {
+        assert!(rows > 0, "lease needs at least one row");
+        let m = &mut self.members[member];
+        for (subarray, ranges) in m.free.iter_mut().enumerate() {
+            if let Some(i) = ranges.iter().position(|(_, len)| *len >= rows) {
+                let (start, len) = ranges[i];
+                if len == rows {
+                    ranges.remove(i);
+                } else {
+                    ranges[i] = (start + rows, len - rows);
+                }
+                return Some(SlotLease {
+                    slot: FleetSlot {
+                        member,
+                        subarray,
+                        row_start: start,
+                        rows,
+                    },
+                });
+            }
+        }
+        None
+    }
+
+    /// Returns a lease's rows to the pool (ranges are re-coalesced, so
+    /// lease/release sequences cannot fragment the pool permanently).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lease does not belong to this allocator's
+    /// geometry.
+    pub fn release(&mut self, lease: SlotLease) {
+        let FleetSlot {
+            member,
+            subarray,
+            row_start,
+            rows,
+        } = lease.slot;
+        let ranges = &mut self.members[member].free[subarray];
+        let at = ranges
+            .iter()
+            .position(|(start, _)| *start > row_start)
+            .unwrap_or(ranges.len());
+        ranges.insert(at, (row_start, rows));
+        // Coalesce with the neighbors.
+        if at + 1 < ranges.len() && ranges[at].0 + ranges[at].1 == ranges[at + 1].0 {
+            ranges[at].1 += ranges[at + 1].1;
+            ranges.remove(at + 1);
+        }
+        if at > 0 && ranges[at - 1].0 + ranges[at - 1].1 == ranges[at].0 {
+            ranges[at - 1].1 += ranges[at].1;
+            ranges.remove(at);
+        }
+    }
+
+    /// Releases every outstanding lease on `member` (a scheduler's
+    /// *wave* rollover: sequential re-use of the whole chip).
+    pub fn reset_member(&mut self, member: usize) {
+        self.members[member].reset();
+    }
+
+    /// Currently leasable rows on `member`.
+    pub fn free_rows(&self, member: usize) -> usize {
+        self.members[member].free_rows()
+    }
+
+    /// Largest single lease `member` can currently satisfy.
+    pub fn largest_lease(&self, member: usize) -> usize {
+        self.members[member]
+            .free
+            .iter()
+            .flat_map(|r| r.iter().map(|(_, len)| *len))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +444,68 @@ mod tests {
             seed: 0,
         };
         let _ = fleet.spec(0);
+    }
+
+    #[test]
+    fn slots_lease_first_fit_and_release_coalesces() {
+        let fleet = FleetConfig::table1(2);
+        let g = fleet.spec(0).cfg.geometry();
+        let usable = g.rows_per_subarray() - 16;
+        let mut slots = FleetSlots::new(&fleet, 16);
+        assert_eq!(slots.members(), 2);
+        assert_eq!(slots.largest_lease(0), usable);
+
+        let a = slots.lease_on(0, 10).unwrap();
+        let b = slots.lease_on(0, 20).unwrap();
+        assert_eq!(a.slot.subarray, 0);
+        assert_eq!(a.slot.row_start, 0);
+        assert_eq!(b.slot.row_start, 10, "bump allocation within a subarray");
+        assert_eq!(slots.free_rows(1), usable * g.subarrays_per_bank());
+
+        // Release out of order: the pool must coalesce back to whole.
+        let before = slots.free_rows(0);
+        slots.release(a);
+        slots.release(b);
+        assert_eq!(slots.free_rows(0), before + 30);
+        assert_eq!(slots.largest_lease(0), usable, "coalesced to one range");
+    }
+
+    #[test]
+    fn slots_spill_to_the_next_subarray_and_exhaust() {
+        let fleet = FleetConfig::table1(1);
+        let g = fleet.spec(0).cfg.geometry();
+        let usable = g.rows_per_subarray() - 16;
+        let mut slots = FleetSlots::new(&fleet, 16);
+        let first = slots.lease_on(0, usable).unwrap();
+        assert_eq!(first.slot.subarray, 0);
+        let second = slots.lease_on(0, usable).unwrap();
+        assert_eq!(second.slot.subarray, 1, "full subarray spills to next");
+        // A lease larger than any subarray can never be satisfied.
+        assert!(slots.lease_on(0, usable + 1).is_none());
+        // Exhaust everything, then reset (wave rollover) restores all.
+        while slots.lease_on(0, usable).is_some() {}
+        assert_eq!(slots.largest_lease(0), 0);
+        slots.reset_member(0);
+        assert_eq!(slots.free_rows(0), usable * g.subarrays_per_bank());
+    }
+
+    #[test]
+    fn slot_history_is_deterministic() {
+        let fleet = FleetConfig::table1(3);
+        let run = || {
+            let mut slots = FleetSlots::new(&fleet, 16);
+            let mut placed = Vec::new();
+            for i in 0..40 {
+                let member = i % 3;
+                let lease = slots.lease_on(member, 4 + i % 7).unwrap();
+                placed.push(lease.slot);
+                if i % 5 == 0 {
+                    slots.release(lease);
+                }
+            }
+            placed
+        };
+        assert_eq!(run(), run(), "same request history, same placements");
     }
 
     #[test]

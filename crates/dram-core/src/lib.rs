@@ -63,7 +63,7 @@ pub use config::{ActivationCapability, ChipOrg, Density, DieRevision, Manufactur
 pub use energy::{EnergyParams, OpCost};
 pub use error::{DramError, Result};
 pub use fidelity::{SimFidelity, Telemetry};
-pub use fleet::{ChipSpec, FleetConfig};
+pub use fleet::{ChipSpec, FleetConfig, FleetSlot, FleetSlots, SlotLease};
 pub use geometry::Geometry;
 pub use module::DramModule;
 pub use reliability::{CellRef, LogicEvent, LogicOp, NotEvent, ReliabilityModel};

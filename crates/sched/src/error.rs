@@ -1,0 +1,83 @@
+//! Scheduler error type.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SchedError>;
+
+/// Everything that can go wrong between submission and the report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A job's operand count does not match its program's input count.
+    OperandMismatch {
+        /// Job label.
+        job: String,
+        /// Program input count.
+        expected: usize,
+        /// Operands supplied.
+        got: usize,
+    },
+    /// A job's operands disagree on lane count.
+    RaggedLanes {
+        /// Job label.
+        job: String,
+        /// Declared lane count.
+        expected: usize,
+        /// Offending operand's lane count.
+        got: usize,
+    },
+    /// The fleet has no chips to schedule onto.
+    EmptyFleet,
+    /// A job's live-row footprint exceeds every subarray of every
+    /// fleet member, even when the chips are idle.
+    JobTooLarge {
+        /// Job label.
+        job: String,
+        /// Rows the job needs at once.
+        rows: usize,
+        /// Largest lease any fleet member can ever satisfy.
+        largest: usize,
+    },
+    /// A substrate-level failure during execution.
+    Execution(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::OperandMismatch { job, expected, got } => {
+                write!(
+                    f,
+                    "job '{job}': program wants {expected} operand(s), got {got}"
+                )
+            }
+            SchedError::RaggedLanes { job, expected, got } => {
+                write!(
+                    f,
+                    "job '{job}': operand has {got} lanes, batch declared {expected}"
+                )
+            }
+            SchedError::EmptyFleet => write!(f, "cannot schedule onto an empty fleet"),
+            SchedError::JobTooLarge { job, rows, largest } => write!(
+                f,
+                "job '{job}' needs {rows} simultaneous rows; the fleet's largest \
+                 subarray slot is {largest}"
+            ),
+            SchedError::Execution(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<fcsynth::SynthError> for SchedError {
+    fn from(e: fcsynth::SynthError) -> Self {
+        SchedError::Execution(e.to_string())
+    }
+}
+
+impl From<simdram::SimdramError> for SchedError {
+    fn from(e: simdram::SimdramError) -> Self {
+        SchedError::Execution(e.to_string())
+    }
+}

@@ -1,0 +1,378 @@
+//! The sharded executor: runs a planned batch and accounts for it.
+//!
+//! ## Execution model
+//!
+//! Functional results are computed **host-exactly**: every job runs on
+//! its own `SimdVm<HostSubstrate>` (the workspace's golden model), so
+//! a job's output bits are a pure function of its program and operands
+//! — independent of the assigned chip, the fleet layout, and the shard
+//! count. That is the scheduler's fidelity invariant: *scheduling
+//! never changes answers* (`tests/sched_equivalence.rs`).
+//!
+//! Reliability is modeled on top, per native operation: each executed
+//! step draws a deterministic Bernoulli trial against the assigned
+//! chip's derated success rate ([`crate::planner::ChipProfile`]),
+//! keyed by `(batch seed, job id, step, attempt)`. Failed draws
+//! consume the job's retry budget (latency and energy are charged per
+//! attempt); an exhausted budget marks the operation — and the job —
+//! as failed while execution continues, so one bad gate does not
+//! silence the rest of the accounting.
+//!
+//! ## Sharding discipline
+//!
+//! Jobs are split into contiguous submission-order chunks, one scoped
+//! worker thread per chunk (the PR2 fleet-sweep discipline); outcomes
+//! are reassembled in submission order. Per-job work depends only on
+//! `(job, assignment, profile, batch seed)`, so the report is
+//! bit-identical for every shard count — threading is purely a
+//! wall-clock optimization.
+
+use crate::error::Result;
+use crate::planner::{Admission, Assignment, Plan, SchedPolicy};
+use crate::queue::{Batch, Job, JobId};
+use crate::report::BatchReport;
+use dram_core::math::{hash_to_unit, mix3};
+use fcdram::PackedBits;
+use fcsynth::ProgramCost;
+use simdram::{HostSubstrate, SimdVm};
+
+/// Everything measured about one executed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job (submission index).
+    pub job: JobId,
+    /// The job's display label.
+    pub label: String,
+    /// Fleet member that hosted the job.
+    pub member: usize,
+    /// The member's display label (`module/cN`).
+    pub chip: String,
+    /// The member's wave the job ran in.
+    pub wave: usize,
+    /// Admission outcome.
+    pub admission: Admission,
+    /// Whether every operation passed within the retry budget.
+    pub succeeded: bool,
+    /// Native operations executed (first attempts).
+    pub ops: usize,
+    /// Retry attempts consumed.
+    pub retries: u32,
+    /// Operations that exhausted the budget and stayed failed.
+    pub failed_ops: usize,
+    /// Predicted success under the chip's model (the admission price).
+    pub predicted_success: f64,
+    /// Modeled latency including retries, nanoseconds.
+    pub latency_ns: f64,
+    /// Modeled energy including retries, picojoules.
+    pub energy_pj: f64,
+    /// The job's result bits (host-exact).
+    pub result: PackedBits,
+}
+
+/// Runs one job on its assigned chip profile. Pure function of
+/// `(job, assignment, profile cost, batch_seed)`.
+fn run_job(
+    job: &Job,
+    asg: &Assignment,
+    profile: &crate::planner::ChipProfile,
+    retry_budget: u32,
+    batch_seed: u64,
+) -> Result<JobOutcome> {
+    let prog = &asg.program;
+    let capacity = (prog.n_regs + job.operands.len() + 4).max(8);
+    let mut vm = SimdVm::new(HostSubstrate::new(job.lanes, capacity))?;
+    let seed = mix3(batch_seed, job.id as u64, profile.chip_seed);
+    let cost = &profile.cost;
+    let mut retries = 0u32;
+    let mut failed_ops = 0usize;
+    let mut latency = 0.0f64;
+    let mut energy = 0.0f64;
+    let result = fcsynth::execute_packed_observed(&mut vm, prog, &job.operands, |i, step| {
+        let (p, l, e) = match step.op {
+            None => (
+                cost.not_success(),
+                cost.not_latency_ns(),
+                cost.not_energy_pj(),
+            ),
+            Some(op) => {
+                let n = step.args.len();
+                (
+                    cost.success(op, n),
+                    cost.latency_ns(op, n),
+                    cost.energy_pj(op, n),
+                )
+            }
+        };
+        let mut attempt = 0u64;
+        loop {
+            latency += l;
+            energy += e;
+            let draw = hash_to_unit(mix3(seed, i as u64, attempt));
+            if draw < p {
+                break;
+            }
+            if retries < retry_budget {
+                retries += 1;
+                attempt += 1;
+            } else {
+                failed_ops += 1;
+                break;
+            }
+        }
+    })?;
+    Ok(JobOutcome {
+        job: job.id,
+        label: job.label.clone(),
+        member: asg.member,
+        chip: profile.label.clone(),
+        wave: asg.wave,
+        admission: asg.admission,
+        succeeded: failed_ops == 0,
+        ops: prog.steps.len(),
+        retries,
+        failed_ops,
+        predicted_success: asg.predicted.expected_success,
+        latency_ns: latency,
+        energy_pj: energy,
+        result,
+    })
+}
+
+/// Executes a planned batch, sharding jobs over scoped worker threads.
+///
+/// # Errors
+///
+/// Fails when a job's execution fails at the substrate level (row
+/// exhaustion, lane mismatch); the error of the earliest-submitted
+/// failing job is returned.
+///
+/// # Panics
+///
+/// Panics when `plan` was built for a different batch (assignment
+/// count mismatch) or a worker thread panics.
+pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<BatchReport> {
+    assert_eq!(
+        plan.assignments.len(),
+        batch.len(),
+        "plan does not match batch"
+    );
+    let n = batch.len();
+    let workers = policy.effective_workers(n);
+    let mut results: Vec<Option<Result<JobOutcome>>> = (0..n).map(|_| None).collect();
+    if workers <= 1 {
+        for (i, (job, asg)) in batch.jobs().iter().zip(&plan.assignments).enumerate() {
+            results[i] = Some(run_job(
+                job,
+                asg,
+                &plan.profiles[asg.member],
+                policy.retry_budget,
+                batch.seed(),
+            ));
+        }
+    } else {
+        let shards = policy.effective_shards(n);
+        let chunk = n.div_ceil(shards);
+        let jobs = batch.jobs();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .zip(plan.assignments.chunks(chunk))
+                .enumerate()
+                .map(|(si, (job_chunk, asg_chunk))| {
+                    s.spawn(move || {
+                        job_chunk
+                            .iter()
+                            .zip(asg_chunk)
+                            .enumerate()
+                            .map(|(j, (job, asg))| {
+                                (
+                                    si * chunk + j,
+                                    run_job(
+                                        job,
+                                        asg,
+                                        &plan.profiles[asg.member],
+                                        policy.retry_budget,
+                                        batch.seed(),
+                                    ),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("executor shard panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+    }
+    let mut outcomes = Vec::with_capacity(n);
+    for r in results {
+        outcomes.push(r.expect("every job executed")?);
+    }
+    Ok(BatchReport {
+        outcomes,
+        shards: workers,
+        waves: plan.waves,
+        chips: plan.profiles.len(),
+        seed: batch.seed(),
+    })
+}
+
+/// Plans and executes a batch in one call: the scheduler's front door.
+///
+/// # Errors
+///
+/// Propagates planning ([`crate::planner::Planner::plan`]) and
+/// execution ([`execute_plan`]) failures.
+pub fn serve_batch(
+    fleet: &dram_core::FleetConfig,
+    base: &fcsynth::CostModel,
+    policy: &SchedPolicy,
+    batch: &Batch,
+) -> Result<BatchReport> {
+    let plan = crate::planner::Planner::new(fleet, base, policy).plan(batch)?;
+    execute_plan(batch, &plan, policy)
+}
+
+/// The cost a perfectly-reliable serial baseline would predict for a
+/// batch (no retries, population-mean model): used by reports to show
+/// the reliability overhead scheduling absorbed.
+pub fn ideal_cost(batch: &Batch, base: &fcsynth::CostModel) -> ProgramCost {
+    let mut success = 1.0f64;
+    let mut latency = 0.0f64;
+    let mut energy = 0.0f64;
+    for job in batch.jobs() {
+        let c = job.program.price(base);
+        success *= c.expected_success;
+        latency += c.latency_ns;
+        energy += c.energy_pj;
+    }
+    ProgramCost {
+        expected_success: success,
+        latency_ns: latency,
+        energy_pj: energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{batch_of, batch_of_seeded};
+    use dram_core::FleetConfig;
+    use fcsynth::CostModel;
+
+    const MIX: [&str; 5] = [
+        "a & b",
+        "a ^ b ^ c",
+        "(a & b) | (c & d)",
+        "!(a | b | c | d)",
+        "a&b&c&d&e&f&g&h",
+    ];
+
+    #[test]
+    fn results_are_host_exact() {
+        let fleet = FleetConfig::table1(3);
+        let base = CostModel::table1_defaults();
+        let policy = SchedPolicy::default().with_shards(1);
+        let batch = batch_of(&MIX, 33, 0xBA7C);
+        let report = serve_batch(&fleet, &base, &policy, &batch).unwrap();
+        assert_eq!(report.outcomes.len(), MIX.len());
+        for (job, out) in batch.jobs().iter().zip(&report.outcomes) {
+            // Reference: direct packed execution of the submitted
+            // program on a fresh host VM.
+            let mut vm =
+                SimdVm::new(HostSubstrate::new(job.lanes, job.program.n_regs + 8)).unwrap();
+            let expect = fcsynth::execute_packed(&mut vm, &job.program, &job.operands).unwrap();
+            assert_eq!(out.result, expect, "{}", job.label);
+            assert!(out.ops >= 1);
+            assert!(out.latency_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn sharded_report_is_bit_identical_to_serial() {
+        let fleet = FleetConfig::table1(4);
+        let base = CostModel::table1_defaults();
+        let batch = batch_of(&MIX, 17, 42);
+        let serial = serve_batch(
+            &fleet,
+            &base,
+            &SchedPolicy::default().with_shards(1),
+            &batch,
+        )
+        .unwrap();
+        for shards in [2usize, 3, 5] {
+            let sharded = serve_batch(
+                &fleet,
+                &base,
+                &SchedPolicy::default().with_shards(shards),
+                &batch,
+            )
+            .unwrap();
+            assert_eq!(
+                serial.outcomes, sharded.outcomes,
+                "shard count {shards} changed outcomes"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_accounting_is_deterministic_and_seed_sensitive() {
+        let fleet = FleetConfig::table1(2);
+        let base = CostModel::table1_defaults();
+        let policy = SchedPolicy::default().with_shards(2);
+        let a = serve_batch(&fleet, &base, &policy, &batch_of(&MIX, 16, 11)).unwrap();
+        let b = serve_batch(&fleet, &base, &policy, &batch_of(&MIX, 16, 11)).unwrap();
+        assert_eq!(a.outcomes, b.outcomes, "fixed seed, fixed accounting");
+        // Same operand data, different *batch* seed: only the retry
+        // draws may move.
+        let c = serve_batch(&fleet, &base, &policy, &batch_of_seeded(&MIX, 16, 11, 12)).unwrap();
+        // Results stay identical (host-exact)...
+        for (x, y) in a.outcomes.iter().zip(&c.outcomes) {
+            assert_eq!(x.result, y.result, "results are seed-independent");
+        }
+        // ...but a long-run batch under a different seed draws
+        // different retry trajectories somewhere.
+        let retries_a: u32 = a.outcomes.iter().map(|o| o.retries).sum();
+        let retries_c: u32 = c.outcomes.iter().map(|o| o.retries).sum();
+        let lat_a: f64 = a.outcomes.iter().map(|o| o.latency_ns).sum();
+        let lat_c: f64 = c.outcomes.iter().map(|o| o.latency_ns).sum();
+        assert!(
+            retries_a != retries_c || (lat_a - lat_c).abs() > 1e-9 || retries_a == 0,
+            "different seeds should perturb accounting (a={retries_a}, c={retries_c})"
+        );
+    }
+
+    #[test]
+    fn zero_retry_budget_marks_failures() {
+        let fleet = FleetConfig::table1(1);
+        let base = CostModel::table1_defaults();
+        let policy = SchedPolicy {
+            retry_budget: 0,
+            shards: 1,
+            ..SchedPolicy::default()
+        };
+        // Many wide gates: with no retries some op eventually draws a
+        // failure under the derated chip model.
+        let exprs: Vec<&str> = std::iter::repeat_n("a&b&c&d&e&f&g&h&i&j&k&l&m&n&o&p", 24).collect();
+        let batch = batch_of(&exprs, 8, 0x5EED);
+        let report = serve_batch(&fleet, &base, &policy, &batch).unwrap();
+        let failed = report.outcomes.iter().filter(|o| !o.succeeded).count();
+        assert!(failed > 0, "no failures across {} wide jobs", exprs.len());
+        assert!(report.outcomes.iter().all(|o| o.retries == 0));
+        for o in &report.outcomes {
+            assert_eq!(o.succeeded, o.failed_ops == 0);
+        }
+    }
+
+    #[test]
+    fn ideal_cost_sums_the_batch() {
+        let base = CostModel::table1_defaults();
+        let batch = batch_of(&["a & b", "a | b"], 8, 0);
+        let ideal = ideal_cost(&batch, &base);
+        assert!(ideal.latency_ns > 0.0);
+        assert!(ideal.expected_success > 0.9);
+    }
+}

@@ -1,0 +1,566 @@
+//! The planner: fleet placement and reliability-aware admission.
+//!
+//! Planning is a pure function of `(fleet, batch, policy)` — no clock,
+//! no thread count — so a plan is bit-identical however the executor
+//! later shards it. Three decisions are made per job, in submission
+//! order:
+//!
+//! 1. **placement** — the job goes to the least-loaded chip (by
+//!    predicted scheduled latency, ties to the lowest member index)
+//!    *that can hold it* — members whose subarrays could never fit
+//!    the job even when idle are skipped — and leases a
+//!    `(subarray, row-range)` slot sized to the program's peak
+//!    live-row footprint from [`dram_core::FleetSlots`]. When a
+//!    chip's subarrays fill up, the chip rolls into its next *wave*:
+//!    all of its slots are recycled and sequential reuse begins — the
+//!    wave index is recorded so utilization reports stay honest.
+//! 2. **re-pricing** — the submitted program is priced under the
+//!    *assigned chip's* [`CostModel`] (see [`ChipProfile`]): the
+//!    paper's chip-to-chip variation means a mapping optimal for the
+//!    population mean may be too optimistic for a weak chip.
+//! 3. **admission** — jobs whose expected success on their chip falls
+//!    below the policy threshold are re-mapped to narrower native
+//!    gates ([`fcsynth::SynthProgram::narrowed`]); if no narrowing
+//!    reaches the threshold, the best variant runs anyway and the job
+//!    is flagged in its outcome.
+
+use crate::error::{Result, SchedError};
+use crate::queue::{Batch, JobId};
+use dram_core::fleet::{ChipSpec, FleetConfig, FleetSlot, FleetSlots};
+use dram_core::math::{hash_to_unit, mix2};
+use fcsynth::{CostModel, ProgramCost, SynthProgram};
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedPolicy {
+    /// Admission threshold: jobs predicted below this success
+    /// probability on their assigned chip are re-mapped or flagged.
+    pub min_success: f64,
+    /// Extra per-job attempts the executor may spend re-running
+    /// failed operations.
+    pub retry_budget: u32,
+    /// Whether below-threshold jobs may be re-mapped to narrower
+    /// native gates (`false`: they are only flagged).
+    pub allow_remap: bool,
+    /// Worker threads the executor shards jobs over. `0` = one per
+    /// available CPU; `1` = serial.
+    pub shards: usize,
+    /// Rows reserved at the top of every subarray for reference and
+    /// constant scratch (the command sequences' working set).
+    pub scratch_rows: usize,
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy {
+            min_success: 0.85,
+            retry_budget: 3,
+            allow_remap: true,
+            shards: 0,
+            scratch_rows: simdram::MAX_FAN_IN,
+        }
+    }
+}
+
+impl SchedPolicy {
+    /// Overrides the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> SchedPolicy {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count actually used for `jobs` jobs: the configured
+    /// count, or one per available CPU when 0, never more than the
+    /// job count and never less than 1.
+    pub fn effective_shards(&self, jobs: usize) -> usize {
+        let requested = if self.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.shards
+        };
+        requested.min(jobs).max(1)
+    }
+
+    /// The worker threads the executor actually spawns for `jobs`
+    /// jobs (ceil-division chunking can need fewer workers than
+    /// [`effective_shards`](Self::effective_shards)).
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let shards = self.effective_shards(jobs);
+        if shards <= 1 || jobs == 0 {
+            1
+        } else {
+            jobs.div_ceil(jobs.div_ceil(shards))
+        }
+    }
+}
+
+/// One chip's scheduling view: its identity plus the per-chip derated
+/// [`CostModel`] admission prices against.
+///
+/// The derating models the paper's chip-to-chip reliability spread at
+/// scheduling granularity: every chip draws a *strain* factor
+/// deterministically from its seed, and a logic entry's success rate
+/// is raised to the power `1 + strain·(N−1)/15` — weak chips lose
+/// disproportionately on many-row activations (the §6.2 scaling), so
+/// narrowing a wide gate is a genuine remedy, while NOT (one
+/// destination row here) keeps its population rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipProfile {
+    /// Fleet member index.
+    pub member: usize,
+    /// Fleet display label (`module/cN`).
+    pub label: String,
+    /// The chip's deterministic seed (retry draws mix it in).
+    pub chip_seed: u64,
+    /// Strain factor in `[0, 3)`: 0 = population-mean chip.
+    pub strain: f64,
+    /// The derated per-chip cost model.
+    pub cost: CostModel,
+}
+
+impl ChipProfile {
+    /// Derives the profile of fleet member `member` from its spec and
+    /// the fleet-level base model.
+    pub fn derive(member: usize, spec: &ChipSpec, base: &CostModel) -> ChipProfile {
+        let chip_seed = spec.seed();
+        // Squared unit draw: most chips near the population mean, a
+        // thin tail of weak ones — the shape of the paper's per-chip
+        // distributions.
+        let strain = 3.0 * hash_to_unit(mix2(chip_seed, 0x57A1)).powi(2);
+        let mut data = base.data().clone();
+        data.source = format!("{} derated for {}", data.source, spec.label());
+        for e in &mut data.entries {
+            if e.op != "not" && e.inputs > 1 {
+                let exponent = 1.0 + strain * (e.inputs - 1) as f64 / 15.0;
+                e.success = e.success.powf(exponent);
+            }
+        }
+        ChipProfile {
+            member,
+            label: spec.label(),
+            chip_seed,
+            strain,
+            cost: CostModel::from_data(data).expect("derating keeps the model valid"),
+        }
+    }
+}
+
+/// How admission control handled a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Admission {
+    /// Admitted as submitted.
+    Admitted,
+    /// Re-mapped to native gates of at most this width to clear the
+    /// admission threshold on the assigned chip.
+    Remapped(usize),
+    /// Below the threshold even after the best re-mapping; executed
+    /// with the warning recorded.
+    Flagged,
+}
+
+impl std::fmt::Display for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Admission::Admitted => write!(f, "admitted"),
+            Admission::Remapped(w) => write!(f, "remapped:{w}"),
+            Admission::Flagged => write!(f, "flagged"),
+        }
+    }
+}
+
+/// One job's planned placement and the program that will actually run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The job (submission index).
+    pub job: JobId,
+    /// Assigned fleet member.
+    pub member: usize,
+    /// Leased rows on that member.
+    pub slot: FleetSlot,
+    /// The member's wave (sequential slot-reuse generation) this job
+    /// runs in.
+    pub wave: usize,
+    /// Admission outcome.
+    pub admission: Admission,
+    /// The program to execute (narrowed when `admission` is
+    /// [`Admission::Remapped`], or the best attempt when flagged).
+    pub program: SynthProgram,
+    /// Predicted cost under the assigned chip's model.
+    pub predicted: ProgramCost,
+}
+
+/// A complete batch plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Per-job assignments, in submission order.
+    pub assignments: Vec<Assignment>,
+    /// Per-member chip profiles, in fleet order.
+    pub profiles: Vec<ChipProfile>,
+    /// Total waves across the fleet (max per-member wave + 1).
+    pub waves: usize,
+}
+
+/// Memoized admission results: one entry per distinct submitted
+/// program, one slot per fleet member.
+type AdmissionMemo = Vec<(
+    SynthProgram,
+    Vec<Option<(SynthProgram, Admission, ProgramCost)>>,
+)>;
+
+/// The planner.
+#[derive(Debug, Clone)]
+pub struct Planner<'a> {
+    fleet: &'a FleetConfig,
+    base: &'a CostModel,
+    policy: &'a SchedPolicy,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over `fleet` pricing against `base` (population-level
+    /// cost model; each chip derates its own copy).
+    pub fn new(
+        fleet: &'a FleetConfig,
+        base: &'a CostModel,
+        policy: &'a SchedPolicy,
+    ) -> Planner<'a> {
+        Planner {
+            fleet,
+            base,
+            policy,
+        }
+    }
+
+    /// Plans a batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty fleet or a job too large for *every* chip of
+    /// the fleet.
+    pub fn plan(&self, batch: &Batch) -> Result<Plan> {
+        if self.fleet.is_empty() {
+            return Err(SchedError::EmptyFleet);
+        }
+        let profiles: Vec<ChipProfile> = self
+            .fleet
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| ChipProfile::derive(i, spec, self.base))
+            .collect();
+        let mut slots = FleetSlots::new(self.fleet, self.policy.scratch_rows);
+        // Each member's largest-ever lease (an idle subarray's usable
+        // rows): the fit ceiling candidate selection screens against.
+        let capacity: Vec<usize> = (0..profiles.len())
+            .map(|m| slots.largest_lease(m))
+            .collect();
+        let mut load = vec![0.0f64; profiles.len()];
+        let mut wave = vec![0usize; profiles.len()];
+        let mut assignments = Vec::with_capacity(batch.len());
+        // Admission depends only on (submitted program, chip), so
+        // batches cycling a small program mix admit each pair once
+        // instead of once per job.
+        let mut memo: AdmissionMemo = Vec::new();
+        for job in batch.jobs() {
+            // Candidate members by predicted load (ties to the lowest
+            // index); a member whose subarrays can never hold the job
+            // — even idle — is skipped rather than aborting the batch,
+            // so a heterogeneous fleet places the job on a chip that
+            // fits it.
+            let mut order: Vec<usize> = (0..profiles.len()).collect();
+            order.sort_by(|a, b| load[*a].total_cmp(&load[*b]).then(a.cmp(b)));
+            let mut placed = None;
+            'candidates: for member in order {
+                let profile = &profiles[member];
+                let admitted = self.admit_memoized(&mut memo, job, member, profile);
+                // Narrowing only ever adds temporaries, so the
+                // submitted program is the smallest footprint: try the
+                // admitted (possibly narrowed) variant first, then
+                // fall back to the submitted program when only the
+                // narrowing made the job too big for this member —
+                // feasibility beats the reliability re-map, and the
+                // job is flagged instead.
+                let submitted_fallback = if admitted.0 == job.program {
+                    None
+                } else {
+                    Some((
+                        job.program.clone(),
+                        Admission::Flagged,
+                        job.program.price(&profile.cost),
+                    ))
+                };
+                for (program, admission, predicted) in
+                    std::iter::once(admitted).chain(submitted_fallback)
+                {
+                    let rows = program.peak_live_rows();
+                    if let Some(lease) = slots.lease_on(member, rows) {
+                        placed = Some((member, lease, program, admission, predicted));
+                        break 'candidates;
+                    }
+                    if capacity[member] >= rows {
+                        // Wave rollover: the chip is full but fits the
+                        // job when idle; recycle all of its slots for
+                        // sequential reuse.
+                        wave[member] += 1;
+                        slots.reset_member(member);
+                        let lease = slots
+                            .lease_on(member, rows)
+                            .expect("an idle member at capacity fits the job");
+                        placed = Some((member, lease, program, admission, predicted));
+                        break 'candidates;
+                    }
+                }
+            }
+            let Some((member, lease, program, admission, predicted)) = placed else {
+                // Even the smallest variant (the submitted program)
+                // fits no member, so the reported row count is the
+                // job's true minimum footprint.
+                return Err(SchedError::JobTooLarge {
+                    job: job.label.clone(),
+                    rows: job.program.peak_live_rows(),
+                    largest: capacity.iter().max().copied().unwrap_or(0),
+                });
+            };
+            load[member] += predicted.latency_ns;
+            assignments.push(Assignment {
+                job: job.id,
+                member,
+                slot: lease.slot,
+                wave: wave[member],
+                admission,
+                program,
+                predicted,
+            });
+            // The lease stays held in `slots` (dropped here without
+            // release) until the member's wave rollover recycles it.
+        }
+        Ok(Plan {
+            waves: wave.iter().max().copied().unwrap_or(0) + 1,
+            assignments,
+            profiles,
+        })
+    }
+
+    /// Looks up (or computes and caches) the admission result for one
+    /// (submitted program, member) pair.
+    fn admit_memoized(
+        &self,
+        memo: &mut AdmissionMemo,
+        job: &crate::queue::Job,
+        member: usize,
+        profile: &ChipProfile,
+    ) -> (SynthProgram, Admission, ProgramCost) {
+        let pi = match memo.iter().position(|(p, _)| *p == job.program) {
+            Some(i) => i,
+            None => {
+                memo.push((job.program.clone(), Vec::new()));
+                memo.len() - 1
+            }
+        };
+        if memo[pi].1.len() <= member {
+            memo[pi].1.resize(member + 1, None);
+        }
+        if let Some(hit) = &memo[pi].1[member] {
+            return hit.clone();
+        }
+        let result = self.admit(&job.program, profile);
+        memo[pi].1[member] = Some(result.clone());
+        result
+    }
+
+    /// Admission control for one (program, chip) pair.
+    fn admit(
+        &self,
+        submitted: &SynthProgram,
+        profile: &ChipProfile,
+    ) -> (SynthProgram, Admission, ProgramCost) {
+        let as_is = submitted.price(&profile.cost);
+        if as_is.expected_success >= self.policy.min_success {
+            return (submitted.clone(), Admission::Admitted, as_is);
+        }
+        if !self.policy.allow_remap {
+            return (submitted.clone(), Admission::Flagged, as_is);
+        }
+        // Try narrower native widths; keep the best expected success
+        // (ties to the wider variant — fewer ops, lower latency).
+        let mut best: Option<(usize, SynthProgram, ProgramCost)> = None;
+        for width in [8usize, 4, 2] {
+            let cand = submitted.narrowed(width);
+            if &cand == submitted {
+                continue; // no gate wider than `width` to rewrite
+            }
+            let c = cand.price(&profile.cost);
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, b)| c.expected_success > b.expected_success + 1e-15)
+            {
+                best = Some((width, cand, c));
+            }
+        }
+        match best {
+            Some((w, p, c)) if c.expected_success > as_is.expected_success + 1e-15 => {
+                let admission = if c.expected_success >= self.policy.min_success {
+                    Admission::Remapped(w)
+                } else {
+                    Admission::Flagged
+                };
+                (p, admission, c)
+            }
+            _ => (submitted.clone(), Admission::Flagged, as_is),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::batch_of;
+
+    fn cost() -> CostModel {
+        CostModel::table1_defaults()
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_spreads_load() {
+        let fleet = FleetConfig::table1(4);
+        let base = cost();
+        let policy = SchedPolicy::default();
+        let batch = batch_of(
+            &["a & b", "a | b", "a ^ b", "!(a & b & c)", "a & b & c & d"],
+            16,
+            1,
+        );
+        let planner = Planner::new(&fleet, &base, &policy);
+        let p1 = planner.plan(&batch).unwrap();
+        let p2 = planner.plan(&batch).unwrap();
+        assert_eq!(p1, p2, "planning is pure");
+        assert_eq!(p1.assignments.len(), 5);
+        let used: std::collections::BTreeSet<usize> =
+            p1.assignments.iter().map(|a| a.member).collect();
+        assert!(used.len() > 1, "multiple chips used: {used:?}");
+        assert_eq!(p1.profiles.len(), 4);
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let fleet = FleetConfig {
+            modules: vec![dram_core::config::table1().remove(0)],
+            chips: 0,
+            seed: 0,
+        };
+        let base = cost();
+        let policy = SchedPolicy::default();
+        let batch = batch_of(&["a & b"], 8, 0);
+        assert_eq!(
+            Planner::new(&fleet, &base, &policy).plan(&batch),
+            Err(SchedError::EmptyFleet)
+        );
+    }
+
+    #[test]
+    fn chip_profiles_derate_wide_gates_more() {
+        let fleet = FleetConfig::table1(8);
+        let base = cost();
+        for (i, spec) in fleet.specs().iter().enumerate() {
+            let p = ChipProfile::derive(i, spec, &base);
+            assert!((0.0..3.0).contains(&p.strain), "strain {}", p.strain);
+            let n2 = p.cost.success(dram_core::LogicOp::And, 2);
+            let n16 = p.cost.success(dram_core::LogicOp::And, 16);
+            assert!(n2 <= base.success(dram_core::LogicOp::And, 2) + 1e-12);
+            if p.strain > 0.05 {
+                let base_ratio = base.success(dram_core::LogicOp::And, 16)
+                    / base.success(dram_core::LogicOp::And, 2);
+                assert!(
+                    n16 / n2 < base_ratio + 1e-12,
+                    "wide gates derate at least as much"
+                );
+            }
+            assert_eq!(
+                p.cost.not_success(),
+                base.not_success(),
+                "NOT keeps the population rate"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_threshold_remaps_or_flags() {
+        let fleet = FleetConfig::table1(3);
+        let base = cost();
+        // Impossible threshold: nothing passes; everything is flagged
+        // (or remapped if narrowing somehow reached 1.01 — it cannot).
+        let strict = SchedPolicy {
+            min_success: 1.01,
+            ..SchedPolicy::default()
+        };
+        let batch = batch_of(&["a&b&c&d&e&f&g&h&i&j&k&l&m&n&o&p"], 8, 3);
+        let plan = Planner::new(&fleet, &base, &strict).plan(&batch).unwrap();
+        assert_eq!(plan.assignments[0].admission, Admission::Flagged);
+        // Flagging still picks the best program for the chip.
+        let no_remap = SchedPolicy {
+            min_success: 1.01,
+            allow_remap: false,
+            ..SchedPolicy::default()
+        };
+        let plan2 = Planner::new(&fleet, &base, &no_remap).plan(&batch).unwrap();
+        assert_eq!(plan2.assignments[0].admission, Admission::Flagged);
+        assert_eq!(
+            plan2.assignments[0].program,
+            batch.jobs()[0].program,
+            "remap disabled: the submitted program runs"
+        );
+    }
+
+    #[test]
+    fn waves_roll_over_on_a_saturated_chip() {
+        let fleet = FleetConfig::table1(1);
+        let base = cost();
+        let g = fleet.spec(0).cfg.geometry();
+        // Shrink every subarray to exactly one 3-row slot so the chip
+        // holds `subarrays_per_bank` jobs per wave.
+        let policy = SchedPolicy {
+            scratch_rows: g.rows_per_subarray() - 3,
+            ..SchedPolicy::default()
+        };
+        let slots_per_chip = g.subarrays_per_bank();
+        let exprs: Vec<&str> = std::iter::repeat_n("a & b", slots_per_chip + 2).collect();
+        let batch = batch_of(&exprs, 4, 9);
+        let plan = Planner::new(&fleet, &base, &policy).plan(&batch).unwrap();
+        assert!(
+            plan.waves >= 2,
+            "expected a wave rollover, got {}",
+            plan.waves
+        );
+        let first_rolled = plan
+            .assignments
+            .iter()
+            .find(|a| a.wave == 1)
+            .expect("a wave-1 assignment exists");
+        assert_eq!(
+            first_rolled.slot.subarray, 0,
+            "rollover recycles from the start"
+        );
+        // A job that fits no member errors clearly, reporting the
+        // fleet-wide largest slot (placement already skipped every
+        // member that could never hold it).
+        let impossible = batch_of(&["a&b&c&d&e&f&g&h&i&j&k&l&m&n&o&p&q&r&s&t"], 4, 9);
+        match Planner::new(&fleet, &base, &policy).plan(&impossible) {
+            Err(SchedError::JobTooLarge { rows, largest, .. }) => {
+                assert_eq!(largest, 3, "fleet-wide largest idle slot");
+                assert!(rows > largest);
+            }
+            other => panic!("expected JobTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effective_shards_clamp() {
+        let p = SchedPolicy::default();
+        assert_eq!(p.clone().with_shards(8).effective_shards(3), 3);
+        assert_eq!(p.clone().with_shards(2).effective_shards(64), 2);
+        assert!(p.clone().with_shards(0).effective_shards(64) >= 1);
+        assert_eq!(p.clone().with_shards(5).effective_shards(0), 1);
+        assert_eq!(p.with_shards(4).effective_workers(5), 3);
+    }
+}

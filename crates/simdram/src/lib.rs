@@ -61,7 +61,7 @@ pub use error::{Result, SimdramError};
 pub use layout::UintVec;
 pub use substrate::{BitRow, DramSubstrate, HostSubstrate, Substrate, MAX_FAN_IN};
 pub use trace::{NativeOp, OpTrace, TraceEntry};
-pub use vm::{AdderKind, SimdVm};
+pub use vm::{AdderKind, RowLease, SimdVm};
 
 // Re-export the vocabulary types users need at the API surface.
 pub use dram_core::LogicOp;

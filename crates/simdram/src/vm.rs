@@ -24,6 +24,43 @@ pub enum AdderKind {
     FusedMaj,
 }
 
+/// A batch of rows allocated together by [`SimdVm::lease_rows`] and
+/// returned together by [`SimdVm::end_lease`].
+///
+/// Deliberately not `Copy`/`Clone`: the lease is the single owner of
+/// its rows, so ending it is the only way to double-free-safely return
+/// them.
+#[derive(Debug)]
+pub struct RowLease {
+    rows: Vec<BitRow>,
+}
+
+impl RowLease {
+    /// The leased rows, in allocation order.
+    pub fn rows(&self) -> &[BitRow] {
+        &self.rows
+    }
+
+    /// The `i`-th leased row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn row(&self, i: usize) -> BitRow {
+        self.rows[i]
+    }
+
+    /// Number of rows in the lease.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the lease is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 /// A bit-serial SIMD machine over an FCDRAM-style substrate.
 ///
 /// # Examples
@@ -157,6 +194,43 @@ impl<S: Substrate> SimdVm<S> {
     /// Fails on an invalid handle.
     pub fn read_mask(&mut self, r: BitRow) -> Result<Vec<bool>> {
         self.sub.read(r)
+    }
+
+    /// Leases `n` rows at once, all-or-nothing: when the pool cannot
+    /// satisfy the full request, every partially-allocated row is
+    /// returned before the error propagates, so a failed lease leaves
+    /// the substrate exactly as it was.
+    ///
+    /// This is the scheduler-facing allocation hook: a job's operand
+    /// staging rows are taken as one lease and returned as one lease
+    /// ([`Self::end_lease`]), which keeps row accounting per *job*
+    /// rather than per row.
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than `n` rows are available.
+    pub fn lease_rows(&mut self, n: usize) -> Result<RowLease> {
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.sub.alloc() {
+                Ok(r) => rows.push(r),
+                Err(e) => {
+                    for r in rows {
+                        self.sub.free(r);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(RowLease { rows })
+    }
+
+    /// Returns every row of a lease to the pool (shared constant rows,
+    /// should they ever appear in a lease, are kept).
+    pub fn end_lease(&mut self, lease: RowLease) {
+        for r in lease.rows {
+            self.release(r);
+        }
     }
 
     // ---------------------------------------------------------------
@@ -347,5 +421,34 @@ mod tests {
         assert!(vm.alloc_uint(0).is_err());
         assert!(vm.alloc_uint(65).is_err());
         assert!(vm.alloc_uint(64).is_ok());
+    }
+
+    #[test]
+    fn row_lease_round_trips() {
+        let mut vm = vm();
+        let live0 = vm.substrate().live_rows();
+        let lease = vm.lease_rows(5).unwrap();
+        assert_eq!(lease.len(), 5);
+        assert!(!lease.is_empty());
+        assert_eq!(lease.row(0), lease.rows()[0]);
+        assert_eq!(vm.substrate().live_rows(), live0 + 5);
+        vm.end_lease(lease);
+        assert_eq!(vm.substrate().live_rows(), live0);
+    }
+
+    #[test]
+    fn failed_lease_leaves_no_rows_behind() {
+        // Capacity 8 minus the two shared constant rows: 6 leasable.
+        let mut vm = SimdVm::new(crate::HostSubstrate::new(4, 8)).unwrap();
+        let live0 = vm.substrate().live_rows();
+        assert!(vm.lease_rows(7).is_err(), "over-capacity lease fails");
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live0,
+            "partial allocation rolled back"
+        );
+        let lease = vm.lease_rows(6).unwrap();
+        vm.end_lease(lease);
+        assert_eq!(vm.substrate().live_rows(), live0);
     }
 }

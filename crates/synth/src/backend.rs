@@ -42,6 +42,26 @@ pub fn execute_on_vm<S: Substrate>(
     prog: &SynthProgram,
     inputs: &[BitRow],
 ) -> Result<BitRow> {
+    execute_on_vm_observed(vm, prog, inputs, |_, _| {})
+}
+
+/// [`execute_on_vm`] with a per-step observer: `on_step(i, step)` is
+/// called after step `i` executes.
+///
+/// This is the job-scheduler entry point — the observer is where
+/// per-operation accounting (retry draws, modeled latency/energy,
+/// per-job success bookkeeping) hooks into an execution without the
+/// backend knowing about any of it.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_on_vm`].
+pub fn execute_on_vm_observed<S: Substrate, F: FnMut(usize, &crate::mapper::Step)>(
+    vm: &mut SimdVm<S>,
+    prog: &SynthProgram,
+    inputs: &[BitRow],
+    mut on_step: F,
+) -> Result<BitRow> {
     if inputs.len() != prog.inputs.len() {
         return Err(SynthError::InputMismatch {
             expected: prog.inputs.len(),
@@ -68,6 +88,7 @@ pub fn execute_on_vm<S: Substrate>(
             Some(LogicOp::Nor) => vm.bit_nor(&args)?,
         };
         regs[step.out] = Some(out);
+        on_step(i, step);
         // Free temporaries at their last use to keep row pressure at
         // the live-range width instead of the program length.
         for r in &step.args {
@@ -105,30 +126,46 @@ pub fn execute_packed<S: Substrate>(
     prog: &SynthProgram,
     operands: &[PackedBits],
 ) -> Result<PackedBits> {
+    execute_packed_observed(vm, prog, operands, |_, _| {})
+}
+
+/// [`execute_packed`] with a per-step observer (see
+/// [`execute_on_vm_observed`]). The operand staging rows are taken as
+/// one [`simdram::RowLease`] and returned as one lease, so a
+/// scheduler's row accounting stays per job.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_packed`].
+pub fn execute_packed_observed<S: Substrate, F: FnMut(usize, &crate::mapper::Step)>(
+    vm: &mut SimdVm<S>,
+    prog: &SynthProgram,
+    operands: &[PackedBits],
+    on_step: F,
+) -> Result<PackedBits> {
     if operands.len() != prog.inputs.len() {
         return Err(SynthError::InputMismatch {
             expected: prog.inputs.len(),
             got: operands.len(),
         });
     }
-    let mut rows = Vec::with_capacity(operands.len());
-    for o in operands {
-        let r = vm.alloc_row()?;
-        vm.substrate_mut().write_packed(r, o)?;
-        rows.push(r);
-    }
-    let result = execute_on_vm(vm, prog, &rows);
+    let lease = vm.lease_rows(operands.len())?;
+    let staged: Result<()> = (|| {
+        for (i, o) in operands.iter().enumerate() {
+            vm.substrate_mut().write_packed(lease.row(i), o)?;
+        }
+        Ok(())
+    })();
+    let result = staged.and_then(|()| execute_on_vm_observed(vm, prog, lease.rows(), on_step));
     let out = match result {
         Ok(out) => {
-            let packed = vm.substrate_mut().read_packed(out)?;
+            let packed = vm.substrate_mut().read_packed(out);
             vm.release(out);
-            Ok(packed)
+            packed.map_err(SynthError::from)
         }
         Err(e) => Err(e),
     };
-    for r in rows {
-        vm.release(r);
-    }
+    vm.end_lease(lease);
     out
 }
 
@@ -318,6 +355,34 @@ mod tests {
             live0,
             "all staged and temporary rows returned"
         );
+    }
+
+    #[test]
+    fn observed_execution_sees_every_step_and_narrowed_stays_exact() {
+        let text = "(a & b & c & d & e & f & g & h) ^ !(i | j | k | l | m)";
+        let expr = Expr::parse(text).unwrap();
+        let circuit = Circuit::from_expr(&expr);
+        let m = mapped(text);
+        let lanes = 77;
+        let ops = random_operands(circuit.inputs().len(), lanes, 0x0B5E);
+        let expect = circuit.eval_packed(&ops);
+        for prog in [
+            m.program.clone(),
+            m.program.narrowed(3),
+            m.program.narrowed(2),
+        ] {
+            let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+            let mut seen = Vec::new();
+            let got = execute_packed_observed(&mut vm, &prog, &ops, |i, s| {
+                seen.push((i, s.args.len()));
+            })
+            .unwrap();
+            assert_eq!(got, expect, "narrowed program diverged");
+            assert_eq!(seen.len(), prog.steps.len(), "observer missed steps");
+            for (k, (i, _)) in seen.iter().enumerate() {
+                assert_eq!(*i, k, "steps observed in order");
+            }
+        }
     }
 
     #[test]

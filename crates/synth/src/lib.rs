@@ -56,12 +56,14 @@ pub mod error;
 pub mod expr;
 pub mod mapper;
 
-pub use backend::{execute_on_vm, execute_packed, BenderEmitter};
+pub use backend::{
+    execute_on_vm, execute_on_vm_observed, execute_packed, execute_packed_observed, BenderEmitter,
+};
 pub use cost::{CostModel, CostModelData, GateCost};
 pub use dag::{Circuit, Node, NodeId};
 pub use error::{Result, SynthError};
 pub use expr::{Expr, ExprNode, ExprOp};
-pub use mapper::{Mapper, Mapping, Output, Step, SynthProgram};
+pub use mapper::{Mapper, Mapping, Output, ProgramCost, Step, SynthProgram};
 
 /// A fully compiled expression: parsed form, optimized DAG, and the
 /// reliability-aware mapping.

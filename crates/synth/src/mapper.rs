@@ -23,6 +23,7 @@
 use crate::cost::CostModel;
 use crate::dag::{Circuit, Node};
 use dram_core::LogicOp;
+use serde::{Deserialize, Serialize};
 use simdram::trace::{NativeOp, OpTrace, TraceEntry};
 
 /// A virtual register of the mapped program. Registers
@@ -65,6 +66,20 @@ pub struct SynthProgram {
     pub n_regs: usize,
 }
 
+/// A program priced under a (possibly different) cost model: the
+/// admission-control primitive — a scheduler re-prices a submitted
+/// program under the *assigned chip's* model before running it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgramCost {
+    /// Expected whole-program success probability (product over
+    /// steps, in step order — the same fold [`Mapper::map`] uses).
+    pub expected_success: f64,
+    /// Summed steady-state latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Summed steady-state energy, picojoules.
+    pub energy_pj: f64,
+}
+
 impl SynthProgram {
     /// Registers read after step `i` (used by backends to free rows
     /// early): the set of `args` of steps `i+1..` plus the output reg.
@@ -79,6 +94,125 @@ impl SynthProgram {
             }
         }
         last
+    }
+
+    /// The maximum number of simultaneously-live rows an execution
+    /// with last-use freeing holds (operand rows live throughout,
+    /// temporaries from definition to last use) — the row footprint a
+    /// scheduler must lease for this job.
+    pub fn peak_live_rows(&self) -> usize {
+        let last = self.last_use();
+        let n_in = self.inputs.len();
+        let mut is_live = vec![false; self.n_regs];
+        let mut live_temps = 0usize;
+        let mut peak = n_in.max(1);
+        for (i, s) in self.steps.iter().enumerate() {
+            if s.out >= n_in && !is_live[s.out] {
+                is_live[s.out] = true;
+                live_temps += 1;
+            }
+            peak = peak.max(n_in + live_temps);
+            for a in &s.args {
+                if *a >= n_in && is_live[*a] && last[*a] <= i {
+                    is_live[*a] = false;
+                    live_temps -= 1;
+                }
+            }
+        }
+        peak
+    }
+
+    /// Prices the program under `cost`: success product, summed
+    /// latency and energy, accumulated in step order (bit-identical to
+    /// the fold [`Mapper::map`] performs while emitting).
+    pub fn price(&self, cost: &CostModel) -> ProgramCost {
+        let mut success = 1.0f64;
+        let mut latency = 0.0f64;
+        let mut energy = 0.0f64;
+        for s in &self.steps {
+            match s.op {
+                None => {
+                    success *= cost.not_success();
+                    latency += cost.not_latency_ns();
+                    energy += cost.not_energy_pj();
+                }
+                Some(op) => {
+                    let n = s.args.len();
+                    success *= cost.success(op, n);
+                    latency += cost.latency_ns(op, n);
+                    energy += cost.energy_pj(op, n);
+                }
+            }
+        }
+        ProgramCost {
+            expected_success: success,
+            latency_ns: latency,
+            energy_pj: energy,
+        }
+    }
+
+    /// Rewrites every gate wider than `max_width` into a balanced tree
+    /// of at-most-`max_width` native gates (monotone stages, inverted
+    /// terminals inverting in the final stage — the same discipline as
+    /// [`Mapper`]'s emission), without needing the source circuit.
+    ///
+    /// This is the scheduler's *re-mapping* primitive: a job whose
+    /// wide gates are too unreliable for its assigned chip is narrowed
+    /// at the program level. Register numbering of the original
+    /// program is preserved (new temporaries are appended), so the
+    /// narrowed program is a drop-in functional replacement.
+    pub fn narrowed(&self, max_width: usize) -> SynthProgram {
+        let width = max_width.clamp(2, simdram::MAX_FAN_IN);
+        let mut out = SynthProgram {
+            inputs: self.inputs.clone(),
+            steps: Vec::new(),
+            output: self.output,
+            n_regs: self.n_regs,
+        };
+        for step in &self.steps {
+            match step.op {
+                Some(op) if step.args.len() > width => {
+                    let monotone = if op.is_and_family() {
+                        LogicOp::And
+                    } else {
+                        LogicOp::Or
+                    };
+                    let stage_op = if op.is_inverted_terminal() {
+                        monotone
+                    } else {
+                        op
+                    };
+                    let mut level = step.args.clone();
+                    while level.len() > width {
+                        let mut next = Vec::with_capacity(level.len().div_ceil(width));
+                        for chunk in level.chunks(width) {
+                            if chunk.len() == 1 {
+                                next.push(chunk[0]);
+                            } else {
+                                let r = out.n_regs;
+                                out.n_regs += 1;
+                                out.steps.push(Step {
+                                    op: Some(stage_op),
+                                    args: chunk.to_vec(),
+                                    out: r,
+                                });
+                                next.push(r);
+                            }
+                        }
+                        level = next;
+                    }
+                    // Final stage applies the (possibly inverting) op
+                    // and writes the original destination register.
+                    out.steps.push(Step {
+                        op: Some(op),
+                        args: level,
+                        out: step.out,
+                    });
+                }
+                _ => out.steps.push(step.clone()),
+            }
+        }
+        out
     }
 }
 
@@ -506,6 +640,98 @@ mod tests {
         let summary = m.gate_summary();
         let total: usize = summary.iter().map(|(_, _, c)| c).sum();
         assert_eq!(total, m.native_ops);
+    }
+
+    #[test]
+    fn price_matches_mapping_predictions_exactly() {
+        let cost = CostModel::table1_defaults();
+        for text in [
+            "a ^ b ^ c ^ d",
+            "(a & b & c & d & e & f & g & h) | !(i & j)",
+            "!(a | b | c | d | e)",
+            "a",
+        ] {
+            let m = Mapper::new(&cost, 16).map(&circuit(text));
+            let p = m.program.price(&cost);
+            // Same fold order, so bit-identical — not just close.
+            assert_eq!(p.expected_success, m.expected_success, "{text}");
+            assert_eq!(p.latency_ns, m.latency_ns, "{text}");
+            assert_eq!(p.energy_pj, m.energy_pj, "{text}");
+        }
+    }
+
+    #[test]
+    fn narrowed_respects_width_and_keeps_io_shape() {
+        let cost = CostModel::table1_defaults();
+        let m = Mapper::new(&cost, 16).map(&and16());
+        assert_eq!(m.native_ops, 1, "one wide gate to narrow");
+        for w in [2usize, 3, 4, 8] {
+            let narrow = m.program.narrowed(w);
+            assert!(
+                narrow.steps.iter().all(|s| s.args.len() <= w),
+                "width {w} violated"
+            );
+            assert_eq!(narrow.inputs, m.program.inputs);
+            assert_eq!(narrow.output, m.program.output);
+            assert!(narrow.n_regs >= m.program.n_regs);
+            // The final stage still writes the original destination.
+            let orig_out = match m.program.output {
+                Output::Reg(r) => r,
+                Output::Const(_) => unreachable!(),
+            };
+            assert!(narrow.steps.iter().any(|s| s.out == orig_out));
+        }
+        // Already-narrow programs pass through unchanged.
+        assert_eq!(m.program.narrowed(16), m.program);
+    }
+
+    #[test]
+    fn narrowed_inverted_terminal_inverts_only_once() {
+        let cost = CostModel::table1_defaults();
+        let c = circuit("!(a&b&c&d&e&f&g&h&i&j&k&l)");
+        let m = Mapper::new(&cost, 16).map(&c);
+        let narrow = m.program.narrowed(4);
+        let nands: Vec<_> = narrow
+            .steps
+            .iter()
+            .filter(|s| s.op == Some(LogicOp::Nand))
+            .collect();
+        assert_eq!(nands.len(), 1, "exactly one inverting stage");
+        assert_eq!(
+            nands[0].out,
+            narrow.steps.last().unwrap().out,
+            "the inversion is the final stage of the rewritten gate"
+        );
+        assert!(narrow
+            .steps
+            .iter()
+            .filter(|s| s.op != Some(LogicOp::Nand))
+            .all(|s| s.op == Some(LogicOp::And)));
+    }
+
+    #[test]
+    fn peak_live_rows_bounds_the_register_file() {
+        let cost = CostModel::table1_defaults();
+        for text in ["a", "a ^ b ^ c ^ d", "(a & b) | (c & d) | (e & f)"] {
+            let m = Mapper::new(&cost, 16).map(&circuit(text));
+            let peak = m.program.peak_live_rows();
+            assert!(peak >= 1);
+            assert!(
+                peak <= m.program.n_regs.max(1),
+                "{text}: peak {peak} exceeds register file {}",
+                m.program.n_regs
+            );
+        }
+        // A long chain re-uses freed temporaries: the peak stays far
+        // below the register count.
+        let chain = circuit("a ^ b ^ c ^ d ^ e ^ f ^ g ^ h ^ i ^ j");
+        let m = Mapper::new(&cost, 16).map(&chain);
+        assert!(
+            m.program.peak_live_rows() < m.program.n_regs,
+            "peak {} vs regs {}",
+            m.program.peak_live_rows(),
+            m.program.n_regs
+        );
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Scheduler equivalence properties: *scheduling never changes
+//! answers*.
+//!
+//! * a batch of random ≤8-input jobs scheduled across **any shard
+//!   count and any fleet size** produces result rows bit-identical to
+//!   serial per-job execution on a fleet of 1 — and to the direct
+//!   [`fcsynth::execute_packed`] reference on a fresh host VM;
+//! * retry/latency/energy accounting is a pure function of the batch
+//!   seed, jobs, fleet, and policy: identical across repeated runs and
+//!   across shard counts (the deterministic JSON report is
+//!   byte-identical — the property the CI determinism job enforces
+//!   end-to-end through `characterize serve`).
+
+mod common;
+
+use common::random_expr;
+use fcdram::PackedBits;
+use fcsched::{serve_batch, Batch, SchedPolicy};
+use fcsynth::CostModel;
+use proptest::prelude::*;
+use simdram::{HostSubstrate, SimdVm};
+
+/// Builds a batch of `jobs` random jobs (≤8 inputs each) with
+/// deterministic operands. Returns the batch alongside each job's
+/// reference result from a direct host execution of the *submitted*
+/// program.
+fn random_batch(jobs: usize, lanes: usize, seed: u64) -> (Batch, Vec<PackedBits>) {
+    let cost = CostModel::table1_defaults();
+    let mut batch = Batch::new(seed);
+    let mut references = Vec::with_capacity(jobs);
+    for j in 0..jobs {
+        let n = 1 + (seed as usize ^ (j * 7)) % 8;
+        let text = random_expr(n, seed ^ (j as u64) << 17, 10);
+        let compiled = fcsynth::compile(&text, &cost, 16).expect("generated exprs parse");
+        let k = compiled.circuit.inputs().len();
+        let operands: Vec<PackedBits> = (0..k)
+            .map(|i| {
+                let mut p = PackedBits::zeros(lanes);
+                for l in 0..lanes {
+                    let h = dram_core::math::mix4(seed, j as u64, i as u64, l as u64);
+                    p.set(l, h & 1 == 1);
+                }
+                p
+            })
+            .collect();
+        let mut vm = SimdVm::new(HostSubstrate::new(
+            lanes,
+            compiled.mapping.program.n_regs + k + 8,
+        ))
+        .expect("vm");
+        references.push(
+            fcsynth::execute_packed(&mut vm, &compiled.mapping.program, &operands)
+                .expect("reference executes"),
+        );
+        batch
+            .push(&text, &compiled.mapping, operands, lanes)
+            .expect("job validates");
+    }
+    (batch, references)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any (fleet size, shard count) produces the same result bits as
+    /// serial per-job execution on a fleet of 1, which in turn equals
+    /// the direct host reference.
+    #[test]
+    fn batches_are_bit_identical_across_fleets_and_shards(
+        jobs in 1usize..=8,
+        chips in 1usize..=6,
+        shards in 1usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let lanes = 65; // off word boundary to exercise tail masking
+        let (batch, references) = random_batch(jobs, lanes, seed);
+        let cost = CostModel::table1_defaults();
+
+        let baseline = serve_batch(
+            &dram_core::FleetConfig::table1(1),
+            &cost,
+            &SchedPolicy::default().with_shards(1),
+            &batch,
+        ).map_err(|e| e.to_string())?;
+        let candidate = serve_batch(
+            &dram_core::FleetConfig::table1(chips),
+            &cost,
+            &SchedPolicy::default().with_shards(shards),
+            &batch,
+        ).map_err(|e| e.to_string())?;
+
+        prop_assert_eq!(baseline.jobs(), jobs);
+        prop_assert_eq!(candidate.jobs(), jobs);
+        for (j, reference) in references.iter().enumerate() {
+            prop_assert_eq!(
+                &baseline.outcomes[j].result, reference,
+                "fleet-of-1 diverged from the direct reference on job {}", j
+            );
+            prop_assert_eq!(
+                &candidate.outcomes[j].result, reference,
+                "{} chips / {} shards changed job {}'s bits", chips, shards, j
+            );
+        }
+    }
+
+    /// Retry accounting is deterministic under a fixed seed and
+    /// invariant to the shard count: the full outcome list — retries,
+    /// failed ops, modeled latency/energy, admission — is identical,
+    /// and so is the serialized report byte-for-byte.
+    #[test]
+    fn retry_accounting_is_deterministic_and_shard_invariant(
+        jobs in 1usize..=8,
+        chips in 1usize..=4,
+        shards in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let (batch, _) = random_batch(jobs, 33, seed);
+        let cost = CostModel::table1_defaults();
+        let fleet = dram_core::FleetConfig::table1(chips);
+        let serial = serve_batch(
+            &fleet, &cost, &SchedPolicy::default().with_shards(1), &batch,
+        ).map_err(|e| e.to_string())?;
+        let again = serve_batch(
+            &fleet, &cost, &SchedPolicy::default().with_shards(1), &batch,
+        ).map_err(|e| e.to_string())?;
+        let sharded = serve_batch(
+            &fleet, &cost, &SchedPolicy::default().with_shards(shards), &batch,
+        ).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&serial.outcomes, &again.outcomes, "rerun changed accounting");
+        prop_assert_eq!(&serial.outcomes, &sharded.outcomes, "sharding changed accounting");
+        prop_assert_eq!(
+            serial.to_json(), sharded.to_json(),
+            "serialized report not byte-identical across shard counts"
+        );
+    }
+}
+
+/// The executor's modeled accounting reconciles with its own rollups
+/// on a non-trivial mixed batch, and admission outcomes stay within
+/// the policy's vocabulary.
+#[test]
+fn rollups_reconcile_on_a_mixed_batch() {
+    let (batch, _) = random_batch(24, 48, 0xD15C0);
+    let cost = CostModel::table1_defaults();
+    let report = serve_batch(
+        &dram_core::FleetConfig::table1(5),
+        &cost,
+        &SchedPolicy::default().with_shards(3),
+        &batch,
+    )
+    .unwrap();
+    assert_eq!(report.jobs(), 24);
+    let per_job_ops: usize = report.outcomes.iter().map(|o| o.ops).sum();
+    assert_eq!(report.native_ops(), per_job_ops);
+    let usage = report.member_usage();
+    assert_eq!(usage.iter().map(|u| u.jobs).sum::<usize>(), 24);
+    assert_eq!(
+        usage.iter().map(|u| u.retries).sum::<u64>(),
+        report.total_retries()
+    );
+    let lat = report.latency();
+    assert!(lat.min_ns <= lat.p50_ns && lat.p99_ns <= lat.max_ns);
+    for o in &report.outcomes {
+        assert_eq!(o.succeeded, o.failed_ops == 0);
+        assert!(o.predicted_success > 0.0 && o.predicted_success <= 1.0);
+    }
+}
+
+/// A hostile policy (impossible admission threshold, zero retries)
+/// still never changes answers — jobs are flagged and failures are
+/// accounted, but the bits match the permissive run exactly.
+#[test]
+fn hostile_policy_never_changes_answers() {
+    let (batch, references) = random_batch(12, 40, 0xBAD_CAFE);
+    let cost = CostModel::table1_defaults();
+    let fleet = dram_core::FleetConfig::table1(3);
+    let hostile = SchedPolicy {
+        min_success: 1.01,
+        retry_budget: 0,
+        shards: 2,
+        ..SchedPolicy::default()
+    };
+    let report = serve_batch(&fleet, &cost, &hostile, &batch).unwrap();
+    assert_eq!(
+        report.flagged() + report.remapped(),
+        12,
+        "nothing clears an impossible threshold"
+    );
+    for (o, reference) in report.outcomes.iter().zip(&references) {
+        assert_eq!(o.retries, 0, "no budget, no retries");
+        // Flagged jobs may run a *narrowed* program — the bits still
+        // must match the submitted program's reference exactly.
+        assert_eq!(&o.result, reference, "{}", o.label);
+    }
+}

@@ -9,7 +9,10 @@
 //!   executions must be bit-identical to each other per the repo's
 //!   fidelity invariant).
 
+mod common;
+
 use bender::{DdrCommand, ProgramBuilder};
+use common::{random_expr, random_operands};
 use dram_core::{BankId, Bit, GlobalRow, SimFidelity, SpeedBin, SubarrayId};
 use fcdram::{BulkEngine, Fcdram, PackedBits};
 use fcsynth::{compile, Circuit, CostModel, Expr, Mapper};
@@ -84,72 +87,6 @@ proptest! {
 // ---------------------------------------------------------------------
 // random expressions: synthesized execution vs reference evaluator
 // ---------------------------------------------------------------------
-
-/// Deterministic expression generator: a random tree over `n` inputs
-/// with the given node budget, driven by a splitmix-style stream.
-fn random_expr(n: usize, seed: u64, budget: usize) -> String {
-    fn next(state: &mut u64) -> u64 {
-        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-    fn gen(n: usize, state: &mut u64, budget: usize) -> String {
-        let choice = next(state);
-        if budget == 0 || choice % 100 < 25 {
-            // Leaf: mostly variables, occasionally a constant.
-            return if choice.is_multiple_of(13) {
-                if choice.is_multiple_of(2) {
-                    "0".into()
-                } else {
-                    "1".into()
-                }
-            } else {
-                format!("v{}", next(state) as usize % n)
-            };
-        }
-        match choice % 100 {
-            25..=39 => format!("!({})", gen(n, state, budget - 1)),
-            40..=59 => {
-                // Wide chains exercise flattening and the mapper.
-                let arity = 2 + next(state) as usize % 4;
-                let parts: Vec<String> =
-                    (0..arity).map(|_| gen(n, state, budget / arity)).collect();
-                let op = if choice.is_multiple_of(2) {
-                    " & "
-                } else {
-                    " | "
-                };
-                format!("({})", parts.join(op))
-            }
-            60..=79 => format!(
-                "({} ^ {})",
-                gen(n, state, budget / 2),
-                gen(n, state, budget / 2)
-            ),
-            _ => format!(
-                "({} & {})",
-                gen(n, state, budget / 2),
-                gen(n, state, budget / 2)
-            ),
-        }
-    }
-    let mut state = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
-    gen(n, &mut state, budget)
-}
-
-fn random_operands(n: usize, lanes: usize, seed: u64) -> Vec<PackedBits> {
-    (0..n)
-        .map(|i| {
-            let mut p = PackedBits::zeros(lanes);
-            for l in 0..lanes {
-                p.set(l, dram_core::math::mix3(seed, i as u64, l as u64) & 1 == 1);
-            }
-            p
-        })
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

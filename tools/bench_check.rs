@@ -17,19 +17,29 @@
 //! bench_check [--current BENCH_engine.json]
 //!             [--baseline tools/bench_baseline.json]
 //!             [--id logic_model_columnar_cached/1024cols]
-//!             [--check FILE:ID]
+//!             [--check FILE:ID] [--check-exact FILE:ID]
 //!             [--max-regress 0.20]
 //! ```
 //!
 //! `--id` checks an id inside the `--current` artifact; `--check`
 //! pairs an id with its own artifact file, so one invocation gates
 //! ids across several summaries (`BENCH_engine.json`,
-//! `BENCH_synth.json`, ...). With neither flag, the default set
-//! covers the engine hot path plus the three deterministic
-//! `synth_mapped_ops/*` counts from the `ablation_synth` bench.
+//! `BENCH_synth.json`, `BENCH_sched.json`, ...). `--check-exact` is
+//! the variant for *deterministic count* entries: any drift from the
+//! baseline — up or down — fails, since shrinkage of a scheduled-op
+//! or mapped-op count is a pipeline-shape change too, not an
+//! improvement to wave through. With no flag, the default set covers
+//! the engine hot path (tolerance), the three deterministic
+//! `synth_mapped_ops/*` counts from `ablation_synth` (exact), and the
+//! deterministic `sched_jobs/mix` + `sched_native_ops/mix`
+//! batch-shape counts from `ablation_sched` (exact).
 //!
-//! Exit status: 0 when every checked id is within tolerance, 1 on a
-//! regression, 2 on usage/parse errors.
+//! Every requested check is evaluated — missing ids, unreadable
+//! artifacts, and regressions are all collected and listed together
+//! in the final summary instead of stopping at the first problem.
+//!
+//! Exit status: 0 when every checked id is within tolerance, 1 when
+//! any check failed, 2 on usage errors or an unreadable baseline.
 
 use std::process::ExitCode;
 
@@ -94,8 +104,11 @@ fn mean_of(entries: &[Entry], id: &str) -> Option<f64> {
 fn main() -> ExitCode {
     let mut current = "BENCH_engine.json".to_string();
     let mut baseline = "tools/bench_baseline.json".to_string();
-    // (artifact file, id) pairs to gate.
-    let mut checks: Vec<(Option<String>, String)> = Vec::new();
+    // (artifact file, id, exact) triples to gate. `exact` entries are
+    // deterministic counts: *any* drift from the baseline — up or
+    // down — is a failure (shrinkage means the pipeline's shape
+    // changed and the baseline must be bumped deliberately).
+    let mut checks: Vec<(Option<String>, String, bool)> = Vec::new();
     let mut max_regress = 0.20f64;
 
     let mut args = std::env::args().skip(1);
@@ -108,13 +121,14 @@ fn main() -> ExitCode {
             match a.as_str() {
                 "--current" => current = val("--current")?,
                 "--baseline" => baseline = val("--baseline")?,
-                "--id" => checks.push((None, val("--id")?)),
-                "--check" => {
-                    let pair = val("--check")?;
+                "--id" => checks.push((None, val("--id")?, false)),
+                "--check" | "--check-exact" => {
+                    let exact = a == "--check-exact";
+                    let pair = val(&a)?;
                     let (file, id) = pair
                         .split_once(':')
-                        .ok_or_else(|| format!("--check wants FILE:ID, got '{pair}'"))?;
-                    checks.push((Some(file.to_string()), id.to_string()));
+                        .ok_or_else(|| format!("{a} wants FILE:ID, got '{pair}'"))?;
+                    checks.push((Some(file.to_string()), id.to_string(), exact));
                 }
                 "--max-regress" => {
                     max_regress = val("--max-regress")?
@@ -131,15 +145,22 @@ fn main() -> ExitCode {
         }
     }
     if checks.is_empty() {
-        // The model-evaluation hot path the columnar rewrite bought,
-        // plus the deterministic mapped-op counts of the synthesis
-        // pipeline (an optimizer regression inflates these).
-        checks.push((None, "logic_model_columnar_cached/1024cols".to_string()));
+        // The model-evaluation hot path the columnar rewrite bought
+        // (wall-clock: tolerance-gated), plus the deterministic
+        // mapped-op counts of the synthesis pipeline and the
+        // deterministic scheduled-batch shape (exact-gated: an
+        // optimizer, planner, or admission regression changes these
+        // in either direction).
+        checks.push((None, "logic_model_columnar_cached/1024cols".to_string(), false));
         for size in ["small", "medium", "large"] {
             checks.push((
                 Some("BENCH_synth.json".to_string()),
                 format!("synth_mapped_ops/{size}"),
+                true,
             ));
+        }
+        for id in ["sched_jobs/mix", "sched_native_ops/mix"] {
+            checks.push((Some("BENCH_sched.json".to_string()), id.to_string(), true));
         }
     }
 
@@ -150,33 +171,57 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // Artifact files, loaded once each in check order.
-    let mut artifacts: Vec<(String, Vec<Entry>)> = Vec::new();
-    let mut failed = false;
-    for (file, id) in &checks {
+    // Artifact files, loaded once each in check order. A file that
+    // fails to load marks every check against it as one failure each
+    // (carrying the load error), so the final count equals the number
+    // of failed checks — every requested id still gets evaluated.
+    let mut artifacts: Vec<(String, Result<Vec<Entry>, String>)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (file, id, exact) in &checks {
         let file = file.as_deref().unwrap_or(&current).to_string();
         if !artifacts.iter().any(|(f, _)| *f == file) {
-            match load(&file) {
-                Ok(entries) => artifacts.push((file.clone(), entries)),
-                Err(e) => {
-                    eprintln!("bench_check: {e}");
-                    return ExitCode::from(2);
-                }
+            let loaded = load(&file);
+            if let Err(e) = &loaded {
+                eprintln!("bench_check: {e}");
             }
+            artifacts.push((file.clone(), loaded));
         }
-        let cur = &artifacts
+        let cur = match &artifacts
             .iter()
             .find(|(f, _)| *f == file)
             .expect("loaded above")
-            .1;
+            .1
+        {
+            Ok(entries) => entries,
+            Err(e) => {
+                failures.push(format!("{id}: {e}"));
+                continue;
+            }
+        };
         let (Some(now), Some(then)) = (mean_of(cur, id), mean_of(&base, id)) else {
             eprintln!("bench_check: id '{id}' missing from {file} or {baseline}");
-            failed = true;
+            failures.push(format!("{id}: missing from {file} or {baseline}"));
             continue;
         };
+        if *exact {
+            let verdict = if (now - then).abs() > 1e-9 {
+                failures.push(format!(
+                    "{id}: {now} != baseline {then} (deterministic entry; any drift \
+                     means the pipeline shape changed — bump the baseline deliberately)"
+                ));
+                "CHANGED"
+            } else {
+                "ok"
+            };
+            println!("bench_check: {id}: {now} vs baseline {then} (exact) {verdict}");
+            continue;
+        }
         let ratio = now / then;
         let verdict = if ratio > 1.0 + max_regress {
-            failed = true;
+            failures.push(format!(
+                "{id}: {now:.1} vs baseline {then:.1} ({ratio:.3}x > {:.3}x limit)",
+                1.0 + max_regress
+            ));
             "REGRESSED"
         } else {
             "ok"
@@ -186,8 +231,15 @@ fn main() -> ExitCode {
             1.0 + max_regress
         );
     }
-    if failed {
-        eprintln!("bench_check: FAILED (>{:.0}% regression)", max_regress * 100.0);
+    if !failures.is_empty() {
+        eprintln!(
+            "bench_check: FAILED — {} problem(s) across {} check(s):",
+            failures.len(),
+            checks.len()
+        );
+        for f in &failures {
+            eprintln!("bench_check:   - {f}");
+        }
         return ExitCode::FAILURE;
     }
     println!("bench_check: all {} id(s) within tolerance", checks.len());
