@@ -8,9 +8,11 @@
 #                           fmt, bench-check, determinism
 #   ./ci.sh --quick         build + test only (other stages are
 #                           reported as skipped)
-#   ./ci.sh --stage NAME    run one stage (repeatable); NAME is one
-#                           of: build test synth clippy fmt
-#                           bench-check determinism
+#   ./ci.sh --stage NAME    run one stage (repeatable, and NAME may be
+#                           a comma-separated list); NAME is one of:
+#                           build test synth clippy fmt bench-check
+#                           determinism. Unknown names error out
+#                           listing the valid stages.
 #
 # Exit status is 0 iff every executed stage passed. Offline-safe: all
 # dependencies are in-tree (crates/shims), no registry access needed.
@@ -29,18 +31,30 @@ while [[ $# -gt 0 ]]; do
         echo "--stage requires a name (one of: ${ALL_STAGES[*]})" >&2
         exit 2
       fi
-      ok=0
-      for s in "${ALL_STAGES[@]}"; do
-        [[ "$s" == "$1" ]] && ok=1
-      done
-      if [[ $ok -eq 0 ]]; then
-        echo "unknown stage: $1 (one of: ${ALL_STAGES[*]})" >&2
+      # Accept a comma-separated list; every name must be a known
+      # stage — an unknown name errors out listing the valid stages
+      # instead of silently running nothing.
+      IFS=',' read -r -a names <<< "$1"
+      if [[ ${#names[@]} -eq 0 ]]; then
+        echo "--stage requires a name (one of: ${ALL_STAGES[*]})" >&2
         exit 2
       fi
-      SELECTED+=("$1")
+      for name in "${names[@]}"; do
+        ok=0
+        for s in "${ALL_STAGES[@]}"; do
+          [[ "$s" == "$name" ]] && ok=1
+        done
+        if [[ $ok -eq 0 ]]; then
+          echo "unknown stage: '$name' (one of: ${ALL_STAGES[*]})" >&2
+          exit 2
+        fi
+        SELECTED+=("$name")
+      done
       ;;
     -h|--help)
-      sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+      # Print the whole header comment (everything up to the first
+      # non-comment line), so help never truncates as the header grows.
+      sed -n '2,/^set /p' "$0" | sed '$d' | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -113,28 +127,34 @@ synth_smoke() {
 }
 
 # Determinism gate: the fidelity invariant enforced byte-for-byte.
-#   1. the scheduler equivalence property suite;
+#   1. the scheduler and execution-backend equivalence suites;
 #   2. a quick fleet sweep run twice with the same parameters — the
 #      two JSON reports must be byte-identical (run-to-run
 #      determinism);
-#   3. a serve batch run twice with *different shard counts* — the
-#      two JSON reports must be byte-identical (shard invariance).
+#   3. a serve batch run on *each* execution backend (vm and bender)
+#      with different shard counts — each backend's JSON report must
+#      be byte-identical across shard counts (shard invariance at
+#      both cost-model and command-schedule fidelity).
 determinism() {
   mkdir -p target/tools
   cargo build --release -p characterize || return 1
   cargo test -q --test sched_equivalence || return 1
+  cargo test -q --test exec_equivalence || return 1
   local bin=target/release/characterize
   "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_a.json >/dev/null \
     && "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_b.json >/dev/null \
     && cmp target/tools/det_fleet_a.json target/tools/det_fleet_b.json \
     || { echo "determinism: fleet sweep reports differ between runs" >&2; return 1; }
-  "$bin" serve --jobs 24 --chips 3 --shards 1 --seed 7 --lanes 64 \
-      --json target/tools/det_serve_a.json >/dev/null \
-    && "$bin" serve --jobs 24 --chips 3 --shards 5 --seed 7 --lanes 64 \
-         --json target/tools/det_serve_b.json >/dev/null \
-    && cmp target/tools/det_serve_a.json target/tools/det_serve_b.json \
-    || { echo "determinism: serve reports differ across shard counts" >&2; return 1; }
-  echo "determinism: fleet and serve reports byte-identical"
+  local backend
+  for backend in vm bender; do
+    "$bin" serve --jobs 24 --chips 3 --shards 1 --seed 7 --lanes 64 --backend "$backend" \
+        --json "target/tools/det_serve_${backend}_a.json" >/dev/null \
+      && "$bin" serve --jobs 24 --chips 3 --shards 5 --seed 7 --lanes 64 --backend "$backend" \
+           --json "target/tools/det_serve_${backend}_b.json" >/dev/null \
+      && cmp "target/tools/det_serve_${backend}_a.json" "target/tools/det_serve_${backend}_b.json" \
+      || { echo "determinism: $backend serve reports differ across shard counts" >&2; return 1; }
+  done
+  echo "determinism: fleet and serve (vm + bender) reports byte-identical"
 }
 
 wants() {

@@ -1,0 +1,174 @@
+//! Ablation: the unified execution-backend layer.
+//!
+//! Executes the `characterize serve` demo mix through the one
+//! `fcexec` engine on its three shipping configurations — the host
+//! golden model (`SimdVm<HostSubstrate>`), the characterized device
+//! model (`SimdVm<DramSubstrate>`), and the command-schedule
+//! `BenderBackend` — and writes a `BENCH_exec.json` summary at the
+//! repository root in the same shape as `BENCH_engine.json`.
+//!
+//! Derived entries:
+//!
+//! * `exec_native_ops/vm` and `exec_native_ops/bender` —
+//!   **deterministic** in-DRAM operation counts of one pass of the mix
+//!   on the VM device backend (trace) and the command-schedule backend
+//!   (executed schedules). `tools/bench_check.rs` exact-gates both
+//!   against the committed baseline, so the two backends walking a
+//!   different operation sequence — in either direction — fails CI:
+//!   the bit-identity proof in `tests/exec_equivalence.rs` rests on
+//!   that sequence being the same.
+//! * `exec_schedule_ns/mix` — **deterministic** summed cycle-accurate
+//!   command-schedule latency of the mix's programs (pure function of
+//!   the programs and the speed bin; exact-gated too, pinning the
+//!   latency model the scheduler's bender mode charges).
+
+use characterize::serve::DEMO_MIX;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::{BankId, SimFidelity, SubarrayId};
+use fcdram::{BulkEngine, Fcdram, PackedBits};
+use fcexec::{execute_packed, BenderBackend, ExecBackend, ScheduleLatency};
+use fcsynth::{CostModel, SynthProgram};
+use simdram::{DramSubstrate, HostSubstrate, SimdVm};
+
+/// Modeled row width of the simulated device backends (32 lanes).
+const DEVICE_COLS: usize = 64;
+
+fn programs() -> Vec<(SynthProgram, usize)> {
+    let cost = CostModel::table1_defaults();
+    DEMO_MIX
+        .iter()
+        .map(|text| {
+            let c = fcsynth::compile(text, &cost, 16).expect("demo mix compiles");
+            (c.mapping.program, c.circuit.inputs().len())
+        })
+        .collect()
+}
+
+fn operands(n: usize, lanes: usize, seed: u64) -> Vec<PackedBits> {
+    (0..n)
+        .map(|i| {
+            let mut p = PackedBits::zeros(lanes);
+            for l in 0..lanes {
+                p.set(l, dram_core::math::mix3(seed, i as u64, l as u64) & 1 == 1);
+            }
+            p
+        })
+        .collect()
+}
+
+fn engine() -> BulkEngine {
+    let cfg = dram_core::config::table1()
+        .remove(0)
+        .with_modeled_cols(DEVICE_COLS);
+    let mut e = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0)).unwrap();
+    e.set_fidelity(SimFidelity::fast());
+    e
+}
+
+/// One pass of the mix on any backend; returns a result word so the
+/// work cannot be optimized away.
+fn run_mix<B: ExecBackend>(backend: &mut B, progs: &[(SynthProgram, usize)]) -> u64 {
+    let lanes = backend.lanes();
+    let mut acc = 0u64;
+    for (i, (prog, n)) in progs.iter().enumerate() {
+        let ops = operands(*n, lanes, 0xE0_0E ^ i as u64);
+        let out = execute_packed(backend, prog, &ops).expect("mix executes");
+        acc ^= out.words().first().copied().unwrap_or(0);
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let progs = programs();
+
+    let mut host = SimdVm::new(HostSubstrate::new(256, 512)).unwrap();
+    c.bench_function("exec_host/mix", |b| {
+        b.iter(|| black_box(run_mix(&mut host, &progs)));
+    });
+
+    let mut vm_dram = SimdVm::new(DramSubstrate::new(engine())).unwrap();
+    c.bench_function("exec_vm_dram/mix", |b| {
+        b.iter(|| black_box(run_mix(&mut vm_dram, &progs)));
+    });
+
+    let mut bender = BenderBackend::new(engine()).unwrap();
+    c.bench_function("exec_bender/mix", |b| {
+        b.iter(|| black_box(run_mix(&mut bender, &progs)));
+    });
+
+    write_summary(&progs);
+}
+
+/// Writes the wall-clock measurements plus the deterministic
+/// backend-parity entries to `BENCH_exec.json`.
+fn write_summary(progs: &[(SynthProgram, usize)]) {
+    let results = criterion::results();
+    let mut entries: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::Value::Object(vec![
+                ("id".to_string(), serde_json::Value::Str(r.id.clone())),
+                ("mean_ns".to_string(), serde_json::Value::Float(r.mean_ns)),
+                (
+                    "median_ns".to_string(),
+                    serde_json::Value::Float(r.median_ns),
+                ),
+                (
+                    "iterations".to_string(),
+                    serde_json::Value::UInt(r.iterations),
+                ),
+            ])
+        })
+        .collect();
+    let mut derived = |id: String, value: f64, iterations: u64| {
+        entries.push(serde_json::Value::Object(vec![
+            ("id".to_string(), serde_json::Value::Str(id)),
+            ("mean_ns".to_string(), serde_json::Value::Float(value)),
+            ("median_ns".to_string(), serde_json::Value::Float(value)),
+            (
+                "iterations".to_string(),
+                serde_json::Value::UInt(iterations),
+            ),
+        ]));
+    };
+
+    // Deterministic parity counts: one pass of the mix on a fresh
+    // device through each backend.
+    let mut vm = SimdVm::new(DramSubstrate::new(engine())).unwrap();
+    vm.clear_trace();
+    let _ = run_mix(&mut vm, progs);
+    let vm_ops = vm.trace().in_dram_ops();
+
+    let mut cmd = BenderBackend::new(engine()).unwrap();
+    let _ = run_mix(&mut cmd, progs);
+    let cmd_ops = cmd.native_ops();
+    println!("exec_native_ops: vm {vm_ops}, bender {cmd_ops}");
+    assert_eq!(
+        vm_ops, cmd_ops,
+        "the two backends walked different operation sequences"
+    );
+    derived("exec_native_ops/vm".to_string(), vm_ops as f64, 1);
+    derived("exec_native_ops/bender".to_string(), cmd_ops as f64, 1);
+
+    // Deterministic cycle-accurate schedule latency of the mix.
+    let model = ScheduleLatency::new(dram_core::SpeedBin::Mt2666, 16);
+    let schedule_ns: f64 = progs
+        .iter()
+        .flat_map(|(p, _)| p.steps.iter())
+        .map(|s| model.step_ns(s))
+        .sum();
+    println!("exec_schedule_ns/mix: {schedule_ns:.0} ns");
+    derived("exec_schedule_ns/mix".to_string(), schedule_ns, 1);
+
+    let json = serde_json::to_string_pretty(&entries).expect("summary serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    std::fs::write(path, json).expect("summary written");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -14,12 +14,12 @@ usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
                           [--export-costs PATH]
        characterize synth (--expr EXPR | --table BITS) [--costs PATH]
                           [--fan-in N] [--execute] [--lanes N]
-                          [--asm PATH]
+                          [--asm PATH] [--backend {vm,bender}]
        characterize serve [--jobs N] [--exprs FILE] [--chips N]
                           [--shards K] [--seed S] [--lanes N]
                           [--retries R] [--min-success X] [--no-remap]
                           [--costs PATH] [--module NAME] [--fan-in N]
-                          [--json PATH]
+                          [--backend {vm,bender}] [--json PATH]
 
 EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
@@ -47,9 +47,15 @@ the chosen mapping, expected success, and energy/latency:
 --costs PATH  cost model from a fleet --export-costs run
               (default: built-in Table-1 population means)
 --fan-in N    widest native gate of the target part (default 16)
---execute     run on the host-substrate SimdVm and verify bit-exact
+--execute     run through the unified fcexec engine and verify
 --lanes N     SIMD lanes for --execute (default 256)
 --asm PATH    also emit the program as bender assembly
+--backend B   execution backend for --execute: 'vm' (host SimdVm,
+              verified bit-exact; default) or 'bender' (one combined
+              cycle-timed DDR4 command schedule per native op on a
+              simulated Table-1 chip — reports the observed match
+              fraction against the reference and the cycle-accurate
+              schedule latency)
 
 serve mode schedules a batch of compiled programs onto a simulated
 chip fleet (fcsched): least-loaded placement with (subarray, row-range)
@@ -71,6 +77,11 @@ wall-clock throughput on stderr varies:
 --costs PATH    cost model from a fleet --export-costs run
 --module M      draw every chip from one module
 --fan-in N      widest native gate when compiling (default 16)
+--backend B     execution backend: 'vm' (cost-model latency; default)
+                or 'bender' (cycle-accurate DDR4 command-schedule
+                latency at each chip's speed bin). Results are
+                host-exact on both; only the declared latency fields
+                of the report move.
 --json PATH     additionally write the tables as JSON
 ";
 
@@ -82,6 +93,16 @@ fn str_arg(it: &mut impl Iterator<Item = String>, flag: &str) -> Option<String> 
         eprintln!("{flag} requires a value\n{USAGE}");
     }
     v
+}
+
+/// Parses a `--backend` value, printing a diagnostic on an unknown
+/// name.
+fn parse_backend(text: &str) -> Option<fcexec::BackendKind> {
+    let parsed = fcexec::BackendKind::parse(text);
+    if parsed.is_none() {
+        eprintln!("--backend: unknown backend '{text}' (one of: vm, bender)\n{USAGE}");
+    }
+    parsed
 }
 
 /// Parses the next argument as a number, printing a diagnostic when it
@@ -221,6 +242,7 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
     let mut min_success = 0.85f64;
     let mut allow_remap = true;
     let mut fan_in = 16usize;
+    let mut backend = fcexec::BackendKind::Vm;
     let mut exprs_path: Option<String> = None;
     let mut costs_path: Option<String> = None;
     let mut module: Option<String> = None;
@@ -261,6 +283,10 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
                 None => return ExitCode::FAILURE,
             },
             "--no-remap" => allow_remap = false,
+            "--backend" => match str_arg(&mut it, "--backend").map(|b| parse_backend(&b)) {
+                Some(Some(b)) => backend = b,
+                _ => return ExitCode::FAILURE,
+            },
             "--exprs" => match str_arg(&mut it, "--exprs") {
                 Some(p) => exprs_path = Some(p),
                 None => return ExitCode::FAILURE,
@@ -355,10 +381,12 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
         retry_budget: retries,
         allow_remap,
         shards,
+        backend,
         ..fcsched::SchedPolicy::default()
     };
     eprintln!(
-        "serving {} job(s) ({} native ops) on {} chip(s) over {} worker thread(s) ...",
+        "serving {} job(s) ({} native ops) on {} chip(s) over {} worker thread(s), \
+         {backend} backend ...",
         batch.len(),
         batch.native_ops(),
         fleet.len(),
@@ -405,9 +433,14 @@ fn run_synth_cli(args: Vec<String>) -> ExitCode {
     let mut fan_in = 16usize;
     let mut lanes = 256usize;
     let mut execute = false;
+    let mut backend = fcexec::BackendKind::Vm;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--backend" => match str_arg(&mut it, "--backend").map(|b| parse_backend(&b)) {
+                Some(Some(b)) => backend = b,
+                _ => return ExitCode::FAILURE,
+            },
             "--expr" => match str_arg(&mut it, "--expr") {
                 Some(e) => expr_text = Some(e),
                 None => return ExitCode::FAILURE,
@@ -529,52 +562,104 @@ fn run_synth_cli(args: Vec<String>) -> ExitCode {
         }
     }
     if execute {
-        use simdram::{HostSubstrate, SimdVm};
         let n = compiled.circuit.inputs().len();
-        let capacity = (m.program.n_regs + n + 8).max(64);
-        let mut vm = match SimdVm::new(HostSubstrate::new(lanes, capacity)) {
-            Ok(vm) => vm,
-            Err(e) => {
-                eprintln!("vm setup failed: {e}");
-                return ExitCode::FAILURE;
-            }
+        let operands_for = |lanes: usize| -> Vec<fcdram::PackedBits> {
+            (0..n)
+                .map(|i| {
+                    let mut p = fcdram::PackedBits::zeros(lanes);
+                    for l in 0..lanes {
+                        p.set(
+                            l,
+                            dram_core::math::mix3(0x5E17, i as u64, l as u64) & 1 == 1,
+                        );
+                    }
+                    p
+                })
+                .collect()
         };
-        let operands: Vec<fcdram::PackedBits> = (0..n)
-            .map(|i| {
-                let mut p = fcdram::PackedBits::zeros(lanes);
-                for l in 0..lanes {
-                    p.set(
-                        l,
-                        dram_core::math::mix3(0x5E17, i as u64, l as u64) & 1 == 1,
-                    );
-                }
-                p
-            })
-            .collect();
         // A constant expression has no operands; the reference is the
         // folded constant splatted across the lanes.
-        let expect = if n == 0 {
-            fcdram::PackedBits::splat(compiled.expr.eval(&[]), lanes)
-        } else {
-            compiled.circuit.eval_packed(&operands)
+        let expect_for = |operands: &[fcdram::PackedBits], lanes: usize| {
+            if n == 0 {
+                fcdram::PackedBits::splat(compiled.expr.eval(&[]), lanes)
+            } else {
+                compiled.circuit.eval_packed(operands)
+            }
         };
-        match fcsynth::execute_packed(&mut vm, &m.program, &operands) {
-            Ok(got) if got == expect => {
-                println!(
-                    "executed on SimdVm<HostSubstrate>: {lanes} lanes, bit-exact vs reference"
-                );
+        match backend {
+            fcexec::BackendKind::Vm => {
+                use simdram::{HostSubstrate, SimdVm};
+                let capacity = (m.program.n_regs + n + 8).max(64);
+                let mut vm = match SimdVm::new(HostSubstrate::new(lanes, capacity)) {
+                    Ok(vm) => vm,
+                    Err(e) => {
+                        eprintln!("vm setup failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let operands = operands_for(lanes);
+                let expect = expect_for(&operands, lanes);
+                match fcexec::execute_packed(&mut vm, &m.program, &operands) {
+                    Ok(got) if got == expect => {
+                        println!(
+                            "executed on SimdVm<HostSubstrate>: {lanes} lanes, bit-exact vs \
+                             reference"
+                        );
+                    }
+                    Ok(got) => {
+                        eprintln!(
+                            "MISMATCH vs reference evaluator: {}/{} lanes agree",
+                            got.count_matches(&expect),
+                            lanes
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Err(e) => {
+                        eprintln!("execution failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
-            Ok(got) => {
-                eprintln!(
-                    "MISMATCH vs reference evaluator: {}/{} lanes agree",
-                    got.count_matches(&expect),
-                    lanes
-                );
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("execution failed: {e}");
-                return ExitCode::FAILURE;
+            fcexec::BackendKind::Bender => {
+                use fcexec::ExecBackend;
+                // The device's lane count is its shared column half:
+                // size the simulated part so it covers --lanes.
+                let cfg = dram_core::config::table1()
+                    .remove(0)
+                    .with_modeled_cols((2 * lanes).max(16));
+                let name = cfg.name.clone();
+                let mut be = match fcexec::BenderBackend::from_config(cfg) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("bender backend setup failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let dev_lanes = be.lanes();
+                let operands = operands_for(dev_lanes);
+                let expect = expect_for(&operands, dev_lanes);
+                let schedule_ns: f64 = m
+                    .program
+                    .steps
+                    .iter()
+                    .map(|s| be.step_latency_ns(s).unwrap_or(0.0))
+                    .sum();
+                match fcexec::execute_packed(&mut be, &m.program, &operands) {
+                    Ok(got) => {
+                        println!(
+                            "executed as {} combined command schedule(s) on simulated {name}: \
+                             {}/{dev_lanes} lanes match the reference ({:.1}%), \
+                             {schedule_ns:.0} ns cycle-accurate schedule latency",
+                            be.native_ops(),
+                            got.count_matches(&expect),
+                            100.0 * got.count_matches(&expect) as f64 / dev_lanes.max(1) as f64,
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("command-schedule execution failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
         }
     }

@@ -181,6 +181,30 @@ impl BulkEngine {
         self.com_subarray
     }
 
+    /// The bank this engine computes in.
+    pub fn bank(&self) -> BankId {
+        self.bank
+    }
+
+    /// Column offset of the first shared column (operands and results
+    /// live on every other column starting here).
+    pub fn shared_start(&self) -> usize {
+        self.shared_start
+    }
+
+    /// The wrapped library facade (command interface included), for
+    /// callers that drive the same chip through explicit command
+    /// programs — e.g. a command-schedule execution backend that must
+    /// stay bit-identical to this engine's operation sequences.
+    pub fn fcdram(&self) -> &Fcdram {
+        &self.fc
+    }
+
+    /// Mutable access to the wrapped library facade.
+    pub fn fcdram_mut(&mut self) -> &mut Fcdram {
+        &mut self.fc
+    }
+
     /// Sets the chip temperature (operations degrade slightly when
     /// hot; the paper's Figs. 10 and 19).
     pub fn set_temperature(&mut self, t: dram_core::Temperature) {

@@ -1,0 +1,503 @@
+//! The command-schedule backend: mapped programs executed as explicit
+//! cycle-timed DDR4 command programs through [`bender::Bender`]'s
+//! gap-recognizing executor.
+//!
+//! Where [`simdram::DramSubstrate`] asks [`fcdram::BulkEngine`] to run
+//! each gate (the engine issues several small command programs per
+//! operation internally), this backend *emits one combined command
+//! program per native operation* — the paper's §5–§6 schedule: N−1
+//! constant reference rows plus one `Frac`, the N operand stagings,
+//! and the doubly-violated charge-sharing activation (for NOT, the
+//! staging write plus the tRP-violating copy-invert pair) — and ships
+//! it through [`bender::Bender::execute`], which re-derives the analog
+//! consequences purely from the inter-command gaps.
+//!
+//! ## Bit-identity with the VM backend
+//!
+//! The combined schedules reproduce the *exact* device-call sequence
+//! the bulk engine performs — same activation-map entries, same rows,
+//! same staged data, same order — so on the same module configuration
+//! the two backends produce bit-identical results for every program
+//! (`tests/exec_equivalence.rs` pins this in both fidelity modes).
+//! That holds because the device model's stochastic draws are a pure
+//! function of `(operation counter, row, column)` state that both
+//! backends advance identically.
+
+use crate::engine::ExecBackend;
+use crate::error::{ExecError, Result};
+use bender::{Program, ProgramBuilder};
+use dram_core::{Bit, GlobalRow, LogicOp, OutcomeKind, SpeedBin};
+use fcdram::{BitVecHandle, BulkEngine, PackedBits, PatternEntry};
+use fcsynth::Step;
+
+/// Smallest discovered `N:N` activation width covering `len` inputs.
+fn padded_width(len: usize, available: impl Fn(usize) -> bool) -> Option<usize> {
+    [2usize, 4, 8, 16]
+        .into_iter()
+        .find(|n| *n >= len && available(*n))
+}
+
+/// A mapped-program execution backend that drives a (simulated) chip
+/// exclusively through combined command schedules.
+///
+/// Construction wraps a [`BulkEngine`] (same discovery, same reserved
+/// scratch, same allocation pool as the VM backend's
+/// [`simdram::DramSubstrate`]) and mirrors [`simdram::SimdVm::new`] by
+/// allocating the two shared constant rows.
+#[derive(Debug)]
+pub struct BenderBackend {
+    engine: BulkEngine,
+    zero: BitVecHandle,
+    one: BitVecHandle,
+    max_fan_in: usize,
+    speed: SpeedBin,
+    native_ops: usize,
+}
+
+impl BenderBackend {
+    /// Wraps a bulk engine, allocating the shared constant rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the engine cannot allocate two rows.
+    pub fn new(mut engine: BulkEngine) -> Result<Self> {
+        // Same native fan-in rule as `simdram::DramSubstrate`: the
+        // largest discovered `N:N` activation shape.
+        let max_fan_in = [16usize, 8, 4, 2]
+            .into_iter()
+            .find(|n| engine.map().find_nn(*n).is_some())
+            .unwrap_or(2);
+        let speed = engine.config().speed;
+        let zero = engine.alloc()?;
+        engine.fill(&zero, false)?;
+        let one = engine.alloc()?;
+        engine.fill(&one, true)?;
+        Ok(BenderBackend {
+            engine,
+            zero,
+            one,
+            max_fan_in,
+            speed,
+            native_ops: 0,
+        })
+    }
+
+    /// Builds the full stack for chip 0 of a module configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when discovery finds no usable activation pattern on this
+    /// part (e.g. Micron behaviour) or rows run out.
+    pub fn from_config(cfg: dram_core::ModuleConfig) -> Result<Self> {
+        let engine = BulkEngine::new(
+            fcdram::Fcdram::new(cfg),
+            dram_core::BankId(0),
+            dram_core::SubarrayId(0),
+        )?;
+        BenderBackend::new(engine)
+    }
+
+    /// The wrapped engine (for inspection).
+    pub fn engine(&self) -> &BulkEngine {
+        &self.engine
+    }
+
+    /// Sets the chip's simulation fidelity (stored bits are identical
+    /// across fidelity modes).
+    pub fn set_fidelity(&mut self, fidelity: dram_core::SimFidelity) {
+        self.engine.set_fidelity(fidelity);
+    }
+
+    /// Native operations executed so far (each combined schedule
+    /// counts once, including output-stage copies).
+    pub fn native_ops(&self) -> usize {
+        self.native_ops
+    }
+
+    /// Ships a combined schedule to the device and returns the
+    /// semantic outcome of its *last* recognized operation.
+    fn run_schedule(&mut self, program: &Program) -> Result<Option<OutcomeKind>> {
+        let chip = self.engine.fcdram().chip();
+        let exec = self
+            .engine
+            .fcdram_mut()
+            .bender_mut()
+            .execute(chip, program)?;
+        self.native_ops += 1;
+        Ok(exec.outcomes.last().map(|(_, o)| o.kind.clone()))
+    }
+
+    /// Reads back the first result row of an executed operation
+    /// (shared columns, packed).
+    fn read_result_row(&mut self, row: GlobalRow) -> Result<PackedBits> {
+        let chip = self.engine.fcdram().chip();
+        let bank = self.engine.bank();
+        let start = self.engine.shared_start();
+        let lanes = self.engine.capacity_bits();
+        let words = self
+            .engine
+            .fcdram_mut()
+            .bender_mut()
+            .read_row_packed(chip, bank, row, start, 2)?;
+        Ok(PackedBits::from_words(words, lanes))
+    }
+
+    /// One native N-input gate as a single command schedule (constant
+    /// reference rows, `Frac`, operand stagings, charge share), result
+    /// written back into `out`'s pool row.
+    fn native_gate(
+        &mut self,
+        op: LogicOp,
+        args: &[BitVecHandle],
+        out: &BitVecHandle,
+    ) -> Result<()> {
+        let geom = self.engine.config().geometry();
+        let bank = self.engine.bank();
+        let n = padded_width(args.len(), |n| self.engine.map().find_nn(n).is_some()).ok_or(
+            ExecError::Engine(fcdram::FcdramError::BadInputCount {
+                n: args.len(),
+                max: self.engine.config().max_op_inputs(),
+            }),
+        )?;
+        let entry: PatternEntry = self.engine.map().find_nn(n).expect("checked").clone();
+        let packed_inputs: Vec<PackedBits> = args
+            .iter()
+            .map(|h| self.engine.read_packed(h))
+            .collect::<fcdram::Result<_>>()?;
+        let (sub_ref, _) = geom.split_row(entry.rf)?;
+        let (sub_com, _) = geom.split_row(entry.rl)?;
+        let start = self.engine.shared_start();
+        let cols = geom.cols();
+        let const_bit = Bit::from(op.is_and_family());
+        let const_row = vec![const_bit; cols];
+        let mut b = ProgramBuilder::new(self.speed);
+        // Reference subarray: N−1 constant rows + one Frac row — the
+        // same write order the bulk engine uses, so the device's
+        // operation counter advances identically.
+        for (i, row) in entry.first_rows.iter().enumerate() {
+            let g = geom.join_row(sub_ref, *row)?;
+            if i + 1 == entry.first_rows.len() {
+                b.seq_frac(bank, g);
+            } else {
+                b.seq_write_row(bank, g, const_row.clone());
+            }
+        }
+        // Compute subarray: the operands (shared half), identity-
+        // padded to N rows with full-width constant rows.
+        for (i, row) in entry.second_rows.iter().enumerate() {
+            let g = geom.join_row(sub_com, *row)?;
+            let data = match packed_inputs.get(i) {
+                Some(p) => p.expand_strided(cols, start, 2),
+                None => const_row.clone(),
+            };
+            b.seq_write_row(bank, g, data);
+        }
+        b.seq_charge_share(bank, entry.rf, entry.rl);
+        let outcome = self.run_schedule(&b.build())?;
+        if !matches!(outcome, Some(OutcomeKind::Logic { .. })) {
+            return Err(ExecError::Protocol {
+                detail: format!("charge share produced {outcome:?}"),
+            });
+        }
+        // Result rows: compute side for AND/OR, reference for
+        // NAND/NOR; the first row carries the returned bits.
+        let (result_sub, result_rows) = if op.is_inverted_terminal() {
+            (sub_ref, &entry.first_rows)
+        } else {
+            (sub_com, &entry.second_rows)
+        };
+        let g = geom.join_row(result_sub, result_rows[0])?;
+        let result = self.read_result_row(g)?;
+        self.engine.write_packed(out, &result)?;
+        Ok(())
+    }
+
+    /// The NOT schedule: staging write plus the tRP-violating
+    /// copy-invert pair, result written back into `out`'s pool row.
+    fn native_not(&mut self, a: BitVecHandle, out: &BitVecHandle) -> Result<()> {
+        let geom = self.engine.config().geometry();
+        let bank = self.engine.bank();
+        let src = self.engine.read_packed(&a)?;
+        let entry: PatternEntry = self
+            .engine
+            .map()
+            .find_dst(1)
+            .first()
+            .cloned()
+            .cloned()
+            .or_else(|| self.engine.map().find_dst(2).first().cloned().cloned())
+            .ok_or(ExecError::Engine(fcdram::FcdramError::NoPattern {
+                n_rf: 1,
+                n_rl: 1,
+            }))?;
+        let (sub_l, _) = geom.split_row(entry.rl)?;
+        let src_full = src.expand_strided(geom.cols(), self.engine.shared_start(), 2);
+        let mut b = ProgramBuilder::new(self.speed);
+        b.seq_write_row(bank, entry.rf, src_full);
+        b.seq_copy_invert(bank, entry.rf, entry.rl);
+        let outcome = self.run_schedule(&b.build())?;
+        if !matches!(outcome, Some(OutcomeKind::Not { .. })) {
+            return Err(ExecError::Protocol {
+                detail: format!("copy-invert produced {outcome:?}"),
+            });
+        }
+        let g = geom.join_row(sub_l, entry.second_rows[0])?;
+        let result = self.read_result_row(g)?;
+        self.engine.write_packed(out, &result)?;
+        Ok(())
+    }
+
+    /// In-subarray RowClone as a command schedule, with the bulk
+    /// engine's host-copy fallback for pairs the decoder predicate
+    /// rejects.
+    fn copy_into(&mut self, src: BitVecHandle, out: &BitVecHandle) -> Result<()> {
+        let bank = self.engine.bank();
+        let ideal = self.engine.read_packed(&src)?;
+        let mut b = ProgramBuilder::new(self.speed);
+        b.seq_copy_invert(bank, src.row(), out.row());
+        let outcome = self.run_schedule(&b.build())?;
+        if !matches!(outcome, Some(OutcomeKind::InSubarray { .. })) {
+            // Non-cloning pair: host read + write, exactly like
+            // `BulkEngine::copy`'s fallback.
+            self.engine.write_packed(out, &ideal)?;
+        }
+        Ok(())
+    }
+
+    /// Mirror of the VM backend's tree reduction for argument lists
+    /// wider than the native fan-in: monotone stages chunked at the
+    /// fan-in, with the final stage applying the (possibly inverting)
+    /// operation — the same shape and device-call order as
+    /// [`simdram`]'s `reduce`/`reduce_inverted`.
+    fn reduce(&mut self, op: LogicOp, args: &[BitVecHandle]) -> Result<BitVecHandle> {
+        let fan_in = self.max_fan_in;
+        let stage_op = if op.is_inverted_terminal() {
+            if op.is_and_family() {
+                LogicOp::And
+            } else {
+                LogicOp::Or
+            }
+        } else {
+            op
+        };
+        let mut level: Vec<BitVecHandle> = args.to_vec();
+        let mut owned: Vec<BitVecHandle> = Vec::new();
+        // Free the intermediates whether the tree completes or a later
+        // allocation/gate fails — a failed wide gate must not strand
+        // pool rows on a long-lived backend.
+        let result = (|| {
+            while level.len() > fan_in {
+                let mut next = Vec::with_capacity(level.len().div_ceil(fan_in));
+                for chunk in level.chunks(fan_in) {
+                    if chunk.len() == 1 {
+                        next.push(chunk[0]);
+                    } else {
+                        let out = self.engine.alloc()?;
+                        owned.push(out);
+                        self.native_gate(stage_op, chunk, &out)?;
+                        next.push(out);
+                    }
+                }
+                level = next;
+            }
+            let out = self.engine.alloc()?;
+            owned.push(out);
+            self.native_gate(op, &level, &out)?;
+            Ok(out)
+        })();
+        if result.is_ok() {
+            // The last row pushed is the final gate's output — on
+            // success the caller owns it.
+            owned.pop();
+        }
+        for r in owned {
+            self.engine.free(r);
+        }
+        result
+    }
+}
+
+impl ExecBackend for BenderBackend {
+    type Row = BitVecHandle;
+    type Lease = Vec<BitVecHandle>;
+
+    fn lanes(&self) -> usize {
+        self.engine.capacity_bits()
+    }
+
+    fn max_fan_in(&self) -> usize {
+        self.max_fan_in
+    }
+
+    fn stage(&mut self, operands: &[PackedBits]) -> Result<Vec<BitVecHandle>> {
+        // All-or-nothing, mirroring `SimdVm::lease_rows`: allocate the
+        // full batch first, then stage data.
+        let mut rows = Vec::with_capacity(operands.len());
+        for _ in 0..operands.len() {
+            match self.engine.alloc() {
+                Ok(r) => rows.push(r),
+                Err(e) => {
+                    for r in rows {
+                        self.engine.free(r);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        for (i, o) in operands.iter().enumerate() {
+            if let Err(e) = self.engine.write_packed(&rows[i], o) {
+                for r in rows {
+                    self.engine.free(r);
+                }
+                return Err(e.into());
+            }
+        }
+        Ok(rows)
+    }
+
+    fn lease_rows(lease: &Vec<BitVecHandle>) -> &[BitVecHandle] {
+        lease
+    }
+
+    fn end_stage(&mut self, lease: Vec<BitVecHandle>) {
+        for r in lease {
+            self.release(r);
+        }
+    }
+
+    fn op(&mut self, op: Option<LogicOp>, args: &[BitVecHandle]) -> Result<BitVecHandle> {
+        match op {
+            None => {
+                let out = self.engine.alloc()?;
+                self.native_not(args[0], &out)?;
+                Ok(out)
+            }
+            // Single-argument gates degenerate exactly as on the VM
+            // backend: monotone families copy, inverted families NOT.
+            Some(op) if args.len() == 1 && !op.is_inverted_terminal() => self.duplicate(args[0]),
+            Some(_) if args.len() == 1 => {
+                let out = self.engine.alloc()?;
+                self.native_not(args[0], &out)?;
+                Ok(out)
+            }
+            Some(op) if args.len() <= self.max_fan_in => {
+                let out = self.engine.alloc()?;
+                self.native_gate(op, args, &out)?;
+                Ok(out)
+            }
+            Some(op) => self.reduce(op, args),
+        }
+    }
+
+    fn constant(&mut self, value: bool) -> Result<BitVecHandle> {
+        let src = if value { self.one } else { self.zero };
+        self.duplicate(src)
+    }
+
+    fn duplicate(&mut self, src: BitVecHandle) -> Result<BitVecHandle> {
+        let out = self.engine.alloc()?;
+        self.copy_into(src, &out)?;
+        Ok(out)
+    }
+
+    fn read_row(&mut self, r: BitVecHandle) -> Result<PackedBits> {
+        Ok(self.engine.read_packed(&r)?)
+    }
+
+    fn release(&mut self, r: BitVecHandle) {
+        if r != self.zero && r != self.one {
+            self.engine.free(r);
+        }
+    }
+
+    fn step_latency_ns(&self, step: &Step) -> Option<f64> {
+        Some(crate::latency::ScheduleLatency::new(self.speed, self.max_fan_in).step_ns(step))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute_packed;
+    use dram_core::{BankId, SubarrayId};
+    use fcsynth::CostModel;
+    use simdram::{DramSubstrate, SimdVm};
+
+    fn engine(cols: usize) -> BulkEngine {
+        let cfg = dram_core::config::table1()
+            .remove(0)
+            .with_modeled_cols(cols);
+        BulkEngine::new(fcdram::Fcdram::new(cfg), BankId(0), SubarrayId(0)).unwrap()
+    }
+
+    fn random_operands(n: usize, lanes: usize, seed: u64) -> Vec<PackedBits> {
+        (0..n)
+            .map(|i| {
+                let mut p = PackedBits::zeros(lanes);
+                for l in 0..lanes {
+                    p.set(l, dram_core::math::mix3(seed, i as u64, l as u64) & 1 == 1);
+                }
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn command_schedules_match_the_vm_backend_bit_for_bit() {
+        let cost = CostModel::table1_defaults();
+        for (text, seed) in [
+            ("a & b", 1u64),
+            ("!(a | b | c)", 2),
+            ("(a ^ b) & (c | d)", 3),
+            ("a&b&c&d&e&f&g&h", 4),
+            ("!a", 5),
+            ("a | 1", 6),
+        ] {
+            let compiled = fcsynth::compile(text, &cost, 16).unwrap();
+            let k = compiled.circuit.inputs().len();
+            let mut vm = SimdVm::new(DramSubstrate::new(engine(64))).unwrap();
+            let mut cmd = BenderBackend::new(engine(64)).unwrap();
+            assert_eq!(crate::ExecBackend::lanes(&vm), cmd.lanes());
+            let ops = random_operands(k, cmd.lanes(), seed);
+            let via_vm = execute_packed(&mut vm, &compiled.mapping.program, &ops).unwrap();
+            let via_cmd = execute_packed(&mut cmd, &compiled.mapping.program, &ops).unwrap();
+            assert_eq!(via_vm, via_cmd, "{text}: backends diverged");
+            assert!(cmd.native_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn backend_frees_every_row() {
+        let cost = CostModel::table1_defaults();
+        let compiled = fcsynth::compile("(a & b) ^ (c | d)", &cost, 16).unwrap();
+        let mut cmd = BenderBackend::new(engine(64)).unwrap();
+        let lanes = cmd.lanes();
+        let ops = random_operands(4, lanes, 9);
+        let before = cmd.engine().fcdram().config().name.clone();
+        let _ = execute_packed(&mut cmd, &compiled.mapping.program, &ops).unwrap();
+        // Re-running on the same backend must still find rows — every
+        // staged row, temporary, and result row was returned.
+        for _ in 0..3 {
+            let _ = execute_packed(&mut cmd, &compiled.mapping.program, &ops).unwrap();
+        }
+        assert_eq!(cmd.engine().fcdram().config().name, before);
+    }
+
+    #[test]
+    fn step_latency_is_cycle_accurate() {
+        let cmd = BenderBackend::new(engine(32)).unwrap();
+        let wide = Step {
+            op: Some(LogicOp::And),
+            args: (0..16).collect(),
+            out: 16,
+        };
+        let narrow = Step {
+            op: Some(LogicOp::And),
+            args: (0..2).collect(),
+            out: 2,
+        };
+        let w = crate::ExecBackend::step_latency_ns(&cmd, &wide).unwrap();
+        let n = crate::ExecBackend::step_latency_ns(&cmd, &narrow).unwrap();
+        assert!(w > n && n > 0.0);
+    }
+}

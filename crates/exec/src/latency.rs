@@ -1,0 +1,302 @@
+//! Cycle-accurate command-schedule latency, and a wrapper backend
+//! that charges it.
+//!
+//! The synthesis [`fcsynth::CostModel`] prices operations with
+//! steady-state population numbers; [`ScheduleLatency`] instead prices
+//! a step by *building its DDR4 command schedule* (the same shape
+//! [`crate::BenderBackend`] executes: constant reference rows, `Frac`,
+//! operand stagings, the violated double activation, and the result
+//! write-back) at a concrete speed bin and reading the cycle span off
+//! the program. The same nominal sequence therefore costs different
+//! nanoseconds on 2133 vs 2666 MT/s parts — the mechanism behind the
+//! paper's Figs. 11 and 20 — which is what makes fleet serving at
+//! command-schedule fidelity a distinct scenario from cost-model
+//! serving.
+
+use crate::engine::ExecBackend;
+use crate::error::Result;
+use bender::ProgramBuilder;
+use dram_core::{BankId, Bit, GlobalRow, LogicOp, SpeedBin};
+use fcdram::PackedBits;
+use fcsynth::Step;
+
+/// Prices [`Step`]s by their command-schedule cycle span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleLatency {
+    speed: SpeedBin,
+    fan_in: usize,
+}
+
+impl ScheduleLatency {
+    /// A model for a part of the given speed bin whose widest native
+    /// gate is `fan_in` (wider steps are priced as the reduction tree
+    /// the backends execute).
+    pub fn new(speed: SpeedBin, fan_in: usize) -> ScheduleLatency {
+        ScheduleLatency {
+            speed,
+            fan_in: fan_in.clamp(2, simdram::MAX_FAN_IN),
+        }
+    }
+
+    /// The speed bin schedules are timed against.
+    pub fn speed(&self) -> SpeedBin {
+        self.speed
+    }
+
+    fn ns_of(&self, build: impl FnOnce(&mut ProgramBuilder)) -> f64 {
+        let mut b = ProgramBuilder::new(self.speed);
+        build(&mut b);
+        self.speed.cycles_to_ns(b.build().duration_cycles())
+    }
+
+    /// Schedule span of one native `N`-input gate: `N_e−1` constant
+    /// writes + `Frac` + `N_e` operand stagings + the charge-sharing
+    /// double activation + the result write-back, where `N_e` is the
+    /// activation width `n` pads to.
+    fn native_gate_ns(&self, n: usize) -> f64 {
+        let ne = [2usize, 4, 8, 16]
+            .into_iter()
+            .find(|w| *w >= n)
+            .unwrap_or(16);
+        let bank = BankId(0);
+        let data = vec![Bit::Zero; 4];
+        self.ns_of(|b| {
+            for i in 0..ne {
+                if i + 1 == ne {
+                    b.seq_frac(bank, GlobalRow(i));
+                } else {
+                    b.seq_write_row(bank, GlobalRow(i), data.clone());
+                }
+            }
+            for i in 0..ne {
+                b.seq_write_row(bank, GlobalRow(512 + i), data.clone());
+            }
+            b.seq_charge_share(bank, GlobalRow(ne - 1), GlobalRow(512));
+            b.seq_write_row(bank, GlobalRow(0), data.clone());
+        })
+    }
+
+    /// Schedule span of the NOT sequence: staging write, the
+    /// tRP-violating copy-invert pair, and the result write-back.
+    fn not_ns(&self) -> f64 {
+        let bank = BankId(0);
+        let data = vec![Bit::Zero; 4];
+        self.ns_of(|b| {
+            b.seq_write_row(bank, GlobalRow(0), data.clone());
+            b.seq_copy_invert(bank, GlobalRow(0), GlobalRow(512));
+            b.seq_write_row(bank, GlobalRow(1), data.clone());
+        })
+    }
+
+    /// Schedule span of the single-operand degenerate gate (an
+    /// in-subarray RowClone pair).
+    fn copy_ns(&self) -> f64 {
+        self.ns_of(|b| {
+            b.seq_copy_invert(BankId(0), GlobalRow(0), GlobalRow(1));
+        })
+    }
+
+    /// Cycle-accurate latency of one program step, including the
+    /// reduction tree for steps wider than the native fan-in.
+    pub fn step_ns(&self, step: &Step) -> f64 {
+        match step.op {
+            None => self.not_ns(),
+            Some(op) => {
+                let n = step.args.len();
+                if n == 1 {
+                    return if op.is_inverted_terminal() {
+                        self.not_ns()
+                    } else {
+                        self.copy_ns()
+                    };
+                }
+                if n <= self.fan_in {
+                    return self.native_gate_ns(n);
+                }
+                // The backends' reduction tree: monotone stages
+                // chunked at the fan-in, one final stage.
+                let mut total = 0.0;
+                let mut level = n;
+                while level > self.fan_in {
+                    let mut next = 0;
+                    let full = level / self.fan_in;
+                    let rem = level % self.fan_in;
+                    for _ in 0..full {
+                        total += self.native_gate_ns(self.fan_in);
+                        next += 1;
+                    }
+                    if rem == 1 {
+                        next += 1; // single leftover passes through
+                    } else if rem > 1 {
+                        total += self.native_gate_ns(rem);
+                        next += 1;
+                    }
+                    level = next;
+                }
+                total + self.native_gate_ns(level)
+            }
+        }
+    }
+}
+
+/// Wraps any backend so that per-step accounting sees cycle-accurate
+/// command-schedule latency instead of the backend's own model.
+///
+/// This is how fleet serving runs at command-schedule fidelity while
+/// keeping functional results on the wrapped backend (host-exact on
+/// [`simdram::HostSubstrate`], so *scheduling still never changes
+/// answers* — only the declared latency fields move).
+#[derive(Debug)]
+pub struct ScheduleTimed<B: ExecBackend> {
+    inner: B,
+    model: ScheduleLatency,
+}
+
+impl<B: ExecBackend> ScheduleTimed<B> {
+    /// Wraps `inner`, timing steps at `speed` with the inner backend's
+    /// native fan-in.
+    pub fn new(inner: B, speed: SpeedBin) -> ScheduleTimed<B> {
+        let fan_in = inner.max_fan_in();
+        ScheduleTimed {
+            inner,
+            model: ScheduleLatency::new(speed, fan_in),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The latency model in force.
+    pub fn model(&self) -> ScheduleLatency {
+        self.model
+    }
+}
+
+impl<B: ExecBackend> ExecBackend for ScheduleTimed<B> {
+    type Row = B::Row;
+    type Lease = B::Lease;
+
+    fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    fn max_fan_in(&self) -> usize {
+        self.inner.max_fan_in()
+    }
+
+    fn stage(&mut self, operands: &[PackedBits]) -> Result<B::Lease> {
+        self.inner.stage(operands)
+    }
+
+    fn lease_rows(lease: &B::Lease) -> &[B::Row] {
+        B::lease_rows(lease)
+    }
+
+    fn end_stage(&mut self, lease: B::Lease) {
+        self.inner.end_stage(lease);
+    }
+
+    fn op(&mut self, op: Option<LogicOp>, args: &[B::Row]) -> Result<B::Row> {
+        self.inner.op(op, args)
+    }
+
+    fn constant(&mut self, value: bool) -> Result<B::Row> {
+        self.inner.constant(value)
+    }
+
+    fn duplicate(&mut self, src: B::Row) -> Result<B::Row> {
+        self.inner.duplicate(src)
+    }
+
+    fn read_row(&mut self, r: B::Row) -> Result<PackedBits> {
+        self.inner.read_row(r)
+    }
+
+    fn release(&mut self, r: B::Row) {
+        self.inner.release(r);
+    }
+
+    fn step_latency_ns(&self, step: &Step) -> Option<f64> {
+        Some(self.model.step_ns(step))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(op: Option<LogicOp>, n: usize) -> Step {
+        Step {
+            op,
+            args: (0..n).collect(),
+            out: n,
+        }
+    }
+
+    #[test]
+    fn wider_gates_cost_more_cycles() {
+        let m = ScheduleLatency::new(SpeedBin::Mt2666, 16);
+        let n2 = m.step_ns(&step(Some(LogicOp::And), 2));
+        let n4 = m.step_ns(&step(Some(LogicOp::And), 4));
+        let n16 = m.step_ns(&step(Some(LogicOp::And), 16));
+        assert!(n2 < n4 && n4 < n16, "{n2} {n4} {n16}");
+        // Padding rounds 3 inputs up to the 4-row activation.
+        assert_eq!(
+            m.step_ns(&step(Some(LogicOp::Or), 3)),
+            n4,
+            "3 inputs pad to the 4:4 schedule"
+        );
+        assert!(m.step_ns(&step(None, 1)) > 0.0);
+    }
+
+    #[test]
+    fn slower_bins_cost_more_nanoseconds() {
+        let fast = ScheduleLatency::new(SpeedBin::Mt2666, 16);
+        let slow = ScheduleLatency::new(SpeedBin::Mt2133, 16);
+        let s = step(Some(LogicOp::Nand), 8);
+        // Cycle counts scale with the bin's clock; ns must not shrink
+        // on the slower part.
+        assert!(slow.step_ns(&s) >= fast.step_ns(&s) * 0.99);
+    }
+
+    #[test]
+    fn narrow_fan_in_prices_the_reduction_tree() {
+        let wide = ScheduleLatency::new(SpeedBin::Mt2666, 16);
+        let narrow = ScheduleLatency::new(SpeedBin::Mt2666, 4);
+        let s = step(Some(LogicOp::And), 16);
+        assert!(
+            narrow.step_ns(&s) > wide.step_ns(&s),
+            "a 16-input gate at fan-in 4 needs a tree"
+        );
+        // 16 inputs at fan-in 4: 4 + 1 native gates.
+        let one = narrow.step_ns(&step(Some(LogicOp::And), 4));
+        assert!((narrow.step_ns(&s) - 5.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_timed_overrides_latency_only() {
+        use simdram::{HostSubstrate, SimdVm};
+        let vm = SimdVm::new(HostSubstrate::new(16, 64)).unwrap();
+        let mut timed = ScheduleTimed::new(vm, SpeedBin::Mt2666);
+        assert_eq!(timed.lanes(), 16);
+        assert_eq!(timed.max_fan_in(), 16);
+        let s = step(Some(LogicOp::And), 2);
+        assert!(timed.step_latency_ns(&s).is_some());
+        // Functional behaviour delegates to the inner VM.
+        let cost = fcsynth::CostModel::table1_defaults();
+        let compiled = fcsynth::compile("a & b", &cost, 16).unwrap();
+        let ops: Vec<PackedBits> = (0..2)
+            .map(|i| {
+                let mut p = PackedBits::zeros(16);
+                for l in 0..16 {
+                    p.set(l, (i + l) % 3 == 0);
+                }
+                p
+            })
+            .collect();
+        let got = crate::execute_packed(&mut timed, &compiled.mapping.program, &ops).unwrap();
+        assert_eq!(got, compiled.circuit.eval_packed(&ops));
+    }
+}

@@ -1,0 +1,116 @@
+//! # fcexec — the unified execution-backend layer
+//!
+//! The paper's pipeline (`Frac` → charge share → copy-out, §5–§6)
+//! used to be implemented once per layer: four near-duplicate
+//! `execute_*` variants in `fcsynth`, the scheduler's inner loop, and
+//! the CLI verifiers. This crate is the single seam they all run
+//! through now:
+//!
+//! * **[`ExecBackend`]** — the backend trait: staged operand leases,
+//!   one native operation at a time, packed host I/O, and an optional
+//!   cycle-accurate latency hook;
+//! * **[`execute_with`] / [`execute_packed_with`]** — the one generic,
+//!   observer-driven program engine (rows and [`fcdram::PackedBits`]
+//!   I/O modes);
+//! * **[`SimdVm`](simdram::SimdVm)`<S>`** — the VM backend for any
+//!   [`simdram::Substrate`]: the exact host golden model and the
+//!   characterized DRAM device model;
+//! * **[`BenderBackend`]** — the command-schedule backend: every
+//!   native operation is one combined cycle-timed DDR4 program
+//!   executed through [`bender::Bender`], bit-identical to the VM
+//!   backend on the same module configuration;
+//! * **[`ScheduleLatency`] / [`ScheduleTimed`]** — the cycle-accurate
+//!   latency model the fleet scheduler's bender mode charges.
+//!
+//! Adding a backend means implementing one trait — not re-writing the
+//! pipeline at four sites.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fcexec::execute_packed;
+//! use fcsynth::CostModel;
+//! use simdram::{HostSubstrate, SimdVm};
+//!
+//! let cost = CostModel::table1_defaults();
+//! let c = fcsynth::compile("(a & b) | (a & c) | (b & c)", &cost, 16)?;
+//! let lanes = 8;
+//! let operands: Vec<fcdram::PackedBits> = (0..3)
+//!     .map(|i| {
+//!         let mut p = fcdram::PackedBits::zeros(lanes);
+//!         for l in 0..lanes {
+//!             p.set(l, dram_core::math::mix2(i, l as u64) & 1 == 1);
+//!         }
+//!         p
+//!     })
+//!     .collect();
+//! let mut vm = SimdVm::new(HostSubstrate::new(lanes, 64))?;
+//! let got = execute_packed(&mut vm, &c.mapping.program, &operands)?;
+//! assert_eq!(got, c.circuit.eval_packed(&operands));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bender_backend;
+pub mod engine;
+pub mod error;
+pub mod latency;
+mod vm;
+
+pub use bender_backend::BenderBackend;
+pub use engine::{execute, execute_packed, execute_packed_with, execute_with, ExecBackend};
+pub use error::{ExecError, Result};
+pub use latency::{ScheduleLatency, ScheduleTimed};
+
+use serde::{Deserialize, Serialize};
+
+/// Which shipping backend a caller wants, by name — the CLI/scheduler
+/// selection knob (`--backend {vm,bender}`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The [`simdram::SimdVm`] backend (host-exact golden model for
+    /// serving; [`simdram::DramSubstrate`] for device studies), priced
+    /// by the external cost model.
+    #[default]
+    Vm,
+    /// The bender command-schedule fidelity: cycle-accurate DDR4
+    /// schedule latency ([`ScheduleLatency`]) at each chip's speed
+    /// bin.
+    Bender,
+}
+
+impl BackendKind {
+    /// Parses the CLI spelling.
+    pub fn parse(text: &str) -> Option<BackendKind> {
+        match text {
+            "vm" => Some(BackendKind::Vm),
+            "bender" => Some(BackendKind::Bender),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Vm => write!(f, "vm"),
+            BackendKind::Bender => write!(f, "bender"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_round_trips() {
+        for kind in [BackendKind::Vm, BackendKind::Bender] {
+            assert_eq!(BackendKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("fpga"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Vm);
+    }
+}

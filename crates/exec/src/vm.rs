@@ -1,0 +1,240 @@
+//! The [`SimdVm`] backend: any [`Substrate`] behind the unified
+//! engine.
+//!
+//! With [`simdram::HostSubstrate`] this is the workspace's golden
+//! model (bit-exact results); with [`simdram::DramSubstrate`] gates
+//! execute through [`fcdram::BulkEngine`] and inherit the
+//! characterized per-cell success rates. Operand staging uses
+//! [`SimdVm::lease_rows`]/[`SimdVm::end_lease`], so a scheduler's row
+//! accounting stays per job and a failed stage leaves the substrate
+//! exactly as it was.
+
+use crate::engine::ExecBackend;
+use crate::error::Result;
+use dram_core::LogicOp;
+use fcdram::PackedBits;
+use simdram::{BitRow, RowLease, SimdVm, Substrate};
+
+impl<S: Substrate> ExecBackend for SimdVm<S> {
+    type Row = BitRow;
+    type Lease = RowLease;
+
+    fn lanes(&self) -> usize {
+        SimdVm::lanes(self)
+    }
+
+    fn max_fan_in(&self) -> usize {
+        self.substrate().max_fan_in()
+    }
+
+    fn stage(&mut self, operands: &[PackedBits]) -> Result<RowLease> {
+        let lease = self.lease_rows(operands.len())?;
+        for (i, o) in operands.iter().enumerate() {
+            if let Err(e) = self.substrate_mut().write_packed(lease.row(i), o) {
+                self.end_lease(lease);
+                return Err(e.into());
+            }
+        }
+        Ok(lease)
+    }
+
+    fn lease_rows(lease: &RowLease) -> &[BitRow] {
+        lease.rows()
+    }
+
+    fn end_stage(&mut self, lease: RowLease) {
+        self.end_lease(lease);
+    }
+
+    fn op(&mut self, op: Option<LogicOp>, args: &[BitRow]) -> Result<BitRow> {
+        let out = match op {
+            None => self.bit_not(args[0])?,
+            Some(LogicOp::And) => self.bit_and(args)?,
+            Some(LogicOp::Or) => self.bit_or(args)?,
+            Some(LogicOp::Nand) => self.bit_nand(args)?,
+            Some(LogicOp::Nor) => self.bit_nor(args)?,
+        };
+        Ok(out)
+    }
+
+    fn constant(&mut self, value: bool) -> Result<BitRow> {
+        let out = self.alloc_row()?;
+        let src = if value {
+            self.one_row()
+        } else {
+            self.zero_row()
+        };
+        self.substrate_mut().copy(src, out)?;
+        Ok(out)
+    }
+
+    fn duplicate(&mut self, src: BitRow) -> Result<BitRow> {
+        let out = self.alloc_row()?;
+        self.substrate_mut().copy(src, out)?;
+        Ok(out)
+    }
+
+    fn read_row(&mut self, r: BitRow) -> Result<PackedBits> {
+        Ok(self.substrate_mut().read_packed(r)?)
+    }
+
+    fn release(&mut self, r: BitRow) {
+        SimdVm::release(self, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute_packed, execute_packed_with};
+    use crate::error::ExecError;
+    use fcsynth::CostModel;
+    use simdram::HostSubstrate;
+
+    fn mapped(text: &str) -> fcsynth::Mapping {
+        let cost = CostModel::table1_defaults();
+        fcsynth::compile(text, &cost, 16).unwrap().mapping
+    }
+
+    fn random_operands(n: usize, lanes: usize, seed: u64) -> Vec<PackedBits> {
+        (0..n)
+            .map(|i| {
+                let mut p = PackedBits::zeros(lanes);
+                for l in 0..lanes {
+                    p.set(l, dram_core::math::mix3(seed, i as u64, l as u64) & 1 == 1);
+                }
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn host_execution_is_bit_exact() {
+        for text in [
+            "a ^ b ^ c ^ d",
+            "(a & b) | (a & c) | (b & c)",
+            "!(a | b | c) & (d ^ e)",
+            "a",
+            "!a",
+            "a & !a",
+            "a | 1",
+        ] {
+            let cost = CostModel::table1_defaults();
+            let compiled = fcsynth::compile(text, &cost, 16).unwrap();
+            let lanes = 130;
+            let ops = random_operands(compiled.circuit.inputs().len(), lanes, 0xBEEF);
+            let expect = compiled.circuit.eval_packed(&ops);
+            let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+            let got = execute_packed(&mut vm, &compiled.mapping.program, &ops).unwrap();
+            assert_eq!(got, expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn execution_frees_every_temporary() {
+        let m = mapped("(a & b & c & d) ^ (e | f | g | h)");
+        let lanes = 64;
+        let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+        let live0 = vm.substrate().live_rows();
+        let ops = random_operands(8, lanes, 7);
+        let out = execute_packed(&mut vm, &m.program, &ops).unwrap();
+        assert_eq!(out.len(), lanes);
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live0,
+            "all staged and temporary rows returned"
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_step_and_narrowed_stays_exact() {
+        let text = "(a & b & c & d & e & f & g & h) ^ !(i | j | k | l | m)";
+        let cost = CostModel::table1_defaults();
+        let compiled = fcsynth::compile(text, &cost, 16).unwrap();
+        let lanes = 77;
+        let ops = random_operands(compiled.circuit.inputs().len(), lanes, 0x0B5E);
+        let expect = compiled.circuit.eval_packed(&ops);
+        let m = &compiled.mapping;
+        for prog in [
+            m.program.clone(),
+            m.program.narrowed(3),
+            m.program.narrowed(2),
+        ] {
+            let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+            let mut seen = Vec::new();
+            let got = execute_packed_with(&mut vm, &prog, &ops, |i, s| {
+                seen.push((i, s.args.len()));
+            })
+            .unwrap();
+            assert_eq!(got, expect, "narrowed program diverged");
+            assert_eq!(seen.len(), prog.steps.len(), "observer missed steps");
+            for (k, (i, _)) in seen.iter().enumerate() {
+                assert_eq!(*i, k, "steps observed in order");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_mismatch_is_rejected() {
+        let m = mapped("a & b");
+        let mut vm = SimdVm::new(HostSubstrate::new(8, 64)).unwrap();
+        let err = execute_packed(&mut vm, &m.program, &random_operands(1, 8, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::InputMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn mid_program_failure_releases_temporaries() {
+        // Narrowed to 2-input gates, this program needs several
+        // temporaries; capacity 7 (2 constants + 4 operands + 1 free
+        // row) lets staging and the first step succeed, then a later
+        // step runs out of rows mid-program. The register file's live
+        // temporaries must be reclaimed on the error path.
+        let m = mapped("(a & b) | (c & d) | (a & d)");
+        let prog = m.program.narrowed(2);
+        let mut vm = SimdVm::new(HostSubstrate::new(8, 7)).unwrap();
+        let live0 = vm.substrate().live_rows();
+        let ops = random_operands(4, 8, 3);
+        let err = execute_packed(&mut vm, &prog, &ops).unwrap_err();
+        assert!(matches!(err, ExecError::Vm(_)), "{err}");
+        assert_eq!(
+            vm.substrate().live_rows(),
+            live0,
+            "mid-program failure stranded temporaries"
+        );
+        // The pool is fully recovered: a small program still executes.
+        let tiny = mapped("a & b");
+        let out = execute_packed(&mut vm, &tiny.program, &random_operands(2, 8, 4)).unwrap();
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn failed_stage_rolls_back_the_lease() {
+        let m = mapped("a & b & c & d & e & f");
+        // Capacity 4 minus the two shared constant rows: staging six
+        // operands must fail and leave no rows behind.
+        let mut vm = SimdVm::new(HostSubstrate::new(8, 4)).unwrap();
+        let live0 = vm.substrate().live_rows();
+        let err = execute_packed(&mut vm, &m.program, &random_operands(6, 8, 2)).unwrap_err();
+        assert!(matches!(err, ExecError::Vm(_)), "{err}");
+        assert_eq!(vm.substrate().live_rows(), live0, "stage rolled back");
+    }
+
+    #[test]
+    fn vm_trace_matches_mapping() {
+        let m = mapped("(a ^ b) & (c | d | e)");
+        let lanes = 32;
+        let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
+        let ops = random_operands(5, lanes, 3);
+        vm.clear_trace();
+        let _ = execute_packed(&mut vm, &m.program, &ops).unwrap();
+        // Staging writes/reads are host transfers; the in-DRAM op
+        // count must equal the mapping exactly.
+        assert_eq!(vm.trace().in_dram_ops(), m.native_ops);
+    }
+}

@@ -1,4 +1,10 @@
 //! Scheduler error type.
+//!
+//! Execution failures arrive as [`fcexec::ExecError`] — the one error
+//! type every backend reports through — and are carried intact rather
+//! than flattened to strings, so callers can still see whether a
+//! batch died to row exhaustion, a lane mismatch, or a command-stream
+//! violation.
 
 use std::fmt;
 
@@ -38,8 +44,8 @@ pub enum SchedError {
         /// Largest lease any fleet member can ever satisfy.
         largest: usize,
     },
-    /// A substrate-level failure during execution.
-    Execution(String),
+    /// An execution-backend failure during a job's run.
+    Exec(fcexec::ExecError),
 }
 
 impl fmt::Display for SchedError {
@@ -63,21 +69,22 @@ impl fmt::Display for SchedError {
                 "job '{job}' needs {rows} simultaneous rows; the fleet's largest \
                  subarray slot is {largest}"
             ),
-            SchedError::Execution(e) => write!(f, "execution failed: {e}"),
+            SchedError::Exec(e) => write!(f, "execution failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for SchedError {}
-
-impl From<fcsynth::SynthError> for SchedError {
-    fn from(e: fcsynth::SynthError) -> Self {
-        SchedError::Execution(e.to_string())
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Exec(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
-impl From<simdram::SimdramError> for SchedError {
-    fn from(e: simdram::SimdramError) -> Self {
-        SchedError::Execution(e.to_string())
+impl From<fcexec::ExecError> for SchedError {
+    fn from(e: fcexec::ExecError) -> Self {
+        SchedError::Exec(e)
     }
 }

@@ -2,28 +2,43 @@
 //!
 //! ## Execution model
 //!
-//! Functional results are computed **host-exactly**: every job runs on
-//! its own `SimdVm<HostSubstrate>` (the workspace's golden model), so
-//! a job's output bits are a pure function of its program and operands
-//! — independent of the assigned chip, the fleet layout, and the shard
-//! count. That is the scheduler's fidelity invariant: *scheduling
-//! never changes answers* (`tests/sched_equivalence.rs`).
+//! Jobs run through the unified [`fcexec`] engine, generically over
+//! any [`ExecBackend`] ([`run_job_on`]); the shipping configurations
+//! are selected by [`SchedPolicy::backend`]:
+//!
+//! * [`BackendKind::Vm`] — every job runs on its own
+//!   `SimdVm<HostSubstrate>` (the workspace's golden model) and is
+//!   priced by the assigned chip's derated cost model.
+//! * [`BackendKind::Bender`] — the same host-exact engine wrapped in
+//!   [`fcexec::ScheduleTimed`]: per-operation latency is the
+//!   *cycle-accurate DDR4 command schedule* of each step at the
+//!   assigned chip's speed bin (the schedule the `fcexec`
+//!   `BenderBackend` executes), so fleets of mixed speed bins serve
+//!   at command-schedule fidelity.
+//!
+//! On every backend a job's output bits are a pure function of its
+//! program and operands — independent of the assigned chip, the fleet
+//! layout, and the shard count. That is the scheduler's fidelity
+//! invariant: *scheduling never changes answers*
+//! (`tests/sched_equivalence.rs`), and it is why batch reports are
+//! byte-identical across backends modulo the declared latency-model
+//! fields (per-job `latency_ns` and every rollup derived from it).
 //!
 //! Reliability is modeled on top, per native operation: each executed
 //! step draws a deterministic Bernoulli trial against the assigned
 //! chip's derated success rate ([`crate::planner::ChipProfile`]),
-//! keyed by `(batch seed, job id, step, attempt)`. Failed draws
-//! consume the job's retry budget (latency and energy are charged per
-//! attempt); an exhausted budget marks the operation — and the job —
-//! as failed while execution continues, so one bad gate does not
-//! silence the rest of the accounting.
+//! keyed by `(batch seed, job id, step, attempt)` — identical across
+//! backends. Failed draws consume the job's retry budget (latency and
+//! energy are charged per attempt); an exhausted budget marks the
+//! operation — and the job — as failed while execution continues, so
+//! one bad gate does not silence the rest of the accounting.
 //!
 //! ## Sharding discipline
 //!
 //! Jobs are split into contiguous submission-order chunks, one scoped
 //! worker thread per chunk (the PR2 fleet-sweep discipline); outcomes
 //! are reassembled in submission order. Per-job work depends only on
-//! `(job, assignment, profile, batch seed)`, so the report is
+//! `(job, assignment, profile, batch seed, backend)`, so the report is
 //! bit-identical for every shard count — threading is purely a
 //! wall-clock optimization.
 
@@ -33,6 +48,7 @@ use crate::queue::{Batch, Job, JobId};
 use crate::report::BatchReport;
 use dram_core::math::{hash_to_unit, mix3};
 use fcdram::PackedBits;
+use fcexec::{BackendKind, ExecBackend, ScheduleTimed};
 use fcsynth::ProgramCost;
 use simdram::{HostSubstrate, SimdVm};
 
@@ -69,9 +85,20 @@ pub struct JobOutcome {
     pub result: PackedBits,
 }
 
-/// Runs one job on its assigned chip profile. Pure function of
-/// `(job, assignment, profile cost, batch_seed)`.
-fn run_job(
+/// Runs one job on `backend` under its assigned chip profile — the
+/// backend-generic core every serving configuration calls. Pure
+/// function of `(job, assignment, profile cost, batch_seed, backend)`.
+///
+/// Per-step latency comes from [`ExecBackend::step_latency_ns`] when
+/// the backend declares one (command-schedule fidelity), from the
+/// chip's cost model otherwise; success probabilities and energy are
+/// always the cost model's.
+///
+/// # Errors
+///
+/// Propagates backend failures (row exhaustion, lane mismatch).
+pub fn run_job_on<B: ExecBackend>(
+    backend: &mut B,
     job: &Job,
     asg: &Assignment,
     profile: &crate::planner::ChipProfile,
@@ -79,16 +106,21 @@ fn run_job(
     batch_seed: u64,
 ) -> Result<JobOutcome> {
     let prog = &asg.program;
-    let capacity = (prog.n_regs + job.operands.len() + 4).max(8);
-    let mut vm = SimdVm::new(HostSubstrate::new(job.lanes, capacity))?;
     let seed = mix3(batch_seed, job.id as u64, profile.chip_seed);
     let cost = &profile.cost;
+    // Latency per step, resolved before execution (the observer runs
+    // while the backend is mutably borrowed).
+    let step_latency: Vec<Option<f64>> = prog
+        .steps
+        .iter()
+        .map(|s| backend.step_latency_ns(s))
+        .collect();
     let mut retries = 0u32;
     let mut failed_ops = 0usize;
     let mut latency = 0.0f64;
     let mut energy = 0.0f64;
-    let result = fcsynth::execute_packed_observed(&mut vm, prog, &job.operands, |i, step| {
-        let (p, l, e) = match step.op {
+    let result = fcexec::execute_packed_with(backend, prog, &job.operands, |i, step| {
+        let (p, model_l, e) = match step.op {
             None => (
                 cost.not_success(),
                 cost.not_latency_ns(),
@@ -103,6 +135,7 @@ fn run_job(
                 )
             }
         };
+        let l = step_latency[i].unwrap_or(model_l);
         let mut attempt = 0u64;
         loop {
             latency += l;
@@ -138,6 +171,34 @@ fn run_job(
     })
 }
 
+/// Builds the policy-selected backend for one job and runs it.
+fn run_job(
+    job: &Job,
+    asg: &Assignment,
+    profile: &crate::planner::ChipProfile,
+    policy: &SchedPolicy,
+    batch_seed: u64,
+) -> Result<JobOutcome> {
+    let prog = &asg.program;
+    let capacity = (prog.n_regs + job.operands.len() + 4).max(8);
+    let mut vm =
+        SimdVm::new(HostSubstrate::new(job.lanes, capacity)).map_err(fcexec::ExecError::from)?;
+    match policy.backend {
+        BackendKind::Vm => run_job_on(&mut vm, job, asg, profile, policy.retry_budget, batch_seed),
+        BackendKind::Bender => {
+            let mut timed = ScheduleTimed::new(vm, profile.speed);
+            run_job_on(
+                &mut timed,
+                job,
+                asg,
+                profile,
+                policy.retry_budget,
+                batch_seed,
+            )
+        }
+    }
+}
+
 /// Executes a planned batch, sharding jobs over scoped worker threads.
 ///
 /// # Errors
@@ -165,7 +226,7 @@ pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<
                 job,
                 asg,
                 &plan.profiles[asg.member],
-                policy.retry_budget,
+                policy,
                 batch.seed(),
             ));
         }
@@ -191,7 +252,7 @@ pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<
                                         job,
                                         asg,
                                         &plan.profiles[asg.member],
-                                        policy.retry_budget,
+                                        policy,
                                         batch.seed(),
                                     ),
                                 )
@@ -284,7 +345,7 @@ mod tests {
             // program on a fresh host VM.
             let mut vm =
                 SimdVm::new(HostSubstrate::new(job.lanes, job.program.n_regs + 8)).unwrap();
-            let expect = fcsynth::execute_packed(&mut vm, &job.program, &job.operands).unwrap();
+            let expect = fcexec::execute_packed(&mut vm, &job.program, &job.operands).unwrap();
             assert_eq!(out.result, expect, "{}", job.label);
             assert!(out.ops >= 1);
             assert!(out.latency_ns > 0.0);
@@ -364,6 +425,38 @@ mod tests {
         assert!(report.outcomes.iter().all(|o| o.retries == 0));
         for o in &report.outcomes {
             assert_eq!(o.succeeded, o.failed_ops == 0);
+        }
+    }
+
+    #[test]
+    fn bender_backend_moves_latency_and_nothing_else() {
+        let fleet = FleetConfig::table1(3);
+        let base = CostModel::table1_defaults();
+        let batch = batch_of(&MIX, 24, 0xC0DE);
+        let vm = serve_batch(
+            &fleet,
+            &base,
+            &SchedPolicy::default().with_shards(1),
+            &batch,
+        )
+        .unwrap();
+        let bender_policy = SchedPolicy {
+            backend: BackendKind::Bender,
+            shards: 2,
+            ..SchedPolicy::default()
+        };
+        let bender = serve_batch(&fleet, &base, &bender_policy, &batch).unwrap();
+        assert!(vm.outcomes != bender.outcomes, "latency models must differ");
+        for (a, b) in vm.outcomes.iter().zip(&bender.outcomes) {
+            assert_eq!(a.result, b.result, "{}: backend changed answers", a.label);
+            assert_eq!(a.retries, b.retries, "retry draws are backend-independent");
+            assert_eq!(a.succeeded, b.succeeded);
+            assert_eq!(a.energy_pj, b.energy_pj, "energy stays the cost model's");
+            assert_ne!(
+                a.latency_ns, b.latency_ns,
+                "{}: command schedules price differently",
+                a.label
+            );
         }
     }
 

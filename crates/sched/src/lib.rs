@@ -16,10 +16,15 @@
 //!    re-priced under its *assigned chip's* derated [`CostModel`];
 //!    jobs below the policy threshold are re-mapped to narrower
 //!    native gates or flagged;
-//! 3. **[`executor`]** — host-exact functional execution plus
+//! 3. **[`executor`]** — functional execution through the unified
+//!    [`fcexec`] engine, generic over any [`fcexec::ExecBackend`]
+//!    (host-exact results on every shipping backend), plus
 //!    deterministic per-operation retry modeling against the chip's
 //!    success rates, sharded over scoped threads with outcomes
-//!    reassembled in submission order;
+//!    reassembled in submission order; the policy's
+//!    [`fcexec::BackendKind`] selects cost-model pricing (`vm`) or
+//!    cycle-accurate command-schedule latency at each chip's speed
+//!    bin (`bender`);
 //! 4. **[`report`]** — success/retry/latency/energy rollups
 //!    ([`fcdram::SuccessAccumulator`]), exact latency percentiles,
 //!    per-chip utilization, and a deterministic JSON view.
@@ -77,12 +82,13 @@ pub mod queue;
 pub mod report;
 
 pub use error::{Result, SchedError};
-pub use executor::{execute_plan, ideal_cost, serve_batch, JobOutcome};
+pub use executor::{execute_plan, ideal_cost, run_job_on, serve_batch, JobOutcome};
 pub use planner::{Admission, Assignment, ChipProfile, Plan, Planner, SchedPolicy};
 pub use queue::{Batch, Job, JobId};
 pub use report::{digest, BatchReport, LatencySummary, MemberUsage};
 
 // Re-exported for doc examples and downstream convenience.
+pub use fcexec::BackendKind;
 pub use fcsynth::CostModel;
 
 /// Shared test fixtures (the one place the operand-derivation

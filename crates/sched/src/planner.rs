@@ -49,6 +49,12 @@ pub struct SchedPolicy {
     /// Rows reserved at the top of every subarray for reference and
     /// constant scratch (the command sequences' working set).
     pub scratch_rows: usize,
+    /// Which execution backend jobs run on: the cost-model-priced VM
+    /// ([`fcexec::BackendKind::Vm`], the default) or command-schedule
+    /// fidelity with cycle-accurate per-step latency at each chip's
+    /// speed bin ([`fcexec::BackendKind::Bender`]). Functional results
+    /// are identical on every backend.
+    pub backend: fcexec::BackendKind,
 }
 
 impl Default for SchedPolicy {
@@ -59,6 +65,7 @@ impl Default for SchedPolicy {
             allow_remap: true,
             shards: 0,
             scratch_rows: simdram::MAX_FAN_IN,
+            backend: fcexec::BackendKind::Vm,
         }
     }
 }
@@ -116,6 +123,9 @@ pub struct ChipProfile {
     pub chip_seed: u64,
     /// Strain factor in `[0, 3)`: 0 = population-mean chip.
     pub strain: f64,
+    /// The part's speed bin (command-schedule latency is cycle-timed
+    /// against it when serving on the bender backend).
+    pub speed: dram_core::SpeedBin,
     /// The derated per-chip cost model.
     pub cost: CostModel,
 }
@@ -142,6 +152,7 @@ impl ChipProfile {
             label: spec.label(),
             chip_seed,
             strain,
+            speed: spec.cfg.speed,
             cost: CostModel::from_data(data).expect("derating keeps the model valid"),
         }
     }

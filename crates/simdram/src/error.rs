@@ -16,7 +16,7 @@ pub type Result<T> = std::result::Result<T, SimdramError>;
 /// let err = SimdramError::WidthMismatch { expected: 8, got: 4 };
 /// assert!(err.to_string().contains("expected 8"));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimdramError {
     /// The underlying substrate (in-DRAM engine or host model) failed.

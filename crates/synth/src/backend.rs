@@ -1,173 +1,22 @@
-//! Execution backends for mapped programs.
+//! Bender-assembly emission for mapped programs.
 //!
-//! Two targets, verified against [`crate::dag::Circuit::eval_packed`]:
-//!
-//! * **[`SimdVm`]** — each [`Step`](crate::mapper::Step) executes as
-//!   exactly one native operation on the VM's substrate (the mapper
-//!   already chunked every gate to the substrate fan-in), so the
-//!   executed trace matches the mapping's predictions one-to-one. On
-//!   [`simdram::HostSubstrate`] the result is bit-exact; on
-//!   [`simdram::DramSubstrate`] it inherits the characterized
-//!   per-cell success rates.
-//! * **[`bender`] assembly** — the program as a cycle-timed DDR4
-//!   command schedule in the textual format of [`bender::asm`], for
-//!   command-level replay. The emission mirrors [`simdram::cost`]'s
-//!   steady-state accounting: per gate, N operand stagings, N−1
-//!   constant reference rows, one `Frac`, the violated double
-//!   activation, and one result copy-out; per NOT, a cross-subarray
-//!   copy-invert pair (invert into staging, restore-polarity back to
-//!   the destination's home row).
+//! *Execution* of mapped programs lives in the `fcexec` crate — one
+//! observer-driven engine behind every backend (`SimdVm` substrates
+//! and the command-schedule `BenderBackend`). What remains here is
+//! [`BenderEmitter`]: the program as a cycle-timed DDR4 command
+//! schedule in the textual format of [`bender::asm`], for
+//! command-level replay on real testing infrastructure. The emission
+//! mirrors [`simdram::cost`]'s steady-state accounting: per gate, N
+//! operand stagings, N−1 constant reference rows, one `Frac`, the
+//! violated double activation, and one result copy-out; per NOT, a
+//! cross-subarray copy-invert pair (invert into staging,
+//! restore-polarity back to the destination's home row).
 
 use crate::error::{Result, SynthError};
 use crate::mapper::{Output, SynthProgram};
 use bender::{Program, ProgramBuilder};
 use dram_core::timing::SpeedBin;
-use dram_core::{BankId, Bit, GlobalRow, LogicOp};
-use fcdram::PackedBits;
-use simdram::{BitRow, SimdVm, Substrate};
-
-/// Executes a mapped program on a [`SimdVm`], one native operation per
-/// step.
-///
-/// `inputs` are the operand rows in register order; they are read but
-/// never freed or clobbered. The returned row is owned by the caller
-/// (for constant or passthrough outputs it is a fresh copy).
-///
-/// # Errors
-///
-/// Fails on an operand-count mismatch or when the substrate runs out
-/// of rows.
-pub fn execute_on_vm<S: Substrate>(
-    vm: &mut SimdVm<S>,
-    prog: &SynthProgram,
-    inputs: &[BitRow],
-) -> Result<BitRow> {
-    execute_on_vm_observed(vm, prog, inputs, |_, _| {})
-}
-
-/// [`execute_on_vm`] with a per-step observer: `on_step(i, step)` is
-/// called after step `i` executes.
-///
-/// This is the job-scheduler entry point — the observer is where
-/// per-operation accounting (retry draws, modeled latency/energy,
-/// per-job success bookkeeping) hooks into an execution without the
-/// backend knowing about any of it.
-///
-/// # Errors
-///
-/// Same conditions as [`execute_on_vm`].
-pub fn execute_on_vm_observed<S: Substrate, F: FnMut(usize, &crate::mapper::Step)>(
-    vm: &mut SimdVm<S>,
-    prog: &SynthProgram,
-    inputs: &[BitRow],
-    mut on_step: F,
-) -> Result<BitRow> {
-    if inputs.len() != prog.inputs.len() {
-        return Err(SynthError::InputMismatch {
-            expected: prog.inputs.len(),
-            got: inputs.len(),
-        });
-    }
-    let n_in = inputs.len();
-    let last_use = prog.last_use();
-    let mut regs: Vec<Option<BitRow>> = vec![None; prog.n_regs];
-    for (r, row) in inputs.iter().enumerate() {
-        regs[r] = Some(*row);
-    }
-    for (i, step) in prog.steps.iter().enumerate() {
-        let args: Vec<BitRow> = step
-            .args
-            .iter()
-            .map(|r| regs[*r].expect("mapper emits defs before uses"))
-            .collect();
-        let out = match step.op {
-            None => vm.bit_not(args[0])?,
-            Some(LogicOp::And) => vm.bit_and(&args)?,
-            Some(LogicOp::Or) => vm.bit_or(&args)?,
-            Some(LogicOp::Nand) => vm.bit_nand(&args)?,
-            Some(LogicOp::Nor) => vm.bit_nor(&args)?,
-        };
-        regs[step.out] = Some(out);
-        on_step(i, step);
-        // Free temporaries at their last use to keep row pressure at
-        // the live-range width instead of the program length.
-        for r in &step.args {
-            if *r >= n_in && last_use[*r] <= i {
-                if let Some(row) = regs[*r].take() {
-                    vm.release(row);
-                }
-            }
-        }
-    }
-    match prog.output {
-        Output::Const(b) => {
-            let out = vm.alloc_row()?;
-            let src = if b { vm.one_row() } else { vm.zero_row() };
-            vm.substrate_mut().copy(src, out)?;
-            Ok(out)
-        }
-        Output::Reg(r) if r < n_in => {
-            let out = vm.alloc_row()?;
-            vm.substrate_mut().copy(inputs[r], out)?;
-            Ok(out)
-        }
-        Output::Reg(r) => Ok(regs[r].take().expect("output register defined")),
-    }
-}
-
-/// Convenience wrapper: stages packed operand columns into fresh rows,
-/// executes, reads the packed result back, and frees every staged row.
-///
-/// # Errors
-///
-/// Fails on operand mismatch, ragged lane counts, or row exhaustion.
-pub fn execute_packed<S: Substrate>(
-    vm: &mut SimdVm<S>,
-    prog: &SynthProgram,
-    operands: &[PackedBits],
-) -> Result<PackedBits> {
-    execute_packed_observed(vm, prog, operands, |_, _| {})
-}
-
-/// [`execute_packed`] with a per-step observer (see
-/// [`execute_on_vm_observed`]). The operand staging rows are taken as
-/// one [`simdram::RowLease`] and returned as one lease, so a
-/// scheduler's row accounting stays per job.
-///
-/// # Errors
-///
-/// Same conditions as [`execute_packed`].
-pub fn execute_packed_observed<S: Substrate, F: FnMut(usize, &crate::mapper::Step)>(
-    vm: &mut SimdVm<S>,
-    prog: &SynthProgram,
-    operands: &[PackedBits],
-    on_step: F,
-) -> Result<PackedBits> {
-    if operands.len() != prog.inputs.len() {
-        return Err(SynthError::InputMismatch {
-            expected: prog.inputs.len(),
-            got: operands.len(),
-        });
-    }
-    let lease = vm.lease_rows(operands.len())?;
-    let staged: Result<()> = (|| {
-        for (i, o) in operands.iter().enumerate() {
-            vm.substrate_mut().write_packed(lease.row(i), o)?;
-        }
-        Ok(())
-    })();
-    let result = staged.and_then(|()| execute_on_vm_observed(vm, prog, lease.rows(), on_step));
-    let out = match result {
-        Ok(out) => {
-            let packed = vm.substrate_mut().read_packed(out);
-            vm.release(out);
-            packed.map_err(SynthError::from)
-        }
-        Err(e) => Err(e),
-    };
-    vm.end_lease(lease);
-    out
-}
+use dram_core::{BankId, Bit, GlobalRow};
 
 /// Emits mapped programs as [`bender`] command schedules.
 ///
@@ -298,118 +147,10 @@ mod tests {
     use crate::dag::Circuit;
     use crate::expr::Expr;
     use crate::mapper::Mapper;
-    use simdram::HostSubstrate;
 
     fn mapped(text: &str) -> crate::mapper::Mapping {
         let cost = CostModel::table1_defaults();
         Mapper::new(&cost, 16).map(&Circuit::from_expr(&Expr::parse(text).unwrap()))
-    }
-
-    fn random_operands(n: usize, lanes: usize, seed: u64) -> Vec<PackedBits> {
-        (0..n)
-            .map(|i| {
-                let mut p = PackedBits::zeros(lanes);
-                for l in 0..lanes {
-                    let h = dram_core::math::mix3(seed, i as u64, l as u64);
-                    p.set(l, h & 1 == 1);
-                }
-                p
-            })
-            .collect()
-    }
-
-    #[test]
-    fn host_execution_is_bit_exact() {
-        for text in [
-            "a ^ b ^ c ^ d",
-            "(a & b) | (a & c) | (b & c)",
-            "!(a | b | c) & (d ^ e)",
-            "a",
-            "!a",
-            "a & !a",
-            "a | 1",
-        ] {
-            let expr = Expr::parse(text).unwrap();
-            let circuit = Circuit::from_expr(&expr);
-            let m = mapped(text);
-            let lanes = 130;
-            let ops = random_operands(circuit.inputs().len(), lanes, 0xBEEF);
-            let expect = circuit.eval_packed(&ops);
-            let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
-            let got = execute_packed(&mut vm, &m.program, &ops).unwrap();
-            assert_eq!(got, expect, "{text}");
-        }
-    }
-
-    #[test]
-    fn execution_frees_every_temporary() {
-        let m = mapped("(a & b & c & d) ^ (e | f | g | h)");
-        let lanes = 64;
-        let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
-        let live0 = vm.substrate().live_rows();
-        let ops = random_operands(8, lanes, 7);
-        let out = execute_packed(&mut vm, &m.program, &ops).unwrap();
-        assert_eq!(out.len(), lanes);
-        assert_eq!(
-            vm.substrate().live_rows(),
-            live0,
-            "all staged and temporary rows returned"
-        );
-    }
-
-    #[test]
-    fn observed_execution_sees_every_step_and_narrowed_stays_exact() {
-        let text = "(a & b & c & d & e & f & g & h) ^ !(i | j | k | l | m)";
-        let expr = Expr::parse(text).unwrap();
-        let circuit = Circuit::from_expr(&expr);
-        let m = mapped(text);
-        let lanes = 77;
-        let ops = random_operands(circuit.inputs().len(), lanes, 0x0B5E);
-        let expect = circuit.eval_packed(&ops);
-        for prog in [
-            m.program.clone(),
-            m.program.narrowed(3),
-            m.program.narrowed(2),
-        ] {
-            let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
-            let mut seen = Vec::new();
-            let got = execute_packed_observed(&mut vm, &prog, &ops, |i, s| {
-                seen.push((i, s.args.len()));
-            })
-            .unwrap();
-            assert_eq!(got, expect, "narrowed program diverged");
-            assert_eq!(seen.len(), prog.steps.len(), "observer missed steps");
-            for (k, (i, _)) in seen.iter().enumerate() {
-                assert_eq!(*i, k, "steps observed in order");
-            }
-        }
-    }
-
-    #[test]
-    fn operand_mismatch_is_rejected() {
-        let m = mapped("a & b");
-        let mut vm = SimdVm::new(HostSubstrate::new(8, 64)).unwrap();
-        let err = execute_packed(&mut vm, &m.program, &random_operands(1, 8, 1)).unwrap_err();
-        assert!(matches!(
-            err,
-            SynthError::InputMismatch {
-                expected: 2,
-                got: 1
-            }
-        ));
-    }
-
-    #[test]
-    fn vm_trace_matches_mapping() {
-        let m = mapped("(a ^ b) & (c | d | e)");
-        let lanes = 32;
-        let mut vm = SimdVm::new(HostSubstrate::new(lanes, 256)).unwrap();
-        let ops = random_operands(5, lanes, 3);
-        vm.clear_trace();
-        let _ = execute_packed(&mut vm, &m.program, &ops).unwrap();
-        // Staging writes/reads are host transfers; the in-DRAM op
-        // count must equal the mapping exactly.
-        assert_eq!(vm.trace().in_dram_ops(), m.native_ops);
     }
 
     #[test]

@@ -18,13 +18,6 @@ pub enum SynthError {
         /// Description of the problem.
         detail: String,
     },
-    /// The circuit references more inputs than the caller provided.
-    InputMismatch {
-        /// Inputs the program expects.
-        expected: usize,
-        /// Inputs provided.
-        got: usize,
-    },
     /// A cost-model JSON document was malformed.
     BadCostModel {
         /// Description of the problem.
@@ -48,9 +41,6 @@ impl fmt::Display for SynthError {
                 write!(f, "parse error at byte {at}: {detail}")
             }
             SynthError::BadTruthTable { detail } => write!(f, "bad truth table: {detail}"),
-            SynthError::InputMismatch { expected, got } => {
-                write!(f, "program expects {expected} inputs, got {got}")
-            }
             SynthError::BadCostModel { detail } => write!(f, "bad cost model: {detail}"),
             SynthError::OutOfRows { need, have } => {
                 write!(f, "program needs {need} rows, backend offers {have}")
@@ -61,12 +51,6 @@ impl fmt::Display for SynthError {
 }
 
 impl std::error::Error for SynthError {}
-
-impl From<simdram::SimdramError> for SynthError {
-    fn from(e: simdram::SimdramError) -> Self {
-        SynthError::Backend(e.to_string())
-    }
-}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SynthError>;

@@ -16,10 +16,14 @@
 //!    (measured per-(op, N) success rates from a characterization
 //!    sweep, or built-in Table-1 defaults), maximizing expected
 //!    whole-circuit success with op count and latency as tiebreakers;
-//! 4. **backends** ([`backend`]) — execution on a [`simdram::SimdVm`]
-//!    (bit-exact on the host substrate, characterized reliability on
-//!    DRAM) and emission as [`bender`] assembly for command-level
-//!    replay.
+//! 4. **emission** ([`backend`]) — the program as [`bender`] assembly
+//!    for command-level replay.
+//!
+//! *Execution* of mapped programs lives in the `fcexec` crate: one
+//! observer-driven engine ([`ExecBackend`](../fcexec) implementors)
+//! behind the `SimdVm` substrates and the command-schedule
+//! `BenderBackend`, replacing the four `execute_*` entry points this
+//! crate used to carry.
 //!
 //! ## Quickstart
 //!
@@ -32,17 +36,19 @@
 //! assert!(c.mapping.expected_success > 0.9);
 //! assert!(c.mapping.native_ops >= c.circuit.live_ops());
 //!
-//! // Execute on the exact host substrate and check one lane.
-//! use simdram::{HostSubstrate, SimdVm};
-//! let mut vm = SimdVm::new(HostSubstrate::new(4, 64))?;
-//! let rows: Vec<_> = (0..3)
-//!     .map(|_| vm.alloc_row().expect("row"))
-//!     .collect();
-//! vm.write_mask(rows[0], &[true, true, false, false])?;
-//! vm.write_mask(rows[1], &[true, false, true, false])?;
-//! vm.write_mask(rows[2], &[false, true, true, false])?;
-//! let out = fcsynth::backend::execute_on_vm(&mut vm, &c.mapping.program, &rows)?;
-//! assert_eq!(vm.read_mask(out)?, vec![true, true, true, false]);
+//! // The reference evaluator agrees with the majority truth table.
+//! let ops: Vec<fcdram::PackedBits> = [
+//!     [true, true, false, false],
+//!     [true, false, true, false],
+//!     [false, true, true, false],
+//! ]
+//! .iter()
+//! .map(|bits| fcdram::PackedBits::from_bools(bits))
+//! .collect();
+//! assert_eq!(
+//!     c.circuit.eval_packed(&ops).to_bools(),
+//!     vec![true, true, true, false]
+//! );
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -56,9 +62,7 @@ pub mod error;
 pub mod expr;
 pub mod mapper;
 
-pub use backend::{
-    execute_on_vm, execute_on_vm_observed, execute_packed, execute_packed_observed, BenderEmitter,
-};
+pub use backend::BenderEmitter;
 pub use cost::{CostModel, CostModelData, GateCost};
 pub use dag::{Circuit, Node, NodeId};
 pub use error::{Result, SynthError};

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example synth_logic`
 
 use fcdram::PackedBits;
-use fcsynth::{compile_expr, BenderEmitter, CostModel, Expr, Mapper, SynthError};
+use fcsynth::{compile_expr, BenderEmitter, CostModel, Expr, Mapper};
 use simdram::{HostSubstrate, SimdVm};
 
 fn report(title: &str, compiled: &fcsynth::Compiled, naive: &fcsynth::Mapping) {
@@ -37,7 +37,7 @@ fn report(title: &str, compiled: &fcsynth::Compiled, naive: &fcsynth::Mapping) {
     );
 }
 
-fn verify(compiled: &fcsynth::Compiled, lanes: usize) -> Result<(), SynthError> {
+fn verify(compiled: &fcsynth::Compiled, lanes: usize) -> Result<(), fcexec::ExecError> {
     let n = compiled.circuit.inputs().len();
     let operands: Vec<PackedBits> = (0..n)
         .map(|i| {
@@ -53,7 +53,7 @@ fn verify(compiled: &fcsynth::Compiled, lanes: usize) -> Result<(), SynthError> 
         .collect();
     let expect = compiled.circuit.eval_packed(&operands);
     let mut vm = SimdVm::new(HostSubstrate::new(lanes, 512))?;
-    let got = fcsynth::execute_packed(&mut vm, &compiled.mapping.program, &operands)?;
+    let got = fcexec::execute_packed(&mut vm, &compiled.mapping.program, &operands)?;
     assert_eq!(got, expect, "SimdVm diverged from the reference evaluator");
     println!(
         "verified on SimdVm<HostSubstrate>: {lanes} lanes bit-exact, {} in-DRAM ops\n",
@@ -62,7 +62,7 @@ fn verify(compiled: &fcsynth::Compiled, lanes: usize) -> Result<(), SynthError> 
     Ok(())
 }
 
-fn main() -> Result<(), SynthError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measured costs would come from `characterize fleet
     // --export-costs`; the built-in defaults carry the paper's
     // Table-1 population means.

@@ -8,4 +8,5 @@
 pub use characterize;
 pub use dram_core;
 pub use fcdram;
+pub use fcexec;
 pub use simdram;

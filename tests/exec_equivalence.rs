@@ -1,0 +1,339 @@
+//! Execution-backend equivalence: one engine, interchangeable
+//! backends.
+//!
+//! * Arbitrary synthesized programs produce **bit-identical** results
+//!   on the Substrate/VM backend (`SimdVm<DramSubstrate>`) and the
+//!   bender command-level backend (`fcexec::BenderBackend`), in both
+//!   the fast and the full simulation fidelity — the tentpole claim of
+//!   the unified execution layer. The two backends drive the same
+//!   module configuration through different interfaces (bulk-engine
+//!   calls vs combined cycle-timed DDR4 command programs), so their
+//!   agreement pins that the command schedules reproduce the exact
+//!   device-call sequence.
+//! * The engine on the host golden model matches the reference
+//!   evaluator for random expressions, in both I/O modes, and the
+//!   observer sees every step in order on every backend.
+//! * Lease safety: `SimdVm::lease_rows`/`end_lease` driven through
+//!   `ExecBackend::stage` and `dram_core::FleetSlots` stay
+//!   all-or-nothing and reusable under randomized interleavings.
+
+mod common;
+
+use common::{random_expr, random_operands};
+use dram_core::{BankId, SimFidelity, SubarrayId};
+use fcdram::{BulkEngine, Fcdram, PackedBits};
+use fcexec::{execute_packed, execute_packed_with, execute_with, BenderBackend, ExecBackend};
+use fcsynth::CostModel;
+use proptest::prelude::*;
+use simdram::{DramSubstrate, HostSubstrate, SimdVm};
+
+/// A fresh bulk engine over chip 0 of the first Table-1 part (64
+/// modeled columns keep the device model fast) at the given fidelity.
+fn engine(fidelity: SimFidelity) -> BulkEngine {
+    let cfg = dram_core::config::table1().remove(0).with_modeled_cols(64);
+    let mut e = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0)).unwrap();
+    e.set_fidelity(fidelity);
+    e
+}
+
+// ---------------------------------------------------------------------
+// vm backend vs bender command-level backend, fast and full fidelity
+// ---------------------------------------------------------------------
+
+/// The tentpole pin: for a spread of synthesized programs (wide gates,
+/// inverted terminals, XOR trees, passthroughs, constants, narrowed
+/// re-mappings), all four executions — {vm, bender} × {fast, full} —
+/// produce the same bits.
+#[test]
+fn backends_bit_identical_in_both_fidelities() {
+    let cost = CostModel::table1_defaults();
+    let mut cases: Vec<String> = [
+        "a & b",
+        "!(a | b | c)",
+        "(a ^ b) & (c | d)",
+        "a&b&c&d&e&f&g&h&i&j&k&l&m&n&o&p",
+        "!a",
+        "a",
+        "a & !a",
+        "a | 1",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for case in 0..4u64 {
+        cases.push(random_expr(1 + (case as usize * 3) % 8, 0xE0_0E + case, 8));
+    }
+    for (ci, text) in cases.iter().enumerate() {
+        let compiled = fcsynth::compile(text, &cost, 16).unwrap();
+        let k = compiled.circuit.inputs().len();
+        let programs = [
+            compiled.mapping.program.clone(),
+            compiled.mapping.program.narrowed(2),
+        ];
+        for (pi, prog) in programs.iter().enumerate() {
+            let mut results: Vec<(String, PackedBits)> = Vec::new();
+            for fidelity in [SimFidelity::fast(), SimFidelity::full()] {
+                let mut vm = SimdVm::new(DramSubstrate::new(engine(fidelity))).unwrap();
+                let lanes = ExecBackend::lanes(&vm);
+                let ops = random_operands(k, lanes, 0xC0FFEE ^ (ci as u64) << 8 ^ pi as u64);
+                let via_vm = execute_packed(&mut vm, prog, &ops).unwrap();
+                results.push((format!("vm/{:?}", fidelity.telemetry), via_vm));
+
+                let mut cmd = BenderBackend::new(engine(fidelity)).unwrap();
+                assert_eq!(cmd.lanes(), lanes);
+                let via_cmd = execute_packed(&mut cmd, prog, &ops).unwrap();
+                results.push((format!("bender/{:?}", fidelity.telemetry), via_cmd));
+            }
+            let (ref first_name, ref first) = results[0];
+            for (name, bits) in &results[1..] {
+                assert_eq!(
+                    bits, first,
+                    "{text} (variant {pi}): {name} diverged from {first_name}"
+                );
+            }
+        }
+    }
+}
+
+/// The observer reports the same step sequence on both backends.
+#[test]
+fn observer_is_backend_independent() {
+    let cost = CostModel::table1_defaults();
+    let text = "(a & b & c & d) ^ !(e | f | g)";
+    let compiled = fcsynth::compile(text, &cost, 16).unwrap();
+    let prog = &compiled.mapping.program;
+    let ops = |lanes: usize| random_operands(compiled.circuit.inputs().len(), lanes, 0xAB);
+
+    let mut vm = SimdVm::new(DramSubstrate::new(engine(SimFidelity::fast()))).unwrap();
+    let lanes = ExecBackend::lanes(&vm);
+    let mut vm_steps = Vec::new();
+    execute_packed_with(&mut vm, prog, &ops(lanes), |i, s| {
+        vm_steps.push((i, s.op, s.args.len()));
+    })
+    .unwrap();
+
+    let mut cmd = BenderBackend::new(engine(SimFidelity::fast())).unwrap();
+    let mut cmd_steps = Vec::new();
+    execute_packed_with(&mut cmd, prog, &ops(lanes), |i, s| {
+        cmd_steps.push((i, s.op, s.args.len()));
+    })
+    .unwrap();
+
+    assert_eq!(vm_steps, cmd_steps, "observers saw different walks");
+    assert_eq!(vm_steps.len(), prog.steps.len());
+    for (k, (i, _, _)) in vm_steps.iter().enumerate() {
+        assert_eq!(*i, k, "steps observed in order");
+    }
+}
+
+// ---------------------------------------------------------------------
+// host golden model: engine vs reference evaluator, both I/O modes
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random expressions execute bit-exactly on the host backend
+    /// through the unified engine, and the row-mode entry point
+    /// agrees with the packed mode.
+    #[test]
+    fn engine_matches_reference_on_host(
+        n in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let text = random_expr(n, seed, 12);
+        let cost = CostModel::table1_defaults();
+        let compiled = fcsynth::compile(&text, &cost, 16)
+            .map_err(|e| format!("{text}: {e}"))?;
+        let k = compiled.circuit.inputs().len();
+        let lanes = 67; // off word boundary to exercise tail masking
+        let operands = random_operands(k, lanes, seed ^ 1);
+        let expect = if k == 0 {
+            PackedBits::splat(compiled.expr.eval(&[]), lanes)
+        } else {
+            compiled.circuit.eval_packed(&operands)
+        };
+        let prog = &compiled.mapping.program;
+
+        let mut vm = SimdVm::new(HostSubstrate::new(lanes, 512)).map_err(|e| e.to_string())?;
+        let packed = execute_packed(&mut vm, prog, &operands)
+            .map_err(|e| format!("{text}: {e}"))?;
+        prop_assert_eq!(&packed, &expect, "{}: packed mode diverged", text);
+
+        // Row mode: stage manually, run on rows, read back.
+        let lease = vm.stage(&operands).map_err(|e| e.to_string())?;
+        let rows = <SimdVm<HostSubstrate> as ExecBackend>::lease_rows(&lease).to_vec();
+        let out = execute_with(&mut vm, prog, &rows, |_, _| {})
+            .map_err(|e| format!("{text}: {e}"))?;
+        let via_rows = vm.read_row(out).map_err(|e| e.to_string())?;
+        ExecBackend::release(&mut vm, out);
+        vm.end_stage(lease);
+        prop_assert_eq!(&via_rows, &expect, "{}: row mode diverged", text);
+    }
+}
+
+// ---------------------------------------------------------------------
+// lease safety under randomized interleavings
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SimdVm::lease_rows`/`end_lease`, driven through
+    /// `ExecBackend::stage`/`end_stage`, stay all-or-nothing and
+    /// reusable: a failed stage never leaks a row, live rows always
+    /// equal the outstanding leases, and full capacity remains
+    /// leasable after every interleaving.
+    #[test]
+    fn vm_leases_are_all_or_nothing_and_reusable(
+        script in prop::collection::vec((0u8..3, 1usize..6, any::<u64>()), 1..24),
+    ) {
+        let lanes = 9usize;
+        let capacity = 12usize; // 2 constants + 10 leasable rows
+        let mut vm = SimdVm::new(HostSubstrate::new(lanes, capacity))
+            .map_err(|e| e.to_string())?;
+        let base = vm.substrate().live_rows();
+        let cost = CostModel::table1_defaults();
+        let tiny = fcsynth::compile("a & b", &cost, 16).map_err(|e| e.to_string())?;
+        let mut held: Vec<simdram::RowLease> = Vec::new();
+        let mut held_rows = 0usize;
+        for (kind, k, seed) in script {
+            match kind {
+                // Stage k operands through the backend trait.
+                0 => {
+                    let operands = random_operands(k, lanes, seed);
+                    let live_before = vm.substrate().live_rows();
+                    match vm.stage(&operands) {
+                        Ok(lease) => {
+                            held_rows += k;
+                            held.push(lease);
+                        }
+                        Err(_) => {
+                            prop_assert_eq!(
+                                vm.substrate().live_rows(), live_before,
+                                "failed stage leaked rows"
+                            );
+                        }
+                    }
+                }
+                // Return the oldest outstanding lease.
+                1 => {
+                    if !held.is_empty() {
+                        let lease = held.remove(0);
+                        held_rows -= lease.len();
+                        vm.end_stage(lease);
+                    }
+                }
+                // Execute a program through the engine; it must net
+                // to zero rows whether it succeeds or runs out.
+                _ => {
+                    let operands = random_operands(2, lanes, seed);
+                    let live_before = vm.substrate().live_rows();
+                    let _ = execute_packed(&mut vm, &tiny.mapping.program, &operands);
+                    prop_assert_eq!(
+                        vm.substrate().live_rows(), live_before,
+                        "execution leaked rows"
+                    );
+                }
+            }
+            prop_assert_eq!(
+                vm.substrate().live_rows(), base + held_rows,
+                "live rows diverged from outstanding leases"
+            );
+        }
+        for lease in held.drain(..) {
+            vm.end_stage(lease);
+        }
+        prop_assert_eq!(vm.substrate().live_rows(), base);
+        // Full capacity is still leasable: nothing was lost.
+        let full = vm.lease_rows(capacity - base).map_err(|e| e.to_string())?;
+        vm.end_lease(full);
+    }
+
+    /// `dram_core::FleetSlots` stays all-or-nothing and reusable under
+    /// randomized lease/release/reset interleavings (the planner's
+    /// placement substrate), with jobs executing through the backend
+    /// between slot operations exactly as the serving path does.
+    #[test]
+    fn fleet_slots_all_or_nothing_and_reusable(
+        script in prop::collection::vec((0u8..4, 0usize..3, 1usize..600), 1..32),
+    ) {
+        let fleet = dram_core::FleetConfig::table1(3);
+        let mut slots = dram_core::fleet::FleetSlots::new(&fleet, 16);
+        let baseline: Vec<usize> = (0..fleet.len()).map(|m| slots.free_rows(m)).collect();
+        let largest: Vec<usize> = (0..fleet.len()).map(|m| slots.largest_lease(m)).collect();
+        let mut held: Vec<dram_core::fleet::SlotLease> = Vec::new();
+        let mut held_rows: Vec<usize> = vec![0; fleet.len()];
+        let cost = CostModel::table1_defaults();
+        let tiny = fcsynth::compile("a | b", &cost, 16).map_err(|e| e.to_string())?;
+        for (kind, member, rows) in script {
+            match kind {
+                // Lease: either the full request is granted or the
+                // member's accounting is untouched.
+                0 | 1 => {
+                    let free_before = slots.free_rows(member);
+                    match slots.lease_on(member, rows) {
+                        Some(lease) => {
+                            prop_assert_eq!(lease.slot.rows, rows);
+                            prop_assert_eq!(
+                                slots.free_rows(member), free_before - rows,
+                                "lease accounting drifted"
+                            );
+                            held_rows[member] += rows;
+                            held.push(lease);
+                        }
+                        None => {
+                            prop_assert_eq!(
+                                slots.free_rows(member), free_before,
+                                "refused lease still consumed rows"
+                            );
+                        }
+                    }
+                }
+                // Release the oldest lease.
+                2 => {
+                    if !held.is_empty() {
+                        let lease = held.remove(0);
+                        held_rows[lease.slot.member] -= lease.slot.rows;
+                        slots.release(lease);
+                    }
+                }
+                // Wave rollover: recycle one member, dropping its
+                // outstanding leases like the planner does.
+                _ => {
+                    slots.reset_member(member);
+                    let mut kept = Vec::new();
+                    for lease in held.drain(..) {
+                        if lease.slot.member == member {
+                            held_rows[member] -= lease.slot.rows;
+                        } else {
+                            kept.push(lease);
+                        }
+                    }
+                    held = kept;
+                    // A job executes between slot operations, as in
+                    // the serving path; slot accounting is untouched.
+                    let mut vm = SimdVm::new(HostSubstrate::new(8, 16))
+                        .map_err(|e| e.to_string())?;
+                    let operands = random_operands(2, 8, rows as u64);
+                    let _ = execute_packed(&mut vm, &tiny.mapping.program, &operands)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            for m in 0..fleet.len() {
+                prop_assert_eq!(
+                    slots.free_rows(m), baseline[m] - held_rows[m],
+                    "member {} accounting diverged", m
+                );
+            }
+        }
+        // Release everything: capacity fully recovers.
+        for lease in held.drain(..) {
+            slots.release(lease);
+        }
+        for m in 0..fleet.len() {
+            prop_assert_eq!(slots.free_rows(m), baseline[m]);
+            prop_assert_eq!(slots.largest_lease(m), largest[m], "member {} lost slots", m);
+        }
+    }
+}

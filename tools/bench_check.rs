@@ -30,9 +30,14 @@
 //! or mapped-op count is a pipeline-shape change too, not an
 //! improvement to wave through. With no flag, the default set covers
 //! the engine hot path (tolerance), the three deterministic
-//! `synth_mapped_ops/*` counts from `ablation_synth` (exact), and the
+//! `synth_mapped_ops/*` counts from `ablation_synth` (exact), the
 //! deterministic `sched_jobs/mix` + `sched_native_ops/mix`
-//! batch-shape counts from `ablation_sched` (exact).
+//! batch-shape counts from `ablation_sched` (exact), and the
+//! execution-backend parity counts from `ablation_exec` (exact):
+//! `exec_native_ops/vm` and `exec_native_ops/bender` must both equal
+//! the committed baseline — so the VM and command-schedule backends
+//! drifting apart in either direction fails the gate — plus the
+//! cycle-accurate `exec_schedule_ns/mix` latency-model pin.
 //!
 //! Every requested check is evaluated — missing ids, unreadable
 //! artifacts, and regressions are all collected and listed together
@@ -161,6 +166,16 @@ fn main() -> ExitCode {
         }
         for id in ["sched_jobs/mix", "sched_native_ops/mix"] {
             checks.push((Some("BENCH_sched.json".to_string()), id.to_string(), true));
+        }
+        // Backend parity: both counts are exact-gated against the same
+        // baseline value, so the vm and bender backends cannot drift
+        // apart in either direction without failing the gate.
+        for id in [
+            "exec_native_ops/vm",
+            "exec_native_ops/bender",
+            "exec_schedule_ns/mix",
+        ] {
+            checks.push((Some("BENCH_exec.json".to_string()), id.to_string(), true));
         }
     }
 
