@@ -102,12 +102,16 @@ skip_stage() {
 }
 
 # Guards the *committed* bench artifacts: fails when any gated entry
-# of BENCH_engine.json / BENCH_synth.json / BENCH_sched.json regresses
-# >20% against tools/bench_baseline.json (all problems are listed, not
-# just the first). It does not re-run the benchmarks — a fresh
-# regression is caught when the artifacts are next regenerated
+# of BENCH_engine.json / BENCH_synth.json / BENCH_sched.json /
+# BENCH_exec.json / BENCH_faults.json regresses >20% against
+# tools/bench_baseline.json — deterministic count entries (mapped ops,
+# batch shape, backend parity, degradation ledger) are exact-gated in
+# both directions (all problems are listed, not just the first). It
+# does not re-run the benchmarks — a fresh regression is caught when
+# the artifacts are next regenerated
 # (`cargo bench -p fcdram-bench --bench ablation_engine` /
-# `ablation_synth` / `ablation_sched`).
+# `ablation_synth` / `ablation_sched` / `ablation_exec` /
+# `ablation_faults`).
 bench_check() {
   mkdir -p target/tools
   rustc -O --edition 2021 tools/bench_check.rs -o target/tools/bench_check \
@@ -127,19 +131,28 @@ synth_smoke() {
 }
 
 # Determinism gate: the fidelity invariant enforced byte-for-byte.
-#   1. the scheduler and execution-backend equivalence suites;
+#   1. the scheduler, execution-backend, and fault-injection
+#      equivalence suites;
 #   2. a quick fleet sweep run twice with the same parameters — the
 #      two JSON reports must be byte-identical (run-to-run
 #      determinism);
 #   3. a serve batch run on *each* execution backend (vm and bender)
 #      with different shard counts — each backend's JSON report must
 #      be byte-identical across shard counts (shard invariance at
-#      both cost-model and command-schedule fidelity).
+#      both cost-model and command-schedule fidelity);
+#   4. the same serve under the demo fault plan (disturbance
+#      mitigation, derated success, one scripted mid-session chip
+#      dropout): each backend's faulted report must stay
+#      byte-identical across shard counts, and the fleet-health
+#      ledger must be byte-identical across *all four* runs — shards
+#      and backends — because the planner derives it from
+#      (fleet, batch, policy) alone.
 determinism() {
   mkdir -p target/tools
   cargo build --release -p characterize || return 1
   cargo test -q --test sched_equivalence || return 1
   cargo test -q --test exec_equivalence || return 1
+  cargo test -q --test fault_equivalence || return 1
   local bin=target/release/characterize
   "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_a.json >/dev/null \
     && "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_b.json >/dev/null \
@@ -154,7 +167,22 @@ determinism() {
       && cmp "target/tools/det_serve_${backend}_a.json" "target/tools/det_serve_${backend}_b.json" \
       || { echo "determinism: $backend serve reports differ across shard counts" >&2; return 1; }
   done
-  echo "determinism: fleet and serve (vm + bender) reports byte-identical"
+  for backend in vm bender; do
+    "$bin" serve --jobs 24 --chips 3 --shards 1 --seed 7 --lanes 64 --backend "$backend" \
+        --faults demo --json "target/tools/det_faults_${backend}_a.json" \
+        --health-json "target/tools/det_health_${backend}_a.json" >/dev/null \
+      && "$bin" serve --jobs 24 --chips 3 --shards 5 --seed 7 --lanes 64 --backend "$backend" \
+           --faults demo --json "target/tools/det_faults_${backend}_b.json" \
+           --health-json "target/tools/det_health_${backend}_b.json" >/dev/null \
+      && cmp "target/tools/det_faults_${backend}_a.json" "target/tools/det_faults_${backend}_b.json" \
+      || { echo "determinism: $backend faulted serve reports differ across shard counts" >&2; return 1; }
+  done
+  cmp target/tools/det_health_vm_a.json target/tools/det_health_vm_b.json \
+    && cmp target/tools/det_health_vm_a.json target/tools/det_health_bender_a.json \
+    && cmp target/tools/det_health_vm_a.json target/tools/det_health_bender_b.json \
+    || { echo "determinism: fleet-health ledger differs across shards/backends" >&2; return 1; }
+  echo "determinism: fleet, serve, and faulted serve (vm + bender) reports byte-identical;" \
+       "fleet-health ledger identical across shards and backends"
 }
 
 wants() {

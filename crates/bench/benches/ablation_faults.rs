@@ -1,0 +1,163 @@
+//! Ablation: serving cost and degradation bookkeeping under the demo
+//! fault plan.
+//!
+//! Serves the 48-job `characterize serve` demo mix on a 6-chip fleet
+//! with and without `FaultPlan::demo()` and writes a
+//! `BENCH_faults.json` summary at the repository root in the same
+//! shape as `BENCH_sched.json`.
+//!
+//! Derived entries:
+//!
+//! * `faults_overhead/demo` — faulted/clean mean-time ratio: what the
+//!   disturbance charging, derated retries, mitigation scheduling, and
+//!   dropout re-placement cost on top of a clean serve (wall-clock,
+//!   machine-dependent — reported, not gated);
+//! * `faults_mitigations/demo`, `faults_dropouts/demo`,
+//!   `faults_replaced/demo`, `faults_diverted/demo`,
+//!   `faults_disturbance/demo` — **deterministic** degradation-ledger
+//!   counts (value in `mean_ns`). The planner derives the fleet-health
+//!   ledger from `(fleet, batch, policy)` alone, so these are exact on
+//!   every machine; `tools/bench_check.rs` gates them in both
+//!   directions — a fault-model change that schedules one mitigation
+//!   more *or* less fails CI until the baseline is bumped
+//!   deliberately.
+
+use characterize::serve::{build_batch, DEMO_MIX};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::FleetConfig;
+use fcsched::{serve_batch, Batch, FaultPlan, SchedPolicy};
+use fcsynth::CostModel;
+
+/// Fleet size: enough members that the demo dropout leaves headroom.
+const CHIPS: usize = 6;
+/// Batch size: the `characterize serve` demo scale.
+const JOBS: usize = 48;
+/// SIMD lanes per job.
+const LANES: usize = 256;
+
+fn demo_batch(cost: &CostModel) -> Batch {
+    let exprs: Vec<String> = DEMO_MIX.iter().map(|s| s.to_string()).collect();
+    build_batch(&exprs, JOBS, LANES, 0xBA7C4, cost, 16).expect("demo mix compiles")
+}
+
+fn policy(faults: Option<FaultPlan>) -> SchedPolicy {
+    SchedPolicy {
+        faults,
+        ..SchedPolicy::default().with_shards(1)
+    }
+}
+
+/// One full schedule+execute pass; returns the retry count so the
+/// work cannot be optimized away.
+fn serve(batch: &Batch, cost: &CostModel, faults: Option<FaultPlan>) -> u64 {
+    let fleet = FleetConfig::table1(CHIPS);
+    let report = serve_batch(&fleet, cost, &policy(faults), batch).expect("batch schedules");
+    assert_eq!(report.jobs(), JOBS);
+    report.total_retries()
+}
+
+fn bench(c: &mut Criterion) {
+    let cost = CostModel::table1_defaults();
+    let batch = demo_batch(&cost);
+    c.bench_function("faults_serve/clean", |b| {
+        b.iter(|| black_box(serve(&batch, &cost, None)));
+    });
+    c.bench_function("faults_serve/demo", |b| {
+        b.iter(|| black_box(serve(&batch, &cost, Some(FaultPlan::demo()))));
+    });
+    write_summary(&cost, &batch);
+}
+
+/// Writes the wall-clock measurements plus the deterministic
+/// degradation-ledger counts to `BENCH_faults.json`.
+fn write_summary(cost: &CostModel, batch: &Batch) {
+    let results = criterion::results();
+    let mean_of =
+        |id: &str| -> Option<f64> { results.iter().find(|r| r.id == id).map(|r| r.mean_ns) };
+    let mut entries: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::Value::Object(vec![
+                ("id".to_string(), serde_json::Value::Str(r.id.clone())),
+                ("mean_ns".to_string(), serde_json::Value::Float(r.mean_ns)),
+                (
+                    "median_ns".to_string(),
+                    serde_json::Value::Float(r.median_ns),
+                ),
+                (
+                    "iterations".to_string(),
+                    serde_json::Value::UInt(r.iterations),
+                ),
+            ])
+        })
+        .collect();
+    let mut derived = |id: String, value: f64, iterations: u64| {
+        entries.push(serde_json::Value::Object(vec![
+            ("id".to_string(), serde_json::Value::Str(id)),
+            ("mean_ns".to_string(), serde_json::Value::Float(value)),
+            ("median_ns".to_string(), serde_json::Value::Float(value)),
+            (
+                "iterations".to_string(),
+                serde_json::Value::UInt(iterations),
+            ),
+        ]));
+    };
+    if let (Some(clean), Some(faulted)) =
+        (mean_of("faults_serve/clean"), mean_of("faults_serve/demo"))
+    {
+        let overhead = faulted / clean;
+        println!("fault-plan serving overhead: {overhead:.3}x over clean");
+        derived("faults_overhead/demo".to_string(), overhead, 1);
+    }
+    // Deterministic degradation ledger of the demo plan on the 6-chip
+    // fleet: what the planner scheduled, independent of wall clock.
+    let fleet = FleetConfig::table1(CHIPS);
+    let report = serve_batch(&fleet, cost, &policy(Some(FaultPlan::demo())), batch)
+        .expect("batch schedules");
+    let health = report.health.as_ref().expect("fault plan yields health");
+    println!(
+        "faults/demo ledger: {} disturbance acts, {} mitigations, {} diverted, \
+         {} dropout(s), {} job(s) re-placed",
+        health.total_disturbance(),
+        health.total_mitigations(),
+        health.total_diverted(),
+        health.dropouts.len(),
+        health.replaced_jobs
+    );
+    derived(
+        "faults_mitigations/demo".to_string(),
+        health.total_mitigations() as f64,
+        JOBS as u64,
+    );
+    derived(
+        "faults_dropouts/demo".to_string(),
+        health.dropouts.len() as f64,
+        CHIPS as u64,
+    );
+    derived(
+        "faults_replaced/demo".to_string(),
+        health.replaced_jobs as f64,
+        JOBS as u64,
+    );
+    derived(
+        "faults_diverted/demo".to_string(),
+        health.total_diverted() as f64,
+        JOBS as u64,
+    );
+    derived(
+        "faults_disturbance/demo".to_string(),
+        health.total_disturbance() as f64,
+        JOBS as u64,
+    );
+    let json = serde_json::to_string_pretty(&entries).expect("summary serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(path, json).expect("summary written");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -20,6 +20,7 @@ usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
                           [--retries R] [--min-success X] [--no-remap]
                           [--costs PATH] [--module NAME] [--fan-in N]
                           [--backend {vm,bender}] [--json PATH]
+                          [--faults PLAN.json|demo] [--health-json PATH]
 
 EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
@@ -83,6 +84,19 @@ wall-clock throughput on stderr varies:
                 host-exact on both; only the declared latency fields
                 of the report move.
 --json PATH     additionally write the tables as JSON
+--faults F      run a degradation scenario: F is a FaultPlan JSON file
+                or the literal 'demo' (built-in scenario: aggressive
+                disturbance threshold + one scripted mid-session chip
+                dropout). Adds read-disturbance accumulation with
+                planner-scheduled mitigation stealing lease bandwidth,
+                MIL-HDBK-217F hazard-rate aging, and deterministic
+                dropout handling with in-flight job re-placement; the
+                report gains serve-health and serve-dropouts tables
+                that are byte-identical for every --shards value and
+                both backends
+--health-json PATH  write the fleet-health ledger alone as JSON (the
+                artifact CI byte-diffs across shard counts and
+                backends)
 ";
 
 /// Takes the next argument as a string, printing a diagnostic when it
@@ -247,6 +261,8 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
     let mut costs_path: Option<String> = None;
     let mut module: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut faults_arg: Option<String> = None;
+    let mut health_json_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -301,6 +317,14 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
             },
             "--json" => match str_arg(&mut it, "--json") {
                 Some(p) => json_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--faults" => match str_arg(&mut it, "--faults") {
+                Some(f) => faults_arg = Some(f),
+                None => return ExitCode::FAILURE,
+            },
+            "--health-json" => match str_arg(&mut it, "--health-json") {
+                Some(p) => health_json_path = Some(p),
                 None => return ExitCode::FAILURE,
             },
             "--help" | "-h" => {
@@ -376,12 +400,37 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let faults = match &faults_arg {
+        Some(f) if f == "demo" => Some(fcsched::FaultPlan::demo()),
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fcsched::FaultPlan::from_json(&json) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    if health_json_path.is_some() && faults.is_none() {
+        eprintln!("--health-json needs --faults (no fleet-health ledger otherwise)\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let policy = fcsched::SchedPolicy {
         min_success,
         retry_budget: retries,
         allow_remap,
         shards,
         backend,
+        faults,
         ..fcsched::SchedPolicy::default()
     };
     eprintln!(
@@ -415,6 +464,14 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
     }
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, to_json(&tables)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = health_json_path {
+        let health = report.health.as_ref().expect("--faults was required above");
+        if let Err(e) = std::fs::write(&path, health.to_json()) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }

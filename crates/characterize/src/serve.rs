@@ -112,6 +112,10 @@ pub fn tables(
         ("flagged", report.flagged() as f64),
         ("native ops", report.native_ops() as f64),
         ("retries", report.total_retries() as f64),
+        ("retried jobs", report.retried_jobs() as f64),
+        ("failed jobs", report.failed_jobs() as f64),
+        ("failed ops", report.total_failed_ops() as f64),
+        ("replaced jobs", report.total_replacements() as f64),
         ("chips", report.chips as f64),
         ("waves", report.waves as f64),
         ("modeled latency (us)", report.total_latency_ns() / 1e3),
@@ -209,7 +213,83 @@ pub fn tables(
             }),
         );
     }
-    vec![summary, latency, chips]
+    let mut out = vec![summary, latency, chips];
+
+    // Degradation scenarios append the fleet-health ledger: the
+    // planner computes it from (fleet, batch, policy) alone, so these
+    // tables are byte-identical across shard counts *and* backends.
+    if let Some(h) = &report.health {
+        let mut health = Table::new(
+            "serve-health",
+            "Per-chip fault ledger: hazard, disturbance, mitigation, dropout",
+            "chip",
+            vec![
+                "hazard (/1e6 h)".into(),
+                "fail at (us)".into(),
+                "disturb acts".into(),
+                "mitigations".into(),
+                "mitigation (us)".into(),
+                "diverted".into(),
+                "dropped at (us)".into(),
+            ],
+        );
+        for m in &h.members {
+            let spec = fleet.spec(m.member);
+            health.push_row(
+                Row::opt(
+                    m.chip.clone(),
+                    vec![
+                        Some(m.hazard_per_mhours),
+                        m.fail_at_ns.map(|v| v / 1e3),
+                        Some(m.disturbance_acts as f64),
+                        Some(m.mitigations as f64),
+                        Some(m.mitigation_ns / 1e3),
+                        Some(m.diverted as f64),
+                        m.dropped_at_ns.map(|v| v / 1e3),
+                    ],
+                )
+                .with_origin(RowOrigin {
+                    module: spec.cfg.name.clone(),
+                    chip: spec.chip.index(),
+                    manufacturer: spec.cfg.manufacturer.to_string(),
+                }),
+            );
+        }
+        health.note(format!(
+            "fault seed {}; {} mitigation(s) stole {:.2} us of serving bandwidth",
+            h.plan_seed,
+            h.total_mitigations(),
+            h.total_mitigation_ns() / 1e3,
+        ));
+
+        let mut dropouts = Table::new(
+            "serve-dropouts",
+            "Dropout timeline: when each chip died and what was re-placed",
+            "chip",
+            vec!["at (us)".into(), "during job".into(), "re-placed".into()],
+        );
+        for d in &h.dropouts {
+            let spec = fleet.spec(d.member);
+            dropouts.push_row(
+                Row::new(
+                    d.chip.clone(),
+                    vec![d.at_ns / 1e3, d.job as f64, d.replaced as f64],
+                )
+                .with_origin(RowOrigin {
+                    module: spec.cfg.name.clone(),
+                    chip: spec.chip.index(),
+                    manufacturer: spec.cfg.manufacturer.to_string(),
+                }),
+            );
+        }
+        dropouts.note(format!(
+            "{} job(s) re-placed; every re-placed job still returns host-exact bits",
+            h.replaced_jobs
+        ));
+        out.push(health);
+        out.push(dropouts);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -263,6 +343,50 @@ mod tests {
         assert_eq!(serial, run(4), "tables shard-invariant byte for byte");
         assert!(serial.contains("serve-summary"));
         assert!(serial.contains("serve-chips"));
+    }
+
+    #[test]
+    fn fault_scenarios_append_health_tables() {
+        let cost = CostModel::table1_defaults();
+        let fleet = FleetConfig::table1(3);
+        let batch = build_batch(&demo(), 24, 16, 3, &cost, 16).unwrap();
+        let faults = fcsched::FaultPlan {
+            aging: fcsched::AgingPolicy {
+                acceleration: 0.0,
+                ..fcsched::AgingPolicy::default()
+            },
+            dropouts: vec![fcsched::PlannedDropout {
+                member: 1,
+                after_ns: 500.0,
+            }],
+            ..fcsched::FaultPlan::demo()
+        };
+        let run = |shards: usize, backend: fcsched::BackendKind| {
+            let report = fcsched::serve_batch(
+                &fleet,
+                &cost,
+                &SchedPolicy {
+                    faults: Some(faults.clone()),
+                    shards,
+                    backend,
+                    ..SchedPolicy::default()
+                },
+                &batch,
+            )
+            .unwrap();
+            let ts = tables(&report, &fleet, &fcsched::ideal_cost(&batch, &cost));
+            assert_eq!(ts.len(), 5, "health + dropout tables appended");
+            assert_eq!(ts[3].id, "serve-health");
+            assert_eq!(ts[4].id, "serve-dropouts");
+            assert_eq!(ts[4].rows.len(), 1, "one scripted dropout");
+            // The health tables alone, as JSON: must be identical
+            // across shard counts AND backends.
+            crate::report::to_json(&ts[3..])
+        };
+        let base = run(1, fcsched::BackendKind::Vm);
+        assert_eq!(base, run(5, fcsched::BackendKind::Vm));
+        assert_eq!(base, run(1, fcsched::BackendKind::Bender));
+        assert_eq!(base, run(5, fcsched::BackendKind::Bender));
     }
 
     #[test]

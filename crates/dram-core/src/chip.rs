@@ -19,6 +19,7 @@ use crate::analog::{classify_margin, MarginClass};
 use crate::bank::{Bank, OpenRows};
 use crate::config::ModuleConfig;
 use crate::error::{DramError, Result};
+use crate::fault::{DisturbancePolicy, DisturbanceState};
 use crate::fidelity::{SimFidelity, Telemetry};
 use crate::geometry::Geometry;
 use crate::math::{mix3, normal_cdf};
@@ -306,6 +307,8 @@ pub struct Chip {
     op_counter: u64,
     fidelity: SimFidelity,
     cache: VariationCache,
+    disturbance: DisturbanceState,
+    disturb_policy: Option<DisturbancePolicy>,
 }
 
 impl Chip {
@@ -335,6 +338,8 @@ impl Chip {
             op_counter: 0,
             fidelity: SimFidelity::default(),
             cache: VariationCache::new(),
+            disturbance: DisturbanceState::new(geom.banks() * geom.subarrays_per_bank()),
+            disturb_policy: None,
         }
     }
 
@@ -400,6 +405,63 @@ impl Chip {
         self.temperature = t;
     }
 
+    /// Read-disturbance counters, one zone per `(bank, subarray)` in
+    /// bank-major order. Always charged (pure bookkeeping, identical
+    /// in both simulation fidelities); derating only applies when a
+    /// [`DisturbancePolicy`] is installed.
+    #[inline]
+    pub fn disturbance(&self) -> &DisturbanceState {
+        &self.disturbance
+    }
+
+    /// The installed disturbance policy, if any.
+    #[inline]
+    pub fn disturbance_policy(&self) -> Option<&DisturbancePolicy> {
+        self.disturb_policy.as_ref()
+    }
+
+    /// Installs (or removes) the read-disturbance policy. With `None`
+    /// (the default) counters are still charged but success rates are
+    /// never derated — the chip behaves bit-identically to a build
+    /// without fault injection.
+    pub fn set_disturbance_policy(&mut self, policy: Option<DisturbancePolicy>) {
+        self.disturb_policy = policy;
+    }
+
+    /// Mitigates one threshold's worth of disturbance on
+    /// `(bank, subarray)` (the targeted-refresh command a scheduler
+    /// issues). Returns the zone's remaining unmitigated count.
+    pub fn mitigate_subarray(&mut self, bank: BankId, sub: SubarrayId) -> u64 {
+        let zone = self.disturb_zone(bank, sub);
+        let policy = self.disturb_policy.unwrap_or_default();
+        self.disturbance.mitigate(zone, &policy);
+        self.disturbance.pending(zone)
+    }
+
+    #[inline]
+    fn disturb_zone(&self, bank: BankId, sub: SubarrayId) -> usize {
+        bank.index() * self.geom.subarrays_per_bank() + sub.index()
+    }
+
+    /// Charges `rows` activation-rows of disturbance to a subarray.
+    #[inline]
+    fn charge_disturbance(&mut self, bank: BankId, sub: SubarrayId, rows: u64) {
+        let zone = self.disturb_zone(bank, sub);
+        self.disturbance.charge(zone, rows);
+    }
+
+    /// The success-derating exponent of a subarray under the installed
+    /// policy (`1.0` without one — the no-op fast path).
+    #[inline]
+    fn disturb_exponent(&self, bank: BankId, sub: SubarrayId) -> f64 {
+        match &self.disturb_policy {
+            Some(policy) => self
+                .disturbance
+                .derate_exponent(self.disturb_zone(bank, sub), policy),
+            None => 1.0,
+        }
+    }
+
     fn bank_ref(&self, bank: BankId) -> Result<&Bank> {
         self.geom.check_bank(bank)?;
         Ok(&self.banks[bank.index()])
@@ -445,6 +507,7 @@ impl Chip {
             groups: vec![(sub, vec![local])],
             last_subarray: sub,
         });
+        self.charge_disturbance(bank, sub, 1);
         Ok(())
     }
 
@@ -590,6 +653,7 @@ impl Chip {
     /// every cell of `row`.
     pub fn frac(&mut self, bank: BankId, row: GlobalRow) -> Result<OpOutcome> {
         let (sub, local) = self.geom.split_row(row)?;
+        self.charge_disturbance(bank, sub, 1);
         let vdd = self.model.analog().vdd;
         let level = self.model.analog().frac_level;
         let cols = self.geom.cols();
@@ -647,6 +711,7 @@ impl Chip {
 
         match activation {
             MultiActivation::SecondIgnored => {
+                self.charge_disturbance(bank, sub_f, 1);
                 self.banks[bank.index()].set_open(OpenRows {
                     groups: vec![(sub_f, vec![loc_f])],
                     last_subarray: sub_f,
@@ -655,6 +720,7 @@ impl Chip {
             }
             MultiActivation::SecondOnly => {
                 let (sub, loc) = self.geom.split_row(rl)?;
+                self.charge_disturbance(bank, sub, 1);
                 self.banks[bank.index()].set_open(OpenRows {
                     groups: vec![(sub, vec![loc])],
                     last_subarray: sub,
@@ -662,6 +728,7 @@ impl Chip {
                 Ok(OpOutcome::empty(OutcomeKind::NoGlitch))
             }
             MultiActivation::SameSubarray { rows } => {
+                self.charge_disturbance(bank, sub_f, rows.len() as u64);
                 // RowClone: every raised row except rf receives rf.
                 let src_bits = self.banks[bank.index()]
                     .subarray_mut(sub_f)
@@ -716,6 +783,8 @@ impl Chip {
                 kind,
                 ..
             } => {
+                self.charge_disturbance(bank, sub_f, first_rows.len() as u64);
+                self.charge_disturbance(bank, sub_l, second_rows.len() as u64);
                 let upper = SubarrayId(sub_f.index().min(sub_l.index()));
                 let stripe = upper.index() + 1;
                 let k_total = first_rows.len() + second_rows.len();
@@ -955,9 +1024,13 @@ impl Chip {
         let parallel = self.fidelity.parallel_at(cols);
 
         match activation {
-            MultiActivation::SecondIgnored => Ok(OpOutcome::empty(OutcomeKind::Ignored)),
+            MultiActivation::SecondIgnored => {
+                self.charge_disturbance(bank, sub_ref, 1);
+                Ok(OpOutcome::empty(OutcomeKind::Ignored))
+            }
             MultiActivation::SecondOnly => {
                 let (sub, loc) = self.geom.split_row(r_com)?;
+                self.charge_disturbance(bank, sub, 1);
                 self.banks[bank.index()].set_open(OpenRows {
                     groups: vec![(sub, vec![loc])],
                     last_subarray: sub,
@@ -965,6 +1038,7 @@ impl Chip {
                 Ok(OpOutcome::empty(OutcomeKind::NoGlitch))
             }
             MultiActivation::SameSubarray { rows } => {
+                self.charge_disturbance(bank, sub_ref, rows.len() as u64);
                 // In-subarray simultaneous activation: every column
                 // resolves the majority of the raised cells
                 // (Ambit/ComputeDRAM-style MAJ; the triple-row baseline).
@@ -972,6 +1046,7 @@ impl Chip {
                 // and writes at one column never feed back into another,
                 // so a single upfront snapshot is exact.
                 let n = rows.len();
+                let dexp = self.disturb_exponent(bank, sub_ref);
                 let mut rec = Recorder::new(telemetry);
                 if n >= 2 {
                     let mut votes = vec![0usize; cols];
@@ -1007,9 +1082,12 @@ impl Chip {
                         run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
                             for i in 0..pc.len() {
                                 let c = start + i;
-                                let p = (mult_ref[c]
+                                let mut p = (mult_ref[c]
                                     * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz_ref[c]))
                                 .clamp(0.0, 1.0);
+                                if dexp != 1.0 {
+                                    p = p.powf(dexp);
+                                }
                                 pc[i] = p;
                                 oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
                             }
@@ -1038,10 +1116,15 @@ impl Chip {
                 Ok(rec.finish(OutcomeKind::InSubarray { rows: nrows }))
             }
             MultiActivation::CrossSubarray {
+                first_rows,
+                second_rows,
                 simultaneous: false,
                 ..
             } => {
-                // Sequential-only parts (Samsung) cannot charge-share.
+                // Sequential-only parts (Samsung) cannot charge-share,
+                // but both activations still disturbed their subarrays.
+                self.charge_disturbance(bank, sub_ref, first_rows.len() as u64);
+                self.charge_disturbance(bank, sub_com, second_rows.len() as u64);
                 Ok(OpOutcome::empty(OutcomeKind::Unsupported))
             }
             MultiActivation::CrossSubarray {
@@ -1050,6 +1133,8 @@ impl Chip {
                 simultaneous: true,
                 ..
             } => {
+                self.charge_disturbance(bank, sub_ref, first_rows.len() as u64);
+                self.charge_disturbance(bank, sub_com, second_rows.len() as u64);
                 let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
                 let stripe = upper.index() + 1;
                 let n_ref = first_rows.len();
@@ -1132,6 +1217,11 @@ impl Chip {
                 let ref_dist_addr = dist_to_stripe(loc_ref, rows_per_sub, sub_ref, upper);
                 let tterm = ReliabilityModel::logic_temp_term(temp);
                 let sa_shared = self.cache.sa_z(self.model.variation(), bank, stripe, cols);
+                // Read-disturbance derating: each side's result cells
+                // are weakened by their own subarray's unmitigated
+                // pressure (1.0 without a policy — the no-op path).
+                let dexp_ref = self.disturb_exponent(bank, sub_ref);
+                let dexp_com = self.disturb_exponent(bank, sub_com);
                 let mut rec = Recorder::new(telemetry);
                 let mut p_buf = vec![0.0f64; cols];
                 let mut ok_buf = vec![false; cols];
@@ -1147,7 +1237,8 @@ impl Chip {
                                      ops: (LogicOp, LogicOp),
                                      n_side: usize,
                                      invert: bool,
-                                     role: CellRole| {
+                                     role: CellRole,
+                                     dexp: f64| {
                     let pre_and = chip.model.logic_z_prefix(ops.0, n_side);
                     let pre_or = chip.model.logic_z_prefix(ops.1, n_side);
                     let cpl_and = ReliabilityModel::coupling(ops.0);
@@ -1185,7 +1276,7 @@ impl Chip {
                                 } else {
                                     (pre_or, cpl_or, dist_or, ops.1)
                                 };
-                                let p = match pre {
+                                let mut p = match pre {
                                     Some(pre) => {
                                         let z = pre - cpl * mm_ref[c].clamp(0.0, 1.0) + dist
                                             - tterm
@@ -1200,6 +1291,9 @@ impl Chip {
                                     }
                                     None => 0.0,
                                 };
+                                if dexp != 1.0 {
+                                    p = p.powf(dexp);
+                                }
                                 pc[i] = p;
                                 oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
                             }
@@ -1224,6 +1318,7 @@ impl Chip {
                     n_com,
                     false,
                     CellRole::Compute,
+                    dexp_com,
                 );
                 terminal_pass(
                     self,
@@ -1236,15 +1331,23 @@ impl Chip {
                     n_ref,
                     true,
                     CellRole::Reference,
+                    dexp_ref,
                 );
 
                 // Non-shared half: each side majority-resolves against
                 // its other (precharged) stripe, from the pre-operation
                 // snapshot gathered above.
                 let maj_base = 2.6 - tterm;
-                for (sub, rows, n_side, packed, sums) in [
-                    (sub_com, &second_rows, n_com, &packed_com, &sum_com),
-                    (sub_ref, &first_rows, n_ref, &packed_ref, &sum_ref),
+                for (sub, rows, n_side, packed, sums, dexp) in [
+                    (
+                        sub_com,
+                        &second_rows,
+                        n_com,
+                        &packed_com,
+                        &sum_com,
+                        dexp_com,
+                    ),
+                    (sub_ref, &first_rows, n_ref, &packed_ref, &sum_ref, dexp_ref),
                 ] {
                     if n_side < 2 {
                         continue;
@@ -1272,9 +1375,12 @@ impl Chip {
                                 if c % 2 == shared_start {
                                     continue;
                                 }
-                                let p = (mult_ref[c]
+                                let mut p = (mult_ref[c]
                                     * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz_ref[c]))
                                 .clamp(0.0, 1.0);
+                                if dexp != 1.0 {
+                                    p = p.powf(dexp);
+                                }
                                 pc[i] = p;
                                 oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
                             }
@@ -1337,6 +1443,7 @@ impl Chip {
     ) -> Result<Vec<(GlobalRow, usize)>> {
         let (sub, local) = self.geom.split_row(row)?;
         self.geom.check_bank(bank)?;
+        self.charge_disturbance(bank, sub, activations);
         let vdd = self.model.analog().vdd;
         let rows_per_sub = self.geom.rows_per_subarray();
         let mut victims = Vec::new();
@@ -1737,6 +1844,102 @@ mod tests {
         let flips = chip.hammer(BankId(0), GlobalRow(10), 1_000).unwrap();
         let total: usize = flips.iter().map(|(_, f)| *f).sum();
         assert_eq!(total, 0, "1k activations are far below threshold");
+    }
+
+    #[test]
+    fn disturbance_counters_charge_on_every_activation_path() {
+        let mut chip = hynix_chip();
+        assert_eq!(chip.disturbance().lifetime_total(), 0);
+        chip.activate(BankId(0), GlobalRow(3)).unwrap();
+        chip.precharge(BankId(0)).unwrap();
+        assert_eq!(chip.disturbance().lifetime_total(), 1);
+        chip.frac(BankId(0), GlobalRow(5)).unwrap();
+        assert_eq!(chip.disturbance().lifetime_total(), 2);
+        chip.precharge(BankId(0)).unwrap();
+        chip.hammer(BankId(0), GlobalRow(10), 1_000).unwrap();
+        assert_eq!(chip.disturbance().lifetime_total(), 1_002);
+        // Counting is identical across simulation fidelities.
+        let mut fast = hynix_chip();
+        let mut full = hynix_chip();
+        fast.set_telemetry(Telemetry::Fast);
+        full.set_telemetry(Telemetry::Full);
+        for c in [&mut fast, &mut full] {
+            c.multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(520))
+                .unwrap();
+            c.precharge(BankId(0)).unwrap();
+            c.multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(521))
+                .unwrap();
+            c.precharge(BankId(0)).unwrap();
+        }
+        assert_eq!(fast.disturbance(), full.disturbance());
+        assert!(fast.disturbance().lifetime_total() >= 2);
+    }
+
+    #[test]
+    fn disturbance_policy_derates_past_threshold_and_mitigation_restores() {
+        let policy = DisturbancePolicy {
+            threshold: 8,
+            derate: 3.0,
+            mitigation_ns: 100.0,
+        };
+        // Two identical chips, one pre-disturbed past its threshold:
+        // charge-share success probabilities must drop on the worn one,
+        // and stored bits must change only through the sampled draws.
+        let run = |pre_charge: u64, mitigate: bool| {
+            let mut chip = hynix_chip();
+            chip.set_disturbance_policy(Some(policy));
+            if pre_charge > 0 {
+                let (sub, _) = chip.geometry().split_row(GlobalRow(1)).unwrap();
+                chip.charge_disturbance(BankId(0), sub, pre_charge);
+                let (sub2, _) = chip.geometry().split_row(GlobalRow(521)).unwrap();
+                chip.charge_disturbance(BankId(0), sub2, pre_charge);
+                if mitigate {
+                    for _ in 0..pre_charge / policy.threshold + 1 {
+                        chip.mitigate_subarray(BankId(0), sub);
+                        chip.mitigate_subarray(BankId(0), sub2);
+                    }
+                }
+            }
+            let cols = chip.geometry().cols();
+            chip.write_row_direct(BankId(0), GlobalRow(1), &pattern(3, cols))
+                .unwrap();
+            let out = chip
+                .multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(521))
+                .unwrap();
+            (
+                out.mean_success(CellRole::Compute),
+                out.mean_success(CellRole::Reference),
+            )
+        };
+        let healthy = run(0, false);
+        let worn = run(64, false);
+        let mitigated = run(64, true);
+        if let (Some(h), Some(w)) = (healthy.0, worn.0) {
+            assert!(w < h, "disturbed compute success {w} !< healthy {h}");
+        }
+        if let (Some(h), Some(w)) = (healthy.1, worn.1) {
+            assert!(w < h, "disturbed reference success {w} !< healthy {h}");
+        }
+        assert_eq!(mitigated, healthy, "mitigation restores the rates");
+    }
+
+    #[test]
+    fn no_policy_keeps_success_rates_bit_identical() {
+        let run = |with_counters: bool| {
+            let mut chip = hynix_chip();
+            if with_counters {
+                // Heavy pre-disturbance with *no policy installed*:
+                // counters advance, rates must not move.
+                let (sub, _) = chip.geometry().split_row(GlobalRow(1)).unwrap();
+                chip.charge_disturbance(BankId(0), sub, 1_000_000);
+            }
+            let cols = chip.geometry().cols();
+            chip.write_row_direct(BankId(0), GlobalRow(1), &pattern(3, cols))
+                .unwrap();
+            chip.multi_act_charge_share(BankId(0), GlobalRow(1), GlobalRow(521))
+                .unwrap()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod chip;
 pub mod config;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod fidelity;
 pub mod fleet;
 pub mod geometry;
@@ -62,6 +63,7 @@ pub use chip::{CellOutcome, CellRole, Chip, OpOutcome, OutcomeKind, OutcomeStats
 pub use config::{ActivationCapability, ChipOrg, Density, DieRevision, Manufacturer, ModuleConfig};
 pub use energy::{EnergyParams, OpCost};
 pub use error::{DramError, Result};
+pub use fault::{AgingPolicy, DisturbancePolicy, DisturbanceState, FaultPlan, PlannedDropout};
 pub use fidelity::{SimFidelity, Telemetry};
 pub use fleet::{ChipSpec, FleetConfig, FleetSlot, FleetSlots, SlotLease};
 pub use geometry::Geometry;

@@ -44,6 +44,12 @@ pub enum SchedError {
         /// Largest lease any fleet member can ever satisfy.
         largest: usize,
     },
+    /// Every fleet member has dropped out under the active fault plan
+    /// before this job could be (re-)placed.
+    FleetExhausted {
+        /// Job label.
+        job: String,
+    },
     /// An execution-backend failure during a job's run.
     Exec(fcexec::ExecError),
 }
@@ -68,6 +74,10 @@ impl fmt::Display for SchedError {
                 f,
                 "job '{job}' needs {rows} simultaneous rows; the fleet's largest \
                  subarray slot is {largest}"
+            ),
+            SchedError::FleetExhausted { job } => write!(
+                f,
+                "job '{job}': every fleet member dropped out under the fault plan"
             ),
             SchedError::Exec(e) => write!(f, "execution failed: {e}"),
         }

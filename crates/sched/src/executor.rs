@@ -75,6 +75,9 @@ pub struct JobOutcome {
     pub retries: u32,
     /// Operations that exhausted the budget and stayed failed.
     pub failed_ops: usize,
+    /// Times the job was re-placed off a dying chip before this run
+    /// (fault scenarios only; each one cost a unit of retry budget).
+    pub replacements: u32,
     /// Predicted success under the chip's model (the admission price).
     pub predicted_success: f64,
     /// Modeled latency including retries, nanoseconds.
@@ -117,10 +120,12 @@ pub fn run_job_on<B: ExecBackend>(
         .collect();
     let mut retries = 0u32;
     let mut failed_ops = 0usize;
-    let mut latency = 0.0f64;
+    // Time already burned on chips that died mid-job is part of the
+    // job's served latency; re-placements also consumed retry budget.
+    let mut latency = asg.wasted_ns;
     let mut energy = 0.0f64;
     let result = fcexec::execute_packed_with(backend, prog, &job.operands, |i, step| {
-        let (p, model_l, e) = match step.op {
+        let (mut p, model_l, e) = match step.op {
             None => (
                 cost.not_success(),
                 cost.not_latency_ns(),
@@ -135,6 +140,11 @@ pub fn run_job_on<B: ExecBackend>(
                 )
             }
         };
+        if asg.success_exp != 1.0 {
+            // Fault-model derating (disturbance pressure × wear): the
+            // guard keeps the no-fault path bit-identical.
+            p = p.powf(asg.success_exp);
+        }
         let l = step_latency[i].unwrap_or(model_l);
         let mut attempt = 0u64;
         loop {
@@ -164,6 +174,7 @@ pub fn run_job_on<B: ExecBackend>(
         ops: prog.steps.len(),
         retries,
         failed_ops,
+        replacements: asg.replacements,
         predicted_success: asg.predicted.expected_success,
         latency_ns: latency,
         energy_pj: energy,
@@ -183,18 +194,15 @@ fn run_job(
     let capacity = (prog.n_regs + job.operands.len() + 4).max(8);
     let mut vm =
         SimdVm::new(HostSubstrate::new(job.lanes, capacity)).map_err(fcexec::ExecError::from)?;
+    // Re-placements off dying chips already spent part of the job's
+    // retry budget: the policy budget is honored across the whole
+    // served life of the job, not per placement.
+    let budget = policy.retry_budget.saturating_sub(asg.replacements);
     match policy.backend {
-        BackendKind::Vm => run_job_on(&mut vm, job, asg, profile, policy.retry_budget, batch_seed),
+        BackendKind::Vm => run_job_on(&mut vm, job, asg, profile, budget, batch_seed),
         BackendKind::Bender => {
             let mut timed = ScheduleTimed::new(vm, profile.speed);
-            run_job_on(
-                &mut timed,
-                job,
-                asg,
-                profile,
-                policy.retry_budget,
-                batch_seed,
-            )
+            run_job_on(&mut timed, job, asg, profile, budget, batch_seed)
         }
     }
 }
@@ -278,6 +286,7 @@ pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<
         waves: plan.waves,
         chips: plan.profiles.len(),
         seed: batch.seed(),
+        health: plan.health.clone(),
     })
 }
 
@@ -457,6 +466,65 @@ mod tests {
                 "{}: command schedules price differently",
                 a.label
             );
+        }
+    }
+
+    #[test]
+    fn faulted_serve_is_host_exact_and_shard_invariant() {
+        let fleet = FleetConfig::table1(3);
+        let base = CostModel::table1_defaults();
+        let faults = dram_core::FaultPlan {
+            aging: dram_core::AgingPolicy {
+                acceleration: 0.0,
+                ..dram_core::AgingPolicy::default()
+            },
+            dropouts: vec![dram_core::PlannedDropout {
+                member: 1,
+                after_ns: 400.0,
+            }],
+            ..dram_core::FaultPlan::demo()
+        };
+        let exprs: Vec<&str> = MIX.into_iter().cycle().take(20).collect();
+        let batch = batch_of(&exprs, 16, 0xDE6);
+        let serial = serve_batch(
+            &fleet,
+            &base,
+            &SchedPolicy {
+                faults: Some(faults.clone()),
+                shards: 1,
+                ..SchedPolicy::default()
+            },
+            &batch,
+        )
+        .unwrap();
+        let sharded = serve_batch(
+            &fleet,
+            &base,
+            &SchedPolicy {
+                faults: Some(faults),
+                shards: 5,
+                ..SchedPolicy::default()
+            },
+            &batch,
+        )
+        .unwrap();
+        assert_eq!(
+            serial.to_json(),
+            sharded.to_json(),
+            "faulted report is byte-identical across shard counts"
+        );
+        let health = serial.health.as_ref().expect("health rides the report");
+        assert_eq!(health.dropouts.len(), 1);
+        assert!(
+            serial.outcomes.iter().any(|o| o.replacements > 0),
+            "the dropout re-placed at least one in-flight job"
+        );
+        // Every job — including the re-placed ones — stays host-exact.
+        for (job, out) in batch.jobs().iter().zip(&serial.outcomes) {
+            let mut vm =
+                SimdVm::new(HostSubstrate::new(job.lanes, job.program.n_regs + 8)).unwrap();
+            let expect = fcexec::execute_packed(&mut vm, &job.program, &job.operands).unwrap();
+            assert_eq!(out.result, expect, "{}", job.label);
         }
     }
 

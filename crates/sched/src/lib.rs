@@ -77,17 +77,20 @@
 
 pub mod error;
 pub mod executor;
+pub mod health;
 pub mod planner;
 pub mod queue;
 pub mod report;
 
 pub use error::{Result, SchedError};
 pub use executor::{execute_plan, ideal_cost, run_job_on, serve_batch, JobOutcome};
+pub use health::{Dropout, FleetHealth, MemberHealth};
 pub use planner::{Admission, Assignment, ChipProfile, Plan, Planner, SchedPolicy};
 pub use queue::{Batch, Job, JobId};
 pub use report::{digest, BatchReport, LatencySummary, MemberUsage};
 
 // Re-exported for doc examples and downstream convenience.
+pub use dram_core::{AgingPolicy, DisturbancePolicy, FaultPlan, PlannedDropout};
 pub use fcexec::BackendKind;
 pub use fcsynth::CostModel;
 

@@ -25,9 +25,12 @@
 //!    is flagged in its outcome.
 
 use crate::error::{Result, SchedError};
-use crate::queue::{Batch, JobId};
+use crate::health::{Dropout, FleetHealth, MemberHealth};
+use crate::queue::{Batch, Job, JobId};
+use dram_core::fault::{hazard_rate, step_activations, DisturbanceState, FaultPlan};
 use dram_core::fleet::{ChipSpec, FleetConfig, FleetSlot, FleetSlots};
 use dram_core::math::{hash_to_unit, mix2};
+use dram_core::Temperature;
 use fcsynth::{CostModel, ProgramCost, SynthProgram};
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +58,13 @@ pub struct SchedPolicy {
     /// speed bin ([`fcexec::BackendKind::Bender`]). Functional results
     /// are identical on every backend.
     pub backend: fcexec::BackendKind,
+    /// Optional fault-injection scenario. When set, the planner runs
+    /// the fleet through read-disturbance accumulation (mitigation
+    /// stealing lease bandwidth), hazard-rate wear derating with
+    /// reliability-aware diversion, and deterministic chip dropouts
+    /// with in-flight job re-placement; the resulting
+    /// [`FleetHealth`] rides on the plan and the batch report.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SchedPolicy {
@@ -66,6 +76,7 @@ impl Default for SchedPolicy {
             shards: 0,
             scratch_rows: simdram::MAX_FAN_IN,
             backend: fcexec::BackendKind::Vm,
+            faults: None,
         }
     }
 }
@@ -200,6 +211,16 @@ pub struct Assignment {
     pub program: SynthProgram,
     /// Predicted cost under the assigned chip's model.
     pub predicted: ProgramCost,
+    /// Fault-model success derating: per-step success probabilities
+    /// are raised to this exponent at execution time (`1.0` when no
+    /// fault plan is active — a bit-exact no-op).
+    pub success_exp: f64,
+    /// Times this job was re-placed off a dying chip (each one costs
+    /// a unit of the retry budget).
+    pub replacements: u32,
+    /// Modeled nanoseconds already burned on chips that died mid-job;
+    /// charged to the job's executed latency.
+    pub wasted_ns: f64,
 }
 
 /// A complete batch plan.
@@ -211,6 +232,8 @@ pub struct Plan {
     pub profiles: Vec<ChipProfile>,
     /// Total waves across the fleet (max per-member wave + 1).
     pub waves: usize,
+    /// Fleet-health ledger of the session (fault plans only).
+    pub health: Option<FleetHealth>,
 }
 
 /// Memoized admission results: one entry per distinct submitted
@@ -247,8 +270,9 @@ impl<'a> Planner<'a> {
     ///
     /// # Errors
     ///
-    /// Fails on an empty fleet or a job too large for *every* chip of
-    /// the fleet.
+    /// Fails on an empty fleet, a job too large for *every* chip of
+    /// the fleet, or — under a fault plan — a fleet whose every member
+    /// has dropped out.
     pub fn plan(&self, batch: &Batch) -> Result<Plan> {
         if self.fleet.is_empty() {
             return Err(SchedError::EmptyFleet);
@@ -260,96 +284,96 @@ impl<'a> Planner<'a> {
             .enumerate()
             .map(|(i, spec)| ChipProfile::derive(i, spec, self.base))
             .collect();
-        let mut slots = FleetSlots::new(self.fleet, self.policy.scratch_rows);
-        // Each member's largest-ever lease (an idle subarray's usable
-        // rows): the fit ceiling candidate selection screens against.
-        let capacity: Vec<usize> = (0..profiles.len())
-            .map(|m| slots.largest_lease(m))
-            .collect();
-        let mut load = vec![0.0f64; profiles.len()];
-        let mut wave = vec![0usize; profiles.len()];
-        let mut assignments = Vec::with_capacity(batch.len());
-        // Admission depends only on (submitted program, chip), so
-        // batches cycling a small program mix admit each pair once
-        // instead of once per job.
-        let mut memo: AdmissionMemo = Vec::new();
-        for job in batch.jobs() {
-            // Candidate members by predicted load (ties to the lowest
-            // index); a member whose subarrays can never hold the job
-            // — even idle — is skipped rather than aborting the batch,
-            // so a heterogeneous fleet places the job on a chip that
-            // fits it.
-            let mut order: Vec<usize> = (0..profiles.len()).collect();
-            order.sort_by(|a, b| load[*a].total_cmp(&load[*b]).then(a.cmp(b)));
-            let mut placed = None;
-            'candidates: for member in order {
-                let profile = &profiles[member];
-                let admitted = self.admit_memoized(&mut memo, job, member, profile);
-                // Narrowing only ever adds temporaries, so the
-                // submitted program is the smallest footprint: try the
-                // admitted (possibly narrowed) variant first, then
-                // fall back to the submitted program when only the
-                // narrowing made the job too big for this member —
-                // feasibility beats the reliability re-map, and the
-                // job is flagged instead.
-                let submitted_fallback = if admitted.0 == job.program {
-                    None
-                } else {
-                    Some((
-                        job.program.clone(),
-                        Admission::Flagged,
-                        job.program.price(&profile.cost),
-                    ))
-                };
-                for (program, admission, predicted) in
-                    std::iter::once(admitted).chain(submitted_fallback)
-                {
-                    let rows = program.peak_live_rows();
-                    if let Some(lease) = slots.lease_on(member, rows) {
-                        placed = Some((member, lease, program, admission, predicted));
-                        break 'candidates;
-                    }
-                    if capacity[member] >= rows {
-                        // Wave rollover: the chip is full but fits the
-                        // job when idle; recycle all of its slots for
-                        // sequential reuse.
-                        wave[member] += 1;
-                        slots.reset_member(member);
-                        let lease = slots
-                            .lease_on(member, rows)
-                            .expect("an idle member at capacity fits the job");
-                        placed = Some((member, lease, program, admission, predicted));
-                        break 'candidates;
-                    }
-                }
+        let slots = FleetSlots::new(self.fleet, self.policy.scratch_rows);
+        // Fault bookkeeping is seeded entirely from the plan and the
+        // chip identities — nothing backend- or shard-dependent — so a
+        // degradation scenario's health ledger is byte-identical on
+        // every serving configuration.
+        let faults = self.policy.faults.as_ref().map(|plan| {
+            let specs = self.fleet.specs();
+            FaultCtx {
+                hazard: specs
+                    .iter()
+                    .map(|s| hazard_rate(s.cfg.density, Temperature::BASELINE, &plan.aging))
+                    .collect(),
+                fail_at: specs
+                    .iter()
+                    .enumerate()
+                    .map(|(m, s)| {
+                        plan.fail_at_ns(m, s.seed(), s.cfg.density, Temperature::BASELINE)
+                    })
+                    .collect(),
+                disturb: specs
+                    .iter()
+                    .map(|s| DisturbanceState::new(s.cfg.geometry().subarrays_per_bank()))
+                    .collect(),
+                mitigation_ns: vec![0.0; specs.len()],
+                diverted: vec![0; specs.len()],
+                dead: vec![false; specs.len()],
+                dropouts: Vec::new(),
+                replaced_jobs: 0,
+                plan: plan.clone(),
             }
-            let Some((member, lease, program, admission, predicted)) = placed else {
-                // Even the smallest variant (the submitted program)
-                // fits no member, so the reported row count is the
-                // job's true minimum footprint.
-                return Err(SchedError::JobTooLarge {
-                    job: job.label.clone(),
-                    rows: job.program.peak_live_rows(),
-                    largest: capacity.iter().max().copied().unwrap_or(0),
-                });
-            };
-            load[member] += predicted.latency_ns;
-            assignments.push(Assignment {
-                job: job.id,
-                member,
-                slot: lease.slot,
-                wave: wave[member],
-                admission,
-                program,
-                predicted,
-            });
-            // The lease stays held in `slots` (dropped here without
-            // release) until the member's wave rollover recycles it.
-        }
-        Ok(Plan {
-            waves: wave.iter().max().copied().unwrap_or(0) + 1,
-            assignments,
+        });
+        let n = batch.len();
+        let mut ctx = PlanCtx {
+            planner: self,
+            // Each member's largest-ever lease (an idle subarray's
+            // usable rows): the fit ceiling candidate selection
+            // screens against.
+            capacity: (0..profiles.len())
+                .map(|m| slots.largest_lease(m))
+                .collect(),
+            load: vec![0.0f64; profiles.len()],
+            wave: vec![0usize; profiles.len()],
             profiles,
+            slots,
+            memo: Vec::new(),
+            faults,
+            assignments: (0..n).map(|_| None).collect(),
+            intervals: vec![None; n],
+        };
+        for idx in 0..n {
+            ctx.place(batch.jobs(), idx, 0, 0.0)?;
+        }
+        let health = ctx.faults.take().map(|f| {
+            let mut members: Vec<MemberHealth> = ctx
+                .profiles
+                .iter()
+                .enumerate()
+                .map(|(m, p)| MemberHealth {
+                    member: m,
+                    chip: p.label.clone(),
+                    hazard_per_mhours: f.hazard[m],
+                    fail_at_ns: f.fail_at[m],
+                    disturbance_acts: f.disturb[m].lifetime_total(),
+                    mitigations: f.disturb[m].mitigations_total(),
+                    mitigation_ns: f.mitigation_ns[m],
+                    diverted: f.diverted[m],
+                    dropped_at_job: None,
+                    dropped_at_ns: None,
+                })
+                .collect();
+            for d in &f.dropouts {
+                members[d.member].dropped_at_job = Some(d.job);
+                members[d.member].dropped_at_ns = Some(d.at_ns);
+            }
+            FleetHealth {
+                plan_seed: f.plan.seed,
+                members,
+                dropouts: f.dropouts,
+                replaced_jobs: f.replaced_jobs,
+            }
+        });
+        Ok(Plan {
+            waves: ctx.wave.iter().max().copied().unwrap_or(0) + 1,
+            assignments: ctx
+                .assignments
+                .into_iter()
+                .map(|a| a.expect("every job placed"))
+                .collect(),
+            profiles: ctx.profiles,
+            health,
         })
     }
 
@@ -420,6 +444,243 @@ impl<'a> Planner<'a> {
             }
             _ => (submitted.clone(), Admission::Flagged, as_is),
         }
+    }
+}
+
+/// Fault-scenario bookkeeping while a plan is built: one entry per
+/// fleet member, all of it derived from the [`FaultPlan`] seed and the
+/// chip identities.
+struct FaultCtx {
+    plan: FaultPlan,
+    /// MIL-HDBK-217F part failure rate per member (per 10⁶ hours).
+    hazard: Vec<f64>,
+    /// Deterministic failure time per member, modeled nanoseconds.
+    fail_at: Vec<Option<f64>>,
+    /// Per-member read-disturbance counters (one zone per subarray).
+    disturb: Vec<DisturbanceState>,
+    /// Serving bandwidth stolen by mitigation per member.
+    mitigation_ns: Vec<f64>,
+    /// Placements diverted per member by wear derating.
+    diverted: Vec<usize>,
+    /// Members that have dropped out.
+    dead: Vec<bool>,
+    /// Dropout timeline, in occurrence order.
+    dropouts: Vec<Dropout>,
+    /// Total jobs re-placed off dying chips.
+    replaced_jobs: usize,
+}
+
+/// The mutable state of one `plan()` call, factored out so dropout
+/// handling can recursively re-place in-flight jobs through the same
+/// candidate-selection path first placement uses.
+struct PlanCtx<'p, 'a> {
+    planner: &'p Planner<'a>,
+    profiles: Vec<ChipProfile>,
+    slots: FleetSlots,
+    capacity: Vec<usize>,
+    load: Vec<f64>,
+    wave: Vec<usize>,
+    memo: AdmissionMemo,
+    faults: Option<FaultCtx>,
+    /// Final assignment per job index (re-placement swaps entries).
+    assignments: Vec<Option<Assignment>>,
+    /// `(member, start, end)` of each job's modeled residency on its
+    /// chip: the in-flight test a dropout uses to pick its victims.
+    intervals: Vec<Option<(usize, f64, f64)>>,
+}
+
+impl PlanCtx<'_, '_> {
+    /// Wear-derating exponent of `member` at its current served age:
+    /// `1 + wear · min(age / failure time, 1)`, or `1.0` outside a
+    /// fault scenario (and for members that never fail).
+    fn wear_exp(&self, member: usize) -> f64 {
+        let Some(f) = &self.faults else { return 1.0 };
+        match f.fail_at[member] {
+            Some(at) if at > 0.0 => 1.0 + f.plan.aging.wear * (self.load[member] / at).min(1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Places job `idx` (and settles its fault consequences, possibly
+    /// recursively re-placing other jobs off a chip it kills).
+    fn place(&mut self, jobs: &[Job], idx: usize, replacements: u32, wasted_ns: f64) -> Result<()> {
+        let job = &jobs[idx];
+        let policy = self.planner.policy;
+        // Candidate members by predicted load (ties to the lowest
+        // index); a member whose subarrays can never hold the job —
+        // even idle — is skipped rather than aborting the batch, so a
+        // heterogeneous fleet places the job on a chip that fits it.
+        // Dead members are out of the pool entirely.
+        let mut order: Vec<usize> = (0..self.profiles.len()).collect();
+        if let Some(f) = &self.faults {
+            order.retain(|&m| !f.dead[m]);
+            if order.is_empty() {
+                return Err(SchedError::FleetExhausted {
+                    job: job.label.clone(),
+                });
+            }
+        }
+        order.sort_by(|a, b| self.load[*a].total_cmp(&self.load[*b]).then(a.cmp(b)));
+        // Under a fault plan, placement runs two passes: pass 0 skips
+        // members whose wear derating would push an admissible job
+        // below the threshold (reliability-aware diversion); pass 1
+        // accepts any live member — degraded service beats no service.
+        let passes = if self.faults.is_some() { 2 } else { 1 };
+        let mut placed = None;
+        'passes: for pass in 0..passes {
+            'candidates: for &member in &order {
+                let admitted = self.planner.admit_memoized(
+                    &mut self.memo,
+                    job,
+                    member,
+                    &self.profiles[member],
+                );
+                if pass + 1 < passes {
+                    let wexp = self.wear_exp(member);
+                    let s = admitted.2.expected_success;
+                    if wexp > 1.0 && s >= policy.min_success && s.powf(wexp) < policy.min_success {
+                        if let Some(f) = &mut self.faults {
+                            f.diverted[member] += 1;
+                        }
+                        continue 'candidates;
+                    }
+                }
+                // Narrowing only ever adds temporaries, so the
+                // submitted program is the smallest footprint: try the
+                // admitted (possibly narrowed) variant first, then
+                // fall back to the submitted program when only the
+                // narrowing made the job too big for this member —
+                // feasibility beats the reliability re-map, and the
+                // job is flagged instead.
+                let submitted_fallback = if admitted.0 == job.program {
+                    None
+                } else {
+                    Some((
+                        job.program.clone(),
+                        Admission::Flagged,
+                        job.program.price(&self.profiles[member].cost),
+                    ))
+                };
+                for (program, admission, predicted) in
+                    std::iter::once(admitted).chain(submitted_fallback)
+                {
+                    let rows = program.peak_live_rows();
+                    if let Some(lease) = self.slots.lease_on(member, rows) {
+                        placed = Some((member, lease, program, admission, predicted));
+                        break 'passes;
+                    }
+                    if self.capacity[member] >= rows {
+                        // Wave rollover: the chip is full but fits the
+                        // job when idle; recycle all of its slots for
+                        // sequential reuse.
+                        self.wave[member] += 1;
+                        self.slots.reset_member(member);
+                        let lease = self
+                            .slots
+                            .lease_on(member, rows)
+                            .expect("an idle member at capacity fits the job");
+                        placed = Some((member, lease, program, admission, predicted));
+                        break 'passes;
+                    }
+                }
+            }
+        }
+        let Some((member, lease, program, admission, predicted)) = placed else {
+            // Even the smallest variant (the submitted program) fits
+            // no member, so the reported row count is the job's true
+            // minimum footprint.
+            return Err(SchedError::JobTooLarge {
+                job: job.label.clone(),
+                rows: job.program.peak_live_rows(),
+                largest: self.capacity.iter().max().copied().unwrap_or(0),
+            });
+        };
+        // Settle the placement: charge disturbance for the program's
+        // activations to the leased subarray, derive the success
+        // derating, schedule any mitigation (it steals the member's
+        // serving bandwidth), then age the chip by the job.
+        let wexp = self.wear_exp(member);
+        let start = self.load[member];
+        let mut success_exp = 1.0f64;
+        let mut mitigation_steal = 0.0f64;
+        if let Some(f) = &mut self.faults {
+            let zone = lease.slot.subarray;
+            let acts: u64 = program
+                .steps
+                .iter()
+                .map(|s| step_activations(s.op.map(|_| s.args.len())))
+                .sum();
+            f.disturb[member].charge(zone, acts);
+            success_exp = f.disturb[member].derate_exponent(zone, &f.plan.disturbance) * wexp;
+            while f.disturb[member].needs_mitigation(zone, &f.plan.disturbance) {
+                f.disturb[member].mitigate(zone, &f.plan.disturbance);
+                mitigation_steal += f.plan.disturbance.mitigation_ns;
+            }
+            f.mitigation_ns[member] += mitigation_steal;
+        }
+        self.load[member] += predicted.latency_ns;
+        let end = self.load[member];
+        self.load[member] += mitigation_steal;
+        self.intervals[idx] = Some((member, start, end));
+        self.assignments[idx] = Some(Assignment {
+            job: job.id,
+            member,
+            slot: lease.slot,
+            wave: self.wave[member],
+            admission,
+            program,
+            predicted,
+            success_exp,
+            replacements,
+            wasted_ns,
+        });
+        // The lease stays held in `slots` (dropped here without
+        // release) until the member's wave rollover recycles it.
+
+        // Dropout: the job (or its mitigation tail) pushed the member
+        // past its failure time. Jobs still resident at the moment of
+        // death are re-placed deterministically, in submission order,
+        // through this same placement path — which can cascade if the
+        // extra load kills another chip (each dropout permanently
+        // removes a member, so the cascade terminates).
+        let mut dropped_at = None;
+        let mut victims: Vec<usize> = Vec::new();
+        if let Some(f) = &mut self.faults {
+            if let Some(fa) = f.fail_at[member] {
+                if !f.dead[member] && self.load[member] >= fa {
+                    f.dead[member] = true;
+                    victims = self
+                        .intervals
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, iv)| matches!(iv, Some((m, _, e)) if *m == member && *e > fa))
+                        .map(|(j, _)| j)
+                        .collect();
+                    f.dropouts.push(Dropout {
+                        member,
+                        chip: self.profiles[member].label.clone(),
+                        job: job.id,
+                        at_ns: fa,
+                        replaced: victims.len(),
+                    });
+                    f.replaced_jobs += victims.len();
+                    dropped_at = Some(fa);
+                }
+            }
+        }
+        if let Some(fa) = dropped_at {
+            for j in victims {
+                let (_, s, _) = self.intervals[j].take().expect("victim has an interval");
+                let prev = self.assignments[j].take().expect("victim was placed");
+                self.place(
+                    jobs,
+                    j,
+                    prev.replacements + 1,
+                    prev.wasted_ns + (fa - s).max(0.0),
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -562,6 +823,132 @@ mod tests {
                 assert!(rows > largest);
             }
             other => panic!("expected JobTooLarge, got {other:?}"),
+        }
+    }
+
+    /// A script-only fault plan (hazard disabled) so tests control the
+    /// dropout time exactly.
+    fn scripted_faults(member: usize, after_ns: f64) -> dram_core::FaultPlan {
+        dram_core::FaultPlan {
+            aging: dram_core::AgingPolicy {
+                acceleration: 0.0,
+                ..dram_core::AgingPolicy::default()
+            },
+            dropouts: vec![dram_core::PlannedDropout { member, after_ns }],
+            ..dram_core::FaultPlan::demo()
+        }
+    }
+
+    fn mix_batch(seed: u64) -> crate::queue::Batch {
+        let exprs: Vec<&str> = ["a & b", "a | b", "a ^ b", "!(a & b & c)", "a & b & c & d"]
+            .into_iter()
+            .cycle()
+            .take(20)
+            .collect();
+        batch_of(&exprs, 16, seed)
+    }
+
+    #[test]
+    fn no_fault_plan_leaves_assignments_underated() {
+        let fleet = FleetConfig::table1(3);
+        let base = cost();
+        let plan = Planner::new(&fleet, &base, &SchedPolicy::default())
+            .plan(&mix_batch(7))
+            .unwrap();
+        assert!(plan.health.is_none());
+        for a in &plan.assignments {
+            assert_eq!(a.success_exp, 1.0);
+            assert_eq!(a.replacements, 0);
+            assert_eq!(a.wasted_ns, 0.0);
+        }
+    }
+
+    #[test]
+    fn scripted_dropout_replaces_in_flight_jobs_deterministically() {
+        let fleet = FleetConfig::table1(3);
+        let base = cost();
+        let policy = SchedPolicy {
+            faults: Some(scripted_faults(1, 400.0)),
+            ..SchedPolicy::default()
+        };
+        let planner = Planner::new(&fleet, &base, &policy);
+        let plan = planner.plan(&mix_batch(7)).unwrap();
+        assert_eq!(
+            plan,
+            planner.plan(&mix_batch(7)).unwrap(),
+            "planning is pure"
+        );
+        let health = plan.health.as_ref().expect("fault plan yields health");
+        assert_eq!(health.dropouts.len(), 1, "{:?}", health.dropouts);
+        let d = &health.dropouts[0];
+        assert_eq!(d.member, 1);
+        assert_eq!(d.at_ns, 400.0);
+        assert!(d.replaced >= 1, "a mid-job death re-places its victims");
+        assert_eq!(health.replaced_jobs, d.replaced);
+        assert_eq!(
+            health.members[1].dropped_at_ns,
+            Some(400.0),
+            "ledger mirrors the timeline"
+        );
+        let replaced: Vec<&Assignment> = plan
+            .assignments
+            .iter()
+            .filter(|a| a.replacements > 0)
+            .collect();
+        assert_eq!(replaced.len(), d.replaced);
+        for a in &replaced {
+            assert_ne!(a.member, 1, "victims land on surviving members");
+            assert!(a.wasted_ns >= 0.0);
+        }
+        assert!(
+            replaced.iter().map(|a| a.wasted_ns).sum::<f64>() > 0.0,
+            "time burned on the dead chip is charged"
+        );
+        // Work placed on member 1 before the death stays there.
+        let kept = plan.assignments.iter().filter(|a| a.member == 1).count();
+        assert!(kept >= 1, "completed jobs are not re-placed");
+    }
+
+    #[test]
+    fn disturbance_threshold_schedules_mitigation_bandwidth() {
+        let fleet = FleetConfig::table1(2);
+        let base = cost();
+        let mut faults = scripted_faults(0, f64::MAX);
+        faults.dropouts.clear();
+        faults.disturbance.threshold = 48; // a couple of jobs per zone
+        let policy = SchedPolicy {
+            faults: Some(faults),
+            ..SchedPolicy::default()
+        };
+        let plan = Planner::new(&fleet, &base, &policy)
+            .plan(&mix_batch(3))
+            .unwrap();
+        let health = plan.health.as_ref().unwrap();
+        assert!(
+            health.total_mitigations() > 0,
+            "threshold 48 must trigger mitigations: {health:?}"
+        );
+        assert!(health.total_mitigation_ns() > 0.0);
+        assert_eq!(health.dropouts.len(), 0);
+        assert!(
+            health.total_disturbance() > 0,
+            "activations are charged to the ledger"
+        );
+        // Pressure derates at least one assignment past 1.0.
+        assert!(plan.assignments.iter().any(|a| a.success_exp > 1.0));
+    }
+
+    #[test]
+    fn dead_fleet_is_reported_as_exhausted() {
+        let fleet = FleetConfig::table1(1);
+        let base = cost();
+        let policy = SchedPolicy {
+            faults: Some(scripted_faults(0, 1.0)),
+            ..SchedPolicy::default()
+        };
+        match Planner::new(&fleet, &base, &policy).plan(&mix_batch(1)) {
+            Err(SchedError::FleetExhausted { .. }) => {}
+            other => panic!("expected FleetExhausted, got {other:?}"),
         }
     }
 

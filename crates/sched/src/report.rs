@@ -9,6 +9,7 @@
 //! CLI prints it to stderr), never inside it.
 
 use crate::executor::JobOutcome;
+use crate::health::FleetHealth;
 use crate::planner::Admission;
 use fcdram::{PackedBits, SuccessAccumulator};
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,8 @@ pub struct BatchReport {
     pub chips: usize,
     /// The batch seed.
     pub seed: u64,
+    /// Fleet-health ledger (fault scenarios only).
+    pub health: Option<FleetHealth>,
 }
 
 impl BatchReport {
@@ -136,6 +139,30 @@ impl BatchReport {
     /// Retry attempts consumed across the batch.
     pub fn total_retries(&self) -> u64 {
         self.outcomes.iter().map(|o| u64::from(o.retries)).sum()
+    }
+
+    /// Jobs with at least one operation left failed after the budget.
+    pub fn failed_jobs(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.succeeded).count()
+    }
+
+    /// Operations that exhausted the retry budget across the batch.
+    pub fn total_failed_ops(&self) -> usize {
+        self.outcomes.iter().map(|o| o.failed_ops).sum()
+    }
+
+    /// Jobs that consumed at least one retry.
+    pub fn retried_jobs(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.retries > 0).count()
+    }
+
+    /// Re-placements off dying chips across the batch (fault
+    /// scenarios; always 0 otherwise).
+    pub fn total_replacements(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|o| u64::from(o.replacements))
+            .sum()
     }
 
     /// Summed modeled latency (submission order, so bit-stable).
@@ -221,6 +248,7 @@ impl BatchReport {
             ops: usize,
             retries: u32,
             failed_ops: usize,
+            replacements: u32,
             predicted_success: f64,
             latency_ns: f64,
             energy_pj: f64,
@@ -233,14 +261,19 @@ impl BatchReport {
             waves: usize,
             seed: u64,
             succeeded: usize,
+            failed_jobs: usize,
             remapped: usize,
             flagged: usize,
             native_ops: usize,
             retries: u64,
+            retried_jobs: usize,
+            failed_ops: usize,
+            replacements: u64,
             latency_ns: f64,
             energy_pj: f64,
             latency: LatencySummary,
             members: Vec<MemberUsage>,
+            health: Option<FleetHealth>,
             outcomes: Vec<JsonJob>,
         }
         let doc = JsonReport {
@@ -249,14 +282,19 @@ impl BatchReport {
             waves: self.waves,
             seed: self.seed,
             succeeded: self.succeeded(),
+            failed_jobs: self.failed_jobs(),
             remapped: self.remapped(),
             flagged: self.flagged(),
             native_ops: self.native_ops(),
             retries: self.total_retries(),
+            retried_jobs: self.retried_jobs(),
+            failed_ops: self.total_failed_ops(),
+            replacements: self.total_replacements(),
             latency_ns: self.total_latency_ns(),
             energy_pj: self.total_energy_pj(),
             latency: self.latency(),
             members: self.member_usage(),
+            health: self.health.clone(),
             outcomes: self
                 .outcomes
                 .iter()
@@ -270,6 +308,7 @@ impl BatchReport {
                     ops: o.ops,
                     retries: o.retries,
                     failed_ops: o.failed_ops,
+                    replacements: o.replacements,
                     predicted_success: o.predicted_success,
                     latency_ns: o.latency_ns,
                     energy_pj: o.energy_pj,

@@ -37,7 +37,10 @@
 //! `exec_native_ops/vm` and `exec_native_ops/bender` must both equal
 //! the committed baseline — so the VM and command-schedule backends
 //! drifting apart in either direction fails the gate — plus the
-//! cycle-accurate `exec_schedule_ns/mix` latency-model pin.
+//! cycle-accurate `exec_schedule_ns/mix` latency-model pin, and the
+//! five deterministic `faults_*/demo` degradation-ledger counts from
+//! `ablation_faults` (exact): mitigations, dropouts, re-placed jobs,
+//! diversions, and disturbance activations of the demo fault plan.
 //!
 //! Every requested check is evaluated — missing ids, unreadable
 //! artifacts, and regressions are all collected and listed together
@@ -176,6 +179,19 @@ fn main() -> ExitCode {
             "exec_schedule_ns/mix",
         ] {
             checks.push((Some("BENCH_exec.json".to_string()), id.to_string(), true));
+        }
+        // Degradation-ledger counts of the demo fault plan from
+        // `ablation_faults`: the planner derives them from (fleet,
+        // batch, policy) alone, so any drift — one mitigation or
+        // dropout more *or* less — is a fault-model shape change.
+        for id in [
+            "faults_mitigations/demo",
+            "faults_dropouts/demo",
+            "faults_replaced/demo",
+            "faults_diverted/demo",
+            "faults_disturbance/demo",
+        ] {
+            checks.push((Some("BENCH_faults.json".to_string()), id.to_string(), true));
         }
     }
 
