@@ -5,13 +5,13 @@
 # artifact upload).
 #
 #   ./ci.sh                 full gate: build, test, synth, clippy,
-#                           fmt, bench-check, determinism
+#                           fmt, bench-check, determinism, docs
 #   ./ci.sh --quick         build + test only (other stages are
 #                           reported as skipped)
 #   ./ci.sh --stage NAME    run one stage (repeatable, and NAME may be
 #                           a comma-separated list); NAME is one of:
 #                           build test synth clippy fmt bench-check
-#                           determinism. Unknown names error out
+#                           determinism docs. Unknown names error out
 #                           listing the valid stages.
 #
 # Exit status is 0 iff every executed stage passed. Offline-safe: all
@@ -19,7 +19,7 @@
 set -uo pipefail
 cd "$(dirname "$0")" || exit 1
 
-ALL_STAGES=(build test synth clippy fmt bench-check determinism)
+ALL_STAGES=(build test synth clippy fmt bench-check determinism docs)
 SELECTED=()
 QUICK=0
 while [[ $# -gt 0 ]]; do
@@ -103,15 +103,16 @@ skip_stage() {
 
 # Guards the *committed* bench artifacts: fails when any gated entry
 # of BENCH_engine.json / BENCH_synth.json / BENCH_sched.json /
-# BENCH_exec.json / BENCH_faults.json regresses >20% against
-# tools/bench_baseline.json — deterministic count entries (mapped ops,
-# batch shape, backend parity, degradation ledger) are exact-gated in
-# both directions (all problems are listed, not just the first). It
-# does not re-run the benchmarks — a fresh regression is caught when
-# the artifacts are next regenerated
+# BENCH_exec.json / BENCH_faults.json / BENCH_daemon.json regresses
+# >20% against tools/bench_baseline.json — deterministic count entries
+# (mapped ops, batch shape, backend parity, degradation ledger,
+# daemon admission ledger) are exact-gated in both directions (all
+# problems are listed, not just the first). It does not re-run the
+# benchmarks — a fresh regression is caught when the artifacts are
+# next regenerated
 # (`cargo bench -p fcdram-bench --bench ablation_engine` /
 # `ablation_synth` / `ablation_sched` / `ablation_exec` /
-# `ablation_faults`).
+# `ablation_faults` / `ablation_daemon`).
 bench_check() {
   mkdir -p target/tools
   rustc -O --edition 2021 tools/bench_check.rs -o target/tools/bench_check \
@@ -146,7 +147,12 @@ synth_smoke() {
 #      byte-identical across shard counts, and the fleet-health
 #      ledger must be byte-identical across *all four* runs — shards
 #      and backends — because the planner derives it from
-#      (fleet, batch, policy) alone.
+#      (fleet, batch, policy) alone;
+#   5. a recorded daemon session replayed at shards 1 and 5 on both
+#      execution backends: all four replayed reports must be
+#      byte-identical to the live run's report, because the daemon
+#      report is a pure function of (session log, fleet, cost model)
+#      — wall-clock throughput never enters it.
 determinism() {
   mkdir -p target/tools
   cargo build --release -p characterize || return 1
@@ -181,8 +187,55 @@ determinism() {
     && cmp target/tools/det_health_vm_a.json target/tools/det_health_bender_a.json \
     && cmp target/tools/det_health_vm_a.json target/tools/det_health_bender_b.json \
     || { echo "determinism: fleet-health ledger differs across shards/backends" >&2; return 1; }
+  "$bin" daemon --ticks 12 --chips 12 --record target/tools/det_session.json \
+      --json target/tools/det_daemon_live.json >/dev/null 2>&1 \
+    || { echo "determinism: daemon demo session failed to record" >&2; return 1; }
+  local shards
+  for backend in vm bender; do
+    for shards in 1 5; do
+      "$bin" daemon --replay target/tools/det_session.json --shards "$shards" \
+          --backend "$backend" \
+          --json "target/tools/det_daemon_${backend}_s${shards}.json" >/dev/null 2>&1 \
+        && cmp target/tools/det_daemon_live.json \
+               "target/tools/det_daemon_${backend}_s${shards}.json" \
+        || { echo "determinism: daemon replay (backend=$backend shards=$shards) differs from the live report" >&2; return 1; }
+    done
+  done
   echo "determinism: fleet, serve, and faulted serve (vm + bender) reports byte-identical;" \
-       "fleet-health ledger identical across shards and backends"
+       "fleet-health ledger identical across shards and backends;" \
+       "daemon session replays byte-identically (shards 1/5 x vm/bender)"
+}
+
+# Docs gate, two halves:
+#   1. CLI reference drift: every `--flag` mentioned in docs/CLI.md
+#      must appear in `characterize --help`, and every flag the binary
+#      advertises must be documented — a flag added, renamed, or
+#      removed on either side fails until both agree;
+#   2. API docs: `cargo doc --no-deps` with rustdoc warnings promoted
+#      to errors, so broken intra-doc links and malformed rustdoc
+#      fail the gate.
+docs_check() {
+  mkdir -p target/tools
+  cargo build --release -p characterize || return 1
+  target/release/characterize --help \
+    | grep -oE '\-\-[a-z-]+' | sort -u > target/tools/docs_help_flags.txt
+  grep -oE '`--[a-z-]+' docs/CLI.md \
+    | tr -d '`' | sort -u > target/tools/docs_md_flags.txt
+  local undocumented documented_only
+  undocumented=$(comm -23 target/tools/docs_help_flags.txt target/tools/docs_md_flags.txt)
+  documented_only=$(comm -13 target/tools/docs_help_flags.txt target/tools/docs_md_flags.txt)
+  if [[ -n "$undocumented" ]]; then
+    echo "docs: flags in 'characterize --help' missing from docs/CLI.md:" >&2
+    echo "$undocumented" >&2
+    return 1
+  fi
+  if [[ -n "$documented_only" ]]; then
+    echo "docs: flags in docs/CLI.md that 'characterize --help' does not advertise:" >&2
+    echo "$documented_only" >&2
+    return 1
+  fi
+  echo "docs: $(wc -l < target/tools/docs_help_flags.txt) CLI flags consistent between --help and docs/CLI.md"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 }
 
 wants() {
@@ -206,6 +259,7 @@ for stage in "${ALL_STAGES[@]}"; do
     fmt)         run_stage fmt cargo fmt --all --check ;;
     bench-check) run_stage bench-check bench_check ;;
     determinism) run_stage determinism determinism ;;
+    docs)        run_stage docs docs_check ;;
   esac
 done
 

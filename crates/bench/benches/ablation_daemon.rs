@@ -1,0 +1,139 @@
+//! Ablation: the always-on serving daemon end to end.
+//!
+//! Runs the built-in `characterize daemon` demo session — four tenants
+//! across all three SLO tiers on the 12-chip Table-1 fleet — as a live
+//! session (producer threads, admission control, micro-batching,
+//! drain) and as a deterministic replay of the recorded log, then
+//! writes a `BENCH_daemon.json` summary at the repository root in the
+//! same shape as `BENCH_sched.json`.
+//!
+//! Derived entries:
+//!
+//! * `daemon_replay_overhead/demo` — replay/live mean-time ratio: what
+//!   the channel plumbing and producer threads cost over re-executing
+//!   the recorded event stream (wall-clock, machine-dependent —
+//!   reported, not gated);
+//! * `daemon_admitted/{gold,silver,bronze}`, `daemon_shed/bronze`,
+//!   `daemon_narrowed/bronze`, `daemon_rejected/total`,
+//!   `daemon_batches/total` — **deterministic** admission-ledger
+//!   counts (value in `mean_ns`). The daemon report is a pure function
+//!   of `(session log, fleet, cost model)`, so these are exact on
+//!   every machine; `tools/bench_check.rs` gates them in both
+//!   directions — an admission, placement, or traffic-model change
+//!   that admits one job more *or* less fails CI until the baseline is
+//!   bumped deliberately.
+
+use characterize::daemon::demo_tenants;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::FleetConfig;
+use fcserve::{daemon, DaemonConfig, DaemonReport, SessionLog};
+use fcsynth::CostModel;
+
+/// Fleet size: the Table-1 dozen, wide enough that full micro-batches
+/// reach the strained tail members that narrow the bronze 16-AND.
+const CHIPS: usize = 12;
+
+fn config() -> DaemonConfig {
+    DaemonConfig::default()
+}
+
+/// One full live session; returns the completed count so the work
+/// cannot be optimized away.
+fn live(fleet: &FleetConfig, cost: &CostModel) -> (SessionLog, DaemonReport) {
+    daemon::run_live(fleet, cost, &config(), &demo_tenants()).expect("demo session runs")
+}
+
+fn bench(c: &mut Criterion) {
+    let cost = CostModel::table1_defaults();
+    let fleet = FleetConfig::table1(CHIPS);
+    let (log, report) = live(&fleet, &cost);
+    assert!(report.totals.completed > 0, "demo session completes work");
+    c.bench_function("daemon_live/demo", |b| {
+        b.iter(|| black_box(live(&fleet, &cost).1.totals.completed));
+    });
+    c.bench_function("daemon_replay/demo", |b| {
+        b.iter(|| {
+            let replayed = daemon::replay(&fleet, &cost, &log, None, None).expect("replay runs");
+            black_box(replayed.totals.completed)
+        });
+    });
+    write_summary(&log, &report);
+}
+
+/// Writes the wall-clock measurements plus the deterministic
+/// admission-ledger counts to `BENCH_daemon.json`.
+fn write_summary(log: &SessionLog, report: &DaemonReport) {
+    let results = criterion::results();
+    let mean_of =
+        |id: &str| -> Option<f64> { results.iter().find(|r| r.id == id).map(|r| r.mean_ns) };
+    let mut entries: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::Value::Object(vec![
+                ("id".to_string(), serde_json::Value::Str(r.id.clone())),
+                ("mean_ns".to_string(), serde_json::Value::Float(r.mean_ns)),
+                (
+                    "median_ns".to_string(),
+                    serde_json::Value::Float(r.median_ns),
+                ),
+                (
+                    "iterations".to_string(),
+                    serde_json::Value::UInt(r.iterations),
+                ),
+            ])
+        })
+        .collect();
+    let mut derived = |id: String, value: f64, iterations: u64| {
+        entries.push(serde_json::Value::Object(vec![
+            ("id".to_string(), serde_json::Value::Str(id)),
+            ("mean_ns".to_string(), serde_json::Value::Float(value)),
+            ("median_ns".to_string(), serde_json::Value::Float(value)),
+            (
+                "iterations".to_string(),
+                serde_json::Value::UInt(iterations),
+            ),
+        ]));
+    };
+    if let (Some(live), Some(replay)) = (mean_of("daemon_live/demo"), mean_of("daemon_replay/demo"))
+    {
+        let overhead = replay / live;
+        println!("daemon replay/live time ratio: {overhead:.3}x");
+        derived("daemon_replay_overhead/demo".to_string(), overhead, 1);
+    }
+    // Deterministic admission ledger of the demo session: what the
+    // daemon admitted, shed, rejected, and narrowed, independent of
+    // wall clock. The report is a pure function of the session log.
+    let t = &report.totals;
+    println!(
+        "daemon/demo ledger: {} submitted, {} admitted, {} shed, {} rejected, \
+         {} narrowed, {} micro-batches over {} events",
+        t.submitted,
+        t.admitted,
+        t.shed,
+        t.rejected,
+        t.narrowed,
+        t.batches,
+        log.events.len()
+    );
+    let jobs = t.submitted as u64;
+    for (tier, admitted, shed, narrowed) in report.tier_counts() {
+        derived(format!("daemon_admitted/{tier}"), admitted as f64, jobs);
+        if tier == fcserve::TierClass::Bronze {
+            derived(format!("daemon_shed/{tier}"), shed as f64, jobs);
+            derived(format!("daemon_narrowed/{tier}"), narrowed as f64, jobs);
+        }
+    }
+    derived("daemon_rejected/total".to_string(), t.rejected as f64, jobs);
+    derived("daemon_batches/total".to_string(), t.batches as f64, jobs);
+    let json = serde_json::to_string_pretty(&entries).expect("summary serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_daemon.json");
+    std::fs::write(path, json).expect("summary written");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

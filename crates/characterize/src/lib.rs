@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod daemon;
 pub mod experiments;
 pub mod patterns;
 pub mod report;

@@ -21,6 +21,18 @@ usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
                           [--costs PATH] [--module NAME] [--fan-in N]
                           [--backend {vm,bender}] [--json PATH]
                           [--faults PLAN.json|demo] [--health-json PATH]
+       characterize daemon [--ticks N] [--chips N] [--seed S]
+                           [--lanes N] [--shards K] [--max-batch N]
+                           [--tick-us T] [--report-every N]
+                           [--drain-max N] [--retries R]
+                           [--min-success X] [--fan-in N]
+                           [--module NAME] [--costs PATH]
+                           [--backend {vm,bender}]
+                           [--faults PLAN.json|demo]
+                           [--record SESSION.json] [--json PATH]
+       characterize daemon --replay SESSION.json [--shards K]
+                           [--backend {vm,bender}] [--costs PATH]
+                           [--json PATH]
 
 EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
@@ -97,6 +109,40 @@ wall-clock throughput on stderr varies:
 --health-json PATH  write the fleet-health ledger alone as JSON (the
                 artifact CI byte-diffs across shard counts and
                 backends)
+
+daemon mode runs the always-on fcserve serving daemon over a built-in
+three-tier demo tenant fleet: streaming per-tenant ingestion on a
+modeled tick clock, admission control (reliability-aware rejection,
+shed-or-queue backpressure), SLO-tiered micro-batching into the
+fcsched scheduler, rolling per-tenant p50/p99 health snapshots, and a
+graceful drain. Every ingested job is appended to a session log;
+--record writes it and --replay re-executes it byte-identically — the
+report depends only on (session log, fleet, cost model), never on
+shard count, backend, or the wall clock (wall jobs/s stays on stderr;
+the report carries modeled throughput instead):
+--ticks N       ingestion ticks before the drain (default 12)
+--chips N       fleet size (default 12)
+--seed S        session seed: traffic, operands, retry draws (default 0)
+--lanes N       SIMD lanes per job (default 64)
+--shards K      worker threads (default: one per CPU)
+--max-batch N   micro-batch budget per tick (default 12)
+--tick-us T     modeled tick period in microseconds (default 20)
+--report-every N  health-snapshot interval in ticks (default 4)
+--drain-max N   drain-tick bound after ingestion stops (default 64)
+--retries R     per-job retry budget (default 3)
+--min-success X scheduler admission threshold (default 0.85)
+--fan-in N      widest native gate when compiling (default 16)
+--module M      draw every chip from one module
+--costs PATH    cost model from a fleet --export-costs run
+--backend B     execution backend: 'vm' or 'bender' (report bytes are
+                identical on both)
+--faults F      degradation scenario (FaultPlan JSON or 'demo'); the
+                health snapshots accumulate mitigations and dropouts
+--record PATH   write the session log for later --replay
+--replay PATH   re-execute a recorded session; traffic-shaping flags
+                are rejected (the log pins them) — only --shards,
+                --backend, --costs, and --json are allowed
+--json PATH     additionally write the tables as JSON
 ";
 
 /// Takes the next argument as a string, printing a diagnostic when it
@@ -480,6 +526,360 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Loads a cost model from `--costs` (or the built-in Table-1
+/// defaults when absent).
+fn load_cost_model(costs_path: Option<&str>) -> Option<fcsynth::CostModel> {
+    match costs_path {
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return None;
+                }
+            };
+            match fcsynth::CostModel::from_json(&json) {
+                Ok(m) => Some(m),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    None
+                }
+            }
+        }
+        None => Some(fcsynth::CostModel::table1_defaults()),
+    }
+}
+
+/// Builds a fleet from an optional `--module` name, defaulting to the
+/// round-robin Table-1 inventory.
+fn build_cli_fleet(module: Option<&str>, chips: usize) -> Option<FleetConfig> {
+    match module {
+        Some(name) => {
+            let all = dram_core::config::full_fleet();
+            match all.into_iter().find(|m| m.name == name) {
+                Some(cfg) => Some(FleetConfig::single(cfg, chips)),
+                None => {
+                    eprintln!("unknown module '{name}' (see `characterize table1`)");
+                    None
+                }
+            }
+        }
+        None => Some(FleetConfig::table1(chips)),
+    }
+}
+
+/// The `daemon` subcommand: run the always-on fcserve serving daemon
+/// over the built-in demo tenants (optionally recording the session),
+/// or byte-identically replay a recorded session.
+fn run_daemon_cli(args: Vec<String>) -> ExitCode {
+    let mut ticks: Option<usize> = None;
+    let mut chips: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut lanes: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut max_batch: Option<usize> = None;
+    let mut tick_us: Option<f64> = None;
+    let mut report_every: Option<usize> = None;
+    let mut drain_max: Option<usize> = None;
+    let mut retries: Option<u32> = None;
+    let mut min_success: Option<f64> = None;
+    let mut fan_in: Option<usize> = None;
+    let mut module: Option<String> = None;
+    let mut costs_path: Option<String> = None;
+    let mut backend: Option<fcexec::BackendKind> = None;
+    let mut faults_arg: Option<String> = None;
+    let mut record_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ticks" => match num_arg(&mut it, "--ticks") {
+                Some(n) => ticks = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--chips" => match num_arg(&mut it, "--chips") {
+                Some(n) => chips = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match num_arg(&mut it, "--seed") {
+                Some(n) => seed = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--lanes" => match num_arg(&mut it, "--lanes") {
+                Some(n) => lanes = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--shards" => match num_arg(&mut it, "--shards") {
+                Some(n) => shards = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--max-batch" => match num_arg(&mut it, "--max-batch") {
+                Some(n) => max_batch = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--tick-us" => match num_arg(&mut it, "--tick-us") {
+                Some(n) => tick_us = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--report-every" => match num_arg(&mut it, "--report-every") {
+                Some(n) => report_every = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--drain-max" => match num_arg(&mut it, "--drain-max") {
+                Some(n) => drain_max = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--retries" => match num_arg(&mut it, "--retries") {
+                Some(n) => retries = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--min-success" => match num_arg(&mut it, "--min-success") {
+                Some(n) => min_success = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--fan-in" => match num_arg(&mut it, "--fan-in") {
+                Some(n) => fan_in = Some(n),
+                None => return ExitCode::FAILURE,
+            },
+            "--module" => match str_arg(&mut it, "--module") {
+                Some(m) => module = Some(m),
+                None => return ExitCode::FAILURE,
+            },
+            "--costs" => match str_arg(&mut it, "--costs") {
+                Some(p) => costs_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--backend" => match str_arg(&mut it, "--backend").map(|b| parse_backend(&b)) {
+                Some(Some(b)) => backend = Some(b),
+                _ => return ExitCode::FAILURE,
+            },
+            "--faults" => match str_arg(&mut it, "--faults") {
+                Some(f) => faults_arg = Some(f),
+                None => return ExitCode::FAILURE,
+            },
+            "--record" => match str_arg(&mut it, "--record") {
+                Some(p) => record_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--replay" => match str_arg(&mut it, "--replay") {
+                Some(p) => replay_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--json" => match str_arg(&mut it, "--json") {
+                Some(p) => json_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown daemon option '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = replay_path {
+        // The session log pins every decision-shaping knob; a flag
+        // that tried to change one would silently record a lie.
+        let pinned: Vec<&str> = [
+            ("--ticks", ticks.is_some()),
+            ("--chips", chips.is_some()),
+            ("--seed", seed.is_some()),
+            ("--lanes", lanes.is_some()),
+            ("--max-batch", max_batch.is_some()),
+            ("--tick-us", tick_us.is_some()),
+            ("--report-every", report_every.is_some()),
+            ("--drain-max", drain_max.is_some()),
+            ("--retries", retries.is_some()),
+            ("--min-success", min_success.is_some()),
+            ("--fan-in", fan_in.is_some()),
+            ("--module", module.is_some()),
+            ("--faults", faults_arg.is_some()),
+            ("--record", record_path.is_some()),
+        ]
+        .iter()
+        .filter(|(_, set)| *set)
+        .map(|(name, _)| *name)
+        .collect();
+        if !pinned.is_empty() {
+            eprintln!(
+                "--replay re-executes the recorded session: {} cannot be \
+                 overridden (the log pins it)\n{USAGE}",
+                pinned.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let json = match std::fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let log = match fcserve::SessionLog::from_json(&json) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Replays price admission against the recorded cost model;
+        // --costs overrides the stored path (e.g. when it moved).
+        let effective_costs = costs_path.or_else(|| log.costs.clone());
+        let Some(cost) = load_cost_model(effective_costs.as_deref()) else {
+            return ExitCode::FAILURE;
+        };
+        let Some(fleet) = build_cli_fleet(log.module.as_deref(), log.chips) else {
+            return ExitCode::FAILURE;
+        };
+        let fleet = fleet.with_seed(log.fleet_seed);
+        eprintln!(
+            "replaying {} event(s) over {} tick(s) on {} chip(s) ...",
+            log.events.len(),
+            log.knobs.ticks,
+            fleet.len()
+        );
+        let report = match fcserve::daemon::replay(&fleet, &cost, &log, shards, backend) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let tables = characterize::daemon::tables(&report);
+        for t in &tables {
+            println!("{}", t.render());
+        }
+        if let Some(out) = json_path {
+            if let Err(e) = std::fs::write(&out, to_json(&tables)) {
+                eprintln!("failed to write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let chips = chips.unwrap_or(12);
+    let lanes = lanes.unwrap_or(64);
+    if chips == 0 || lanes == 0 {
+        eprintln!("--chips and --lanes must be at least 1\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let Some(cost) = load_cost_model(costs_path.as_deref()) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(fleet) = build_cli_fleet(module.as_deref(), chips) else {
+        return ExitCode::FAILURE;
+    };
+    let faults = match &faults_arg {
+        Some(f) if f == "demo" => Some(fcsched::FaultPlan::demo()),
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("failed to read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fcsched::FaultPlan::from_json(&json) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let mut knobs = fcserve::DaemonKnobs::default();
+    if let Some(v) = ticks {
+        knobs.ticks = v;
+    }
+    if let Some(v) = max_batch {
+        knobs.max_batch = v;
+    }
+    if let Some(v) = tick_us {
+        knobs.tick_ns = v * 1e3;
+    }
+    if let Some(v) = report_every {
+        knobs.report_every = v;
+    }
+    if let Some(v) = drain_max {
+        knobs.drain_max = v;
+    }
+    let cfg = fcserve::DaemonConfig {
+        seed: seed.unwrap_or(0),
+        lanes,
+        fan_in: fan_in.unwrap_or(16),
+        knobs,
+        policy: fcsched::SchedPolicy {
+            min_success: min_success.unwrap_or(0.85),
+            retry_budget: retries.unwrap_or(3),
+            shards: shards.unwrap_or(0),
+            backend: backend.unwrap_or(fcexec::BackendKind::Vm),
+            faults,
+            ..fcsched::SchedPolicy::default()
+        },
+    };
+    let tenants = characterize::daemon::demo_tenants();
+    eprintln!(
+        "serving {} tenant(s) for {} tick(s) on {} chip(s), {} backend ...",
+        tenants.len(),
+        cfg.knobs.ticks,
+        fleet.len(),
+        cfg.policy.backend
+    );
+    let start = std::time::Instant::now();
+    let (mut log, report) = match fcserve::daemon::run_live(&fleet, &cost, &cfg, &tenants) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("daemon session failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+    // Wall-clock throughput is machine-dependent: stderr only. The
+    // deterministic counterpart (modeled jobs per modeled second) is
+    // in the daemon-summary table and the health snapshots.
+    eprintln!(
+        "session done in {:.3}s wall ({:.0} jobs/s wall; the report carries \
+         modeled throughput instead)",
+        wall,
+        report.totals.completed as f64 / wall.max(1e-9),
+    );
+    let tables = characterize::daemon::tables(&report);
+    for t in &tables {
+        println!("{}", t.render());
+    }
+    if let Some(out) = record_path {
+        // The log needs the fleet/cost identity a replay rebuilds
+        // from; the engine cannot know the CLI paths, so fill them
+        // here before writing.
+        log.module = module.clone();
+        log.costs = costs_path.clone();
+        if let Err(e) = std::fs::write(&out, log.to_json()) {
+            eprintln!("failed to write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {out} ({} event(s); replay with `characterize daemon --replay {out}`)",
+            log.events.len()
+        );
+    }
+    if let Some(out) = json_path {
+        if let Err(e) = std::fs::write(&out, to_json(&tables)) {
+            eprintln!("failed to write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `synth` subcommand: compile an expression or truth table with
 /// the reliability-aware mapper and report (optionally execute) it.
 fn run_synth_cli(args: Vec<String>) -> ExitCode {
@@ -733,6 +1133,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve_cli(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("daemon") {
+        return run_daemon_cli(args.split_off(1));
     }
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;

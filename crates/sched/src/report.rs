@@ -42,7 +42,12 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn of(mut values: Vec<f64>) -> LatencySummary {
+    /// Summarizes a set of modeled latencies (nearest-rank
+    /// percentiles; all zeros for an empty set). Public because the
+    /// `fcserve` daemon's rolling per-tenant SLO windows reuse the
+    /// exact same percentile machinery, so live p99 tracking and
+    /// batch reports can never disagree on definition.
+    pub fn of(mut values: Vec<f64>) -> LatencySummary {
         if values.is_empty() {
             return LatencySummary {
                 mean_ns: 0.0,

@@ -37,10 +37,14 @@
 //! `exec_native_ops/vm` and `exec_native_ops/bender` must both equal
 //! the committed baseline — so the VM and command-schedule backends
 //! drifting apart in either direction fails the gate — plus the
-//! cycle-accurate `exec_schedule_ns/mix` latency-model pin, and the
+//! cycle-accurate `exec_schedule_ns/mix` latency-model pin, the
 //! five deterministic `faults_*/demo` degradation-ledger counts from
 //! `ablation_faults` (exact): mitigations, dropouts, re-placed jobs,
-//! diversions, and disturbance activations of the demo fault plan.
+//! diversions, and disturbance activations of the demo fault plan,
+//! and the seven deterministic `daemon_*` admission-ledger counts
+//! from `ablation_daemon` (exact): per-tier admitted jobs, bronze
+//! shed and narrowed counts, total rejections, and the micro-batch
+//! count of the demo serving session.
 //!
 //! Every requested check is evaluated — missing ids, unreadable
 //! artifacts, and regressions are all collected and listed together
@@ -192,6 +196,22 @@ fn main() -> ExitCode {
             "faults_disturbance/demo",
         ] {
             checks.push((Some("BENCH_faults.json".to_string()), id.to_string(), true));
+        }
+        // Admission-ledger counts of the demo serving session from
+        // `ablation_daemon`: the daemon report is a pure function of
+        // (session log, fleet, cost model), so any drift — one job
+        // admitted, shed, rejected, or narrowed more *or* less — is an
+        // admission- or placement-shape change.
+        for id in [
+            "daemon_admitted/gold",
+            "daemon_admitted/silver",
+            "daemon_admitted/bronze",
+            "daemon_shed/bronze",
+            "daemon_narrowed/bronze",
+            "daemon_rejected/total",
+            "daemon_batches/total",
+        ] {
+            checks.push((Some("BENCH_daemon.json".to_string()), id.to_string(), true));
         }
     }
 
