@@ -103,16 +103,17 @@ skip_stage() {
 
 # Guards the *committed* bench artifacts: fails when any gated entry
 # of BENCH_engine.json / BENCH_synth.json / BENCH_sched.json /
-# BENCH_exec.json / BENCH_faults.json / BENCH_daemon.json regresses
-# >20% against tools/bench_baseline.json — deterministic count entries
-# (mapped ops, batch shape, backend parity, degradation ledger,
-# daemon admission ledger) are exact-gated in both directions (all
-# problems are listed, not just the first). It does not re-run the
-# benchmarks — a fresh regression is caught when the artifacts are
-# next regenerated
+# BENCH_exec.json / BENCH_faults.json / BENCH_daemon.json /
+# BENCH_obs.json regresses >20% against tools/bench_baseline.json —
+# deterministic count entries (mapped ops, batch shape, backend
+# parity, degradation ledger, daemon admission ledger, observability
+# artifact shape) are exact-gated in both directions (all problems
+# are listed, not just the first). It does not re-run the benchmarks
+# — a fresh regression is caught when the artifacts are next
+# regenerated
 # (`cargo bench -p fcdram-bench --bench ablation_engine` /
 # `ablation_synth` / `ablation_sched` / `ablation_exec` /
-# `ablation_faults` / `ablation_daemon`).
+# `ablation_faults` / `ablation_daemon` / `ablation_obs`).
 bench_check() {
   mkdir -p target/tools
   rustc -O --edition 2021 tools/bench_check.rs -o target/tools/bench_check \
@@ -152,13 +153,20 @@ synth_smoke() {
 #      execution backends: all four replayed reports must be
 #      byte-identical to the live run's report, because the daemon
 #      report is a pure function of (session log, fleet, cost model)
-#      — wall-clock throughput never enters it.
+#      — wall-clock throughput never enters it;
+#   6. the same recorded session traced and metered (the demo fault
+#      scenario, so fault instants appear): the Chrome trace JSON and
+#      the Prometheus-style metrics exposition of every replay must
+#      be byte-identical to the live run's — determinism invariant #4
+#      (docs/OBSERVABILITY.md): observability artifacts are modeled
+#      time only, never wall clock.
 determinism() {
   mkdir -p target/tools
   cargo build --release -p characterize || return 1
   cargo test -q --test sched_equivalence || return 1
   cargo test -q --test exec_equivalence || return 1
   cargo test -q --test fault_equivalence || return 1
+  cargo test -q --test obs_equivalence || return 1
   local bin=target/release/characterize
   "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_a.json >/dev/null \
     && "$bin" fleet --quick --chips 3 --shards 2 --json target/tools/det_fleet_b.json >/dev/null \
@@ -187,23 +195,33 @@ determinism() {
     && cmp target/tools/det_health_vm_a.json target/tools/det_health_bender_a.json \
     && cmp target/tools/det_health_vm_a.json target/tools/det_health_bender_b.json \
     || { echo "determinism: fleet-health ledger differs across shards/backends" >&2; return 1; }
-  "$bin" daemon --ticks 12 --chips 12 --record target/tools/det_session.json \
-      --json target/tools/det_daemon_live.json >/dev/null 2>&1 \
+  "$bin" daemon --demo --ticks 12 --chips 12 --record target/tools/det_session.json \
+      --json target/tools/det_daemon_live.json \
+      --trace-json target/tools/det_trace_live.json \
+      --metrics target/tools/det_metrics_live.prom >/dev/null 2>&1 \
     || { echo "determinism: daemon demo session failed to record" >&2; return 1; }
   local shards
   for backend in vm bender; do
     for shards in 1 5; do
       "$bin" daemon --replay target/tools/det_session.json --shards "$shards" \
           --backend "$backend" \
-          --json "target/tools/det_daemon_${backend}_s${shards}.json" >/dev/null 2>&1 \
+          --json "target/tools/det_daemon_${backend}_s${shards}.json" \
+          --trace-json "target/tools/det_trace_${backend}_s${shards}.json" \
+          --metrics "target/tools/det_metrics_${backend}_s${shards}.prom" >/dev/null 2>&1 \
         && cmp target/tools/det_daemon_live.json \
                "target/tools/det_daemon_${backend}_s${shards}.json" \
         || { echo "determinism: daemon replay (backend=$backend shards=$shards) differs from the live report" >&2; return 1; }
+      cmp target/tools/det_trace_live.json \
+          "target/tools/det_trace_${backend}_s${shards}.json" \
+        || { echo "determinism: trace JSON (backend=$backend shards=$shards) differs from the live trace" >&2; return 1; }
+      cmp target/tools/det_metrics_live.prom \
+          "target/tools/det_metrics_${backend}_s${shards}.prom" \
+        || { echo "determinism: metrics exposition (backend=$backend shards=$shards) differs from the live run" >&2; return 1; }
     done
   done
   echo "determinism: fleet, serve, and faulted serve (vm + bender) reports byte-identical;" \
        "fleet-health ledger identical across shards and backends;" \
-       "daemon session replays byte-identically (shards 1/5 x vm/bender)"
+       "daemon session, trace JSON, and metrics replay byte-identically (shards 1/5 x vm/bender)"
 }
 
 # Docs gate, two halves:

@@ -1,0 +1,146 @@
+//! Ablation: what observing a session costs, and what it records.
+//!
+//! Runs the CI-traced demo scenario — the built-in tenants under the
+//! demo fault plan on the 12-chip Table-1 fleet — once without any
+//! observability and once fully observed (span tracing + metrics),
+//! then writes a `BENCH_obs.json` summary at the repository root in
+//! the same shape as `BENCH_daemon.json`.
+//!
+//! Derived entries:
+//!
+//! * `obs_overhead/demo` — observed/unobserved mean-time ratio: what
+//!   span emission and metrics rebuilds cost on top of the session
+//!   itself (wall-clock, machine-dependent — reported, not gated);
+//! * `obs_span_events/demo`, `obs_instant_events/demo`,
+//!   `obs_metric_lines/demo` — **deterministic** artifact shapes
+//!   (value in `mean_ns`). Determinism invariant #4
+//!   (`docs/OBSERVABILITY.md`) makes the trace and metrics pure
+//!   functions of `(session log, fleet, cost model)`, so these are
+//!   exact on every machine; `tools/bench_check.rs` gates them in
+//!   both directions — an instrumentation change that emits one span
+//!   more *or* less fails CI until the baseline is bumped
+//!   deliberately.
+
+use characterize::daemon::demo_tenants;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram_core::FleetConfig;
+use fcobs::{Observability, Phase, TraceEvent};
+use fcserve::{daemon, DaemonConfig};
+use fcsynth::CostModel;
+
+/// Fleet size: the Table-1 dozen the daemon demo also uses.
+const CHIPS: usize = 12;
+
+/// The demo scenario CI traces: demo tenants + the demo fault plan.
+fn config() -> DaemonConfig {
+    DaemonConfig {
+        policy: fcsched::SchedPolicy {
+            faults: Some(fcsched::FaultPlan::demo()),
+            ..fcsched::SchedPolicy::default()
+        },
+        ..DaemonConfig::default()
+    }
+}
+
+fn bundle() -> Observability {
+    Observability::disabled()
+        .with_trace(fcobs::trace::DEFAULT_TRACE_CAPACITY)
+        .with_metrics(None)
+}
+
+/// One fully observed session: `(trace events, metrics text,
+/// report json)`.
+fn observed(fleet: &FleetConfig, cost: &CostModel) -> (Vec<TraceEvent>, String, String) {
+    let (_, report, obs) = daemon::run_live_obs(fleet, cost, &config(), &demo_tenants(), bundle())
+        .expect("observed demo session runs");
+    let trace = obs.trace.expect("tracing enabled");
+    assert_eq!(trace.dropped(), 0, "demo session fits the default ring");
+    (
+        trace.finish(),
+        obs.last_metrics.expect("metrics enabled"),
+        report.to_json(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let cost = CostModel::table1_defaults();
+    let fleet = FleetConfig::table1(CHIPS);
+    let (events, metrics, observed_report) = observed(&fleet, &cost);
+    assert!(!events.is_empty(), "demo session traces events");
+    // Zero-overhead on outputs: the unobserved report is byte-equal.
+    let (_, plain) = daemon::run_live(&fleet, &cost, &config(), &demo_tenants()).unwrap();
+    assert_eq!(plain.to_json(), observed_report, "observer effect");
+    c.bench_function("obs_off/demo", |b| {
+        b.iter(|| {
+            let (_, report) = daemon::run_live(&fleet, &cost, &config(), &demo_tenants()).unwrap();
+            black_box(report.totals.completed)
+        });
+    });
+    c.bench_function("obs_on/demo", |b| {
+        b.iter(|| black_box(observed(&fleet, &cost).0.len()));
+    });
+    write_summary(&events, &metrics);
+}
+
+/// Writes the wall-clock measurements plus the deterministic artifact
+/// shapes to `BENCH_obs.json`.
+fn write_summary(events: &[TraceEvent], metrics: &str) {
+    let results = criterion::results();
+    let mean_of =
+        |id: &str| -> Option<f64> { results.iter().find(|r| r.id == id).map(|r| r.mean_ns) };
+    let mut entries: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::Value::Object(vec![
+                ("id".to_string(), serde_json::Value::Str(r.id.clone())),
+                ("mean_ns".to_string(), serde_json::Value::Float(r.mean_ns)),
+                (
+                    "median_ns".to_string(),
+                    serde_json::Value::Float(r.median_ns),
+                ),
+                (
+                    "iterations".to_string(),
+                    serde_json::Value::UInt(r.iterations),
+                ),
+            ])
+        })
+        .collect();
+    let mut derived = |id: String, value: f64, iterations: u64| {
+        entries.push(serde_json::Value::Object(vec![
+            ("id".to_string(), serde_json::Value::Str(id)),
+            ("mean_ns".to_string(), serde_json::Value::Float(value)),
+            ("median_ns".to_string(), serde_json::Value::Float(value)),
+            (
+                "iterations".to_string(),
+                serde_json::Value::UInt(iterations),
+            ),
+        ]));
+    };
+    if let (Some(off), Some(on)) = (mean_of("obs_off/demo"), mean_of("obs_on/demo")) {
+        let overhead = on / off;
+        println!("obs observed/unobserved time ratio: {overhead:.3}x");
+        derived("obs_overhead/demo".to_string(), overhead, 1);
+    }
+    // Deterministic artifact shapes of the demo session: how many
+    // spans and instants the instrumentation emits and how many lines
+    // the metrics exposition renders, independent of wall clock.
+    let spans = events.iter().filter(|e| e.phase == Phase::Span).count();
+    let instants = events.iter().filter(|e| e.phase == Phase::Instant).count();
+    let lines = metrics.lines().count();
+    println!("obs/demo artifacts: {spans} spans, {instants} instants, {lines} metric lines");
+    let n = events.len() as u64;
+    derived("obs_span_events/demo".to_string(), spans as f64, n);
+    derived("obs_instant_events/demo".to_string(), instants as f64, n);
+    derived("obs_metric_lines/demo".to_string(), lines as f64, n);
+    let json = serde_json::to_string_pretty(&entries).expect("summary serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, json).expect("summary written");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = fcdram_bench::config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -46,6 +46,7 @@ pub mod runner;
 pub mod serve;
 pub mod stats;
 pub mod sweep;
+pub mod trace;
 
 pub use report::{Row, RowOrigin, Table};
 pub use runner::{ModuleCtx, Scale};

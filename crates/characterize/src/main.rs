@@ -28,11 +28,14 @@ usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
                            [--min-success X] [--fan-in N]
                            [--module NAME] [--costs PATH]
                            [--backend {vm,bender}]
-                           [--faults PLAN.json|demo]
+                           [--faults PLAN.json|demo] [--demo]
+                           [--trace-json PATH] [--metrics PATH]
                            [--record SESSION.json] [--json PATH]
        characterize daemon --replay SESSION.json [--shards K]
                            [--backend {vm,bender}] [--costs PATH]
+                           [--trace-json PATH] [--metrics PATH]
                            [--json PATH]
+       characterize trace --input TRACE.json [--top N] [--json PATH]
 
 EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
             fig12 fig15 fig16 fig17 fig18 fig19 fig20 fig21
@@ -138,11 +141,31 @@ the report carries modeled throughput instead):
                 identical on both)
 --faults F      degradation scenario (FaultPlan JSON or 'demo'); the
                 health snapshots accumulate mitigations and dropouts
+--demo          the canonical demo session: shorthand for --faults
+                demo over the built-in tenants (what CI traces);
+                conflicts with --faults and --replay
+--trace-json PATH  record the session as Chrome trace-event JSON
+                (load in chrome://tracing or Perfetto; analyze with
+                `characterize trace`). Timestamps are modeled —
+                tick clock plus cost-model latencies — so the trace
+                bytes are identical for every --shards value and
+                both backends
+--metrics PATH  write a Prometheus-style metrics exposition at every
+                health interval and once more at drain (the file
+                always ends matching the final report totals)
 --record PATH   write the session log for later --replay
 --replay PATH   re-execute a recorded session; traffic-shaping flags
                 are rejected (the log pins them) — only --shards,
-                --backend, --costs, and --json are allowed
+                --backend, --costs, --trace-json, --metrics, and
+                --json are allowed
 --json PATH     additionally write the tables as JSON
+
+trace mode analyzes a recorded Chrome trace offline: the top-N
+hottest (op, N) shapes by total modeled time, per-chip utilization,
+and per-tenant queue-wait breakdowns:
+--input PATH  the trace written by `characterize daemon --trace-json`
+--top N       how many op shapes to list (default 10)
+--json PATH   additionally write the tables as JSON
 ";
 
 /// Takes the next argument as a string, printing a diagnostic when it
@@ -568,6 +591,52 @@ fn build_cli_fleet(module: Option<&str>, chips: usize) -> Option<FleetConfig> {
     }
 }
 
+/// Builds the daemon's observability bundle from the `--trace-json` /
+/// `--metrics` flags (a disabled bundle when neither was given — the
+/// engine then follows the exact unobserved code paths).
+fn daemon_obs(trace: bool, metrics_path: Option<&str>) -> fcobs::Observability {
+    let mut obs = fcobs::Observability::disabled();
+    if trace {
+        obs = obs.with_trace(fcobs::trace::DEFAULT_TRACE_CAPACITY);
+    }
+    if metrics_path.is_some() {
+        obs = obs.with_metrics(metrics_path.map(std::path::PathBuf::from));
+    }
+    obs
+}
+
+/// Writes the collected trace as Chrome trace-event JSON and confirms
+/// the metrics file (the daemon already flushed it). Returns false on
+/// a write failure.
+fn write_obs_artifacts(
+    obs: fcobs::Observability,
+    trace_path: Option<&str>,
+    metrics_path: Option<&str>,
+) -> bool {
+    if let Some(path) = trace_path {
+        let buf = obs.trace.expect("--trace-json enabled the collector");
+        let dropped = buf.dropped();
+        let events = buf.finish();
+        if dropped > 0 {
+            eprintln!("warning: trace ring shed {dropped} oldest event(s)");
+        }
+        let json = fcobs::chrome::to_chrome(&events);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            return false;
+        }
+        eprintln!(
+            "wrote {path} ({} trace event(s); open in chrome://tracing or \
+             run `characterize trace --input {path}`)",
+            events.len()
+        );
+    }
+    if let Some(path) = metrics_path {
+        eprintln!("wrote {path} (Prometheus-style metrics exposition)");
+    }
+    true
+}
+
 /// The `daemon` subcommand: run the always-on fcserve serving daemon
 /// over the built-in demo tenants (optionally recording the session),
 /// or byte-identically replay a recorded session.
@@ -588,12 +657,24 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
     let mut costs_path: Option<String> = None;
     let mut backend: Option<fcexec::BackendKind> = None;
     let mut faults_arg: Option<String> = None;
+    let mut demo = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut record_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--demo" => demo = true,
+            "--trace-json" => match str_arg(&mut it, "--trace-json") {
+                Some(p) => trace_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--metrics" => match str_arg(&mut it, "--metrics") {
+                Some(p) => metrics_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
             "--ticks" => match num_arg(&mut it, "--ticks") {
                 Some(n) => ticks = Some(n),
                 None => return ExitCode::FAILURE,
@@ -698,6 +779,7 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
             ("--fan-in", fan_in.is_some()),
             ("--module", module.is_some()),
             ("--faults", faults_arg.is_some()),
+            ("--demo", demo),
             ("--record", record_path.is_some()),
         ]
         .iter()
@@ -742,16 +824,21 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
             log.knobs.ticks,
             fleet.len()
         );
-        let report = match fcserve::daemon::replay(&fleet, &cost, &log, shards, backend) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("replay failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let obs = daemon_obs(trace_path.is_some(), metrics_path.as_deref());
+        let (report, obs) =
+            match fcserve::daemon::replay_obs(&fleet, &cost, &log, shards, backend, obs) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         let tables = characterize::daemon::tables(&report);
         for t in &tables {
             println!("{}", t.render());
+        }
+        if !write_obs_artifacts(obs, trace_path.as_deref(), metrics_path.as_deref()) {
+            return ExitCode::FAILURE;
         }
         if let Some(out) = json_path {
             if let Err(e) = std::fs::write(&out, to_json(&tables)) {
@@ -775,6 +862,13 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
     let Some(fleet) = build_cli_fleet(module.as_deref(), chips) else {
         return ExitCode::FAILURE;
     };
+    if demo && faults_arg.is_some() {
+        eprintln!("--demo already selects the demo fault scenario; drop --faults\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if demo {
+        faults_arg = Some("demo".into());
+    }
     let faults = match &faults_arg {
         Some(f) if f == "demo" => Some(fcsched::FaultPlan::demo()),
         Some(path) => {
@@ -833,8 +927,14 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
         fleet.len(),
         cfg.policy.backend
     );
+    let obs = daemon_obs(trace_path.is_some(), metrics_path.as_deref());
+    let profiling = trace_path.is_some() || metrics_path.is_some();
+    let mut prof = fcobs::SelfProfiler::new();
     let start = std::time::Instant::now();
-    let (mut log, report) = match fcserve::daemon::run_live(&fleet, &cost, &cfg, &tenants) {
+    let outcome = prof.stage("session", || {
+        fcserve::daemon::run_live_obs(&fleet, &cost, &cfg, &tenants, obs)
+    });
+    let (mut log, report, obs) = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("daemon session failed: {e}");
@@ -851,9 +951,17 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
         wall,
         report.totals.completed as f64 / wall.max(1e-9),
     );
-    let tables = characterize::daemon::tables(&report);
+    let tables = prof.stage("render", || characterize::daemon::tables(&report));
     for t in &tables {
         println!("{}", t.render());
+    }
+    if !write_obs_artifacts(obs, trace_path.as_deref(), metrics_path.as_deref()) {
+        return ExitCode::FAILURE;
+    }
+    if profiling {
+        // Wall-clock stage times stay on stderr, mirroring the
+        // jobs/s convention: they never reach deterministic output.
+        eprint!("{}", prof.summary());
     }
     if let Some(out) = record_path {
         // The log needs the fleet/cost identity a replay rebuilds
@@ -869,6 +977,71 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
             "wrote {out} ({} event(s); replay with `characterize daemon --replay {out}`)",
             log.events.len()
         );
+    }
+    if let Some(out) = json_path {
+        if let Err(e) = std::fs::write(&out, to_json(&tables)) {
+            eprintln!("failed to write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `trace` subcommand: offline analysis of a recorded Chrome
+/// trace — hottest (op, N) shapes, per-chip utilization, per-tenant
+/// queue waits.
+fn run_trace_cli(args: Vec<String>) -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut top = 10usize;
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--input" => match str_arg(&mut it, "--input") {
+                Some(p) => input = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--top" => match num_arg(&mut it, "--top") {
+                Some(n) => top = n,
+                None => return ExitCode::FAILURE,
+            },
+            "--json" => match str_arg(&mut it, "--json") {
+                Some(p) => json_path = Some(p),
+                None => return ExitCode::FAILURE,
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown trace option '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = input else {
+        eprintln!("trace needs --input TRACE.json\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match fcobs::chrome::from_chrome(&json) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{path}: not a characterize trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("analyzing {} trace event(s) from {path} ...", events.len());
+    let tables = characterize::trace::tables(&events, top.max(1));
+    for t in &tables {
+        println!("{}", t.render());
     }
     if let Some(out) = json_path {
         if let Err(e) = std::fs::write(&out, to_json(&tables)) {
@@ -1136,6 +1309,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("daemon") {
         return run_daemon_cli(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace_cli(args.split_off(1));
     }
     let mut ids: Vec<String> = Vec::new();
     let mut quick = false;

@@ -1,0 +1,123 @@
+//! The `characterize trace` pipeline: offline analysis tables over a
+//! recorded Chrome trace (the artifact `characterize daemon
+//! --trace-json` writes).
+//!
+//! Like [`crate::daemon`], this module is the testable core of the
+//! CLI subcommand: it takes the parsed trace events and renders the
+//! standard [`Table`] shape. Every number below derives from the
+//! modeled timestamps recorded in the trace, so analyzing the same
+//! trace file always produces the same bytes.
+
+use crate::report::{Row, Table};
+use fcobs::TraceEvent;
+
+/// Renders the trace analysis tables (`trace-ops`, `trace-chips`,
+/// `trace-tenants`): the `top` hottest `(op, N)` shapes by total
+/// modeled time, per-chip utilization, and per-tenant queue-wait
+/// breakdowns.
+pub fn tables(events: &[TraceEvent], top: usize) -> Vec<Table> {
+    let mut ops = Table::new(
+        "trace-ops",
+        format!("Hottest (op, N) shapes by total modeled time (top {top})"),
+        "op",
+        vec![
+            "executions".into(),
+            "total (us)".into(),
+            "mean (ns)".into(),
+            "activations".into(),
+        ],
+    );
+    for h in fcobs::hot_ops(events, top) {
+        let mean = if h.count > 0 {
+            h.total_ns / h.count as f64
+        } else {
+            0.0
+        };
+        ops.push_row(Row::new(
+            h.name.clone(),
+            vec![h.count as f64, h.total_ns / 1e3, mean, h.acts as f64],
+        ));
+    }
+    ops.note(
+        "modeled time: retry-scaled cost-model latency per step span, \
+         never backend or wall clock"
+            .to_string(),
+    );
+
+    let mut chips = Table::new(
+        "trace-chips",
+        "Per-chip utilization over the traced session",
+        "chip",
+        vec!["jobs".into(), "busy (us)".into()],
+    );
+    for c in fcobs::chip_utilization(events) {
+        chips.push_row(Row::new(
+            c.who.clone(),
+            vec![c.jobs as f64, c.busy_ns / 1e3],
+        ));
+    }
+
+    let mut tenants = Table::new(
+        "trace-tenants",
+        "Per-tenant queue-wait breakdown (job spans carry their wait)",
+        "tenant",
+        vec![
+            "jobs".into(),
+            "queue wait (us)".into(),
+            "service (us)".into(),
+        ],
+    );
+    for t in fcobs::tenant_queue_waits(events) {
+        tenants.push_row(Row::new(
+            t.tenant.clone(),
+            vec![t.jobs as f64, t.wait_ns / 1e3, t.service_ns / 1e3],
+        ));
+    }
+    tenants.note(format!(
+        "{} event(s) analyzed; spans/instants ordered by (tick, job, step)",
+        events.len()
+    ));
+    vec![ops, chips, tenants]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_core::FleetConfig;
+    use fcobs::Observability;
+    use fcserve::{daemon, DaemonConfig};
+    use fcsynth::CostModel;
+
+    #[test]
+    fn trace_tables_cover_ops_chips_and_tenants() {
+        let cost = CostModel::table1_defaults();
+        let fleet = FleetConfig::table1(12);
+        let cfg = DaemonConfig {
+            seed: 1,
+            lanes: 64,
+            ..DaemonConfig::default()
+        };
+        let obs = Observability::disabled().with_trace(1 << 16);
+        let (_, _, obs) =
+            daemon::run_live_obs(&fleet, &cost, &cfg, &crate::daemon::demo_tenants(), obs).unwrap();
+        let events = obs.trace.unwrap().finish();
+        // Round-trip through the Chrome JSON exactly as the CLI does.
+        let json = fcobs::chrome::to_chrome(&events);
+        let parsed = fcobs::chrome::from_chrome(&json).unwrap();
+        assert_eq!(events, parsed, "chrome export is lossless");
+        let ts = tables(&parsed, 10);
+        assert_eq!(ts.len(), 3);
+        assert!(!ts[0].rows.is_empty(), "hot ops present");
+        assert!(ts[0].rows.len() <= 10, "top-N bound respected");
+        assert!(!ts[1].rows.is_empty(), "chip utilization present");
+        let tenant_labels: Vec<&str> = ts[2].rows.iter().map(|r| r.label.as_str()).collect();
+        assert!(
+            tenant_labels.contains(&"interactive") && tenant_labels.contains(&"bulk"),
+            "tenant breakdown names the demo tenants: {tenant_labels:?}"
+        );
+        // Rendering twice is byte-stable.
+        let render: String = ts.iter().map(Table::render).collect();
+        let render2: String = tables(&parsed, 10).iter().map(Table::render).collect();
+        assert_eq!(render, render2);
+    }
+}

@@ -23,6 +23,7 @@ use crate::fault::{DisturbancePolicy, DisturbanceState};
 use crate::fidelity::{SimFidelity, Telemetry};
 use crate::geometry::Geometry;
 use crate::math::{mix3, normal_cdf};
+use crate::obs::{CommandKind, CommandTally};
 use crate::reliability::{
     LogicOp, NotEvent, ReliabilityModel, SIGMA_CELL_LOGIC, SIGMA_CELL_NOT, SIGMA_SA_LOGIC,
     SIGMA_SA_NOT, Z_ROWCLONE,
@@ -309,6 +310,7 @@ pub struct Chip {
     cache: VariationCache,
     disturbance: DisturbanceState,
     disturb_policy: Option<DisturbancePolicy>,
+    commands: CommandTally,
 }
 
 impl Chip {
@@ -340,6 +342,7 @@ impl Chip {
             cache: VariationCache::new(),
             disturbance: DisturbanceState::new(geom.banks() * geom.subarrays_per_bank()),
             disturb_policy: None,
+            commands: CommandTally::new(),
         }
     }
 
@@ -418,6 +421,21 @@ impl Chip {
     #[inline]
     pub fn disturbance_policy(&self) -> Option<&DisturbancePolicy> {
         self.disturb_policy.as_ref()
+    }
+
+    /// Device commands issued by this chip since creation (or the
+    /// last [`Self::reset_commands`]). Pure bookkeeping for the
+    /// observability layer: host-side direct accesses are not
+    /// counted, and the tally never affects stored bits or success
+    /// rates.
+    #[inline]
+    pub fn commands(&self) -> &CommandTally {
+        &self.commands
+    }
+
+    /// Drain and reset the device-command tally.
+    pub fn reset_commands(&mut self) -> CommandTally {
+        std::mem::take(&mut self.commands)
     }
 
     /// Installs (or removes) the read-disturbance policy. With `None`
@@ -508,12 +526,14 @@ impl Chip {
             last_subarray: sub,
         });
         self.charge_disturbance(bank, sub, 1);
+        self.commands.record(CommandKind::Activate);
         Ok(())
     }
 
     /// Normal precharge: closes the bank.
     pub fn precharge(&mut self, bank: BankId) -> Result<()> {
         self.bank_mut_ref(bank)?.close();
+        self.commands.record(CommandKind::Precharge);
         Ok(())
     }
 
@@ -527,6 +547,7 @@ impl Chip {
             let b = self.bank_mut_ref(bank)?;
             b.subarray_mut(sub).read_bits(local, vdd)
         };
+        self.commands.record(CommandKind::Read);
         self.precharge(bank)?;
         Ok(bits)
     }
@@ -586,6 +607,7 @@ impl Chip {
                 }
             }
         }
+        self.commands.record(CommandKind::Read);
         self.precharge(bank)?;
         Ok(words)
     }
@@ -642,6 +664,7 @@ impl Chip {
                 }
             }
         }
+        self.commands.record(CommandKind::Write);
         Ok(())
     }
 
@@ -654,6 +677,7 @@ impl Chip {
     pub fn frac(&mut self, bank: BankId, row: GlobalRow) -> Result<OpOutcome> {
         let (sub, local) = self.geom.split_row(row)?;
         self.charge_disturbance(bank, sub, 1);
+        self.commands.record(CommandKind::Frac);
         let vdd = self.model.analog().vdd;
         let level = self.model.analog().frac_level;
         let cols = self.geom.cols();
@@ -700,6 +724,7 @@ impl Chip {
         let activation = self.decoder.activation(&self.geom, rf, rl);
         let (sub_f, loc_f) = self.geom.split_row(rf)?;
         let (sub_l, _) = self.geom.split_row(rl)?;
+        self.commands.record(CommandKind::MultiActCopy);
         let op = self.next_op();
         let vdd = self.model.analog().vdd;
         let cols = self.geom.cols();
@@ -1014,6 +1039,7 @@ impl Chip {
         let activation = self.decoder.activation(&self.geom, r_ref, r_com);
         let (sub_ref, _) = self.geom.split_row(r_ref)?;
         let (sub_com, _) = self.geom.split_row(r_com)?;
+        self.commands.record(CommandKind::ChargeShare);
         let op = self.next_op();
         let vdd = self.model.analog().vdd;
         let cols = self.geom.cols();
@@ -1444,6 +1470,7 @@ impl Chip {
         let (sub, local) = self.geom.split_row(row)?;
         self.geom.check_bank(bank)?;
         self.charge_disturbance(bank, sub, activations);
+        self.commands.record_n(CommandKind::Hammer, activations);
         let vdd = self.model.analog().vdd;
         let rows_per_sub = self.geom.rows_per_subarray();
         let mut victims = Vec::new();

@@ -49,6 +49,7 @@ pub mod fleet;
 pub mod geometry;
 pub mod math;
 pub mod module;
+pub mod obs;
 pub mod reliability;
 pub mod row_decoder;
 pub mod subarray;
@@ -68,6 +69,7 @@ pub use fidelity::{SimFidelity, Telemetry};
 pub use fleet::{ChipSpec, FleetConfig, FleetSlot, FleetSlots, SlotLease};
 pub use geometry::Geometry;
 pub use module::DramModule;
+pub use obs::{CommandKind, CommandTally};
 pub use reliability::{CellRef, LogicEvent, LogicOp, NotEvent, ReliabilityModel};
 pub use row_decoder::{ActivationShape, MultiActivation, PatternKind, RowDecoder};
 pub use subarray::Subarray;

@@ -1,0 +1,184 @@
+//! Command-level observability hook: a per-chip tally of issued
+//! device commands.
+//!
+//! The chip model executes whole command *sequences* (`read_row` is
+//! ACT → RD → PRE; `multi_act_copy` is the violated-timing
+//! ACT → PRE → ACT), but observability wants the per-command view a
+//! logic analyzer on the bus would see. [`CommandTally`] counts every
+//! device command a [`crate::Chip`] issues; host-side direct accesses
+//! (`write_row_direct`, `read_row_direct`) are deliberately *not*
+//! counted — they model experiment setup, not bus traffic. The tally
+//! is pure bookkeeping: charging it never perturbs stored bits,
+//! success rates, or any deterministic artifact.
+
+/// One device-command class, as seen on the command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CommandKind {
+    /// `ACT`: normal single-row activation.
+    Activate,
+    /// `PRE`: bank precharge.
+    Precharge,
+    /// `RD`: column read burst (counted once per row read).
+    Read,
+    /// `WR`: column write burst into an open bank.
+    Write,
+    /// `Frac`: interrupted restoration storing ≈VDD/2.
+    Frac,
+    /// `APA` copy/NOT sequence (`ACT → PRE(tRP violated) → ACT`).
+    MultiActCopy,
+    /// Charge-sharing sequence (both gaps violated): the N-input
+    /// AND/OR/NAND/NOR primitive.
+    ChargeShare,
+    /// RowHammer activation burst (counted per activation).
+    Hammer,
+}
+
+/// Number of distinct [`CommandKind`]s.
+pub const COMMAND_KINDS: usize = 8;
+
+impl CommandKind {
+    /// All kinds, in bus-command order.
+    pub fn all() -> [CommandKind; COMMAND_KINDS] {
+        [
+            CommandKind::Activate,
+            CommandKind::Precharge,
+            CommandKind::Read,
+            CommandKind::Write,
+            CommandKind::Frac,
+            CommandKind::MultiActCopy,
+            CommandKind::ChargeShare,
+            CommandKind::Hammer,
+        ]
+    }
+
+    /// Stable index into a tally array.
+    pub fn index(self) -> usize {
+        match self {
+            CommandKind::Activate => 0,
+            CommandKind::Precharge => 1,
+            CommandKind::Read => 2,
+            CommandKind::Write => 3,
+            CommandKind::Frac => 4,
+            CommandKind::MultiActCopy => 5,
+            CommandKind::ChargeShare => 6,
+            CommandKind::Hammer => 7,
+        }
+    }
+
+    /// Short bus mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommandKind::Activate => "act",
+            CommandKind::Precharge => "pre",
+            CommandKind::Read => "read",
+            CommandKind::Write => "write",
+            CommandKind::Frac => "frac",
+            CommandKind::MultiActCopy => "apa",
+            CommandKind::ChargeShare => "charge_share",
+            CommandKind::Hammer => "hammer",
+        }
+    }
+}
+
+impl std::fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-chip count of issued device commands.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommandTally {
+    counts: [u64; COMMAND_KINDS],
+}
+
+impl CommandTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        CommandTally::default()
+    }
+
+    /// Record one command.
+    #[inline]
+    pub fn record(&mut self, kind: CommandKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Record `n` commands of one kind (hammer bursts).
+    #[inline]
+    pub fn record_n(&mut self, kind: CommandKind, n: u64) {
+        self.counts[kind.index()] += n;
+    }
+
+    /// Count for one kind.
+    pub fn count(&self, kind: CommandKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total commands of every kind.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|c| *c == 0)
+    }
+
+    /// Absorb another tally (exact, order-insensitive).
+    pub fn merge(&mut self, other: &CommandTally) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+    }
+
+    /// `(kind, count)` pairs for every non-zero kind, in bus order.
+    pub fn nonzero(&self) -> Vec<(CommandKind, u64)> {
+        CommandKind::all()
+            .into_iter()
+            .filter(|k| self.count(*k) > 0)
+            .map(|k| (k, self.count(k)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_and_merges() {
+        let mut a = CommandTally::new();
+        a.record(CommandKind::Activate);
+        a.record(CommandKind::Activate);
+        a.record_n(CommandKind::Hammer, 1000);
+        let mut b = CommandTally::new();
+        b.record(CommandKind::Precharge);
+        a.merge(&b);
+        assert_eq!(a.count(CommandKind::Activate), 2);
+        assert_eq!(a.count(CommandKind::Hammer), 1000);
+        assert_eq!(a.count(CommandKind::Precharge), 1);
+        assert_eq!(a.total(), 1003);
+        assert_eq!(
+            a.nonzero(),
+            vec![
+                (CommandKind::Activate, 2),
+                (CommandKind::Precharge, 1),
+                (CommandKind::Hammer, 1000),
+            ]
+        );
+        assert!(!a.is_empty());
+        assert!(CommandTally::new().is_empty());
+    }
+
+    #[test]
+    fn kind_indices_are_a_bijection() {
+        let mut seen = [false; COMMAND_KINDS];
+        for k in CommandKind::all() {
+            assert!(!seen[k.index()], "duplicate index for {k}");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        assert_eq!(CommandKind::MultiActCopy.to_string(), "apa");
+    }
+}

@@ -57,6 +57,7 @@ pub mod bender_backend;
 pub mod engine;
 pub mod error;
 pub mod latency;
+pub mod obs;
 mod vm;
 
 pub use bender_backend::BenderBackend;

@@ -1,0 +1,121 @@
+//! fcobs: deterministic tracing, metrics, and profiling for the
+//! FCDRAM stack.
+//!
+//! Every layer of the pipeline — chip model, execution engine,
+//! scheduler, serving daemon — runs on a *modeled* clock: ticks,
+//! modeled nanoseconds, deterministic retry draws. This crate gives
+//! that clock an observability surface without breaking it:
+//!
+//! * [`trace`] — hierarchical spans and instants stamped with modeled
+//!   timestamps and ordered by `(tick, job, step)`, never wall clock,
+//!   so a recorded trace is byte-identical across shard counts and
+//!   execution backends (determinism invariant #4, see
+//!   `docs/OBSERVABILITY.md`).
+//! * [`metrics`] — a counters/gauges/histograms registry with a
+//!   deterministic Prometheus-style text exposition. Histograms reuse
+//!   the fixed-bin [`fcdram::SuccessAccumulator`].
+//! * [`chrome`] — Chrome trace-event JSON export (`chrome://tracing`
+//!   flame views) with a lossless round-trip parser.
+//! * [`analysis`] — offline views over a recorded trace: hottest
+//!   `(op, N)` shapes, per-chip utilization, per-tenant queue waits.
+//! * [`profile`] — wall-clock self-profiling of the harness itself,
+//!   kept strictly off the deterministic artifacts (stderr only).
+//!
+//! The [`Observability`] bundle is what the daemon and the CLI thread
+//! through a run: a disabled bundle costs nothing and leaves every
+//! existing report byte unchanged.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chrome;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use analysis::{chip_utilization, hot_ops, tenant_queue_waits, ChipUse, OpHeat, TenantWait};
+pub use metrics::MetricsRegistry;
+pub use profile::SelfProfiler;
+pub use trace::{NullSink, Phase, TraceBuffer, TraceEvent, TraceSink};
+
+/// The observability bundle a run carries: an optional trace
+/// collector plus the metrics exposition channel.
+///
+/// A default/disabled bundle is inert: no events are collected, no
+/// files are written, and callers that branch on [`Self::tracing`]
+/// follow the exact untraced code path, so the deterministic report
+/// bytes of an unobserved run are untouched.
+#[derive(Debug, Default)]
+pub struct Observability {
+    /// Trace collector; `None` means tracing is off.
+    pub trace: Option<TraceBuffer>,
+    /// Where the Prometheus-style exposition is flushed, if anywhere.
+    pub metrics_path: Option<std::path::PathBuf>,
+    /// Whether metric snapshots are rendered at all (a path-less
+    /// enabled registry is used by tests to capture
+    /// [`Self::last_metrics`] without touching the filesystem).
+    pub metrics_enabled: bool,
+    /// The most recently rendered exposition, kept for inspection.
+    pub last_metrics: Option<String>,
+}
+
+impl Observability {
+    /// A fully disabled bundle (same as `Default`).
+    pub fn disabled() -> Self {
+        Observability::default()
+    }
+
+    /// Enable trace collection with the given ring capacity.
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(TraceBuffer::new(capacity));
+        self
+    }
+
+    /// Enable metric snapshots, optionally flushed to `path`.
+    #[must_use]
+    pub fn with_metrics(mut self, path: Option<std::path::PathBuf>) -> Self {
+        self.metrics_enabled = true;
+        self.metrics_path = path;
+        self
+    }
+
+    /// Whether trace events should be emitted.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record a rendered metrics exposition: remember it and flush it
+    /// to [`Self::metrics_path`] when one is configured.
+    ///
+    /// # Errors
+    /// Propagates the file write error, if any.
+    pub fn flush_metrics(&mut self, rendered: String) -> std::io::Result<()> {
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, &rendered)?;
+        }
+        self.last_metrics = Some(rendered);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundle_is_inert() {
+        let obs = Observability::disabled();
+        assert!(!obs.tracing());
+        assert!(!obs.metrics_enabled);
+        assert!(obs.last_metrics.is_none());
+    }
+
+    #[test]
+    fn enabled_bundle_collects_and_remembers() {
+        let mut obs = Observability::disabled().with_trace(16).with_metrics(None);
+        assert!(obs.tracing() && obs.metrics_enabled);
+        obs.flush_metrics("# HELP x y\n".into()).unwrap();
+        assert_eq!(obs.last_metrics.as_deref(), Some("# HELP x y\n"));
+    }
+}

@@ -88,6 +88,28 @@ pub struct JobOutcome {
     pub result: PackedBits,
 }
 
+/// One step of a recorded job execution, as the trace layer sees it.
+///
+/// Every field is derived from the cost model, the step shape, and the
+/// deterministic retry draws — never from
+/// [`ExecBackend::step_latency_ns`] — so recorded traces are
+/// byte-identical across backends (determinism invariant #4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTrace {
+    /// Op-shape name (`and16`, `nor2`, `not`).
+    pub name: String,
+    /// Cost-model latency of one attempt, nanoseconds.
+    pub model_ns: f64,
+    /// Cost-model energy of one attempt, picojoules.
+    pub energy_pj: f64,
+    /// Attempts executed (1 + retries spent on this step).
+    pub attempts: u32,
+    /// Modeled device activations per attempt.
+    pub acts: u64,
+    /// Whether the step exhausted the budget and stayed failed.
+    pub failed: bool,
+}
+
 /// Runs one job on `backend` under its assigned chip profile — the
 /// backend-generic core every serving configuration calls. Pure
 /// function of `(job, assignment, profile cost, batch_seed, backend)`.
@@ -108,6 +130,48 @@ pub fn run_job_on<B: ExecBackend>(
     retry_budget: u32,
     batch_seed: u64,
 ) -> Result<JobOutcome> {
+    run_job_on_rec(backend, job, asg, profile, retry_budget, batch_seed, None).map(|(o, _)| o)
+}
+
+/// [`run_job_on`] with per-step trace records: the observability entry
+/// point. The outcome is bit-identical to the unrecorded run.
+///
+/// # Errors
+///
+/// Propagates backend failures (row exhaustion, lane mismatch).
+pub fn run_job_recorded<B: ExecBackend>(
+    backend: &mut B,
+    job: &Job,
+    asg: &Assignment,
+    profile: &crate::planner::ChipProfile,
+    retry_budget: u32,
+    batch_seed: u64,
+) -> Result<(JobOutcome, Vec<StepTrace>)> {
+    let mut steps = Vec::new();
+    let out = run_job_on_rec(
+        backend,
+        job,
+        asg,
+        profile,
+        retry_budget,
+        batch_seed,
+        Some(&mut steps),
+    )?;
+    Ok((out.0, steps))
+}
+
+/// The shared engine loop behind [`run_job_on`] / [`run_job_recorded`]:
+/// `record = None` is the exact pre-observability path.
+#[allow(clippy::too_many_arguments)]
+fn run_job_on_rec<B: ExecBackend>(
+    backend: &mut B,
+    job: &Job,
+    asg: &Assignment,
+    profile: &crate::planner::ChipProfile,
+    retry_budget: u32,
+    batch_seed: u64,
+    mut record: Option<&mut Vec<StepTrace>>,
+) -> Result<(JobOutcome, ())> {
     let prog = &asg.program;
     let seed = mix3(batch_seed, job.id as u64, profile.chip_seed);
     let cost = &profile.cost;
@@ -147,7 +211,10 @@ pub fn run_job_on<B: ExecBackend>(
         }
         let l = step_latency[i].unwrap_or(model_l);
         let mut attempt = 0u64;
+        let mut attempts = 0u32;
+        let mut step_failed = false;
         loop {
+            attempts += 1;
             latency += l;
             energy += e;
             let draw = hash_to_unit(mix3(seed, i as u64, attempt));
@@ -159,37 +226,53 @@ pub fn run_job_on<B: ExecBackend>(
                 attempt += 1;
             } else {
                 failed_ops += 1;
+                step_failed = true;
                 break;
             }
         }
+        if let Some(rec) = record.as_deref_mut() {
+            rec.push(StepTrace {
+                name: fcexec::obs::step_name(step),
+                model_ns: model_l,
+                energy_pj: e,
+                attempts,
+                acts: fcexec::obs::step_acts(step),
+                failed: step_failed,
+            });
+        }
     })?;
-    Ok(JobOutcome {
-        job: job.id,
-        label: job.label.clone(),
-        member: asg.member,
-        chip: profile.label.clone(),
-        wave: asg.wave,
-        admission: asg.admission,
-        succeeded: failed_ops == 0,
-        ops: prog.steps.len(),
-        retries,
-        failed_ops,
-        replacements: asg.replacements,
-        predicted_success: asg.predicted.expected_success,
-        latency_ns: latency,
-        energy_pj: energy,
-        result,
-    })
+    Ok((
+        JobOutcome {
+            job: job.id,
+            label: job.label.clone(),
+            member: asg.member,
+            chip: profile.label.clone(),
+            wave: asg.wave,
+            admission: asg.admission,
+            succeeded: failed_ops == 0,
+            ops: prog.steps.len(),
+            retries,
+            failed_ops,
+            replacements: asg.replacements,
+            predicted_success: asg.predicted.expected_success,
+            latency_ns: latency,
+            energy_pj: energy,
+            result,
+        },
+        (),
+    ))
 }
 
-/// Builds the policy-selected backend for one job and runs it.
+/// Builds the policy-selected backend for one job and runs it,
+/// recording step traces when `record` is set.
 fn run_job(
     job: &Job,
     asg: &Assignment,
     profile: &crate::planner::ChipProfile,
     policy: &SchedPolicy,
     batch_seed: u64,
-) -> Result<JobOutcome> {
+    record: bool,
+) -> Result<(JobOutcome, Vec<StepTrace>)> {
     let prog = &asg.program;
     let capacity = (prog.n_regs + job.operands.len() + 4).max(8);
     let mut vm =
@@ -198,12 +281,23 @@ fn run_job(
     // retry budget: the policy budget is honored across the whole
     // served life of the job, not per placement.
     let budget = policy.retry_budget.saturating_sub(asg.replacements);
-    match policy.backend {
-        BackendKind::Vm => run_job_on(&mut vm, job, asg, profile, budget, batch_seed),
-        BackendKind::Bender => {
-            let mut timed = ScheduleTimed::new(vm, profile.speed);
-            run_job_on(&mut timed, job, asg, profile, budget, batch_seed)
+    if record {
+        match policy.backend {
+            BackendKind::Vm => run_job_recorded(&mut vm, job, asg, profile, budget, batch_seed),
+            BackendKind::Bender => {
+                let mut timed = ScheduleTimed::new(vm, profile.speed);
+                run_job_recorded(&mut timed, job, asg, profile, budget, batch_seed)
+            }
         }
+    } else {
+        match policy.backend {
+            BackendKind::Vm => run_job_on(&mut vm, job, asg, profile, budget, batch_seed),
+            BackendKind::Bender => {
+                let mut timed = ScheduleTimed::new(vm, profile.speed);
+                run_job_on(&mut timed, job, asg, profile, budget, batch_seed)
+            }
+        }
+        .map(|o| (o, Vec::new()))
     }
 }
 
@@ -220,6 +314,66 @@ fn run_job(
 /// Panics when `plan` was built for a different batch (assignment
 /// count mismatch) or a worker thread panics.
 pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<BatchReport> {
+    execute_plan_impl(batch, plan, policy, false).map(|(report, _)| report)
+}
+
+/// [`execute_plan`] with trace emission: job and step spans on the
+/// modeled clock, plus the plan's fault timeline, written to `sink`
+/// in submission order *after* shard reassembly — never in thread
+/// completion order — so the emitted stream is identical for every
+/// shard count. All span durations come from the cost model and the
+/// deterministic retry draws (see [`StepTrace`]), so the stream is
+/// also identical across vm/bender backends. The report is
+/// byte-identical to [`execute_plan`]'s.
+///
+/// # Errors
+///
+/// Same failure modes as [`execute_plan`].
+///
+/// # Panics
+///
+/// Same as [`execute_plan`].
+pub fn execute_plan_traced(
+    batch: &Batch,
+    plan: &Plan,
+    policy: &SchedPolicy,
+    ctx: &TraceCtx,
+    sink: &mut dyn fcobs::TraceSink,
+) -> Result<BatchReport> {
+    let record = sink.enabled();
+    let (report, traces) = execute_plan_impl(batch, plan, policy, record)?;
+    if record {
+        emit_batch_events(batch, plan, &report, &traces, ctx, sink);
+    }
+    Ok(report)
+}
+
+/// Modeled-clock context for [`execute_plan_traced`]: where this batch
+/// sits on the daemon timeline. Standalone batches use the default
+/// (tick 0 at 0 ns).
+#[derive(Debug, Clone, Default)]
+pub struct TraceCtx {
+    /// Daemon tick the batch ran in (ordering key, major).
+    pub tick: u64,
+    /// Modeled nanoseconds at the start of the tick.
+    pub base_ns: f64,
+    /// Per-job modeled queue wait, nanoseconds (empty = all zero).
+    pub queue_wait_ns: Vec<f64>,
+}
+
+/// What one job's worker hands back: its outcome plus the recorded
+/// per-step traces (empty unless recording).
+type JobRun = Result<(JobOutcome, Vec<StepTrace>)>;
+
+/// The shared sharded loop behind [`execute_plan`] /
+/// [`execute_plan_traced`]: `record = false` is the exact
+/// pre-observability path (per-job traces stay empty).
+fn execute_plan_impl(
+    batch: &Batch,
+    plan: &Plan,
+    policy: &SchedPolicy,
+    record: bool,
+) -> Result<(BatchReport, Vec<Vec<StepTrace>>)> {
     assert_eq!(
         plan.assignments.len(),
         batch.len(),
@@ -227,7 +381,7 @@ pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<
     );
     let n = batch.len();
     let workers = policy.effective_workers(n);
-    let mut results: Vec<Option<Result<JobOutcome>>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<JobRun>> = (0..n).map(|_| None).collect();
     if workers <= 1 {
         for (i, (job, asg)) in batch.jobs().iter().zip(&plan.assignments).enumerate() {
             results[i] = Some(run_job(
@@ -236,6 +390,7 @@ pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<
                 &plan.profiles[asg.member],
                 policy,
                 batch.seed(),
+                record,
             ));
         }
     } else {
@@ -262,6 +417,7 @@ pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<
                                         &plan.profiles[asg.member],
                                         policy,
                                         batch.seed(),
+                                        record,
                                     ),
                                 )
                             })
@@ -277,17 +433,139 @@ pub fn execute_plan(batch: &Batch, plan: &Plan, policy: &SchedPolicy) -> Result<
         });
     }
     let mut outcomes = Vec::with_capacity(n);
+    let mut traces = Vec::with_capacity(n);
     for r in results {
-        outcomes.push(r.expect("every job executed")?);
+        let (outcome, steps) = r.expect("every job executed")?;
+        outcomes.push(outcome);
+        traces.push(steps);
     }
-    Ok(BatchReport {
-        outcomes,
-        shards: workers,
-        waves: plan.waves,
-        chips: plan.profiles.len(),
-        seed: batch.seed(),
-        health: plan.health.clone(),
-    })
+    Ok((
+        BatchReport {
+            outcomes,
+            shards: workers,
+            waves: plan.waves,
+            chips: plan.profiles.len(),
+            seed: batch.seed(),
+            health: plan.health.clone(),
+        },
+        traces,
+    ))
+}
+
+/// Emits the batch's trace stream: one `batch` span, the fault
+/// timeline, then per job a `sched` span and its `exec` step spans.
+/// Called once, in submission order, after shard reassembly.
+fn emit_batch_events(
+    batch: &Batch,
+    plan: &Plan,
+    report: &BatchReport,
+    traces: &[Vec<StepTrace>],
+    ctx: &TraceCtx,
+    sink: &mut dyn fcobs::TraceSink,
+) {
+    use fcobs::{Phase, TraceEvent};
+    let base = ctx.base_ns;
+    let mut batch_end = 0.0f64;
+    for (idx, ((asg, steps), out)) in plan
+        .assignments
+        .iter()
+        .zip(traces)
+        .zip(&report.outcomes)
+        .enumerate()
+    {
+        let who = plan.profiles[asg.member].label.clone();
+        let wait = ctx.queue_wait_ns.get(idx).copied().unwrap_or(0.0);
+        let served_ns: f64 = asg.wasted_ns
+            + steps
+                .iter()
+                .map(|s| s.model_ns * f64::from(s.attempts))
+                .sum::<f64>();
+        batch_end = batch_end.max(asg.start_ns + served_ns);
+        sink.record(TraceEvent {
+            phase: Phase::Span,
+            cat: "sched".into(),
+            name: out.label.clone(),
+            who: who.clone(),
+            track: 1 + asg.member as u64,
+            tick: ctx.tick,
+            job: 1 + idx as u64,
+            step: 0,
+            ts_ns: base + asg.start_ns,
+            dur_ns: served_ns,
+            args: vec![
+                ("member".into(), asg.member as f64),
+                ("wave".into(), asg.wave as f64),
+                ("retries".into(), f64::from(out.retries)),
+                ("failed".into(), f64::from(u8::from(!out.succeeded))),
+                ("queue_wait_ns".into(), wait),
+                ("predicted_ns".into(), asg.predicted.latency_ns),
+                ("wasted_ns".into(), asg.wasted_ns),
+            ],
+        });
+        let mut cursor = base + asg.start_ns + asg.wasted_ns;
+        for (i, s) in steps.iter().enumerate() {
+            let dur = s.model_ns * f64::from(s.attempts);
+            sink.record(TraceEvent {
+                phase: Phase::Span,
+                cat: "exec".into(),
+                name: s.name.clone(),
+                who: who.clone(),
+                track: 1 + asg.member as u64,
+                tick: ctx.tick,
+                job: 1 + idx as u64,
+                step: 1 + i as u64,
+                ts_ns: cursor,
+                dur_ns: dur,
+                args: vec![
+                    ("attempts".into(), f64::from(s.attempts)),
+                    ("acts".into(), s.acts as f64),
+                    ("energy_pj".into(), s.energy_pj * f64::from(s.attempts)),
+                    ("failed".into(), f64::from(u8::from(s.failed))),
+                ],
+            });
+            cursor += dur;
+        }
+    }
+    sink.record(TraceEvent {
+        phase: Phase::Span,
+        cat: "sched".into(),
+        name: "batch".into(),
+        who: "scheduler".into(),
+        track: 0,
+        tick: ctx.tick,
+        job: 0,
+        step: 2,
+        ts_ns: base,
+        dur_ns: batch_end,
+        args: vec![
+            ("jobs".into(), batch.len() as f64),
+            ("waves".into(), plan.waves as f64),
+            ("chips".into(), plan.profiles.len() as f64),
+        ],
+    });
+    if let Some(health) = &plan.health {
+        for (k, ev) in health.timeline.iter().enumerate() {
+            sink.record(TraceEvent {
+                phase: Phase::Instant,
+                cat: "fault".into(),
+                name: ev.kind.clone(),
+                who: ev.chip.clone(),
+                track: 1 + ev.member as u64,
+                tick: ctx.tick,
+                job: 0,
+                step: 50 + k as u64,
+                ts_ns: base + ev.at_ns,
+                dur_ns: 0.0,
+                args: vec![
+                    ("member".into(), ev.member as f64),
+                    // "job" is a reserved Chrome-args key (the
+                    // ordering key rides there); the placement index
+                    // gets its own name.
+                    ("at_job".into(), ev.job as f64),
+                ],
+            });
+        }
+    }
 }
 
 /// Plans and executes a batch in one call: the scheduler's front door.
@@ -526,6 +804,55 @@ mod tests {
             let expect = fcexec::execute_packed(&mut vm, &job.program, &job.operands).unwrap();
             assert_eq!(out.result, expect, "{}", job.label);
         }
+    }
+
+    #[test]
+    fn traced_execution_is_invariant_and_changes_nothing() {
+        let fleet = FleetConfig::table1(3);
+        let base = CostModel::table1_defaults();
+        let batch = batch_of(&MIX, 16, 0x0B5);
+        let collect = |shards: usize, backend: BackendKind| {
+            let policy = SchedPolicy {
+                backend,
+                shards,
+                ..SchedPolicy::default()
+            };
+            let plan = crate::planner::Planner::new(&fleet, &base, &policy)
+                .plan(&batch)
+                .unwrap();
+            let mut buf = fcobs::TraceBuffer::new(1 << 14);
+            let report =
+                execute_plan_traced(&batch, &plan, &policy, &TraceCtx::default(), &mut buf)
+                    .unwrap();
+            (report, buf.finish())
+        };
+        let (r1, t1) = collect(1, BackendKind::Vm);
+        assert!(!t1.is_empty());
+        assert!(t1.iter().any(|e| e.cat == "exec"), "step spans present");
+        assert!(t1.iter().any(|e| e.name == "batch"), "batch span present");
+        // The trace stream is identical across shard counts AND
+        // backends (determinism invariant #4): every traced duration
+        // comes from the cost model, never the backend's latency.
+        for (shards, backend) in [
+            (5, BackendKind::Vm),
+            (1, BackendKind::Bender),
+            (5, BackendKind::Bender),
+        ] {
+            let (_, t) = collect(shards, backend);
+            assert_eq!(t, t1, "trace moved under shards={shards} {backend:?}");
+        }
+        // Tracing never changes the report; a disabled sink takes the
+        // exact untraced path.
+        let policy = SchedPolicy::default().with_shards(1);
+        let plan = crate::planner::Planner::new(&fleet, &base, &policy)
+            .plan(&batch)
+            .unwrap();
+        let untraced = execute_plan(&batch, &plan, &policy).unwrap();
+        assert_eq!(r1.outcomes, untraced.outcomes);
+        let mut null = fcobs::NullSink;
+        let nulled =
+            execute_plan_traced(&batch, &plan, &policy, &TraceCtx::default(), &mut null).unwrap();
+        assert_eq!(nulled.outcomes, untraced.outcomes);
     }
 
     #[test]

@@ -57,6 +57,26 @@ pub struct Dropout {
     pub replaced: usize,
 }
 
+/// One entry of the unified fault timeline: a mitigation, diversion,
+/// or dropout, stamped with the member and the modeled time it
+/// happened. The trace layer turns these into `fault`-category
+/// instants, which is what gives the `serve-dropouts` table ordering
+/// context on the batch timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthEvent {
+    /// Event kind: `"mitigation"`, `"diversion"`, or `"dropout"`.
+    pub kind: String,
+    /// Fleet member the event happened on.
+    pub member: usize,
+    /// The member's display label.
+    pub chip: String,
+    /// Modeled time of the event on the member's load clock,
+    /// nanoseconds.
+    pub at_ns: f64,
+    /// The job being placed when the event fired.
+    pub job: usize,
+}
+
 /// The fleet-wide health report of one fault-injected session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetHealth {
@@ -70,6 +90,10 @@ pub struct FleetHealth {
     pub dropouts: Vec<Dropout>,
     /// Total jobs re-placed off dying chips.
     pub replaced_jobs: usize,
+    /// Unified fault timeline (mitigations, diversions, dropouts), in
+    /// occurrence order — a pure function of the plan, so
+    /// byte-identical on every serving configuration.
+    pub timeline: Vec<HealthEvent>,
 }
 
 impl FleetHealth {

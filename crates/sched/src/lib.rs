@@ -83,8 +83,11 @@ pub mod queue;
 pub mod report;
 
 pub use error::{Result, SchedError};
-pub use executor::{execute_plan, ideal_cost, run_job_on, serve_batch, JobOutcome};
-pub use health::{Dropout, FleetHealth, MemberHealth};
+pub use executor::{
+    execute_plan, execute_plan_traced, ideal_cost, run_job_on, run_job_recorded, serve_batch,
+    JobOutcome, StepTrace, TraceCtx,
+};
+pub use health::{Dropout, FleetHealth, HealthEvent, MemberHealth};
 pub use planner::{Admission, Assignment, ChipProfile, Plan, Planner, SchedPolicy};
 pub use queue::{Batch, Job, JobId};
 pub use report::{digest, BatchReport, LatencySummary, MemberUsage};

@@ -25,7 +25,7 @@
 //!    is flagged in its outcome.
 
 use crate::error::{Result, SchedError};
-use crate::health::{Dropout, FleetHealth, MemberHealth};
+use crate::health::{Dropout, FleetHealth, HealthEvent, MemberHealth};
 use crate::queue::{Batch, Job, JobId};
 use dram_core::fault::{hazard_rate, step_activations, DisturbanceState, FaultPlan};
 use dram_core::fleet::{ChipSpec, FleetConfig, FleetSlot, FleetSlots};
@@ -221,6 +221,11 @@ pub struct Assignment {
     /// Modeled nanoseconds already burned on chips that died mid-job;
     /// charged to the job's executed latency.
     pub wasted_ns: f64,
+    /// Modeled start of the job on its member's load clock,
+    /// nanoseconds — the trace layer's span anchor. A pure planning
+    /// quantity (cost-model load, never backend latency), so traces
+    /// built from it stay backend-invariant.
+    pub start_ns: f64,
 }
 
 /// A complete batch plan.
@@ -312,6 +317,7 @@ impl<'a> Planner<'a> {
                 dead: vec![false; specs.len()],
                 dropouts: Vec::new(),
                 replaced_jobs: 0,
+                timeline: Vec::new(),
                 plan: plan.clone(),
             }
         });
@@ -363,6 +369,7 @@ impl<'a> Planner<'a> {
                 members,
                 dropouts: f.dropouts,
                 replaced_jobs: f.replaced_jobs,
+                timeline: f.timeline,
             }
         });
         Ok(Plan {
@@ -468,6 +475,9 @@ struct FaultCtx {
     dropouts: Vec<Dropout>,
     /// Total jobs re-placed off dying chips.
     replaced_jobs: usize,
+    /// Unified fault timeline (mitigations, diversions, dropouts), in
+    /// occurrence order.
+    timeline: Vec<HealthEvent>,
 }
 
 /// The mutable state of one `plan()` call, factored out so dropout
@@ -541,6 +551,13 @@ impl PlanCtx<'_, '_> {
                     if wexp > 1.0 && s >= policy.min_success && s.powf(wexp) < policy.min_success {
                         if let Some(f) = &mut self.faults {
                             f.diverted[member] += 1;
+                            f.timeline.push(HealthEvent {
+                                kind: "diversion".into(),
+                                member,
+                                chip: self.profiles[member].label.clone(),
+                                at_ns: self.load[member],
+                                job: job.id,
+                            });
                         }
                         continue 'candidates;
                     }
@@ -614,6 +631,13 @@ impl PlanCtx<'_, '_> {
             success_exp = f.disturb[member].derate_exponent(zone, &f.plan.disturbance) * wexp;
             while f.disturb[member].needs_mitigation(zone, &f.plan.disturbance) {
                 f.disturb[member].mitigate(zone, &f.plan.disturbance);
+                f.timeline.push(HealthEvent {
+                    kind: "mitigation".into(),
+                    member,
+                    chip: self.profiles[member].label.clone(),
+                    at_ns: start + predicted.latency_ns + mitigation_steal,
+                    job: job.id,
+                });
                 mitigation_steal += f.plan.disturbance.mitigation_ns;
             }
             f.mitigation_ns[member] += mitigation_steal;
@@ -633,6 +657,7 @@ impl PlanCtx<'_, '_> {
             success_exp,
             replacements,
             wasted_ns,
+            start_ns: start,
         });
         // The lease stays held in `slots` (dropped here without
         // release) until the member's wave rollover recycles it.
@@ -662,6 +687,13 @@ impl PlanCtx<'_, '_> {
                         job: job.id,
                         at_ns: fa,
                         replaced: victims.len(),
+                    });
+                    f.timeline.push(HealthEvent {
+                        kind: "dropout".into(),
+                        member,
+                        chip: self.profiles[member].label.clone(),
+                        at_ns: fa,
+                        job: job.id,
                     });
                     f.replaced_jobs += victims.len();
                     dropped_at = Some(fa);

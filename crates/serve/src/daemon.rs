@@ -39,7 +39,8 @@ use crate::{Result, ServeError};
 use dram_core::math::{mix2, mix3};
 use dram_core::FleetConfig;
 use fcdram::PackedBits;
-use fcsched::{execute_plan, Batch, LatencySummary, Planner};
+use fcobs::{MetricsRegistry, Observability, Phase, TraceEvent, TraceSink};
+use fcsched::{execute_plan, execute_plan_traced, Batch, LatencySummary, Planner, TraceCtx};
 use fcsynth::{CostModel, Mapping};
 use std::collections::VecDeque;
 use std::sync::mpsc::sync_channel;
@@ -108,6 +109,10 @@ pub struct Daemon<'a> {
     result_digest: u64,
     mitigations: u64,
     dropouts: usize,
+    /// Trace + metrics bundle. Disabled by default; when disabled the
+    /// engine follows the exact pre-observability code paths, so the
+    /// report bytes of an unobserved run are untouched.
+    obs: Observability,
 }
 
 impl<'a> Daemon<'a> {
@@ -137,7 +142,17 @@ impl<'a> Daemon<'a> {
             result_digest: 0x5E12_FEED,
             mitigations: 0,
             dropouts: 0,
+            obs: Observability::disabled(),
         }
+    }
+
+    /// Attach an observability bundle (builder style). Retrieve it —
+    /// with the collected trace and last metrics exposition — from
+    /// [`Daemon::drain_and_finish_obs`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: Observability) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Compiles (once) and admission-checks tenant `t`'s expression
@@ -277,7 +292,25 @@ impl<'a> Daemon<'a> {
         // prediction, never the executed backend latency — that is
         // the backend-invariance the replay gate byte-diffs.
         let plan = Planner::new(self.fleet, self.cost, &self.cfg.policy).plan(&batch)?;
-        let report = execute_plan(&batch, &plan, &self.cfg.policy)?;
+        let report = if let Some(sink) = self.obs.trace.as_mut() {
+            // The trace context places the batch on the daemon
+            // timeline: every timestamp below derives from the tick
+            // clock and the plan, so the recorded trace is as
+            // shard/backend-invariant as the report itself.
+            let ctx = TraceCtx {
+                tick: self.tick as u64,
+                base_ns: self.tick as f64 * self.cfg.knobs.tick_ns,
+                queue_wait_ns: selected
+                    .iter()
+                    .map(|qj| {
+                        self.tick.saturating_sub(qj.event.tick) as f64 * self.cfg.knobs.tick_ns
+                    })
+                    .collect(),
+            };
+            execute_plan_traced(&batch, &plan, &self.cfg.policy, &ctx, sink)?
+        } else {
+            execute_plan(&batch, &plan, &self.cfg.policy)?
+        };
         self.batches += 1;
         self.native_ops += report.native_ops();
         self.energy_pj += report.total_energy_pj();
@@ -329,7 +362,98 @@ impl<'a> Daemon<'a> {
         (self.tick + 1) as f64 * self.cfg.knobs.tick_ns
     }
 
-    fn take_snapshot(&mut self) {
+    /// Builds a fresh metrics ledger from the engine's current state.
+    /// Rebuilt (not incrementally updated) at every flush so the
+    /// exposition is a pure function of the serving state — the same
+    /// ledger always renders the same bytes.
+    fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for (t, spec) in self.tenants.iter().enumerate() {
+            let s = &self.stats[t];
+            let name = spec.name.as_str();
+            for (outcome, v) in [
+                ("submitted", s.submitted),
+                ("admitted", s.admitted),
+                ("rejected", s.rejected),
+                ("shed", s.shed),
+                ("narrowed", s.narrowed),
+                ("completed", s.completed),
+                ("failed", s.failed),
+            ] {
+                m.counter(
+                    "fc_jobs_total",
+                    &[("tenant", name), ("outcome", outcome)],
+                    "per-tenant job counts by admission/completion outcome",
+                    v as u64,
+                );
+            }
+            let lab = [("tenant", name)];
+            m.counter(
+                "fc_retries_total",
+                &lab,
+                "deterministic retry draws charged to completed jobs",
+                s.retries,
+            );
+            m.gauge(
+                "fc_queue_depth",
+                &lab,
+                "jobs currently queued",
+                self.queues[t].len() as f64,
+            );
+            // Bins span [0, 4×SLO]: a pure function of the tenant
+            // contract, so the exposition stays shard/backend-invariant.
+            let scale = spec.slo_us * 1e3 * 4.0;
+            for &v in &self.latencies[t] {
+                m.observe(
+                    "fc_modeled_latency_ns",
+                    &lab,
+                    "modeled job latency: tick-clock queue wait + predicted service",
+                    scale,
+                    v,
+                );
+            }
+        }
+        m.counter(
+            "fc_batches_total",
+            &[],
+            "micro-batches executed",
+            self.batches as u64,
+        );
+        m.counter(
+            "fc_native_ops_total",
+            &[],
+            "native DRAM operations executed",
+            self.native_ops as u64,
+        );
+        m.counter(
+            "fc_mitigations_total",
+            &[],
+            "read-disturbance mitigations scheduled",
+            self.mitigations,
+        );
+        m.counter(
+            "fc_dropouts_total",
+            &[],
+            "chip dropouts observed",
+            self.dropouts as u64,
+        );
+        m.gauge(
+            "fc_energy_pj",
+            &[],
+            "modeled energy spent, picojoules",
+            self.energy_pj,
+        );
+        m.gauge("fc_tick", &[], "current daemon tick", self.tick as f64);
+        m.gauge(
+            "fc_elapsed_ns",
+            &[],
+            "modeled nanoseconds elapsed",
+            self.elapsed_ns(),
+        );
+        m
+    }
+
+    fn take_snapshot(&mut self) -> Result<()> {
         let completed: usize = self.stats.iter().map(|s| s.completed).sum();
         let elapsed = self.elapsed_ns();
         let tenants = (0..self.tenants.len())
@@ -360,6 +484,116 @@ impl<'a> Daemon<'a> {
             mitigations: self.mitigations,
             dropouts: self.dropouts,
         });
+        if self.obs.metrics_enabled {
+            let rendered = self.metrics().render();
+            self.obs
+                .flush_metrics(rendered)
+                .map_err(|e| ServeError::Io(e.to_string()))?;
+        }
+        if let Some(sink) = self.obs.trace.as_mut() {
+            sink.record(TraceEvent {
+                phase: Phase::Instant,
+                cat: "daemon".into(),
+                name: "snapshot".into(),
+                who: "daemon".into(),
+                track: 0,
+                tick: self.tick as u64,
+                job: 0,
+                step: 3,
+                ts_ns: elapsed,
+                dur_ns: 0.0,
+                args: vec![
+                    ("completed".into(), completed as f64),
+                    (
+                        "queued".into(),
+                        self.queues.iter().map(VecDeque::len).sum::<usize>() as f64,
+                    ),
+                    ("mitigations".into(), self.mitigations as f64),
+                    ("dropouts".into(), self.dropouts as f64),
+                ],
+            });
+        }
+        Ok(())
+    }
+
+    /// Sums of (submitted, admitted, shed, rejected) across tenants —
+    /// differenced around [`Daemon::ingest`] for the per-tick trace
+    /// instant.
+    fn ingest_totals(&self) -> (usize, usize, usize, usize) {
+        self.stats.iter().fold((0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.submitted,
+                acc.1 + s.admitted,
+                acc.2 + s.shed,
+                acc.3 + s.rejected,
+            )
+        })
+    }
+
+    /// The shared tick body behind [`Daemon::step`] and the drain
+    /// loop: ingest (`None` on drain ticks — admission is closed),
+    /// form and execute the micro-batch, snapshot on cadence. Emits
+    /// the `(tick, 0, 0)` tick span and — on ingestion ticks — the
+    /// `(tick, 0, 1)` ingest instant when tracing.
+    fn advance(&mut self, tick: usize, events: Option<&[IngestEvent]>) -> Result<()> {
+        self.tick = tick;
+        let before = self.ingest_totals();
+        if let Some(events) = events {
+            self.ingest(events)?;
+        }
+        if self.obs.tracing() && events.is_some() {
+            let after = self.ingest_totals();
+            let ts = tick as f64 * self.cfg.knobs.tick_ns;
+            if let Some(sink) = self.obs.trace.as_mut() {
+                sink.record(TraceEvent {
+                    phase: Phase::Instant,
+                    cat: "daemon".into(),
+                    name: "ingest".into(),
+                    who: "daemon".into(),
+                    track: 0,
+                    tick: tick as u64,
+                    job: 0,
+                    step: 1,
+                    ts_ns: ts,
+                    dur_ns: 0.0,
+                    args: vec![
+                        ("submitted".into(), (after.0 - before.0) as f64),
+                        ("admitted".into(), (after.1 - before.1) as f64),
+                        ("shed".into(), (after.2 - before.2) as f64),
+                        ("rejected".into(), (after.3 - before.3) as f64),
+                    ],
+                });
+            }
+        }
+        let selected = self.form_batch();
+        self.run_batch(&selected)?;
+        if self.obs.tracing() {
+            let ts = tick as f64 * self.cfg.knobs.tick_ns;
+            let queued = self.queues.iter().map(VecDeque::len).sum::<usize>();
+            let tick_ns = self.cfg.knobs.tick_ns;
+            if let Some(sink) = self.obs.trace.as_mut() {
+                sink.record(TraceEvent {
+                    phase: Phase::Span,
+                    cat: "daemon".into(),
+                    name: if events.is_some() { "tick" } else { "drain" }.into(),
+                    who: "daemon".into(),
+                    track: 0,
+                    tick: tick as u64,
+                    job: 0,
+                    step: 0,
+                    ts_ns: ts,
+                    dur_ns: tick_ns,
+                    args: vec![
+                        ("jobs".into(), selected.len() as f64),
+                        ("queued".into(), queued as f64),
+                    ],
+                });
+            }
+        }
+        if (tick + 1).is_multiple_of(self.cfg.knobs.report_every.max(1)) {
+            self.take_snapshot()?;
+        }
+        Ok(())
     }
 
     /// Runs one tick: ingest `events`, form and execute the
@@ -369,14 +603,7 @@ impl<'a> Daemon<'a> {
     ///
     /// Propagates compile and scheduling failures.
     pub fn step(&mut self, tick: usize, events: &[IngestEvent]) -> Result<()> {
-        self.tick = tick;
-        self.ingest(events)?;
-        let selected = self.form_batch();
-        self.run_batch(&selected)?;
-        if (tick + 1).is_multiple_of(self.cfg.knobs.report_every.max(1)) {
-            self.take_snapshot();
-        }
-        Ok(())
+        self.advance(tick, Some(events))
     }
 
     /// Stops admitting, drains the queues (bounded by the drain
@@ -385,20 +612,38 @@ impl<'a> Daemon<'a> {
     /// # Errors
     ///
     /// Propagates scheduling failures from the drain batches.
-    pub fn drain_and_finish(mut self) -> Result<DaemonReport> {
+    pub fn drain_and_finish(self) -> Result<DaemonReport> {
+        self.drain_and_finish_obs().map(|(report, _)| report)
+    }
+
+    /// [`Daemon::drain_and_finish`], also handing back the
+    /// observability bundle with the collected trace and the final
+    /// metrics exposition. The final health snapshot and metrics
+    /// flush always run at graceful drain — even when the last tick
+    /// falls between health intervals — so the last exposition on
+    /// disk matches the report's totals exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures from the drain batches and
+    /// metrics-write failures ([`ServeError::Io`]).
+    pub fn drain_and_finish_obs(mut self) -> Result<(DaemonReport, Observability)> {
         let ingest_ticks = self.cfg.knobs.ticks;
         let mut drain_ticks = 0usize;
         while drain_ticks < self.cfg.knobs.drain_max && self.queues.iter().any(|q| !q.is_empty()) {
             drain_ticks += 1;
-            self.tick = ingest_ticks + drain_ticks - 1;
-            let selected = self.form_batch();
-            self.run_batch(&selected)?;
-            if (self.tick + 1).is_multiple_of(self.cfg.knobs.report_every.max(1)) {
-                self.take_snapshot();
-            }
+            self.advance(ingest_ticks + drain_ticks - 1, None)?;
         }
         if self.snapshots.last().map(|s| s.tick) != Some(self.tick) {
-            self.take_snapshot();
+            self.take_snapshot()?;
+        } else if self.obs.metrics_enabled {
+            // The cadence already snapshotted this tick, but the
+            // drain decision (queues empty / window exhausted) is
+            // final state worth re-exposing.
+            let rendered = self.metrics().render();
+            self.obs
+                .flush_metrics(rendered)
+                .map_err(|e| ServeError::Io(e.to_string()))?;
         }
         let totals = DaemonTotals {
             submitted: self.stats.iter().map(|s| s.submitted).sum(),
@@ -445,16 +690,19 @@ impl<'a> Daemon<'a> {
                 }
             })
             .collect();
-        Ok(DaemonReport {
-            seed: self.cfg.seed,
-            ticks: ingest_ticks,
-            drain_ticks,
-            tick_ns: self.cfg.knobs.tick_ns,
-            chips: self.fleet.len(),
-            totals,
-            tenants,
-            snapshots: self.snapshots,
-        })
+        Ok((
+            DaemonReport {
+                seed: self.cfg.seed,
+                ticks: ingest_ticks,
+                drain_ticks,
+                tick_ns: self.cfg.knobs.tick_ns,
+                chips: self.fleet.len(),
+                totals,
+                tenants,
+                snapshots: self.snapshots,
+            },
+            self.obs,
+        ))
     }
 }
 
@@ -495,8 +743,31 @@ pub fn run_live(
     cfg: &DaemonConfig,
     tenants: &[TenantSpec],
 ) -> Result<(SessionLog, DaemonReport)> {
+    run_live_obs(fleet, cost, cfg, tenants, Observability::disabled())
+        .map(|(log, report, _)| (log, report))
+}
+
+/// [`run_live`] with an observability bundle threaded through the
+/// engine: trace events are collected on the modeled clock, metric
+/// expositions are flushed at every health interval and at drain, and
+/// the bundle comes back with everything collected.
+///
+/// # Errors
+///
+/// Propagates compile, scheduling, and metrics-write failures.
+///
+/// # Panics
+///
+/// Panics if a producer thread panics.
+pub fn run_live_obs(
+    fleet: &FleetConfig,
+    cost: &CostModel,
+    cfg: &DaemonConfig,
+    tenants: &[TenantSpec],
+    obs: Observability,
+) -> Result<(SessionLog, DaemonReport, Observability)> {
     let mut log = SessionLog::for_config(cfg, tenants, fleet.len(), fleet.seed, None, None);
-    let mut daemon = Daemon::new(fleet, cost, cfg.clone(), tenants.to_vec());
+    let mut daemon = Daemon::new(fleet, cost, cfg.clone(), tenants.to_vec()).with_obs(obs);
     let ticks = cfg.knobs.ticks;
     let seed = cfg.seed;
     let result: Result<()> = std::thread::scope(|scope| {
@@ -530,8 +801,8 @@ pub fn run_live(
         Ok(())
     });
     result?;
-    let report = daemon.drain_and_finish()?;
-    Ok((log, report))
+    let (report, obs) = daemon.drain_and_finish_obs()?;
+    Ok((log, report, obs))
 }
 
 /// Replays a recorded session byte-identically. `shards` / `backend`
@@ -549,6 +820,28 @@ pub fn replay(
     shards: Option<usize>,
     backend: Option<fcexec::BackendKind>,
 ) -> Result<DaemonReport> {
+    replay_obs(fleet, cost, log, shards, backend, Observability::disabled())
+        .map(|(report, _)| report)
+}
+
+/// [`replay`] with an observability bundle threaded through the
+/// engine. Because every trace timestamp and metric value derives
+/// from the modeled clock and the plan, the collected artifacts are
+/// byte-identical to the live run's — at any shard count, on either
+/// backend.
+///
+/// # Errors
+///
+/// Fails on a malformed log ([`ServeError::BadSession`]) and
+/// propagates compile, scheduling, and metrics-write failures.
+pub fn replay_obs(
+    fleet: &FleetConfig,
+    cost: &CostModel,
+    log: &SessionLog,
+    shards: Option<usize>,
+    backend: Option<fcexec::BackendKind>,
+    obs: Observability,
+) -> Result<(DaemonReport, Observability)> {
     log.validate()?;
     let cfg = log.config(shards, backend);
     let ticks = cfg.knobs.ticks;
@@ -556,11 +849,11 @@ pub fn replay(
     for e in &log.events {
         by_tick[e.tick].push(*e);
     }
-    let mut daemon = Daemon::new(fleet, cost, cfg, log.tenants.clone());
+    let mut daemon = Daemon::new(fleet, cost, cfg, log.tenants.clone()).with_obs(obs);
     for (tick, events) in by_tick.iter().enumerate() {
         daemon.step(tick, events)?;
     }
-    daemon.drain_and_finish()
+    daemon.drain_and_finish_obs()
 }
 
 #[cfg(test)]
@@ -753,6 +1046,52 @@ mod tests {
         for w in report.snapshots.windows(2) {
             assert!(w[0].tick < w[1].tick);
         }
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_and_replay_artifacts_exactly() {
+        let cost = cost();
+        let fleet = FleetConfig::table1(2);
+        let (log, plain) = run_live(&fleet, &cost, &config(7), &tenants()).unwrap();
+        let bundle = || {
+            Observability::disabled()
+                .with_trace(1 << 16)
+                .with_metrics(None)
+        };
+        let (log2, observed, obs) =
+            run_live_obs(&fleet, &cost, &config(7), &tenants(), bundle()).unwrap();
+        assert_eq!(log, log2, "observation does not perturb the session");
+        assert_eq!(
+            plain.to_json(),
+            observed.to_json(),
+            "observation never changes the report"
+        );
+        let trace = obs.trace.unwrap().finish();
+        for name in ["tick", "ingest", "snapshot", "batch"] {
+            assert!(
+                trace.iter().any(|e| e.name == name),
+                "trace has a '{name}' event"
+            );
+        }
+        let metrics = obs.last_metrics.unwrap();
+        assert!(metrics.contains(&format!("fc_batches_total {}", plain.totals.batches)));
+        assert!(metrics.contains(&format!(
+            "fc_jobs_total{{tenant=\"interactive\",outcome=\"completed\"}} {}",
+            plain.tenants[0].completed
+        )));
+        // Replaying the log on another backend/shard count collects
+        // byte-identical artifacts.
+        let (_, obs2) = replay_obs(
+            &fleet,
+            &cost,
+            &log,
+            Some(5),
+            Some(fcexec::BackendKind::Bender),
+            bundle(),
+        )
+        .unwrap();
+        assert_eq!(trace, obs2.trace.unwrap().finish(), "trace is invariant");
+        assert_eq!(metrics, obs2.last_metrics.unwrap(), "metrics are invariant");
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub mod report;
 pub mod session;
 pub mod tier;
 
-pub use daemon::{replay, run_live, Daemon};
+pub use daemon::{replay, replay_obs, run_live, run_live_obs, Daemon};
 pub use report::{DaemonReport, DaemonTotals, HealthSnapshot, TenantHealth, TenantReport};
 pub use session::{IngestEvent, SessionLog, SESSION_VERSION};
 pub use tier::{DaemonConfig, DaemonKnobs, TenantSpec, TierClass};
@@ -99,6 +99,8 @@ pub enum ServeError {
     Sched(fcsched::SchedError),
     /// A malformed session log (bad version, out-of-range indices).
     BadSession(String),
+    /// An observability artifact (metrics exposition) failed to write.
+    Io(String),
 }
 
 impl fmt::Display for ServeError {
@@ -111,6 +113,7 @@ impl fmt::Display for ServeError {
             } => write!(f, "tenant '{tenant}': expression '{expr}': {error}"),
             ServeError::Sched(e) => write!(f, "micro-batch failed: {e}"),
             ServeError::BadSession(msg) => write!(f, "bad session log: {msg}"),
+            ServeError::Io(msg) => write!(f, "observability write failed: {msg}"),
         }
     }
 }

@@ -1,0 +1,205 @@
+//! Observability equivalence properties: *determinism invariant #4*
+//! (see `docs/OBSERVABILITY.md`) — the trace and metrics artifacts a
+//! run collects are a pure function of `(session log, fleet, cost
+//! model)`, exactly like the report they decorate.
+//!
+//! * the Chrome trace JSON and the Prometheus-style metrics
+//!   exposition of a recorded session are **byte-identical across
+//!   shard counts and across the vm/bender backends** (the property
+//!   the CI determinism stage also enforces through `characterize
+//!   daemon --trace-json`/`--metrics`);
+//! * the Chrome export round-trips losslessly
+//!   (`to_chrome ∘ from_chrome ∘ to_chrome` is byte-stable);
+//! * the artifacts are **seed-sensitive**: a reseeded session traces
+//!   different events;
+//! * observability is **zero-overhead when disabled**: a disabled
+//!   bundle (and the untraced front doors) leave the session log and
+//!   report bytes exactly as an unobserved run produces them;
+//! * the fault timeline surfaces in the trace: every planner
+//!   mitigation/diversion/dropout becomes a `fault` instant stamped
+//!   with its fleet member, matching the health ledger's counts;
+//! * the final metrics flush at graceful drain matches the report
+//!   totals even when the last tick falls between health intervals.
+
+use characterize::daemon::demo_tenants;
+use dram_core::FleetConfig;
+use fcexec::BackendKind;
+use fcobs::Observability;
+use fcserve::{daemon, DaemonConfig, DaemonKnobs, DaemonReport, SessionLog};
+use fcsynth::CostModel;
+
+/// The demo scenario CI traces: demo tenants + the demo fault plan
+/// (so the trace carries `fault` instants too).
+fn demo_config(seed: u64) -> DaemonConfig {
+    DaemonConfig {
+        seed,
+        policy: fcsched::SchedPolicy {
+            faults: Some(fcsched::FaultPlan::demo()),
+            ..fcsched::SchedPolicy::default()
+        },
+        ..DaemonConfig::default()
+    }
+}
+
+fn bundle() -> Observability {
+    Observability::disabled()
+        .with_trace(fcobs::trace::DEFAULT_TRACE_CAPACITY)
+        .with_metrics(None)
+}
+
+/// One observed live demo session: `(log, report, trace json,
+/// metrics text)`.
+fn observed_session(seed: u64) -> (SessionLog, DaemonReport, String, String) {
+    let cost = CostModel::table1_defaults();
+    let fleet = FleetConfig::table1(12);
+    let (log, report, obs) =
+        daemon::run_live_obs(&fleet, &cost, &demo_config(seed), &demo_tenants(), bundle())
+            .expect("observed demo session runs");
+    let trace = obs.trace.expect("tracing was enabled");
+    assert_eq!(trace.dropped(), 0, "demo session fits the default ring");
+    let chrome = fcobs::chrome::to_chrome(&trace.finish());
+    let metrics = obs.last_metrics.expect("metrics were enabled");
+    (log, report, chrome, metrics)
+}
+
+#[test]
+fn trace_and_metrics_are_byte_identical_across_shards_and_backends() {
+    let cost = CostModel::table1_defaults();
+    let fleet = FleetConfig::table1(12);
+    let (log, _, live_chrome, live_metrics) = observed_session(0);
+    for shards in [1usize, 5] {
+        for backend in [BackendKind::Vm, BackendKind::Bender] {
+            let (_, obs) =
+                daemon::replay_obs(&fleet, &cost, &log, Some(shards), Some(backend), bundle())
+                    .expect("observed replay runs");
+            let chrome = fcobs::chrome::to_chrome(&obs.trace.unwrap().finish());
+            assert_eq!(
+                live_chrome, chrome,
+                "trace bytes differ at shards={shards} backend={backend}"
+            );
+            assert_eq!(
+                live_metrics,
+                obs.last_metrics.unwrap(),
+                "metrics bytes differ at shards={shards} backend={backend}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chrome_export_round_trips_losslessly() {
+    let (_, _, chrome, _) = observed_session(0);
+    let events = fcobs::chrome::from_chrome(&chrome).expect("own export parses");
+    assert!(!events.is_empty());
+    assert_eq!(
+        fcobs::chrome::to_chrome(&events),
+        chrome,
+        "to_chrome ∘ from_chrome is byte-stable"
+    );
+    // The ordering key survives the trip, so offline analysis sees
+    // the deterministic order.
+    for w in events.windows(2) {
+        assert!(w[0].key() <= w[1].key(), "events stay key-ordered");
+    }
+}
+
+#[test]
+fn observability_artifacts_are_seed_sensitive() {
+    let (_, _, chrome_a, metrics_a) = observed_session(0);
+    let (_, _, chrome_b, metrics_b) = observed_session(1);
+    assert_ne!(chrome_a, chrome_b, "seed moves the traced traffic");
+    assert_ne!(metrics_a, metrics_b, "seed moves the metric ledger");
+}
+
+#[test]
+fn disabled_observability_is_zero_overhead_on_report_bytes() {
+    let cost = CostModel::table1_defaults();
+    let fleet = FleetConfig::table1(12);
+    let cfg = demo_config(0);
+    let tenants = demo_tenants();
+    // The unobserved front door is the baseline.
+    let (log, report) = daemon::run_live(&fleet, &cost, &cfg, &tenants).unwrap();
+    // A disabled bundle takes the exact untraced code paths.
+    let (log_d, report_d, obs_d) =
+        daemon::run_live_obs(&fleet, &cost, &cfg, &tenants, Observability::disabled()).unwrap();
+    assert_eq!(log.to_json(), log_d.to_json(), "session log unchanged");
+    assert_eq!(report.to_json(), report_d.to_json(), "report unchanged");
+    assert!(obs_d.trace.is_none() && obs_d.last_metrics.is_none());
+    // And a *fully observed* run still never changes the report.
+    let (_, report_o, _) = daemon::run_live_obs(&fleet, &cost, &cfg, &tenants, bundle()).unwrap();
+    assert_eq!(report.to_json(), report_o.to_json(), "observer effect");
+}
+
+#[test]
+fn fault_timeline_surfaces_as_member_stamped_instants() {
+    let (_, report, chrome, _) = observed_session(0);
+    let events = fcobs::chrome::from_chrome(&chrome).unwrap();
+    let faults: Vec<_> = events.iter().filter(|e| e.cat == "fault").collect();
+    assert!(!faults.is_empty(), "demo fault plan produces fault events");
+    for f in &faults {
+        assert!(
+            matches!(f.name.as_str(), "mitigation" | "diversion" | "dropout"),
+            "unexpected fault kind {:?}",
+            f.name
+        );
+        assert!(!f.who.is_empty(), "fault instants name their chip");
+        let member = f
+            .args
+            .iter()
+            .find(|(k, _)| k == "member")
+            .map(|(_, v)| *v)
+            .expect("fault instants carry their member");
+        assert_eq!(f.track, 1 + member as u64, "fault rides its member lane");
+    }
+    let last = report.snapshots.last().expect("final snapshot exists");
+    let count = |kind: &str| faults.iter().filter(|f| f.name == kind).count();
+    assert_eq!(
+        count("mitigation") as u64,
+        last.mitigations,
+        "one instant per scheduled mitigation"
+    );
+    assert_eq!(
+        count("dropout"),
+        last.dropouts,
+        "one instant per chip dropout"
+    );
+}
+
+#[test]
+fn drain_flushes_final_metrics_even_between_health_intervals() {
+    let cost = CostModel::table1_defaults();
+    let fleet = FleetConfig::table1(12);
+    // A snapshot cadence far longer than the session: the only
+    // snapshot (and metrics flush) is the forced one at drain.
+    let cfg = DaemonConfig {
+        seed: 0,
+        knobs: DaemonKnobs {
+            report_every: 10_000,
+            ..DaemonKnobs::default()
+        },
+        ..DaemonConfig::default()
+    };
+    let (_, report, obs) =
+        daemon::run_live_obs(&fleet, &cost, &cfg, &demo_tenants(), bundle()).unwrap();
+    assert_eq!(report.snapshots.len(), 1, "only the forced final snapshot");
+    let metrics = obs.last_metrics.expect("drain flushed metrics");
+    let t = &report.totals;
+    for needle in [
+        format!("fc_batches_total {}", t.batches),
+        format!("fc_native_ops_total {}", t.native_ops),
+        format!("fc_dropouts_total {}", report.snapshots[0].dropouts),
+    ] {
+        assert!(
+            metrics.contains(&needle),
+            "final exposition must match report totals: missing {needle:?}"
+        );
+    }
+    // Per-tenant completion counters agree with the tenant reports.
+    for tr in &report.tenants {
+        let needle = format!(
+            "fc_jobs_total{{tenant=\"{}\",outcome=\"completed\"}} {}",
+            tr.name, tr.completed
+        );
+        assert!(metrics.contains(&needle), "missing {needle:?}");
+    }
+}

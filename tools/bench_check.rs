@@ -41,10 +41,14 @@
 //! five deterministic `faults_*/demo` degradation-ledger counts from
 //! `ablation_faults` (exact): mitigations, dropouts, re-placed jobs,
 //! diversions, and disturbance activations of the demo fault plan,
-//! and the seven deterministic `daemon_*` admission-ledger counts
+//! the seven deterministic `daemon_*` admission-ledger counts
 //! from `ablation_daemon` (exact): per-tier admitted jobs, bronze
 //! shed and narrowed counts, total rejections, and the micro-batch
-//! count of the demo serving session.
+//! count of the demo serving session, and the three deterministic
+//! `obs_*/demo` artifact-shape counts from `ablation_obs` (exact):
+//! span events, instant events, and metrics-exposition lines of the
+//! traced demo session (determinism invariant #4 —
+//! `docs/OBSERVABILITY.md`).
 //!
 //! Every requested check is evaluated — missing ids, unreadable
 //! artifacts, and regressions are all collected and listed together
@@ -212,6 +216,18 @@ fn main() -> ExitCode {
             "daemon_batches/total",
         ] {
             checks.push((Some("BENCH_daemon.json".to_string()), id.to_string(), true));
+        }
+        // Artifact-shape counts of the traced demo session from
+        // `ablation_obs`: determinism invariant #4 makes the trace
+        // and metrics pure functions of (session log, fleet, cost
+        // model), so one span, instant, or exposition line more *or*
+        // less is an instrumentation-shape change.
+        for id in [
+            "obs_span_events/demo",
+            "obs_instant_events/demo",
+            "obs_metric_lines/demo",
+        ] {
+            checks.push((Some("BENCH_obs.json".to_string()), id.to_string(), true));
         }
     }
 
