@@ -8,7 +8,7 @@
 //! `BENCH_engine.json` summary at the repository root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dram_core::{BankId, SimFidelity, SubarrayId};
+use dram_core::{BankId, SubarrayId};
 use fcdram::{BulkEngine, Fcdram};
 
 fn engine(cols: usize) -> BulkEngine {
@@ -95,7 +95,7 @@ fn width_sweep(c: &mut Criterion) {
         });
 
         // Same operations with per-cell telemetry records retained.
-        e.set_fidelity(SimFidelity::full());
+        e.configure(dram_core::SimConfig::full());
         c.bench_function(
             format!("engine_and_8_inputs_full_telemetry/{cols}cols"),
             |b| {

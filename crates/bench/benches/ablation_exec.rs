@@ -7,6 +7,14 @@
 //! `BenderBackend` — and writes a `BENCH_exec.json` summary at the
 //! repository root in the same shape as `BENCH_engine.json`.
 //!
+//! The timed loops use the two-phase API the way a serving deployment
+//! does: every program is [`ExecBackend::prepare`]d once outside the
+//! measurement loop, and the loop times [`ExecBackend::run_prepared`]
+//! alone — the per-execution cost a scheduler pays after compiling a
+//! job once. `tools/bench_check.rs` gates the device backends as
+//! *ratios* against `exec_host/mix` from the same run
+//! (wall-clock-free, so a slow CI container cannot fail them).
+//!
 //! Derived entries:
 //!
 //! * `exec_native_ops/vm` and `exec_native_ops/bender` —
@@ -21,12 +29,19 @@
 //!   command-schedule latency of the mix's programs (pure function of
 //!   the programs and the speed bin; exact-gated too, pinning the
 //!   latency model the scheduler's bender mode charges).
+//! * `exec_prepared_templates/mix` and `exec_arena_slots/mix` —
+//!   **deterministic** shape of the prepared plans: the total number
+//!   of cached per-`(op family, N)` Bender command-program templates
+//!   across the mix, and the summed peak arena width (simultaneously
+//!   live rows) of the row plans. Exact-gated: template-cache or
+//!   lifetime-analysis drift in either direction is an API-shape
+//!   change, not noise.
 
 use characterize::serve::DEMO_MIX;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dram_core::{BankId, SimFidelity, SubarrayId};
+use dram_core::{BankId, SubarrayId};
 use fcdram::{BulkEngine, Fcdram, PackedBits};
-use fcexec::{execute_packed, BenderBackend, ExecBackend, ScheduleLatency};
+use fcexec::{BenderBackend, ExecBackend, PreparedProgram, ScheduleLatency};
 use fcsynth::{CostModel, SynthProgram};
 use simdram::{DramSubstrate, HostSubstrate, SimdVm};
 
@@ -60,19 +75,34 @@ fn engine() -> BulkEngine {
     let cfg = dram_core::config::table1()
         .remove(0)
         .with_modeled_cols(DEVICE_COLS);
-    let mut e = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0)).unwrap();
-    e.set_fidelity(SimFidelity::fast());
-    e
+    BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0))
+        .unwrap()
+        .with_sim_config(dram_core::SimConfig::fast())
 }
 
-/// One pass of the mix on any backend; returns a result word so the
-/// work cannot be optimized away.
-fn run_mix<B: ExecBackend>(backend: &mut B, progs: &[(SynthProgram, usize)]) -> u64 {
+/// Prepares every program of the mix once on `backend` — the
+/// compile-once half of the two-phase API, hoisted out of the timed
+/// loops.
+fn prepare_mix<B: ExecBackend>(
+    backend: &mut B,
+    progs: &[(SynthProgram, usize)],
+) -> Vec<(PreparedProgram, usize)> {
+    progs
+        .iter()
+        .map(|(prog, n)| (backend.prepare(prog).expect("mix prepares"), *n))
+        .collect()
+}
+
+/// One pass of the mix through the prepared plans; returns a result
+/// word so the work cannot be optimized away.
+fn run_mix<B: ExecBackend>(backend: &mut B, preps: &[(PreparedProgram, usize)]) -> u64 {
     let lanes = backend.lanes();
     let mut acc = 0u64;
-    for (i, (prog, n)) in progs.iter().enumerate() {
+    for (i, (prep, n)) in preps.iter().enumerate() {
         let ops = operands(*n, lanes, 0xE0_0E ^ i as u64);
-        let out = execute_packed(backend, prog, &ops).expect("mix executes");
+        let out = backend
+            .run_prepared(prep, &ops, |_, _| {})
+            .expect("mix executes");
         acc ^= out.words().first().copied().unwrap_or(0);
     }
     acc
@@ -82,18 +112,21 @@ fn bench(c: &mut Criterion) {
     let progs = programs();
 
     let mut host = SimdVm::new(HostSubstrate::new(256, 512)).unwrap();
+    let host_preps = prepare_mix(&mut host, &progs);
     c.bench_function("exec_host/mix", |b| {
-        b.iter(|| black_box(run_mix(&mut host, &progs)));
+        b.iter(|| black_box(run_mix(&mut host, &host_preps)));
     });
 
     let mut vm_dram = SimdVm::new(DramSubstrate::new(engine())).unwrap();
+    let vm_preps = prepare_mix(&mut vm_dram, &progs);
     c.bench_function("exec_vm_dram/mix", |b| {
-        b.iter(|| black_box(run_mix(&mut vm_dram, &progs)));
+        b.iter(|| black_box(run_mix(&mut vm_dram, &vm_preps)));
     });
 
     let mut bender = BenderBackend::new(engine()).unwrap();
+    let bender_preps = prepare_mix(&mut bender, &progs);
     c.bench_function("exec_bender/mix", |b| {
-        b.iter(|| black_box(run_mix(&mut bender, &progs)));
+        b.iter(|| black_box(run_mix(&mut bender, &bender_preps)));
     });
 
     write_summary(&progs);
@@ -133,14 +166,19 @@ fn write_summary(progs: &[(SynthProgram, usize)]) {
     };
 
     // Deterministic parity counts: one pass of the mix on a fresh
-    // device through each backend.
+    // device through each backend's prepared path (pinned
+    // device-call-identical to the unprepared one by
+    // `tests/exec_equivalence.rs`, so these counts also pin the
+    // legacy wrappers).
     let mut vm = SimdVm::new(DramSubstrate::new(engine())).unwrap();
+    let vm_preps = prepare_mix(&mut vm, progs);
     vm.clear_trace();
-    let _ = run_mix(&mut vm, progs);
+    let _ = run_mix(&mut vm, &vm_preps);
     let vm_ops = vm.trace().in_dram_ops();
 
     let mut cmd = BenderBackend::new(engine()).unwrap();
-    let _ = run_mix(&mut cmd, progs);
+    let cmd_preps = prepare_mix(&mut cmd, progs);
+    let _ = run_mix(&mut cmd, &cmd_preps);
     let cmd_ops = cmd.native_ops();
     println!("exec_native_ops: vm {vm_ops}, bender {cmd_ops}");
     assert_eq!(
@@ -159,6 +197,18 @@ fn write_summary(progs: &[(SynthProgram, usize)]) {
         .sum();
     println!("exec_schedule_ns/mix: {schedule_ns:.0} ns");
     derived("exec_schedule_ns/mix".to_string(), schedule_ns, 1);
+
+    // Deterministic prepared-plan shape: cached command-program
+    // templates and peak row-arena width across the mix.
+    let templates: usize = cmd_preps.iter().map(|(p, _)| p.template_count()).sum();
+    let arena: usize = cmd_preps.iter().map(|(p, _)| p.arena_slots()).sum();
+    println!("exec_prepared_templates/mix: {templates}, exec_arena_slots/mix: {arena}");
+    derived(
+        "exec_prepared_templates/mix".to_string(),
+        templates as f64,
+        1,
+    );
+    derived("exec_arena_slots/mix".to_string(), arena as f64, 1);
 
     let json = serde_json::to_string_pretty(&entries).expect("summary serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");

@@ -15,8 +15,8 @@
 use crate::error::{BenderError, Result};
 use crate::program::{DdrCommand, Program, ProgramBuilder, TimedCommand};
 use dram_core::{
-    BankId, Bit, ChipId, DramModule, GlobalRow, OpOutcome, OutcomeKind, SpeedBin, Temperature,
-    TimingParams, ViolationWindows,
+    BankId, Bit, ChipId, CsTerminal, DramModule, GlobalRow, OpOutcome, OutcomeKind, SpeedBin,
+    Temperature, TimingParams, ViolationWindows,
 };
 
 /// One captured `RD` result.
@@ -67,6 +67,9 @@ pub struct Bender {
     timing: TimingParams,
     windows: ViolationWindows,
     temperature: Temperature,
+    /// One-shot terminal mask consumed by the next charge-share the
+    /// executor recognizes (set via [`Bender::charge_share_masked`]).
+    cs_mask: Option<CsTerminal>,
 }
 
 impl Bender {
@@ -77,6 +80,7 @@ impl Bender {
             timing: TimingParams::default(),
             windows: ViolationWindows::default(),
             temperature: Temperature::BASELINE,
+            cs_mask: None,
         }
     }
 
@@ -120,6 +124,13 @@ impl Bender {
         ProgramBuilder::new(self.speed())
     }
 
+    /// Arms a one-shot terminal mask: the next charge share the
+    /// executor recognizes (in any program) resolves only `need`'s
+    /// terminal. Cleared when consumed or at the next `execute`.
+    pub fn arm_cs_mask(&mut self, need: CsTerminal) {
+        self.cs_mask = Some(need);
+    }
+
     /// Executes `program` against chip `chip` of the module.
     ///
     /// # Errors
@@ -136,8 +147,10 @@ impl Bender {
         }
         let speed = self.speed();
         let temp = self.temperature;
+        let mut pending_mask = self.cs_mask.take();
         let dev = self.module.chip_mut(chip);
-        dev.set_temperature(temp);
+        let sim_cfg = dev.sim_config().with_temperature(temp);
+        dev.configure(sim_cfg);
         let banks = dev.geometry().banks();
         let mut trackers = vec![BankTracker::default(); banks];
         let mut exec = Execution::default();
@@ -161,7 +174,12 @@ impl Bender {
                             let (ca, _) = t.last_act.expect("checked");
                             let gap_act_pre = speed.cycles_to_ns(cp.saturating_sub(ca));
                             let outcome = if gap_act_pre <= self.windows.charge_share_t_ras_ns {
-                                dev.multi_act_charge_share(*bank, rf, *row)?
+                                match pending_mask.take() {
+                                    Some(need) => {
+                                        dev.multi_act_charge_share_masked(*bank, rf, *row, need)?
+                                    }
+                                    None => dev.multi_act_charge_share(*bank, rf, *row)?,
+                                }
                             } else {
                                 // Restored (or mostly restored) source:
                                 // driven copy / NOT.
@@ -374,6 +392,25 @@ impl Bender {
                 index: 0,
                 detail: "no outcome".into(),
             })
+    }
+
+    /// Runs the charge-sharing sequence resolving only `need`'s
+    /// terminal (see [`dram_core::Chip::multi_act_charge_share_masked`]
+    /// for the safety contract). The command stream is identical to
+    /// [`Bender::charge_share`]; the mask is a host-side promise about
+    /// which cells will be read back.
+    pub fn charge_share_masked(
+        &mut self,
+        chip: ChipId,
+        bank: BankId,
+        r_ref: GlobalRow,
+        r_com: GlobalRow,
+        need: CsTerminal,
+    ) -> Result<OpOutcome> {
+        self.cs_mask = Some(need);
+        let out = self.charge_share(chip, bank, r_ref, r_com);
+        self.cs_mask = None;
+        out
     }
 
     /// Runs the `Frac` sequence (stores ≈VDD/2 into `row`).

@@ -49,6 +49,13 @@ impl Program {
         &self.cmds
     }
 
+    /// Mutable access to the scheduled commands, so prepared-program
+    /// templates can patch `Wr` payloads in a clone without rebuilding
+    /// the cycle schedule (the cycles themselves must not change).
+    pub fn commands_mut(&mut self) -> &mut [TimedCommand] {
+        &mut self.cmds
+    }
+
     /// Number of commands.
     pub fn len(&self) -> usize {
         self.cmds.len()

@@ -31,7 +31,8 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
             for (ei, entry) in entries.iter().take(scale.execs_per_condition).enumerate() {
                 let seed = dram_core::math::mix3(mi as u64, (d * 64 + ei) as u64, 0x7E9);
                 // Baseline pass at 50 °C defines the preselection mask.
-                ctx.fc.set_temperature(Temperature::BASELINE);
+                let sim_cfg = ctx.fc.sim_config().with_temperature(Temperature::BASELINE);
+                ctx.fc.configure(sim_cfg);
                 let base = match run_not(ctx, entry, DataPattern::Random(seed)) {
                     Ok(r) => r,
                     Err(_) => continue,
@@ -41,7 +42,8 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     continue;
                 }
                 for (ti, temp) in temps.iter().enumerate() {
-                    ctx.fc.set_temperature(*temp);
+                    let sim_cfg = ctx.fc.sim_config().with_temperature(*temp);
+                    ctx.fc.configure(sim_cfg);
                     if let Ok(recs) = run_not(ctx, entry, DataPattern::Random(seed)) {
                         sums[ti].extend(
                             recs.iter()
@@ -51,7 +53,8 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                         );
                     }
                 }
-                ctx.fc.set_temperature(Temperature::BASELINE);
+                let sim_cfg = ctx.fc.sim_config().with_temperature(Temperature::BASELINE);
+                ctx.fc.configure(sim_cfg);
             }
         }
         let means: Vec<Option<f64>> = sums

@@ -26,12 +26,14 @@ pub fn run(fleet: &mut [ModuleCtx], scale: &Scale) -> Table {
                     {
                         continue;
                     }
-                    ctx.fc.set_temperature(*temp);
+                    let sim_cfg = ctx.fc.sim_config().with_temperature(*temp);
+                    ctx.fc.configure(sim_cfg);
                     let seed = dram_core::math::mix3(0xF19, mi as u64, n as u64 + op as u64 * 7);
                     if let Ok(recs) = run_logic_random(ctx, op, n, scale.input_draws, seed) {
                         vals.extend(recs.iter().map(|r| r.p * 100.0));
                     }
-                    ctx.fc.set_temperature(Temperature::BASELINE);
+                    let sim_cfg = ctx.fc.sim_config().with_temperature(Temperature::BASELINE);
+                    ctx.fc.configure(sim_cfg);
                 }
                 values.push(if vals.is_empty() {
                     None

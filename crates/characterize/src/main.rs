@@ -14,7 +14,8 @@ usage: characterize [EXPERIMENT...] [--quick] [--json PATH]
                           [--export-costs PATH]
        characterize synth (--expr EXPR | --table BITS) [--costs PATH]
                           [--fan-in N] [--execute] [--lanes N]
-                          [--asm PATH] [--backend {vm,bender}]
+                          [--seed S] [--asm PATH]
+                          [--backend {vm,bender}]
        characterize serve [--jobs N] [--exprs FILE] [--chips N]
                           [--shards K] [--seed S] [--lanes N]
                           [--retries R] [--min-success X] [--no-remap]
@@ -44,11 +45,16 @@ EXPERIMENT  one or more of: table1 fig5 fig7 fig8 fig9 fig10 fig11
 --quick     reduced scale (fast; used by tests and benches)
 --json PATH additionally write results as JSON
 
+The shared flags are spelled and defaulted identically in every mode
+that takes them: --backend {vm,bender} (default vm), --shards K
+(default 0 = one worker per CPU), --seed S (default 0), --chips N
+(default 8). A mode a shared flag does not apply to rejects it.
+
 fleet mode sweeps a seeded population of simulated chips (drawn
 round-robin from Table 1, or from one --module) over the experiment
 grid, sharded across worker threads, and reports population
 success-rate distributions with per-chip attribution:
---chips N   fleet size (default 16)
+--chips N   fleet size (default 8)
 --shards K  worker threads (default: one per CPU)
 --seed S    reseed the whole population (default 0 = Table-1 chips)
 --module M  draw every chip from module M (e.g. hynix-4Gb-M-2666-#0)
@@ -65,6 +71,7 @@ the chosen mapping, expected success, and energy/latency:
 --fan-in N    widest native gate of the target part (default 16)
 --execute     run through the unified fcexec engine and verify
 --lanes N     SIMD lanes for --execute (default 256)
+--seed S      operand seed for --execute (default 0)
 --asm PATH    also emit the program as bender assembly
 --backend B   execution backend for --execute: 'vm' (host SimdVm,
               verified bit-exact; default) or 'bender' (one combined
@@ -83,7 +90,7 @@ wall-clock throughput on stderr varies:
 --jobs N        batch size (default 32)
 --exprs FILE    expressions to serve, one per line, '#' comments
                 (default: a built-in heterogeneous 6-tenant mix)
---chips N       fleet size (default 4)
+--chips N       fleet size (default 8)
 --shards K      worker threads (default: one per CPU)
 --seed S        batch seed for operands and retry draws (default 0)
 --lanes N       SIMD lanes per job (default 256)
@@ -124,7 +131,7 @@ report depends only on (session log, fleet, cost model), never on
 shard count, backend, or the wall clock (wall jobs/s stays on stderr;
 the report carries modeled throughput instead):
 --ticks N       ingestion ticks before the drain (default 12)
---chips N       fleet size (default 12)
+--chips N       fleet size (default 8)
 --seed S        session seed: traffic, operands, retry draws (default 0)
 --lanes N       SIMD lanes per job (default 64)
 --shards K      worker threads (default: one per CPU)
@@ -188,6 +195,112 @@ fn parse_backend(text: &str) -> Option<fcexec::BackendKind> {
     parsed
 }
 
+/// Uniform default fleet size for every subcommand's `--chips`.
+const DEFAULT_CHIPS: usize = 8;
+
+/// The flags every subcommand spells and defaults identically:
+/// `--backend` (vm), `--shards` (0 = one worker per CPU), `--seed`
+/// (0), `--chips` ([`DEFAULT_CHIPS`]). One parser, one spelling, one
+/// default — subcommands reject the ones that do not apply instead of
+/// re-defining them.
+struct CommonFlags {
+    backend: fcexec::BackendKind,
+    shards: usize,
+    seed: u64,
+    chips: usize,
+    backend_set: bool,
+    shards_set: bool,
+    seed_set: bool,
+    chips_set: bool,
+}
+
+impl Default for CommonFlags {
+    fn default() -> Self {
+        CommonFlags {
+            backend: fcexec::BackendKind::Vm,
+            shards: 0,
+            seed: 0,
+            chips: DEFAULT_CHIPS,
+            backend_set: false,
+            shards_set: false,
+            seed_set: false,
+            chips_set: false,
+        }
+    }
+}
+
+/// Outcome of offering one argument to the shared-flag parser.
+enum Common {
+    /// The flag (and its value) were consumed.
+    Consumed,
+    /// The flag was recognized but its value was missing/malformed (a
+    /// diagnostic has been printed).
+    Failed,
+    /// Not one of the shared flags.
+    Unrecognized,
+}
+
+impl CommonFlags {
+    /// Offers `flag` to the shared parser, consuming its value from
+    /// `it` when recognized.
+    fn accept(&mut self, flag: &str, it: &mut impl Iterator<Item = String>) -> Common {
+        match flag {
+            "--backend" => match str_arg(it, "--backend").map(|b| parse_backend(&b)) {
+                Some(Some(b)) => {
+                    self.backend = b;
+                    self.backend_set = true;
+                    Common::Consumed
+                }
+                _ => Common::Failed,
+            },
+            "--shards" => match num_arg(it, "--shards") {
+                Some(n) => {
+                    self.shards = n;
+                    self.shards_set = true;
+                    Common::Consumed
+                }
+                None => Common::Failed,
+            },
+            "--seed" => match num_arg(it, "--seed") {
+                Some(n) => {
+                    self.seed = n;
+                    self.seed_set = true;
+                    Common::Consumed
+                }
+                None => Common::Failed,
+            },
+            "--chips" => match num_arg(it, "--chips") {
+                Some(n) => {
+                    self.chips = n;
+                    self.chips_set = true;
+                    Common::Consumed
+                }
+                None => Common::Failed,
+            },
+            _ => Common::Unrecognized,
+        }
+    }
+
+    /// Errors out (with a diagnostic) when a shared flag that does not
+    /// apply to subcommand `sub` was given; `allowed` lists the
+    /// applicable ones.
+    fn check_applies(&self, sub: &str, allowed: &[&str]) -> bool {
+        let given = [
+            ("--backend", self.backend_set),
+            ("--shards", self.shards_set),
+            ("--seed", self.seed_set),
+            ("--chips", self.chips_set),
+        ];
+        for (name, set) in given {
+            if set && !allowed.contains(&name) {
+                eprintln!("{name} does not apply to '{sub}'\n{USAGE}");
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// Parses the next argument as a number, printing a diagnostic when it
 /// is missing or malformed.
 fn num_arg<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> Option<T> {
@@ -205,9 +318,7 @@ fn num_arg<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &s
 }
 
 fn run_fleet_cli(args: Vec<String>) -> ExitCode {
-    let mut chips = 16usize;
-    let mut shards = 0usize;
-    let mut seed = 0u64;
+    let mut common = CommonFlags::default();
     let mut module: Option<String> = None;
     let mut quick = false;
     let mut json_path: Option<String> = None;
@@ -218,18 +329,6 @@ fn run_fleet_cli(args: Vec<String>) -> ExitCode {
             "--quick" => quick = true,
             "--export-costs" => match str_arg(&mut it, "--export-costs") {
                 Some(p) => costs_path = Some(p),
-                None => return ExitCode::FAILURE,
-            },
-            "--chips" => match num_arg(&mut it, "--chips") {
-                Some(n) => chips = n,
-                None => return ExitCode::FAILURE,
-            },
-            "--shards" => match num_arg(&mut it, "--shards") {
-                Some(n) => shards = n,
-                None => return ExitCode::FAILURE,
-            },
-            "--seed" => match num_arg(&mut it, "--seed") {
-                Some(n) => seed = n,
                 None => return ExitCode::FAILURE,
             },
             "--module" => match str_arg(&mut it, "--module") {
@@ -244,12 +343,20 @@ fn run_fleet_cli(args: Vec<String>) -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("unknown fleet option '{other}'\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
+            other => match common.accept(other, &mut it) {
+                Common::Consumed => {}
+                Common::Failed => return ExitCode::FAILURE,
+                Common::Unrecognized => {
+                    eprintln!("unknown fleet option '{other}'\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
     }
+    if !common.check_applies("fleet", &["--chips", "--shards", "--seed"]) {
+        return ExitCode::FAILURE;
+    }
+    let (chips, shards, seed) = (common.chips, common.shards, common.seed);
     if chips == 0 {
         eprintln!("--chips must be at least 1\n{USAGE}");
         return ExitCode::FAILURE;
@@ -316,16 +423,13 @@ fn run_fleet_cli(args: Vec<String>) -> ExitCode {
 /// a fleet and report throughput, latency percentiles, and per-chip
 /// utilization.
 fn run_serve_cli(args: Vec<String>) -> ExitCode {
+    let mut common = CommonFlags::default();
     let mut jobs = 32usize;
-    let mut chips = 4usize;
-    let mut shards = 0usize;
-    let mut seed = 0u64;
     let mut lanes = 256usize;
     let mut retries = 3u32;
     let mut min_success = 0.85f64;
     let mut allow_remap = true;
     let mut fan_in = 16usize;
-    let mut backend = fcexec::BackendKind::Vm;
     let mut exprs_path: Option<String> = None;
     let mut costs_path: Option<String> = None;
     let mut module: Option<String> = None;
@@ -337,18 +441,6 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
         match a.as_str() {
             "--jobs" => match num_arg(&mut it, "--jobs") {
                 Some(n) => jobs = n,
-                None => return ExitCode::FAILURE,
-            },
-            "--chips" => match num_arg(&mut it, "--chips") {
-                Some(n) => chips = n,
-                None => return ExitCode::FAILURE,
-            },
-            "--shards" => match num_arg(&mut it, "--shards") {
-                Some(n) => shards = n,
-                None => return ExitCode::FAILURE,
-            },
-            "--seed" => match num_arg(&mut it, "--seed") {
-                Some(n) => seed = n,
                 None => return ExitCode::FAILURE,
             },
             "--lanes" => match num_arg(&mut it, "--lanes") {
@@ -368,10 +460,6 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
                 None => return ExitCode::FAILURE,
             },
             "--no-remap" => allow_remap = false,
-            "--backend" => match str_arg(&mut it, "--backend").map(|b| parse_backend(&b)) {
-                Some(Some(b)) => backend = b,
-                _ => return ExitCode::FAILURE,
-            },
             "--exprs" => match str_arg(&mut it, "--exprs") {
                 Some(p) => exprs_path = Some(p),
                 None => return ExitCode::FAILURE,
@@ -400,12 +488,17 @@ fn run_serve_cli(args: Vec<String>) -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("unknown serve option '{other}'\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
+            other => match common.accept(other, &mut it) {
+                Common::Consumed => {}
+                Common::Failed => return ExitCode::FAILURE,
+                Common::Unrecognized => {
+                    eprintln!("unknown serve option '{other}'\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
     }
+    let (chips, shards, seed, backend) = (common.chips, common.shards, common.seed, common.backend);
     if jobs == 0 || chips == 0 || lanes == 0 {
         eprintln!("--jobs, --chips, and --lanes must be at least 1\n{USAGE}");
         return ExitCode::FAILURE;
@@ -641,11 +734,9 @@ fn write_obs_artifacts(
 /// over the built-in demo tenants (optionally recording the session),
 /// or byte-identically replay a recorded session.
 fn run_daemon_cli(args: Vec<String>) -> ExitCode {
+    let mut common = CommonFlags::default();
     let mut ticks: Option<usize> = None;
-    let mut chips: Option<usize> = None;
-    let mut seed: Option<u64> = None;
     let mut lanes: Option<usize> = None;
-    let mut shards: Option<usize> = None;
     let mut max_batch: Option<usize> = None;
     let mut tick_us: Option<f64> = None;
     let mut report_every: Option<usize> = None;
@@ -655,7 +746,6 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
     let mut fan_in: Option<usize> = None;
     let mut module: Option<String> = None;
     let mut costs_path: Option<String> = None;
-    let mut backend: Option<fcexec::BackendKind> = None;
     let mut faults_arg: Option<String> = None;
     let mut demo = false;
     let mut trace_path: Option<String> = None;
@@ -679,20 +769,8 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
                 Some(n) => ticks = Some(n),
                 None => return ExitCode::FAILURE,
             },
-            "--chips" => match num_arg(&mut it, "--chips") {
-                Some(n) => chips = Some(n),
-                None => return ExitCode::FAILURE,
-            },
-            "--seed" => match num_arg(&mut it, "--seed") {
-                Some(n) => seed = Some(n),
-                None => return ExitCode::FAILURE,
-            },
             "--lanes" => match num_arg(&mut it, "--lanes") {
                 Some(n) => lanes = Some(n),
-                None => return ExitCode::FAILURE,
-            },
-            "--shards" => match num_arg(&mut it, "--shards") {
-                Some(n) => shards = Some(n),
                 None => return ExitCode::FAILURE,
             },
             "--max-batch" => match num_arg(&mut it, "--max-batch") {
@@ -731,10 +809,6 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
                 Some(p) => costs_path = Some(p),
                 None => return ExitCode::FAILURE,
             },
-            "--backend" => match str_arg(&mut it, "--backend").map(|b| parse_backend(&b)) {
-                Some(Some(b)) => backend = Some(b),
-                _ => return ExitCode::FAILURE,
-            },
             "--faults" => match str_arg(&mut it, "--faults") {
                 Some(f) => faults_arg = Some(f),
                 None => return ExitCode::FAILURE,
@@ -755,10 +829,14 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("unknown daemon option '{other}'\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
+            other => match common.accept(other, &mut it) {
+                Common::Consumed => {}
+                Common::Failed => return ExitCode::FAILURE,
+                Common::Unrecognized => {
+                    eprintln!("unknown daemon option '{other}'\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
     }
 
@@ -767,8 +845,8 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
         // that tried to change one would silently record a lie.
         let pinned: Vec<&str> = [
             ("--ticks", ticks.is_some()),
-            ("--chips", chips.is_some()),
-            ("--seed", seed.is_some()),
+            ("--chips", common.chips_set),
+            ("--seed", common.seed_set),
             ("--lanes", lanes.is_some()),
             ("--max-batch", max_batch.is_some()),
             ("--tick-us", tick_us.is_some()),
@@ -825,6 +903,8 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
             fleet.len()
         );
         let obs = daemon_obs(trace_path.is_some(), metrics_path.as_deref());
+        let shards = common.shards_set.then_some(common.shards);
+        let backend = common.backend_set.then_some(common.backend);
         let (report, obs) =
             match fcserve::daemon::replay_obs(&fleet, &cost, &log, shards, backend, obs) {
                 Ok(r) => r,
@@ -850,7 +930,7 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let chips = chips.unwrap_or(12);
+    let chips = common.chips;
     let lanes = lanes.unwrap_or(64);
     if chips == 0 || lanes == 0 {
         eprintln!("--chips and --lanes must be at least 1\n{USAGE}");
@@ -906,15 +986,15 @@ fn run_daemon_cli(args: Vec<String>) -> ExitCode {
         knobs.drain_max = v;
     }
     let cfg = fcserve::DaemonConfig {
-        seed: seed.unwrap_or(0),
+        seed: common.seed,
         lanes,
         fan_in: fan_in.unwrap_or(16),
         knobs,
         policy: fcsched::SchedPolicy {
             min_success: min_success.unwrap_or(0.85),
             retry_budget: retries.unwrap_or(3),
-            shards: shards.unwrap_or(0),
-            backend: backend.unwrap_or(fcexec::BackendKind::Vm),
+            shards: common.shards,
+            backend: common.backend,
             faults,
             ..fcsched::SchedPolicy::default()
         },
@@ -1056,6 +1136,7 @@ fn run_trace_cli(args: Vec<String>) -> ExitCode {
 /// The `synth` subcommand: compile an expression or truth table with
 /// the reliability-aware mapper and report (optionally execute) it.
 fn run_synth_cli(args: Vec<String>) -> ExitCode {
+    let mut common = CommonFlags::default();
     let mut expr_text: Option<String> = None;
     let mut table_text: Option<String> = None;
     let mut costs_path: Option<String> = None;
@@ -1063,14 +1144,9 @@ fn run_synth_cli(args: Vec<String>) -> ExitCode {
     let mut fan_in = 16usize;
     let mut lanes = 256usize;
     let mut execute = false;
-    let mut backend = fcexec::BackendKind::Vm;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--backend" => match str_arg(&mut it, "--backend").map(|b| parse_backend(&b)) {
-                Some(Some(b)) => backend = b,
-                _ => return ExitCode::FAILURE,
-            },
             "--expr" => match str_arg(&mut it, "--expr") {
                 Some(e) => expr_text = Some(e),
                 None => return ExitCode::FAILURE,
@@ -1100,12 +1176,20 @@ fn run_synth_cli(args: Vec<String>) -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("unknown synth option '{other}'\n{USAGE}");
-                return ExitCode::FAILURE;
-            }
+            other => match common.accept(other, &mut it) {
+                Common::Consumed => {}
+                Common::Failed => return ExitCode::FAILURE,
+                Common::Unrecognized => {
+                    eprintln!("unknown synth option '{other}'\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
         }
     }
+    if !common.check_applies("synth", &["--backend", "--seed"]) {
+        return ExitCode::FAILURE;
+    }
+    let backend = common.backend;
     let expr = match (expr_text, table_text) {
         (Some(e), None) => fcsynth::Expr::parse(&e),
         (None, Some(t)) => fcsynth::Expr::parse_truth_table(&t),
@@ -1193,6 +1277,9 @@ fn run_synth_cli(args: Vec<String>) -> ExitCode {
     }
     if execute {
         let n = compiled.circuit.inputs().len();
+        // XORing the seed into the fixed operand key keeps the default
+        // (--seed 0) draws byte-identical to the historical ones.
+        let op_key = 0x5E17 ^ common.seed;
         let operands_for = |lanes: usize| -> Vec<fcdram::PackedBits> {
             (0..n)
                 .map(|i| {
@@ -1200,7 +1287,7 @@ fn run_synth_cli(args: Vec<String>) -> ExitCode {
                     for l in 0..lanes {
                         p.set(
                             l,
-                            dram_core::math::mix3(0x5E17, i as u64, l as u64) & 1 == 1,
+                            dram_core::math::mix3(op_key, i as u64, l as u64) & 1 == 1,
                         );
                     }
                     p

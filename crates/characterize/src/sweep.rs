@@ -206,7 +206,8 @@ impl ChipResult {
 pub fn chip_sweep(ctx: &mut ModuleCtx, cfg: &SweepConfig, out: &mut ChipResult) {
     let chip_seed = ctx.cfg.chip_seed(ctx.chip);
     for temp in &cfg.scale.temps {
-        ctx.fc.set_temperature(*temp);
+        let sim_cfg = ctx.fc.sim_config().with_temperature(*temp);
+        ctx.fc.configure(sim_cfg);
         // NOT conditions: pattern × destination-row count.
         for pattern in &cfg.patterns {
             for d in &cfg.dest_rows {
@@ -256,7 +257,8 @@ pub fn chip_sweep(ctx: &mut ModuleCtx, cfg: &SweepConfig, out: &mut ChipResult) 
             }
         }
     }
-    ctx.fc.set_temperature(Temperature::BASELINE);
+    let sim_cfg = ctx.fc.sim_config().with_temperature(Temperature::BASELINE);
+    ctx.fc.configure(sim_cfg);
 }
 
 /// Builds and sweeps one fleet member. Pure function of `(spec, cfg)`

@@ -66,6 +66,12 @@ pub struct BulkEngine {
     free_rows: Vec<GlobalRow>,
     repetition: usize,
     maj_entry: Option<InSubarrayEntry>,
+    /// Whether masked charge shares are provably safe on this map: the
+    /// NOT entries' raised rows (whose *old* cell content feeds the
+    /// copy/NOT kernel on sample failure) must be disjoint from every
+    /// logic entry's raised rows (which a masked charge share may
+    /// leave unresolved). Computed once at construction.
+    mask_safe: bool,
 }
 
 impl BulkEngine {
@@ -136,10 +142,35 @@ impl BulkEngine {
             .filter(|r| !reserved.contains(&LocalRow(*r)))
             .map(|r| geom.join_row(com_sub, LocalRow(r)).expect("in range"))
             .collect();
+        // Masked charge shares skip resolving rows the caller promises
+        // to rewrite before their next read. The one consumer of *old*
+        // row content is the copy/NOT kernel (failed samples retain the
+        // previous bit), so masking is safe iff the NOT entries' raised
+        // rows never coincide with a logic entry's raised rows.
+        let mut not_rows: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for n_dst in [1usize, 2] {
+            if let Some(e) = map.find_dst(n_dst).first() {
+                let (sf, _) = geom.split_row(e.rf)?;
+                let (sl, _) = geom.split_row(e.rl)?;
+                not_rows.extend(e.first_rows.iter().map(|r| (sf.index(), r.index())));
+                not_rows.extend(e.second_rows.iter().map(|r| (sl.index(), r.index())));
+            }
+        }
+        let mut cs_rows: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for n in [2usize, 4, 8, 16] {
+            if let Some(e) = map.find_nn(n) {
+                let (sf, _) = geom.split_row(e.rf)?;
+                let (sl, _) = geom.split_row(e.rl)?;
+                cs_rows.extend(e.first_rows.iter().map(|r| (sf.index(), r.index())));
+                cs_rows.extend(e.second_rows.iter().map(|r| (sl.index(), r.index())));
+            }
+        }
+        let mask_safe = not_rows.is_disjoint(&cs_rows);
         // Bulk workloads never inspect per-cell records: run the chip
         // in the fast fidelity mode (identical stored bits and
         // aggregate statistics, no per-cell vectors).
-        fc.set_fidelity(SimFidelity::fast());
+        let cfg = fc.sim_config().with_fidelity(SimFidelity::fast());
+        fc.configure(cfg);
         Ok(BulkEngine {
             fc,
             bank,
@@ -150,13 +181,43 @@ impl BulkEngine {
             free_rows,
             repetition: 1,
             maj_entry,
+            mask_safe,
         })
     }
 
-    /// Overrides the chip's fidelity configuration (the engine defaults
-    /// to [`SimFidelity::fast`]).
+    /// Whether the value-path ops may use masked charge shares on this
+    /// part's activation map (see the field docs for the criterion).
+    pub fn mask_safe(&self) -> bool {
+        self.mask_safe
+    }
+
+    /// The current simulation configuration of the chip under the
+    /// engine.
+    pub fn sim_config(&self) -> dram_core::SimConfig {
+        self.fc.sim_config()
+    }
+
+    /// Applies a [`dram_core::SimConfig`] — fidelity and temperature
+    /// in one call (the engine constructs itself at
+    /// [`SimFidelity::fast`]). Stored bits are identical across
+    /// fidelity modes; operations degrade slightly when hot (the
+    /// paper's Figs. 10 and 19).
+    pub fn configure(&mut self, cfg: dram_core::SimConfig) {
+        self.fc.configure(cfg);
+    }
+
+    /// Builder form of [`BulkEngine::configure`] for construction
+    /// chains.
+    #[must_use]
+    pub fn with_sim_config(mut self, cfg: dram_core::SimConfig) -> Self {
+        self.configure(cfg);
+        self
+    }
+
+    #[doc(hidden)]
     pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
-        self.fc.set_fidelity(fidelity);
+        let cfg = self.sim_config().with_fidelity(fidelity);
+        self.configure(cfg);
     }
 
     /// Whether this part offers Ambit-style in-subarray majority (a
@@ -205,10 +266,10 @@ impl BulkEngine {
         &mut self.fc
     }
 
-    /// Sets the chip temperature (operations degrade slightly when
-    /// hot; the paper's Figs. 10 and 19).
+    #[doc(hidden)]
     pub fn set_temperature(&mut self, t: dram_core::Temperature) {
-        self.fc.set_temperature(t);
+        let cfg = self.sim_config().with_temperature(t);
+        self.configure(cfg);
     }
 
     /// Enables k-fold repetition with majority voting (k odd).
@@ -488,6 +549,165 @@ impl BulkEngine {
         }
     }
 
+    /// Value-path NOT for prepared execution: the caller supplies the
+    /// operand's current value (tracked host-side), eliding the input
+    /// read-back, and the destination pattern is read back first-row
+    /// only. Stored bits, stochastic draws, result, and
+    /// `predicted_success` are bit-identical to [`BulkEngine::not`] on
+    /// the same state; returns the result bits alongside the stats so
+    /// the caller can keep tracking values.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`BulkEngine::not`].
+    pub fn not_known(
+        &mut self,
+        val: &PackedBits,
+        out: &BitVecHandle,
+    ) -> Result<(OpStats, PackedBits)> {
+        let mut ideal = val.clone();
+        ideal.not_in_place();
+        let entry = self
+            .map
+            .find_dst(1)
+            .first()
+            .cloned()
+            .cloned()
+            .or_else(|| self.map.find_dst(2).first().cloned().cloned())
+            .ok_or(FcdramError::NoPattern { n_rf: 1, n_rl: 1 })?;
+        let src_full = self.expand_packed(val);
+        if self.repetition == 1 {
+            let rep = self
+                .fc
+                .execute_not_packed_value(self.bank, &entry, &src_full)?;
+            let bits = rep.result.clone();
+            let stats = self.finish_packed(out, rep.result, &ideal, rep.predicted_success)?;
+            return Ok((stats, bits));
+        }
+        let mut votes = vec![0u32; self.shared_cols.len()];
+        let mut predicted = 0.0;
+        for _ in 0..self.repetition {
+            let rep = self
+                .fc
+                .execute_not_packed_value(self.bank, &entry, &src_full)?;
+            predicted += rep.predicted_success;
+            tally(&mut votes, &rep.result);
+        }
+        let result = majority(&votes, self.repetition);
+        let stats = self.finish_packed(out, result.clone(), &ideal, predicted)?;
+        Ok((stats, result))
+    }
+
+    /// Value-path N-input logic for prepared execution: operand values
+    /// are supplied by the caller (no input read-backs) and the charge
+    /// share is masked to the terminal being read when
+    /// [`BulkEngine::mask_safe`] holds (falling back to the full
+    /// kernel otherwise). Stored result bits, stochastic draws, and
+    /// `predicted_success` are bit-identical to [`BulkEngine::logic`]
+    /// on the same state.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`BulkEngine::logic`].
+    pub fn logic_known(
+        &mut self,
+        op: LogicOp,
+        vals: &[&PackedBits],
+        out: &BitVecHandle,
+    ) -> Result<(OpStats, PackedBits)> {
+        if vals.len() < 2 {
+            return Err(FcdramError::BadInputCount {
+                n: vals.len(),
+                max: 16,
+            });
+        }
+        let n = [2usize, 4, 8, 16]
+            .into_iter()
+            .find(|n| *n >= vals.len() && self.map.find_nn(*n).is_some())
+            .ok_or(FcdramError::BadInputCount {
+                n: vals.len(),
+                max: self.fc.config().max_op_inputs(),
+            })?;
+        let entry = self.map.find_nn(n).expect("checked").clone();
+        let packed_inputs: Vec<PackedBits> = vals.iter().map(|p| (*p).clone()).collect();
+        let masked = self.mask_safe;
+        let run = |fc: &mut Fcdram, bank: BankId| {
+            if masked {
+                fc.execute_logic_packed_value(bank, &entry, op, &packed_inputs)
+            } else {
+                fc.execute_logic_packed(bank, &entry, op, &packed_inputs)
+            }
+        };
+        if self.repetition == 1 {
+            let rep = run(&mut self.fc, self.bank)?;
+            let bits = rep.result.clone();
+            let stats =
+                self.finish_packed(out, rep.result, &rep.expected, rep.predicted_success)?;
+            return Ok((stats, bits));
+        }
+        let mut votes = vec![0u32; self.shared_cols.len()];
+        let mut predicted = 0.0;
+        let mut ideal = None;
+        for _ in 0..self.repetition {
+            let rep = run(&mut self.fc, self.bank)?;
+            predicted += rep.predicted_success;
+            tally(&mut votes, &rep.result);
+            ideal.get_or_insert(rep.expected);
+        }
+        let result = majority(&votes, self.repetition);
+        let stats = self.finish_packed(
+            out,
+            result.clone(),
+            &ideal.expect("at least one execution"),
+            predicted,
+        )?;
+        Ok((stats, result))
+    }
+
+    /// Value-path copy for prepared execution: the source's current
+    /// value is supplied by the caller, eliding the input read-back.
+    /// The RowClone attempt and its stochastic draws are identical to
+    /// [`BulkEngine::copy`] on the same state.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`BulkEngine::copy`].
+    pub fn copy_known(
+        &mut self,
+        a: &BitVecHandle,
+        src_val: &PackedBits,
+        out: &BitVecHandle,
+    ) -> Result<(OpStats, PackedBits)> {
+        match self.fc.rowclone(self.bank, a.row, out.row) {
+            Ok(outcome) => {
+                let got = self.read_packed(out)?;
+                let accuracy = got.accuracy_against(src_val);
+                let predicted = outcome
+                    .mean_success(dram_core::CellRole::CloneDst)
+                    .unwrap_or(1.0);
+                Ok((
+                    OpStats {
+                        executions: 1,
+                        accuracy,
+                        predicted_success: predicted,
+                    },
+                    got,
+                ))
+            }
+            Err(_) => {
+                self.write_packed(out, src_val)?;
+                Ok((
+                    OpStats {
+                        executions: 0,
+                        accuracy: 1.0,
+                        predicted_success: 1.0,
+                    },
+                    src_val.clone(),
+                ))
+            }
+        }
+    }
+
     /// Fills a vector with a constant bit (a host row write; see
     /// [`Fcdram::broadcast`] for the amortized in-DRAM bulk
     /// initialization of many rows at once).
@@ -734,6 +954,58 @@ mod tests {
         for (i, h) in [a, b, c].iter().enumerate() {
             assert_eq!(e.read(h).unwrap(), snapshots[i], "input {i} clobbered");
         }
+    }
+
+    #[test]
+    fn value_path_matches_legacy_bits_and_predictions() {
+        // Two engines in identical state: the value-path ops (operand
+        // values supplied host-side, masked charge shares, first-row
+        // read-backs) must store the same bits and report the same
+        // accuracy/prediction as the legacy handle-path ops.
+        let mut e1 = engine();
+        let mut e2 = engine();
+        assert!(e1.mask_safe(), "table-1 part must allow masking");
+        let setup = |e: &mut BulkEngine| {
+            let a = e.alloc().unwrap();
+            let b = e.alloc().unwrap();
+            let c = e.alloc().unwrap();
+            let out = e.alloc().unwrap();
+            e.write(&a, &bits(20, 32)).unwrap();
+            e.write(&b, &bits(21, 32)).unwrap();
+            e.write(&c, &bits(22, 32)).unwrap();
+            (a, b, c, out)
+        };
+        let (a1, b1, c1, o1) = setup(&mut e1);
+        let (a2, b2, c2, o2) = setup(&mut e2);
+        let va = PackedBits::from_bools(&bits(20, 32));
+        let vb = PackedBits::from_bools(&bits(21, 32));
+        let vc = PackedBits::from_bools(&bits(22, 32));
+
+        for op in [LogicOp::And, LogicOp::Nor, LogicOp::Or, LogicOp::Nand] {
+            let s1 = e1.logic(op, &[&a1, &b1, &c1], &o1).unwrap();
+            let (s2, bits2) = e2.logic_known(op, &[&va, &vb, &vc], &o2).unwrap();
+            assert_eq!(s1, s2, "{op:?} stats diverge");
+            assert_eq!(e1.read_packed(&o1).unwrap(), bits2, "{op:?} bits diverge");
+            assert_eq!(e2.read_packed(&o2).unwrap(), bits2);
+        }
+        let s1 = e1.not(&a1, &o1).unwrap();
+        let (s2, nb) = e2.not_known(&va, &o2).unwrap();
+        assert_eq!(s1, s2, "NOT stats diverge");
+        assert_eq!(e1.read_packed(&o1).unwrap(), nb);
+        let s1 = e1.copy(&b1, &o1).unwrap();
+        let (s2, cb) = e2.copy_known(&b2, &vb, &o2).unwrap();
+        assert_eq!(s1, s2, "copy stats diverge");
+        assert_eq!(e1.read_packed(&o1).unwrap(), cb);
+        // Repetition voting follows the same draws on both paths.
+        e1.set_repetition(3);
+        e2.set_repetition(3);
+        let s1 = e1.logic(LogicOp::Nand, &[&a1, &c1], &o1).unwrap();
+        let (s2, rb) = e2.logic_known(LogicOp::Nand, &[&va, &vc], &o2).unwrap();
+        assert_eq!(s1, s2, "repetition stats diverge");
+        assert_eq!(e1.read_packed(&o1).unwrap(), rb);
+        // Operand rows survive value-path ops untouched.
+        assert_eq!(e2.read_packed(&a2).unwrap(), va);
+        assert_eq!(e2.read_packed(&c2).unwrap(), vc);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::mapping::{ActivationMap, InSubarrayEntry, PatternEntry};
 use crate::packed::PackedBits;
 use bender::Bender;
 use dram_core::{
-    is_shared_col, BankId, Bit, CellRole, ChipId, Col, DramModule, GlobalRow, LogicOp,
+    is_shared_col, BankId, Bit, CellRole, ChipId, Col, CsTerminal, DramModule, GlobalRow, LogicOp,
     ModuleConfig, OpOutcome, OutcomeKind, SubarrayId, Temperature,
 };
 use serde::{Deserialize, Serialize};
@@ -158,16 +158,39 @@ impl Fcdram {
         &mut self.bender
     }
 
-    /// Sets the chip temperature.
-    pub fn set_temperature(&mut self, t: Temperature) {
-        self.bender.set_temperature(t);
+    /// The current simulation configuration (module fidelity + rig
+    /// temperature).
+    pub fn sim_config(&self) -> dram_core::SimConfig {
+        dram_core::SimConfig::new()
+            .with_fidelity(self.bender.module().fidelity())
+            .with_temperature(self.bender.temperature())
     }
 
-    /// Sets the simulation fidelity (telemetry mode + threading) of the
-    /// whole module under test. Stored bits and aggregate statistics
-    /// are identical across fidelity modes.
+    /// Applies a [`dram_core::SimConfig`]: rig temperature plus the
+    /// simulation fidelity of the whole module under test. Stored bits
+    /// and aggregate statistics are identical across fidelity modes.
+    pub fn configure(&mut self, cfg: dram_core::SimConfig) {
+        self.bender.set_temperature(cfg.temperature());
+        self.bender.module_mut().set_fidelity(cfg.fidelity());
+    }
+
+    /// Builder form of [`Fcdram::configure`] for construction chains.
+    #[must_use]
+    pub fn with_sim_config(mut self, cfg: dram_core::SimConfig) -> Self {
+        self.configure(cfg);
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn set_temperature(&mut self, t: Temperature) {
+        let cfg = self.sim_config().with_temperature(t);
+        self.configure(cfg);
+    }
+
+    #[doc(hidden)]
     pub fn set_fidelity(&mut self, fidelity: dram_core::SimFidelity) {
-        self.bender.module_mut().set_fidelity(fidelity);
+        let cfg = self.sim_config().with_fidelity(fidelity);
+        self.configure(cfg);
     }
 
     /// Discovers the activation map of a neighboring subarray pair.
@@ -606,6 +629,191 @@ impl Fcdram {
             expected,
             result: first.unwrap_or_else(|| PackedBits::zeros(lanes)),
             observed_success: correct as f64 / total.max(1) as f64,
+            predicted_success: outcome.mean_success(role).unwrap_or(0.0),
+        })
+    }
+
+    /// Value-path NOT for prepared execution: identical command
+    /// sequence and stochastic draws as [`Fcdram::execute_not_packed`],
+    /// but only the first destination row is read back, so
+    /// `observed_success` covers that row alone. `result` and
+    /// `predicted_success` are bit-identical to the packed variant.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fcdram::execute_not_packed`].
+    pub fn execute_not_packed_value(
+        &mut self,
+        bank: BankId,
+        entry: &PatternEntry,
+        src_data: &[Bit],
+    ) -> Result<FastNotResult> {
+        let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
+        if src_data.len() != geom.cols() {
+            return Err(FcdramError::WidthMismatch {
+                expected: geom.cols(),
+                got: src_data.len(),
+            });
+        }
+        let (sub_f, _) = geom.split_row(entry.rf)?;
+        let (sub_l, _) = geom.split_row(entry.rl)?;
+        let upper = SubarrayId(sub_f.index().min(sub_l.index()));
+        let shared_start = (upper.index() + 1) % 2;
+        let lanes = (geom.cols() - shared_start).div_ceil(2);
+
+        self.bender
+            .write_row(self.chip, bank, entry.rf, src_data.to_vec())?;
+        let outcome = self
+            .bender
+            .copy_invert(self.chip, bank, entry.rf, entry.rl)?;
+        let shape = match outcome.kind {
+            OutcomeKind::Not { n_rf, n_rl, .. } => (n_rf, n_rl),
+            ref k => {
+                return Err(FcdramError::OpFailed {
+                    detail: format!("NOT produced {k:?}"),
+                })
+            }
+        };
+        let mut expected = PackedBits::zeros(lanes);
+        for (i, c) in (shared_start..geom.cols()).step_by(2).enumerate() {
+            expected.set(i, !src_data[c].as_bool());
+        }
+        let g = geom.join_row(sub_l, entry.second_rows[0])?;
+        let words = self
+            .bender
+            .read_row_packed(self.chip, bank, g, shared_start, 2)?;
+        let read = PackedBits::from_words(words, lanes);
+        let correct = read.count_matches(&expected);
+        Ok(FastNotResult {
+            shape,
+            result: read,
+            observed_success: correct as f64 / lanes.max(1) as f64,
+            predicted_success: outcome.mean_success(CellRole::NotDst).unwrap_or(0.0),
+        })
+    }
+
+    /// Value-path N-input logic for prepared execution: identical
+    /// writes and stochastic draws as [`Fcdram::execute_logic_packed`],
+    /// but the charge share is masked to the terminal being read
+    /// (compute for AND/OR, reference for NAND/NOR) and only the first
+    /// result row is read back. `result`, `expected`, and
+    /// `predicted_success` are bit-identical to the packed variant;
+    /// `observed_success` covers the first result row alone.
+    ///
+    /// Masking is only safe when every raised row is rewritten before
+    /// its next read — callers (`BulkEngine`) must verify their row
+    /// plan satisfies this (see `BulkEngine::mask_safe`).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fcdram::execute_logic_packed`].
+    pub fn execute_logic_packed_value(
+        &mut self,
+        bank: BankId,
+        entry: &PatternEntry,
+        op: LogicOp,
+        inputs: &[PackedBits],
+    ) -> Result<FastLogicResult> {
+        let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
+        let (n_ref, n_com) = entry.shape();
+        if n_ref != n_com {
+            return Err(FcdramError::OpFailed {
+                detail: format!("logic needs an N:N entry, got {n_ref}:{n_com}"),
+            });
+        }
+        let n = n_com;
+        if inputs.is_empty() || inputs.len() > n {
+            return Err(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: n,
+            });
+        }
+        let (sub_ref, _) = geom.split_row(entry.rf)?;
+        let (sub_com, _) = geom.split_row(entry.rl)?;
+        let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
+        let shared_start = (upper.index() + 1) % 2;
+        let lanes = (geom.cols() - shared_start).div_ceil(2);
+        for input in inputs {
+            if input.len() != lanes {
+                return Err(FcdramError::WidthMismatch {
+                    expected: lanes,
+                    got: input.len(),
+                });
+            }
+        }
+
+        let const_bit = if op.is_and_family() {
+            Bit::One
+        } else {
+            Bit::Zero
+        };
+        let const_row = vec![const_bit; geom.cols()];
+        for (i, row) in entry.first_rows.iter().enumerate() {
+            let g = geom.join_row(sub_ref, *row)?;
+            if i + 1 == entry.first_rows.len() {
+                self.bender.frac(self.chip, bank, g)?;
+            } else {
+                self.bender
+                    .write_row(self.chip, bank, g, const_row.clone())?;
+            }
+        }
+        for (i, row) in entry.second_rows.iter().enumerate() {
+            let g = geom.join_row(sub_com, *row)?;
+            let data = match inputs.get(i) {
+                Some(p) => p.expand_strided(geom.cols(), shared_start, 2),
+                None => const_row.clone(),
+            };
+            self.bender.write_row(self.chip, bank, g, data)?;
+        }
+
+        let need = if op.is_inverted_terminal() {
+            CsTerminal::Reference
+        } else {
+            CsTerminal::Compute
+        };
+        let outcome = self
+            .bender
+            .charge_share_masked(self.chip, bank, entry.rf, entry.rl, need)?;
+        if !matches!(outcome.kind, OutcomeKind::Logic { .. }) {
+            return Err(FcdramError::OpFailed {
+                detail: format!("charge share produced {:?}", outcome.kind),
+            });
+        }
+
+        let mut expected = PackedBits::splat(op.is_and_family(), lanes);
+        for input in inputs {
+            if op.is_and_family() {
+                expected.and_assign(input);
+            } else {
+                expected.or_assign(input);
+            }
+        }
+        if op.is_inverted_terminal() {
+            expected.not_in_place();
+        }
+
+        let (result_sub, result_rows) = if op.is_inverted_terminal() {
+            (sub_ref, &entry.first_rows)
+        } else {
+            (sub_com, &entry.second_rows)
+        };
+        let g = geom.join_row(result_sub, result_rows[0])?;
+        let words = self
+            .bender
+            .read_row_packed(self.chip, bank, g, shared_start, 2)?;
+        let read = PackedBits::from_words(words, lanes);
+        let correct = read.count_matches(&expected);
+        let role = if op.is_inverted_terminal() {
+            CellRole::Reference
+        } else {
+            CellRole::Compute
+        };
+        Ok(FastLogicResult {
+            op,
+            n,
+            expected,
+            result: read,
+            observed_success: correct as f64 / lanes.max(1) as f64,
             predicted_success: outcome.mean_success(role).unwrap_or(0.0),
         })
     }

@@ -33,6 +33,8 @@ use crate::thermal::Temperature;
 use crate::types::{BankId, Bit, ChipId, Col, GlobalRow, LocalRow, SubarrayId};
 use crate::variation::VariationCache;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The role a cell played in an operation outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -70,6 +72,25 @@ impl CellRole {
     pub fn index(self) -> usize {
         self as usize
     }
+}
+
+/// Which charge-share terminal a caller intends to read back.
+///
+/// `Both` is the hardware-faithful default: every raised row resolves.
+/// The masked variants skip the state/telemetry updates for rows the
+/// caller has promised to rewrite before they are next read — the
+/// computed terminal's shared-half cells (bits, predicted success,
+/// stochastic draws) are unchanged, because each cell's model inputs
+/// and sample keys are per-(row, col) and independent of the skipped
+/// side's writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CsTerminal {
+    /// Resolve both terminals and the non-shared majority half.
+    Both,
+    /// Resolve only the compute terminal's shared half (AND/OR).
+    Compute,
+    /// Resolve only the reference terminal's shared half (NAND/NOR).
+    Reference,
 }
 
 /// Aggregate statistics for cells of one role in one operation.
@@ -295,6 +316,68 @@ where
     });
 }
 
+/// Keys address one activation pair `(bank, first row, last row)` or
+/// one cell row `(bank, subarray, row)`.
+type MemoKey = (u32, u32, u32);
+
+/// Largest number of entries any memo map holds before being dropped
+/// wholesale (same defensive idiom as [`VariationCache`]).
+const MEMO_CAP: usize = 4096;
+
+/// Per-row charge-share CDF table: `cdf[family][mm_idx][col]` holds
+/// `normal_cdf(z)` for the shared-column kernel, where `family`
+/// selects AND- vs OR-family constants and `mm_idx` indexes the three
+/// values the neighbour-mismatch fraction can take (0, ½, 1). `None`
+/// when the reliability model has no prefix for that `(op, N)`.
+#[derive(Debug, Clone)]
+struct CsRowTab {
+    cdf: [Option<[Box<[f64]>; 3]>; 2],
+}
+
+/// Charge-share tables for one `(bank, r_ref, r_com)` activation:
+/// compute-terminal rows and reference-terminal rows, in raised-row
+/// order.
+#[derive(Debug, Clone)]
+struct CsTables {
+    com: Vec<CsRowTab>,
+    refs: Vec<CsRowTab>,
+}
+
+/// NOT-sequence tables for one `(bank, rf, rl)` activation: per
+/// destination row the shared-column CDF, and per extra source row
+/// (source row itself excluded) the full-width copy CDF with the
+/// stripe-parity sense-amp term baked in.
+#[derive(Debug, Clone)]
+struct NotTables {
+    dst: Vec<Box<[f64]>>,
+    src: Vec<Box<[f64]>>,
+}
+
+/// Memoized kernel CDF tables. Everything data-*independent* in the
+/// multi-activation kernels — the `normal_cdf` of the z-score minus
+/// its data-dependent multipliers — is a pure function of the
+/// activation pair, the per-chip variation draws, and the chip
+/// temperature, so it is computed once per `(bank, rows)` key and
+/// reused verbatim (bit-identical: the stored values are produced by
+/// the exact float-op order of the original kernels). Invalidated
+/// only by a temperature change through [`Chip::configure`].
+#[derive(Debug, Clone, Default)]
+struct KernelMemo {
+    cs: HashMap<MemoKey, Arc<CsTables>>,
+    not: HashMap<MemoKey, Arc<NotTables>>,
+    maj: HashMap<MemoKey, Arc<[f64]>>,
+    clone: HashMap<MemoKey, Arc<[f64]>>,
+}
+
+impl KernelMemo {
+    fn clear(&mut self) {
+        self.cs.clear();
+        self.not.clear();
+        self.maj.clear();
+        self.clone.clear();
+    }
+}
+
 /// One simulated DRAM chip.
 #[derive(Debug, Clone)]
 pub struct Chip {
@@ -308,6 +391,7 @@ pub struct Chip {
     op_counter: u64,
     fidelity: SimFidelity,
     cache: VariationCache,
+    memo: KernelMemo,
     disturbance: DisturbanceState,
     disturb_policy: Option<DisturbancePolicy>,
     commands: CommandTally,
@@ -340,6 +424,7 @@ impl Chip {
             op_counter: 0,
             fidelity: SimFidelity::default(),
             cache: VariationCache::new(),
+            memo: KernelMemo::default(),
             disturbance: DisturbanceState::new(geom.banks() * geom.subarrays_per_bank()),
             disturb_policy: None,
             commands: CommandTally::new(),
@@ -352,18 +437,44 @@ impl Chip {
         self.fidelity
     }
 
-    /// Sets the simulation fidelity (telemetry mode + threading).
-    ///
-    /// Stored bits and aggregate statistics are identical across
-    /// modes; only the presence of per-cell [`CellOutcome`] records
-    /// changes.
-    pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
-        self.fidelity = fidelity;
+    /// The current simulation configuration (fidelity + temperature).
+    pub fn sim_config(&self) -> crate::SimConfig {
+        crate::SimConfig::new()
+            .with_fidelity(self.fidelity)
+            .with_temperature(self.temperature)
     }
 
-    /// Sets only the telemetry mode.
+    /// Applies a [`crate::SimConfig`] — fidelity and temperature in
+    /// one call. Stored bits and aggregate statistics are identical
+    /// across fidelity modes; only the presence of per-cell
+    /// [`CellOutcome`] records changes.
+    pub fn configure(&mut self, cfg: crate::SimConfig) {
+        self.fidelity = cfg.fidelity();
+        let t = cfg.temperature();
+        if t != self.temperature {
+            // The memoized kernel tables bake the temperature term in.
+            self.memo.clear();
+        }
+        self.temperature = t;
+    }
+
+    /// Builder form of [`Chip::configure`] for construction chains.
+    #[must_use]
+    pub fn with_sim_config(mut self, cfg: crate::SimConfig) -> Self {
+        self.configure(cfg);
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
+        let cfg = self.sim_config().with_fidelity(fidelity);
+        self.configure(cfg);
+    }
+
+    #[doc(hidden)]
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        self.fidelity.telemetry = telemetry;
+        let cfg = self.sim_config().with_telemetry(telemetry);
+        self.configure(cfg);
     }
 
     /// The module configuration this chip belongs to.
@@ -402,10 +513,10 @@ impl Chip {
         self.temperature
     }
 
-    /// Sets the chip temperature (the heater-pad knob of the paper's
-    /// testing rig).
+    #[doc(hidden)]
     pub fn set_temperature(&mut self, t: Temperature) {
-        self.temperature = t;
+        let cfg = self.sim_config().with_temperature(t);
+        self.configure(cfg);
     }
 
     /// Read-disturbance counters, one zone per `(bank, subarray)` in
@@ -704,6 +815,258 @@ impl Chip {
         Ok(rec.finish(OutcomeKind::Frac))
     }
 
+    // -----------------------------------------------------------------
+    // Memoized kernel tables
+    // -----------------------------------------------------------------
+
+    /// Per-column CDF of the majority re-sense kernel for one raised
+    /// row: `normal_cdf(maj_base + σ_cell·lz[c])`. Shared by the
+    /// in-subarray MAJ baseline and the off-column halves of the NOT
+    /// and charge-share sequences; the data-dependent vote margin is
+    /// multiplied in at use time.
+    fn memo_maj_cdf(&mut self, bank: BankId, sub: SubarrayId, row: LocalRow) -> Arc<[f64]> {
+        let key = (bank.index() as u32, sub.index() as u32, row.index() as u32);
+        if let Some(t) = self.memo.maj.get(&key) {
+            return t.clone();
+        }
+        let cols = self.geom.cols();
+        let maj_base = 2.6 - ReliabilityModel::logic_temp_term(self.temperature);
+        let lz = self
+            .cache
+            .logic_z(self.model.variation(), bank, sub, row, cols);
+        let t: Arc<[f64]> = (0..cols)
+            .map(|c| normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz[c]))
+            .collect();
+        if self.memo.maj.len() >= MEMO_CAP {
+            self.memo.maj.clear();
+        }
+        self.memo.maj.insert(key, t.clone());
+        t
+    }
+
+    /// Per-column RowClone success CDF for one in-subarray destination
+    /// row.
+    fn memo_clone_cdf(&mut self, bank: BankId, sub: SubarrayId, row: LocalRow) -> Arc<[f64]> {
+        let key = (bank.index() as u32, sub.index() as u32, row.index() as u32);
+        if let Some(t) = self.memo.clone.get(&key) {
+            return t.clone();
+        }
+        let cols = self.geom.cols();
+        let nz = self
+            .cache
+            .not_z(self.model.variation(), bank, sub, row, cols);
+        let t: Arc<[f64]> = (0..cols)
+            .map(|c| normal_cdf(Z_ROWCLONE + SIGMA_CELL_NOT * nz[c]))
+            .collect();
+        if self.memo.clone.len() >= MEMO_CAP {
+            self.memo.clone.clear();
+        }
+        self.memo.clone.insert(key, t.clone());
+        t
+    }
+
+    /// Success-CDF tables for one cross-subarray NOT activation pair.
+    /// The whole z-score of both the shared-column NOT kernel and the
+    /// source-copy kernel is data-independent, so the final clamped
+    /// CDF is stored outright.
+    #[allow(clippy::too_many_arguments)]
+    fn memo_not_tables(
+        &mut self,
+        bank: BankId,
+        rf: GlobalRow,
+        rl: GlobalRow,
+        first_rows: &[LocalRow],
+        second_rows: &[LocalRow],
+        sub_f: SubarrayId,
+        sub_l: SubarrayId,
+        loc_f: LocalRow,
+    ) -> Arc<NotTables> {
+        let key = (bank.index() as u32, rf.index() as u32, rl.index() as u32);
+        if let Some(t) = self.memo.not.get(&key) {
+            return t.clone();
+        }
+        let cols = self.geom.cols();
+        let rows_per_sub = self.geom.rows_per_subarray();
+        let temp = self.temperature;
+        let upper = SubarrayId(sub_f.index().min(sub_l.index()));
+        let stripe = upper.index() + 1;
+        let k_total = first_rows.len() + second_rows.len();
+        let src_dist = dist_to_stripe(loc_f, rows_per_sub, sub_f, upper);
+        let shared_start = (upper.index() + 1) % 2;
+        let sa_shared = self.cache.sa_z(self.model.variation(), bank, stripe, cols);
+        let mut dst = Vec::with_capacity(second_rows.len());
+        for row in second_rows {
+            let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_l, upper);
+            let ev = NotEvent {
+                total_rows: k_total,
+                src_dist,
+                dst_dist,
+                temperature: temp,
+            };
+            let base = self.model.not_z_base(&ev);
+            let nz = self
+                .cache
+                .not_z(self.model.variation(), bank, sub_l, *row, cols);
+            let mut t = vec![0.0f64; cols].into_boxed_slice();
+            for c in (shared_start..cols).step_by(2) {
+                t[c] = normal_cdf(base + SIGMA_CELL_NOT * nz[c] + SIGMA_SA_NOT * sa_shared[c])
+                    .clamp(0.0, 1.0);
+            }
+            dst.push(t);
+        }
+        // The sense amp serving a source cell alternates stripes with
+        // column parity; bake the selected draw into the table.
+        let sa_above = self
+            .cache
+            .sa_z(self.model.variation(), bank, sub_f.index(), cols);
+        let sa_below = self
+            .cache
+            .sa_z(self.model.variation(), bank, sub_f.index() + 1, cols);
+        let parity = sub_f.index() % 2;
+        let mut src = Vec::new();
+        for row in first_rows {
+            if *row == loc_f {
+                continue;
+            }
+            let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_f, upper);
+            let ev = NotEvent {
+                total_rows: k_total,
+                src_dist,
+                dst_dist,
+                temperature: temp,
+            };
+            let base = self.model.not_z_base(&ev);
+            let nz = self
+                .cache
+                .not_z(self.model.variation(), bank, sub_f, *row, cols);
+            let mut t = vec![0.0f64; cols].into_boxed_slice();
+            for (c, slot) in t.iter_mut().enumerate() {
+                let sz = if (c + parity).is_multiple_of(2) {
+                    sa_above[c]
+                } else {
+                    sa_below[c]
+                };
+                *slot =
+                    normal_cdf(base + SIGMA_CELL_NOT * nz[c] + SIGMA_SA_NOT * sz).clamp(0.0, 1.0);
+            }
+            src.push(t);
+        }
+        let t = Arc::new(NotTables { dst, src });
+        if self.memo.not.len() >= MEMO_CAP {
+            self.memo.not.clear();
+        }
+        self.memo.not.insert(key, t.clone());
+        t
+    }
+
+    /// Shared-column CDF tables for one charge-share activation pair:
+    /// per terminal row, per constant family, per neighbour-mismatch
+    /// level. The stored value is `normal_cdf(z)` with the exact
+    /// float-op order of the in-line kernel; the data-dependent margin
+    /// multiplier and disturbance exponent are applied at use time.
+    #[allow(clippy::too_many_arguments)]
+    fn memo_cs_tables(
+        &mut self,
+        bank: BankId,
+        r_ref: GlobalRow,
+        r_com: GlobalRow,
+        first_rows: &[LocalRow],
+        second_rows: &[LocalRow],
+        sub_ref: SubarrayId,
+        sub_com: SubarrayId,
+        loc_ref: LocalRow,
+        loc_com: LocalRow,
+    ) -> Arc<CsTables> {
+        let key = (
+            bank.index() as u32,
+            r_ref.index() as u32,
+            r_com.index() as u32,
+        );
+        if let Some(t) = self.memo.cs.get(&key) {
+            return t.clone();
+        }
+        let cols = self.geom.cols();
+        let rows_per_sub = self.geom.rows_per_subarray();
+        let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
+        let stripe = upper.index() + 1;
+        let shared_start = (upper.index() + 1) % 2;
+        let n_ref = first_rows.len();
+        let n_com = second_rows.len();
+        let com_dist_addr = dist_to_stripe(loc_com, rows_per_sub, sub_com, upper);
+        let ref_dist_addr = dist_to_stripe(loc_ref, rows_per_sub, sub_ref, upper);
+        let tterm = ReliabilityModel::logic_temp_term(self.temperature);
+        let sa = self.cache.sa_z(self.model.variation(), bank, stripe, cols);
+        let mut sides: Vec<Vec<CsRowTab>> = Vec::with_capacity(2);
+        for (sub, rows, ops, n_side, invert) in [
+            (
+                sub_com,
+                second_rows,
+                (LogicOp::And, LogicOp::Or),
+                n_com,
+                false,
+            ),
+            (
+                sub_ref,
+                first_rows,
+                (LogicOp::Nand, LogicOp::Nor),
+                n_ref,
+                true,
+            ),
+        ] {
+            let pre_and = self.model.logic_z_prefix(ops.0, n_side);
+            let pre_or = self.model.logic_z_prefix(ops.1, n_side);
+            let cpl_and = ReliabilityModel::coupling(ops.0);
+            let cpl_or = ReliabilityModel::coupling(ops.1);
+            let mut tabs = Vec::with_capacity(rows.len());
+            for row in rows {
+                let own_dist = dist_to_stripe(*row, rows_per_sub, sub, upper);
+                let (dist_and, dist_or) = if invert {
+                    (
+                        ReliabilityModel::logic_dist_term(ops.0, com_dist_addr, own_dist),
+                        ReliabilityModel::logic_dist_term(ops.1, com_dist_addr, own_dist),
+                    )
+                } else {
+                    (
+                        ReliabilityModel::logic_dist_term(ops.0, own_dist, ref_dist_addr),
+                        ReliabilityModel::logic_dist_term(ops.1, own_dist, ref_dist_addr),
+                    )
+                };
+                let lz = self
+                    .cache
+                    .logic_z(self.model.variation(), bank, sub, *row, cols);
+                let mut cdf: [Option<[Box<[f64]>; 3]>; 2] = [None, None];
+                for (fi, pre, cpl, dist) in [
+                    (0, pre_or, cpl_or, dist_or),
+                    (1, pre_and, cpl_and, dist_and),
+                ] {
+                    let Some(pre) = pre else { continue };
+                    let mut mm_tabs = Vec::with_capacity(3);
+                    for mm_v in [0.0f64, 0.5, 1.0] {
+                        let mut t = vec![0.0f64; cols].into_boxed_slice();
+                        for c in (shared_start..cols).step_by(2) {
+                            let z = pre - cpl * mm_v.clamp(0.0, 1.0) + dist - tterm
+                                + SIGMA_CELL_LOGIC * lz[c]
+                                + SIGMA_SA_LOGIC * sa[c];
+                            t[c] = normal_cdf(z);
+                        }
+                        mm_tabs.push(t);
+                    }
+                    cdf[fi] = Some(mm_tabs.try_into().expect("three mismatch tables"));
+                }
+                tabs.push(CsRowTab { cdf });
+            }
+            sides.push(tabs);
+        }
+        let refs = sides.pop().expect("two sides built");
+        let com = sides.pop().expect("two sides built");
+        let t = Arc::new(CsTables { com, refs });
+        if self.memo.cs.len() >= MEMO_CAP {
+            self.memo.cs.clear();
+        }
+        self.memo.cs.insert(key, t.clone());
+        t
+    }
+
     /// The NOT / RowClone command sequence:
     /// `ACT rf → (tRAS respected) → PRE → ACT rl` with violated tRP.
     ///
@@ -728,8 +1091,6 @@ impl Chip {
         let op = self.next_op();
         let vdd = self.model.analog().vdd;
         let cols = self.geom.cols();
-        let rows_per_sub = self.geom.rows_per_subarray();
-        let temp = self.temperature;
 
         let telemetry = self.fidelity.telemetry;
         let parallel = self.fidelity.parallel_at(cols);
@@ -765,15 +1126,14 @@ impl Chip {
                     if *row == loc_f {
                         continue;
                     }
-                    let nz = self
-                        .cache
-                        .not_z(self.model.variation(), bank, sub_f, *row, cols);
+                    let cdf = self.memo_clone_cdf(bank, sub_f, *row);
                     let model = &self.model;
                     let sub_row_key = ((sub_f.index() as u64) << 32) | row.index() as u64;
+                    let cdf_ref = &cdf;
                     run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
                         for i in 0..pc.len() {
                             let c = start + i;
-                            let p = normal_cdf(Z_ROWCLONE + SIGMA_CELL_NOT * nz[c]);
+                            let p = cdf_ref[c];
                             pc[i] = p;
                             oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
                         }
@@ -811,35 +1171,29 @@ impl Chip {
                 self.charge_disturbance(bank, sub_f, first_rows.len() as u64);
                 self.charge_disturbance(bank, sub_l, second_rows.len() as u64);
                 let upper = SubarrayId(sub_f.index().min(sub_l.index()));
-                let stripe = upper.index() + 1;
-                let k_total = first_rows.len() + second_rows.len();
                 let src_bits = self.banks[bank.index()]
                     .subarray_mut(sub_f)
                     .read_bits(loc_f, vdd);
-                let src_dist = dist_to_stripe(loc_f, rows_per_sub, sub_f, upper);
                 let shared_start = (upper.index() + 1) % 2;
                 let mut rec = Recorder::new(telemetry);
                 let mut p_buf = vec![0.0f64; cols];
                 let mut ok_buf = vec![false; cols];
-                let sa_shared = self.cache.sa_z(self.model.variation(), bank, stripe, cols);
+                let nt = self.memo_not_tables(
+                    bank,
+                    rf,
+                    rl,
+                    &first_rows,
+                    &second_rows,
+                    sub_f,
+                    sub_l,
+                    loc_f,
+                );
 
                 // Destination rows: shared columns get ¬src; off
                 // columns re-sense themselves (majority among the
                 // raised destination rows — identical values retained).
                 let n_dst = second_rows.len();
-                let maj_base = 2.6 - ReliabilityModel::logic_temp_term(temp);
-                for row in &second_rows {
-                    let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_l, upper);
-                    let ev = NotEvent {
-                        total_rows: k_total,
-                        src_dist,
-                        dst_dist,
-                        temperature: temp,
-                    };
-                    let base = self.model.not_z_base(&ev);
-                    let nz = self
-                        .cache
-                        .not_z(self.model.variation(), bank, sub_l, *row, cols);
+                for (ri, row) in second_rows.iter().enumerate() {
                     let sub_row_key = ((sub_l.index() as u64) << 32) | row.index() as u64;
                     // Off-column majority votes read the rows' *current*
                     // bits (earlier destination rows may already have
@@ -849,29 +1203,23 @@ impl Chip {
                     } else {
                         (Vec::new(), Vec::new())
                     };
-                    let lz = if n_dst > 1 {
-                        Some(
-                            self.cache
-                                .logic_z(self.model.variation(), bank, sub_l, *row, cols),
-                        )
+                    let maj_cdf = if n_dst > 1 {
+                        Some(self.memo_maj_cdf(bank, sub_l, *row))
                     } else {
                         None
                     };
                     let model = &self.model;
-                    let sa = &sa_shared;
-                    let nz_ref = &nz;
+                    let dst_tab = &nt.dst[ri];
                     let off_margin_ref = &off_margin;
                     run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
                         for i in 0..pc.len() {
                             let c = start + i;
                             let p = if c % 2 == shared_start {
-                                normal_cdf(base + SIGMA_CELL_NOT * nz_ref[c] + SIGMA_SA_NOT * sa[c])
-                                    .clamp(0.0, 1.0)
-                            } else if let Some(lz) = &lz {
+                                dst_tab[c]
+                            } else if let Some(mc) = &maj_cdf {
                                 let margin = off_margin_ref[c / 2];
                                 let mult = ReliabilityModel::maj_multiplier(margin);
-                                (mult * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz[c]))
-                                    .clamp(0.0, 1.0)
+                                (mult * mc[c]).clamp(0.0, 1.0)
                             } else {
                                 pc[i] = 0.0;
                                 oc[i] = false;
@@ -908,45 +1256,21 @@ impl Chip {
 
                 // Extra source-side rows receive a copy of src on every
                 // column (all bitlines of the source subarray are
-                // latched at src's values). The sense amp serving a
-                // source cell alternates stripes with column parity.
-                let sa_above = self
-                    .cache
-                    .sa_z(self.model.variation(), bank, sub_f.index(), cols);
-                let sa_below =
-                    self.cache
-                        .sa_z(self.model.variation(), bank, sub_f.index() + 1, cols);
+                // latched at src's values); the per-row CDF — sense-amp
+                // stripe parity included — comes from the memo table.
+                let mut si = 0usize;
                 for row in &first_rows {
                     if *row == loc_f {
                         continue;
                     }
-                    let dst_dist = dist_to_stripe(*row, rows_per_sub, sub_f, upper);
-                    let ev = NotEvent {
-                        total_rows: k_total,
-                        src_dist,
-                        dst_dist,
-                        temperature: temp,
-                    };
-                    let base = self.model.not_z_base(&ev);
-                    let nz = self
-                        .cache
-                        .not_z(self.model.variation(), bank, sub_f, *row, cols);
+                    let src_tab = &nt.src[si];
+                    si += 1;
                     let sub_row_key = ((sub_f.index() as u64) << 32) | row.index() as u64;
                     let model = &self.model;
-                    let parity = sub_f.index() % 2;
-                    let (sa_a, sa_b) = (&sa_above, &sa_below);
-                    let nz_ref = &nz;
                     run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
                         for i in 0..pc.len() {
                             let c = start + i;
-                            let sz = if (c + parity) % 2 == 0 {
-                                sa_a[c]
-                            } else {
-                                sa_b[c]
-                            };
-                            let p =
-                                normal_cdf(base + SIGMA_CELL_NOT * nz_ref[c] + SIGMA_SA_NOT * sz)
-                                    .clamp(0.0, 1.0);
+                            let p = src_tab[c];
                             pc[i] = p;
                             oc[i] = model.sample(p, mix3(op, sub_row_key, c as u64), 0);
                         }
@@ -1033,6 +1357,33 @@ impl Chip {
         r_ref: GlobalRow,
         r_com: GlobalRow,
     ) -> Result<OpOutcome> {
+        self.multi_act_charge_share_inner(bank, r_ref, r_com, CsTerminal::Both)
+    }
+
+    /// Charge share resolving only the terminal the caller will read.
+    ///
+    /// Skips voltage/telemetry updates for the other terminal's rows and
+    /// for the non-shared majority half. Only safe when the caller
+    /// rewrites every raised row before its next read — the prepared
+    /// execution path guarantees this (and `BulkEngine` falls back to
+    /// the full kernel when its row plan cannot prove it).
+    pub fn multi_act_charge_share_masked(
+        &mut self,
+        bank: BankId,
+        r_ref: GlobalRow,
+        r_com: GlobalRow,
+        need: CsTerminal,
+    ) -> Result<OpOutcome> {
+        self.multi_act_charge_share_inner(bank, r_ref, r_com, need)
+    }
+
+    fn multi_act_charge_share_inner(
+        &mut self,
+        bank: BankId,
+        r_ref: GlobalRow,
+        r_com: GlobalRow,
+        need: CsTerminal,
+    ) -> Result<OpOutcome> {
         self.geom.check_row(r_ref)?;
         self.geom.check_row(r_com)?;
         self.geom.check_bank(bank)?;
@@ -1095,22 +1446,17 @@ impl Chip {
                             ReliabilityModel::maj_multiplier((*v as f64 - n as f64 / 2.0).abs())
                         })
                         .collect();
-                    let maj_base = 2.6 - ReliabilityModel::logic_temp_term(temp);
                     let mut p_buf = vec![0.0f64; cols];
                     let mut ok_buf = vec![false; cols];
                     for row in &rows {
-                        let lz =
-                            self.cache
-                                .logic_z(self.model.variation(), bank, sub_ref, *row, cols);
+                        let cdf = self.memo_maj_cdf(bank, sub_ref, *row);
                         let model = &self.model;
                         let sub_row_key = ((sub_ref.index() as u64) << 32) | row.index() as u64;
-                        let (lz_ref, mult_ref) = (&lz, &mult);
+                        let (cdf_ref, mult_ref) = (&cdf, &mult);
                         run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
                             for i in 0..pc.len() {
                                 let c = start + i;
-                                let mut p = (mult_ref[c]
-                                    * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz_ref[c]))
-                                .clamp(0.0, 1.0);
+                                let mut p = (mult_ref[c] * cdf_ref[c]).clamp(0.0, 1.0);
                                 if dexp != 1.0 {
                                     p = p.powf(dexp);
                                 }
@@ -1169,35 +1515,72 @@ impl Chip {
                 let (_, loc_ref) = self.geom.split_row(r_ref)?;
                 let (_, loc_com) = self.geom.split_row(r_com)?;
                 let shared_start = (upper.index() + 1) % 2;
+                let cs_tab = self.memo_cs_tables(
+                    bank,
+                    r_ref,
+                    r_com,
+                    &first_rows,
+                    &second_rows,
+                    sub_ref,
+                    sub_com,
+                    loc_ref,
+                    loc_com,
+                );
 
                 // --- Gather (SoA): per-column voltage sums and packed
                 // per-row bits, one pass per raised row. Everything
                 // downstream is computed from these flat arrays; the
                 // old path materialized a Vec<f64> per column per side.
+                let masked = need != CsTerminal::Both;
                 let mut sum_ref = vec![0.0f64; cols];
                 let mut sum_com = vec![0.0f64; cols];
                 let mut packed_ref = vec![0u64; cols];
                 let mut packed_com = vec![0u64; cols];
                 {
                     let b = &self.banks[bank.index()];
-                    for (i, r) in first_rows.iter().enumerate() {
-                        if let Some(slice) = b.subarray(sub_ref).and_then(|s| s.row(*r)) {
-                            for c in 0..cols {
-                                let v = f64::from(slice[c]);
-                                sum_ref[c] += v;
-                                if v > vdd / 2.0 {
-                                    packed_ref[c] |= 1 << i;
+                    if masked {
+                        // Masked: only the shared half feeds the sensing
+                        // model downstream (classify + terminal pass);
+                        // `packed_ref` is consumed solely by the skipped
+                        // non-shared majority loop.
+                        for r in first_rows.iter() {
+                            if let Some(slice) = b.subarray(sub_ref).and_then(|s| s.row(*r)) {
+                                for c in (shared_start..cols).step_by(2) {
+                                    sum_ref[c] += f64::from(slice[c]);
                                 }
                             }
                         }
-                    }
-                    for (i, r) in second_rows.iter().enumerate() {
-                        if let Some(slice) = b.subarray(sub_com).and_then(|s| s.row(*r)) {
-                            for c in 0..cols {
-                                let v = f64::from(slice[c]);
-                                sum_com[c] += v;
-                                if v > vdd / 2.0 {
-                                    packed_com[c] |= 1 << i;
+                        for (i, r) in second_rows.iter().enumerate() {
+                            if let Some(slice) = b.subarray(sub_com).and_then(|s| s.row(*r)) {
+                                for c in (shared_start..cols).step_by(2) {
+                                    let v = f64::from(slice[c]);
+                                    sum_com[c] += v;
+                                    if v > vdd / 2.0 {
+                                        packed_com[c] |= 1 << i;
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        for (i, r) in first_rows.iter().enumerate() {
+                            if let Some(slice) = b.subarray(sub_ref).and_then(|s| s.row(*r)) {
+                                for c in 0..cols {
+                                    let v = f64::from(slice[c]);
+                                    sum_ref[c] += v;
+                                    if v > vdd / 2.0 {
+                                        packed_ref[c] |= 1 << i;
+                                    }
+                                }
+                            }
+                        }
+                        for (i, r) in second_rows.iter().enumerate() {
+                            if let Some(slice) = b.subarray(sub_com).and_then(|s| s.row(*r)) {
+                                for c in 0..cols {
+                                    let v = f64::from(slice[c]);
+                                    sum_com[c] += v;
+                                    if v > vdd / 2.0 {
+                                        packed_com[c] |= 1 << i;
+                                    }
                                 }
                             }
                         }
@@ -1260,6 +1643,7 @@ impl Chip {
                                      ok_buf: &mut Vec<bool>,
                                      sub: SubarrayId,
                                      rows: &[LocalRow],
+                                     tabs: &[CsRowTab],
                                      ops: (LogicOp, LogicOp),
                                      n_side: usize,
                                      invert: bool,
@@ -1269,10 +1653,12 @@ impl Chip {
                     let pre_or = chip.model.logic_z_prefix(ops.1, n_side);
                     let cpl_and = ReliabilityModel::coupling(ops.0);
                     let cpl_or = ReliabilityModel::coupling(ops.1);
-                    for row in rows {
+                    for (row_i, row) in rows.iter().enumerate() {
                         let own_dist = dist_to_stripe(*row, rows_per_sub, sub, upper);
                         // Compute terminal: own row is the com side;
                         // reference terminal: own row is the ref side.
+                        // (Only the defensive fallback below needs the
+                        // distance terms and z-draws at run time.)
                         let (dist_and, dist_or) = if invert {
                             (
                                 ReliabilityModel::logic_dist_term(ops.0, com_dist_addr, own_dist),
@@ -1289,6 +1675,7 @@ impl Chip {
                             .logic_z(chip.model.variation(), bank, sub, *row, cols);
                         let model = &chip.model;
                         let sub_row_key = ((sub.index() as u64) << 32) | row.index() as u64;
+                        let tab = &tabs[row_i];
                         let (lz_ref, sa, mm_ref, class_ref, fam_ref) =
                             (&lz, &sa_shared, &mm, &class, &fam_and);
                         run_cols(cols, parallel, p_buf, ok_buf, |start, pc, oc| {
@@ -1297,25 +1684,39 @@ impl Chip {
                                 if c % 2 != shared_start {
                                     continue;
                                 }
-                                let (pre, cpl, dist, op_sel) = if fam_ref[c] {
+                                let fam = fam_ref[c];
+                                let (pre, cpl, dist, op_sel) = if fam {
                                     (pre_and, cpl_and, dist_and, ops.0)
                                 } else {
                                     (pre_or, cpl_or, dist_or, ops.1)
                                 };
-                                let mut p = match pre {
-                                    Some(pre) => {
-                                        let z = pre - cpl * mm_ref[c].clamp(0.0, 1.0) + dist
-                                            - tterm
-                                            + SIGMA_CELL_LOGIC * lz_ref[c]
-                                            + SIGMA_SA_LOGIC * sa[c];
+                                let mut p = match (&tab.cdf[fam as usize], pre) {
+                                    (Some(t), Some(pre)) => {
+                                        let mm_v = mm_ref[c];
+                                        let cdf = if mm_v == 0.0 {
+                                            t[0][c]
+                                        } else if mm_v == 0.5 {
+                                            t[1][c]
+                                        } else if mm_v == 1.0 {
+                                            t[2][c]
+                                        } else {
+                                            // Defensive: a mismatch level
+                                            // outside {0, ½, 1} (never
+                                            // produced today) recomputes
+                                            // the kernel in-line.
+                                            let z = pre - cpl * mm_v.clamp(0.0, 1.0) + dist - tterm
+                                                + SIGMA_CELL_LOGIC * lz_ref[c]
+                                                + SIGMA_SA_LOGIC * sa[c];
+                                            normal_cdf(z)
+                                        };
                                         (ReliabilityModel::margin_multiplier(
                                             op_sel,
                                             n_side,
                                             class_ref[c],
-                                        ) * normal_cdf(z))
-                                        .clamp(0.0, 1.0)
+                                        ) * cdf)
+                                            .clamp(0.0, 1.0)
                                     }
-                                    None => 0.0,
+                                    _ => 0.0,
                                 };
                                 if dexp != 1.0 {
                                     p = p.powf(dexp);
@@ -1333,48 +1734,59 @@ impl Chip {
                         }
                     }
                 };
-                terminal_pass(
-                    self,
-                    &mut rec,
-                    &mut p_buf,
-                    &mut ok_buf,
-                    sub_com,
-                    &second_rows,
-                    (LogicOp::And, LogicOp::Or),
-                    n_com,
-                    false,
-                    CellRole::Compute,
-                    dexp_com,
-                );
-                terminal_pass(
-                    self,
-                    &mut rec,
-                    &mut p_buf,
-                    &mut ok_buf,
-                    sub_ref,
-                    &first_rows,
-                    (LogicOp::Nand, LogicOp::Nor),
-                    n_ref,
-                    true,
-                    CellRole::Reference,
-                    dexp_ref,
-                );
+                if matches!(need, CsTerminal::Both | CsTerminal::Compute) {
+                    terminal_pass(
+                        self,
+                        &mut rec,
+                        &mut p_buf,
+                        &mut ok_buf,
+                        sub_com,
+                        &second_rows,
+                        &cs_tab.com,
+                        (LogicOp::And, LogicOp::Or),
+                        n_com,
+                        false,
+                        CellRole::Compute,
+                        dexp_com,
+                    );
+                }
+                if matches!(need, CsTerminal::Both | CsTerminal::Reference) {
+                    terminal_pass(
+                        self,
+                        &mut rec,
+                        &mut p_buf,
+                        &mut ok_buf,
+                        sub_ref,
+                        &first_rows,
+                        &cs_tab.refs,
+                        (LogicOp::Nand, LogicOp::Nor),
+                        n_ref,
+                        true,
+                        CellRole::Reference,
+                        dexp_ref,
+                    );
+                }
 
                 // Non-shared half: each side majority-resolves against
                 // its other (precharged) stripe, from the pre-operation
-                // snapshot gathered above.
-                let maj_base = 2.6 - tterm;
-                for (sub, rows, n_side, packed, sums, dexp) in [
-                    (
-                        sub_com,
-                        &second_rows,
-                        n_com,
-                        &packed_com,
-                        &sum_com,
-                        dexp_com,
-                    ),
-                    (sub_ref, &first_rows, n_ref, &packed_ref, &sum_ref, dexp_ref),
-                ] {
+                // snapshot gathered above. Skipped when masked: these
+                // cells are never read before their next rewrite.
+                let offmaj_sides: &[_] = if masked {
+                    &[]
+                } else {
+                    &[
+                        (
+                            sub_com,
+                            &second_rows,
+                            n_com,
+                            &packed_com,
+                            &sum_com,
+                            dexp_com,
+                        ),
+                        (sub_ref, &first_rows, n_ref, &packed_ref, &sum_ref, dexp_ref),
+                    ]
+                };
+                for &(sub, rows, n_side, packed, sums, dexp) in offmaj_sides {
                     if n_side < 2 {
                         continue;
                     }
@@ -1389,21 +1801,17 @@ impl Chip {
                         })
                         .collect();
                     for row in rows.iter() {
-                        let lz = self
-                            .cache
-                            .logic_z(self.model.variation(), bank, sub, *row, cols);
+                        let cdf = self.memo_maj_cdf(bank, sub, *row);
                         let model = &self.model;
                         let sub_row_key = ((sub.index() as u64) << 32) | row.index() as u64;
-                        let (lz_ref, mult_ref) = (&lz, &mult);
+                        let (cdf_ref, mult_ref) = (&cdf, &mult);
                         run_cols(cols, parallel, &mut p_buf, &mut ok_buf, |start, pc, oc| {
                             for i in 0..pc.len() {
                                 let c = start + i;
                                 if c % 2 == shared_start {
                                     continue;
                                 }
-                                let mut p = (mult_ref[c]
-                                    * normal_cdf(maj_base + SIGMA_CELL_LOGIC * lz_ref[c]))
-                                .clamp(0.0, 1.0);
+                                let mut p = (mult_ref[c] * cdf_ref[c]).clamp(0.0, 1.0);
                                 if dexp != 1.0 {
                                     p = p.powf(dexp);
                                 }
@@ -1888,8 +2296,8 @@ mod tests {
         // Counting is identical across simulation fidelities.
         let mut fast = hynix_chip();
         let mut full = hynix_chip();
-        fast.set_telemetry(Telemetry::Fast);
-        full.set_telemetry(Telemetry::Full);
+        fast.configure(crate::SimConfig::new().with_telemetry(Telemetry::Fast));
+        full.configure(crate::SimConfig::new().with_telemetry(Telemetry::Full));
         for c in [&mut fast, &mut full] {
             c.multi_act_copy(BankId(0), GlobalRow(0), GlobalRow(520))
                 .unwrap();
@@ -1975,7 +2383,7 @@ mod tests {
         let cols = chip.geometry().cols();
         chip.write_row_direct(BankId(0), GlobalRow(9), &vec![Bit::One; cols])
             .unwrap();
-        chip.set_temperature(Temperature::celsius(95.0));
+        chip.configure(crate::SimConfig::new().with_temperature(Temperature::celsius(95.0)));
         chip.advance_time(1e6); // 1 ms hot
         let (sub, local) = chip.geometry().split_row(GlobalRow(9)).unwrap();
         let v = chip.banks[0].subarray(sub).unwrap().voltage(local, Col(0));

@@ -76,3 +76,86 @@ impl SimFidelity {
         self.parallel_threshold.is_some_and(|t| cols >= t)
     }
 }
+
+/// Unified simulation configuration: the fidelity/telemetry knob and
+/// the chip temperature, carried together as one value.
+///
+/// Every simulated layer — `Chip`, `DramModule`, the `Fcdram` facade,
+/// `BulkEngine`, `SimdVm` — accepts a `SimConfig` through the same
+/// builder-style surface (`with_sim_config` at construction,
+/// `configure` afterwards, `sim_config` to read the current values)
+/// instead of the per-type `set_fidelity`/`set_temperature` setters
+/// this replaces (those remain as hidden shims for one release).
+///
+/// ```
+/// use dram_core::{SimConfig, SimFidelity, Temperature};
+///
+/// let cfg = SimConfig::fast().with_temperature(Temperature::celsius(85.0));
+/// assert_eq!(cfg.fidelity(), SimFidelity::fast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    fidelity: SimFidelity,
+    temperature: crate::thermal::Temperature,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fidelity: SimFidelity::default(),
+            temperature: crate::thermal::Temperature::BASELINE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Full per-cell telemetry at the baseline temperature (the
+    /// characterization default).
+    pub fn new() -> Self {
+        SimConfig::default()
+    }
+
+    /// Aggregate-statistics telemetry at the baseline temperature (the
+    /// bulk-execution default). Stored bits are identical to
+    /// [`SimConfig::full`].
+    pub fn fast() -> Self {
+        SimConfig::new().with_fidelity(SimFidelity::fast())
+    }
+
+    /// Alias of [`SimConfig::new`], for symmetry with
+    /// [`SimFidelity::full`].
+    pub fn full() -> Self {
+        SimConfig::new()
+    }
+
+    /// Replaces the fidelity configuration.
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Replaces only the telemetry mode.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.fidelity.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the chip temperature (the heater-pad knob of the
+    /// paper's testing rig).
+    pub fn with_temperature(mut self, t: crate::thermal::Temperature) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// The fidelity configuration.
+    #[inline]
+    pub fn fidelity(&self) -> SimFidelity {
+        self.fidelity
+    }
+
+    /// The chip temperature.
+    #[inline]
+    pub fn temperature(&self) -> crate::thermal::Temperature {
+        self.temperature
+    }
+}

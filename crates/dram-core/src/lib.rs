@@ -60,12 +60,14 @@ pub mod variation;
 
 pub use analog::{AnalogParams, MarginClass};
 pub use bank::{Bank, OpenRows};
-pub use chip::{CellOutcome, CellRole, Chip, OpOutcome, OutcomeKind, OutcomeStats, RoleStats};
+pub use chip::{
+    CellOutcome, CellRole, Chip, CsTerminal, OpOutcome, OutcomeKind, OutcomeStats, RoleStats,
+};
 pub use config::{ActivationCapability, ChipOrg, Density, DieRevision, Manufacturer, ModuleConfig};
 pub use energy::{EnergyParams, OpCost};
 pub use error::{DramError, Result};
 pub use fault::{AgingPolicy, DisturbancePolicy, DisturbanceState, FaultPlan, PlannedDropout};
-pub use fidelity::{SimFidelity, Telemetry};
+pub use fidelity::{SimConfig, SimFidelity, Telemetry};
 pub use fleet::{ChipSpec, FleetConfig, FleetSlot, FleetSlots, SlotLease};
 pub use geometry::Geometry;
 pub use module::DramModule;

@@ -8,7 +8,7 @@
 
 use crate::chip::Chip;
 use crate::config::ModuleConfig;
-use crate::fidelity::SimFidelity;
+use crate::fidelity::{SimConfig, SimFidelity};
 use crate::types::ChipId;
 
 /// A DRAM module (lazily instantiated chips).
@@ -16,7 +16,7 @@ use crate::types::ChipId;
 pub struct DramModule {
     config: ModuleConfig,
     chips: Vec<Option<Chip>>,
-    fidelity: SimFidelity,
+    sim: SimConfig,
 }
 
 impl DramModule {
@@ -26,7 +26,7 @@ impl DramModule {
         DramModule {
             config,
             chips: (0..n).map(|_| None).collect(),
-            fidelity: SimFidelity::default(),
+            sim: SimConfig::default(),
         }
     }
 
@@ -39,13 +39,36 @@ impl DramModule {
     /// The fidelity configuration applied to every chip.
     #[inline]
     pub fn fidelity(&self) -> SimFidelity {
-        self.fidelity
+        self.sim.fidelity()
     }
 
-    /// Sets the fidelity configuration on all chips (instantiated and
-    /// future).
+    /// The simulation configuration applied to every chip.
+    #[inline]
+    pub fn sim_config(&self) -> SimConfig {
+        self.sim
+    }
+
+    /// Applies a [`SimConfig`] to all chips (instantiated and future).
+    pub fn configure(&mut self, cfg: SimConfig) {
+        self.sim = cfg;
+        for chip in self.chips.iter_mut().flatten() {
+            chip.configure(cfg);
+        }
+    }
+
+    /// Builder form of [`DramModule::configure`] for construction
+    /// chains.
+    #[must_use]
+    pub fn with_sim_config(mut self, cfg: SimConfig) -> Self {
+        self.configure(cfg);
+        self
+    }
+
+    #[doc(hidden)]
     pub fn set_fidelity(&mut self, fidelity: SimFidelity) {
-        self.fidelity = fidelity;
+        // Fidelity-only shim: leaves each chip's temperature alone
+        // (chips heated individually keep their setting).
+        self.sim = self.sim.with_fidelity(fidelity);
         for chip in self.chips.iter_mut().flatten() {
             chip.set_fidelity(fidelity);
         }
@@ -65,12 +88,8 @@ impl DramModule {
     pub fn chip_mut(&mut self, id: ChipId) -> &mut Chip {
         assert!(id.index() < self.chips.len(), "chip {id} out of range");
         let cfg = self.config.clone();
-        let fidelity = self.fidelity;
-        self.chips[id.index()].get_or_insert_with(|| {
-            let mut chip = Chip::new(cfg, id);
-            chip.set_fidelity(fidelity);
-            chip
-        })
+        let sim = self.sim;
+        self.chips[id.index()].get_or_insert_with(|| Chip::new(cfg, id).with_sim_config(sim))
     }
 
     /// Immutable access to chip `id` if it has been instantiated.

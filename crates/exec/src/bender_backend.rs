@@ -23,18 +23,68 @@
 //! function of `(operation counter, row, column)` state that both
 //! backends advance identically.
 
-use crate::engine::ExecBackend;
+use crate::engine::{execute_packed_with, ExecBackend};
 use crate::error::{ExecError, Result};
-use bender::{Program, ProgramBuilder};
-use dram_core::{Bit, GlobalRow, LogicOp, OutcomeKind, SpeedBin};
+use crate::prepared::{OutputAction, PreparedProgram};
+use bender::{DdrCommand, Program, ProgramBuilder};
+use dram_core::{Bit, CsTerminal, GlobalRow, LogicOp, OutcomeKind, SpeedBin};
 use fcdram::{BitVecHandle, BulkEngine, PackedBits, PatternEntry};
-use fcsynth::Step;
+use fcsynth::{Step, SynthProgram};
+use std::collections::BTreeMap;
 
 /// Smallest discovered `N:N` activation width covering `len` inputs.
 fn padded_width(len: usize, available: impl Fn(usize) -> bool) -> Option<usize> {
     [2usize, 4, 8, 16]
         .into_iter()
         .find(|n| *n >= len && available(*n))
+}
+
+/// A precompiled gate schedule for one `(op family, N)` shape: the
+/// full command program with constant payloads, plus the `Wr` command
+/// indices where per-execution operand data is patched in.
+#[derive(Debug, Clone)]
+pub(crate) struct GateTemplate {
+    program: Program,
+    /// Command indices of the N compute-side `Wr` payloads, in row
+    /// order (operands first, then identity padding).
+    operand_wr: Vec<usize>,
+    /// First result row of the monotone terminal (AND/OR).
+    result_row_monotone: GlobalRow,
+    /// First result row of the inverted terminal (NAND/NOR).
+    result_row_inverted: GlobalRow,
+}
+
+/// The precompiled NOT schedule: staging write plus copy-invert pair.
+#[derive(Debug, Clone)]
+pub(crate) struct NotTemplate {
+    program: Program,
+    /// Command index of the staging `Wr` payload.
+    wr: usize,
+    result_row: GlobalRow,
+}
+
+/// Every command template one [`PreparedProgram`] needs on this
+/// backend, keyed by gate shape. Built once in
+/// [`ExecBackend::prepare`], cloned-and-patched per execution.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BenderTemplates {
+    gates: BTreeMap<(bool, usize), GateTemplate>,
+    not_t: Option<NotTemplate>,
+}
+
+impl BenderTemplates {
+    /// Number of distinct precompiled command programs.
+    pub(crate) fn count(&self) -> usize {
+        self.gates.len() + usize::from(self.not_t.is_some())
+    }
+
+    /// Deterministic byte serialization: `BTreeMap` iteration order
+    /// plus `Debug` formatting of cycle-pinned commands — two
+    /// preparations of the same program are witness-equal exactly when
+    /// their templates are.
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        format!("{self:?}").into_bytes()
+    }
 }
 
 /// A mapped-program execution backend that drives a (simulated) chip
@@ -102,10 +152,29 @@ impl BenderBackend {
         &self.engine
     }
 
-    /// Sets the chip's simulation fidelity (stored bits are identical
-    /// across fidelity modes).
+    /// The current simulation configuration of the chip under test.
+    pub fn sim_config(&self) -> dram_core::SimConfig {
+        self.engine.sim_config()
+    }
+
+    /// Applies a [`dram_core::SimConfig`] to the chip under test
+    /// (stored bits are identical across fidelity modes).
+    pub fn configure(&mut self, cfg: dram_core::SimConfig) {
+        self.engine.configure(cfg);
+    }
+
+    /// Builder form of [`BenderBackend::configure`] for construction
+    /// chains.
+    #[must_use]
+    pub fn with_sim_config(mut self, cfg: dram_core::SimConfig) -> Self {
+        self.configure(cfg);
+        self
+    }
+
+    #[doc(hidden)]
     pub fn set_fidelity(&mut self, fidelity: dram_core::SimFidelity) {
-        self.engine.set_fidelity(fidelity);
+        let cfg = self.sim_config().with_fidelity(fidelity);
+        self.configure(cfg);
     }
 
     /// Native operations executed so far (each combined schedule
@@ -264,6 +333,187 @@ impl BenderBackend {
         Ok(())
     }
 
+    /// Builds the reusable command program for one `(op family, N)`
+    /// gate shape: the same sequence [`Self::native_gate`] assembles
+    /// per call — N−1 constant reference rows plus `Frac`, N compute-
+    /// side writes (all constant in the template), the charge share —
+    /// with the operand `Wr` command indices recorded for per-
+    /// execution payload patching.
+    fn build_gate_template(&self, and_family: bool, n: usize) -> Result<GateTemplate> {
+        let geom = self.engine.config().geometry();
+        let bank = self.engine.bank();
+        let entry: PatternEntry = self
+            .engine
+            .map()
+            .find_nn(n)
+            .expect("caller discovered the shape")
+            .clone();
+        let (sub_ref, _) = geom.split_row(entry.rf)?;
+        let (sub_com, _) = geom.split_row(entry.rl)?;
+        let const_row = vec![Bit::from(and_family); geom.cols()];
+        let mut b = ProgramBuilder::new(self.speed);
+        for (i, row) in entry.first_rows.iter().enumerate() {
+            let g = geom.join_row(sub_ref, *row)?;
+            if i + 1 == entry.first_rows.len() {
+                b.seq_frac(bank, g);
+            } else {
+                b.seq_write_row(bank, g, const_row.clone());
+            }
+        }
+        for row in &entry.second_rows {
+            let g = geom.join_row(sub_com, *row)?;
+            b.seq_write_row(bank, g, const_row.clone());
+        }
+        b.seq_charge_share(bank, entry.rf, entry.rl);
+        let program = b.build();
+        let wr: Vec<usize> = program
+            .commands()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.command, DdrCommand::Wr(..)))
+            .map(|(i, _)| i)
+            .collect();
+        // The first N−1 `Wr`s stage the constant reference rows and
+        // stay fixed; the next N are the compute-side operand slots.
+        let operand_wr = wr[entry.first_rows.len() - 1..].to_vec();
+        debug_assert_eq!(operand_wr.len(), entry.second_rows.len());
+        Ok(GateTemplate {
+            program,
+            operand_wr,
+            result_row_monotone: geom.join_row(sub_com, entry.second_rows[0])?,
+            result_row_inverted: geom.join_row(sub_ref, entry.first_rows[0])?,
+        })
+    }
+
+    /// Builds the reusable NOT program ([`Self::native_not`]'s
+    /// sequence): one staging write (patched per execution) plus the
+    /// tRP-violating copy-invert pair.
+    fn build_not_template(&self) -> Result<NotTemplate> {
+        let geom = self.engine.config().geometry();
+        let bank = self.engine.bank();
+        let entry: PatternEntry = self
+            .engine
+            .map()
+            .find_dst(1)
+            .first()
+            .cloned()
+            .cloned()
+            .or_else(|| self.engine.map().find_dst(2).first().cloned().cloned())
+            .ok_or(ExecError::Engine(fcdram::FcdramError::NoPattern {
+                n_rf: 1,
+                n_rl: 1,
+            }))?;
+        let (sub_l, _) = geom.split_row(entry.rl)?;
+        let mut b = ProgramBuilder::new(self.speed);
+        b.seq_write_row(bank, entry.rf, vec![Bit::Zero; geom.cols()]);
+        b.seq_copy_invert(bank, entry.rf, entry.rl);
+        let program = b.build();
+        let wr = program
+            .commands()
+            .iter()
+            .position(|c| matches!(c.command, DdrCommand::Wr(..)))
+            .expect("staging write present");
+        Ok(NotTemplate {
+            program,
+            wr,
+            result_row: geom.join_row(sub_l, entry.second_rows[0])?,
+        })
+    }
+
+    /// One prepared NOT: clone the template, patch the staging payload
+    /// from the tracked value (the operand read-back is elided), ship,
+    /// and track the result bits.
+    fn prepared_not(
+        &mut self,
+        t: &NotTemplate,
+        val: &PackedBits,
+        out: &BitVecHandle,
+    ) -> Result<PackedBits> {
+        let geom = self.engine.config().geometry();
+        let data = val.expand_strided(geom.cols(), self.engine.shared_start(), 2);
+        let mut program = t.program.clone();
+        if let DdrCommand::Wr(_, payload) = &mut program.commands_mut()[t.wr].command {
+            *payload = data;
+        }
+        let outcome = self.run_schedule(&program)?;
+        if !matches!(outcome, Some(OutcomeKind::Not { .. })) {
+            return Err(ExecError::Protocol {
+                detail: format!("copy-invert produced {outcome:?}"),
+            });
+        }
+        let result = self.read_result_row(t.result_row)?;
+        self.engine.write_packed(out, &result)?;
+        Ok(result)
+    }
+
+    /// One prepared N-input gate: clone the template, patch the
+    /// operand payloads from tracked values, arm the charge-share
+    /// terminal mask when the activation map allows it, ship, read the
+    /// one result row the step consumes.
+    fn prepared_gate(
+        &mut self,
+        t: &GateTemplate,
+        op: LogicOp,
+        vals: &[&PackedBits],
+        out: &BitVecHandle,
+    ) -> Result<PackedBits> {
+        let geom = self.engine.config().geometry();
+        let cols = geom.cols();
+        let start = self.engine.shared_start();
+        let mut program = t.program.clone();
+        for (i, v) in vals.iter().enumerate() {
+            let data = v.expand_strided(cols, start, 2);
+            if let DdrCommand::Wr(_, payload) = &mut program.commands_mut()[t.operand_wr[i]].command
+            {
+                *payload = data;
+            }
+        }
+        if self.engine.mask_safe() {
+            let need = if op.is_inverted_terminal() {
+                CsTerminal::Reference
+            } else {
+                CsTerminal::Compute
+            };
+            self.engine.fcdram_mut().bender_mut().arm_cs_mask(need);
+        }
+        let outcome = self.run_schedule(&program)?;
+        if !matches!(outcome, Some(OutcomeKind::Logic { .. })) {
+            return Err(ExecError::Protocol {
+                detail: format!("charge share produced {outcome:?}"),
+            });
+        }
+        let row = if op.is_inverted_terminal() {
+            t.result_row_inverted
+        } else {
+            t.result_row_monotone
+        };
+        let result = self.read_result_row(row)?;
+        self.engine.write_packed(out, &result)?;
+        Ok(result)
+    }
+
+    /// One prepared RowClone ([`Self::copy_into`] with the read-back
+    /// elided): on a cloning pair the destination row's actual content
+    /// is read once to keep the tracked value honest; non-cloning
+    /// pairs fall back to the host write, whose value is exact.
+    fn prepared_copy(
+        &mut self,
+        src: &BitVecHandle,
+        val: &PackedBits,
+        out: &BitVecHandle,
+    ) -> Result<PackedBits> {
+        let bank = self.engine.bank();
+        let mut b = ProgramBuilder::new(self.speed);
+        b.seq_copy_invert(bank, src.row(), out.row());
+        let outcome = self.run_schedule(&b.build())?;
+        if matches!(outcome, Some(OutcomeKind::InSubarray { .. })) {
+            self.read_result_row(out.row())
+        } else {
+            self.engine.write_packed(out, val)?;
+            Ok(val.clone())
+        }
+    }
+
     /// Mirror of the VM backend's tree reduction for argument lists
     /// wider than the native fan-in: monotone stages chunked at the
     /// fan-in, with the final stage applying the (possibly inverting)
@@ -412,6 +662,178 @@ impl ExecBackend for BenderBackend {
 
     fn step_latency_ns(&self, step: &Step) -> Option<f64> {
         Some(crate::latency::ScheduleLatency::new(self.speed, self.max_fan_in).step_ns(step))
+    }
+
+    fn prepare(&mut self, prog: &SynthProgram) -> Result<PreparedProgram> {
+        let mut prep = PreparedProgram::analyze(prog, self.max_fan_in);
+        if prep.is_fallback() {
+            return Ok(prep);
+        }
+        let mut templates = BenderTemplates::default();
+        let mut need_not = false;
+        for step in &prog.steps {
+            match step.op {
+                None => need_not = true,
+                Some(op) if step.args.len() == 1 && !op.is_inverted_terminal() => {}
+                Some(_) if step.args.len() == 1 => need_not = true,
+                Some(op) => {
+                    let n =
+                        padded_width(step.args.len(), |n| self.engine.map().find_nn(n).is_some())
+                            .ok_or(ExecError::Engine(fcdram::FcdramError::BadInputCount {
+                            n: step.args.len(),
+                            max: self.engine.config().max_op_inputs(),
+                        }))?;
+                    let key = (op.is_and_family(), n);
+                    if let std::collections::btree_map::Entry::Vacant(slot) =
+                        templates.gates.entry(key)
+                    {
+                        slot.insert(self.build_gate_template(op.is_and_family(), n)?);
+                    }
+                }
+            }
+        }
+        if need_not && templates.not_t.is_none() {
+            templates.not_t = Some(self.build_not_template()?);
+        }
+        prep.template_bytes = templates.to_bytes();
+        prep.templates = Some(templates);
+        Ok(prep)
+    }
+
+    fn run_prepared<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &PreparedProgram,
+        operands: &[PackedBits],
+        mut on_step: F,
+    ) -> Result<PackedBits> {
+        if !prep.fits(self.max_fan_in) || prep.templates.is_none() {
+            return execute_packed_with(self, prep.program(), operands, on_step);
+        }
+        let templates = prep.templates.as_ref().expect("checked above");
+        let prog = prep.program();
+        if operands.len() != prog.inputs.len() {
+            return Err(ExecError::InputMismatch {
+                expected: prog.inputs.len(),
+                got: operands.len(),
+            });
+        }
+        let lease = self.stage(operands)?;
+        let inputs: Vec<BitVecHandle> = lease.clone();
+        let mut regs: Vec<Option<BitVecHandle>> = vec![None; prog.n_regs];
+        let mut vals: Vec<Option<PackedBits>> = vec![None; prog.n_regs];
+        for (r, h) in inputs.iter().enumerate() {
+            regs[r] = Some(*h);
+            vals[r] = Some(operands[r].clone());
+        }
+        let result = self.run_prepared_steps(
+            templates,
+            prep,
+            operands,
+            &inputs,
+            &mut regs,
+            &mut vals,
+            &mut on_step,
+        );
+        if result.is_err() {
+            for slot in regs.iter_mut().skip(inputs.len()) {
+                if let Some(h) = slot.take() {
+                    self.release(h);
+                }
+            }
+        }
+        self.end_stage(lease);
+        result
+    }
+}
+
+impl BenderBackend {
+    /// The prepared step walk: values are threaded host-side, rows are
+    /// allocated and freed in exactly [`execute_packed_with`]'s order
+    /// (the pool permutes rows on reuse and the device's stochastic
+    /// draws key on row indices).
+    #[allow(clippy::too_many_arguments)]
+    fn run_prepared_steps<F: FnMut(usize, &Step)>(
+        &mut self,
+        templates: &BenderTemplates,
+        prep: &PreparedProgram,
+        operands: &[PackedBits],
+        inputs: &[BitVecHandle],
+        regs: &mut [Option<BitVecHandle>],
+        vals: &mut [Option<PackedBits>],
+        on_step: &mut F,
+    ) -> Result<PackedBits> {
+        let prog = prep.program();
+        for (i, step) in prog.steps.iter().enumerate() {
+            let out = self.engine.alloc()?;
+            // Same dispatch as the unprepared `op`: NOT and one-input
+            // inverted gates run the NOT schedule, one-input monotone
+            // gates clone, everything else is one templated gate
+            // (≤ fan-in by the `fits` guard).
+            let bits = match step.op {
+                None => {
+                    let t = templates.not_t.as_ref().expect("prepared");
+                    let v = vals[step.args[0]].clone().expect("value tracked");
+                    self.prepared_not(t, &v, &out)?
+                }
+                Some(op) if step.args.len() == 1 && !op.is_inverted_terminal() => {
+                    let src = regs[step.args[0]].expect("mapper emits defs before uses");
+                    let v = vals[step.args[0]].clone().expect("value tracked");
+                    self.prepared_copy(&src, &v, &out)?
+                }
+                Some(_) if step.args.len() == 1 => {
+                    let t = templates.not_t.as_ref().expect("prepared");
+                    let v = vals[step.args[0]].clone().expect("value tracked");
+                    self.prepared_not(t, &v, &out)?
+                }
+                Some(op) => {
+                    let n = padded_width(step.args.len(), |n| {
+                        templates.gates.contains_key(&(op.is_and_family(), n))
+                    })
+                    .ok_or(ExecError::Engine(
+                        fcdram::FcdramError::BadInputCount {
+                            n: step.args.len(),
+                            max: self.engine.config().max_op_inputs(),
+                        },
+                    ))?;
+                    let t = &templates.gates[&(op.is_and_family(), n)];
+                    let avals: Vec<&PackedBits> = step
+                        .args
+                        .iter()
+                        .map(|r| vals[*r].as_ref().expect("value tracked"))
+                        .collect();
+                    self.prepared_gate(t, op, &avals, &out)?
+                }
+            };
+            regs[step.out] = Some(out);
+            vals[step.out] = Some(bits);
+            on_step(i, step);
+            for r in &prep.frees[i] {
+                if let Some(h) = regs[*r].take() {
+                    self.release(h);
+                }
+            }
+        }
+        let (out_h, out_val) = match prep.output {
+            OutputAction::Const(b) => {
+                let src = if b { self.one } else { self.zero };
+                let out = self.engine.alloc()?;
+                let splat = PackedBits::splat(b, self.engine.capacity_bits());
+                let bits = self.prepared_copy(&src, &splat, &out)?;
+                (out, bits)
+            }
+            OutputAction::Passthrough(r) => {
+                let out = self.engine.alloc()?;
+                let bits = self.prepared_copy(&inputs[r], &operands[r], &out)?;
+                (out, bits)
+            }
+            OutputAction::Reg(r) => {
+                let h = regs[r].take().expect("output register defined");
+                let bits = vals[r].take().expect("output value tracked");
+                (h, bits)
+            }
+        };
+        self.release(out_h);
+        Ok(out_val)
     }
 }
 

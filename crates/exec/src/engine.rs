@@ -19,6 +19,7 @@
 //!   returns every staged row.
 
 use crate::error::{ExecError, Result};
+use crate::prepared::PreparedProgram;
 use dram_core::LogicOp;
 use fcdram::PackedBits;
 use fcsynth::{Output, Step, SynthProgram};
@@ -81,6 +82,46 @@ pub trait ExecBackend {
     fn step_latency_ns(&self, step: &Step) -> Option<f64> {
         let _ = step;
         None
+    }
+
+    /// Compiles `prog` into a reusable [`PreparedProgram`]: the row
+    /// plan and output action are resolved once, and command-schedule
+    /// backends precompute their per-`(op, N)` program templates. The
+    /// returned plan is specific to this backend instance.
+    ///
+    /// The default performs the backend-independent analysis only.
+    ///
+    /// # Errors
+    ///
+    /// Backend overrides may fail while building templates.
+    fn prepare(&mut self, prog: &SynthProgram) -> Result<PreparedProgram>
+    where
+        Self: Sized,
+    {
+        Ok(PreparedProgram::analyze(prog, self.max_fan_in()))
+    }
+
+    /// Executes a prepared plan over packed operands, bit-identical to
+    /// [`execute_packed_with`] on the same backend — same allocation
+    /// order, same device-call sequence, same stored bits — with the
+    /// per-execution analysis and per-step read-backs elided.
+    ///
+    /// The default runs the embedded program through the unprepared
+    /// engine, so every backend supports prepared plans.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`execute_packed_with`].
+    fn run_prepared<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &PreparedProgram,
+        operands: &[PackedBits],
+        on_step: F,
+    ) -> Result<PackedBits>
+    where
+        Self: Sized,
+    {
+        execute_packed_with(self, &prep.prog, operands, on_step)
     }
 }
 

@@ -221,6 +221,19 @@ impl<B: ExecBackend> ExecBackend for ScheduleTimed<B> {
     fn step_latency_ns(&self, step: &Step) -> Option<f64> {
         Some(self.model.step_ns(step))
     }
+
+    fn prepare(&mut self, prog: &fcsynth::SynthProgram) -> Result<crate::PreparedProgram> {
+        self.inner.prepare(prog)
+    }
+
+    fn run_prepared<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &crate::PreparedProgram,
+        operands: &[PackedBits],
+        on_step: F,
+    ) -> Result<PackedBits> {
+        self.inner.run_prepared(prep, operands, on_step)
+    }
 }
 
 #[cfg(test)]

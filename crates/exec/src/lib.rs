@@ -58,12 +58,14 @@ pub mod engine;
 pub mod error;
 pub mod latency;
 pub mod obs;
+pub mod prepared;
 mod vm;
 
 pub use bender_backend::BenderBackend;
 pub use engine::{execute, execute_packed, execute_packed_with, execute_with, ExecBackend};
 pub use error::{ExecError, Result};
 pub use latency::{ScheduleLatency, ScheduleTimed};
+pub use prepared::{run_prepared, PreparedProgram};
 
 use serde::{Deserialize, Serialize};
 

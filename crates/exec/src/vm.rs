@@ -9,10 +9,12 @@
 //! accounting stays per job and a failed stage leaves the substrate
 //! exactly as it was.
 
-use crate::engine::ExecBackend;
-use crate::error::Result;
+use crate::engine::{execute_packed_with, ExecBackend};
+use crate::error::{ExecError, Result};
+use crate::prepared::{OutputAction, PreparedProgram};
 use dram_core::LogicOp;
 use fcdram::PackedBits;
+use fcsynth::Step;
 use simdram::{BitRow, RowLease, SimdVm, Substrate};
 
 impl<S: Substrate> ExecBackend for SimdVm<S> {
@@ -81,6 +83,135 @@ impl<S: Substrate> ExecBackend for SimdVm<S> {
     fn release(&mut self, r: BitRow) {
         SimdVm::release(self, r);
     }
+
+    fn run_prepared<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &PreparedProgram,
+        operands: &[PackedBits],
+        mut on_step: F,
+    ) -> Result<PackedBits> {
+        if !prep.fits(self.substrate().max_fan_in()) {
+            return execute_packed_with(self, prep.program(), operands, on_step);
+        }
+        let prog = prep.program();
+        if operands.len() != prog.inputs.len() {
+            return Err(ExecError::InputMismatch {
+                expected: prog.inputs.len(),
+                got: operands.len(),
+            });
+        }
+        let lease = self.stage(operands)?;
+        let inputs: Vec<BitRow> = lease.rows().to_vec();
+        let mut regs: Vec<Option<BitRow>> = vec![None; prog.n_regs];
+        let mut vals: Vec<Option<PackedBits>> = vec![None; prog.n_regs];
+        for (r, row) in inputs.iter().enumerate() {
+            regs[r] = Some(*row);
+            vals[r] = Some(operands[r].clone());
+        }
+        let result = run_prepared_vm(
+            self,
+            prep,
+            operands,
+            &inputs,
+            &mut regs,
+            &mut vals,
+            &mut on_step,
+        );
+        if result.is_err() {
+            // Same reclamation as the unprepared engine: a failure must
+            // not strand live temporaries (inputs belong to the lease).
+            for slot in regs.iter_mut().skip(inputs.len()) {
+                if let Some(row) = slot.take() {
+                    SimdVm::release(self, row);
+                }
+            }
+        }
+        self.end_lease(lease);
+        result
+    }
+}
+
+/// The prepared step walk for the VM backend: values are threaded
+/// host-side through the substrate's `*_known` operations, while rows
+/// are allocated and freed in *exactly* the unprepared engine's order —
+/// the pool permutes rows on reuse and the device model's stochastic
+/// draws key on row indices, so any reordering would change results.
+#[allow(clippy::too_many_arguments)]
+fn run_prepared_vm<S: Substrate, F: FnMut(usize, &Step)>(
+    vm: &mut SimdVm<S>,
+    prep: &PreparedProgram,
+    operands: &[PackedBits],
+    inputs: &[BitRow],
+    regs: &mut [Option<BitRow>],
+    vals: &mut [Option<PackedBits>],
+    on_step: &mut F,
+) -> Result<PackedBits> {
+    let prog = prep.program();
+    for (i, step) in prog.steps.iter().enumerate() {
+        let arows: Vec<BitRow> = step
+            .args
+            .iter()
+            .map(|r| regs[*r].expect("mapper emits defs before uses"))
+            .collect();
+        let out = vm.alloc_row()?;
+        // Mirrors the unprepared dispatch exactly: NOT and one-input
+        // inverted gates take the NOT kernel, one-input monotone gates
+        // copy, everything else (≤ fan-in by the `fits` guard) is one
+        // native gate.
+        let bits = match step.op {
+            None => {
+                let v = vals[step.args[0]].clone().expect("value tracked");
+                vm.substrate_mut().not_known(arows[0], &v, out)?
+            }
+            Some(op) if arows.len() == 1 && !op.is_inverted_terminal() => {
+                let v = vals[step.args[0]].clone().expect("value tracked");
+                vm.substrate_mut().copy_known(arows[0], &v, out)?
+            }
+            Some(_) if arows.len() == 1 => {
+                let v = vals[step.args[0]].clone().expect("value tracked");
+                vm.substrate_mut().not_known(arows[0], &v, out)?
+            }
+            Some(op) => {
+                let avals: Vec<&PackedBits> = step
+                    .args
+                    .iter()
+                    .map(|r| vals[*r].as_ref().expect("value tracked"))
+                    .collect();
+                vm.substrate_mut().logic_known(op, &arows, &avals, out)?
+            }
+        };
+        regs[step.out] = Some(out);
+        vals[step.out] = Some(bits);
+        on_step(i, step);
+        for r in &prep.frees[i] {
+            if let Some(row) = regs[*r].take() {
+                SimdVm::release(vm, row);
+            }
+        }
+    }
+    let (out_row, out_val) = match prep.output {
+        OutputAction::Const(b) => {
+            let out = vm.alloc_row()?;
+            let src = if b { vm.one_row() } else { vm.zero_row() };
+            let splat = PackedBits::splat(b, SimdVm::lanes(vm));
+            let bits = vm.substrate_mut().copy_known(src, &splat, out)?;
+            (out, bits)
+        }
+        OutputAction::Passthrough(r) => {
+            let out = vm.alloc_row()?;
+            let bits = vm
+                .substrate_mut()
+                .copy_known(inputs[r], &operands[r], out)?;
+            (out, bits)
+        }
+        OutputAction::Reg(r) => {
+            let row = regs[r].take().expect("output register defined");
+            let bits = vals[r].take().expect("output value tracked");
+            (row, bits)
+        }
+    };
+    SimdVm::release(vm, out_row);
+    Ok(out_val)
 }
 
 #[cfg(test)]

@@ -182,13 +182,18 @@ fn run_job_on_rec<B: ExecBackend>(
         .iter()
         .map(|s| backend.step_latency_ns(s))
         .collect();
+    // Prepared once per job: the row plan (and, on command-schedule
+    // backends, the program templates) is compiled a single time and
+    // reused across every retry attempt the loop below charges —
+    // operands are staged once per job, never per attempt.
+    let prep = backend.prepare(prog)?;
     let mut retries = 0u32;
     let mut failed_ops = 0usize;
     // Time already burned on chips that died mid-job is part of the
     // job's served latency; re-placements also consumed retry budget.
     let mut latency = asg.wasted_ns;
     let mut energy = 0.0f64;
-    let result = fcexec::execute_packed_with(backend, prog, &job.operands, |i, step| {
+    let result = backend.run_prepared(&prep, &job.operands, |i, step| {
         let (mut p, model_l, e) = match step.op {
             None => (
                 cost.not_success(),
@@ -712,6 +717,64 @@ mod tests {
         assert!(report.outcomes.iter().all(|o| o.retries == 0));
         for o in &report.outcomes {
             assert_eq!(o.succeeded, o.failed_ops == 0);
+        }
+    }
+
+    #[test]
+    fn retries_reuse_the_prepared_staging() {
+        // Two-phase API regression: the retry loop charges modeled
+        // attempts, but the device executes the prepared program
+        // exactly once per job — raising the budget must not add a
+        // single native operation or host transfer, and operands are
+        // staged once per job, never per attempt.
+        let fleet = FleetConfig::table1(1);
+        let base = CostModel::table1_defaults();
+        let policy = SchedPolicy::default().with_shards(1);
+        let exprs: Vec<&str> = std::iter::repeat_n("a&b&c&d&e&f&g&h&i&j&k&l&m&n&o&p", 24).collect();
+        let batch = batch_of(&exprs, 8, 0x5EED);
+        let plan = crate::planner::Planner::new(&fleet, &base, &policy)
+            .plan(&batch)
+            .unwrap();
+        let run_budget = |budget: u32| {
+            batch
+                .jobs()
+                .iter()
+                .zip(&plan.assignments)
+                .map(|(job, asg)| {
+                    let capacity = (asg.program.n_regs + job.operands.len() + 4).max(8);
+                    let mut vm = SimdVm::new(HostSubstrate::new(job.lanes, capacity)).unwrap();
+                    vm.clear_trace();
+                    let out = run_job_on(
+                        &mut vm,
+                        job,
+                        asg,
+                        &plan.profiles[asg.member],
+                        budget,
+                        batch.seed(),
+                    )
+                    .unwrap();
+                    let writes = vm
+                        .trace()
+                        .entries()
+                        .iter()
+                        .filter(|e| e.op == simdram::NativeOp::HostWrite)
+                        .count();
+                    assert_eq!(writes, job.operands.len(), "operands staged once per job");
+                    (
+                        out.result.clone(),
+                        out.retries,
+                        vm.trace().entries().to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let zero = run_budget(0);
+        let five = run_budget(5);
+        let retried: u32 = five.iter().map(|(_, r, _)| *r).sum();
+        assert!(retried > 0, "budget 5 must actually spend retries here");
+        for ((ra, _, ea), (rb, _, eb)) in zero.iter().zip(&five) {
+            assert_eq!(ra, rb, "results are budget-independent");
+            assert_eq!(ea, eb, "device-call stream moved with the retry budget");
         }
     }
 

@@ -51,6 +51,13 @@ pub trait Substrate {
     /// Largest native fan-in `logic` accepts on this backend.
     fn max_fan_in(&self) -> usize;
 
+    /// Applies a [`dram_core::SimConfig`] (fidelity + temperature) to
+    /// the underlying device, when the substrate models one. The host
+    /// golden model has no device knobs: the default is a no-op.
+    fn configure_sim(&mut self, cfg: dram_core::SimConfig) {
+        let _ = cfg;
+    }
+
     /// Allocates a fresh row (contents unspecified).
     ///
     /// # Errors
@@ -124,6 +131,50 @@ pub trait Substrate {
     ///
     /// Fails on bad input counts or invalid handles.
     fn logic(&mut self, op: LogicOp, ins: &[BitRow], out: BitRow) -> Result<()>;
+
+    /// Value-path NOT for prepared execution: the caller tracks row
+    /// values host-side and supplies `a`'s current value, letting the
+    /// backend elide its read-backs; returns the stored result bits.
+    /// Stored bits must be identical to `not` followed by
+    /// `read_packed(out)` — which is exactly the default.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Substrate::not`].
+    fn not_known(&mut self, a: BitRow, val: &PackedBits, out: BitRow) -> Result<PackedBits> {
+        let _ = val;
+        self.not(a, out)?;
+        self.read_packed(out)
+    }
+
+    /// Value-path N-input logic (see [`Substrate::not_known`]); `vals`
+    /// carries the current value of each row in `ins`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Substrate::logic`].
+    fn logic_known(
+        &mut self,
+        op: LogicOp,
+        ins: &[BitRow],
+        vals: &[&PackedBits],
+        out: BitRow,
+    ) -> Result<PackedBits> {
+        let _ = vals;
+        self.logic(op, ins, out)?;
+        self.read_packed(out)
+    }
+
+    /// Value-path copy (see [`Substrate::not_known`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Substrate::copy`].
+    fn copy_known(&mut self, src: BitRow, val: &PackedBits, dst: BitRow) -> Result<PackedBits> {
+        let _ = val;
+        self.copy(src, dst)?;
+        self.read_packed(dst)
+    }
 
     /// `out ← MAJ3(a, b, c)`.
     ///
@@ -422,9 +473,15 @@ impl DramSubstrate {
         self.engine.set_repetition(k);
     }
 
-    /// Sets the chip temperature for subsequent gates.
+    /// The current simulation configuration of the wrapped engine.
+    pub fn sim_config(&self) -> dram_core::SimConfig {
+        self.engine.sim_config()
+    }
+
+    #[doc(hidden)]
     pub fn set_temperature(&mut self, t: dram_core::Temperature) {
-        self.engine.set_temperature(t);
+        let cfg = self.sim_config().with_temperature(t);
+        self.engine.configure(cfg);
     }
 
     /// The wrapped engine (for inspection).
@@ -452,6 +509,10 @@ impl Substrate for DramSubstrate {
 
     fn max_fan_in(&self) -> usize {
         self.max_fan_in
+    }
+
+    fn configure_sim(&mut self, cfg: dram_core::SimConfig) {
+        self.engine.configure(cfg);
     }
 
     fn alloc(&mut self) -> Result<BitRow> {
@@ -564,6 +625,50 @@ impl Substrate for DramSubstrate {
             predicted_success: stats.predicted_success,
         });
         Ok(())
+    }
+
+    fn not_known(&mut self, a: BitRow, val: &PackedBits, out: BitRow) -> Result<PackedBits> {
+        self.handle(a)?;
+        let ho = self.handle(out)?;
+        let (stats, bits) = self.engine.not_known(val, &ho)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Not,
+            executions: stats.executions,
+            predicted_success: stats.predicted_success,
+        });
+        Ok(bits)
+    }
+
+    fn logic_known(
+        &mut self,
+        op: LogicOp,
+        ins: &[BitRow],
+        vals: &[&PackedBits],
+        out: BitRow,
+    ) -> Result<PackedBits> {
+        for r in ins {
+            self.handle(*r)?;
+        }
+        let ho = self.handle(out)?;
+        let (stats, bits) = self.engine.logic_known(op, vals, &ho)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Logic(op, ins.len() as u8),
+            executions: stats.executions,
+            predicted_success: stats.predicted_success,
+        });
+        Ok(bits)
+    }
+
+    fn copy_known(&mut self, src: BitRow, val: &PackedBits, dst: BitRow) -> Result<PackedBits> {
+        let hs = self.handle(src)?;
+        let hd = self.handle(dst)?;
+        let (stats, bits) = self.engine.copy_known(&hs, val, &hd)?;
+        self.trace.record(TraceEntry {
+            op: NativeOp::Copy,
+            executions: stats.executions,
+            predicted_success: stats.predicted_success,
+        });
+        Ok(bits)
     }
 
     fn maj3(&mut self, a: BitRow, b: BitRow, c: BitRow, out: BitRow) -> Result<()> {

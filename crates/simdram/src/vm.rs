@@ -148,6 +148,19 @@ impl<S: Substrate> SimdVm<S> {
         self.sub
     }
 
+    /// Applies a [`dram_core::SimConfig`] (fidelity + temperature) to
+    /// the substrate device. A no-op on the host golden model.
+    pub fn configure(&mut self, cfg: dram_core::SimConfig) {
+        self.sub.configure_sim(cfg);
+    }
+
+    /// Builder form of [`SimdVm::configure`] for construction chains.
+    #[must_use]
+    pub fn with_sim_config(mut self, cfg: dram_core::SimConfig) -> Self {
+        self.configure(cfg);
+        self
+    }
+
     /// The accumulated native-operation trace.
     pub fn trace(&self) -> &OpTrace {
         self.sub.trace()

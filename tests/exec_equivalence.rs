@@ -31,9 +31,9 @@ use simdram::{DramSubstrate, HostSubstrate, SimdVm};
 /// modeled columns keep the device model fast) at the given fidelity.
 fn engine(fidelity: SimFidelity) -> BulkEngine {
     let cfg = dram_core::config::table1().remove(0).with_modeled_cols(64);
-    let mut e = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0)).unwrap();
-    e.set_fidelity(fidelity);
-    e
+    BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0))
+        .unwrap()
+        .with_sim_config(dram_core::SimConfig::new().with_fidelity(fidelity))
 }
 
 // ---------------------------------------------------------------------
@@ -169,6 +169,99 @@ proptest! {
         ExecBackend::release(&mut vm, out);
         vm.end_stage(lease);
         prop_assert_eq!(&via_rows, &expect, "{}: row mode diverged", text);
+    }
+}
+
+// ---------------------------------------------------------------------
+// prepared execution: compile once, run bit-identically
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Two-phase execution is invisible in the bits: for random
+    /// expressions, `prepare` + `run_prepared` produces exactly the
+    /// bytes `execute_packed_with` produces on a fresh backend of the
+    /// same configuration — on both backends, in both fidelities —
+    /// and the observer sees the same ordered step walk.
+    #[test]
+    fn prepared_matches_unprepared_bit_for_bit(
+        n in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let text = random_expr(n, seed, 10);
+        let cost = CostModel::table1_defaults();
+        let compiled = fcsynth::compile(&text, &cost, 16)
+            .map_err(|e| format!("{text}: {e}"))?;
+        let k = compiled.circuit.inputs().len();
+        let prog = &compiled.mapping.program;
+        for fidelity in [SimFidelity::fast(), SimFidelity::full()] {
+            // VM backend over the DRAM substrate.
+            let mut legacy = SimdVm::new(DramSubstrate::new(engine(fidelity))).unwrap();
+            let lanes = ExecBackend::lanes(&legacy);
+            let ops = random_operands(k, lanes, seed ^ 0x9E37);
+            let mut legacy_steps = Vec::new();
+            let want = execute_packed_with(&mut legacy, prog, &ops, |i, s| {
+                legacy_steps.push((i, s.op, s.args.len()));
+            })
+            .map_err(|e| format!("{text}: {e}"))?;
+
+            let mut vm = SimdVm::new(DramSubstrate::new(engine(fidelity))).unwrap();
+            let prep = vm.prepare(prog).map_err(|e| e.to_string())?;
+            prop_assert_eq!(prep.arena_slots(), prog.peak_live_rows());
+            let mut prep_steps = Vec::new();
+            let got = vm
+                .run_prepared(&prep, &ops, |i, s| {
+                    prep_steps.push((i, s.op, s.args.len()));
+                })
+                .map_err(|e| format!("{text}: {e}"))?;
+            prop_assert_eq!(&got, &want, "{}: vm prepared diverged", text);
+            prop_assert_eq!(&prep_steps, &legacy_steps, "{}: vm observer walks differ", text);
+
+            // Command-schedule backend.
+            let mut legacy_cmd = BenderBackend::new(engine(fidelity)).unwrap();
+            let want_cmd = execute_packed(&mut legacy_cmd, prog, &ops)
+                .map_err(|e| format!("{text}: {e}"))?;
+            prop_assert_eq!(&want_cmd, &want, "{}: backends diverged", text);
+
+            let mut cmd = BenderBackend::new(engine(fidelity)).unwrap();
+            let prep_cmd = cmd.prepare(prog).map_err(|e| e.to_string())?;
+            let mut cmd_steps = Vec::new();
+            let got_cmd = cmd
+                .run_prepared(&prep_cmd, &ops, |i, s| {
+                    cmd_steps.push((i, s.op, s.args.len()));
+                })
+                .map_err(|e| format!("{text}: {e}"))?;
+            prop_assert_eq!(&got_cmd, &want, "{}: bender prepared diverged", text);
+            prop_assert_eq!(&cmd_steps, &legacy_steps, "{}: bender observer walks differ", text);
+        }
+    }
+
+    /// `prepare` is a pure function of the program: preparing the same
+    /// program twice — on the same backend or on a fresh one of the
+    /// same configuration — yields byte-identical command templates.
+    #[test]
+    fn prepare_is_pure(
+        n in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let text = random_expr(n, seed, 10);
+        let cost = CostModel::table1_defaults();
+        let compiled = fcsynth::compile(&text, &cost, 16)
+            .map_err(|e| format!("{text}: {e}"))?;
+        let prog = &compiled.mapping.program;
+        let mut cmd = BenderBackend::new(engine(SimFidelity::fast())).unwrap();
+        let a = cmd.prepare(prog).map_err(|e| e.to_string())?;
+        let b = cmd.prepare(prog).map_err(|e| e.to_string())?;
+        prop_assert_eq!(a.template_bytes(), b.template_bytes(), "{}: same backend", text);
+        prop_assert_eq!(a.template_count(), b.template_count());
+        let mut fresh = BenderBackend::new(engine(SimFidelity::fast())).unwrap();
+        let c = fresh.prepare(prog).map_err(|e| e.to_string())?;
+        prop_assert_eq!(a.template_bytes(), c.template_bytes(), "{}: fresh backend", text);
+        // Programs with a native gate step carry at least one template.
+        if !a.is_fallback() && prog.steps.iter().any(|s| s.op.is_some() && s.args.len() > 1) {
+            prop_assert!(a.template_count() > 0, "{}: no gate templates", text);
+        }
     }
 }
 

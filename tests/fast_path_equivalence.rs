@@ -40,7 +40,7 @@ fn chip_ops_identical_across_telemetry_modes() {
     let cols = 64;
     let mut full = dram_core::Chip::new(cfg(cols), ChipId(0));
     let mut fast = dram_core::Chip::new(cfg(cols), ChipId(0));
-    fast.set_fidelity(SimFidelity::fast());
+    fast.configure(dram_core::SimConfig::fast());
     assert_eq!(full.fidelity().telemetry, Telemetry::Full);
 
     let src = pattern(99, cols);
@@ -91,11 +91,11 @@ fn threaded_columns_identical_to_serial() {
     let cols = 4096;
     let mut serial = dram_core::Chip::new(cfg(cols), ChipId(0));
     let mut threaded = dram_core::Chip::new(cfg(cols), ChipId(0));
-    threaded.set_fidelity(SimFidelity {
+    threaded.configure(dram_core::SimConfig::new().with_fidelity(SimFidelity {
         telemetry: Telemetry::Fast,
         parallel_threshold: Some(1024),
-    });
-    serial.set_telemetry(Telemetry::Fast);
+    }));
+    serial.configure(dram_core::SimConfig::fast());
 
     let src = pattern(5, cols);
     for chip in [&mut serial, &mut threaded] {
@@ -136,7 +136,7 @@ fn packed_not_matches_telemetry_report() {
     let cols = 64;
     let mut full = Fcdram::new(cfg(cols));
     let mut fast = Fcdram::new(cfg(cols));
-    fast.set_fidelity(SimFidelity::fast());
+    fast.configure(dram_core::SimConfig::fast());
     let pair = (SubarrayId(0), SubarrayId(1));
     let map = full.discover(BANK, pair, 8192).unwrap();
     let _ = fast.discover(BANK, pair, 8192).unwrap();
@@ -169,7 +169,7 @@ fn packed_logic_matches_telemetry_report_across_n() {
     let cols = 64;
     let mut full = Fcdram::new(cfg(cols));
     let mut fast = Fcdram::new(cfg(cols));
-    fast.set_fidelity(SimFidelity::fast());
+    fast.configure(dram_core::SimConfig::fast());
     let pair = (SubarrayId(0), SubarrayId(1));
     let map = full.discover(BANK, pair, 16384).unwrap();
     let _ = fast.discover(BANK, pair, 16384).unwrap();
@@ -247,9 +247,9 @@ fn packed_logic_matches_telemetry_report_across_n() {
 #[test]
 fn engine_identical_in_both_fidelity_modes() {
     let build = |fidelity: SimFidelity| {
-        let mut e = BulkEngine::new(Fcdram::new(cfg(64)), BANK, SubarrayId(0)).unwrap();
-        e.set_fidelity(fidelity);
-        e
+        BulkEngine::new(Fcdram::new(cfg(64)), BANK, SubarrayId(0))
+            .unwrap()
+            .with_sim_config(dram_core::SimConfig::new().with_fidelity(fidelity))
     };
     let mut fast = build(SimFidelity::fast());
     let mut full = build(SimFidelity::full());

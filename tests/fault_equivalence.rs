@@ -230,8 +230,8 @@ proptest! {
         let cfg = dram_core::config::table1().remove(0).with_modeled_cols(32);
         let mut fast = dram_core::Chip::new(cfg.clone(), dram_core::ChipId(0));
         let mut full = dram_core::Chip::new(cfg, dram_core::ChipId(0));
-        fast.set_telemetry(Telemetry::Fast);
-        full.set_telemetry(Telemetry::Full);
+        fast.configure(dram_core::SimConfig::new().with_telemetry(Telemetry::Fast));
+        full.configure(dram_core::SimConfig::new().with_telemetry(Telemetry::Full));
         for chip in [&mut fast, &mut full] {
             for i in 0..ops {
                 let h = dram_core::math::mix2(seed, i as u64);

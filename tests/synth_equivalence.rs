@@ -128,8 +128,9 @@ proptest! {
 /// the given fidelity.
 fn dram_vm(fidelity: SimFidelity) -> SimdVm<DramSubstrate> {
     let cfg = dram_core::config::table1().remove(0).with_modeled_cols(64);
-    let mut engine = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0)).unwrap();
-    engine.set_fidelity(fidelity);
+    let engine = BulkEngine::new(Fcdram::new(cfg), BankId(0), SubarrayId(0))
+        .unwrap()
+        .with_sim_config(dram_core::SimConfig::new().with_fidelity(fidelity));
     SimdVm::new(DramSubstrate::new(engine)).unwrap()
 }
 

@@ -18,13 +18,19 @@
 //!             [--baseline tools/bench_baseline.json]
 //!             [--id logic_model_columnar_cached/1024cols]
 //!             [--check FILE:ID] [--check-exact FILE:ID]
+//!             [--check-ratio FILE:NUM,DEN,LIMIT]
 //!             [--max-regress 0.20]
 //! ```
 //!
 //! `--id` checks an id inside the `--current` artifact; `--check`
 //! pairs an id with its own artifact file, so one invocation gates
 //! ids across several summaries (`BENCH_engine.json`,
-//! `BENCH_synth.json`, `BENCH_sched.json`, ...). `--check-exact` is
+//! `BENCH_synth.json`, `BENCH_sched.json`, ...). `--check-ratio`
+//! gates the quotient of two wall-clock ids measured in the *same*
+//! artifact (`NUM ÷ DEN ≤ LIMIT`) — no baseline involved, so the
+//! gate is immune to the CI container's absolute speed and pins a
+//! relative property instead (how far the simulated device backends
+//! may drift from the host golden model). `--check-exact` is
 //! the variant for *deterministic count* entries: any drift from the
 //! baseline — up or down — fails, since shrinkage of a scheduled-op
 //! or mapped-op count is a pipeline-shape change too, not an
@@ -38,6 +44,10 @@
 //! the committed baseline — so the VM and command-schedule backends
 //! drifting apart in either direction fails the gate — plus the
 //! cycle-accurate `exec_schedule_ns/mix` latency-model pin, the
+//! prepared-plan shape pins `exec_prepared_templates/mix` and
+//! `exec_arena_slots/mix`, the two-phase overhead ratios
+//! `exec_vm_dram/mix ÷ exec_host/mix ≤ 3.5` and
+//! `exec_bender/mix ÷ exec_host/mix ≤ 3.5`, the
 //! five deterministic `faults_*/demo` degradation-ledger counts from
 //! `ablation_faults` (exact): mitigations, dropouts, re-placed jobs,
 //! diversions, and disturbance activations of the demo fault plan,
@@ -125,6 +135,10 @@ fn main() -> ExitCode {
     // down — is a failure (shrinkage means the pipeline's shape
     // changed and the baseline must be bumped deliberately).
     let mut checks: Vec<(Option<String>, String, bool)> = Vec::new();
+    // (artifact file, numerator id, denominator id, limit) — both ids
+    // are read from the same current artifact; the baseline is not
+    // consulted.
+    let mut ratios: Vec<(String, String, String, f64)> = Vec::new();
     let mut max_regress = 0.20f64;
 
     let mut args = std::env::args().skip(1);
@@ -146,6 +160,22 @@ fn main() -> ExitCode {
                         .ok_or_else(|| format!("{a} wants FILE:ID, got '{pair}'"))?;
                     checks.push((Some(file.to_string()), id.to_string(), exact));
                 }
+                "--check-ratio" => {
+                    let spec = val(&a)?;
+                    let bad = || format!("--check-ratio wants FILE:NUM,DEN,LIMIT, got '{spec}'");
+                    let (file, rest) = spec.split_once(':').ok_or_else(bad)?;
+                    let mut parts = rest.split(',');
+                    let (num, den, limit) = (
+                        parts.next().ok_or_else(bad)?,
+                        parts.next().ok_or_else(bad)?,
+                        parts.next().ok_or_else(bad)?,
+                    );
+                    if parts.next().is_some() {
+                        return Err(bad());
+                    }
+                    let limit: f64 = limit.parse().map_err(|e| format!("bad ratio limit: {e}"))?;
+                    ratios.push((file.to_string(), num.to_string(), den.to_string(), limit));
+                }
                 "--max-regress" => {
                     max_regress = val("--max-regress")?
                         .parse()
@@ -160,7 +190,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    if checks.is_empty() {
+    if checks.is_empty() && ratios.is_empty() {
         // The model-evaluation hot path the columnar rewrite bought
         // (wall-clock: tolerance-gated), plus the deterministic
         // mapped-op counts of the synthesis pipeline and the
@@ -185,8 +215,23 @@ fn main() -> ExitCode {
             "exec_native_ops/vm",
             "exec_native_ops/bender",
             "exec_schedule_ns/mix",
+            "exec_prepared_templates/mix",
+            "exec_arena_slots/mix",
         ] {
             checks.push((Some("BENCH_exec.json".to_string()), id.to_string(), true));
+        }
+        // Two-phase execution overhead: the simulated device backends
+        // may cost at most 3.5x the host golden model *measured in the
+        // same bench run*, so the gate holds on any machine speed.
+        // Before the prepared-program API the vm/bender mixes sat at
+        // ~6x the host path; the ratio pins the recovered headroom.
+        for num in ["exec_vm_dram/mix", "exec_bender/mix"] {
+            ratios.push((
+                "BENCH_exec.json".to_string(),
+                num.to_string(),
+                "exec_host/mix".to_string(),
+                3.5,
+            ));
         }
         // Degradation-ledger counts of the demo fault plan from
         // `ablation_faults`: the planner derives them from (fleet,
@@ -298,17 +343,56 @@ fn main() -> ExitCode {
             1.0 + max_regress
         );
     }
+    for (file, num, den, limit) in &ratios {
+        if !artifacts.iter().any(|(f, _)| f == file) {
+            let loaded = load(file);
+            if let Err(e) = &loaded {
+                eprintln!("bench_check: {e}");
+            }
+            artifacts.push((file.clone(), loaded));
+        }
+        let cur = match &artifacts
+            .iter()
+            .find(|(f, _)| f == file)
+            .expect("loaded above")
+            .1
+        {
+            Ok(entries) => entries,
+            Err(e) => {
+                failures.push(format!("{num}/{den}: {e}"));
+                continue;
+            }
+        };
+        let (Some(n), Some(d)) = (mean_of(cur, num), mean_of(cur, den)) else {
+            eprintln!("bench_check: ratio ids '{num}' or '{den}' missing from {file}");
+            failures.push(format!("{num}÷{den}: id missing from {file}"));
+            continue;
+        };
+        let ratio = n / d;
+        let verdict = if !(ratio <= *limit) {
+            failures.push(format!(
+                "{num} ÷ {den}: {n:.1} / {d:.1} = {ratio:.3}x > {limit:.3}x limit"
+            ));
+            "EXCEEDED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_check: {num} ÷ {den}: {n:.1} / {d:.1} = {ratio:.3}x (limit {limit:.3}x) {verdict}"
+        );
+    }
+    let n_checks = checks.len() + ratios.len();
     if !failures.is_empty() {
         eprintln!(
             "bench_check: FAILED — {} problem(s) across {} check(s):",
             failures.len(),
-            checks.len()
+            n_checks
         );
         for f in &failures {
             eprintln!("bench_check:   - {f}");
         }
         return ExitCode::FAILURE;
     }
-    println!("bench_check: all {} id(s) within tolerance", checks.len());
+    println!("bench_check: all {n_checks} check(s) within tolerance");
     ExitCode::SUCCESS
 }
