@@ -18,7 +18,17 @@
 //!   scheduled-batch shape (jobs in `mean_ns`, with native ops
 //!   executed for the ops entry). `tools/bench_check.rs` gates on
 //!   these, so a planner or admission regression that changes what
-//!   gets scheduled fails CI even though wall time varies by machine.
+//!   gets scheduled fails CI even though wall time varies by machine;
+//! * `sched_fused_jobs/mix` — **deterministic** count of jobs in
+//!   fusion groups (size ≥ 2) of the 4-chip plan — same chip, mapped
+//!   program, and lane count, adjacency-independent (exact-gated: the
+//!   cross-job fusion shape the executor and the daemon's
+//!   `fc_fused_jobs_total` counter derive from).
+//!
+//! The serial configuration is additionally measured with cross-job
+//! fusion off (`sched_batch_unfused/<N>chips`, `policy.fuse =
+//! false`): the fused/unfused delta is the service-time drop operand
+//! fusion buys, with byte-identical reports either way.
 
 use characterize::serve::{build_batch, DEMO_MIX};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -48,10 +58,15 @@ fn demo_batch(cost: &CostModel) -> Batch {
 }
 
 /// One full schedule+execute pass; returns the retry count so the
-/// work cannot be optimized away.
-fn serve(batch: &Batch, cost: &CostModel, chips: usize, shards: usize) -> u64 {
+/// work cannot be optimized away. `fuse` selects cross-job operand
+/// fusion (the default) or per-job execution (ablation); the report
+/// is byte-identical either way.
+fn serve(batch: &Batch, cost: &CostModel, chips: usize, shards: usize, fuse: bool) -> u64 {
     let fleet = FleetConfig::table1(chips);
-    let policy = SchedPolicy::default().with_shards(shards);
+    let policy = SchedPolicy {
+        fuse,
+        ..SchedPolicy::default().with_shards(shards)
+    };
     let report = serve_batch(&fleet, cost, &policy, batch).expect("batch schedules");
     assert_eq!(report.jobs(), JOBS);
     report.total_retries()
@@ -63,10 +78,13 @@ fn bench(c: &mut Criterion) {
     let threads = worker_threads();
     for chips in CHIP_COUNTS {
         c.bench_function(format!("sched_batch_serial/{chips}chips"), |b| {
-            b.iter(|| black_box(serve(&batch, &cost, chips, 1)));
+            b.iter(|| black_box(serve(&batch, &cost, chips, 1, true)));
+        });
+        c.bench_function(format!("sched_batch_unfused/{chips}chips"), |b| {
+            b.iter(|| black_box(serve(&batch, &cost, chips, 1, false)));
         });
         c.bench_function(format!("sched_batch_sharded/{chips}chips"), |b| {
-            b.iter(|| black_box(serve(&batch, &cost, chips, threads)));
+            b.iter(|| black_box(serve(&batch, &cost, chips, threads, true)));
         });
     }
     write_summary(&cost, &batch, threads);
@@ -131,8 +149,8 @@ fn write_summary(cost: &CostModel, batch: &Batch, threads: usize) {
     // Deterministic batch shape under the default policy on the
     // 4-chip fleet: what got scheduled, independent of wall clock.
     let fleet = FleetConfig::table1(4);
-    let report = serve_batch(&fleet, cost, &SchedPolicy::default().with_shards(1), batch)
-        .expect("batch schedules");
+    let policy = SchedPolicy::default().with_shards(1);
+    let report = serve_batch(&fleet, cost, &policy, batch).expect("batch schedules");
     println!(
         "sched_jobs/mix: {} jobs, {} native ops, {} remapped, {} flagged, {} retries",
         report.jobs(),
@@ -151,6 +169,21 @@ fn write_summary(cost: &CostModel, batch: &Batch, threads: usize) {
         report.native_ops() as f64,
         report.total_retries(),
     );
+    // Deterministic cross-job fusion shape of the same plan: how many
+    // jobs sit in same-(chip, program, lanes) fusion groups of two or
+    // more, adjacency-independent. A pure function of (fleet, batch,
+    // policy) — independent of the fuse knob, shard count, and
+    // backend — so the daemon's `fc_fused_jobs_total` counter is
+    // pinned here.
+    let plan = fcsched::Planner::new(&fleet, cost, &policy)
+        .plan(batch)
+        .expect("batch plans");
+    let fused = fcsched::fused_jobs(batch, &plan);
+    println!(
+        "sched_fused_jobs/mix: {fused} of {} jobs in fused runs",
+        report.jobs()
+    );
+    derived("sched_fused_jobs/mix".to_string(), fused as f64, 1);
     let json = serde_json::to_string_pretty(&entries).expect("summary serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
     std::fs::write(path, json).expect("summary written");

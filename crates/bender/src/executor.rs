@@ -304,7 +304,7 @@ impl Bender {
     ) -> Result<()> {
         let mut b = self.builder();
         b.seq_write_row(bank, row, data);
-        let p = b.build();
+        let p = b.finish();
         self.execute(chip, &p)?;
         Ok(())
     }
@@ -313,7 +313,7 @@ impl Bender {
     pub fn read_row(&mut self, chip: ChipId, bank: BankId, row: GlobalRow) -> Result<Vec<Bit>> {
         let mut b = self.builder();
         b.seq_read_row(bank, row);
-        let p = b.build();
+        let p = b.finish();
         let exec = self.execute(chip, &p)?;
         exec.reads
             .into_iter()
@@ -360,7 +360,7 @@ impl Bender {
     ) -> Result<OpOutcome> {
         let mut b = self.builder();
         b.seq_copy_invert(bank, src, dst);
-        let p = b.build();
+        let p = b.finish();
         let exec = self.execute(chip, &p)?;
         exec.outcomes
             .into_iter()
@@ -382,7 +382,7 @@ impl Bender {
     ) -> Result<OpOutcome> {
         let mut b = self.builder();
         b.seq_charge_share(bank, r_ref, r_com);
-        let p = b.build();
+        let p = b.finish();
         let exec = self.execute(chip, &p)?;
         exec.outcomes
             .into_iter()
@@ -417,7 +417,7 @@ impl Bender {
     pub fn frac(&mut self, chip: ChipId, bank: BankId, row: GlobalRow) -> Result<OpOutcome> {
         let mut b = self.builder();
         b.seq_frac(bank, row);
-        let p = b.build();
+        let p = b.finish();
         let exec = self.execute(chip, &p)?;
         exec.outcomes
             .into_iter()

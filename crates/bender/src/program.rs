@@ -227,11 +227,48 @@ impl ProgramBuilder {
         self.act(bank, row).wait_ns(mid).pre(bank).wait_ns(t_rp)
     }
 
-    /// Finishes the program.
+    /// Re-emits an already-built program at the cursor, preserving its
+    /// internal cycle gaps exactly. The cursor advances one cycle past
+    /// the appended program's last command, mirroring [`push`]: a
+    /// sequence appended after this one sees the same gap it would have
+    /// seen had both been built inline, so fused programs stay
+    /// command-for-command identical to their split counterparts.
+    ///
+    /// [`push`]: Self::push
+    pub fn append_program(&mut self, program: &Program) -> &mut Self {
+        let base = self.cursor;
+        for c in program.commands() {
+            self.cmds.push(TimedCommand {
+                cycle: base + c.cycle,
+                command: c.command.clone(),
+            });
+        }
+        self.cursor = base + program.duration_cycles() + 1;
+        self
+    }
+
+    /// Commands emitted so far (the next appended command's index).
+    pub fn len(&self) -> usize {
+        self.cmds.len()
+    }
+
+    /// Whether no commands have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.cmds.is_empty()
+    }
+
+    /// Finishes the program, leaving the builder reusable.
     pub fn build(&self) -> Program {
         Program {
             cmds: self.cmds.clone(),
         }
+    }
+
+    /// Finishes the program, consuming the builder — the hot-path form:
+    /// no copy of the command list (and, through it, of every staged
+    /// `Wr` payload).
+    pub fn finish(self) -> Program {
+        Program { cmds: self.cmds }
     }
 }
 

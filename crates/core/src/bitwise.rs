@@ -8,12 +8,12 @@
 //! for reliability (the paper's future-work direction).
 
 use crate::error::{FcdramError, Result};
-use crate::mapping::{ActivationMap, InSubarrayEntry};
+use crate::mapping::{ActivationMap, InSubarrayEntry, PatternEntry};
 use crate::ops::Fcdram;
 use crate::packed::PackedBits;
 use dram_core::{BankId, Bit, GlobalRow, LocalRow, LogicOp, SimFidelity, SubarrayId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Handle to an allocated in-DRAM bit vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -50,6 +50,22 @@ pub struct OpStats {
     pub predicted_success: f64,
 }
 
+/// Per-visit state: caches that amortize fixed host-side costs over a
+/// run of fused value-path operations, plus the one deferred result
+/// write the fused command programs carry forward (see
+/// [`BulkEngine::begin_visit`]).
+#[derive(Debug, Default)]
+struct VisitState {
+    /// Cached NOT destination entry (cloned from the map once).
+    not_entry: Option<PatternEntry>,
+    /// Cached `N:N` entries, keyed by N.
+    nn_entries: BTreeMap<usize, PatternEntry>,
+    /// The previous operation's result write, deferred so it ships as
+    /// the prelude of the next fused program (or is flushed at visit
+    /// end) instead of paying its own program execution.
+    pending: Option<(GlobalRow, Vec<Bit>)>,
+}
+
 /// The bulk bitwise engine.
 ///
 /// Runs the chip in the fast fidelity mode ([`SimFidelity::fast`]):
@@ -72,6 +88,8 @@ pub struct BulkEngine {
     /// logic entry's raised rows (which a masked charge share may
     /// leave unresolved). Computed once at construction.
     mask_safe: bool,
+    /// Active fused visit, if any (see [`BulkEngine::begin_visit`]).
+    visit: Option<VisitState>,
 }
 
 impl BulkEngine {
@@ -182,7 +200,48 @@ impl BulkEngine {
             repetition: 1,
             maj_entry,
             mask_safe,
+            visit: None,
         })
+    }
+
+    /// Opens a fused visit: until [`BulkEngine::end_visit`], the
+    /// value-path operations ([`BulkEngine::not_known`],
+    /// [`BulkEngine::logic_known`]) each ship as ONE combined command
+    /// program (operand writes + gate sequence), with the result write
+    /// deferred into the *next* operation's program. Pattern-entry
+    /// lookups are cached for the visit. The device-call sequence —
+    /// and with it every stored bit, stochastic draw, and success
+    /// statistic — is identical to unfused execution; only the
+    /// per-program fixed costs are amortized.
+    ///
+    /// Nested calls are idempotent (an active visit is kept).
+    pub fn begin_visit(&mut self) {
+        if self.visit.is_none() {
+            self.visit = Some(VisitState::default());
+        }
+    }
+
+    /// Closes the current fused visit, flushing the deferred result
+    /// write (if any). A no-op when no visit is active.
+    pub fn end_visit(&mut self) -> Result<()> {
+        if let Some(visit) = self.visit.take() {
+            if let Some((row, data)) = visit.pending {
+                self.fc.write_row(self.bank, row, data)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the visit's deferred result write without closing the
+    /// visit, so operations that read device rows directly (copies,
+    /// legacy paths, host read-backs) observe a consistent chip.
+    fn flush_pending(&mut self) -> Result<()> {
+        if let Some(visit) = self.visit.as_mut() {
+            if let Some((row, data)) = visit.pending.take() {
+                self.fc.write_row(self.bank, row, data)?;
+            }
+        }
+        Ok(())
     }
 
     /// Whether the value-path ops may use masked charge shares on this
@@ -319,6 +378,7 @@ impl BulkEngine {
                 got: bits.len(),
             });
         }
+        self.flush_pending()?;
         let row = self.expand_packed(bits);
         self.fc.write_row(self.bank, v.row, row)
     }
@@ -331,6 +391,7 @@ impl BulkEngine {
     /// Reads a vector back packed: the device thresholds only the
     /// shared column half directly into `u64` words.
     pub fn read_packed(&mut self, v: &BitVecHandle) -> Result<PackedBits> {
+        self.flush_pending()?;
         let chip = self.fc.chip();
         let words =
             self.fc
@@ -567,6 +628,15 @@ impl BulkEngine {
     ) -> Result<(OpStats, PackedBits)> {
         let mut ideal = val.clone();
         ideal.not_in_place();
+        if self.repetition == 1 && self.visit.is_some() {
+            let entry = self.visit_not_entry()?;
+            let src_full = self.expand_packed(val);
+            let prelude = self.take_pending();
+            let rep = self
+                .fc
+                .execute_not_packed_value_fused(self.bank, &entry, &src_full, prelude)?;
+            return self.finish_deferred(out, rep.result, &ideal, rep.predicted_success);
+        }
         let entry = self
             .map
             .find_dst(1)
@@ -584,6 +654,7 @@ impl BulkEngine {
             let stats = self.finish_packed(out, rep.result, &ideal, rep.predicted_success)?;
             return Ok((stats, bits));
         }
+        self.flush_pending()?;
         let mut votes = vec![0u32; self.shared_cols.len()];
         let mut predicted = 0.0;
         for _ in 0..self.repetition {
@@ -628,6 +699,16 @@ impl BulkEngine {
                 n: vals.len(),
                 max: self.fc.config().max_op_inputs(),
             })?;
+        if self.repetition == 1 && self.mask_safe && self.visit.is_some() {
+            let entry = self.visit_nn_entry(n)?;
+            let prelude = self.take_pending();
+            let rep = self
+                .fc
+                .execute_logic_packed_value_fused(self.bank, &entry, op, vals, prelude)?;
+            let ideal = rep.expected;
+            return self.finish_deferred(out, rep.result, &ideal, rep.predicted_success);
+        }
+        self.flush_pending()?;
         let entry = self.map.find_nn(n).expect("checked").clone();
         let packed_inputs: Vec<PackedBits> = vals.iter().map(|p| (*p).clone()).collect();
         let masked = self.mask_safe;
@@ -678,6 +759,9 @@ impl BulkEngine {
         src_val: &PackedBits,
         out: &BitVecHandle,
     ) -> Result<(OpStats, PackedBits)> {
+        // RowClone reads the source row on-device: any deferred fused
+        // result write must land first.
+        self.flush_pending()?;
         match self.fc.rowclone(self.bank, a.row, out.row) {
             Ok(outcome) => {
                 let got = self.read_packed(out)?;
@@ -729,6 +813,79 @@ impl BulkEngine {
     /// starting at `shared_start`, so this is a strided expansion.
     fn expand_packed(&self, bits: &PackedBits) -> Vec<Bit> {
         bits.expand_strided(self.fc.config().modeled_cols, self.shared_start, 2)
+    }
+
+    /// Takes the visit's deferred result write (to ship as the next
+    /// fused program's prelude).
+    fn take_pending(&mut self) -> Option<(GlobalRow, Vec<Bit>)> {
+        self.visit.as_mut().and_then(|v| v.pending.take())
+    }
+
+    /// The visit-cached NOT destination entry (cloned from the map on
+    /// first use).
+    fn visit_not_entry(&mut self) -> Result<PatternEntry> {
+        let cached = self.visit.as_ref().and_then(|v| v.not_entry.clone());
+        if let Some(e) = cached {
+            return Ok(e);
+        }
+        let entry = self
+            .map
+            .find_dst(1)
+            .first()
+            .cloned()
+            .cloned()
+            .or_else(|| self.map.find_dst(2).first().cloned().cloned())
+            .ok_or(FcdramError::NoPattern { n_rf: 1, n_rl: 1 })?;
+        if let Some(v) = self.visit.as_mut() {
+            v.not_entry = Some(entry.clone());
+        }
+        Ok(entry)
+    }
+
+    /// The visit-cached `N:N` entry (cloned from the map on first use).
+    fn visit_nn_entry(&mut self, n: usize) -> Result<PatternEntry> {
+        let cached = self
+            .visit
+            .as_ref()
+            .and_then(|v| v.nn_entries.get(&n).cloned());
+        if let Some(e) = cached {
+            return Ok(e);
+        }
+        let entry = self
+            .map
+            .find_nn(n)
+            .ok_or(FcdramError::NoPattern { n_rf: n, n_rl: n })?
+            .clone();
+        if let Some(v) = self.visit.as_mut() {
+            v.nn_entries.insert(n, entry.clone());
+        }
+        Ok(entry)
+    }
+
+    /// Visit-mode counterpart of [`finish_packed`](Self::finish_packed):
+    /// identical statistics, but the result write is deferred into the
+    /// visit instead of executing its own program now.
+    fn finish_deferred(
+        &mut self,
+        out: &BitVecHandle,
+        result: PackedBits,
+        ideal: &PackedBits,
+        predicted: f64,
+    ) -> Result<(OpStats, PackedBits)> {
+        let accuracy = result.accuracy_against(ideal);
+        let full = self.expand_packed(&result);
+        self.visit
+            .as_mut()
+            .expect("finish_deferred requires an active visit")
+            .pending = Some((out.row, full));
+        Ok((
+            OpStats {
+                executions: 1,
+                accuracy,
+                predicted_success: predicted,
+            },
+            result,
+        ))
     }
 
     fn finish_packed(

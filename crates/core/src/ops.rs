@@ -818,6 +818,222 @@ impl Fcdram {
         })
     }
 
+    /// Fused value-path NOT: the same device-call sequence as
+    /// [`Fcdram::execute_not_packed_value`], but the source write, an
+    /// optional deferred row write carried over from the previous
+    /// operation (`prelude`), and the copy/invert sequence ship as ONE
+    /// command program instead of two-or-three. Every `seq_*` ends with
+    /// a timing-respecting precharge, so concatenation preserves the
+    /// executor's per-command device calls exactly — results and
+    /// stochastic draws are bit-identical to the split path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fcdram::execute_not_packed_value`].
+    pub fn execute_not_packed_value_fused(
+        &mut self,
+        bank: BankId,
+        entry: &PatternEntry,
+        src_data: &[Bit],
+        prelude: Option<(GlobalRow, Vec<Bit>)>,
+    ) -> Result<FastNotResult> {
+        let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
+        if src_data.len() != geom.cols() {
+            return Err(FcdramError::WidthMismatch {
+                expected: geom.cols(),
+                got: src_data.len(),
+            });
+        }
+        let (sub_f, _) = geom.split_row(entry.rf)?;
+        let (sub_l, _) = geom.split_row(entry.rl)?;
+        let upper = SubarrayId(sub_f.index().min(sub_l.index()));
+        let shared_start = (upper.index() + 1) % 2;
+        let lanes = (geom.cols() - shared_start).div_ceil(2);
+
+        let mut b = self.bender.builder();
+        if let Some((row, data)) = prelude {
+            b.seq_write_row(bank, row, data);
+        }
+        b.seq_write_row(bank, entry.rf, src_data.to_vec());
+        b.seq_copy_invert(bank, entry.rf, entry.rl);
+        let program = b.finish();
+        let exec = self.bender.execute(self.chip, &program)?;
+        let outcome = exec
+            .outcomes
+            .into_iter()
+            .map(|(_, o)| o)
+            .next_back()
+            .ok_or_else(|| FcdramError::OpFailed {
+                detail: "fused NOT produced no outcome".into(),
+            })?;
+        let shape = match outcome.kind {
+            OutcomeKind::Not { n_rf, n_rl, .. } => (n_rf, n_rl),
+            ref k => {
+                return Err(FcdramError::OpFailed {
+                    detail: format!("NOT produced {k:?}"),
+                })
+            }
+        };
+        let mut expected = PackedBits::zeros(lanes);
+        for (i, c) in (shared_start..geom.cols()).step_by(2).enumerate() {
+            expected.set(i, !src_data[c].as_bool());
+        }
+        let g = geom.join_row(sub_l, entry.second_rows[0])?;
+        let words = self
+            .bender
+            .read_row_packed(self.chip, bank, g, shared_start, 2)?;
+        let read = PackedBits::from_words(words, lanes);
+        let correct = read.count_matches(&expected);
+        Ok(FastNotResult {
+            shape,
+            result: read,
+            observed_success: correct as f64 / lanes.max(1) as f64,
+            predicted_success: outcome.mean_success(CellRole::NotDst).unwrap_or(0.0),
+        })
+    }
+
+    /// Fused value-path N-input logic: the same device-call sequence as
+    /// [`Fcdram::execute_logic_packed_value`], but the reference-side
+    /// constant writes, the `Frac`, the operand writes, an optional
+    /// deferred row write from the previous operation (`prelude`), and
+    /// the masked charge share ship as ONE command program instead of
+    /// `2N (+1)` separate ones. Inputs are borrowed to spare the
+    /// per-call operand clones of the split path. Results, success
+    /// metrics, and stochastic draws are bit-identical to the split
+    /// path (same per-command device calls; see
+    /// [`Fcdram::execute_not_packed_value_fused`] for why).
+    ///
+    /// The charge-share mask is armed on the infrastructure and
+    /// consumed by this program's (only) charge share, so the masking
+    /// safety contract is the same as the split variant's.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Fcdram::execute_logic_packed_value`].
+    pub fn execute_logic_packed_value_fused(
+        &mut self,
+        bank: BankId,
+        entry: &PatternEntry,
+        op: LogicOp,
+        inputs: &[&PackedBits],
+        prelude: Option<(GlobalRow, Vec<Bit>)>,
+    ) -> Result<FastLogicResult> {
+        let geom = *self.bender.module_mut().chip_mut(self.chip).geometry();
+        let (n_ref, n_com) = entry.shape();
+        if n_ref != n_com {
+            return Err(FcdramError::OpFailed {
+                detail: format!("logic needs an N:N entry, got {n_ref}:{n_com}"),
+            });
+        }
+        let n = n_com;
+        if inputs.is_empty() || inputs.len() > n {
+            return Err(FcdramError::BadInputCount {
+                n: inputs.len(),
+                max: n,
+            });
+        }
+        let (sub_ref, _) = geom.split_row(entry.rf)?;
+        let (sub_com, _) = geom.split_row(entry.rl)?;
+        let upper = SubarrayId(sub_ref.index().min(sub_com.index()));
+        let shared_start = (upper.index() + 1) % 2;
+        let lanes = (geom.cols() - shared_start).div_ceil(2);
+        for input in inputs {
+            if input.len() != lanes {
+                return Err(FcdramError::WidthMismatch {
+                    expected: lanes,
+                    got: input.len(),
+                });
+            }
+        }
+
+        let const_bit = if op.is_and_family() {
+            Bit::One
+        } else {
+            Bit::Zero
+        };
+        let const_row = vec![const_bit; geom.cols()];
+        let mut b = self.bender.builder();
+        if let Some((row, data)) = prelude {
+            b.seq_write_row(bank, row, data);
+        }
+        for (i, row) in entry.first_rows.iter().enumerate() {
+            let g = geom.join_row(sub_ref, *row)?;
+            if i + 1 == entry.first_rows.len() {
+                b.seq_frac(bank, g);
+            } else {
+                b.seq_write_row(bank, g, const_row.clone());
+            }
+        }
+        for (i, row) in entry.second_rows.iter().enumerate() {
+            let g = geom.join_row(sub_com, *row)?;
+            let data = match inputs.get(i) {
+                Some(p) => p.expand_strided(geom.cols(), shared_start, 2),
+                None => const_row.clone(),
+            };
+            b.seq_write_row(bank, g, data);
+        }
+        b.seq_charge_share(bank, entry.rf, entry.rl);
+        let program = b.finish();
+
+        let need = if op.is_inverted_terminal() {
+            CsTerminal::Reference
+        } else {
+            CsTerminal::Compute
+        };
+        self.bender.arm_cs_mask(need);
+        let exec = self.bender.execute(self.chip, &program)?;
+        let outcome = exec
+            .outcomes
+            .into_iter()
+            .map(|(_, o)| o)
+            .next_back()
+            .ok_or_else(|| FcdramError::OpFailed {
+                detail: "fused logic produced no outcome".into(),
+            })?;
+        if !matches!(outcome.kind, OutcomeKind::Logic { .. }) {
+            return Err(FcdramError::OpFailed {
+                detail: format!("charge share produced {:?}", outcome.kind),
+            });
+        }
+
+        let mut expected = PackedBits::splat(op.is_and_family(), lanes);
+        for input in inputs {
+            if op.is_and_family() {
+                expected.and_assign(input);
+            } else {
+                expected.or_assign(input);
+            }
+        }
+        if op.is_inverted_terminal() {
+            expected.not_in_place();
+        }
+
+        let (result_sub, result_rows) = if op.is_inverted_terminal() {
+            (sub_ref, &entry.first_rows)
+        } else {
+            (sub_com, &entry.second_rows)
+        };
+        let g = geom.join_row(result_sub, result_rows[0])?;
+        let words = self
+            .bender
+            .read_row_packed(self.chip, bank, g, shared_start, 2)?;
+        let read = PackedBits::from_words(words, lanes);
+        let correct = read.count_matches(&expected);
+        let role = if op.is_inverted_terminal() {
+            CellRole::Reference
+        } else {
+            CellRole::Compute
+        };
+        Ok(FastLogicResult {
+            op,
+            n,
+            expected,
+            result: read,
+            observed_success: correct as f64 / lanes.max(1) as f64,
+            predicted_success: outcome.mean_success(role).unwrap_or(0.0),
+        })
+    }
+
     /// Fast-path in-subarray majority: same command sequence as
     /// [`Fcdram::execute_maj`], reading back only the first raised
     /// row's shared columns (packed).

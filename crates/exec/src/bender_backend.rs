@@ -23,7 +23,7 @@
 //! function of `(operation counter, row, column)` state that both
 //! backends advance identically.
 
-use crate::engine::{execute_packed_with, ExecBackend};
+use crate::engine::{execute_packed_with, execute_with, ExecBackend};
 use crate::error::{ExecError, Result};
 use crate::prepared::{OutputAction, PreparedProgram};
 use bender::{DdrCommand, Program, ProgramBuilder};
@@ -262,7 +262,7 @@ impl BenderBackend {
             b.seq_write_row(bank, g, data);
         }
         b.seq_charge_share(bank, entry.rf, entry.rl);
-        let outcome = self.run_schedule(&b.build())?;
+        let outcome = self.run_schedule(&b.finish())?;
         if !matches!(outcome, Some(OutcomeKind::Logic { .. })) {
             return Err(ExecError::Protocol {
                 detail: format!("charge share produced {outcome:?}"),
@@ -304,7 +304,7 @@ impl BenderBackend {
         let mut b = ProgramBuilder::new(self.speed);
         b.seq_write_row(bank, entry.rf, src_full);
         b.seq_copy_invert(bank, entry.rf, entry.rl);
-        let outcome = self.run_schedule(&b.build())?;
+        let outcome = self.run_schedule(&b.finish())?;
         if !matches!(outcome, Some(OutcomeKind::Not { .. })) {
             return Err(ExecError::Protocol {
                 detail: format!("copy-invert produced {outcome:?}"),
@@ -324,7 +324,7 @@ impl BenderBackend {
         let ideal = self.engine.read_packed(&src)?;
         let mut b = ProgramBuilder::new(self.speed);
         b.seq_copy_invert(bank, src.row(), out.row());
-        let outcome = self.run_schedule(&b.build())?;
+        let outcome = self.run_schedule(&b.finish())?;
         if !matches!(outcome, Some(OutcomeKind::InSubarray { .. })) {
             // Non-cloning pair: host read + write, exactly like
             // `BulkEngine::copy`'s fallback.
@@ -365,7 +365,7 @@ impl BenderBackend {
             b.seq_write_row(bank, g, const_row.clone());
         }
         b.seq_charge_share(bank, entry.rf, entry.rl);
-        let program = b.build();
+        let program = b.finish();
         let wr: Vec<usize> = program
             .commands()
             .iter()
@@ -407,7 +407,7 @@ impl BenderBackend {
         let mut b = ProgramBuilder::new(self.speed);
         b.seq_write_row(bank, entry.rf, vec![Bit::Zero; geom.cols()]);
         b.seq_copy_invert(bank, entry.rf, entry.rl);
-        let program = b.build();
+        let program = b.finish();
         let wr = program
             .commands()
             .iter()
@@ -420,19 +420,61 @@ impl BenderBackend {
         })
     }
 
+    /// Materializes a template program for one execution. With a
+    /// deferred result write pending, the prelude — the exact `Wr`
+    /// sequence [`fcdram::Fcdram::write_row`] would issue as its own
+    /// program, so the device sees an identical command stream either
+    /// way — is emitted first and the template appended after it in a
+    /// single copy; otherwise the template is cloned as-is. Returns
+    /// the program plus the index shift at which the template's
+    /// recorded `Wr` command positions now sit, so callers patch
+    /// operand payloads without a second pass over the commands.
+    fn template_with_prelude(
+        &self,
+        template: &Program,
+        prelude: Option<(GlobalRow, Vec<Bit>)>,
+    ) -> (Program, usize) {
+        match prelude {
+            None => (template.clone(), 0),
+            Some((row, data)) => {
+                let mut b = ProgramBuilder::new(self.speed);
+                b.seq_write_row(self.engine.bank(), row, data);
+                let shift = b.len();
+                b.append_program(template);
+                (b.finish(), shift)
+            }
+        }
+    }
+
+    /// Lands a deferred result write host-path (the same
+    /// `Fcdram::write_row` the unfused path issues immediately after
+    /// each gate).
+    fn flush_result(&mut self, pending: Option<(GlobalRow, Vec<Bit>)>) -> Result<()> {
+        if let Some((row, data)) = pending {
+            let bank = self.engine.bank();
+            self.engine.fcdram_mut().write_row(bank, row, data)?;
+        }
+        Ok(())
+    }
+
     /// One prepared NOT: clone the template, patch the staging payload
-    /// from the tracked value (the operand read-back is elided), ship,
-    /// and track the result bits.
+    /// from the tracked value (the operand read-back is elided), ship
+    /// — with any deferred result write fused in as the program's
+    /// prelude — and return the result bits plus this step's own
+    /// result write for the caller to defer or land.
     fn prepared_not(
         &mut self,
         t: &NotTemplate,
         val: &PackedBits,
         out: &BitVecHandle,
-    ) -> Result<PackedBits> {
+        prelude: Option<(GlobalRow, Vec<Bit>)>,
+    ) -> Result<(PackedBits, (GlobalRow, Vec<Bit>))> {
         let geom = self.engine.config().geometry();
-        let data = val.expand_strided(geom.cols(), self.engine.shared_start(), 2);
-        let mut program = t.program.clone();
-        if let DdrCommand::Wr(_, payload) = &mut program.commands_mut()[t.wr].command {
+        let cols = geom.cols();
+        let start = self.engine.shared_start();
+        let data = val.expand_strided(cols, start, 2);
+        let (mut program, shift) = self.template_with_prelude(&t.program, prelude);
+        if let DdrCommand::Wr(_, payload) = &mut program.commands_mut()[shift + t.wr].command {
             *payload = data;
         }
         let outcome = self.run_schedule(&program)?;
@@ -442,28 +484,32 @@ impl BenderBackend {
             });
         }
         let result = self.read_result_row(t.result_row)?;
-        self.engine.write_packed(out, &result)?;
-        Ok(result)
+        let full = result.expand_strided(cols, start, 2);
+        Ok((result, (out.row(), full)))
     }
 
     /// One prepared N-input gate: clone the template, patch the
     /// operand payloads from tracked values, arm the charge-share
-    /// terminal mask when the activation map allows it, ship, read the
-    /// one result row the step consumes.
+    /// terminal mask when the activation map allows it, ship — with
+    /// any deferred result write fused in as the program's prelude —
+    /// read the one result row the step consumes, and return it plus
+    /// this step's own result write for the caller to defer or land.
     fn prepared_gate(
         &mut self,
         t: &GateTemplate,
         op: LogicOp,
         vals: &[&PackedBits],
         out: &BitVecHandle,
-    ) -> Result<PackedBits> {
+        prelude: Option<(GlobalRow, Vec<Bit>)>,
+    ) -> Result<(PackedBits, (GlobalRow, Vec<Bit>))> {
         let geom = self.engine.config().geometry();
         let cols = geom.cols();
         let start = self.engine.shared_start();
-        let mut program = t.program.clone();
+        let (mut program, shift) = self.template_with_prelude(&t.program, prelude);
         for (i, v) in vals.iter().enumerate() {
             let data = v.expand_strided(cols, start, 2);
-            if let DdrCommand::Wr(_, payload) = &mut program.commands_mut()[t.operand_wr[i]].command
+            if let DdrCommand::Wr(_, payload) =
+                &mut program.commands_mut()[shift + t.operand_wr[i]].command
             {
                 *payload = data;
             }
@@ -488,8 +534,8 @@ impl BenderBackend {
             t.result_row_monotone
         };
         let result = self.read_result_row(row)?;
-        self.engine.write_packed(out, &result)?;
-        Ok(result)
+        let full = result.expand_strided(cols, start, 2);
+        Ok((result, (out.row(), full)))
     }
 
     /// One prepared RowClone ([`Self::copy_into`] with the read-back
@@ -505,7 +551,7 @@ impl BenderBackend {
         let bank = self.engine.bank();
         let mut b = ProgramBuilder::new(self.speed);
         b.seq_copy_invert(bank, src.row(), out.row());
-        let outcome = self.run_schedule(&b.build())?;
+        let outcome = self.run_schedule(&b.finish())?;
         if matches!(outcome, Some(OutcomeKind::InSubarray { .. })) {
             self.read_result_row(out.row())
         } else {
@@ -700,14 +746,113 @@ impl ExecBackend for BenderBackend {
         Ok(prep)
     }
 
+    fn stage_many(&mut self, batches: &[&[PackedBits]]) -> Result<Vec<Vec<BitVecHandle>>> {
+        // Allocate every row of every batch first (all-or-nothing),
+        // then emit ONE combined `Wr`-burst program staging the whole
+        // batch — the same per-row write sequence `stage`'s
+        // `write_packed` loop issues as separate mini-programs, so
+        // stored bits and the device command stream are identical; the
+        // per-program fixed costs are paid once.
+        let lanes = self.engine.capacity_bits();
+        let mut leases: Vec<Vec<BitVecHandle>> = Vec::with_capacity(batches.len());
+        let mut fail: Option<ExecError> = None;
+        'alloc: for operands in batches {
+            let mut rows = Vec::with_capacity(operands.len());
+            for o in operands.iter() {
+                if o.len() != lanes {
+                    fail = Some(ExecError::Engine(fcdram::FcdramError::WidthMismatch {
+                        expected: lanes,
+                        got: o.len(),
+                    }));
+                    leases.push(rows);
+                    break 'alloc;
+                }
+                match self.engine.alloc() {
+                    Ok(r) => rows.push(r),
+                    Err(e) => {
+                        fail = Some(e.into());
+                        leases.push(rows);
+                        break 'alloc;
+                    }
+                }
+            }
+            leases.push(rows);
+        }
+        if fail.is_none() {
+            let geom = self.engine.config().geometry();
+            let cols = geom.cols();
+            let start = self.engine.shared_start();
+            let bank = self.engine.bank();
+            let mut b = ProgramBuilder::new(self.speed);
+            let mut any = false;
+            for (lease, operands) in leases.iter().zip(batches) {
+                for (row, o) in lease.iter().zip(operands.iter()) {
+                    b.seq_write_row(bank, row.row(), o.expand_strided(cols, start, 2));
+                    any = true;
+                }
+            }
+            if any {
+                let program = b.finish();
+                let chip = self.engine.fcdram().chip();
+                // Shipped directly (not `run_schedule`): staging writes
+                // are host transfers, not native operations.
+                if let Err(e) = self
+                    .engine
+                    .fcdram_mut()
+                    .bender_mut()
+                    .execute(chip, &program)
+                {
+                    fail = Some(ExecError::Engine(e.into()));
+                }
+            }
+        }
+        match fail {
+            None => Ok(leases),
+            Some(e) => {
+                for lease in leases {
+                    self.end_stage(lease);
+                }
+                Err(e)
+            }
+        }
+    }
+
     fn run_prepared<F: FnMut(usize, &Step)>(
         &mut self,
         prep: &PreparedProgram,
         operands: &[PackedBits],
-        mut on_step: F,
+        on_step: F,
     ) -> Result<PackedBits> {
         if !prep.fits(self.max_fan_in) || prep.templates.is_none() {
             return execute_packed_with(self, prep.program(), operands, on_step);
+        }
+        let prog = prep.program();
+        if operands.len() != prog.inputs.len() {
+            return Err(ExecError::InputMismatch {
+                expected: prog.inputs.len(),
+                got: operands.len(),
+            });
+        }
+        let lease = self.stage(operands)?;
+        let result = self.run_prepared_leased(prep, &lease, operands, on_step);
+        self.end_stage(lease);
+        result
+    }
+
+    fn run_prepared_leased<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &PreparedProgram,
+        lease: &Vec<BitVecHandle>,
+        operands: &[PackedBits],
+        mut on_step: F,
+    ) -> Result<PackedBits> {
+        if !prep.fits(self.max_fan_in) || prep.templates.is_none() {
+            // Unprepared walk over the caller's staged rows.
+            let inputs: Vec<BitVecHandle> = lease.clone();
+            let out = execute_with(self, prep.program(), &inputs, on_step)?;
+            let packed = self.read_row(out);
+            self.release(out);
+            return packed;
         }
         let templates = prep.templates.as_ref().expect("checked above");
         let prog = prep.program();
@@ -717,7 +862,6 @@ impl ExecBackend for BenderBackend {
                 got: operands.len(),
             });
         }
-        let lease = self.stage(operands)?;
         let inputs: Vec<BitVecHandle> = lease.clone();
         let mut regs: Vec<Option<BitVecHandle>> = vec![None; prog.n_regs];
         let mut vals: Vec<Option<PackedBits>> = vec![None; prog.n_regs];
@@ -741,7 +885,6 @@ impl ExecBackend for BenderBackend {
                 }
             }
         }
-        self.end_stage(lease);
         result
     }
 }
@@ -751,6 +894,13 @@ impl BenderBackend {
     /// allocated and freed in exactly [`execute_packed_with`]'s order
     /// (the pool permutes rows on reuse and the device's stochastic
     /// draws key on row indices).
+    ///
+    /// With [`PreparedProgram::fuse`] on, each step's result write is
+    /// deferred and shipped as the *next* fused program's prelude —
+    /// one `execute` per gate instead of one per gate plus one per
+    /// result write — landing host-path before any step that reads
+    /// device rows (copies) and at the end of each visit. Either way
+    /// the device command stream is byte-identical.
     #[allow(clippy::too_many_arguments)]
     fn run_prepared_steps<F: FnMut(usize, &Step)>(
         &mut self,
@@ -763,6 +913,8 @@ impl BenderBackend {
         on_step: &mut F,
     ) -> Result<PackedBits> {
         let prog = prep.program();
+        let fuse = prep.fuse();
+        let mut pending: Option<(GlobalRow, Vec<Bit>)> = None;
         for (i, step) in prog.steps.iter().enumerate() {
             let out = self.engine.alloc()?;
             // Same dispatch as the unprepared `op`: NOT and one-input
@@ -773,9 +925,18 @@ impl BenderBackend {
                 None => {
                     let t = templates.not_t.as_ref().expect("prepared");
                     let v = vals[step.args[0]].clone().expect("value tracked");
-                    self.prepared_not(t, &v, &out)?
+                    let (bits, wr) = self.prepared_not(t, &v, &out, pending.take())?;
+                    if fuse {
+                        pending = Some(wr);
+                    } else {
+                        self.flush_result(Some(wr))?;
+                    }
+                    bits
                 }
                 Some(op) if step.args.len() == 1 && !op.is_inverted_terminal() => {
+                    // Copies read device rows, so any deferred write
+                    // lands first (copy steps bound fused visits).
+                    self.flush_result(pending.take())?;
                     let src = regs[step.args[0]].expect("mapper emits defs before uses");
                     let v = vals[step.args[0]].clone().expect("value tracked");
                     self.prepared_copy(&src, &v, &out)?
@@ -783,7 +944,13 @@ impl BenderBackend {
                 Some(_) if step.args.len() == 1 => {
                     let t = templates.not_t.as_ref().expect("prepared");
                     let v = vals[step.args[0]].clone().expect("value tracked");
-                    self.prepared_not(t, &v, &out)?
+                    let (bits, wr) = self.prepared_not(t, &v, &out, pending.take())?;
+                    if fuse {
+                        pending = Some(wr);
+                    } else {
+                        self.flush_result(Some(wr))?;
+                    }
+                    bits
                 }
                 Some(op) => {
                     let n = padded_width(step.args.len(), |n| {
@@ -801,7 +968,13 @@ impl BenderBackend {
                         .iter()
                         .map(|r| vals[*r].as_ref().expect("value tracked"))
                         .collect();
-                    self.prepared_gate(t, op, &avals, &out)?
+                    let (bits, wr) = self.prepared_gate(t, op, &avals, &out, pending.take())?;
+                    if fuse {
+                        pending = Some(wr);
+                    } else {
+                        self.flush_result(Some(wr))?;
+                    }
+                    bits
                 }
             };
             regs[step.out] = Some(out);
@@ -813,6 +986,9 @@ impl BenderBackend {
                 }
             }
         }
+        // End of the last visit: the final deferred write lands before
+        // the output stage touches device rows.
+        self.flush_result(pending.take())?;
         let (out_h, out_val) = match prep.output {
             OutputAction::Const(b) => {
                 let src = if b { self.one } else { self.zero };

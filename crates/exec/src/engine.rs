@@ -57,6 +57,38 @@ pub trait ExecBackend {
     /// Returns every row of a lease to the backend's pool.
     fn end_stage(&mut self, lease: Self::Lease);
 
+    /// Stages several operand sets in one bulk operation — one lease
+    /// per set, in order, all-or-nothing across the whole batch (a
+    /// failure returns every already-staged lease before propagating).
+    ///
+    /// The default loops [`ExecBackend::stage`]; backends with a bulk
+    /// write path override it to amortize per-staging fixed costs
+    /// (the command-schedule backend emits one combined `Wr`-burst
+    /// program for the whole batch). Staged bits are identical to the
+    /// looped default.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecBackend::stage`].
+    fn stage_many(&mut self, batches: &[&[PackedBits]]) -> Result<Vec<Self::Lease>>
+    where
+        Self: Sized,
+    {
+        let mut leases = Vec::with_capacity(batches.len());
+        for operands in batches {
+            match self.stage(operands) {
+                Ok(lease) => leases.push(lease),
+                Err(e) => {
+                    for lease in leases {
+                        self.end_stage(lease);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(leases)
+    }
+
     /// Executes one native operation into a freshly allocated row:
     /// `None` is NOT (one argument), `Some(op)` the N-input gate.
     fn op(&mut self, op: Option<LogicOp>, args: &[Self::Row]) -> Result<Self::Row>;
@@ -122,6 +154,42 @@ pub trait ExecBackend {
         Self: Sized,
     {
         execute_packed_with(self, &prep.prog, operands, on_step)
+    }
+
+    /// Executes a prepared plan over an operand lease the *caller*
+    /// staged (via [`ExecBackend::stage`] or
+    /// [`ExecBackend::stage_many`]) and still owns — the lease is not
+    /// consumed, so a scheduler can stage many jobs' operands in one
+    /// bulk operation and then run them back to back. The caller must
+    /// [`ExecBackend::end_stage`] the lease afterwards.
+    ///
+    /// Results are bit-identical to [`ExecBackend::run_prepared`] on
+    /// the same operands: `run_prepared` is exactly `stage` +
+    /// `run_prepared_leased` + `end_stage` on every backend.
+    ///
+    /// The default walks the embedded program through the unprepared
+    /// engine over the lease's rows (matching the default
+    /// `run_prepared`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecBackend::run_prepared`].
+    fn run_prepared_leased<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &PreparedProgram,
+        lease: &Self::Lease,
+        operands: &[PackedBits],
+        on_step: F,
+    ) -> Result<PackedBits>
+    where
+        Self: Sized,
+    {
+        let _ = operands;
+        let inputs: Vec<Self::Row> = Self::lease_rows(lease).to_vec();
+        let out = execute_with(self, &prep.prog, &inputs, on_step)?;
+        let packed = self.read_row(out);
+        self.release(out);
+        packed
     }
 }
 

@@ -198,6 +198,10 @@ impl<B: ExecBackend> ExecBackend for ScheduleTimed<B> {
         self.inner.end_stage(lease);
     }
 
+    fn stage_many(&mut self, batches: &[&[PackedBits]]) -> Result<Vec<B::Lease>> {
+        self.inner.stage_many(batches)
+    }
+
     fn op(&mut self, op: Option<LogicOp>, args: &[B::Row]) -> Result<B::Row> {
         self.inner.op(op, args)
     }
@@ -233,6 +237,17 @@ impl<B: ExecBackend> ExecBackend for ScheduleTimed<B> {
         on_step: F,
     ) -> Result<PackedBits> {
         self.inner.run_prepared(prep, operands, on_step)
+    }
+
+    fn run_prepared_leased<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &crate::PreparedProgram,
+        lease: &B::Lease,
+        operands: &[PackedBits],
+        on_step: F,
+    ) -> Result<PackedBits> {
+        self.inner
+            .run_prepared_leased(prep, lease, operands, on_step)
     }
 }
 

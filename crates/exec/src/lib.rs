@@ -65,7 +65,7 @@ pub use bender_backend::BenderBackend;
 pub use engine::{execute, execute_packed, execute_packed_with, execute_with, ExecBackend};
 pub use error::{ExecError, Result};
 pub use latency::{ScheduleLatency, ScheduleTimed};
-pub use prepared::{run_prepared, PreparedProgram};
+pub use prepared::{fused_visits_of, run_prepared, PreparedProgram};
 
 use serde::{Deserialize, Serialize};
 

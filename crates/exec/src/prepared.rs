@@ -78,6 +78,16 @@ pub struct PreparedProgram {
     /// backend has none — `prepare` is a pure function of the program,
     /// and this is the witness equality is checked against.
     pub(crate) template_bytes: Vec<u8>,
+    /// Fused visits: maximal `[start, end)` runs of consecutive steps
+    /// that execute in the engine's subarray pair without reading rows
+    /// back mid-run (copy steps RowClone on-device and bound a run).
+    /// Always computed — whether execution *uses* them is `fuse`.
+    pub(crate) visits: Vec<(usize, usize)>,
+    /// Whether `run_prepared` executes each visit as one fused engine
+    /// visit (default) or step-by-step. Either way the device-call
+    /// sequence, stored bits, and statistics are identical; the knob
+    /// exists for ablation and as an escape hatch.
+    pub(crate) fuse: bool,
     arena_slots: usize,
 }
 
@@ -110,6 +120,7 @@ impl PreparedProgram {
             Output::Reg(r) => OutputAction::Reg(r),
         };
         let fallback = prog.steps.iter().any(|s| s.args.len() > max_fan_in);
+        let visits = fused_visits_of(prog);
         PreparedProgram {
             prog: prog.clone(),
             frees,
@@ -118,6 +129,8 @@ impl PreparedProgram {
             prepared_fan_in: max_fan_in,
             templates: None,
             template_bytes: Vec::new(),
+            visits,
+            fuse: true,
             arena_slots: prog.peak_live_rows(),
         }
     }
@@ -151,11 +164,62 @@ impl PreparedProgram {
         self.fallback
     }
 
+    /// The fused visits the step plan defines: maximal `[start, end)`
+    /// runs of steps a backend may execute under one engine visit.
+    /// A pure function of the program — independent of the
+    /// [`fuse`](Self::set_fuse) knob and of which backend prepared the
+    /// plan, so observability counters derived from it are invariant
+    /// across backends and across fused/unfused execution.
+    pub fn fused_visits(&self) -> &[(usize, usize)] {
+        &self.visits
+    }
+
+    /// Whether `run_prepared` executes visits fused (the default).
+    pub fn fuse(&self) -> bool {
+        self.fuse
+    }
+
+    /// Turns fused visit execution on or off. Results are bit-identical
+    /// either way; `off` exists for ablation and debugging.
+    pub fn set_fuse(&mut self, fuse: bool) {
+        self.fuse = fuse;
+    }
+
     /// Whether this plan's fan-in snapshot matches `fan_in` — the
     /// run-time guard against driving a mismatched backend.
     pub(crate) fn fits(&self, fan_in: usize) -> bool {
         !self.fallback && self.prepared_fan_in == fan_in
     }
+}
+
+/// The fused visits a program's step plan defines: maximal `[start,
+/// end)` runs of consecutive steps a backend may execute under one
+/// engine visit. A step is fusable unless it is a one-input monotone
+/// gate (executed as an on-device copy, which must see all prior
+/// writes landed); maximal runs of fusable steps become one visit
+/// each.
+///
+/// A pure function of the program — independent of any backend, of
+/// the fuse knob, and of the shard count — so observability counters
+/// and spans derived from it byte-diff cleanly across all of those.
+pub fn fused_visits_of(prog: &SynthProgram) -> Vec<(usize, usize)> {
+    let mut visits: Vec<(usize, usize)> = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (i, step) in prog.steps.iter().enumerate() {
+        let is_copy =
+            matches!(step.op, Some(op) if step.args.len() == 1 && !op.is_inverted_terminal());
+        if is_copy {
+            if let Some(s) = run_start.take() {
+                visits.push((s, i));
+            }
+        } else if run_start.is_none() {
+            run_start = Some(i);
+        }
+    }
+    if let Some(s) = run_start {
+        visits.push((s, prog.steps.len()));
+    }
+    visits
 }
 
 /// [`ExecBackend::run_prepared`] without an observer.

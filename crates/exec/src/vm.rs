@@ -9,7 +9,7 @@
 //! accounting stays per job and a failed stage leaves the substrate
 //! exactly as it was.
 
-use crate::engine::{execute_packed_with, ExecBackend};
+use crate::engine::{execute_packed_with, execute_with, ExecBackend};
 use crate::error::{ExecError, Result};
 use crate::prepared::{OutputAction, PreparedProgram};
 use dram_core::LogicOp;
@@ -38,6 +38,44 @@ impl<S: Substrate> ExecBackend for SimdVm<S> {
             }
         }
         Ok(lease)
+    }
+
+    fn stage_many(&mut self, batches: &[&[PackedBits]]) -> Result<Vec<RowLease>> {
+        // All leases first, then every row write in one pass — a
+        // single loop over the substrate instead of interleaved
+        // lease/write/lease/write bookkeeping. Write order (batch
+        // order, operand order within a batch) matches the looped
+        // default exactly.
+        let mut leases: Vec<RowLease> = Vec::with_capacity(batches.len());
+        let mut fail: Option<crate::error::ExecError> = None;
+        for operands in batches {
+            match self.lease_rows(operands.len()) {
+                Ok(lease) => leases.push(lease),
+                Err(e) => {
+                    fail = Some(e.into());
+                    break;
+                }
+            }
+        }
+        if fail.is_none() {
+            'write: for (lease, operands) in leases.iter().zip(batches) {
+                for (i, o) in operands.iter().enumerate() {
+                    if let Err(e) = self.substrate_mut().write_packed(lease.row(i), o) {
+                        fail = Some(e.into());
+                        break 'write;
+                    }
+                }
+            }
+        }
+        match fail {
+            None => Ok(leases),
+            Some(e) => {
+                for lease in leases {
+                    self.end_lease(lease);
+                }
+                Err(e)
+            }
+        }
     }
 
     fn lease_rows(lease: &RowLease) -> &[BitRow] {
@@ -88,7 +126,7 @@ impl<S: Substrate> ExecBackend for SimdVm<S> {
         &mut self,
         prep: &PreparedProgram,
         operands: &[PackedBits],
-        mut on_step: F,
+        on_step: F,
     ) -> Result<PackedBits> {
         if !prep.fits(self.substrate().max_fan_in()) {
             return execute_packed_with(self, prep.program(), operands, on_step);
@@ -101,6 +139,35 @@ impl<S: Substrate> ExecBackend for SimdVm<S> {
             });
         }
         let lease = self.stage(operands)?;
+        let result = self.run_prepared_leased(prep, &lease, operands, on_step);
+        self.end_lease(lease);
+        result
+    }
+
+    fn run_prepared_leased<F: FnMut(usize, &Step)>(
+        &mut self,
+        prep: &PreparedProgram,
+        lease: &RowLease,
+        operands: &[PackedBits],
+        mut on_step: F,
+    ) -> Result<PackedBits> {
+        let prog = prep.program();
+        if !prep.fits(self.substrate().max_fan_in()) {
+            // Unprepared walk over the caller's staged rows (matching
+            // `run_prepared`'s fallback modulo the staging the caller
+            // already did).
+            let inputs: Vec<BitRow> = lease.rows().to_vec();
+            let out = execute_with(self, prog, &inputs, on_step)?;
+            let packed = self.read_row(out);
+            ExecBackend::release(self, out);
+            return packed;
+        }
+        if operands.len() != prog.inputs.len() {
+            return Err(ExecError::InputMismatch {
+                expected: prog.inputs.len(),
+                got: operands.len(),
+            });
+        }
         let inputs: Vec<BitRow> = lease.rows().to_vec();
         let mut regs: Vec<Option<BitRow>> = vec![None; prog.n_regs];
         let mut vals: Vec<Option<PackedBits>> = vec![None; prog.n_regs];
@@ -118,6 +185,9 @@ impl<S: Substrate> ExecBackend for SimdVm<S> {
             &mut on_step,
         );
         if result.is_err() {
+            // A failure mid-visit must not leave the substrate in
+            // fused mode (or hold a deferred write) for later callers.
+            let _ = self.substrate_mut().end_visit();
             // Same reclamation as the unprepared engine: a failure must
             // not strand live temporaries (inputs belong to the lease).
             for slot in regs.iter_mut().skip(inputs.len()) {
@@ -126,7 +196,6 @@ impl<S: Substrate> ExecBackend for SimdVm<S> {
                 }
             }
         }
-        self.end_lease(lease);
         result
     }
 }
@@ -147,7 +216,16 @@ fn run_prepared_vm<S: Substrate, F: FnMut(usize, &Step)>(
     on_step: &mut F,
 ) -> Result<PackedBits> {
     let prog = prep.program();
+    // Fused visit bounds: begin before the first step of each visit,
+    // end (flushing the deferred result write) after the last. Copy
+    // steps and the output stage always run outside a visit.
+    let mut visits = prep.visits.iter().filter(|_| prep.fuse).peekable();
     for (i, step) in prog.steps.iter().enumerate() {
+        if let Some((start, _)) = visits.peek() {
+            if i == *start {
+                vm.substrate_mut().begin_visit();
+            }
+        }
         let arows: Vec<BitRow> = step
             .args
             .iter()
@@ -186,6 +264,12 @@ fn run_prepared_vm<S: Substrate, F: FnMut(usize, &Step)>(
         for r in &prep.frees[i] {
             if let Some(row) = regs[*r].take() {
                 SimdVm::release(vm, row);
+            }
+        }
+        if let Some((_, end)) = visits.peek() {
+            if i + 1 == *end {
+                vm.substrate_mut().end_visit()?;
+                visits.next();
             }
         }
     }

@@ -170,6 +170,43 @@ fn run_job_on_rec<B: ExecBackend>(
     profile: &crate::planner::ChipProfile,
     retry_budget: u32,
     batch_seed: u64,
+    record: Option<&mut Vec<StepTrace>>,
+) -> Result<(JobOutcome, ())> {
+    // Prepared once per job: the row plan (and, on command-schedule
+    // backends, the program templates) is compiled a single time and
+    // reused across every retry attempt the loop below charges —
+    // operands are staged once per job, never per attempt.
+    let prep = backend.prepare(&asg.program)?;
+    run_job_with_prep(
+        backend,
+        job,
+        asg,
+        profile,
+        retry_budget,
+        batch_seed,
+        &prep,
+        None,
+        record,
+    )
+}
+
+/// The accounting loop proper, over an already-prepared plan — and,
+/// for cross-job fused runs, over an operand lease the caller staged
+/// through [`ExecBackend::stage_many`] and still owns. Outcomes are a
+/// pure function of `(job, assignment, profile cost, batch seed,
+/// backend kind)` whether or not the backend is shared across a run:
+/// retry draws key on the batch seed and job id (never on backend
+/// instance state), and results are host-exact.
+#[allow(clippy::too_many_arguments)]
+fn run_job_with_prep<B: ExecBackend>(
+    backend: &mut B,
+    job: &Job,
+    asg: &Assignment,
+    profile: &crate::planner::ChipProfile,
+    retry_budget: u32,
+    batch_seed: u64,
+    prep: &fcexec::PreparedProgram,
+    lease: Option<&B::Lease>,
     mut record: Option<&mut Vec<StepTrace>>,
 ) -> Result<(JobOutcome, ())> {
     let prog = &asg.program;
@@ -182,18 +219,13 @@ fn run_job_on_rec<B: ExecBackend>(
         .iter()
         .map(|s| backend.step_latency_ns(s))
         .collect();
-    // Prepared once per job: the row plan (and, on command-schedule
-    // backends, the program templates) is compiled a single time and
-    // reused across every retry attempt the loop below charges —
-    // operands are staged once per job, never per attempt.
-    let prep = backend.prepare(prog)?;
     let mut retries = 0u32;
     let mut failed_ops = 0usize;
     // Time already burned on chips that died mid-job is part of the
     // job's served latency; re-placements also consumed retry budget.
     let mut latency = asg.wasted_ns;
     let mut energy = 0.0f64;
-    let result = backend.run_prepared(&prep, &job.operands, |i, step| {
+    let observer = |i: usize, step: &fcsynth::Step| {
         let (mut p, model_l, e) = match step.op {
             None => (
                 cost.not_success(),
@@ -245,7 +277,11 @@ fn run_job_on_rec<B: ExecBackend>(
                 failed: step_failed,
             });
         }
-    })?;
+    };
+    let result = match lease {
+        None => backend.run_prepared(prep, &job.operands, observer)?,
+        Some(l) => backend.run_prepared_leased(prep, l, &job.operands, observer)?,
+    };
     Ok((
         JobOutcome {
             job: job.id,
@@ -304,6 +340,203 @@ fn run_job(
         }
         .map(|o| (o, Vec::new()))
     }
+}
+
+/// Whether two planned jobs can share one fused run: same fleet
+/// member (same profile, same chip seed), same mapped program (same
+/// prepared plan), same lane count (same staging shape).
+fn fusable(a: (&Job, &Assignment), b: (&Job, &Assignment)) -> bool {
+    a.1.member == b.1.member && a.0.lanes == b.0.lanes && a.1.program == b.1.program
+}
+
+/// Jobs that belong to a cross-job fused run under serial submission
+/// order: the sum of sizes of fusion groups (size ≥ 2) when the whole
+/// batch is grouped by `fusable` key — adjacency is irrelevant, so
+/// a round-robin mix of templates fuses just as well as a sorted one.
+/// A pure function of the batch and the plan — independent of the
+/// fuse knob, the shard count, and the backend — so observability
+/// counters derived from it byte-diff cleanly across all of those.
+pub fn fused_jobs(batch: &Batch, plan: &Plan) -> usize {
+    let jobs = batch.jobs();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..jobs.len() {
+        let found = groups.iter().position(|g| {
+            fusable(
+                (&jobs[g[0]], &plan.assignments[g[0]]),
+                (&jobs[i], &plan.assignments[i]),
+            )
+        });
+        match found {
+            Some(gi) => groups[gi].push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    groups
+        .into_iter()
+        .filter(|g| g.len() >= 2)
+        .map(|g| g.len())
+        .sum()
+}
+
+/// Runs one fused group on a shared backend: one prepared plan, every
+/// job's operands bulk-staged up front through
+/// [`ExecBackend::stage_many`], then each job executed over its own
+/// lease in submission order. Returns `None` when the bulk setup
+/// fails — the caller falls back to the per-job path, which would
+/// surface the same per-job errors (results are identical on both
+/// paths).
+fn run_group_on<B: ExecBackend>(
+    backend: &mut B,
+    jobs: &[&Job],
+    asgs: &[&Assignment],
+    profile: &crate::planner::ChipProfile,
+    policy: &SchedPolicy,
+    batch_seed: u64,
+    record: bool,
+) -> Option<Vec<JobRun>> {
+    let prep = backend.prepare(&asgs[0].program).ok()?;
+    let batches: Vec<&[PackedBits]> = jobs.iter().map(|j| j.operands.as_slice()).collect();
+    let leases = backend.stage_many(&batches).ok()?;
+    let mut out = Vec::with_capacity(jobs.len());
+    for ((&job, &asg), lease) in jobs.iter().zip(asgs).zip(leases) {
+        let budget = policy.retry_budget.saturating_sub(asg.replacements);
+        let run = if record {
+            let mut steps = Vec::new();
+            run_job_with_prep(
+                backend,
+                job,
+                asg,
+                profile,
+                budget,
+                batch_seed,
+                &prep,
+                Some(&lease),
+                Some(&mut steps),
+            )
+            .map(|(o, ())| (o, steps))
+        } else {
+            run_job_with_prep(
+                backend,
+                job,
+                asg,
+                profile,
+                budget,
+                batch_seed,
+                &prep,
+                Some(&lease),
+                None,
+            )
+            .map(|(o, ())| (o, Vec::new()))
+        };
+        backend.end_stage(lease);
+        out.push(run);
+    }
+    Some(out)
+}
+
+/// Builds the policy-selected backend for one fused group and runs it.
+/// `None` (setup failure) sends the caller to the per-job path.
+fn run_group(
+    jobs: &[&Job],
+    asgs: &[&Assignment],
+    profile: &crate::planner::ChipProfile,
+    policy: &SchedPolicy,
+    batch_seed: u64,
+    record: bool,
+) -> Option<Vec<JobRun>> {
+    let prog = &asgs[0].program;
+    // Room for every job's staged lease at once, plus the running
+    // job's register arena (capacity only bounds the pool — host
+    // results never depend on it).
+    let capacity = (prog.n_regs + jobs.len() * jobs[0].operands.len() + 4).max(8);
+    let vm = SimdVm::new(HostSubstrate::new(jobs[0].lanes, capacity)).ok()?;
+    match policy.backend {
+        BackendKind::Vm => {
+            let mut vm = vm;
+            run_group_on(&mut vm, jobs, asgs, profile, policy, batch_seed, record)
+        }
+        BackendKind::Bender => {
+            let mut timed = ScheduleTimed::new(vm, profile.speed);
+            run_group_on(&mut timed, jobs, asgs, profile, policy, batch_seed, record)
+        }
+    }
+}
+
+/// Runs one contiguous submission-order chunk of jobs. With
+/// [`SchedPolicy::fuse`] on, jobs sharing a fusion key ([`fusable`]:
+/// same fleet member, mapped program, and lane count) are grouped
+/// *regardless of adjacency* — a round-robin template mix fuses as
+/// well as a sorted one — and each group of two or more runs through
+/// one shared backend: one prepared plan, one bulk staging, jobs in
+/// submission order within the group, results scattered back to their
+/// submission-order slots. Outcomes are byte-identical to the per-job
+/// path either way: every job's retry draws and modeled costs key on
+/// the job and its assignment alone, never on its neighbours.
+fn run_chunk(
+    jobs: &[Job],
+    asgs: &[Assignment],
+    profiles: &[crate::planner::ChipProfile],
+    policy: &SchedPolicy,
+    batch_seed: u64,
+    record: bool,
+) -> Vec<JobRun> {
+    // Group chunk-local indices by fusion key: a linear scan over
+    // group representatives (programs compare structurally, and
+    // chunks are small enough that a map keyed on serialized programs
+    // would cost more than it saves).
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..jobs.len() {
+        let found = if policy.fuse {
+            groups
+                .iter()
+                .position(|g| fusable((&jobs[g[0]], &asgs[g[0]]), (&jobs[i], &asgs[i])))
+        } else {
+            None
+        };
+        match found {
+            Some(gi) => groups[gi].push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    let mut out: Vec<Option<JobRun>> = (0..jobs.len()).map(|_| None).collect();
+    for g in &groups {
+        let fused = if g.len() >= 2 {
+            let gj: Vec<&Job> = g.iter().map(|&i| &jobs[i]).collect();
+            let ga: Vec<&Assignment> = g.iter().map(|&i| &asgs[i]).collect();
+            run_group(
+                &gj,
+                &ga,
+                &profiles[asgs[g[0]].member],
+                policy,
+                batch_seed,
+                record,
+            )
+        } else {
+            None
+        };
+        match fused {
+            Some(runs) => {
+                for (&i, r) in g.iter().zip(runs) {
+                    out[i] = Some(r);
+                }
+            }
+            None => {
+                for &i in g {
+                    out[i] = Some(run_job(
+                        &jobs[i],
+                        &asgs[i],
+                        &profiles[asgs[i].member],
+                        policy,
+                        batch_seed,
+                        record,
+                    ));
+                }
+            }
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every chunk job executed"))
+        .collect()
 }
 
 /// Executes a planned batch, sharding jobs over scoped worker threads.
@@ -388,15 +621,16 @@ fn execute_plan_impl(
     let workers = policy.effective_workers(n);
     let mut results: Vec<Option<JobRun>> = (0..n).map(|_| None).collect();
     if workers <= 1 {
-        for (i, (job, asg)) in batch.jobs().iter().zip(&plan.assignments).enumerate() {
-            results[i] = Some(run_job(
-                job,
-                asg,
-                &plan.profiles[asg.member],
-                policy,
-                batch.seed(),
-                record,
-            ));
+        let runs = run_chunk(
+            batch.jobs(),
+            &plan.assignments,
+            &plan.profiles,
+            policy,
+            batch.seed(),
+            record,
+        );
+        for (i, r) in runs.into_iter().enumerate() {
+            results[i] = Some(r);
         }
     } else {
         let shards = policy.effective_shards(n);
@@ -409,24 +643,18 @@ fn execute_plan_impl(
                 .enumerate()
                 .map(|(si, (job_chunk, asg_chunk))| {
                     s.spawn(move || {
-                        job_chunk
-                            .iter()
-                            .zip(asg_chunk)
-                            .enumerate()
-                            .map(|(j, (job, asg))| {
-                                (
-                                    si * chunk + j,
-                                    run_job(
-                                        job,
-                                        asg,
-                                        &plan.profiles[asg.member],
-                                        policy,
-                                        batch.seed(),
-                                        record,
-                                    ),
-                                )
-                            })
-                            .collect::<Vec<_>>()
+                        run_chunk(
+                            job_chunk,
+                            asg_chunk,
+                            &plan.profiles,
+                            policy,
+                            batch.seed(),
+                            record,
+                        )
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, r)| (si * chunk + j, r))
+                        .collect::<Vec<_>>()
                     })
                 })
                 .collect();
@@ -508,8 +736,10 @@ fn emit_batch_events(
             ],
         });
         let mut cursor = base + asg.start_ns + asg.wasted_ns;
+        let mut step_starts = Vec::with_capacity(steps.len() + 1);
         for (i, s) in steps.iter().enumerate() {
             let dur = s.model_ns * f64::from(s.attempts);
+            step_starts.push(cursor);
             sink.record(TraceEvent {
                 phase: Phase::Span,
                 cat: "exec".into(),
@@ -529,6 +759,29 @@ fn emit_batch_events(
                 ],
             });
             cursor += dur;
+        }
+        step_starts.push(cursor);
+        // One span per fused engine visit — derived from the program's
+        // step plan and the modeled step clock, so the emitted stream
+        // is identical whether execution actually fused, on every
+        // backend, at every shard count.
+        for (v, &(start, end)) in fcexec::fused_visits_of(&asg.program).iter().enumerate() {
+            sink.record(TraceEvent {
+                phase: Phase::Span,
+                cat: "engine".into(),
+                name: "visit".into(),
+                who: who.clone(),
+                track: 1 + asg.member as u64,
+                tick: ctx.tick,
+                job: 1 + idx as u64,
+                step: 1000 + v as u64,
+                ts_ns: step_starts[start],
+                dur_ns: step_starts[end] - step_starts[start],
+                args: vec![
+                    ("steps".into(), (end - start) as f64),
+                    ("first_step".into(), start as f64),
+                ],
+            });
         }
     }
     sink.record(TraceEvent {

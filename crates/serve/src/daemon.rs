@@ -105,6 +105,15 @@ pub struct Daemon<'a> {
     tick: usize,
     batches: usize,
     native_ops: usize,
+    /// Fused engine visits across every executed job — a pure
+    /// function of each job's step plan ([`fcexec::fused_visits_of`]),
+    /// counted in submission order, so the exposition is identical
+    /// across `--fuse` settings, shard counts, and backends.
+    engine_visits: usize,
+    /// Jobs that belonged to a cross-job fusion group
+    /// ([`fcsched::fused_jobs`]) — plan-structural, like
+    /// `engine_visits`.
+    fused_jobs: usize,
     energy_pj: f64,
     result_digest: u64,
     mitigations: u64,
@@ -138,6 +147,8 @@ impl<'a> Daemon<'a> {
             tick: 0,
             batches: 0,
             native_ops: 0,
+            engine_visits: 0,
+            fused_jobs: 0,
             energy_pj: 0.0,
             result_digest: 0x5E12_FEED,
             mitigations: 0,
@@ -313,6 +324,12 @@ impl<'a> Daemon<'a> {
         };
         self.batches += 1;
         self.native_ops += report.native_ops();
+        self.engine_visits += plan
+            .assignments
+            .iter()
+            .map(|asg| fcexec::fused_visits_of(&asg.program).len())
+            .sum::<usize>();
+        self.fused_jobs += fcsched::fused_jobs(&batch, &plan);
         self.energy_pj += report.total_energy_pj();
         if let Some(h) = &report.health {
             self.mitigations += h.total_mitigations();
@@ -424,6 +441,18 @@ impl<'a> Daemon<'a> {
             &[],
             "native DRAM operations executed",
             self.native_ops as u64,
+        );
+        m.counter(
+            "fc_engine_visits_total",
+            &[],
+            "fused engine visits defined by executed step plans",
+            self.engine_visits as u64,
+        );
+        m.counter(
+            "fc_fused_jobs_total",
+            &[],
+            "jobs in cross-job fused runs under submission order",
+            self.fused_jobs as u64,
         );
         m.counter(
             "fc_mitigations_total",

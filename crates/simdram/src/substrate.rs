@@ -196,6 +196,25 @@ pub trait Substrate {
         false
     }
 
+    /// Opens a fused visit: until [`Substrate::end_visit`], consecutive
+    /// value-path operations may share per-operation fixed costs (one
+    /// combined command program per gate, deferred result writes,
+    /// cached pattern lookups on the DRAM backend). Stored bits and
+    /// statistics must be identical to unfused execution. Backends
+    /// without a fused path (the host golden model) keep the no-op
+    /// default.
+    fn begin_visit(&mut self) {}
+
+    /// Closes the current fused visit, flushing any deferred device
+    /// state. Must be a no-op when no visit is active.
+    ///
+    /// # Errors
+    ///
+    /// Fails when flushing deferred writes fails on the device.
+    fn end_visit(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// The accumulated operation trace.
     fn trace(&self) -> &OpTrace;
 
@@ -690,6 +709,15 @@ impl Substrate for DramSubstrate {
 
     fn has_native_maj(&self) -> bool {
         self.engine.has_native_maj()
+    }
+
+    fn begin_visit(&mut self) {
+        self.engine.begin_visit();
+    }
+
+    fn end_visit(&mut self) -> Result<()> {
+        self.engine.end_visit()?;
+        Ok(())
     }
 
     fn trace(&self) -> &OpTrace {

@@ -13,6 +13,10 @@
 //! * The engine on the host golden model matches the reference
 //!   evaluator for random expressions, in both I/O modes, and the
 //!   observer sees every step in order on every backend.
+//! * The fuse knob never moves a bit: prepared plans run with fused
+//!   engine visits (the default) and step-by-step
+//!   (`PreparedProgram::set_fuse(false)`) agree bit-for-bit, with
+//!   identical observer walks, on both backends in both fidelities.
 //! * Lease safety: `SimdVm::lease_rows`/`end_lease` driven through
 //!   `ExecBackend::stage` and `dram_core::FleetSlots` stay
 //!   all-or-nothing and reusable under randomized interleavings.
@@ -234,6 +238,66 @@ proptest! {
                 .map_err(|e| format!("{text}: {e}"))?;
             prop_assert_eq!(&got_cmd, &want, "{}: bender prepared diverged", text);
             prop_assert_eq!(&cmd_steps, &legacy_steps, "{}: bender observer walks differ", text);
+        }
+    }
+
+    /// The fuse knob is invisible in the bits: the same prepared plan
+    /// run with fused engine visits (the default) and step-by-step
+    /// (`set_fuse(false)`) produces identical result bits and
+    /// identical ordered observer walks — on both device backends, in
+    /// both fidelities. The fused path must therefore drive the
+    /// device through a byte-identical command stream: the stochastic
+    /// draws key on device state both paths advance in lockstep.
+    #[test]
+    fn fused_matches_unfused_bit_for_bit(
+        n in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let text = random_expr(n, seed, 10);
+        let cost = CostModel::table1_defaults();
+        let compiled = fcsynth::compile(&text, &cost, 16)
+            .map_err(|e| format!("{text}: {e}"))?;
+        let k = compiled.circuit.inputs().len();
+        let prog = &compiled.mapping.program;
+        for fidelity in [SimFidelity::fast(), SimFidelity::full()] {
+            let mut vm_f = SimdVm::new(DramSubstrate::new(engine(fidelity))).unwrap();
+            let lanes = ExecBackend::lanes(&vm_f);
+            let ops = random_operands(k, lanes, seed ^ 0xF0_5E);
+            let prep = vm_f.prepare(prog).map_err(|e| e.to_string())?;
+            prop_assert!(prep.fuse(), "fusion must default on");
+            let mut fused_walk = Vec::new();
+            let fused = vm_f
+                .run_prepared(&prep, &ops, |i, s| fused_walk.push((i, s.op, s.args.len())))
+                .map_err(|e| format!("{text}: {e}"))?;
+
+            let mut vm_u = SimdVm::new(DramSubstrate::new(engine(fidelity))).unwrap();
+            let mut prep_u = vm_u.prepare(prog).map_err(|e| e.to_string())?;
+            prep_u.set_fuse(false);
+            let mut unfused_walk = Vec::new();
+            let unfused = vm_u
+                .run_prepared(&prep_u, &ops, |i, s| unfused_walk.push((i, s.op, s.args.len())))
+                .map_err(|e| format!("{text}: {e}"))?;
+            prop_assert_eq!(&fused, &unfused, "{}: vm fuse knob moved bits", text);
+            prop_assert_eq!(&fused_walk, &unfused_walk, "{}: vm observer walks differ", text);
+
+            let mut cmd_f = BenderBackend::new(engine(fidelity)).unwrap();
+            let prep_cmd = cmd_f.prepare(prog).map_err(|e| e.to_string())?;
+            let mut cmd_fused_walk = Vec::new();
+            let cmd_fused = cmd_f
+                .run_prepared(&prep_cmd, &ops, |i, s| {
+                    cmd_fused_walk.push((i, s.op, s.args.len()));
+                })
+                .map_err(|e| format!("{text}: {e}"))?;
+
+            let mut cmd_u = BenderBackend::new(engine(fidelity)).unwrap();
+            let mut prep_cmd_u = cmd_u.prepare(prog).map_err(|e| e.to_string())?;
+            prep_cmd_u.set_fuse(false);
+            let cmd_unfused = cmd_u
+                .run_prepared(&prep_cmd_u, &ops, |_, _| {})
+                .map_err(|e| format!("{text}: {e}"))?;
+            prop_assert_eq!(&cmd_fused, &cmd_unfused, "{}: bender fuse knob moved bits", text);
+            prop_assert_eq!(&cmd_fused, &fused, "{}: backends diverged under fusion", text);
+            prop_assert_eq!(&cmd_fused_walk, &fused_walk, "{}: cross-backend walks differ", text);
         }
     }
 

@@ -9,7 +9,10 @@
 //!   seed, jobs, fleet, and policy: identical across repeated runs and
 //!   across shard counts (the deterministic JSON report is
 //!   byte-identical — the property the CI determinism job enforces
-//!   end-to-end through `characterize serve`).
+//!   end-to-end through `characterize serve`);
+//! * cross-job operand fusion ([`fcsched::SchedPolicy::fuse`]) never
+//!   moves a report byte, on either backend at any shard count, even
+//!   when repeated templates make the fusion groups non-trivial.
 
 mod common;
 
@@ -57,6 +60,39 @@ fn random_batch(jobs: usize, lanes: usize, seed: u64) -> (Batch, Vec<PackedBits>
             .expect("job validates");
     }
     (batch, references)
+}
+
+/// Builds a batch cycling `distinct` random templates across `jobs`
+/// jobs (each template compiled once, per-job operands still unique)
+/// — the shape cross-job operand fusion groups on.
+fn repeated_batch(jobs: usize, distinct: usize, lanes: usize, seed: u64) -> Batch {
+    let cost = CostModel::table1_defaults();
+    let mut compiled = Vec::with_capacity(distinct);
+    for d in 0..distinct {
+        let n = 1 + (seed as usize ^ (d * 5)) % 6;
+        let text = random_expr(n, seed ^ (d as u64) << 23, 10);
+        let c = fcsynth::compile(&text, &cost, 16).expect("generated exprs parse");
+        compiled.push((text, c));
+    }
+    let mut batch = Batch::new(seed);
+    for j in 0..jobs {
+        let (text, c) = &compiled[j % distinct];
+        let k = c.circuit.inputs().len();
+        let operands: Vec<PackedBits> = (0..k)
+            .map(|i| {
+                let mut p = PackedBits::zeros(lanes);
+                for l in 0..lanes {
+                    let h = dram_core::math::mix4(seed ^ 0xF0_5E, j as u64, i as u64, l as u64);
+                    p.set(l, h & 1 == 1);
+                }
+                p
+            })
+            .collect();
+        batch
+            .push(text, &c.mapping, operands, lanes)
+            .expect("job validates");
+    }
+    batch
 }
 
 proptest! {
@@ -132,6 +168,60 @@ proptest! {
             serial.to_json(), sharded.to_json(),
             "serialized report not byte-identical across shard counts"
         );
+    }
+
+    /// Cross-job operand fusion never moves a report byte: a batch
+    /// with repeated templates (so fusion groups actually form)
+    /// serializes identically with `fuse` on and off, at any fleet
+    /// size and shard count, on both backends — and when every job
+    /// shares one template on a one-chip fleet, the deterministic
+    /// [`fcsched::fused_jobs`] counter covers the whole batch.
+    #[test]
+    fn fusion_never_moves_a_report_byte(
+        jobs in 2usize..=10,
+        distinct in 1usize..=3,
+        chips in 1usize..=4,
+        shards in 1usize..=5,
+        seed in any::<u64>(),
+    ) {
+        let batch = repeated_batch(jobs, distinct, 33, seed);
+        let cost = CostModel::table1_defaults();
+        let fleet = dram_core::FleetConfig::table1(chips);
+        for backend in [fcexec::BackendKind::Vm, fcexec::BackendKind::Bender] {
+            let fused = serve_batch(
+                &fleet,
+                &cost,
+                &SchedPolicy { backend, ..SchedPolicy::default().with_shards(1) },
+                &batch,
+            ).map_err(|e| e.to_string())?;
+            let unfused = serve_batch(
+                &fleet,
+                &cost,
+                &SchedPolicy {
+                    fuse: false,
+                    backend,
+                    ..SchedPolicy::default().with_shards(shards)
+                },
+                &batch,
+            ).map_err(|e| e.to_string())?;
+            prop_assert_eq!(&fused.outcomes, &unfused.outcomes, "fusion changed accounting");
+            prop_assert_eq!(
+                fused.to_json(), unfused.to_json(),
+                "report not byte-identical across the fuse knob ({:?})", backend
+            );
+        }
+        let policy = SchedPolicy::default().with_shards(1);
+        let plan = fcsched::Planner::new(&fleet, &cost, &policy)
+            .plan(&batch)
+            .map_err(|e| e.to_string())?;
+        let in_groups = fcsched::fused_jobs(&batch, &plan);
+        prop_assert!(in_groups <= jobs, "counter exceeds the batch");
+        if distinct == 1 && chips == 1 {
+            prop_assert_eq!(
+                in_groups, jobs,
+                "single-template one-chip batch must fuse completely"
+            );
+        }
     }
 }
 
